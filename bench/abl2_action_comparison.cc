@@ -1,0 +1,87 @@
+// Ablation A2: which corrective action, for the same violated property?
+//
+// Runs the Figure-2 scenario four ways — no guardrail, A2-style disable
+// (Listing 2's SAVE(ml_enabled,false)), A3 retrain-in-place, and disable
+// with on_satisfy re-enable — and compares post-drift latency, false
+// submits, and whether the model is still in use at the end. This is the
+// design-space question Figure 1's right table raises: REPORT < REPLACE <
+// RETRAIN < DEPRIORITIZE escalate in invasiveness; here we measure the
+// middle two against each other.
+
+#include <cstdio>
+#include <string>
+
+#include "src/linnos/harness.h"
+#include "src/support/logging.h"
+
+namespace osguard {
+namespace {
+
+constexpr char kDisableWithReenable[] = R"(
+guardrail low-false-submit {
+  trigger: { TIMER(1s, 1s) },
+  rule: { LOAD_OR(false_submit_rate, 0) <= 0.05 },
+  action: { SAVE(blk.ml_enabled, false); REPORT("disabled") },
+  on_satisfy: { SAVE(blk.ml_enabled, true); REPORT("re-enabled") },
+  meta: { cooldown = 2s }
+}
+)";
+
+int Main() {
+  Logger::Global().set_level(LogLevel::kOff);
+  Figure2Options options;
+  options.before_drift = Seconds(10);
+  options.after_drift = Seconds(15);  // extra room to see recovery dynamics
+
+  TrainingRunOptions training;
+  training.device = options.device;
+  training.blk = options.blk;
+  training.trace_seed = options.trace_seed + 1000;
+  training.duration = Seconds(10);
+  training.arrivals_per_sec = options.arrivals_per_sec;
+  IoPhase phase;
+  phase.write_fraction = 0.05;
+  phase.zipf_skew = 0.6;
+
+  std::printf("# A2: corrective-action comparison on the Figure-2 drift\n");
+  std::printf("%-22s %-13s %-13s %-14s %-10s %-9s\n", "action", "post_mean_us",
+              "false_submits", "model_at_end", "retrains", "trigger_s");
+
+  struct Config {
+    const char* label;
+    const char* source;  // nullptr = no guardrail
+    bool retrain_loop;
+  };
+  for (const Config& config :
+       {Config{"none", nullptr, false},
+        Config{"disable (Listing 2)", kListing2Guardrail, false},
+        Config{"retrain in place", kRetrainGuardrail, true},
+        Config{"disable + re-enable", kDisableWithReenable, false}}) {
+    // Fresh model per configuration: retraining mutates it.
+    auto model = TrainLinnosModel(phase, training, options.model);
+    if (!model.ok()) {
+      std::fprintf(stderr, "training failed: %s\n", model.status().ToString().c_str());
+      return 1;
+    }
+    Figure2Options run_options = options;
+    run_options.enable_retrain_loop = config.retrain_loop;
+    auto run = RunLinnosConfiguration(run_options, model.value(),
+                                      config.source == nullptr ? "" : config.source);
+    if (!run.ok()) {
+      std::fprintf(stderr, "run failed: %s\n", run.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("%-22s %-13.1f %-13llu %-14s %-10llu %-9.1f\n", config.label,
+                run->mean_latency_us_after,
+                static_cast<unsigned long long>(run->blk.false_submits),
+                run->ml_enabled_at_end ? "enabled" : "disabled",
+                static_cast<unsigned long long>(run->retrains_serviced),
+                run->trigger_time_s);
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace osguard
+
+int main(int, char**) { return osguard::Main(); }

@@ -1,0 +1,120 @@
+// Extension E4: feature-store microbenchmarks (google-benchmark).
+//
+// The store (§4.3) is on every monitor's path and on every instrumented
+// kernel site's path; these benches bound its costs: scalar SAVE/LOAD,
+// counter increments, time-series Observe, and windowed aggregation as a
+// function of window population.
+
+#include <benchmark/benchmark.h>
+
+#include "src/store/feature_store.h"
+
+namespace osguard {
+namespace {
+
+void BM_SaveScalar(benchmark::State& state) {
+  FeatureStore store;
+  int64_t i = 0;
+  for (auto _ : state) {
+    store.Save("key", Value(i++));
+  }
+}
+BENCHMARK(BM_SaveScalar);
+
+void BM_LoadScalar(benchmark::State& state) {
+  FeatureStore store;
+  store.Save("key", Value(42));
+  for (auto _ : state) {
+    auto value = store.Load("key");
+    benchmark::DoNotOptimize(value);
+  }
+}
+BENCHMARK(BM_LoadScalar);
+
+void BM_LoadScalarAmongMany(benchmark::State& state) {
+  FeatureStore store;
+  const int64_t keys = state.range(0);
+  for (int64_t i = 0; i < keys; ++i) {
+    store.Save("key" + std::to_string(i), Value(i));
+  }
+  for (auto _ : state) {
+    auto value = store.Load("key" + std::to_string(keys / 2));
+    benchmark::DoNotOptimize(value);
+  }
+  state.SetLabel(std::to_string(keys) + " keys");
+}
+BENCHMARK(BM_LoadScalarAmongMany)->Arg(16)->Arg(256)->Arg(4096);
+
+void BM_Increment(benchmark::State& state) {
+  FeatureStore store;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(store.Increment("counter"));
+  }
+}
+BENCHMARK(BM_Increment);
+
+void BM_Observe(benchmark::State& state) {
+  FeatureStore store;
+  // Bounded retention so the series doesn't grow during the run.
+  store.SetSeriesOptions("series", SeriesOptions{.max_samples = 4096, .max_age = Seconds(10)});
+  SimTime t = 0;
+  for (auto _ : state) {
+    store.Observe("series", t, 1.0);
+    t += Microseconds(10);
+  }
+}
+BENCHMARK(BM_Observe);
+
+void BM_AggregateMean(benchmark::State& state) {
+  FeatureStore store;
+  const int64_t samples = state.range(0);
+  store.SetSeriesOptions("series",
+                         SeriesOptions{.max_samples = 1 << 20, .max_age = Seconds(3600)});
+  for (int64_t i = 0; i < samples; ++i) {
+    store.Observe("series", Milliseconds(i), 42.0);
+  }
+  const SimTime now = Milliseconds(samples);
+  for (auto _ : state) {
+    auto value = store.Aggregate("series", AggKind::kMean, Seconds(3600), now);
+    benchmark::DoNotOptimize(value);
+  }
+  state.SetLabel(std::to_string(samples) + " samples");
+}
+BENCHMARK(BM_AggregateMean)->Arg(100)->Arg(1000)->Arg(10000)->Arg(100000);
+
+void BM_AggregateQuantile(benchmark::State& state) {
+  FeatureStore store;
+  const int64_t samples = state.range(0);
+  store.SetSeriesOptions("series",
+                         SeriesOptions{.max_samples = 1 << 20, .max_age = Seconds(3600)});
+  for (int64_t i = 0; i < samples; ++i) {
+    store.Observe("series", Milliseconds(i), static_cast<double>(i % 997));
+  }
+  const SimTime now = Milliseconds(samples);
+  for (auto _ : state) {
+    auto value = store.AggregateQuantile("series", 0.99, Seconds(3600), now);
+    benchmark::DoNotOptimize(value);
+  }
+  state.SetLabel(std::to_string(samples) + " samples");
+}
+BENCHMARK(BM_AggregateQuantile)->Arg(100)->Arg(1000)->Arg(10000);
+
+void BM_WindowNarrowerThanSeries(benchmark::State& state) {
+  // Aggregating a 1s window over a series retaining 5 minutes: cost is
+  // proportional to retained samples scanned, the honest worst case.
+  FeatureStore store;
+  for (int64_t i = 0; i < 100000; ++i) {
+    store.Observe("series", Milliseconds(i * 3), 1.0);
+  }
+  const SimTime now = Milliseconds(300000);
+  for (auto _ : state) {
+    auto value = store.Aggregate("series", AggKind::kMean, Seconds(1), now);
+    benchmark::DoNotOptimize(value);
+  }
+}
+BENCHMARK(BM_WindowNarrowerThanSeries);
+
+}  // namespace
+}  // namespace osguard
+
+BENCHMARK_MAIN();

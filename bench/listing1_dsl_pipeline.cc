@@ -1,0 +1,137 @@
+// Listing 1/2 pipeline microbenchmarks (google-benchmark).
+//
+// Measures each stage of the guardrail compilation pipeline — lex, parse,
+// analyze, compile+verify — plus the runtime cost of one compiled rule
+// evaluation. This is the "synthesize efficient guardrail monitors" cost
+// model: compilation is control-plane (once per load), evaluation is
+// data-plane (every trigger firing).
+
+#include <benchmark/benchmark.h>
+
+#include "src/dsl/lexer.h"
+#include "src/dsl/parser.h"
+#include "src/dsl/sema.h"
+#include "src/runtime/helper_env.h"
+#include "src/vm/compiler.h"
+#include "src/vm/vm.h"
+
+namespace osguard {
+namespace {
+
+const char* kListing2 = R"(
+  guardrail low-false-submit {
+    trigger: { TIMER(1s, 1e9) },
+    rule: { LOAD_OR(false_submit_rate, 0) <= 0.05 },
+    action: { SAVE(ml_enabled, false) }
+  }
+)";
+
+const char* kComplexSpec = R"(
+  guardrail complex {
+    trigger: { TIMER(500ms, 250ms, 60s), FUNCTION(blk_submit_io) },
+    rule: {
+      COUNT(io_lat, 10s) == 0 || MEAN(io_lat, 10s) <= 2ms && P99(io_lat, 10s) <= 20ms,
+      STDDEV(rate_out, 5s) <= 3 * STDDEV(rtt_in, 5s) + 0.000001,
+      LOAD_OR(err_rate, 0) <= 0.1
+    },
+    action: {
+      REPORT("complex violated", err_rate, NOW());
+      REPLACE(learned_policy, fallback_policy);
+      RETRAIN(learned_policy, recent_window);
+      DEPRIORITIZE({batch, scan, backup}, {0.5, 0.2, 0.1});
+    },
+    on_satisfy: { SAVE(ml_enabled, true) },
+    meta: { severity = critical, cooldown = 5s, hysteresis = 2 }
+  }
+)";
+
+void BM_Lex(benchmark::State& state) {
+  const std::string source = state.range(0) == 0 ? kListing2 : kComplexSpec;
+  for (auto _ : state) {
+    Lexer lexer(source);
+    auto tokens = lexer.Tokenize();
+    benchmark::DoNotOptimize(tokens);
+  }
+}
+BENCHMARK(BM_Lex)->Arg(0)->Arg(1);
+
+void BM_Parse(benchmark::State& state) {
+  const std::string source = state.range(0) == 0 ? kListing2 : kComplexSpec;
+  for (auto _ : state) {
+    auto spec = ParseSpecSource(source);
+    benchmark::DoNotOptimize(spec);
+  }
+}
+BENCHMARK(BM_Parse)->Arg(0)->Arg(1);
+
+void BM_Analyze(benchmark::State& state) {
+  const std::string source = state.range(0) == 0 ? kListing2 : kComplexSpec;
+  for (auto _ : state) {
+    state.PauseTiming();
+    auto spec = ParseSpecSource(source);
+    state.ResumeTiming();
+    auto analyzed = Analyze(std::move(spec).value());
+    benchmark::DoNotOptimize(analyzed);
+  }
+}
+BENCHMARK(BM_Analyze)->Arg(0)->Arg(1);
+
+void BM_CompileAndVerify(benchmark::State& state) {
+  const std::string source = state.range(0) == 0 ? kListing2 : kComplexSpec;
+  auto analyzed = Analyze(std::move(ParseSpecSource(source)).value());
+  for (auto _ : state) {
+    auto compiled = CompileSpec(analyzed.value());
+    benchmark::DoNotOptimize(compiled);
+  }
+}
+BENCHMARK(BM_CompileAndVerify)->Arg(0)->Arg(1);
+
+void BM_FullPipeline(benchmark::State& state) {
+  const std::string source = state.range(0) == 0 ? kListing2 : kComplexSpec;
+  for (auto _ : state) {
+    auto compiled = CompileSource(source);
+    benchmark::DoNotOptimize(compiled);
+  }
+}
+BENCHMARK(BM_FullPipeline)->Arg(0)->Arg(1);
+
+// Data-plane: executing the compiled Listing-2 rule program once.
+void BM_RuleEvaluation(benchmark::State& state) {
+  auto compiled = CompileSource(kListing2);
+  FeatureStore store;
+  store.Save("false_submit_rate", Value(0.01));
+  MonitorHelperEnv env(&store, nullptr);
+  env.SetEnvelope(ActionEnvelope{"bench", Severity::kInfo, 0});
+  Vm vm;
+  for (auto _ : state) {
+    auto result = vm.Execute(compiled.value()[0].rule, env);
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_RuleEvaluation);
+
+// Data-plane with a windowed aggregate over a populated series (the common
+// shape for behavioral properties).
+void BM_AggregateRuleEvaluation(benchmark::State& state) {
+  auto expr = ParseExprSource("MEAN(io_lat, 10s) <= 2000");
+  auto program = CompileExpr(*expr.value(), "agg");
+  FeatureStore store;
+  const int64_t samples = state.range(0);
+  for (int64_t i = 0; i < samples; ++i) {
+    store.Observe("io_lat", Milliseconds(i), 120.0);
+  }
+  MonitorHelperEnv env(&store, nullptr);
+  env.SetEnvelope(ActionEnvelope{"bench", Severity::kInfo, Milliseconds(samples)});
+  Vm vm;
+  for (auto _ : state) {
+    auto result = vm.Execute(program.value(), env);
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetLabel(std::to_string(samples) + " samples in window");
+}
+BENCHMARK(BM_AggregateRuleEvaluation)->Arg(100)->Arg(1000)->Arg(10000);
+
+}  // namespace
+}  // namespace osguard
+
+BENCHMARK_MAIN();

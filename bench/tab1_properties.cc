@@ -1,0 +1,245 @@
+// Figure 1 (left table) reproduction: the property taxonomy P1-P6.
+//
+// For each property class, runs its motivating scenario on the matching
+// substrate with an injected violation, and reports whether the generated
+// guardrail detected it and how quickly. This regenerates the table's rows
+// as measured behavior rather than prose.
+
+#include <cstdio>
+#include <memory>
+
+#include "src/properties/drift.h"
+#include "src/properties/specs.h"
+#include "src/sim/kernel.h"
+#include "src/sim/cache.h"
+#include "src/sim/congestion.h"
+#include "src/sim/readahead.h"
+#include "src/sim/scheduler.h"
+#include "src/support/logging.h"
+#include "src/support/rng.h"
+
+namespace osguard {
+namespace {
+
+struct Row {
+  const char* id;
+  const char* description;
+  uint64_t evaluations = 0;
+  uint64_t violations = 0;
+  double detect_latency_s = -1;  // injection -> first violation report
+  bool detected = false;
+};
+
+void PrintRow(const Row& row) {
+  std::printf("%-4s %-44s %8llu %8llu %10.2f %s\n", row.id, row.description,
+              static_cast<unsigned long long>(row.evaluations),
+              static_cast<unsigned long long>(row.violations),
+              row.detect_latency_s, row.detected ? "DETECTED" : "MISSED");
+}
+
+double FirstViolationTime(Kernel& kernel, const std::string& guardrail) {
+  for (const ReportRecord& record : kernel.engine().reporter().Records()) {
+    if (record.guardrail == guardrail && record.kind == ReportKind::kViolation) {
+      return ToSeconds(record.time);
+    }
+  }
+  return -1;
+}
+
+Row FillRow(Kernel& kernel, const char* id, const char* description,
+            const std::string& name, double injected_at_s) {
+  Row row{id, description};
+  const MonitorStats stats = kernel.engine().StatsFor(name).value();
+  row.evaluations = stats.evaluations;
+  row.violations = stats.violations;
+  const double first = FirstViolationTime(kernel, name);
+  row.detected = first >= 0;
+  row.detect_latency_s = row.detected ? first - injected_at_s : -1;
+  return row;
+}
+
+PropertySpecOptions FastCheck() {
+  PropertySpecOptions options;
+  options.check_interval = Milliseconds(200);
+  options.check_start = Milliseconds(200);
+  options.window = Seconds(2);
+  return options;
+}
+
+// P1: input drift on a model's feature stream.
+Row RunP1() {
+  Kernel kernel;
+  kernel.LoadGuardrails(
+      InDistributionSpec("p1", "model.drift", 0.3, "RETRAIN(model, recent)", FastCheck()));
+  Rng rng(1);
+  std::vector<std::vector<double>> training;
+  for (int i = 0; i < 2000; ++i) {
+    training.push_back({rng.Normal(0, 1)});
+  }
+  MultiDriftDetector detector(1);
+  (void)detector.Fit(training);
+  const double inject_at = 5.0;
+  for (int step = 0; step < 100; ++step) {
+    const SimTime t = Milliseconds(100) * (step + 1);
+    const double mean = ToSeconds(t) < inject_at ? 0.0 : 6.0;  // shift at 5s
+    for (int i = 0; i < 16; ++i) {
+      detector.Observe({rng.Normal(mean, 1)});
+    }
+    detector.Publish(kernel.store(), "model.drift");
+    kernel.Run(t);
+  }
+  return FillRow(kernel, "P1", "in-distribution inputs (feature drift)", "p1", inject_at);
+}
+
+// P2: output robustness — a learned rate controller that overreacts to RTT
+// measurement noise takes over the congestion-control slot mid-run.
+Row RunP2() {
+  Kernel kernel;
+  CongestionConfig config;
+  config.rtt_noise_ms = 2.0;
+  CongestionSim sim(kernel, config);
+  struct Fragile : RatePolicy {
+    std::string name() const override { return "cc_fragile"; }
+    bool is_learned() const override { return true; }
+    double last_rtt = 20.0;
+    double NextRate(const CcSignals& signals) override {
+      const double delta = signals.rtt_ms - last_rtt;
+      last_rtt = signals.rtt_ms;
+      return std::max(1.0, signals.current_rate_mbps - delta * 40.0);
+    }
+  };
+  (void)kernel.registry().Register(std::make_shared<AimdPolicy>());
+  (void)kernel.registry().Register(std::make_shared<Fragile>());
+  (void)kernel.registry().BindSlot("net.cc", "cc_aimd");
+  PropertySpecOptions p2_options = FastCheck();
+  p2_options.check_start = Seconds(3);  // let AIMD finish its ramp-up
+  kernel.LoadGuardrails(
+      RobustnessSpec("p2", "net.rtt_ms", "net.rate_mbps", 4.0, "REPORT()", p2_options));
+  const double inject_at = 5.0;
+  kernel.queue().ScheduleAt(Seconds(5), [&kernel](SimTime) {
+    (void)kernel.registry().BindSlot("net.cc", "cc_fragile");  // deploy the fragile model
+  });
+  sim.PumpFor(Seconds(10));
+  kernel.Run(Seconds(10));
+  return FillRow(kernel, "P2", "robust decisions (congestion control)", "p2", inject_at);
+}
+
+// P3: out-of-bounds outputs from a readahead model.
+Row RunP3() {
+  Kernel kernel;
+  ReadaheadManager manager(kernel, {});
+  struct Breakable : ReadaheadPolicy {
+    bool broken = false;
+    std::string name() const override { return "learned_ra"; }
+    bool is_learned() const override { return true; }
+    int64_t PrefetchChunks(const ReadaheadContext&) override {
+      return broken ? (1 << 26) : 4;
+    }
+  };
+  auto policy = std::make_shared<Breakable>();
+  (void)kernel.registry().Register(policy);
+  (void)kernel.registry().BindSlot("mem.readahead", "learned_ra");
+  kernel.store().Save("ra.zero", Value(0));
+  kernel.LoadGuardrails(OutputBoundsSpec("p3", "ra.last_decision", "ra.zero", "ra.max_legal",
+                                         "REPORT(\"illegal prefetch\", ra.last_decision)",
+                                         FastCheck()));
+  const double inject_at = 5.0;
+  uint64_t chunk = 0;
+  for (int step = 0; step < 100; ++step) {
+    const SimTime t = Milliseconds(100) * (step + 1);
+    policy->broken = ToSeconds(t) >= inject_at;
+    kernel.Run(t);
+    manager.Read(chunk++);
+  }
+  return FillRow(kernel, "P3", "out-of-bounds outputs (readahead)", "p3", inject_at);
+}
+
+// P4: decision quality — a learned eviction policy's hit rate collapses
+// below the shadow-LRU baseline when the workload shifts against it.
+Row RunP4() {
+  Kernel kernel;
+  CacheSim cache(kernel, CacheConfig{.capacity = 128});
+  (void)kernel.registry().Register(std::make_shared<LruEvictionPolicy>());
+  (void)kernel.registry().Register(std::make_shared<MruEvictionPolicy>());
+  (void)kernel.registry().BindSlot("cache.evict", "cache_lru");
+  kernel.LoadGuardrails(DecisionQualitySpec("p4", "cache.hit", "cache.shadow_hit", 0.8,
+                                            "REPLACE(cache_mru, cache_lru)", FastCheck()));
+  const double inject_at = 5.0;
+  kernel.queue().ScheduleAt(Seconds(5), [&kernel](SimTime) {
+    (void)kernel.registry().BindSlot("cache.evict", "cache_mru");  // broken model deploys
+  });
+  Rng rng(4);
+  for (int step = 0; step < 10000; ++step) {
+    kernel.Run(Milliseconds(step + 1));
+    cache.Access(rng.Zipf(4096, 1.0));
+  }
+  return FillRow(kernel, "P4", "decision quality (cache replacement)", "p4", inject_at);
+}
+
+// P5: decision overhead — inference cost stops being paid back.
+Row RunP5() {
+  Kernel kernel;
+  kernel.LoadGuardrails(DecisionOverheadSpec("p5", "blk.infer_us", "blk.latency_us", 0.10,
+                                             "SAVE(blk.ml_enabled, false)", FastCheck()));
+  const double inject_at = 5.0;
+  for (int step = 0; step < 100; ++step) {
+    const SimTime t = Milliseconds(100) * (step + 1);
+    const bool slow_model = ToSeconds(t) >= inject_at;  // model got bigger
+    for (int i = 0; i < 8; ++i) {
+      kernel.store().Observe("blk.infer_us", t, slow_model ? 40.0 : 4.0);
+      kernel.store().Observe("blk.latency_us", t, 120.0);
+    }
+    kernel.Run(t);
+  }
+  return FillRow(kernel, "P5", "decision overhead (inference cost)", "p5", inject_at);
+}
+
+// P6: liveness — a biased learned picker starves a task.
+Row RunP6() {
+  Kernel kernel;
+  Scheduler scheduler(kernel);
+  struct Biased : SchedPickPolicy {
+    std::string name() const override { return "biased"; }
+    bool is_learned() const override { return true; }
+    size_t Pick(const std::vector<const SchedTask*>& runnable, SimTime) override {
+      for (size_t i = 0; i < runnable.size(); ++i) {
+        if (runnable[i]->name == "favored") {
+          return i;
+        }
+      }
+      return 0;
+    }
+  };
+  (void)kernel.registry().Register(std::make_shared<Biased>());
+  (void)kernel.registry().BindSlot("sched.pick_next", "biased");
+  kernel.LoadGuardrails(LivenessSpec("p6", "sched.starved_ms", 100.0,
+                                     "REPLACE(biased, sched_fair)", FastCheck()));
+  (void)kernel.registry().Register(std::make_shared<FairPickPolicy>());
+  const TaskId favored = scheduler.AddTask("favored");
+  const TaskId victim = scheduler.AddTask("victim");
+  (void)scheduler.SubmitBurst(favored, Seconds(30));
+  (void)scheduler.SubmitBurst(victim, Seconds(30));
+  scheduler.PumpFor(Seconds(10));
+  kernel.Run(Seconds(10));
+  // Starvation builds from t=0; "injection" is effectively at the start.
+  return FillRow(kernel, "P6", "fairness/liveness (CPU scheduling)", "p6", 0.0);
+}
+
+int Main() {
+  Logger::Global().set_level(LogLevel::kOff);
+  std::printf("# Figure 1 (left): property taxonomy, measured\n");
+  std::printf("%-4s %-44s %8s %8s %10s %s\n", "id", "property (scenario)", "checks",
+              "violas", "det_lat_s", "verdict");
+  PrintRow(RunP1());
+  PrintRow(RunP2());
+  PrintRow(RunP3());
+  PrintRow(RunP4());
+  PrintRow(RunP5());
+  PrintRow(RunP6());
+  return 0;
+}
+
+}  // namespace
+}  // namespace osguard
+
+int main() { return osguard::Main(); }

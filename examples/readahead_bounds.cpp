@@ -1,0 +1,105 @@
+// Readahead bounds example (property P3 + actions A2/A3).
+//
+//   $ ./build/examples/readahead_bounds
+//
+// A learned readahead policy serves a sequential scan well, then starts
+// emitting out-of-bounds prefetch decisions after its input distribution
+// shifts to random access. A P3 guardrail catches the illegal outputs,
+// swaps in the heuristic window, and queues the model for retraining.
+
+#include <cstdio>
+
+#include "src/properties/specs.h"
+#include "src/sim/kernel.h"
+#include "src/sim/readahead.h"
+#include "src/support/logging.h"
+#include "src/wl/accessgen.h"
+
+using namespace osguard;
+
+namespace {
+
+// Learned policy that extrapolates badly out of distribution: on random
+// access it "predicts" absurd prefetch windows.
+class ExtrapolatingReadahead : public ReadaheadPolicy {
+ public:
+  std::string name() const override { return "learned_readahead"; }
+  bool is_learned() const override { return true; }
+  int64_t PrefetchChunks(const ReadaheadContext& context) override {
+    const double sequentiality = context.features[1];
+    if (sequentiality > 0.6) {
+      return 8;  // in distribution: sane
+    }
+    // Out of distribution: garbage scales with how far out it is.
+    return static_cast<int64_t>(1000000.0 * (1.0 - sequentiality));
+  }
+};
+
+}  // namespace
+
+int main() {
+  Logger::Global().set_level(LogLevel::kOff);
+  Kernel kernel;
+  ReadaheadConfig config;
+  config.cache_capacity_chunks = 1024;
+  ReadaheadManager manager(kernel, config);
+
+  (void)kernel.registry().Register(std::make_shared<ExtrapolatingReadahead>());
+  (void)kernel.registry().Register(std::make_shared<FixedWindowReadahead>(8));
+  (void)kernel.registry().BindSlot("mem.readahead", "learned_readahead");
+  kernel.store().Save("ra.zero", Value(0));
+
+  // P3 guardrail: the raw decision must stay within the legal range; on
+  // violation fall back to the heuristic AND queue retraining.
+  PropertySpecOptions options;
+  options.check_interval = Milliseconds(50);
+  options.check_start = Milliseconds(50);
+  const std::string spec = OutputBoundsSpec(
+      "ra-bounds", "ra.last_decision", "ra.zero", "ra.max_legal",
+      "REPLACE(learned_readahead, heuristic_fixed_window); "
+      "RETRAIN(learned_readahead, ra.recent_accesses); "
+      "REPORT(\"illegal readahead\", ra.last_decision)",
+      options);
+  std::printf("generated guardrail:\n%s\n", spec.c_str());
+  if (Status status = kernel.LoadGuardrails(spec); !status.ok()) {
+    std::fprintf(stderr, "load failed: %s\n", status.ToString().c_str());
+    return 1;
+  }
+
+  // Phase 1: sequential scan (in distribution).
+  AccessPhase sequential;
+  sequential.duration = Seconds(2);
+  sequential.sequential_prob = 0.95;
+  sequential.reads_per_sec = 2000;
+  // Phase 2: random access (out of distribution).
+  AccessPhase random_access = sequential;
+  random_access.sequential_prob = 0.05;
+
+  FileAccessGenerator generator({sequential, random_access}, 7);
+  for (const FileAccess& access : generator.Generate()) {
+    kernel.Run(access.at);
+    manager.Read(access.chunk);
+  }
+  kernel.Run(Seconds(4));
+
+  std::printf("reads: %llu, hit rate: %.2f, illegal decisions clamped by the kernel: %llu\n",
+              static_cast<unsigned long long>(manager.stats().reads),
+              manager.stats().hit_rate(),
+              static_cast<unsigned long long>(manager.stats().illegal_decisions));
+  std::printf("active readahead policy now: %s\n",
+              kernel.registry().Active("mem.readahead").value()->name().c_str());
+  auto retrain = kernel.engine().retrain_queue().Pop();
+  if (retrain.has_value()) {
+    std::printf("retrain queued for model '%s' at t=%s\n", retrain->model.c_str(),
+                FormatDuration(retrain->requested_at).c_str());
+  }
+  std::printf("\nfirst reports:\n");
+  int shown = 0;
+  for (const ReportRecord& record : kernel.engine().reporter().RecordsFor("ra-bounds")) {
+    std::printf("  %s\n", record.ToString().c_str());
+    if (++shown >= 4) {
+      break;
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,131 @@
+#include "src/actions/dispatcher.h"
+
+namespace osguard {
+
+ActionDispatcher::ActionDispatcher(Reporter* reporter, PolicyRegistry* registry,
+                                   RetrainQueue* retrain_queue, TaskControl* task_control)
+    : reporter_(reporter),
+      registry_(registry),
+      retrain_queue_(retrain_queue),
+      task_control_(task_control != nullptr ? task_control : &fallback_task_control_) {}
+
+Result<Value> ActionDispatcher::Dispatch(HelperId id, std::span<const Value> args,
+                                         const ActionEnvelope& envelope) {
+  Result<Value> result = [&]() -> Result<Value> {
+    switch (id) {
+      case HelperId::kReport:
+        return DoReport(args, envelope);
+      case HelperId::kReplace:
+        return DoReplace(args, envelope);
+      case HelperId::kRetrain:
+        return DoRetrain(args, envelope);
+      case HelperId::kDeprioritize:
+        return DoDeprioritize(args, envelope);
+      default:
+        return InternalError("helper is not an action");
+    }
+  }();
+  if (!result.ok()) {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.failures;
+  }
+  return result;
+}
+
+Result<Value> ActionDispatcher::DoReport(std::span<const Value> args,
+                                         const ActionEnvelope& envelope) {
+  ReportRecord record;
+  record.time = envelope.now;
+  record.kind = ReportKind::kActionPayload;
+  record.severity = envelope.severity;
+  record.guardrail = envelope.guardrail;
+  record.payload.assign(args.begin(), args.end());
+  // First string argument doubles as the human-readable message.
+  for (const Value& arg : args) {
+    if (arg.type() == ValueType::kString) {
+      record.message = arg.AsString().value();
+      break;
+    }
+  }
+  reporter_->Report(std::move(record));
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.reports;
+  }
+  return Value();
+}
+
+Result<Value> ActionDispatcher::DoReplace(std::span<const Value> args,
+                                          const ActionEnvelope& envelope) {
+  OSGUARD_ASSIGN_OR_RETURN(std::string old_policy, args[0].AsString());
+  OSGUARD_ASSIGN_OR_RETURN(std::string new_policy, args[1].AsString());
+  OSGUARD_ASSIGN_OR_RETURN(int rebound, registry_->Replace(old_policy, new_policy,
+                                                           envelope.now));
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (rebound > 0) {
+      ++stats_.replaces;
+    } else {
+      ++stats_.replace_noops;
+    }
+  }
+  return Value(static_cast<int64_t>(rebound));
+}
+
+Result<Value> ActionDispatcher::DoRetrain(std::span<const Value> args,
+                                          const ActionEnvelope& envelope) {
+  OSGUARD_ASSIGN_OR_RETURN(std::string model, args[0].AsString());
+  std::string data_key;
+  if (args.size() > 1) {
+    OSGUARD_ASSIGN_OR_RETURN(data_key, args[1].AsString());
+  }
+  const bool accepted = retrain_queue_->Request(model, data_key, envelope.now);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (accepted) {
+      ++stats_.retrains_requested;
+    } else {
+      ++stats_.retrains_suppressed;
+    }
+  }
+  return Value(accepted);
+}
+
+Result<Value> ActionDispatcher::DoDeprioritize(std::span<const Value> args,
+                                               const ActionEnvelope& envelope) {
+  OSGUARD_ASSIGN_OR_RETURN(std::vector<Value> task_values, args[0].AsList());
+  OSGUARD_ASSIGN_OR_RETURN(std::vector<Value> priority_values, args[1].AsList());
+  if (task_values.size() != priority_values.size()) {
+    return InvalidArgumentError(
+        "DEPRIORITIZE: task list and priority list have different lengths (" +
+        std::to_string(task_values.size()) + " vs " + std::to_string(priority_values.size()) +
+        ")");
+  }
+  std::vector<std::string> tasks;
+  std::vector<double> priorities;
+  tasks.reserve(task_values.size());
+  priorities.reserve(priority_values.size());
+  for (const Value& v : task_values) {
+    OSGUARD_ASSIGN_OR_RETURN(std::string task, v.AsString());
+    tasks.push_back(std::move(task));
+  }
+  for (const Value& v : priority_values) {
+    if (!v.is_numeric()) {
+      return InvalidArgumentError("DEPRIORITIZE: priority is not numeric: " + v.ToString());
+    }
+    priorities.push_back(v.NumericOr(0.0));
+  }
+  OSGUARD_RETURN_IF_ERROR(task_control_->Deprioritize(tasks, priorities, envelope.now));
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.deprioritizes;
+  }
+  return Value(static_cast<int64_t>(tasks.size()));
+}
+
+ActionStats ActionDispatcher::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+}  // namespace osguard

@@ -1,0 +1,84 @@
+// Action dispatcher: routes the four corrective-action helpers from monitor
+// programs to their implementations.
+//
+//   A1 REPORT       -> Reporter ring + logger
+//   A2 REPLACE      -> PolicyRegistry::Replace
+//   A3 RETRAIN      -> RetrainQueue::Request (rate-limited, best-effort)
+//   A4 DEPRIORITIZE -> TaskControl::Deprioritize
+//
+// The dispatcher defines the crash-free semantics §4.2 asks for: action
+// helpers validate their arguments at run time and convert every failure
+// into a reported monitor error rather than propagating a fault into the
+// kernel. The only errors returned to the VM are argument-shape violations
+// that the verifier cannot see (e.g. REPLACE of an unregistered policy).
+
+#ifndef SRC_ACTIONS_DISPATCHER_H_
+#define SRC_ACTIONS_DISPATCHER_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+
+#include "src/actions/policy_registry.h"
+#include "src/actions/report.h"
+#include "src/actions/retrain.h"
+#include "src/actions/task_control.h"
+#include "src/dsl/builtins.h"
+#include "src/store/value.h"
+#include "src/support/status.h"
+#include "src/support/time.h"
+
+namespace osguard {
+
+// Who is acting, with what authority — threaded from the engine through the
+// helper context into every action.
+struct ActionEnvelope {
+  std::string guardrail;
+  Severity severity = Severity::kWarning;
+  SimTime now = 0;
+};
+
+struct ActionStats {
+  uint64_t reports = 0;
+  uint64_t replaces = 0;           // calls that rebound >= 1 slot
+  uint64_t replace_noops = 0;      // idempotent re-fires
+  uint64_t retrains_requested = 0; // accepted by the queue
+  uint64_t retrains_suppressed = 0;
+  uint64_t deprioritizes = 0;
+  uint64_t failures = 0;
+};
+
+class ActionDispatcher {
+ public:
+  // All dependencies are borrowed; the owner (Kernel/engine harness) must
+  // outlive the dispatcher. `task_control` may be null (falls back to an
+  // internal recorder).
+  ActionDispatcher(Reporter* reporter, PolicyRegistry* registry, RetrainQueue* retrain_queue,
+                   TaskControl* task_control);
+
+  // Executes action helper `id`. Only called with is_action builtins.
+  Result<Value> Dispatch(HelperId id, std::span<const Value> args,
+                         const ActionEnvelope& envelope);
+
+  ActionStats stats() const;
+  RecordingTaskControl& fallback_task_control() { return fallback_task_control_; }
+
+ private:
+  Result<Value> DoReport(std::span<const Value> args, const ActionEnvelope& envelope);
+  Result<Value> DoReplace(std::span<const Value> args, const ActionEnvelope& envelope);
+  Result<Value> DoRetrain(std::span<const Value> args, const ActionEnvelope& envelope);
+  Result<Value> DoDeprioritize(std::span<const Value> args, const ActionEnvelope& envelope);
+
+  Reporter* reporter_;
+  PolicyRegistry* registry_;
+  RetrainQueue* retrain_queue_;
+  TaskControl* task_control_;
+  RecordingTaskControl fallback_task_control_;
+
+  mutable std::mutex mu_;
+  ActionStats stats_;
+};
+
+}  // namespace osguard
+
+#endif  // SRC_ACTIONS_DISPATCHER_H_

@@ -1,0 +1,75 @@
+// Violation reporting: the REPORT action (A1) and the engine's audit trail.
+//
+// REPORT "logs relevant system context when the property is violated". The
+// Reporter keeps a bounded in-memory ring of structured records (what a
+// kernel deployment would push to a trace buffer) plus per-guardrail
+// counters, and mirrors records to the process logger at a severity-mapped
+// level.
+
+#ifndef SRC_ACTIONS_REPORT_H_
+#define SRC_ACTIONS_REPORT_H_
+
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/dsl/sema.h"
+#include "src/store/value.h"
+#include "src/support/time.h"
+
+namespace osguard {
+
+enum class ReportKind {
+  kViolation,       // rule evaluated false
+  kActionPayload,   // explicit REPORT(...) payload from an action program
+  kSatisfied,       // violated -> satisfied transition
+  kMonitorError,    // rule/action program faulted
+};
+
+std::string_view ReportKindName(ReportKind kind);
+
+struct ReportRecord {
+  uint64_t sequence = 0;
+  SimTime time = 0;
+  ReportKind kind = ReportKind::kViolation;
+  Severity severity = Severity::kWarning;
+  std::string guardrail;
+  std::string message;          // rendered, human-readable
+  std::vector<Value> payload;   // raw REPORT(...) arguments, if any
+
+  std::string ToString() const;
+};
+
+class Reporter {
+ public:
+  explicit Reporter(size_t capacity = 4096) : capacity_(capacity) {}
+  Reporter(const Reporter&) = delete;
+  Reporter& operator=(const Reporter&) = delete;
+
+  void Report(ReportRecord record);
+
+  // Most recent records, oldest first (bounded by construction capacity).
+  std::vector<ReportRecord> Records() const;
+  std::vector<ReportRecord> RecordsFor(const std::string& guardrail) const;
+
+  uint64_t total_reports() const;
+  uint64_t CountFor(const std::string& guardrail) const;
+  uint64_t CountOfKind(ReportKind kind) const;
+
+  void Clear();
+
+ private:
+  mutable std::mutex mu_;
+  size_t capacity_;
+  uint64_t next_sequence_ = 0;
+  std::deque<ReportRecord> records_;
+  std::unordered_map<std::string, uint64_t> per_guardrail_;
+  std::unordered_map<int, uint64_t> per_kind_;
+};
+
+}  // namespace osguard
+
+#endif  // SRC_ACTIONS_REPORT_H_

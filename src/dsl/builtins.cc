@@ -1,0 +1,126 @@
+#include "src/dsl/builtins.h"
+
+#include <unordered_map>
+
+namespace osguard {
+
+std::string_view DslTypeName(DslType type) {
+  switch (type) {
+    case DslType::kNum:
+      return "num";
+    case DslType::kBool:
+      return "bool";
+    case DslType::kStr:
+      return "str";
+    case DslType::kNil:
+      return "nil";
+    case DslType::kList:
+      return "list";
+    case DslType::kAny:
+      return "any";
+  }
+  return "?";
+}
+
+namespace {
+
+std::vector<Builtin> MakeBuiltins() {
+  using A = ArgMode;
+  std::vector<Builtin> b;
+  // Feature store.
+  b.push_back({HelperId::kLoad, "LOAD", 1, 1, DslType::kAny, {A::kKey}, false});
+  b.push_back({HelperId::kLoadOr, "LOAD_OR", 2, 2, DslType::kAny, {A::kKey, A::kValue}, false});
+  b.push_back({HelperId::kSave, "SAVE", 2, 2, DslType::kNil, {A::kKey, A::kValue}, false});
+  b.push_back({HelperId::kIncr, "INCR", 1, 2, DslType::kNum, {A::kKey, A::kValue}, false});
+  b.push_back({HelperId::kExists, "EXISTS", 1, 1, DslType::kBool, {A::kKey}, false});
+  b.push_back({HelperId::kObserve, "OBSERVE", 2, 2, DslType::kNil, {A::kKey, A::kValue}, false});
+  // Aggregates: (key, window).
+  for (auto [id, name] : std::initializer_list<std::pair<HelperId, std::string_view>>{
+           {HelperId::kCount, "COUNT"},
+           {HelperId::kSum, "SUM"},
+           {HelperId::kMean, "MEAN"},
+           {HelperId::kMinAgg, "MIN"},
+           {HelperId::kMaxAgg, "MAX"},
+           {HelperId::kStdDev, "STDDEV"},
+           {HelperId::kRate, "RATE"},
+           {HelperId::kNewest, "NEWEST"},
+           {HelperId::kOldest, "OLDEST"},
+       }) {
+    b.push_back({id, name, 2, 2, DslType::kNum, {A::kKey, A::kValue}, false});
+  }
+  b.push_back({HelperId::kQuantile, "QUANTILE", 3, 3, DslType::kNum,
+               {A::kKey, A::kValue, A::kValue}, false});
+  // Pure math.
+  b.push_back({HelperId::kAbs, "ABS", 1, 1, DslType::kNum, {}, false});
+  b.push_back({HelperId::kSqrt, "SQRT", 1, 1, DslType::kNum, {}, false});
+  b.push_back({HelperId::kLog, "LOG", 1, 1, DslType::kNum, {}, false});
+  b.push_back({HelperId::kExp, "EXP", 1, 1, DslType::kNum, {}, false});
+  b.push_back({HelperId::kFloor, "FLOOR", 1, 1, DslType::kNum, {}, false});
+  b.push_back({HelperId::kCeil, "CEIL", 1, 1, DslType::kNum, {}, false});
+  b.push_back({HelperId::kPow, "POW", 2, 2, DslType::kNum, {}, false});
+  b.push_back({HelperId::kMin2, "MIN2", 2, 2, DslType::kNum, {}, false});
+  b.push_back({HelperId::kMax2, "MAX2", 2, 2, DslType::kNum, {}, false});
+  b.push_back({HelperId::kClamp, "CLAMP", 3, 3, DslType::kNum, {}, false});
+  // Environment.
+  b.push_back({HelperId::kNow, "NOW", 0, 0, DslType::kNum, {}, false});
+  // Actions (Figure 1 right table). REPORT accepts any payload, including
+  // none (report just the violation context).
+  b.push_back({HelperId::kReport, "REPORT", 0, -1, DslType::kNil, {A::kValue}, true});
+  b.push_back({HelperId::kReplace, "REPLACE", 2, 2, DslType::kNil, {A::kKey, A::kKey}, true});
+  b.push_back({HelperId::kRetrain, "RETRAIN", 1, 2, DslType::kNil, {A::kKey, A::kKey}, true});
+  b.push_back({HelperId::kDeprioritize, "DEPRIORITIZE", 2, 2, DslType::kNil,
+               {A::kNameList, A::kValueList}, true});
+  return b;
+}
+
+}  // namespace
+
+const std::vector<Builtin>& AllBuiltins() {
+  static const auto* builtins = new std::vector<Builtin>(MakeBuiltins());
+  return *builtins;
+}
+
+const Builtin* FindBuiltin(std::string_view name) {
+  static const auto* by_name = [] {
+    auto* m = new std::unordered_map<std::string_view, const Builtin*>();
+    for (const Builtin& b : AllBuiltins()) {
+      (*m)[b.name] = &b;
+    }
+    return m;
+  }();
+  auto it = by_name->find(name);
+  return it == by_name->end() ? nullptr : it->second;
+}
+
+const Builtin* FindBuiltinById(HelperId id) {
+  static const auto* by_id = [] {
+    auto* m = new std::unordered_map<uint16_t, const Builtin*>();
+    for (const Builtin& b : AllBuiltins()) {
+      (*m)[static_cast<uint16_t>(b.id)] = &b;
+    }
+    return m;
+  }();
+  auto it = by_id->find(static_cast<uint16_t>(id));
+  return it == by_id->end() ? nullptr : it->second;
+}
+
+double QuantileSugar(std::string_view name) {
+  if (name == "P50") {
+    return 0.50;
+  }
+  if (name == "P90") {
+    return 0.90;
+  }
+  if (name == "P95") {
+    return 0.95;
+  }
+  if (name == "P99") {
+    return 0.99;
+  }
+  if (name == "P999") {
+    return 0.999;
+  }
+  return -1.0;
+}
+
+}  // namespace osguard

@@ -1,0 +1,353 @@
+#include "src/dsl/lexer.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdlib>
+#include <unordered_map>
+
+#include "src/support/time.h"
+
+namespace osguard {
+namespace {
+
+const std::unordered_map<std::string, TokenKind>& Keywords() {
+  static const auto* keywords = new std::unordered_map<std::string, TokenKind>{
+      {"guardrail", TokenKind::kGuardrail},
+      {"trigger", TokenKind::kTrigger},
+      {"rule", TokenKind::kRule},
+      {"action", TokenKind::kAction},
+      {"on_satisfy", TokenKind::kOnSatisfy},
+      {"meta", TokenKind::kMeta},
+      {"true", TokenKind::kTrue},
+      {"false", TokenKind::kFalse},
+  };
+  return *keywords;
+}
+
+bool IsIdentStart(char c) { return std::isalpha(static_cast<unsigned char>(c)) || c == '_'; }
+bool IsIdentCont(char c) { return std::isalnum(static_cast<unsigned char>(c)) || c == '_'; }
+
+}  // namespace
+
+Lexer::Lexer(std::string source) : source_(std::move(source)) {}
+
+char Lexer::Peek(int ahead) const {
+  const size_t i = pos_ + static_cast<size_t>(ahead);
+  return i < source_.size() ? source_[i] : '\0';
+}
+
+char Lexer::Advance() {
+  const char c = source_[pos_++];
+  if (c == '\n') {
+    ++line_;
+    column_ = 1;
+  } else {
+    ++column_;
+  }
+  return c;
+}
+
+Status Lexer::ErrorHere(const std::string& message) const {
+  return ParseError(message + " at line " + std::to_string(line_) + ", column " +
+                    std::to_string(column_));
+}
+
+Status Lexer::SkipWhitespaceAndComments() {
+  while (!AtEnd()) {
+    const char c = Peek();
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      Advance();
+    } else if (c == '/' && Peek(1) == '/') {
+      while (!AtEnd() && Peek() != '\n') {
+        Advance();
+      }
+    } else if (c == '/' && Peek(1) == '*') {
+      Advance();
+      Advance();
+      bool closed = false;
+      while (!AtEnd()) {
+        if (Peek() == '*' && Peek(1) == '/') {
+          Advance();
+          Advance();
+          closed = true;
+          break;
+        }
+        Advance();
+      }
+      if (!closed) {
+        return ErrorHere("unterminated block comment");
+      }
+    } else {
+      break;
+    }
+  }
+  return OkStatus();
+}
+
+Token Lexer::Make(TokenKind kind, std::string text) {
+  Token token;
+  token.kind = kind;
+  token.text = std::move(text);
+  token.line = token_line_;
+  token.column = token_column_;
+  return token;
+}
+
+Result<Token> Lexer::LexNumber() {
+  std::string digits;
+  bool is_float = false;
+  while (std::isdigit(static_cast<unsigned char>(Peek()))) {
+    digits += Advance();
+  }
+  if (Peek() == '.' && std::isdigit(static_cast<unsigned char>(Peek(1)))) {
+    is_float = true;
+    digits += Advance();
+    while (std::isdigit(static_cast<unsigned char>(Peek()))) {
+      digits += Advance();
+    }
+  }
+  if (Peek() == 'e' || Peek() == 'E') {
+    const char next = Peek(1);
+    const char next2 = Peek(2);
+    if (std::isdigit(static_cast<unsigned char>(next)) ||
+        ((next == '+' || next == '-') && std::isdigit(static_cast<unsigned char>(next2)))) {
+      is_float = true;
+      digits += Advance();  // e
+      if (Peek() == '+' || Peek() == '-') {
+        digits += Advance();
+      }
+      while (std::isdigit(static_cast<unsigned char>(Peek()))) {
+        digits += Advance();
+      }
+    }
+  }
+
+  // Duration suffix: ns / us / ms / s / m (minutes). Checked longest-first.
+  Duration unit = 0;
+  std::string suffix;
+  auto take_suffix = [&](const char* s, Duration u) {
+    const size_t len = std::string_view(s).size();
+    for (size_t i = 0; i < len; ++i) {
+      if (Peek(static_cast<int>(i)) != s[i]) {
+        return false;
+      }
+    }
+    // Suffix must not be followed by more identifier characters (e.g. `5str`).
+    if (IsIdentCont(Peek(static_cast<int>(len)))) {
+      return false;
+    }
+    for (size_t i = 0; i < len; ++i) {
+      Advance();
+    }
+    suffix = s;
+    unit = u;
+    return true;
+  };
+  const bool has_unit = take_suffix("ns", kNanosecond) || take_suffix("us", kMicrosecond) ||
+                        take_suffix("ms", kMillisecond) || take_suffix("s", kSecond) ||
+                        take_suffix("m", kMinute);
+
+  if (has_unit) {
+    const double scaled = std::strtod(digits.c_str(), nullptr) * static_cast<double>(unit);
+    if (!std::isfinite(scaled) || std::abs(scaled) > 9.2e18) {
+      return ErrorHere("duration literal overflows");
+    }
+    Token token = Make(TokenKind::kDurationLiteral, digits + suffix);
+    token.int_value = static_cast<int64_t>(scaled);
+    return token;
+  }
+  if (is_float) {
+    Token token = Make(TokenKind::kFloatLiteral, digits);
+    token.float_value = std::strtod(digits.c_str(), nullptr);
+    return token;
+  }
+  errno = 0;
+  const long long parsed = std::strtoll(digits.c_str(), nullptr, 10);
+  if (errno == ERANGE) {
+    return ErrorHere("integer literal overflows");
+  }
+  Token token = Make(TokenKind::kIntLiteral, digits);
+  token.int_value = parsed;
+  return token;
+}
+
+Result<Token> Lexer::LexIdentOrKeyword() {
+  // Identifiers may contain interior dots for namespaced feature-store keys
+  // ("blk.ml_enabled"); a dot is consumed only when an identifier character
+  // follows, so a trailing dot is never swallowed.
+  std::string text;
+  while (true) {
+    if (IsIdentCont(Peek())) {
+      text += Advance();
+    } else if (Peek() == '.' && IsIdentStart(Peek(1))) {
+      text += Advance();
+      text += Advance();
+    } else {
+      break;
+    }
+  }
+  auto it = Keywords().find(text);
+  if (it != Keywords().end()) {
+    return Make(it->second, std::move(text));
+  }
+  return Make(TokenKind::kIdent, std::move(text));
+}
+
+Result<Token> Lexer::LexString() {
+  Advance();  // opening quote
+  std::string text;
+  while (!AtEnd() && Peek() != '"') {
+    char c = Advance();
+    if (c == '\\') {
+      if (AtEnd()) {
+        break;
+      }
+      const char esc = Advance();
+      switch (esc) {
+        case 'n':
+          text += '\n';
+          break;
+        case 't':
+          text += '\t';
+          break;
+        case '\\':
+          text += '\\';
+          break;
+        case '"':
+          text += '"';
+          break;
+        default:
+          return ErrorHere(std::string("unknown escape '\\") + esc + "'");
+      }
+    } else {
+      text += c;
+    }
+  }
+  if (AtEnd()) {
+    return ErrorHere("unterminated string literal");
+  }
+  Advance();  // closing quote
+  return Make(TokenKind::kStringLiteral, std::move(text));
+}
+
+Result<std::vector<Token>> Lexer::Tokenize() {
+  std::vector<Token> tokens;
+  while (true) {
+    OSGUARD_RETURN_IF_ERROR(SkipWhitespaceAndComments());
+    token_line_ = line_;
+    token_column_ = column_;
+    if (AtEnd()) {
+      tokens.push_back(Make(TokenKind::kEof, ""));
+      return tokens;
+    }
+    const char c = Peek();
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      OSGUARD_ASSIGN_OR_RETURN(Token token, LexNumber());
+      tokens.push_back(std::move(token));
+      continue;
+    }
+    if (IsIdentStart(c)) {
+      OSGUARD_ASSIGN_OR_RETURN(Token token, LexIdentOrKeyword());
+      tokens.push_back(std::move(token));
+      continue;
+    }
+    if (c == '"') {
+      OSGUARD_ASSIGN_OR_RETURN(Token token, LexString());
+      tokens.push_back(std::move(token));
+      continue;
+    }
+    Advance();
+    TokenKind kind;
+    switch (c) {
+      case '{':
+        kind = TokenKind::kLBrace;
+        break;
+      case '}':
+        kind = TokenKind::kRBrace;
+        break;
+      case '(':
+        kind = TokenKind::kLParen;
+        break;
+      case ')':
+        kind = TokenKind::kRParen;
+        break;
+      case ',':
+        kind = TokenKind::kComma;
+        break;
+      case ':':
+        kind = TokenKind::kColon;
+        break;
+      case ';':
+        kind = TokenKind::kSemicolon;
+        break;
+      case '+':
+        kind = TokenKind::kPlus;
+        break;
+      case '-':
+        kind = TokenKind::kMinus;
+        break;
+      case '*':
+        kind = TokenKind::kStar;
+        break;
+      case '/':
+        kind = TokenKind::kSlash;
+        break;
+      case '%':
+        kind = TokenKind::kPercent;
+        break;
+      case '<':
+        if (Peek() == '=') {
+          Advance();
+          kind = TokenKind::kLe;
+        } else {
+          kind = TokenKind::kLt;
+        }
+        break;
+      case '>':
+        if (Peek() == '=') {
+          Advance();
+          kind = TokenKind::kGe;
+        } else {
+          kind = TokenKind::kGt;
+        }
+        break;
+      case '=':
+        if (Peek() == '=') {
+          Advance();
+          kind = TokenKind::kEq;
+        } else {
+          kind = TokenKind::kAssign;
+        }
+        break;
+      case '!':
+        if (Peek() == '=') {
+          Advance();
+          kind = TokenKind::kNe;
+        } else {
+          kind = TokenKind::kBang;
+        }
+        break;
+      case '&':
+        if (Peek() == '&') {
+          Advance();
+          kind = TokenKind::kAndAnd;
+        } else {
+          return ErrorHere("stray '&' (did you mean '&&'?)");
+        }
+        break;
+      case '|':
+        if (Peek() == '|') {
+          Advance();
+          kind = TokenKind::kOrOr;
+        } else {
+          return ErrorHere("stray '|' (did you mean '||'?)");
+        }
+        break;
+      default:
+        return ErrorHere(std::string("unexpected character '") + c + "'");
+    }
+    tokens.push_back(Make(kind, std::string(1, c)));
+  }
+}
+
+}  // namespace osguard

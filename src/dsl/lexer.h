@@ -1,0 +1,46 @@
+// Hand-written lexer for the guardrail DSL.
+//
+// Supports line comments (`// ...`), nested-free block comments (`/* ... */`),
+// duration literals with ns/us/ms/s/m suffixes, decimal and scientific
+// numeric literals, and double-quoted strings with \" \\ \n escapes.
+
+#ifndef SRC_DSL_LEXER_H_
+#define SRC_DSL_LEXER_H_
+
+#include <string>
+#include <vector>
+
+#include "src/dsl/token.h"
+#include "src/support/status.h"
+
+namespace osguard {
+
+class Lexer {
+ public:
+  explicit Lexer(std::string source);
+
+  // Tokenizes the whole input. The token stream always ends with kEof.
+  Result<std::vector<Token>> Tokenize();
+
+ private:
+  char Peek(int ahead = 0) const;
+  char Advance();
+  bool AtEnd() const { return pos_ >= source_.size(); }
+  Status SkipWhitespaceAndComments();
+  Result<Token> LexNumber();
+  Result<Token> LexIdentOrKeyword();
+  Result<Token> LexString();
+  Token Make(TokenKind kind, std::string text);
+  Status ErrorHere(const std::string& message) const;
+
+  std::string source_;
+  size_t pos_ = 0;
+  int line_ = 1;
+  int column_ = 1;
+  int token_line_ = 1;
+  int token_column_ = 1;
+};
+
+}  // namespace osguard
+
+#endif  // SRC_DSL_LEXER_H_

@@ -1,0 +1,73 @@
+// Semantic analysis for guardrail specs.
+//
+// Validates a parsed SpecFile and produces an AnalyzedSpec ready for
+// compilation:
+//  * TIMER arguments must constant-fold to sane values (interval > 0, ...).
+//  * Rule expressions must be side-effect free (no actions, no SAVE/INCR)
+//    and evaluate to a truth value.
+//  * Action statements must be calls to action builtins or store mutations
+//    (SAVE — as in Listing 2 — INCR, OBSERVE, and REPORT).
+//  * Builtin arity and argument modes are enforced: key positions take bare
+//    identifiers or string literals, DEPRIORITIZE takes brace lists.
+//  * meta attributes are restricted to a known vocabulary (severity,
+//    cooldown, hysteresis, enabled, description) to catch typos early.
+
+#ifndef SRC_DSL_SEMA_H_
+#define SRC_DSL_SEMA_H_
+
+#include <string>
+#include <vector>
+
+#include "src/dsl/ast.h"
+#include "src/dsl/builtins.h"
+#include "src/support/status.h"
+#include "src/support/time.h"
+
+namespace osguard {
+
+enum class Severity {
+  kInfo = 0,
+  kWarning = 1,
+  kCritical = 2,
+};
+
+std::string_view SeverityName(Severity severity);
+
+// Validated per-guardrail attributes from the meta block (with defaults).
+struct GuardrailMeta {
+  Severity severity = Severity::kWarning;
+  // Minimum time between consecutive action firings; 0 = fire every
+  // violation. This is the damping knob for the feedback-loop problem the
+  // paper raises in §6.
+  Duration cooldown = 0;
+  // Number of consecutive violated evaluations required before actions run
+  // (1 = act immediately).
+  int hysteresis = 1;
+  bool enabled = true;
+  std::string description;
+};
+
+struct AnalyzedGuardrail {
+  GuardrailDecl decl;       // triggers constant-folded
+  GuardrailMeta meta;
+};
+
+struct AnalyzedSpec {
+  std::vector<AnalyzedGuardrail> guardrails;
+};
+
+// Consumes the spec (triggers are folded in place).
+Result<AnalyzedSpec> Analyze(SpecFile spec);
+
+// Constant-folds an expression composed of literals, unary minus/not, and
+// arithmetic; anything else (idents, calls) is an error. Exposed for tests
+// and for the compiler's own folding.
+Result<Value> EvalConst(const Expr& expr);
+
+// Infers the coarse type of an expression, assuming it has already passed
+// CheckExpr. LOAD and friends are kAny.
+DslType InferType(const Expr& expr);
+
+}  // namespace osguard
+
+#endif  // SRC_DSL_SEMA_H_

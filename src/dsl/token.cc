@@ -1,0 +1,93 @@
+#include "src/dsl/token.h"
+
+namespace osguard {
+
+std::string_view TokenKindName(TokenKind kind) {
+  switch (kind) {
+    case TokenKind::kEof:
+      return "<eof>";
+    case TokenKind::kIdent:
+      return "identifier";
+    case TokenKind::kIntLiteral:
+      return "integer";
+    case TokenKind::kFloatLiteral:
+      return "float";
+    case TokenKind::kDurationLiteral:
+      return "duration";
+    case TokenKind::kStringLiteral:
+      return "string";
+    case TokenKind::kTrue:
+      return "'true'";
+    case TokenKind::kFalse:
+      return "'false'";
+    case TokenKind::kGuardrail:
+      return "'guardrail'";
+    case TokenKind::kTrigger:
+      return "'trigger'";
+    case TokenKind::kRule:
+      return "'rule'";
+    case TokenKind::kAction:
+      return "'action'";
+    case TokenKind::kOnSatisfy:
+      return "'on_satisfy'";
+    case TokenKind::kMeta:
+      return "'meta'";
+    case TokenKind::kLBrace:
+      return "'{'";
+    case TokenKind::kRBrace:
+      return "'}'";
+    case TokenKind::kLParen:
+      return "'('";
+    case TokenKind::kRParen:
+      return "')'";
+    case TokenKind::kComma:
+      return "','";
+    case TokenKind::kColon:
+      return "':'";
+    case TokenKind::kSemicolon:
+      return "';'";
+    case TokenKind::kAssign:
+      return "'='";
+    case TokenKind::kPlus:
+      return "'+'";
+    case TokenKind::kMinus:
+      return "'-'";
+    case TokenKind::kStar:
+      return "'*'";
+    case TokenKind::kSlash:
+      return "'/'";
+    case TokenKind::kPercent:
+      return "'%'";
+    case TokenKind::kLt:
+      return "'<'";
+    case TokenKind::kLe:
+      return "'<='";
+    case TokenKind::kGt:
+      return "'>'";
+    case TokenKind::kGe:
+      return "'>='";
+    case TokenKind::kEq:
+      return "'=='";
+    case TokenKind::kNe:
+      return "'!='";
+    case TokenKind::kAndAnd:
+      return "'&&'";
+    case TokenKind::kOrOr:
+      return "'||'";
+    case TokenKind::kBang:
+      return "'!'";
+  }
+  return "?";
+}
+
+std::string Token::Describe() const {
+  std::string out(TokenKindName(kind));
+  if (kind == TokenKind::kIdent || kind == TokenKind::kIntLiteral ||
+      kind == TokenKind::kFloatLiteral || kind == TokenKind::kDurationLiteral ||
+      kind == TokenKind::kStringLiteral) {
+    out += " '" + text + "'";
+  }
+  return out;
+}
+
+}  // namespace osguard

@@ -1,0 +1,69 @@
+// Token vocabulary for the guardrail specification language (paper Listing 1).
+
+#ifndef SRC_DSL_TOKEN_H_
+#define SRC_DSL_TOKEN_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace osguard {
+
+enum class TokenKind {
+  kEof = 0,
+  kIdent,        // guardrail names, feature-store keys, function names
+  kIntLiteral,   // 42, 1000000
+  kFloatLiteral, // 0.05, 1e9, 2.5
+  kDurationLiteral,  // 1s, 250ms, 100us, 10ns -> nanoseconds (int)
+  kStringLiteral,    // "text"
+  kTrue,
+  kFalse,
+  // Keywords of the spec structure.
+  kGuardrail,
+  kTrigger,
+  kRule,
+  kAction,
+  kOnSatisfy,  // extension: actions to run when the rule *holds* again
+  kMeta,       // extension: severity / cooldown metadata
+  // Punctuation.
+  kLBrace,     // {
+  kRBrace,     // }
+  kLParen,     // (
+  kRParen,     // )
+  kComma,      // ,
+  kColon,      // :
+  kSemicolon,  // ;
+  kAssign,     // =
+  // Operators.
+  kPlus,
+  kMinus,
+  kStar,
+  kSlash,
+  kPercent,
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+  kEq,   // ==
+  kNe,   // !=
+  kAndAnd,
+  kOrOr,
+  kBang,
+};
+
+std::string_view TokenKindName(TokenKind kind);
+
+struct Token {
+  TokenKind kind = TokenKind::kEof;
+  std::string text;        // raw spelling (identifier / literal text)
+  int64_t int_value = 0;   // kIntLiteral and kDurationLiteral (nanoseconds)
+  double float_value = 0;  // kFloatLiteral
+  int line = 1;
+  int column = 1;
+
+  std::string Describe() const;
+};
+
+}  // namespace osguard
+
+#endif  // SRC_DSL_TOKEN_H_

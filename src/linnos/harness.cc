@@ -1,0 +1,214 @@
+#include "src/linnos/harness.h"
+
+#include <algorithm>
+
+#include "src/sim/kernel.h"
+#include "src/wl/iogen.h"
+
+namespace osguard {
+
+// Listing 2 of the paper, with this kernel's key names: check every second
+// that the false-submit rate stays at or below 5%; otherwise disable the
+// model (fall back to default reactive behavior) and log the rate.
+const char kListing2Guardrail[] = R"(
+guardrail low-false-submit {
+  trigger: {
+    TIMER(1s, 1s)   // periodically check every 1s
+  },
+  rule: {
+    LOAD_OR(false_submit_rate, 0) <= 0.05
+  },
+  action: {
+    SAVE(blk.ml_enabled, false);
+    REPORT("false submit guardrail tripped", false_submit_rate);
+  }
+}
+)";
+
+const char kRetrainGuardrail[] = R"(
+guardrail retrain-on-false-submit {
+  trigger: { TIMER(1s, 1s) },
+  rule: { LOAD_OR(false_submit_rate, 0) <= 0.05 },
+  action: {
+    RETRAIN(linnos_model, recent_io_window);
+    REPORT("retrain requested", false_submit_rate);
+  },
+  meta: { cooldown = 3s }  // give a retrain time to land before re-firing
+}
+)";
+
+Result<LinnosRunResult> RunLinnosConfiguration(const Figure2Options& options,
+                                               std::shared_ptr<LinnosModel> model,
+                                               const std::string& guardrail_source) {
+  EngineOptions engine_options;
+  if (options.enable_retrain_loop) {
+    // The in-run trainer services requests quickly; keep the queue's abuse
+    // throttle but at a turnaround matched to the drain interval.
+    engine_options.retrain.min_interval = Seconds(2);
+  }
+  Kernel kernel(engine_options);
+  SsdConfig primary_config = options.device;
+  SsdConfig replica_config = options.device;
+  replica_config.seed = options.device.seed + 1;
+  SsdDevice primary("primary", primary_config);
+  SsdDevice replica("replica", replica_config);
+  BlockLayer blk(kernel, &primary, &replica, options.blk);
+
+  if (model != nullptr) {
+    auto policy = std::make_shared<LinnosSubmitPolicy>(model);
+    OSGUARD_RETURN_IF_ERROR(kernel.registry().Register(policy));
+    OSGUARD_RETURN_IF_ERROR(
+        kernel.registry().BindSlot(options.blk.policy_slot, policy->name()));
+  }
+
+  LinnosRunResult result;
+  if (!guardrail_source.empty()) {
+    OSGUARD_RETURN_IF_ERROR(kernel.LoadGuardrails(guardrail_source));
+    result.guardrail_loaded = true;
+  }
+
+  // Constant workload; the drift is device-side. Same trace for every
+  // configuration (seeds fixed by options).
+  IoPhase phase;
+  phase.duration = options.before_drift + options.after_drift;
+  phase.arrivals_per_sec = options.arrivals_per_sec;
+  phase.write_fraction = 0.05;
+  phase.zipf_skew = 0.6;
+  IoTraceGenerator generator({phase}, options.trace_seed);
+  const std::vector<IoRequest> trace = generator.Generate();
+
+  // Device aging kicks in at the drift point.
+  kernel.queue().ScheduleAt(options.before_drift, [&primary, &options](SimTime) {
+    primary.ScaleGcPressure(options.drift_gc_factor);
+  });
+
+  // Bucketed latency series.
+  const Duration total = options.before_drift + options.after_drift;
+  const size_t buckets = static_cast<size_t>((total + options.bucket - 1) / options.bucket);
+  std::vector<double> bucket_sum(buckets, 0.0);
+  std::vector<uint64_t> bucket_count(buckets, 0);
+  double before_sum = 0.0;
+  uint64_t before_count = 0;
+  double after_sum = 0.0;
+  uint64_t after_count = 0;
+
+  // A3 support: recent labeled observations from the live predicted-fast
+  // path (redirected I/Os never reveal the primary's latency, so they carry
+  // no label), plus a periodic queue drain standing in for the offline
+  // trainer.
+  Dataset recent_window;
+  size_t recent_next = 0;  // ring cursor once at capacity
+  LinnosRunResult result_counters;
+  SimTime next_retrain_check = options.retrain_check_interval;
+
+  for (const IoRequest& request : trace) {
+    kernel.Run(request.at);  // pumps guardrail TIMER monitors up to `at`
+    if (options.enable_retrain_loop && request.at >= next_retrain_check) {
+      next_retrain_check = request.at + options.retrain_check_interval;
+      while (auto retrain = kernel.engine().retrain_queue().Pop()) {
+        if (retrain->model == "linnos_model" && model != nullptr &&
+            recent_window.size() >= 500) {
+          if (model->Train(recent_window).ok()) {
+            ++result_counters.retrains_serviced;
+          }
+        }
+      }
+    }
+    const IoContext context = options.enable_retrain_loop
+                                  ? blk.MakeContext(request.lba, request.is_write)
+                                  : IoContext{};
+    const IoOutcome outcome = blk.SubmitIo(request.lba, request.is_write);
+    if (options.enable_retrain_loop && outcome.used_model && !outcome.redirected) {
+      const double label = outcome.actually_slow ? 1.0 : 0.0;
+      if (recent_window.size() < options.retrain_window_capacity) {
+        recent_window.Add(context.features, label);
+      } else {
+        recent_window.features[recent_next] = context.features;
+        recent_window.labels[recent_next] = label;
+        recent_next = (recent_next + 1) % options.retrain_window_capacity;
+      }
+    }
+    const double latency_us = ToMicros(outcome.latency);
+    const size_t bucket_index =
+        std::min(buckets - 1, static_cast<size_t>(request.at / options.bucket));
+    bucket_sum[bucket_index] += latency_us;
+    bucket_count[bucket_index] += 1;
+    if (request.at < options.before_drift) {
+      before_sum += latency_us;
+      ++before_count;
+    } else {
+      after_sum += latency_us;
+      ++after_count;
+    }
+  }
+  kernel.Run(total);
+
+  for (size_t i = 0; i < buckets; ++i) {
+    LatencyPoint point;
+    point.time_s = ToSeconds(static_cast<Duration>(i) * options.bucket) +
+                   ToSeconds(options.bucket) / 2.0;
+    point.ios = bucket_count[i];
+    point.mean_latency_us = bucket_count[i] == 0
+                                ? 0.0
+                                : bucket_sum[i] / static_cast<double>(bucket_count[i]);
+    result.series.push_back(point);
+  }
+  result.blk = blk.stats();
+  result.retrains_serviced = result_counters.retrains_serviced;
+  result.mean_latency_us_before =
+      before_count == 0 ? 0.0 : before_sum / static_cast<double>(before_count);
+  result.mean_latency_us_after =
+      after_count == 0 ? 0.0 : after_sum / static_cast<double>(after_count);
+  result.ml_enabled_at_end =
+      kernel.store().LoadOr("blk.ml_enabled", Value(true)).AsBool().value_or(true);
+
+  if (result.guardrail_loaded) {
+    for (const ReportRecord& record : kernel.engine().reporter().Records()) {
+      if (record.kind == ReportKind::kViolation) {
+        result.guardrail_fired = true;
+        result.trigger_time_s = ToSeconds(record.time);
+        break;
+      }
+    }
+  }
+  return result;
+}
+
+Result<Figure2Result> RunFigure2Experiment(const Figure2Options& options) {
+  // Offline training on a clean baseline-phase trace (different seed from
+  // the evaluation trace, as LinnOS trains on history).
+  TrainingRunOptions training;
+  training.device = options.device;
+  training.blk = options.blk;
+  training.trace_seed = options.trace_seed + 1000;
+  training.duration = std::max<Duration>(options.before_drift, Seconds(10));
+  training.arrivals_per_sec = options.arrivals_per_sec;
+  const IoPhase baseline_phase =
+      MakeDriftPhases(options.before_drift, options.after_drift,
+                      options.arrivals_per_sec)[0];
+  OSGUARD_ASSIGN_OR_RETURN(std::shared_ptr<LinnosModel> model,
+                           TrainLinnosModel(baseline_phase, training, options.model));
+
+  Figure2Result result;
+  result.drift_time_s = ToSeconds(options.before_drift);
+
+  // Classifier quality on held-out pre-drift traffic.
+  TrainingRunOptions holdout = training;
+  holdout.trace_seed = options.trace_seed + 2000;
+  OSGUARD_ASSIGN_OR_RETURN(Dataset holdout_data,
+                           CollectTrainingData(baseline_phase, holdout));
+  result.model_quality_before = model->Evaluate(holdout_data);
+
+  const std::string guardrail_source =
+      options.guardrail_source.empty() ? kListing2Guardrail : options.guardrail_source;
+
+  OSGUARD_ASSIGN_OR_RETURN(result.without_guardrail,
+                           RunLinnosConfiguration(options, model, ""));
+  OSGUARD_ASSIGN_OR_RETURN(result.with_guardrail,
+                           RunLinnosConfiguration(options, model, guardrail_source));
+  OSGUARD_ASSIGN_OR_RETURN(result.baseline,
+                           RunLinnosConfiguration(options, nullptr, ""));
+  return result;
+}
+
+}  // namespace osguard

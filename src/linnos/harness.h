@@ -1,0 +1,113 @@
+// The Figure-2 experiment harness.
+//
+// Reproduces §5 of the paper: LinnOS drives predictive failover. Mid-run the
+// primary device's garbage-collection pressure spikes (aging /
+// fragmentation — a device-side distribution shift the host features cannot
+// see), so the model keeps vouching "fast" for I/Os that hit multi-ms GC
+// pauses: false submits spike. The Listing-2 guardrail — TIMER every
+// second, rule `LOAD(false_submit_rate) <= 0.05`, action
+// `SAVE(blk.ml_enabled, false)` — trips and falls back to reactive
+// revocation, which caps every slow I/O at timeout + reissue cost. The
+// harness runs the same trace with and without the guardrail (plus the
+// reactive baseline) and reports the bucketed moving average of I/O latency,
+// and the trigger time.
+//
+// Why this matches the paper's figure: after the guardrail fires, the
+// with-guardrail curve returns toward the pre-drift level (slow I/Os are
+// revoked at a bounded cost), while the without-guardrail curve stays
+// elevated for the rest of the run.
+
+#ifndef SRC_LINNOS_HARNESS_H_
+#define SRC_LINNOS_HARNESS_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/linnos/policy.h"
+#include "src/sim/blk_layer.h"
+#include "src/sim/ssd_device.h"
+#include "src/support/status.h"
+#include "src/support/time.h"
+
+namespace osguard {
+
+// The Listing-2 guardrail, verbatim modulo key names of this kernel.
+extern const char kListing2Guardrail[];
+
+// Alternative corrective action for the same property: RETRAIN the model on
+// the recent window instead of disabling it (A3 instead of A2's fallback).
+// Used by the action-comparison ablation.
+extern const char kRetrainGuardrail[];
+
+struct Figure2Options {
+  Figure2Options() {
+    // Pre-drift GC is rare and mostly shadowed by queue-depth features (so
+    // the classifier is useful); the drift multiplies it.
+    device.gc_per_write = 0.02;
+    device.gc_per_read = 0.001;
+    device.gc_pause_mean = Milliseconds(4);
+  }
+
+  Duration before_drift = Seconds(20);
+  Duration after_drift = Seconds(20);
+  double arrivals_per_sec = 2000.0;
+  // Device-side drift: the primary's GC probabilities are multiplied by
+  // this factor at t = before_drift.
+  double drift_gc_factor = 25.0;
+  SsdConfig device;                      // replica seed = seed + 1
+  BlockLayerConfig blk;
+  LinnosModelConfig model;
+  Duration bucket = Milliseconds(500);   // moving-average bucket width
+  uint64_t trace_seed = 7;
+  std::string guardrail_source;          // empty -> kListing2Guardrail
+
+  // When true, the run services RETRAIN requests: it keeps a bounded window
+  // of recent (features, slow) observations from the live predicted-fast
+  // path and retrains the shared model in place when the guardrail fires
+  // A3. (The paper envisions offline async retraining; a drain interval
+  // stands in for the offline trainer's turnaround.)
+  bool enable_retrain_loop = false;
+  Duration retrain_check_interval = Milliseconds(200);
+  size_t retrain_window_capacity = 20000;
+};
+
+struct LatencyPoint {
+  double time_s = 0.0;
+  double mean_latency_us = 0.0;
+  uint64_t ios = 0;
+};
+
+struct LinnosRunResult {
+  std::vector<LatencyPoint> series;
+  BlockLayerStats blk;
+  bool guardrail_loaded = false;
+  bool guardrail_fired = false;
+  double trigger_time_s = -1.0;   // first violation-action time
+  bool ml_enabled_at_end = true;
+  double mean_latency_us_before = 0.0;  // pre-drift mean
+  double mean_latency_us_after = 0.0;   // post-drift mean
+  uint64_t retrains_serviced = 0;       // A3 loop: models retrained in-run
+};
+
+struct Figure2Result {
+  LinnosRunResult without_guardrail;
+  LinnosRunResult with_guardrail;
+  LinnosRunResult baseline;        // reactive default, no model at all
+  double drift_time_s = 0.0;
+  ConfusionMatrix model_quality_before;  // classifier vs. pre-drift traffic
+};
+
+// Runs one configuration over the drift trace. `model` may be null for the
+// reactive baseline. `guardrail_source` empty = no guardrails.
+Result<LinnosRunResult> RunLinnosConfiguration(const Figure2Options& options,
+                                               std::shared_ptr<LinnosModel> model,
+                                               const std::string& guardrail_source);
+
+// Full experiment: train on a clean baseline trace, then run all three
+// configurations on the same drift trace.
+Result<Figure2Result> RunFigure2Experiment(const Figure2Options& options = {});
+
+}  // namespace osguard
+
+#endif  // SRC_LINNOS_HARNESS_H_

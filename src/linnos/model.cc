@@ -1,0 +1,52 @@
+#include "src/linnos/model.h"
+
+namespace osguard {
+
+Result<LinnosModel> LinnosModel::Create(size_t feature_dim, const LinnosModelConfig& config) {
+  if (feature_dim == 0) {
+    return InvalidArgumentError("feature_dim must be >= 1");
+  }
+  MlpConfig mlp_config;
+  mlp_config.layer_sizes.push_back(static_cast<int>(feature_dim));
+  for (int h : config.hidden) {
+    mlp_config.layer_sizes.push_back(h);
+  }
+  mlp_config.layer_sizes.push_back(1);
+  mlp_config.hidden_activation = Activation::kRelu;
+  mlp_config.output_activation = Activation::kSigmoid;
+  mlp_config.loss = LossKind::kBinaryCrossEntropy;
+  mlp_config.learning_rate = config.learning_rate;
+  mlp_config.epochs = config.epochs;
+  mlp_config.batch_size = config.batch_size;
+  mlp_config.seed = config.seed;
+  OSGUARD_ASSIGN_OR_RETURN(Mlp network, Mlp::Create(mlp_config));
+  return LinnosModel(config, std::make_unique<Mlp>(std::move(network)));
+}
+
+Result<TrainReport> LinnosModel::Train(const Dataset& data) {
+  if (data.size() == 0) {
+    return InvalidArgumentError("training set is empty");
+  }
+  normalizer_.Fit(data);
+  const Dataset normalized = normalizer_.Apply(data);
+  OSGUARD_ASSIGN_OR_RETURN(TrainReport report, network_->Train(normalized));
+  trained_ = true;
+  return report;
+}
+
+double LinnosModel::PredictSlowProbability(const std::vector<double>& features) const {
+  if (!trained_) {
+    return 0.0;  // untrained model vouches for nothing being slow
+  }
+  return network_->PredictScalar(normalizer_.Apply(features));
+}
+
+ConfusionMatrix LinnosModel::Evaluate(const Dataset& data) const {
+  ConfusionMatrix matrix;
+  for (size_t i = 0; i < data.size(); ++i) {
+    matrix.Add(PredictSlow(data.features[i]), data.labels[i] >= 0.5);
+  }
+  return matrix;
+}
+
+}  // namespace osguard

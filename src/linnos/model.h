@@ -1,0 +1,66 @@
+// The LinnOS-style I/O latency classifier.
+//
+// LinnOS (OSDI'20) trains a light, 3-layer fully-connected network that
+// classifies each I/O as fast or slow from the recent latency history and
+// the current queue state. We reuse the block layer's feature vector
+// (kIoFeatureDim features; see src/sim/blk_layer.h) with z-score
+// normalization fitted on the training set, and an MLP sized like the
+// paper's (two small hidden layers, sigmoid output).
+
+#ifndef SRC_LINNOS_MODEL_H_
+#define SRC_LINNOS_MODEL_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/ml/dataset.h"
+#include "src/ml/metrics.h"
+#include "src/ml/mlp.h"
+#include "src/support/status.h"
+
+namespace osguard {
+
+struct LinnosModelConfig {
+  std::vector<int> hidden = {16, 16};
+  double learning_rate = 0.05;
+  int epochs = 12;
+  int batch_size = 32;
+  double decision_threshold = 0.5;  // P(slow) above this -> predict slow
+  uint64_t seed = 2020;
+};
+
+class LinnosModel {
+ public:
+  static Result<LinnosModel> Create(size_t feature_dim, const LinnosModelConfig& config = {});
+
+  // Fits the normalizer on `data` and trains the network. Labels must be
+  // 0 (fast) / 1 (slow). May be called again on new data (retraining).
+  Result<TrainReport> Train(const Dataset& data);
+
+  // P(slow) for a raw (unnormalized) feature vector.
+  double PredictSlowProbability(const std::vector<double>& features) const;
+  bool PredictSlow(const std::vector<double>& features) const {
+    return PredictSlowProbability(features) >= config_.decision_threshold;
+  }
+
+  // Confusion matrix of the classifier on a labeled dataset.
+  ConfusionMatrix Evaluate(const Dataset& data) const;
+
+  bool trained() const { return trained_; }
+  const Normalizer& normalizer() const { return normalizer_; }
+  Mlp& network() { return *network_; }
+
+ private:
+  LinnosModel(LinnosModelConfig config, std::unique_ptr<Mlp> network)
+      : config_(config), network_(std::move(network)) {}
+
+  LinnosModelConfig config_;
+  std::unique_ptr<Mlp> network_;
+  Normalizer normalizer_;
+  bool trained_ = false;
+};
+
+}  // namespace osguard
+
+#endif  // SRC_LINNOS_MODEL_H_

@@ -1,0 +1,53 @@
+#include "src/linnos/policy.h"
+
+#include "src/sim/kernel.h"
+
+namespace osguard {
+
+Result<Dataset> CollectTrainingData(const IoPhase& phase, const TrainingRunOptions& options) {
+  Kernel kernel;
+  SsdConfig primary_config = options.device;
+  SsdConfig replica_config = options.device;
+  replica_config.seed = options.device.seed + 1;
+  SsdDevice primary("train-primary", primary_config);
+  SsdDevice replica("train-replica", replica_config);
+  BlockLayer blk(kernel, &primary, &replica, options.blk);
+
+  // Default policy: reactive only (no model), so labels reflect the raw
+  // primary-path latency distribution.
+  IoPhase training_phase = phase;
+  training_phase.duration = options.duration;
+  training_phase.arrivals_per_sec = options.arrivals_per_sec;
+  IoTraceGenerator generator({training_phase}, options.trace_seed);
+  const std::vector<IoRequest> trace = generator.Generate();
+  if (trace.empty()) {
+    return InvalidArgumentError("training trace is empty; increase duration or rate");
+  }
+
+  Dataset data;
+  for (const IoRequest& request : trace) {
+    kernel.Run(request.at);
+    // Snapshot features exactly as the live policy would see them, *before*
+    // the I/O executes.
+    const IoContext context = blk.MakeContext(request.lba, request.is_write);
+    const IoOutcome outcome = blk.SubmitIo(request.lba, request.is_write);
+    // Label against the primary path: redirected/revoked I/Os reveal the
+    // primary was slow.
+    const bool slow = outcome.revoked || outcome.actually_slow;
+    data.Add(context.features, slow ? 1.0 : 0.0);
+  }
+  return data;
+}
+
+Result<std::shared_ptr<LinnosModel>> TrainLinnosModel(const IoPhase& phase,
+                                                      const TrainingRunOptions& options,
+                                                      const LinnosModelConfig& model_config) {
+  OSGUARD_ASSIGN_OR_RETURN(Dataset data, CollectTrainingData(phase, options));
+  OSGUARD_ASSIGN_OR_RETURN(LinnosModel model,
+                           LinnosModel::Create(kIoFeatureDim, model_config));
+  auto shared = std::make_shared<LinnosModel>(std::move(model));
+  OSGUARD_RETURN_IF_ERROR(shared->Train(data).status());
+  return shared;
+}
+
+}  // namespace osguard

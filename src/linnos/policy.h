@@ -1,0 +1,64 @@
+// The learned submit-predictor policy wrapping a LinnosModel, plus the
+// offline trainer that builds its dataset by replaying a trace through a
+// scratch block layer.
+
+#ifndef SRC_LINNOS_POLICY_H_
+#define SRC_LINNOS_POLICY_H_
+
+#include <memory>
+#include <string>
+
+#include "src/linnos/model.h"
+#include "src/sim/blk_layer.h"
+#include "src/sim/ssd_device.h"
+#include "src/support/status.h"
+#include "src/wl/iogen.h"
+
+namespace osguard {
+
+// Registered as "linnos_model"; bind to slot blk.submit_predictor.
+class LinnosSubmitPolicy : public IoSubmitPolicy {
+ public:
+  // `model` is shared so the retrain loop can update it in place while the
+  // block layer keeps its policy pointer.
+  LinnosSubmitPolicy(std::shared_ptr<LinnosModel> model,
+                     Duration inference_cost = Microseconds(5))
+      : model_(std::move(model)), inference_cost_(inference_cost) {}
+
+  std::string name() const override { return "linnos_model"; }
+  bool is_learned() const override { return true; }
+  bool PredictSlow(const IoContext& context) override {
+    return model_->PredictSlow(context.features);
+  }
+  Duration inference_cost() const override { return inference_cost_; }
+
+  LinnosModel& model() { return *model_; }
+  std::shared_ptr<LinnosModel> shared_model() { return model_; }
+
+ private:
+  std::shared_ptr<LinnosModel> model_;
+  Duration inference_cost_;
+};
+
+struct TrainingRunOptions {
+  SsdConfig device;           // primary/replica template (seeds are offset)
+  BlockLayerConfig blk;
+  uint64_t trace_seed = 99;
+  Duration duration = Seconds(20);
+  double arrivals_per_sec = 2000.0;
+};
+
+// Replays a baseline-phase trace through a scratch kernel + devices +
+// block layer running the reactive default policy, recording
+// (features, actually-slow) pairs — the offline training pipeline LinnOS
+// assumes. Returns the labeled dataset.
+Result<Dataset> CollectTrainingData(const IoPhase& phase, const TrainingRunOptions& options);
+
+// End-to-end convenience: collect data for `phase` and train a fresh model.
+Result<std::shared_ptr<LinnosModel>> TrainLinnosModel(const IoPhase& phase,
+                                                      const TrainingRunOptions& options,
+                                                      const LinnosModelConfig& model_config = {});
+
+}  // namespace osguard
+
+#endif  // SRC_LINNOS_POLICY_H_

@@ -1,0 +1,71 @@
+#include "src/ml/dataset.h"
+
+#include <cassert>
+#include <cmath>
+#include <numeric>
+
+namespace osguard {
+
+std::pair<Dataset, Dataset> Dataset::Split(double train_fraction, Rng& rng) const {
+  std::vector<size_t> order(size());
+  std::iota(order.begin(), order.end(), 0);
+  rng.Shuffle(order);
+  const size_t train_count = static_cast<size_t>(train_fraction * static_cast<double>(size()));
+  Dataset train;
+  Dataset test;
+  for (size_t i = 0; i < order.size(); ++i) {
+    Dataset& target = i < train_count ? train : test;
+    target.Add(features[order[i]], labels[order[i]]);
+  }
+  return {std::move(train), std::move(test)};
+}
+
+void Normalizer::Fit(const Dataset& data) {
+  const size_t dim = data.feature_dim();
+  mean_.assign(dim, 0.0);
+  stddev_.assign(dim, 0.0);
+  if (data.size() == 0) {
+    return;
+  }
+  for (const auto& row : data.features) {
+    for (size_t j = 0; j < dim; ++j) {
+      mean_[j] += row[j];
+    }
+  }
+  for (size_t j = 0; j < dim; ++j) {
+    mean_[j] /= static_cast<double>(data.size());
+  }
+  for (const auto& row : data.features) {
+    for (size_t j = 0; j < dim; ++j) {
+      const double d = row[j] - mean_[j];
+      stddev_[j] += d * d;
+    }
+  }
+  for (size_t j = 0; j < dim; ++j) {
+    stddev_[j] = std::sqrt(stddev_[j] / static_cast<double>(data.size()));
+    if (stddev_[j] < 1e-12) {
+      stddev_[j] = 1.0;  // constant features pass through unscaled
+    }
+  }
+}
+
+std::vector<double> Normalizer::Apply(const std::vector<double>& x) const {
+  assert(x.size() == mean_.size());
+  std::vector<double> out(x.size());
+  for (size_t j = 0; j < x.size(); ++j) {
+    out[j] = (x[j] - mean_[j]) / stddev_[j];
+  }
+  return out;
+}
+
+Dataset Normalizer::Apply(const Dataset& data) const {
+  Dataset out;
+  out.labels = data.labels;
+  out.features.reserve(data.size());
+  for (const auto& row : data.features) {
+    out.features.push_back(Apply(row));
+  }
+  return out;
+}
+
+}  // namespace osguard

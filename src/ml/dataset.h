@@ -1,0 +1,53 @@
+// Datasets for the learned-policy substrate.
+//
+// Feature matrices are dense row-major doubles; labels are doubles (0/1 for
+// the binary classifiers LinnOS-style models use, arbitrary for regressors).
+
+#ifndef SRC_ML_DATASET_H_
+#define SRC_ML_DATASET_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "src/support/rng.h"
+
+namespace osguard {
+
+struct Dataset {
+  std::vector<std::vector<double>> features;
+  std::vector<double> labels;
+
+  size_t size() const { return features.size(); }
+  size_t feature_dim() const { return features.empty() ? 0 : features[0].size(); }
+
+  void Add(std::vector<double> x, double y) {
+    features.push_back(std::move(x));
+    labels.push_back(y);
+  }
+
+  // Deterministic shuffle + split; `train_fraction` of rows (rounded down)
+  // go to the first returned set.
+  std::pair<Dataset, Dataset> Split(double train_fraction, Rng& rng) const;
+};
+
+// Per-feature affine normalizer (z-score). Fitting on the training set and
+// applying at inference is part of the "in-distribution" story: P1 drift
+// detectors compare live inputs against the fitted statistics.
+class Normalizer {
+ public:
+  void Fit(const Dataset& data);
+  std::vector<double> Apply(const std::vector<double>& x) const;
+  Dataset Apply(const Dataset& data) const;
+
+  bool fitted() const { return !mean_.empty(); }
+  const std::vector<double>& mean() const { return mean_; }
+  const std::vector<double>& stddev() const { return stddev_; }
+
+ private:
+  std::vector<double> mean_;
+  std::vector<double> stddev_;
+};
+
+}  // namespace osguard
+
+#endif  // SRC_ML_DATASET_H_

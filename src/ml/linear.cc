@@ -1,0 +1,53 @@
+#include "src/ml/linear.h"
+
+#include <cmath>
+#include <numeric>
+
+namespace osguard {
+
+Result<LogisticRegression> LogisticRegression::Create(const LogisticConfig& config) {
+  if (config.feature_dim < 1) {
+    return InvalidArgumentError("feature_dim must be >= 1");
+  }
+  if (config.learning_rate <= 0.0 || config.epochs < 0) {
+    return InvalidArgumentError("bad learning_rate/epochs");
+  }
+  return LogisticRegression(config);
+}
+
+double LogisticRegression::PredictProbability(const std::vector<double>& x) const {
+  double z = bias_;
+  const size_t n = std::min(x.size(), weights_.size());
+  for (size_t i = 0; i < n; ++i) {
+    z += weights_[i] * x[i];
+  }
+  return 1.0 / (1.0 + std::exp(-z));
+}
+
+Status LogisticRegression::Train(const Dataset& data) {
+  if (data.size() == 0) {
+    return InvalidArgumentError("cannot train on an empty dataset");
+  }
+  if (static_cast<int>(data.feature_dim()) != config_.feature_dim) {
+    return InvalidArgumentError("dataset feature dim does not match model");
+  }
+  Rng rng(config_.seed);
+  std::vector<size_t> order(data.size());
+  std::iota(order.begin(), order.end(), 0);
+  for (int epoch = 0; epoch < config_.epochs; ++epoch) {
+    rng.Shuffle(order);
+    for (size_t index : order) {
+      const auto& x = data.features[index];
+      const double y = data.labels[index];
+      const double p = PredictProbability(x);
+      const double err = p - y;
+      for (size_t i = 0; i < weights_.size(); ++i) {
+        weights_[i] -= config_.learning_rate * (err * x[i] + config_.l2 * weights_[i]);
+      }
+      bias_ -= config_.learning_rate * err;
+    }
+  }
+  return OkStatus();
+}
+
+}  // namespace osguard

@@ -1,0 +1,52 @@
+// Logistic regression: the simple-model baseline.
+//
+// Prior work (and the paper's P5 discussion) manages inference overhead by
+// "employing simple models"; logistic regression is the canonical example
+// and serves as the cheap comparator the decision-overhead benchmarks sweep
+// against the MLP.
+
+#ifndef SRC_ML_LINEAR_H_
+#define SRC_ML_LINEAR_H_
+
+#include <vector>
+
+#include "src/ml/dataset.h"
+#include "src/support/rng.h"
+#include "src/support/status.h"
+
+namespace osguard {
+
+struct LogisticConfig {
+  int feature_dim = 0;
+  double learning_rate = 0.1;
+  double l2 = 0.0;
+  int epochs = 20;
+  uint64_t seed = 7;
+};
+
+class LogisticRegression {
+ public:
+  static Result<LogisticRegression> Create(const LogisticConfig& config);
+
+  double PredictProbability(const std::vector<double>& x) const;
+  bool PredictBinary(const std::vector<double>& x, double threshold = 0.5) const {
+    return PredictProbability(x) >= threshold;
+  }
+
+  Status Train(const Dataset& data);
+
+  const std::vector<double>& weights() const { return weights_; }
+  double bias() const { return bias_; }
+
+ private:
+  explicit LogisticRegression(LogisticConfig config)
+      : config_(config), weights_(static_cast<size_t>(config.feature_dim), 0.0) {}
+
+  LogisticConfig config_;
+  std::vector<double> weights_;
+  double bias_ = 0.0;
+};
+
+}  // namespace osguard
+
+#endif  // SRC_ML_LINEAR_H_

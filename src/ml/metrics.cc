@@ -1,0 +1,89 @@
+#include "src/ml/metrics.h"
+
+#include <cassert>
+#include <cmath>
+#include <cstdio>
+
+namespace osguard {
+
+void ConfusionMatrix::Add(bool predicted, bool actual) {
+  if (predicted && actual) {
+    ++true_positive;
+  } else if (predicted && !actual) {
+    ++false_positive;
+  } else if (!predicted && actual) {
+    ++false_negative;
+  } else {
+    ++true_negative;
+  }
+}
+
+double ConfusionMatrix::accuracy() const {
+  const uint64_t n = total();
+  if (n == 0) {
+    return 0.0;
+  }
+  return static_cast<double>(true_positive + true_negative) / static_cast<double>(n);
+}
+
+double ConfusionMatrix::precision() const {
+  const uint64_t denom = true_positive + false_positive;
+  return denom == 0 ? 0.0 : static_cast<double>(true_positive) / static_cast<double>(denom);
+}
+
+double ConfusionMatrix::recall() const {
+  const uint64_t denom = true_positive + false_negative;
+  return denom == 0 ? 0.0 : static_cast<double>(true_positive) / static_cast<double>(denom);
+}
+
+double ConfusionMatrix::f1() const {
+  const double p = precision();
+  const double r = recall();
+  return (p + r) == 0.0 ? 0.0 : 2.0 * p * r / (p + r);
+}
+
+double ConfusionMatrix::miss_rate() const {
+  const uint64_t n = total();
+  return n == 0 ? 0.0 : static_cast<double>(false_negative) / static_cast<double>(n);
+}
+
+std::string ConfusionMatrix::ToString() const {
+  char buf[192];
+  std::snprintf(buf, sizeof(buf),
+                "tp=%llu fp=%llu tn=%llu fn=%llu acc=%.3f prec=%.3f rec=%.3f f1=%.3f",
+                static_cast<unsigned long long>(true_positive),
+                static_cast<unsigned long long>(false_positive),
+                static_cast<unsigned long long>(true_negative),
+                static_cast<unsigned long long>(false_negative), accuracy(), precision(),
+                recall(), f1());
+  return buf;
+}
+
+double MeanAbsoluteError(const std::vector<double>& predicted,
+                         const std::vector<double>& actual) {
+  assert(predicted.size() == actual.size());
+  if (predicted.empty()) {
+    return 0.0;
+  }
+  double total = 0.0;
+  for (size_t i = 0; i < predicted.size(); ++i) {
+    total += std::abs(predicted[i] - actual[i]);
+  }
+  return total / static_cast<double>(predicted.size());
+}
+
+double RootMeanSquaredError(const std::vector<double>& predicted,
+                            const std::vector<double>& actual) {
+  assert(predicted.size() == actual.size());
+  if (predicted.empty()) {
+    return 0.0;
+  }
+  double total = 0.0;
+  for (size_t i = 0; i < predicted.size(); ++i) {
+    const double err = predicted[i] - actual[i];
+    total += err * err;
+  }
+  return std::sqrt(total / static_cast<double>(predicted.size()));
+}
+
+}  // namespace osguard

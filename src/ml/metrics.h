@@ -1,0 +1,46 @@
+// Classification / regression metrics.
+//
+// Guardrail properties over model quality (P4) are phrased in these terms:
+// "accuracy of the classifier > 90% over a time window", false-submit rate,
+// etc. The kernel-side metric pipeline feeds these into the feature store;
+// this header is the offline counterpart used in training and tests.
+
+#ifndef SRC_ML_METRICS_H_
+#define SRC_ML_METRICS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace osguard {
+
+struct ConfusionMatrix {
+  uint64_t true_positive = 0;
+  uint64_t false_positive = 0;
+  uint64_t true_negative = 0;
+  uint64_t false_negative = 0;
+
+  void Add(bool predicted, bool actual);
+  uint64_t total() const {
+    return true_positive + false_positive + true_negative + false_negative;
+  }
+  double accuracy() const;
+  double precision() const;  // TP / (TP + FP); 0 if undefined
+  double recall() const;     // TP / (TP + FN); 0 if undefined
+  double f1() const;
+  // The LinnOS failure metric: predicted-negative-but-actually-positive rate
+  // over all predictions, i.e. FN / total. ("false submit" = model said fast,
+  // device was slow.)
+  double miss_rate() const;
+
+  std::string ToString() const;
+};
+
+double MeanAbsoluteError(const std::vector<double>& predicted,
+                         const std::vector<double>& actual);
+double RootMeanSquaredError(const std::vector<double>& predicted,
+                            const std::vector<double>& actual);
+
+}  // namespace osguard
+
+#endif  // SRC_ML_METRICS_H_

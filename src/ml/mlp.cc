@@ -1,0 +1,279 @@
+#include "src/ml/mlp.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <numeric>
+
+namespace osguard {
+namespace {
+
+double Activate(Activation activation, double z) {
+  switch (activation) {
+    case Activation::kIdentity:
+      return z;
+    case Activation::kRelu:
+      return z > 0.0 ? z : 0.0;
+    case Activation::kSigmoid:
+      return 1.0 / (1.0 + std::exp(-z));
+    case Activation::kTanh:
+      return std::tanh(z);
+  }
+  return z;
+}
+
+// Derivative in terms of pre-activation z and post-activation a.
+double ActivateGrad(Activation activation, double z, double a) {
+  switch (activation) {
+    case Activation::kIdentity:
+      return 1.0;
+    case Activation::kRelu:
+      return z > 0.0 ? 1.0 : 0.0;
+    case Activation::kSigmoid:
+      return a * (1.0 - a);
+    case Activation::kTanh:
+      return 1.0 - a * a;
+  }
+  return 1.0;
+}
+
+}  // namespace
+
+Result<Mlp> Mlp::Create(const MlpConfig& config) {
+  if (config.layer_sizes.size() < 2) {
+    return InvalidArgumentError("MLP needs at least input and output layer sizes");
+  }
+  for (int size : config.layer_sizes) {
+    if (size < 1) {
+      return InvalidArgumentError("MLP layer sizes must be >= 1");
+    }
+  }
+  if (config.learning_rate <= 0.0) {
+    return InvalidArgumentError("learning_rate must be > 0");
+  }
+  if (config.batch_size < 1 || config.epochs < 0) {
+    return InvalidArgumentError("bad batch_size/epochs");
+  }
+  if (config.loss == LossKind::kBinaryCrossEntropy &&
+      config.output_activation != Activation::kSigmoid) {
+    return InvalidArgumentError("binary cross-entropy requires a sigmoid output layer");
+  }
+  Rng rng(config.seed);
+  std::vector<Layer> layers;
+  for (size_t l = 0; l + 1 < config.layer_sizes.size(); ++l) {
+    Layer layer;
+    layer.in = config.layer_sizes[l];
+    layer.out = config.layer_sizes[l + 1];
+    const double scale = std::sqrt(2.0 / static_cast<double>(layer.in));
+    layer.weights.resize(static_cast<size_t>(layer.in) * layer.out);
+    for (double& w : layer.weights) {
+      w = rng.Normal(0.0, scale);
+    }
+    layer.bias.assign(static_cast<size_t>(layer.out), 0.0);
+    layers.push_back(std::move(layer));
+  }
+  return Mlp(config, std::move(layers));
+}
+
+void Mlp::ForwardTrace(const std::vector<double>& x, std::vector<std::vector<double>>& pre,
+                       std::vector<std::vector<double>>& post) const {
+  assert(static_cast<int>(x.size()) == input_dim());
+  pre.clear();
+  post.clear();
+  std::vector<double> current = x;
+  for (size_t l = 0; l < layers_.size(); ++l) {
+    const Layer& layer = layers_[l];
+    const Activation activation =
+        l + 1 == layers_.size() ? config_.output_activation : config_.hidden_activation;
+    std::vector<double> z(static_cast<size_t>(layer.out));
+    for (int o = 0; o < layer.out; ++o) {
+      double sum = layer.bias[static_cast<size_t>(o)];
+      const double* row = &layer.weights[static_cast<size_t>(o) * layer.in];
+      for (int i = 0; i < layer.in; ++i) {
+        sum += row[i] * current[static_cast<size_t>(i)];
+      }
+      z[static_cast<size_t>(o)] = sum;
+    }
+    std::vector<double> a(z.size());
+    for (size_t o = 0; o < z.size(); ++o) {
+      a[o] = Activate(activation, z[o]);
+    }
+    pre.push_back(std::move(z));
+    current = a;
+    post.push_back(std::move(a));
+  }
+}
+
+std::vector<double> Mlp::Predict(const std::vector<double>& x) const {
+  std::vector<std::vector<double>> pre;
+  std::vector<std::vector<double>> post;
+  ForwardTrace(x, pre, post);
+  return post.back();
+}
+
+Result<TrainReport> Mlp::Train(const Dataset& data) {
+  if (data.size() == 0) {
+    return InvalidArgumentError("cannot train on an empty dataset");
+  }
+  if (static_cast<int>(data.feature_dim()) != input_dim()) {
+    return InvalidArgumentError("dataset feature dim " + std::to_string(data.feature_dim()) +
+                                " does not match network input dim " +
+                                std::to_string(input_dim()));
+  }
+  TrainReport report;
+  std::vector<size_t> order(data.size());
+  std::iota(order.begin(), order.end(), 0);
+
+  for (int epoch = 0; epoch < config_.epochs; ++epoch) {
+    rng_.Shuffle(order);
+    double epoch_loss = 0.0;
+    size_t processed = 0;
+    while (processed < order.size()) {
+      const size_t batch_end =
+          std::min(processed + static_cast<size_t>(config_.batch_size), order.size());
+      const double batch_n = static_cast<double>(batch_end - processed);
+
+      // Accumulated gradients for the batch.
+      std::vector<std::vector<double>> grad_w(layers_.size());
+      std::vector<std::vector<double>> grad_b(layers_.size());
+      for (size_t l = 0; l < layers_.size(); ++l) {
+        grad_w[l].assign(layers_[l].weights.size(), 0.0);
+        grad_b[l].assign(layers_[l].bias.size(), 0.0);
+      }
+
+      for (size_t bi = processed; bi < batch_end; ++bi) {
+        const auto& x = data.features[order[bi]];
+        const double y = data.labels[order[bi]];
+        std::vector<std::vector<double>> pre;
+        std::vector<std::vector<double>> post;
+        ForwardTrace(x, pre, post);
+        const std::vector<double>& output = post.back();
+
+        // Output-layer delta. For sigmoid+BCE and identity+MSE the combined
+        // gradient collapses to (a - y).
+        std::vector<double> delta(output.size());
+        if (config_.loss == LossKind::kBinaryCrossEntropy) {
+          const double a = std::clamp(output[0], 1e-9, 1.0 - 1e-9);
+          epoch_loss += -(y * std::log(a) + (1.0 - y) * std::log(1.0 - a));
+          delta[0] = output[0] - y;
+        } else {
+          for (size_t o = 0; o < output.size(); ++o) {
+            const double target = output.size() == 1 ? y : (o == 0 ? y : 0.0);
+            const double err = output[o] - target;
+            epoch_loss += 0.5 * err * err;
+            delta[o] = err * ActivateGrad(config_.output_activation, pre.back()[o], output[o]);
+          }
+        }
+
+        // Backpropagate.
+        for (size_t l = layers_.size(); l-- > 0;) {
+          const Layer& layer = layers_[l];
+          const std::vector<double>& input_act = l == 0 ? x : post[l - 1];
+          for (int o = 0; o < layer.out; ++o) {
+            grad_b[l][static_cast<size_t>(o)] += delta[static_cast<size_t>(o)];
+            double* gw = &grad_w[l][static_cast<size_t>(o) * layer.in];
+            for (int i = 0; i < layer.in; ++i) {
+              gw[i] += delta[static_cast<size_t>(o)] * input_act[static_cast<size_t>(i)];
+            }
+          }
+          if (l == 0) {
+            break;
+          }
+          const Activation prev_activation =
+              l - 1 + 1 == layers_.size() ? config_.output_activation
+                                          : config_.hidden_activation;
+          std::vector<double> next_delta(static_cast<size_t>(layer.in), 0.0);
+          for (int i = 0; i < layer.in; ++i) {
+            double sum = 0.0;
+            for (int o = 0; o < layer.out; ++o) {
+              sum += layer.weights[static_cast<size_t>(o) * layer.in + i] *
+                     delta[static_cast<size_t>(o)];
+            }
+            next_delta[static_cast<size_t>(i)] =
+                sum * ActivateGrad(prev_activation, pre[l - 1][static_cast<size_t>(i)],
+                                   post[l - 1][static_cast<size_t>(i)]);
+          }
+          delta = std::move(next_delta);
+        }
+      }
+
+      // Apply averaged gradients with optional L2.
+      const double lr = config_.learning_rate;
+      for (size_t l = 0; l < layers_.size(); ++l) {
+        Layer& layer = layers_[l];
+        for (size_t w = 0; w < layer.weights.size(); ++w) {
+          layer.weights[w] -=
+              lr * (grad_w[l][w] / batch_n + config_.l2 * layer.weights[w]);
+        }
+        for (size_t b = 0; b < layer.bias.size(); ++b) {
+          layer.bias[b] -= lr * grad_b[l][b] / batch_n;
+        }
+      }
+      processed = batch_end;
+    }
+    report.epoch_losses.push_back(epoch_loss / static_cast<double>(data.size()));
+  }
+  report.epochs = config_.epochs;
+  report.final_loss = report.epoch_losses.empty() ? 0.0 : report.epoch_losses.back();
+  return report;
+}
+
+double Mlp::Evaluate(const Dataset& data) const {
+  if (data.size() == 0) {
+    return 0.0;
+  }
+  double total = 0.0;
+  for (size_t i = 0; i < data.size(); ++i) {
+    const std::vector<double> output = Predict(data.features[i]);
+    const double y = data.labels[i];
+    if (config_.loss == LossKind::kBinaryCrossEntropy) {
+      const double a = std::clamp(output[0], 1e-9, 1.0 - 1e-9);
+      total += -(y * std::log(a) + (1.0 - y) * std::log(1.0 - a));
+    } else {
+      for (size_t o = 0; o < output.size(); ++o) {
+        const double target = output.size() == 1 ? y : (o == 0 ? y : 0.0);
+        const double err = output[o] - target;
+        total += 0.5 * err * err;
+      }
+    }
+  }
+  return total / static_cast<double>(data.size());
+}
+
+std::vector<double> Mlp::GetWeights() const {
+  std::vector<double> out;
+  out.reserve(ParameterCount());
+  for (const Layer& layer : layers_) {
+    out.insert(out.end(), layer.weights.begin(), layer.weights.end());
+    out.insert(out.end(), layer.bias.begin(), layer.bias.end());
+  }
+  return out;
+}
+
+Status Mlp::SetWeights(const std::vector<double>& weights) {
+  if (weights.size() != ParameterCount()) {
+    return InvalidArgumentError("weight blob has " + std::to_string(weights.size()) +
+                                " parameters, network expects " +
+                                std::to_string(ParameterCount()));
+  }
+  size_t offset = 0;
+  for (Layer& layer : layers_) {
+    std::copy_n(weights.begin() + static_cast<ptrdiff_t>(offset), layer.weights.size(),
+                layer.weights.begin());
+    offset += layer.weights.size();
+    std::copy_n(weights.begin() + static_cast<ptrdiff_t>(offset), layer.bias.size(),
+                layer.bias.begin());
+    offset += layer.bias.size();
+  }
+  return OkStatus();
+}
+
+size_t Mlp::ParameterCount() const {
+  size_t count = 0;
+  for (const Layer& layer : layers_) {
+    count += layer.weights.size() + layer.bias.size();
+  }
+  return count;
+}
+
+}  // namespace osguard

@@ -1,0 +1,108 @@
+// Multi-layer perceptron with SGD training.
+//
+// This is the "light neural network" class of model LinnOS runs in the
+// kernel: a few small fully-connected layers, trained offline, cheap enough
+// to evaluate on the I/O submission path. Everything is from scratch —
+// forward pass, backprop, minibatch SGD — with deterministic weight init
+// from an explicit Rng.
+
+#ifndef SRC_ML_MLP_H_
+#define SRC_ML_MLP_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/ml/dataset.h"
+#include "src/support/rng.h"
+#include "src/support/status.h"
+
+namespace osguard {
+
+enum class Activation {
+  kIdentity,
+  kRelu,
+  kSigmoid,
+  kTanh,
+};
+
+enum class LossKind {
+  kMse,                 // regression
+  kBinaryCrossEntropy,  // binary classification; final layer should be sigmoid
+};
+
+struct MlpConfig {
+  std::vector<int> layer_sizes;  // e.g. {9, 16, 16, 1}: input, hidden..., output
+  Activation hidden_activation = Activation::kRelu;
+  Activation output_activation = Activation::kSigmoid;
+  LossKind loss = LossKind::kBinaryCrossEntropy;
+  double learning_rate = 0.05;
+  double l2 = 0.0;
+  int batch_size = 32;
+  int epochs = 10;
+  uint64_t seed = 42;
+};
+
+struct TrainReport {
+  int epochs = 0;
+  double final_loss = 0.0;
+  std::vector<double> epoch_losses;
+};
+
+class Mlp {
+ public:
+  // Builds and initializes the network (He/Xavier-style scaled uniform).
+  static Result<Mlp> Create(const MlpConfig& config);
+
+  // Forward pass on one example.
+  std::vector<double> Predict(const std::vector<double>& x) const;
+
+  // Convenience for single-output networks.
+  double PredictScalar(const std::vector<double>& x) const { return Predict(x)[0]; }
+
+  // Binary decision with threshold (default 0.5).
+  bool PredictBinary(const std::vector<double>& x, double threshold = 0.5) const {
+    return PredictScalar(x) >= threshold;
+  }
+
+  // Minibatch SGD over `data` per the config. May be called repeatedly
+  // (e.g. by the retrain loop) to continue training on new data.
+  Result<TrainReport> Train(const Dataset& data);
+
+  // Mean loss over a dataset (no updates).
+  double Evaluate(const Dataset& data) const;
+
+  int input_dim() const { return config_.layer_sizes.front(); }
+  int output_dim() const { return config_.layer_sizes.back(); }
+  const MlpConfig& config() const { return config_; }
+
+  // Flat weight serialization (layer-major, weights then biases), for
+  // save/restore and for tests asserting retraining changed the model.
+  std::vector<double> GetWeights() const;
+  Status SetWeights(const std::vector<double>& weights);
+  size_t ParameterCount() const;
+
+ private:
+  struct Layer {
+    int in = 0;
+    int out = 0;
+    std::vector<double> weights;  // out x in, row-major
+    std::vector<double> bias;     // out
+  };
+
+  Mlp(MlpConfig config, std::vector<Layer> layers)
+      : config_(std::move(config)), layers_(std::move(layers)), rng_(config_.seed) {}
+
+  // Forward with intermediate activations retained for backprop.
+  void ForwardTrace(const std::vector<double>& x,
+                    std::vector<std::vector<double>>& pre,
+                    std::vector<std::vector<double>>& post) const;
+
+  MlpConfig config_;
+  std::vector<Layer> layers_;
+  Rng rng_;
+};
+
+}  // namespace osguard
+
+#endif  // SRC_ML_MLP_H_

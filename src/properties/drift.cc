@@ -1,0 +1,93 @@
+#include "src/properties/drift.h"
+
+#include <algorithm>
+
+#include "src/support/stats.h"
+
+namespace osguard {
+
+DriftDetector::DriftDetector(DriftDetectorOptions options)
+    : options_(options), live_(options.window > 0 ? options.window : 1) {}
+
+Status DriftDetector::Fit(const std::vector<double>& training_samples) {
+  if (training_samples.empty()) {
+    return InvalidArgumentError("cannot fit a drift detector on zero samples");
+  }
+  if (training_samples.size() <= options_.fingerprint_max) {
+    fingerprint_ = training_samples;
+  } else {
+    // Deterministic stride subsample keeps the fingerprint bounded.
+    fingerprint_.clear();
+    const double stride =
+        static_cast<double>(training_samples.size()) / static_cast<double>(options_.fingerprint_max);
+    for (size_t i = 0; i < options_.fingerprint_max; ++i) {
+      fingerprint_.push_back(training_samples[static_cast<size_t>(static_cast<double>(i) * stride)]);
+    }
+  }
+  std::sort(fingerprint_.begin(), fingerprint_.end());
+  return OkStatus();
+}
+
+void DriftDetector::Observe(double sample) { live_.Push(sample); }
+
+double DriftDetector::Score() const {
+  if (fingerprint_.empty() || live_.empty()) {
+    return 0.0;
+  }
+  // KsStatistic sorts both sides; the fingerprint is already sorted but the
+  // cost is dominated by the live window sort either way.
+  return KsStatistic(fingerprint_, live_.ToVector());
+}
+
+double DriftDetector::Publish(FeatureStore& store, const std::string& key) const {
+  const double score = Score();
+  store.Save(key, Value(score));
+  return score;
+}
+
+MultiDriftDetector::MultiDriftDetector(size_t dims, DriftDetectorOptions options) {
+  detectors_.reserve(dims);
+  for (size_t i = 0; i < dims; ++i) {
+    detectors_.emplace_back(options);
+  }
+}
+
+Status MultiDriftDetector::Fit(const std::vector<std::vector<double>>& training_rows) {
+  if (training_rows.empty()) {
+    return InvalidArgumentError("cannot fit on zero rows");
+  }
+  for (size_t d = 0; d < detectors_.size(); ++d) {
+    std::vector<double> column;
+    column.reserve(training_rows.size());
+    for (const auto& row : training_rows) {
+      if (d < row.size()) {
+        column.push_back(row[d]);
+      }
+    }
+    OSGUARD_RETURN_IF_ERROR(detectors_[d].Fit(column));
+  }
+  return OkStatus();
+}
+
+void MultiDriftDetector::Observe(const std::vector<double>& row) {
+  const size_t n = std::min(row.size(), detectors_.size());
+  for (size_t d = 0; d < n; ++d) {
+    detectors_[d].Observe(row[d]);
+  }
+}
+
+double MultiDriftDetector::Score() const {
+  double worst = 0.0;
+  for (const DriftDetector& detector : detectors_) {
+    worst = std::max(worst, detector.Score());
+  }
+  return worst;
+}
+
+double MultiDriftDetector::Publish(FeatureStore& store, const std::string& key) const {
+  const double score = Score();
+  store.Save(key, Value(score));
+  return score;
+}
+
+}  // namespace osguard

@@ -1,0 +1,74 @@
+// Input-distribution drift detection (the kernel-side half of P1).
+//
+// A DriftDetector is fitted on the training distribution of one feature
+// (its sorted fingerprint). At run time the subsystem feeds it live samples;
+// periodically the detector computes the two-sample Kolmogorov–Smirnov
+// distance between the live window and the fingerprint and publishes it to
+// the feature store, where an InDistributionSpec guardrail thresholds it.
+// A MultiDriftDetector tracks one detector per feature dimension and
+// publishes the max.
+
+#ifndef SRC_PROPERTIES_DRIFT_H_
+#define SRC_PROPERTIES_DRIFT_H_
+
+#include <string>
+#include <vector>
+
+#include "src/store/feature_store.h"
+#include "src/support/ring_buffer.h"
+#include "src/support/status.h"
+
+namespace osguard {
+
+struct DriftDetectorOptions {
+  size_t window = 512;          // live samples compared per evaluation
+  size_t fingerprint_max = 4096; // training samples retained (subsampled)
+};
+
+class DriftDetector {
+ public:
+  explicit DriftDetector(DriftDetectorOptions options = {});
+
+  // Fits the reference fingerprint. Call once (or again after retraining).
+  Status Fit(const std::vector<double>& training_samples);
+
+  // Adds one live sample.
+  void Observe(double sample);
+
+  // KS distance in [0, 1] between the live window and the fingerprint;
+  // 0 when not fitted or the live window is empty.
+  double Score() const;
+
+  // Score() and publish to `store[key]` (a scalar the DSL LOADs).
+  double Publish(FeatureStore& store, const std::string& key) const;
+
+  bool fitted() const { return !fingerprint_.empty(); }
+  size_t live_samples() const { return live_.size(); }
+
+ private:
+  DriftDetectorOptions options_;
+  std::vector<double> fingerprint_;  // sorted
+  RingBuffer<double> live_;
+};
+
+class MultiDriftDetector {
+ public:
+  MultiDriftDetector(size_t dims, DriftDetectorOptions options = {});
+
+  Status Fit(const std::vector<std::vector<double>>& training_rows);
+  void Observe(const std::vector<double>& row);
+
+  // Max per-dimension KS distance.
+  double Score() const;
+  double Publish(FeatureStore& store, const std::string& key) const;
+
+  size_t dims() const { return detectors_.size(); }
+  const DriftDetector& dimension(size_t i) const { return detectors_[i]; }
+
+ private:
+  std::vector<DriftDetector> detectors_;
+};
+
+}  // namespace osguard
+
+#endif  // SRC_PROPERTIES_DRIFT_H_

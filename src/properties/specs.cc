@@ -1,0 +1,110 @@
+#include "src/properties/specs.h"
+
+#include <cstdio>
+
+namespace osguard {
+namespace {
+
+std::string Num(double v) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+std::string Ns(int64_t v) { return std::to_string(v); }
+
+// Assembles a full guardrail declaration around a rule body.
+std::string Assemble(const std::string& name, const std::string& rule,
+                     const std::string& actions, const PropertySpecOptions& options) {
+  std::string out = "guardrail " + name + " {\n";
+  out += "  trigger: { TIMER(" + Ns(options.check_start) + ", " + Ns(options.check_interval) +
+         ") },\n";
+  out += "  rule: { " + rule + " },\n";
+  out += "  action: { " + actions + " },\n";
+  out += "  meta: { hysteresis = " + std::to_string(options.hysteresis) + ", cooldown = " +
+         Ns(options.cooldown) + ", severity = " + options.severity + " }\n";
+  out += "}\n";
+  return out;
+}
+
+}  // namespace
+
+std::string InDistributionSpec(const std::string& name, const std::string& score_key,
+                               double max_score, const std::string& actions,
+                               const PropertySpecOptions& options) {
+  const std::string rule = "LOAD_OR(" + score_key + ", 0) <= " + Num(max_score);
+  return Assemble(name, rule, actions, options);
+}
+
+std::string RobustnessSpec(const std::string& name, const std::string& input_key,
+                           const std::string& output_key, double sensitivity,
+                           const std::string& actions, const PropertySpecOptions& options) {
+  const std::string w = Ns(options.window);
+  // CV(out) <= k * CV(in), multiplied out to avoid division; the epsilon
+  // keeps quiet windows (no variance anywhere) satisfied.
+  const std::string rule = "COUNT(" + output_key + ", " + w + ") < 2 || STDDEV(" + output_key +
+                           ", " + w + ") * MEAN(" + input_key + ", " + w +
+                           ") <= " + Num(sensitivity) + " * STDDEV(" + input_key + ", " + w +
+                           ") * MEAN(" + output_key + ", " + w + ") + 0.000001";
+  return Assemble(name, rule, actions, options);
+}
+
+std::string OutputBoundsSpec(const std::string& name, const std::string& output_key,
+                             const std::string& lo_key, const std::string& hi_key,
+                             const std::string& actions, const PropertySpecOptions& options) {
+  const std::string v = "LOAD_OR(" + output_key + ", 0)";
+  const std::string rule = v + " >= LOAD_OR(" + lo_key + ", 0) && " + v + " <= LOAD_OR(" +
+                           hi_key + ", 0)";
+  return Assemble(name, rule, actions, options);
+}
+
+std::string OutputBoundsConstSpec(const std::string& name, const std::string& output_key,
+                                  double lo, double hi, const std::string& actions,
+                                  const PropertySpecOptions& options) {
+  const std::string v = "LOAD_OR(" + output_key + ", " + Num(lo) + ")";
+  const std::string rule = v + " >= " + Num(lo) + " && " + v + " <= " + Num(hi);
+  return Assemble(name, rule, actions, options);
+}
+
+std::string DecisionQualitySpec(const std::string& name,
+                                const std::string& learned_metric_key,
+                                const std::string& baseline_metric_key, double min_ratio,
+                                const std::string& actions,
+                                const PropertySpecOptions& options) {
+  const std::string w = Ns(options.window);
+  const std::string rule = "COUNT(" + learned_metric_key + ", " + w + ") == 0 || MEAN(" +
+                           learned_metric_key + ", " + w + ") >= " + Num(min_ratio) +
+                           " * MEAN(" + baseline_metric_key + ", " + w + ")";
+  return Assemble(name, rule, actions, options);
+}
+
+std::string DecisionQualityAbsoluteSpec(const std::string& name,
+                                        const std::string& metric_key, double min_value,
+                                        const std::string& actions,
+                                        const PropertySpecOptions& options) {
+  const std::string w = Ns(options.window);
+  const std::string rule = "COUNT(" + metric_key + ", " + w + ") == 0 || MEAN(" + metric_key +
+                           ", " + w + ") >= " + Num(min_value);
+  return Assemble(name, rule, actions, options);
+}
+
+std::string DecisionOverheadSpec(const std::string& name, const std::string& cost_key,
+                                 const std::string& total_key, double max_fraction,
+                                 const std::string& actions,
+                                 const PropertySpecOptions& options) {
+  const std::string w = Ns(options.window);
+  const std::string rule = "SUM(" + cost_key + ", " + w + ") <= " + Num(max_fraction) +
+                           " * SUM(" + total_key + ", " + w + ")";
+  return Assemble(name, rule, actions, options);
+}
+
+std::string LivenessSpec(const std::string& name, const std::string& starvation_key,
+                         double max_ms, const std::string& actions,
+                         const PropertySpecOptions& options) {
+  const std::string w = Ns(options.window);
+  const std::string rule = "COUNT(" + starvation_key + ", " + w + ") == 0 || MAX(" +
+                           starvation_key + ", " + w + ") <= " + Num(max_ms);
+  return Assemble(name, rule, actions, options);
+}
+
+}  // namespace osguard

@@ -1,0 +1,100 @@
+// Prebuilt property templates: the taxonomy of Figure 1 as code.
+//
+// Each builder returns guardrail DSL source for one property class, so the
+// prebuilt library goes through the same parse → analyze → compile → verify
+// pipeline as hand-written specs (§3.3's "many of these can be determined
+// automatically" — a harness that knows its metric keys can emit these
+// without a human writing DSL).
+//
+// Builders take the *action block body* as a string (e.g.
+// "REPLACE(linnos_model, heuristic_always_primary); REPORT(\"fallback\");")
+// because which corrective action fits is deployment knowledge, not property
+// knowledge (Figure 1 pairs them loosely, not rigidly).
+
+#ifndef SRC_PROPERTIES_SPECS_H_
+#define SRC_PROPERTIES_SPECS_H_
+
+#include <string>
+
+#include "src/support/time.h"
+
+namespace osguard {
+
+// Common knobs for every generated guardrail.
+struct PropertySpecOptions {
+  Duration check_interval = Seconds(1);
+  SimTime check_start = Seconds(1);
+  Duration window = Seconds(10);
+  // meta attributes; hysteresis counts consecutive failing checks.
+  int hysteresis = 1;
+  Duration cooldown = 0;
+  std::string severity = "warning";
+};
+
+// P1 — in-distribution inputs. Watches a drift score published by a
+// DriftDetector (see drift.h) under `<score_key>`; violated when the score
+// exceeds `max_score` (KS distance in [0,1]).
+std::string InDistributionSpec(const std::string& name, const std::string& score_key,
+                               double max_score, const std::string& actions,
+                               const PropertySpecOptions& options = {});
+
+// P2 — robustness of decisions. Bounded output sensitivity, unit-free: the
+// output series' coefficient of variation (stddev/mean) must not exceed
+// `sensitivity` times the input series' coefficient of variation. Written
+// multiplied out (stddev_out * mean_in <= k * stddev_in * mean_out + eps)
+// so the rule never divides by a quiet-window zero. Both series are assumed
+// positive-valued (rates, latencies); an output mean driven toward zero by
+// thrash makes the rule strictly harder to satisfy, which is the desired
+// failure direction.
+std::string RobustnessSpec(const std::string& name, const std::string& input_key,
+                           const std::string& output_key, double sensitivity,
+                           const std::string& actions,
+                           const PropertySpecOptions& options = {});
+
+// P3 — out-of-bounds outputs. The scalar `output_key` (the raw decision the
+// subsystem publishes before clamping) must stay within [lo_key, hi_key],
+// where the bounds are themselves store keys (legal ranges move at run
+// time, e.g. available memory).
+std::string OutputBoundsSpec(const std::string& name, const std::string& output_key,
+                             const std::string& lo_key, const std::string& hi_key,
+                             const std::string& actions,
+                             const PropertySpecOptions& options = {});
+
+// Same, with constant numeric bounds.
+std::string OutputBoundsConstSpec(const std::string& name, const std::string& output_key,
+                                  double lo, double hi, const std::string& actions,
+                                  const PropertySpecOptions& options = {});
+
+// P4 — decision quality. The windowed mean of `learned_metric_key` (higher
+// is better, e.g. hit rate or accuracy) must reach at least
+// `min_ratio` x the windowed mean of `baseline_metric_key`.
+std::string DecisionQualitySpec(const std::string& name,
+                                const std::string& learned_metric_key,
+                                const std::string& baseline_metric_key, double min_ratio,
+                                const std::string& actions,
+                                const PropertySpecOptions& options = {});
+
+// P4 variant — absolute threshold ("accuracy of the classifier > 90%").
+std::string DecisionQualityAbsoluteSpec(const std::string& name,
+                                        const std::string& metric_key, double min_value,
+                                        const std::string& actions,
+                                        const PropertySpecOptions& options = {});
+
+// P5 — decision overhead. The windowed sum of inference cost must stay
+// below `max_fraction` of the windowed sum of end-to-end latency (inference
+// must be paid back by the policy's gains).
+std::string DecisionOverheadSpec(const std::string& name, const std::string& cost_key,
+                                 const std::string& total_key, double max_fraction,
+                                 const std::string& actions,
+                                 const PropertySpecOptions& options = {});
+
+// P6 — fairness / liveness. The windowed max of `starvation_key`
+// (milliseconds) must stay below `max_ms` ("no ready task starved for more
+// than 100ms").
+std::string LivenessSpec(const std::string& name, const std::string& starvation_key,
+                         double max_ms, const std::string& actions,
+                         const PropertySpecOptions& options = {});
+
+}  // namespace osguard
+
+#endif  // SRC_PROPERTIES_SPECS_H_

@@ -1,0 +1,360 @@
+#include "src/runtime/engine.h"
+
+#include <chrono>
+
+#include "src/vm/verifier.h"
+
+#include "src/support/logging.h"
+
+namespace osguard {
+namespace {
+
+int64_t WallNowNs() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+Engine::Engine(FeatureStore* store, PolicyRegistry* registry, TaskControl* task_control,
+               EngineOptions options)
+    : store_(store),
+      registry_(registry),
+      options_(options),
+      reporter_(options.reporter_capacity),
+      retrain_queue_(options.retrain),
+      dispatcher_(&reporter_, registry, &retrain_queue_, task_control),
+      env_(store, &dispatcher_) {}
+
+void Engine::ArmTimers(Monitor& monitor) {
+  for (size_t i = 0; i < monitor.guardrail.triggers.size(); ++i) {
+    const CompiledTrigger& trigger = monitor.guardrail.triggers[i];
+    if (trigger.kind != TriggerKind::kTimer) {
+      continue;
+    }
+    // A monitor loaded mid-run starts checking strictly after the current
+    // time (no retroactive or immediate firings at load).
+    SimTime first = trigger.start;
+    if (first <= now_) {
+      const Duration interval = trigger.interval;
+      const int64_t missed = (now_ - trigger.start) / interval + 1;
+      first = trigger.start + missed * interval;
+    }
+    if (trigger.stop != 0 && first > trigger.stop) {
+      continue;
+    }
+    timers_.push(
+        TimerEntry{first, next_tiebreak_++, monitor.guardrail.name, i, monitor.generation});
+  }
+}
+
+Engine::Monitor* Engine::ResolveEntry(const TimerEntry& entry) const {
+  auto it = monitors_.find(entry.monitor_name);
+  if (it == monitors_.end() || it->second->generation != entry.generation) {
+    return nullptr;
+  }
+  return it->second.get();
+}
+
+void Engine::RebuildFunctionIndex() {
+  function_hooks_.clear();
+  watch_hooks_.clear();
+  for (auto& [name, monitor] : monitors_) {
+    for (const CompiledTrigger& trigger : monitor->guardrail.triggers) {
+      if (trigger.kind == TriggerKind::kFunction) {
+        function_hooks_[trigger.function_name].push_back(monitor.get());
+      } else if (trigger.kind == TriggerKind::kOnChange) {
+        watch_hooks_[trigger.watch_key].push_back(monitor.get());
+      }
+    }
+  }
+}
+
+Status Engine::Load(CompiledGuardrail guardrail) {
+  if (guardrail.name.empty()) {
+    return InvalidArgumentError("guardrail has no name");
+  }
+  // Defense in depth: never trust that the caller verified.
+  OSGUARD_RETURN_IF_ERROR(Verify(guardrail.rule, VerifyOptions{.allow_actions = false}));
+  OSGUARD_RETURN_IF_ERROR(Verify(guardrail.action, VerifyOptions{.allow_actions = true}));
+  if (!guardrail.on_satisfy.empty()) {
+    OSGUARD_RETURN_IF_ERROR(Verify(guardrail.on_satisfy, VerifyOptions{.allow_actions = true}));
+  }
+  auto monitor = std::make_unique<Monitor>();
+  monitor->guardrail = std::move(guardrail);
+  monitor->enabled = monitor->guardrail.meta.enabled;
+  monitor->generation = next_generation_++;
+  const std::string name = monitor->guardrail.name;
+  monitors_[name] = std::move(monitor);  // replace-by-name is the update path
+  ArmTimers(*monitors_[name]);
+  RebuildFunctionIndex();
+  OSGUARD_LOG(kDebug) << "loaded guardrail '" << name << "'";
+  return OkStatus();
+}
+
+Status Engine::LoadSource(const std::string& source) {
+  OSGUARD_ASSIGN_OR_RETURN(std::vector<CompiledGuardrail> compiled, CompileSource(source));
+  for (CompiledGuardrail& guardrail : compiled) {
+    OSGUARD_RETURN_IF_ERROR(Load(std::move(guardrail)));
+  }
+  return OkStatus();
+}
+
+Status Engine::Unload(const std::string& name) {
+  auto it = monitors_.find(name);
+  if (it == monitors_.end()) {
+    return NotFoundError("no guardrail named '" + name + "'");
+  }
+  monitors_.erase(it);  // queued timer entries die via generation mismatch
+  RebuildFunctionIndex();
+  return OkStatus();
+}
+
+Status Engine::SetEnabled(const std::string& name, bool enabled) {
+  auto it = monitors_.find(name);
+  if (it == monitors_.end()) {
+    return NotFoundError("no guardrail named '" + name + "'");
+  }
+  it->second->enabled = enabled;
+  return OkStatus();
+}
+
+std::vector<std::string> Engine::MonitorNames() const {
+  std::vector<std::string> names;
+  names.reserve(monitors_.size());
+  for (const auto& [name, monitor] : monitors_) {
+    names.push_back(name);
+  }
+  return names;
+}
+
+bool Engine::Contains(const std::string& name) const { return monitors_.count(name) > 0; }
+
+Result<MonitorStats> Engine::StatsFor(const std::string& name) const {
+  auto it = monitors_.find(name);
+  if (it == monitors_.end()) {
+    return NotFoundError("no guardrail named '" + name + "'");
+  }
+  return it->second->stats;
+}
+
+std::optional<SimTime> Engine::NextTimerDeadline() const {
+  // The heap may hold stale entries; a const peek can't pop them, so scan
+  // down lazily via a copy of the top. Stale entries are rare (only after
+  // unload/replace), so in the common case this is O(1).
+  auto copy = timers_;
+  while (!copy.empty()) {
+    const TimerEntry& top = copy.top();
+    if (ResolveEntry(top) != nullptr) {
+      return top.due;
+    }
+    copy.pop();
+  }
+  return std::nullopt;
+}
+
+void Engine::AdvanceTo(SimTime t) {
+  while (!timers_.empty() && timers_.top().due <= t) {
+    TimerEntry entry = timers_.top();
+    timers_.pop();
+    // Drop entries whose monitor was unloaded or replaced.
+    Monitor* monitor = ResolveEntry(entry);
+    if (monitor == nullptr) {
+      continue;
+    }
+    const CompiledTrigger& trigger = monitor->guardrail.triggers[entry.trigger_index];
+    now_ = std::max(now_, entry.due);
+    if (monitor->enabled) {
+      ++stats_.timer_firings;
+      Evaluate(*monitor, entry.due);
+    }
+    const SimTime next = entry.due + trigger.interval;
+    if (trigger.stop == 0 || next <= trigger.stop) {
+      timers_.push(TimerEntry{next, next_tiebreak_++, entry.monitor_name, entry.trigger_index,
+                              entry.generation});
+    }
+  }
+  now_ = std::max(now_, t);
+}
+
+void Engine::OnFunctionCall(std::string_view function, SimTime t) {
+  now_ = std::max(now_, t);
+  auto it = function_hooks_.find(std::string(function));
+  if (it == function_hooks_.end()) {
+    return;
+  }
+  for (Monitor* monitor : it->second) {
+    if (monitor->enabled) {
+      ++stats_.function_firings;
+      Evaluate(*monitor, now_);
+    }
+  }
+}
+
+void Engine::OnStoreWrite(const std::string& key) {
+  if (watch_hooks_.empty()) {
+    return;  // hot path when no ONCHANGE guardrail is loaded
+  }
+  if (watch_hooks_.find(key) == watch_hooks_.end()) {
+    return;
+  }
+  if (evaluating_) {
+    // Write performed by a running monitor program: defer (see header).
+    pending_changes_.push_back(key);
+    return;
+  }
+  auto it = watch_hooks_.find(key);
+  // Copy: Evaluate may load/unload monitors indirectly in future revisions.
+  const std::vector<Monitor*> hooked = it->second;
+  for (Monitor* monitor : hooked) {
+    if (monitor->enabled) {
+      ++stats_.change_firings;
+      Evaluate(*monitor, now_);
+    }
+  }
+  DrainPendingChanges();
+}
+
+void Engine::DrainPendingChanges() {
+  if (draining_) {
+    return;  // the outermost drain loop owns the queue
+  }
+  draining_ = true;
+  // Bounded cascade: monitor actions may write watched keys, which would
+  // re-trigger other ONCHANGE monitors. Process at most this many deferred
+  // evaluations per drain; anything beyond is dropped and counted.
+  constexpr int kCascadeBudget = 64;
+  int processed = 0;
+  while (!pending_changes_.empty()) {
+    std::vector<std::string> batch;
+    batch.swap(pending_changes_);
+    for (const std::string& key : batch) {
+      auto it = watch_hooks_.find(key);
+      if (it == watch_hooks_.end()) {
+        continue;
+      }
+      for (Monitor* monitor : it->second) {
+        if (!monitor->enabled) {
+          continue;
+        }
+        if (processed >= kCascadeBudget) {
+          ++stats_.change_cascade_suppressed;
+          continue;
+        }
+        ++processed;
+        ++stats_.change_firings;
+        Evaluate(*monitor, now_);
+      }
+    }
+    if (processed >= kCascadeBudget) {
+      stats_.change_cascade_suppressed += pending_changes_.size();
+      pending_changes_.clear();
+      break;
+    }
+  }
+  draining_ = false;
+}
+
+void Engine::RunActions(Monitor& monitor, const Program& program, SimTime t) {
+  env_.SetEnvelope(
+      ActionEnvelope{monitor.guardrail.name, monitor.guardrail.meta.severity, t});
+  const int64_t start = options_.measure_wall_time ? WallNowNs() : 0;
+  auto result = vm_.Execute(program, env_);
+  if (options_.measure_wall_time) {
+    const int64_t elapsed = WallNowNs() - start;
+    monitor.stats.action_wall_ns += elapsed;
+    stats_.total_wall_ns += elapsed;
+  }
+  if (!result.ok()) {
+    ++monitor.stats.errors;
+    ++stats_.errors;
+    reporter_.Report(ReportRecord{0, t, ReportKind::kMonitorError,
+                                  monitor.guardrail.meta.severity, monitor.guardrail.name,
+                                  result.status().ToString(),
+                                  {}});
+  }
+}
+
+void Engine::Evaluate(Monitor& monitor, SimTime t) {
+  // Mark the engine as evaluating so store writes made by this monitor's
+  // own programs defer their ONCHANGE processing (no re-entrant evaluation).
+  const bool outermost = !evaluating_;
+  evaluating_ = true;
+  EvaluateInner(monitor, t);
+  if (outermost) {
+    evaluating_ = false;
+    DrainPendingChanges();
+  }
+}
+
+void Engine::EvaluateInner(Monitor& monitor, SimTime t) {
+  MonitorStats& stats = monitor.stats;
+  ++stats.evaluations;
+  ++stats_.evaluations;
+
+  env_.SetEnvelope(
+      ActionEnvelope{monitor.guardrail.name, monitor.guardrail.meta.severity, t});
+  const int64_t start = options_.measure_wall_time ? WallNowNs() : 0;
+  auto result = vm_.Execute(monitor.guardrail.rule, env_);
+  if (options_.measure_wall_time) {
+    const int64_t elapsed = WallNowNs() - start;
+    stats.rule_wall_ns += elapsed;
+    stats_.total_wall_ns += elapsed;
+  }
+
+  if (!result.ok()) {
+    // "No decision": a faulty monitor must neither crash the kernel nor
+    // trigger corrective actions.
+    ++stats.errors;
+    ++stats_.errors;
+    reporter_.Report(ReportRecord{0, t, ReportKind::kMonitorError,
+                                  monitor.guardrail.meta.severity, monitor.guardrail.name,
+                                  result.status().ToString(),
+                                  {}});
+    return;
+  }
+
+  const bool holds = TruthyValue(result.value());
+  if (holds) {
+    if (stats.in_violation) {
+      stats.in_violation = false;
+      ++stats.satisfy_firings;
+      reporter_.Report(ReportRecord{0, t, ReportKind::kSatisfied,
+                                    monitor.guardrail.meta.severity, monitor.guardrail.name,
+                                    "property satisfied again",
+                                    {}});
+      if (!monitor.guardrail.on_satisfy.empty()) {
+        RunActions(monitor, monitor.guardrail.on_satisfy, t);
+      }
+    }
+    stats.consecutive_violations = 0;
+    return;
+  }
+
+  // Violation path.
+  ++stats.violations;
+  ++stats_.violations;
+  ++stats.consecutive_violations;
+  if (stats.consecutive_violations < monitor.guardrail.meta.hysteresis) {
+    ++stats.suppressed_hysteresis;
+    return;
+  }
+  const Duration cooldown = monitor.guardrail.meta.cooldown;
+  if (stats.last_action_time >= 0 && cooldown > 0 &&
+      t - stats.last_action_time < cooldown) {
+    ++stats.suppressed_cooldown;
+    return;
+  }
+  stats.in_violation = true;
+  stats.last_action_time = t;
+  ++stats.action_firings;
+  ++stats_.action_firings;
+  reporter_.Report(ReportRecord{0, t, ReportKind::kViolation,
+                                monitor.guardrail.meta.severity, monitor.guardrail.name,
+                                "rule violated",
+                                {}});
+  RunActions(monitor, monitor.guardrail.action, t);
+}
+
+}  // namespace osguard

@@ -1,0 +1,200 @@
+// The guardrail engine: owns loaded monitors, fires triggers, evaluates rule
+// programs, applies hysteresis/cooldown, and runs action programs.
+//
+// This is the in-kernel "guardrail monitor" runtime of §3.3, hosted by the
+// simulator. The kernel (simulated or test harness) drives it through two
+// callouts:
+//
+//   * AdvanceTo(t)        — simulated time progressed; fire due TIMER
+//                           triggers in timestamp order.
+//   * OnFunctionCall(f,t) — instrumented kernel function `f` was invoked;
+//                           fire FUNCTION-triggered monitors.
+//
+// Violation protocol per monitor evaluation:
+//   rule true  -> property holds. If the monitor was in violation, run the
+//                 on_satisfy program (if any) and emit a kSatisfied report.
+//   rule false -> violation. After `hysteresis` consecutive violations and
+//                 subject to `cooldown` between firings, run the action
+//                 program and emit a kViolation report.
+//   rule error -> counted, reported as kMonitorError; treated as "no
+//                 decision" (neither violation nor satisfaction). A faulty
+//                 monitor never crashes the kernel and never fires actions.
+//
+// Monitors can be loaded, replaced (same name), disabled, and unloaded at
+// run time — the incremental-deployment property of §3.3, and the
+// "update guardrails at runtime without requiring a kernel reboot" question
+// of §6.
+
+#ifndef SRC_RUNTIME_ENGINE_H_
+#define SRC_RUNTIME_ENGINE_H_
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <queue>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/actions/dispatcher.h"
+#include "src/actions/policy_registry.h"
+#include "src/actions/report.h"
+#include "src/actions/retrain.h"
+#include "src/actions/task_control.h"
+#include "src/runtime/helper_env.h"
+#include "src/store/feature_store.h"
+#include "src/vm/compiler.h"
+#include "src/vm/vm.h"
+
+namespace osguard {
+
+struct MonitorStats {
+  uint64_t evaluations = 0;
+  uint64_t violations = 0;            // evaluations where the rule was false
+  uint64_t action_firings = 0;        // times the action program ran
+  uint64_t satisfy_firings = 0;       // times the on_satisfy program ran
+  uint64_t errors = 0;                // rule/action program faults
+  uint64_t suppressed_hysteresis = 0; // violations absorbed before threshold
+  uint64_t suppressed_cooldown = 0;   // firings blocked by cooldown
+  int64_t rule_wall_ns = 0;           // host-clock cost of rule evaluations
+  int64_t action_wall_ns = 0;         // host-clock cost of action programs
+  bool in_violation = false;
+  int consecutive_violations = 0;
+  SimTime last_action_time = -1;
+};
+
+struct EngineStats {
+  uint64_t timer_firings = 0;
+  uint64_t function_firings = 0;
+  uint64_t change_firings = 0;          // ONCHANGE trigger evaluations
+  uint64_t change_cascade_suppressed = 0;  // deferred writes dropped at the budget
+  uint64_t evaluations = 0;
+  uint64_t violations = 0;
+  uint64_t action_firings = 0;
+  uint64_t errors = 0;
+  int64_t total_wall_ns = 0;  // rule + action host-clock cost across monitors
+};
+
+struct EngineOptions {
+  size_t reporter_capacity = 4096;
+  RetrainQueueOptions retrain;
+  // Measure per-evaluation host-clock cost (small overhead itself; the E1
+  // bench turns it on, unit tests don't care).
+  bool measure_wall_time = true;
+};
+
+class Engine {
+ public:
+  // `store` and `registry` are borrowed; `task_control` may be null.
+  Engine(FeatureStore* store, PolicyRegistry* registry, TaskControl* task_control = nullptr,
+         EngineOptions options = {});
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  // --- Loading ---
+
+  // Installs a compiled guardrail. Re-loading an existing name atomically
+  // replaces it (stats reset, triggers re-armed from the current time).
+  Status Load(CompiledGuardrail guardrail);
+
+  // Compiles `source` (full pipeline) and loads every guardrail in it.
+  Status LoadSource(const std::string& source);
+
+  Status Unload(const std::string& name);
+  Status SetEnabled(const std::string& name, bool enabled);
+  std::vector<std::string> MonitorNames() const;
+  bool Contains(const std::string& name) const;
+
+  // --- Kernel callouts ---
+
+  // Fires all TIMER triggers due at or before `t`, in timestamp order, then
+  // advances the engine clock to `t`. Time must be non-decreasing.
+  void AdvanceTo(SimTime t);
+
+  // Earliest pending TIMER deadline, if any (lets an event-driven host skip
+  // idle time).
+  std::optional<SimTime> NextTimerDeadline() const;
+
+  // Kernel function `function` was called at time `t`; fires FUNCTION
+  // triggers registered for it.
+  void OnFunctionCall(std::string_view function, SimTime t);
+
+  // Feature-store key `key` was written; fires ONCHANGE triggers watching
+  // it at the engine's current time. Writes performed *by monitor programs*
+  // (actions SAVE-ing state) are deferred until the running evaluation
+  // finishes and are processed with a bounded cascade budget, so two
+  // ONCHANGE guardrails whose actions touch each other's keys cannot loop
+  // the engine (§6's feedback-loop hazard, contained at the trigger layer).
+  void OnStoreWrite(const std::string& key);
+
+  // --- Introspection ---
+
+  SimTime now() const { return now_; }
+  Result<MonitorStats> StatsFor(const std::string& name) const;
+  EngineStats stats() const { return stats_; }
+
+  FeatureStore& store() { return *store_; }
+  PolicyRegistry& registry() { return *registry_; }
+  Reporter& reporter() { return reporter_; }
+  RetrainQueue& retrain_queue() { return retrain_queue_; }
+  ActionDispatcher& dispatcher() { return dispatcher_; }
+  Vm& vm() { return vm_; }
+
+ private:
+  struct Monitor {
+    CompiledGuardrail guardrail;
+    MonitorStats stats;
+    bool enabled = true;
+    uint64_t generation = 0;  // invalidates queued timer entries on unload
+  };
+
+  // Timer entries reference monitors by (name, generation) rather than by
+  // pointer: a hot replace or unload frees the Monitor while its entries are
+  // still queued, so entries must be validated against the live map before
+  // any dereference.
+  struct TimerEntry {
+    SimTime due;
+    uint64_t tiebreak;  // preserves FIFO order among equal deadlines
+    std::string monitor_name;
+    size_t trigger_index;
+    uint64_t generation;
+    bool operator>(const TimerEntry& other) const {
+      return due != other.due ? due > other.due : tiebreak > other.tiebreak;
+    }
+  };
+
+  // The live monitor for a queued entry, or null if the entry is stale.
+  Monitor* ResolveEntry(const TimerEntry& entry) const;
+
+  void ArmTimers(Monitor& monitor);
+  void RebuildFunctionIndex();
+  void Evaluate(Monitor& monitor, SimTime t);
+  void EvaluateInner(Monitor& monitor, SimTime t);
+  void RunActions(Monitor& monitor, const Program& program, SimTime t);
+  void DrainPendingChanges();
+
+  FeatureStore* store_;
+  PolicyRegistry* registry_;
+  EngineOptions options_;
+  Reporter reporter_;
+  RetrainQueue retrain_queue_;
+  ActionDispatcher dispatcher_;
+  MonitorHelperEnv env_;
+  Vm vm_;
+
+  SimTime now_ = 0;
+  uint64_t next_tiebreak_ = 0;
+  uint64_t next_generation_ = 1;
+  std::map<std::string, std::unique_ptr<Monitor>> monitors_;
+  std::priority_queue<TimerEntry, std::vector<TimerEntry>, std::greater<TimerEntry>> timers_;
+  std::unordered_map<std::string, std::vector<Monitor*>> function_hooks_;
+  std::unordered_map<std::string, std::vector<Monitor*>> watch_hooks_;
+  bool evaluating_ = false;
+  bool draining_ = false;
+  std::vector<std::string> pending_changes_;
+  EngineStats stats_;
+};
+
+}  // namespace osguard
+
+#endif  // SRC_RUNTIME_ENGINE_H_

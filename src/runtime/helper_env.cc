@@ -1,0 +1,189 @@
+#include "src/runtime/helper_env.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace osguard {
+namespace {
+
+Result<double> NumericArg(const Value& v, const char* what) {
+  if (!v.is_numeric() && v.type() != ValueType::kBool) {
+    return InvalidArgumentError(std::string(what) + " is not numeric: " + v.ToString());
+  }
+  return v.NumericOr(0.0);
+}
+
+AggKind AggKindFor(HelperId id) {
+  switch (id) {
+    case HelperId::kCount:
+      return AggKind::kCount;
+    case HelperId::kSum:
+      return AggKind::kSum;
+    case HelperId::kMean:
+      return AggKind::kMean;
+    case HelperId::kMinAgg:
+      return AggKind::kMin;
+    case HelperId::kMaxAgg:
+      return AggKind::kMax;
+    case HelperId::kStdDev:
+      return AggKind::kStdDev;
+    case HelperId::kRate:
+      return AggKind::kRate;
+    case HelperId::kNewest:
+      return AggKind::kNewest;
+    default:
+      return AggKind::kOldest;
+  }
+}
+
+}  // namespace
+
+Result<Value> MonitorHelperEnv::CallHelper(HelperId id, std::span<const Value> args) {
+  switch (id) {
+    case HelperId::kLoad:
+    case HelperId::kLoadOr:
+    case HelperId::kSave:
+    case HelperId::kIncr:
+    case HelperId::kExists:
+    case HelperId::kObserve:
+      return StoreHelper(id, args);
+    case HelperId::kCount:
+    case HelperId::kSum:
+    case HelperId::kMean:
+    case HelperId::kMinAgg:
+    case HelperId::kMaxAgg:
+    case HelperId::kStdDev:
+    case HelperId::kRate:
+    case HelperId::kNewest:
+    case HelperId::kOldest:
+    case HelperId::kQuantile:
+      return AggregateHelper(id, args);
+    case HelperId::kAbs:
+    case HelperId::kSqrt:
+    case HelperId::kLog:
+    case HelperId::kExp:
+    case HelperId::kFloor:
+    case HelperId::kCeil:
+    case HelperId::kPow:
+    case HelperId::kMin2:
+    case HelperId::kMax2:
+    case HelperId::kClamp:
+      return MathHelper(id, args);
+    case HelperId::kNow:
+      return Value(static_cast<int64_t>(envelope_.now));
+    case HelperId::kReport:
+    case HelperId::kReplace:
+    case HelperId::kRetrain:
+    case HelperId::kDeprioritize:
+      if (dispatcher_ == nullptr) {
+        return FailedPreconditionError("no action dispatcher bound to this monitor context");
+      }
+      return dispatcher_->Dispatch(id, args, envelope_);
+  }
+  return InternalError("unknown helper id " + std::to_string(static_cast<int>(id)));
+}
+
+Result<Value> MonitorHelperEnv::StoreHelper(HelperId id, std::span<const Value> args) {
+  OSGUARD_ASSIGN_OR_RETURN(std::string key, args[0].AsString());
+  switch (id) {
+    case HelperId::kLoad:
+      return store_->LoadOr(key, Value());  // nil when missing (see header)
+    case HelperId::kLoadOr:
+      return store_->LoadOr(key, args[1]);
+    case HelperId::kSave:
+      store_->Save(key, args[1]);
+      return Value();
+    case HelperId::kIncr: {
+      double delta = 1.0;
+      if (args.size() > 1) {
+        OSGUARD_ASSIGN_OR_RETURN(delta, NumericArg(args[1], "INCR delta"));
+      }
+      return Value(store_->Increment(key, delta));
+    }
+    case HelperId::kExists:
+      return Value(store_->Contains(key));
+    case HelperId::kObserve: {
+      OSGUARD_ASSIGN_OR_RETURN(double sample, NumericArg(args[1], "OBSERVE sample"));
+      store_->Observe(key, envelope_.now, sample);
+      return Value();
+    }
+    default:
+      return InternalError("not a store helper");
+  }
+}
+
+Result<Value> MonitorHelperEnv::AggregateHelper(HelperId id, std::span<const Value> args) {
+  OSGUARD_ASSIGN_OR_RETURN(std::string key, args[0].AsString());
+  if (id == HelperId::kQuantile) {
+    OSGUARD_ASSIGN_OR_RETURN(double q, NumericArg(args[1], "QUANTILE q"));
+    if (q < 0.0 || q > 1.0) {
+      return InvalidArgumentError("QUANTILE q must be in [0, 1]");
+    }
+    OSGUARD_ASSIGN_OR_RETURN(double window, NumericArg(args[2], "QUANTILE window"));
+    auto result = store_->AggregateQuantile(key, q, static_cast<Duration>(window),
+                                            envelope_.now);
+    if (!result.ok()) {
+      return Value();  // nil on empty window
+    }
+    return Value(result.value());
+  }
+  OSGUARD_ASSIGN_OR_RETURN(double window, NumericArg(args[1], "aggregate window"));
+  auto result =
+      store_->Aggregate(key, AggKindFor(id), static_cast<Duration>(window), envelope_.now);
+  if (!result.ok()) {
+    return Value();  // nil on empty window / missing series
+  }
+  return Value(result.value());
+}
+
+Result<Value> MonitorHelperEnv::MathHelper(HelperId id, std::span<const Value> args) {
+  OSGUARD_ASSIGN_OR_RETURN(double x, NumericArg(args[0], "math argument"));
+  switch (id) {
+    case HelperId::kAbs:
+      return Value(std::abs(x));
+    case HelperId::kSqrt:
+      if (x < 0.0) {
+        return InvalidArgumentError("SQRT of a negative value");
+      }
+      return Value(std::sqrt(x));
+    case HelperId::kLog:
+      if (x <= 0.0) {
+        return InvalidArgumentError("LOG of a non-positive value");
+      }
+      return Value(std::log(x));
+    case HelperId::kExp:
+      return Value(std::exp(x));
+    case HelperId::kFloor:
+      return Value(std::floor(x));
+    case HelperId::kCeil:
+      return Value(std::ceil(x));
+    case HelperId::kPow: {
+      OSGUARD_ASSIGN_OR_RETURN(double y, NumericArg(args[1], "POW exponent"));
+      const double r = std::pow(x, y);
+      if (!std::isfinite(r)) {
+        return InvalidArgumentError("POW result is not finite");
+      }
+      return Value(r);
+    }
+    case HelperId::kMin2: {
+      OSGUARD_ASSIGN_OR_RETURN(double y, NumericArg(args[1], "MIN2 argument"));
+      return Value(std::min(x, y));
+    }
+    case HelperId::kMax2: {
+      OSGUARD_ASSIGN_OR_RETURN(double y, NumericArg(args[1], "MAX2 argument"));
+      return Value(std::max(x, y));
+    }
+    case HelperId::kClamp: {
+      OSGUARD_ASSIGN_OR_RETURN(double lo, NumericArg(args[1], "CLAMP lo"));
+      OSGUARD_ASSIGN_OR_RETURN(double hi, NumericArg(args[2], "CLAMP hi"));
+      if (lo > hi) {
+        return InvalidArgumentError("CLAMP bounds are inverted");
+      }
+      return Value(std::clamp(x, lo, hi));
+    }
+    default:
+      return InternalError("not a math helper");
+  }
+}
+
+}  // namespace osguard

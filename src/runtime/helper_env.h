@@ -1,0 +1,49 @@
+// The runtime's HelperContext implementation: binds monitor programs to the
+// feature store, the action dispatcher, and simulated time.
+//
+// Missing-data semantics: LOAD of an absent key and aggregates over empty
+// windows return nil rather than faulting. Comparisons against nil *do*
+// fault (caught by the engine and counted as a monitor error), so rules that
+// must be robust at cold start guard themselves:
+//
+//   rule { COUNT(page_fault_lat, 10s) == 0 || MEAN(page_fault_lat, 10s) <= 2ms }
+//
+// or use LOAD_OR(key, default). This keeps "no data yet" distinguishable
+// from "data says zero", which matters for properties like P1/P4.
+
+#ifndef SRC_RUNTIME_HELPER_ENV_H_
+#define SRC_RUNTIME_HELPER_ENV_H_
+
+#include "src/actions/dispatcher.h"
+#include "src/store/feature_store.h"
+#include "src/vm/vm.h"
+
+namespace osguard {
+
+class MonitorHelperEnv : public HelperContext {
+ public:
+  // Both dependencies are borrowed and must outlive the env. `dispatcher`
+  // may be null for rule-only execution (actions then fault cleanly).
+  MonitorHelperEnv(FeatureStore* store, ActionDispatcher* dispatcher)
+      : store_(store), dispatcher_(dispatcher) {}
+
+  // The engine updates the envelope before every program execution.
+  void SetEnvelope(ActionEnvelope envelope) { envelope_ = std::move(envelope); }
+  const ActionEnvelope& envelope() const { return envelope_; }
+
+  Result<Value> CallHelper(HelperId id, std::span<const Value> args) override;
+  SimTime now() const override { return envelope_.now; }
+
+ private:
+  Result<Value> StoreHelper(HelperId id, std::span<const Value> args);
+  Result<Value> AggregateHelper(HelperId id, std::span<const Value> args);
+  Result<Value> MathHelper(HelperId id, std::span<const Value> args);
+
+  FeatureStore* store_;
+  ActionDispatcher* dispatcher_;
+  ActionEnvelope envelope_;
+};
+
+}  // namespace osguard
+
+#endif  // SRC_RUNTIME_HELPER_ENV_H_

@@ -1,0 +1,124 @@
+#include "src/sim/blk_layer.h"
+
+namespace osguard {
+
+BlockLayer::BlockLayer(Kernel& kernel, SsdDevice* primary, SsdDevice* replica,
+                       BlockLayerConfig config)
+    : kernel_(kernel), primary_(primary), replica_(replica), config_(std::move(config)) {
+  // Default ml_enabled to true so a learned policy is live until a guardrail
+  // turns it off (the Listing-2 action).
+  if (!kernel_.store().Contains(config_.ml_enabled_key)) {
+    kernel_.store().Save(config_.ml_enabled_key, Value(true));
+  }
+}
+
+IoContext BlockLayer::MakeContext(uint64_t lba, bool is_write) const {
+  IoContext context;
+  context.now = kernel_.now();
+  context.lba = lba;
+  context.is_write = is_write;
+  context.features.assign(kIoFeatureDim, 0.0);
+  // Latency history, oldest to newest; zero-padded until warm.
+  const size_t history = latency_history_us_.size();
+  for (size_t i = 0; i < history; ++i) {
+    context.features[4 - history + i] = latency_history_us_[i];
+  }
+  context.features[4] = static_cast<double>(primary_->QueueDepth(context.now, lba));
+  context.features[5] = static_cast<double>(primary_->TotalQueueDepth(context.now));
+  context.features[6] = is_write ? 1.0 : 0.0;
+  return context;
+}
+
+IoOutcome BlockLayer::SubmitIo(uint64_t lba, bool is_write) {
+  const SimTime now = kernel_.now();
+  FeatureStore& store = kernel_.store();
+  IoContext context = MakeContext(lba, is_write);
+  IoOutcome outcome;
+
+  // Resolve the active policy. Any failure (unbound slot, wrong type) falls
+  // back to default behavior — the block layer must never fail an I/O
+  // because of the prediction machinery.
+  std::shared_ptr<IoSubmitPolicy> policy;
+  auto resolved = kernel_.registry().ActiveAs<IoSubmitPolicy>(config_.policy_slot);
+  if (resolved.ok()) {
+    policy = std::move(resolved).value();
+  }
+  const bool ml_enabled = store.LoadOr(config_.ml_enabled_key, Value(true))
+                              .AsBool()
+                              .value_or(true);
+
+  Duration inference_cost = 0;
+  if (policy != nullptr && (!policy->is_learned() || ml_enabled)) {
+    outcome.used_model = policy->is_learned();
+    outcome.predicted_slow = policy->PredictSlow(context);
+    inference_cost = policy->inference_cost();
+  }
+
+  Duration device_latency;
+  if (outcome.predicted_slow && replica_ != nullptr) {
+    // Predictive failover: skip the primary entirely.
+    outcome.redirected = true;
+    device_latency = config_.failover_penalty + replica_->Submit(now, lba, is_write).latency;
+  } else {
+    const IoResult primary_result = primary_->Submit(now, lba, is_write);
+    device_latency = primary_result.latency;
+    outcome.actually_slow = primary_result.latency > config_.slow_threshold;
+    if (outcome.used_model) {
+      // The model vouched for the primary: no reactive revocation. A wrong
+      // vouch (false submit) pays the full slow latency.
+      outcome.false_submit = !outcome.predicted_slow && outcome.actually_slow;
+      // 1/0 per predicted-fast decision; MEAN over a window = false-submit rate.
+      store.Observe("blk.false_submit", now, outcome.false_submit ? 1.0 : 0.0);
+    } else if (replica_ != nullptr && primary_result.latency > config_.revoke_timeout) {
+      // Default reactive behavior: revoke at the timeout, reissue to the
+      // replica; the slow primary I/O is abandoned.
+      outcome.revoked = true;
+      outcome.redirected = true;
+      device_latency = config_.revoke_timeout + config_.failover_penalty +
+                       replica_->Submit(now + config_.revoke_timeout, lba, is_write).latency;
+    }
+  }
+
+  outcome.latency = device_latency + inference_cost;
+
+  // Publish the metrics guardrails watch.
+  const double latency_us = ToMicros(outcome.latency);
+  store.Observe("blk.io_latency_us", now, latency_us);
+  if (inference_cost > 0) {
+    store.Observe("blk.infer_cost_us", now, ToMicros(inference_cost));
+  }
+  if (outcome.used_model) {
+    // Maintain the Listing-2 scalar exactly as the paper writes it: the
+    // kernel site aggregates, the guardrail LOADs.
+    auto rate = store.Aggregate("blk.false_submit", AggKind::kMean, config_.rate_window, now);
+    store.Save("false_submit_rate", Value(rate.value_or(0.0)));
+  }
+
+  latency_history_us_.Push(latency_us);
+
+  ++stats_.total_ios;
+  stats_.latency_ns_total += outcome.latency;
+  stats_.inference_ns_total += inference_cost;
+  if (outcome.used_model) {
+    ++stats_.model_decisions;
+  }
+  if (outcome.redirected) {
+    ++stats_.redirects;
+  }
+  if (outcome.revoked) {
+    ++stats_.revokes;
+  }
+  if (outcome.false_submit) {
+    ++stats_.false_submits;
+  }
+  if (outcome.actually_slow) {
+    ++stats_.slow_ios;
+  }
+
+  if (config_.emit_callout) {
+    kernel_.Callout(config_.callout);
+  }
+  return outcome;
+}
+
+}  // namespace osguard

@@ -1,0 +1,156 @@
+// Failover block layer: the subsystem LinnOS plugs into.
+//
+// "LinnOS helps storage clusters with built-in failover logic such as flash
+// RAID by revoking slow I/O and re-issuing to a replica" (§5).
+//
+// Default (heuristic) behavior is *reactive* revocation: an I/O that has
+// not completed within `revoke_timeout` is revoked and reissued to the
+// replica, so slow I/Os cost timeout + reissue instead of the full GC pause.
+//
+// A learned submit predictor replaces the reactive path with prediction:
+//   predicted slow -> immediate failover (cheaper than waiting out the
+//                     timeout — this is LinnOS's win), and
+//   predicted fast -> the I/O runs to completion on the primary with NO
+//                     timeout revocation (trusting the model avoids
+//                     speculative reissue overhead).
+// A *false submit* — predicted fast but actually slow — therefore pays the
+// full slow latency, which is exactly why a high false-submit rate erases
+// the model's benefit and is the failure metric the Listing-2 guardrail
+// watches.
+//
+// Kernel integration (everything a guardrail can see or steer):
+//   feature store series  blk.io_latency_us   per-I/O end-to-end latency
+//                         blk.false_submit    1/0 per model-predicted-fast I/O
+//                         blk.infer_cost_us   inference overhead per I/O (P5)
+//   feature store scalars false_submit_rate   windowed mean, as in Listing 2
+//                         blk.ml_enabled      guardrail kill switch (SAVE)
+//   policy slot           blk.submit_predictor (REPLACE target)
+//   callout               blk_submit_io       FUNCTION trigger site
+
+#ifndef SRC_SIM_BLK_LAYER_H_
+#define SRC_SIM_BLK_LAYER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/actions/policy_registry.h"
+#include "src/sim/kernel.h"
+#include "src/sim/ssd_device.h"
+#include "src/support/ring_buffer.h"
+
+namespace osguard {
+
+// Decision context handed to submit-predictor policies. Features (in order):
+//   [0..3]  last four I/O latencies on this block layer, microseconds
+//   [4]     queue depth of the primary channel this LBA maps to
+//   [5]     total primary queue depth
+//   [6]     1.0 if the I/O is a write
+inline constexpr size_t kIoFeatureDim = 7;
+
+struct IoContext {
+  SimTime now = 0;
+  uint64_t lba = 0;
+  bool is_write = false;
+  std::vector<double> features;
+};
+
+// The policy interface bound to slot blk.submit_predictor.
+class IoSubmitPolicy : public Policy {
+ public:
+  // True if the primary is predicted to serve this I/O slowly.
+  virtual bool PredictSlow(const IoContext& context) = 0;
+
+  // Simulated cost of running the prediction on the submit path; added to
+  // the I/O's latency. This is what property P5 bounds.
+  virtual Duration inference_cost() const { return 0; }
+};
+
+// Default kernel behavior: never predict slow (always use the primary).
+class AlwaysPrimaryPolicy : public IoSubmitPolicy {
+ public:
+  std::string name() const override { return "heuristic_always_primary"; }
+  bool PredictSlow(const IoContext& context) override { return false; }
+};
+
+// Simple hand-coded heuristic: predict slow when the channel queue is deep.
+class QueueDepthHeuristicPolicy : public IoSubmitPolicy {
+ public:
+  explicit QueueDepthHeuristicPolicy(int depth_threshold = 3)
+      : depth_threshold_(depth_threshold) {}
+  std::string name() const override { return "heuristic_queue_depth"; }
+  bool PredictSlow(const IoContext& context) override {
+    return context.features[4] >= static_cast<double>(depth_threshold_);
+  }
+
+ private:
+  int depth_threshold_;
+};
+
+struct BlockLayerConfig {
+  // Actual latency above this counts as "slow" (the false-submit label).
+  Duration slow_threshold = Microseconds(500);
+  // Reactive path: revoke an un-predicted I/O after this long on the
+  // primary and reissue to the replica.
+  Duration revoke_timeout = Microseconds(500);
+  // Revoke-and-reissue overhead paid when failing over to the replica.
+  Duration failover_penalty = Microseconds(30);
+  // Window for the false_submit_rate scalar the Listing-2 rule LOADs.
+  Duration rate_window = Seconds(1);
+  std::string policy_slot = "blk.submit_predictor";
+  std::string ml_enabled_key = "blk.ml_enabled";
+  std::string callout = "blk_submit_io";
+  bool emit_callout = false;  // per-I/O FUNCTION trigger site (costly; opt-in)
+};
+
+struct IoOutcome {
+  Duration latency = 0;        // end-to-end including inference + failover costs
+  bool used_model = false;     // a learned policy made the call
+  bool predicted_slow = false;
+  bool redirected = false;     // served by the replica (predicted or revoked)
+  bool revoked = false;        // reactive timeout revocation fired
+  bool actually_slow = false;  // primary-path latency exceeded slow_threshold
+  bool false_submit = false;   // predicted fast, was slow
+};
+
+struct BlockLayerStats {
+  uint64_t total_ios = 0;
+  uint64_t model_decisions = 0;
+  uint64_t redirects = 0;
+  uint64_t revokes = 0;
+  uint64_t false_submits = 0;
+  uint64_t slow_ios = 0;
+  int64_t inference_ns_total = 0;
+  int64_t latency_ns_total = 0;
+};
+
+class BlockLayer {
+ public:
+  // `primary` and `replica` are borrowed. `replica` may be null (no
+  // failover possible; predictions become advisory only).
+  BlockLayer(Kernel& kernel, SsdDevice* primary, SsdDevice* replica,
+             BlockLayerConfig config = {});
+
+  // Submits one I/O at the kernel's current time and returns its outcome.
+  IoOutcome SubmitIo(uint64_t lba, bool is_write);
+
+  // Extracts the policy feature vector for the next I/O (public so trainers
+  // can build datasets from the same code path the runtime uses).
+  IoContext MakeContext(uint64_t lba, bool is_write) const;
+
+  const BlockLayerStats& stats() const { return stats_; }
+  SsdDevice& primary() { return *primary_; }
+  const BlockLayerConfig& config() const { return config_; }
+
+ private:
+  Kernel& kernel_;
+  SsdDevice* primary_;
+  SsdDevice* replica_;
+  BlockLayerConfig config_;
+  RingBuffer<double> latency_history_us_{4};
+  BlockLayerStats stats_;
+};
+
+}  // namespace osguard
+
+#endif  // SRC_SIM_BLK_LAYER_H_

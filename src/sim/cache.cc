@@ -1,0 +1,103 @@
+#include "src/sim/cache.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace osguard {
+
+size_t LruEvictionPolicy::PickVictim(const EvictionContext& context) {
+  size_t victim = 0;
+  for (size_t i = 1; i < context.residents.size(); ++i) {
+    if (context.residents[i].last_access < context.residents[victim].last_access) {
+      victim = i;
+    }
+  }
+  return victim;
+}
+
+size_t RandomEvictionPolicy::PickVictim(const EvictionContext& context) {
+  return static_cast<size_t>(
+      rng_.UniformInt(0, static_cast<int64_t>(context.residents.size()) - 1));
+}
+
+size_t MruEvictionPolicy::PickVictim(const EvictionContext& context) {
+  size_t victim = 0;
+  for (size_t i = 1; i < context.residents.size(); ++i) {
+    if (context.residents[i].last_access > context.residents[victim].last_access) {
+      victim = i;
+    }
+  }
+  return victim;
+}
+
+CacheSim::CacheSim(Kernel& kernel, CacheConfig config)
+    : kernel_(kernel), config_(std::move(config)) {
+  assert(config_.capacity > 0);
+}
+
+void CacheSim::EvictOne(uint64_t inserting_key) {
+  EvictionContext context;
+  context.now = kernel_.now();
+  context.inserting_key = inserting_key;
+  context.residents.reserve(entries_.size());
+  for (const auto& [key, meta] : entries_) {
+    context.residents.push_back({key, meta.last_access, meta.access_count});
+  }
+
+  size_t victim = 0;
+  auto policy = kernel_.registry().ActiveAs<EvictionPolicy>(config_.policy_slot);
+  if (policy.ok()) {
+    victim = policy.value()->PickVictim(context);
+    if (victim >= context.residents.size()) {
+      // Defensive clamp (P3-style containment); the pick is still counted.
+      ++stats_.bad_victim_indices;
+      victim = 0;
+    }
+  }
+  entries_.erase(context.residents[victim].key);
+  ++stats_.evictions;
+}
+
+bool CacheSim::Access(uint64_t key) {
+  const SimTime now = kernel_.now();
+  FeatureStore& store = kernel_.store();
+  ++stats_.accesses;
+
+  // Primary cache under the active (possibly learned) policy.
+  auto it = entries_.find(key);
+  const bool hit = it != entries_.end();
+  if (hit) {
+    it->second.last_access = now;
+    it->second.access_count += 1;
+    ++stats_.hits;
+  } else {
+    if (entries_.size() >= config_.capacity) {
+      EvictOne(key);
+    }
+    entries_[key] = EntryMeta{now, 1};
+  }
+  store.Observe(config_.hit_series, now, hit ? 1.0 : 0.0);
+
+  // Shadow LRU over the same access stream (the baseline counterfactual).
+  if (config_.shadow_lru) {
+    auto shadow_it = shadow_index_.find(key);
+    const bool shadow_hit = shadow_it != shadow_index_.end();
+    if (shadow_hit) {
+      shadow_lru_order_.erase(shadow_it->second);
+      shadow_lru_order_.push_back(key);
+      shadow_index_[key] = std::prev(shadow_lru_order_.end());
+      ++stats_.shadow_hits;
+    } else {
+      if (shadow_index_.size() >= config_.capacity) {
+        shadow_index_.erase(shadow_lru_order_.front());
+        shadow_lru_order_.pop_front();
+      }
+      shadow_lru_order_.push_back(key);
+      shadow_index_[key] = std::prev(shadow_lru_order_.end());
+    }
+    store.Observe(config_.shadow_series, now, shadow_hit ? 1.0 : 0.0);
+  }
+  return hit;
+}
+
+}  // namespace osguard

@@ -1,0 +1,136 @@
+// Cache substrate with pluggable eviction.
+//
+// Hosts the decision-quality property class (P4): "Cache replacement.
+// Decisions of the model must yield better hit rates than randomly selecting
+// elements." A fixed-capacity cache consults the eviction policy slot on
+// every miss; a *shadow cache* running the baseline policy over the same
+// access stream provides the counterfactual hit-rate series a P4 guardrail
+// compares against — the standard trick for measuring learned-policy regret
+// online without giving traffic to the baseline.
+//
+// Kernel integration:
+//   feature store series  cache.hit         1/0 per access (primary policy)
+//                         cache.shadow_hit  1/0 per access (baseline shadow)
+//   policy slot           cache.evict       (REPLACE target)
+
+#ifndef SRC_SIM_CACHE_H_
+#define SRC_SIM_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/actions/policy_registry.h"
+#include "src/sim/kernel.h"
+#include "src/support/rng.h"
+
+namespace osguard {
+
+// State handed to eviction policies when a victim is needed.
+struct EvictionContext {
+  SimTime now = 0;
+  uint64_t inserting_key = 0;
+  // Resident keys with recency metadata, most recently used LAST.
+  struct Entry {
+    uint64_t key;
+    SimTime last_access;
+    uint64_t access_count;
+  };
+  std::vector<Entry> residents;
+};
+
+class EvictionPolicy : public Policy {
+ public:
+  // Index into context.residents of the entry to evict.
+  virtual size_t PickVictim(const EvictionContext& context) = 0;
+};
+
+// Evicts the least recently used entry.
+class LruEvictionPolicy : public EvictionPolicy {
+ public:
+  std::string name() const override { return "cache_lru"; }
+  size_t PickVictim(const EvictionContext& context) override;
+};
+
+// Evicts uniformly at random — the paper's "randomly selecting elements"
+// quality floor.
+class RandomEvictionPolicy : public EvictionPolicy {
+ public:
+  explicit RandomEvictionPolicy(uint64_t seed = 11) : rng_(seed) {}
+  std::string name() const override { return "cache_random"; }
+  size_t PickVictim(const EvictionContext& context) override;
+
+ private:
+  Rng rng_;
+};
+
+// Anti-optimal policy for failure injection: evicts the MOST recently used
+// entry, the canonical worst case for loop-free skewed workloads.
+class MruEvictionPolicy : public EvictionPolicy {
+ public:
+  std::string name() const override { return "cache_mru"; }
+  bool is_learned() const override { return true; }  // plays the broken model
+  size_t PickVictim(const EvictionContext& context) override;
+};
+
+struct CacheConfig {
+  size_t capacity = 256;
+  std::string policy_slot = "cache.evict";
+  // Baseline policy used by the shadow cache (a private instance, not the
+  // registry's). Empty disables the shadow.
+  bool shadow_lru = true;
+  std::string hit_series = "cache.hit";
+  std::string shadow_series = "cache.shadow_hit";
+};
+
+struct CacheStats {
+  uint64_t accesses = 0;
+  uint64_t hits = 0;
+  uint64_t shadow_hits = 0;
+  uint64_t evictions = 0;
+  uint64_t bad_victim_indices = 0;  // out-of-range picks clamped
+  double hit_rate() const {
+    return accesses == 0 ? 0.0 : static_cast<double>(hits) / static_cast<double>(accesses);
+  }
+  double shadow_hit_rate() const {
+    return accesses == 0 ? 0.0
+                         : static_cast<double>(shadow_hits) / static_cast<double>(accesses);
+  }
+};
+
+class CacheSim {
+ public:
+  CacheSim(Kernel& kernel, CacheConfig config = {});
+
+  // One access at the kernel's current time; returns hit/miss of the
+  // primary cache.
+  bool Access(uint64_t key);
+
+  const CacheStats& stats() const { return stats_; }
+  size_t resident_count() const { return entries_.size(); }
+  bool Resident(uint64_t key) const { return entries_.count(key) > 0; }
+
+ private:
+  struct EntryMeta {
+    SimTime last_access = 0;
+    uint64_t access_count = 0;
+  };
+
+  void EvictOne(uint64_t inserting_key);
+
+  Kernel& kernel_;
+  CacheConfig config_;
+  std::unordered_map<uint64_t, EntryMeta> entries_;
+
+  // Shadow LRU cache (same capacity) for the baseline counterfactual.
+  std::list<uint64_t> shadow_lru_order_;  // front = LRU
+  std::unordered_map<uint64_t, std::list<uint64_t>::iterator> shadow_index_;
+
+  CacheStats stats_;
+};
+
+}  // namespace osguard
+
+#endif  // SRC_SIM_CACHE_H_

@@ -1,0 +1,75 @@
+#include "src/sim/congestion.h"
+
+#include <algorithm>
+
+namespace osguard {
+
+CongestionSim::CongestionSim(Kernel& kernel, CongestionConfig config)
+    : kernel_(kernel), config_(std::move(config)), rng_(config_.seed) {}
+
+void CongestionSim::Step() {
+  const SimTime now = kernel_.now();
+  const double dt_s = ToSeconds(config_.control_interval);
+
+  // Fluid queue update: backlog grows by the rate excess over capacity.
+  const double excess_mbps = rate_mbps_ - config_.capacity_mbps;
+  queue_ms_ += excess_mbps / config_.capacity_mbps * dt_s * 1000.0;
+  queue_ms_ = std::max(queue_ms_, 0.0);
+  bool loss = false;
+  if (queue_ms_ > config_.buffer_ms) {
+    loss = true;
+    queue_ms_ = config_.buffer_ms;  // overflow dropped
+  }
+
+  const double true_rtt_ms = config_.base_rtt_ms + queue_ms_;
+  const double delivered_mbps = std::min(rate_mbps_, config_.capacity_mbps);
+
+  // Noisy measurement, as real stacks see.
+  CcSignals signals;
+  signals.rtt_ms = std::max(0.1, true_rtt_ms + rng_.Normal(0.0, config_.rtt_noise_ms));
+  min_rtt_ms_ = std::min(min_rtt_ms_, signals.rtt_ms);
+  signals.min_rtt_ms = min_rtt_ms_;
+  signals.loss = loss;
+  signals.delivered_mbps = delivered_mbps;
+  signals.current_rate_mbps = rate_mbps_;
+
+  // Account this interval.
+  stats_.intervals += 1;
+  stats_.losses += loss ? 1 : 0;
+  stats_.delivered_mb += delivered_mbps * dt_s / 8.0;
+  stats_.offered_mb += rate_mbps_ * dt_s / 8.0;
+
+  // Publish the metrics guardrails watch, then consult the policy.
+  FeatureStore& store = kernel_.store();
+  store.Observe("net.rtt_ms", now, signals.rtt_ms);
+  store.Observe("net.loss", now, loss ? 1.0 : 0.0);
+  store.Observe("net.util", now, delivered_mbps / config_.capacity_mbps);
+
+  auto policy = kernel_.registry().ActiveAs<RatePolicy>(config_.policy_slot);
+  if (policy.ok()) {
+    const double next = policy.value()->NextRate(signals);
+    // Defensive clamp: a broken learned controller cannot take the rate
+    // negative or unbounded (the raw decision is still visible in the
+    // series below, so P2/P3 guardrails see the misbehavior).
+    store.Observe("net.rate_mbps", now, next);
+    rate_mbps_ = std::clamp(next, 0.1, config_.capacity_mbps * 16.0);
+  }
+}
+
+void CongestionSim::PumpFor(Duration duration) {
+  const SimTime end = kernel_.now() + duration;
+  struct Pump {
+    CongestionSim* sim;
+    SimTime end;
+    void operator()(SimTime now) const {
+      sim->Step();
+      const SimTime next = now + sim->config_.control_interval;
+      if (next <= end) {
+        sim->kernel_.queue().ScheduleAt(next, Pump{sim, end});
+      }
+    }
+  };
+  kernel_.queue().ScheduleAt(kernel_.now(), Pump{this, end});
+}
+
+}  // namespace osguard

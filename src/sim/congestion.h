@@ -1,0 +1,110 @@
+// Congestion-control substrate.
+//
+// Hosts the robustness property class (P2): "Congestion control. Check if
+// the model is sensitive to noisy measurements." A single bottleneck path is
+// modeled fluidly: the sender's rate fills a queue drained at link capacity;
+// RTT = base + queueing delay; overflow is loss. Every control interval the
+// active rate policy observes (rtt, loss, delivery rate) — with measurement
+// noise, which is what trips fragile learned controllers — and picks the
+// next sending rate.
+//
+// Kernel integration:
+//   feature store series  net.rtt_ms       observed (noisy) RTT per interval
+//                         net.rate_mbps    rate chosen by the policy
+//                         net.loss         1/0 loss indicator per interval
+//                         net.util         delivered/capacity per interval
+//   policy slot           net.cc           (REPLACE target)
+
+#ifndef SRC_SIM_CONGESTION_H_
+#define SRC_SIM_CONGESTION_H_
+
+#include <string>
+
+#include "src/actions/policy_registry.h"
+#include "src/sim/kernel.h"
+#include "src/support/rng.h"
+
+namespace osguard {
+
+// Measurements handed to rate policies each control interval.
+struct CcSignals {
+  double rtt_ms = 0.0;        // noisy sample
+  double min_rtt_ms = 0.0;    // running minimum (BBR-style)
+  bool loss = false;          // queue overflowed this interval
+  double delivered_mbps = 0;  // goodput over the last interval
+  double current_rate_mbps = 0;
+};
+
+class RatePolicy : public Policy {
+ public:
+  // Returns the sending rate (Mbps) for the next interval.
+  virtual double NextRate(const CcSignals& signals) = 0;
+};
+
+// TCP-like AIMD baseline: additive increase per RTT, halve on loss. The
+// "Cubic" role in Orca's design.
+class AimdPolicy : public RatePolicy {
+ public:
+  explicit AimdPolicy(double increase_mbps = 1.0) : increase_(increase_mbps) {}
+  std::string name() const override { return "cc_aimd"; }
+  double NextRate(const CcSignals& signals) override {
+    if (signals.loss) {
+      return std::max(signals.current_rate_mbps / 2.0, 1.0);
+    }
+    return signals.current_rate_mbps + increase_;
+  }
+
+ private:
+  double increase_;
+};
+
+struct CongestionConfig {
+  double capacity_mbps = 100.0;
+  double base_rtt_ms = 20.0;
+  // Queue capacity in milliseconds of buffering at link rate (BDP multiple).
+  double buffer_ms = 40.0;
+  Duration control_interval = Milliseconds(10);
+  double rtt_noise_ms = 1.0;  // stddev of measurement noise
+  std::string policy_slot = "net.cc";
+  uint64_t seed = 5;
+};
+
+struct CongestionStats {
+  uint64_t intervals = 0;
+  uint64_t losses = 0;
+  double delivered_mb = 0.0;   // total goodput
+  double offered_mb = 0.0;     // total sent
+  double utilization() const {
+    return offered_mb <= 0 ? 0 : delivered_mb / offered_mb;
+  }
+};
+
+class CongestionSim {
+ public:
+  CongestionSim(Kernel& kernel, CongestionConfig config = {});
+
+  // Advances one control interval at the kernel's current time: applies the
+  // active policy's rate, moves the fluid model, publishes metrics.
+  void Step();
+
+  // Convenience: schedules recurring Step events for `duration`.
+  void PumpFor(Duration duration);
+
+  double current_rate_mbps() const { return rate_mbps_; }
+  double queue_ms() const { return queue_ms_; }
+  const CongestionStats& stats() const { return stats_; }
+  const CongestionConfig& config() const { return config_; }
+
+ private:
+  Kernel& kernel_;
+  CongestionConfig config_;
+  Rng rng_;
+  double rate_mbps_ = 10.0;
+  double queue_ms_ = 0.0;      // backlog expressed as ms at link rate
+  double min_rtt_ms_ = 1e9;
+  CongestionStats stats_;
+};
+
+}  // namespace osguard
+
+#endif  // SRC_SIM_CONGESTION_H_

@@ -1,0 +1,45 @@
+#include "src/sim/event_queue.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace osguard {
+
+void EventQueue::ScheduleAt(SimTime at, EventFn fn) {
+  events_.push(Event{std::max(at, now_), next_sequence_++, std::move(fn)});
+}
+
+size_t EventQueue::RunUntil(SimTime until) {
+  size_t executed = 0;
+  while (!events_.empty() && events_.top().at <= until) {
+    // priority_queue::top is const; the event is copied out so pop can
+    // precede execution (events may schedule more events).
+    Event event = events_.top();
+    events_.pop();
+    now_ = event.at;
+    event.fn(now_);
+    ++executed;
+  }
+  now_ = std::max(now_, until);
+  return executed;
+}
+
+size_t EventQueue::RunAll(size_t max_events) {
+  size_t executed = 0;
+  while (!events_.empty() && executed < max_events) {
+    Event event = events_.top();
+    events_.pop();
+    now_ = event.at;
+    event.fn(now_);
+    ++executed;
+  }
+  return executed;
+}
+
+void EventQueue::Clear() {
+  while (!events_.empty()) {
+    events_.pop();
+  }
+}
+
+}  // namespace osguard

@@ -1,0 +1,62 @@
+// Discrete-event simulation core.
+//
+// A single-threaded event queue with a simulated nanosecond clock. All
+// substrates (block layer, scheduler, memory) schedule their work here, and
+// the kernel harness bridges queue time to the guardrail engine
+// (Engine::AdvanceTo) so TIMER monitors interleave correctly with workload
+// events.
+
+#ifndef SRC_SIM_EVENT_QUEUE_H_
+#define SRC_SIM_EVENT_QUEUE_H_
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "src/support/time.h"
+
+namespace osguard {
+
+class EventQueue {
+ public:
+  using EventFn = std::function<void(SimTime now)>;
+
+  SimTime now() const { return now_; }
+  bool empty() const { return events_.empty(); }
+  size_t size() const { return events_.size(); }
+
+  // Schedules `fn` at absolute time `at` (clamped to now: scheduling in the
+  // past runs "immediately" at the current time). Events at equal times run
+  // in scheduling order.
+  void ScheduleAt(SimTime at, EventFn fn);
+  void ScheduleAfter(Duration delay, EventFn fn) { ScheduleAt(now_ + delay, std::move(fn)); }
+
+  // Runs events with time <= until, then advances the clock to `until`.
+  // Returns the number of events executed.
+  size_t RunUntil(SimTime until);
+
+  // Runs until the queue drains or `max_events` have executed.
+  size_t RunAll(size_t max_events = SIZE_MAX);
+
+  // Drops all pending events (between experiment repetitions).
+  void Clear();
+
+ private:
+  struct Event {
+    SimTime at;
+    uint64_t sequence;
+    EventFn fn;
+    bool operator>(const Event& other) const {
+      return at != other.at ? at > other.at : sequence > other.sequence;
+    }
+  };
+
+  SimTime now_ = 0;
+  uint64_t next_sequence_ = 0;
+  std::priority_queue<Event, std::vector<Event>, std::greater<Event>> events_;
+};
+
+}  // namespace osguard
+
+#endif  // SRC_SIM_EVENT_QUEUE_H_

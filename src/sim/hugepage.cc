@@ -1,0 +1,92 @@
+#include "src/sim/hugepage.h"
+
+#include <algorithm>
+
+namespace osguard {
+
+MemoryManager::MemoryManager(Kernel& kernel, HugepageConfig config)
+    : kernel_(kernel), config_(std::move(config)), rng_(config_.seed) {
+  if (!kernel_.store().Contains(config_.enabled_key)) {
+    kernel_.store().Save(config_.enabled_key, Value(true));
+  }
+  kernel_.store().Save("mm.fragmentation", Value(0.0));
+}
+
+Duration MemoryManager::Touch(uint64_t process, uint64_t region) {
+  const uint64_t key = (process << 32) | (region & 0xffffffffull);
+  if (mapped_.count(key) > 0) {
+    return 0;  // already mapped
+  }
+  const SimTime now = kernel_.now();
+  FeatureStore& store = kernel_.store();
+  mapped_[key] = true;
+  regions_per_process_[process] += 1;
+  ++stats_.faults;
+
+  PromotionContext context;
+  context.now = now;
+  context.region = region;
+  context.fragmentation = fragmentation_;
+  context.process_regions = regions_per_process_[process];
+
+  bool promote = false;
+  const bool enabled =
+      store.LoadOr(config_.enabled_key, Value(true)).AsBool().value_or(true);
+  if (enabled) {
+    auto policy = kernel_.registry().ActiveAs<HugepagePolicy>(config_.policy_slot);
+    if (policy.ok()) {
+      promote = policy.value()->ShouldPromote(context);
+    }
+  }
+
+  Duration latency = config_.base_fault;
+  if (promote) {
+    ++stats_.promotions;
+    latency = config_.huge_alloc_fast;
+    // Finding contiguous memory under fragmentation means compaction; the
+    // stall probability grows superlinearly with fragmentation (CBMM's
+    // observed regime).
+    if (rng_.Bernoulli(fragmentation_ * fragmentation_)) {
+      const Duration stall = std::min<Duration>(
+          static_cast<Duration>(
+              rng_.Exponential(1.0 / static_cast<double>(config_.stall_mean))),
+          config_.stall_cap);
+      latency += stall;
+      ++stats_.stalls;
+      store.Observe("mm.stall_ms", now, ToMillis(stall));
+      // Compaction defragments as a side effect.
+      fragmentation_ = std::max(0.0, fragmentation_ - config_.frag_decay_per_stall);
+    }
+    fragmentation_ = std::min(1.0, fragmentation_ + config_.frag_per_alloc);
+  } else {
+    fragmentation_ = std::min(1.0, fragmentation_ + config_.frag_per_alloc / 8.0);
+  }
+
+  store.Observe("mm.fault_lat_ms", now, ToMillis(latency));
+  store.Save("mm.fragmentation", Value(fragmentation_));
+  stats_.total_fault_ns += latency;
+  stats_.worst_fault_ns = std::max<int64_t>(stats_.worst_fault_ns, latency);
+  return latency;
+}
+
+void MemoryManager::ReleaseProcess(uint64_t process) {
+  auto it = regions_per_process_.find(process);
+  if (it == regions_per_process_.end()) {
+    return;
+  }
+  // Freeing scatters holes: churn-driven fragmentation growth.
+  fragmentation_ =
+      std::min(1.0, fragmentation_ + config_.frag_per_alloc * 2.0 *
+                                         static_cast<double>(it->second));
+  for (auto mapped_it = mapped_.begin(); mapped_it != mapped_.end();) {
+    if ((mapped_it->first >> 32) == process) {
+      mapped_it = mapped_.erase(mapped_it);
+    } else {
+      ++mapped_it;
+    }
+  }
+  regions_per_process_.erase(it);
+  kernel_.store().Save("mm.fragmentation", Value(fragmentation_));
+}
+
+}  // namespace osguard

@@ -1,0 +1,128 @@
+// Huge-page memory-management substrate.
+//
+// Instantiates the paper's own motivating numbers: an OS "may spend up to
+// 500 ms allocating a huge page" (§1, citing CBMM), and the §2 property
+// example "Page fault latencies must not exceed 50ms".
+//
+// Model: processes touch virtual regions; the first touch of a region
+// faults. The promotion policy decides per-region whether to back it with
+// base pages (cheap, predictable fault; higher per-access cost via TLB
+// pressure) or a huge page (fast accesses, but allocation must find
+// contiguous memory — under fragmentation that means compaction, a stall
+// whose tail reaches hundreds of milliseconds). Fragmentation rises with
+// allocation churn and decays as compaction runs, so an
+// always-promote policy behaves beautifully on a fresh system and
+// pathologically on an aged one — the drift that makes this a guardrail
+// target.
+//
+// Kernel integration:
+//   feature store series  mm.fault_lat_ms   per-fault latency (ms)
+//                         mm.stall_ms       compaction stalls only
+//   feature store scalar  mm.fragmentation  current fragmentation in [0,1]
+//   policy slot           mem.hugepage      (REPLACE target)
+//   scalar kill switch    mm.huge_enabled   (SAVE target; default true)
+
+#ifndef SRC_SIM_HUGEPAGE_H_
+#define SRC_SIM_HUGEPAGE_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+
+#include "src/actions/policy_registry.h"
+#include "src/sim/kernel.h"
+#include "src/support/rng.h"
+
+namespace osguard {
+
+struct PromotionContext {
+  SimTime now = 0;
+  uint64_t region = 0;
+  uint64_t region_pages = 512;   // base pages the region spans
+  double fragmentation = 0.0;    // current system fragmentation [0,1]
+  uint64_t process_regions = 0;  // regions this process already touched
+};
+
+class HugepagePolicy : public Policy {
+ public:
+  // True: back the region with a huge page.
+  virtual bool ShouldPromote(const PromotionContext& context) = 0;
+};
+
+// Linux THP=never analogue.
+class NeverPromotePolicy : public HugepagePolicy {
+ public:
+  std::string name() const override { return "mm_never_promote"; }
+  bool ShouldPromote(const PromotionContext&) override { return false; }
+};
+
+// Linux THP=always analogue — great on fresh systems, stall-prone on aged
+// ones. Plays the "learned" policy role in failure-injection tests when
+// wrapped accordingly.
+class AlwaysPromotePolicy : public HugepagePolicy {
+ public:
+  std::string name() const override { return "mm_always_promote"; }
+  bool ShouldPromote(const PromotionContext&) override { return true; }
+};
+
+// Fragmentation-aware heuristic: promote only while compaction is cheap.
+class FragAwarePolicy : public HugepagePolicy {
+ public:
+  explicit FragAwarePolicy(double max_fragmentation = 0.4)
+      : max_fragmentation_(max_fragmentation) {}
+  std::string name() const override { return "mm_frag_aware"; }
+  bool ShouldPromote(const PromotionContext& context) override {
+    return context.fragmentation <= max_fragmentation_;
+  }
+
+ private:
+  double max_fragmentation_;
+};
+
+struct HugepageConfig {
+  Duration base_fault = Microseconds(8);       // minor fault, base pages
+  Duration huge_alloc_fast = Microseconds(60); // huge page from free contig mem
+  Duration stall_mean = Milliseconds(120);     // compaction stall (exponential)
+  Duration stall_cap = Milliseconds(500);      // the paper's 500ms worst case
+  double frag_per_alloc = 0.004;               // churn raises fragmentation
+  double frag_decay_per_stall = 0.15;          // compaction defragments
+  std::string policy_slot = "mem.hugepage";
+  std::string enabled_key = "mm.huge_enabled";
+  uint64_t seed = 21;
+};
+
+struct HugepageStats {
+  uint64_t faults = 0;
+  uint64_t promotions = 0;
+  uint64_t stalls = 0;
+  int64_t total_fault_ns = 0;
+  int64_t worst_fault_ns = 0;
+};
+
+class MemoryManager {
+ public:
+  MemoryManager(Kernel& kernel, HugepageConfig config = {});
+
+  // First touch of `region` by `process`: returns the fault latency
+  // (repeat touches return 0 — already mapped).
+  Duration Touch(uint64_t process, uint64_t region);
+
+  // Frees a process's regions (exit); churn raises fragmentation.
+  void ReleaseProcess(uint64_t process);
+
+  double fragmentation() const { return fragmentation_; }
+  const HugepageStats& stats() const { return stats_; }
+
+ private:
+  Kernel& kernel_;
+  HugepageConfig config_;
+  Rng rng_;
+  double fragmentation_ = 0.0;
+  std::unordered_map<uint64_t, uint64_t> regions_per_process_;
+  std::unordered_map<uint64_t, bool> mapped_;  // (process<<32|region) -> present
+  HugepageStats stats_;
+};
+
+}  // namespace osguard
+
+#endif  // SRC_SIM_HUGEPAGE_H_

@@ -1,0 +1,26 @@
+#include "src/sim/kernel.h"
+
+namespace osguard {
+
+Kernel::Kernel(EngineOptions engine_options) {
+  engine_ = std::make_unique<Engine>(&store_, &registry_, &task_control_shim_, engine_options);
+  // Route store writes to the engine so ONCHANGE triggers fire.
+  store_.SetWriteObserver([this](const std::string& key) { engine_->OnStoreWrite(key); });
+}
+
+void Kernel::Run(SimTime until) {
+  // Interleave workload events and monitor timers in timestamp order: run
+  // queue events up to the next monitor deadline, fire the monitors, repeat.
+  while (true) {
+    auto deadline = engine_->NextTimerDeadline();
+    if (!deadline.has_value() || *deadline > until) {
+      break;
+    }
+    queue_.RunUntil(*deadline);
+    engine_->AdvanceTo(*deadline);
+  }
+  queue_.RunUntil(until);
+  engine_->AdvanceTo(until);
+}
+
+}  // namespace osguard

@@ -1,0 +1,79 @@
+// The simulated kernel: the composition root.
+//
+// Owns the feature store, policy registry, event queue, and guardrail
+// engine, and exposes the two integration points the paper's framework
+// needs from a kernel:
+//
+//   * time flow   — Run(t) pumps the event queue and the engine's TIMER
+//                   triggers in a single interleaved timeline;
+//   * callouts    — Callout("fn") marks an instrumented kernel function so
+//                   FUNCTION-triggered monitors fire at the right spot.
+//
+// Subsystems (block layer, scheduler, memory) receive a Kernel& and use its
+// store/registry/queue; they never talk to the engine directly.
+
+#ifndef SRC_SIM_KERNEL_H_
+#define SRC_SIM_KERNEL_H_
+
+#include <memory>
+#include <string>
+
+#include "src/actions/task_control.h"
+#include "src/runtime/engine.h"
+#include "src/sim/event_queue.h"
+#include "src/store/feature_store.h"
+
+namespace osguard {
+
+class Kernel {
+ public:
+  explicit Kernel(EngineOptions engine_options = {});
+
+  // Registers the task-control implementation (usually the scheduler) for
+  // DEPRIORITIZE. Must be called before guardrails that use A4 fire; the
+  // engine falls back to a recording stub otherwise.
+  // NOTE: construction-order constraint — the engine binds task control at
+  // construction, so the Kernel constructor wires a forwarding shim and this
+  // call just retargets it.
+  void SetTaskControl(TaskControl* task_control) { task_control_shim_.target = task_control; }
+
+  FeatureStore& store() { return store_; }
+  PolicyRegistry& registry() { return registry_; }
+  EventQueue& queue() { return queue_; }
+  Engine& engine() { return *engine_; }
+  SimTime now() const { return queue_.now(); }
+
+  // Loads guardrail specs (DSL source) into the engine.
+  Status LoadGuardrails(const std::string& source) { return engine_->LoadSource(source); }
+
+  // Runs the interleaved timeline (events + monitor timers) up to `until`.
+  void Run(SimTime until);
+
+  // Marks an instrumented kernel function call at the current time.
+  void Callout(std::string_view function) { engine_->OnFunctionCall(function, queue_.now()); }
+
+ private:
+  // Forwards DEPRIORITIZE to whichever subsystem registered; records when
+  // none has.
+  struct TaskControlShim : TaskControl {
+    TaskControl* target = nullptr;
+    RecordingTaskControl recorder;
+    Status Deprioritize(const std::vector<std::string>& tasks,
+                        const std::vector<double>& priorities, SimTime now) override {
+      if (target != nullptr) {
+        return target->Deprioritize(tasks, priorities, now);
+      }
+      return recorder.Deprioritize(tasks, priorities, now);
+    }
+  };
+
+  FeatureStore store_;
+  PolicyRegistry registry_;
+  EventQueue queue_;
+  TaskControlShim task_control_shim_;
+  std::unique_ptr<Engine> engine_;
+};
+
+}  // namespace osguard
+
+#endif  // SRC_SIM_KERNEL_H_

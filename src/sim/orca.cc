@@ -1,0 +1,48 @@
+#include "src/sim/orca.h"
+
+#include <algorithm>
+
+namespace osguard {
+
+HybridRatePolicy::HybridRatePolicy(SlowPathModel model, HybridPolicyConfig config)
+    : model_(std::move(model)), config_(config), aimd_(config.aimd_increase_mbps) {}
+
+double HybridRatePolicy::NextRate(const CcSignals& signals) {
+  // Smooth the raw signals for the slow path.
+  const double alpha = config_.smoothing_alpha;
+  if (!warm_) {
+    smoothed_rtt_ms_ = signals.rtt_ms;
+    smoothed_delivered_ = signals.delivered_mbps;
+    loss_rate_ = signals.loss ? 1.0 : 0.0;
+    warm_ = true;
+  } else {
+    smoothed_rtt_ms_ = alpha * signals.rtt_ms + (1 - alpha) * smoothed_rtt_ms_;
+    smoothed_delivered_ =
+        alpha * signals.delivered_mbps + (1 - alpha) * smoothed_delivered_;
+    loss_rate_ = alpha * (signals.loss ? 1.0 : 0.0) + (1 - alpha) * loss_rate_;
+  }
+
+  // Slow timescale: every slow_period intervals the learned component picks
+  // a new gain — clamped, which is the Orca-style structural guardrail.
+  if (++interval_count_ >= config_.slow_period && model_) {
+    interval_count_ = 0;
+    CcSignals smoothed = signals;
+    smoothed.rtt_ms = smoothed_rtt_ms_;
+    smoothed.delivered_mbps = smoothed_delivered_;
+    smoothed.loss = loss_rate_ > 0.1;
+    const double proposed = model_(smoothed);
+    ++adjustments_;
+    const double clamped = std::clamp(proposed, config_.min_gain, config_.max_gain);
+    if (clamped != proposed) {
+      ++clamped_;
+    }
+    gain_ = clamped;
+  }
+
+  // Fine timescale: plain AIMD on the raw signals, then the learned gain
+  // rescales the operating point.
+  const double base = aimd_.NextRate(signals);
+  return std::max(0.1, base * gain_);
+}
+
+}  // namespace osguard

@@ -1,0 +1,73 @@
+// Orca-style hybrid congestion controller (paper §2).
+//
+// "Orca is a learned congestion controller that uses Cubic for fine
+// time-scale CC and a learned model that makes adjustments to TCP at slow
+// time-scales. By designing the controller in such a way, Orca is able to
+// capitalize on the benefits of TCP Cubic such as convergence properties,
+// predictable behavior and reduced overheads."
+//
+// The paper's criticism is that this safety technique is *structural* — it
+// is baked into one controller's design and cannot be reused for other
+// models or richer properties. We implement the structure faithfully so the
+// comparison is concrete: HybridRatePolicy wraps a fine-timescale AIMD core
+// and lets a learned component rescale its operating point every
+// `slow_period` intervals, with the learned gain clamped to
+// [min_gain, max_gain]. Guardrails can then be layered on top of it exactly
+// like on any other policy — the two mechanisms compose rather than
+// compete.
+
+#ifndef SRC_SIM_ORCA_H_
+#define SRC_SIM_ORCA_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "src/sim/congestion.h"
+
+namespace osguard {
+
+// The learned slow-timescale component: maps smoothed path statistics to a
+// multiplicative gain on the AIMD core's rate. Implementations range from a
+// trained model to a scripted function (tests).
+using SlowPathModel = std::function<double(const CcSignals& smoothed)>;
+
+struct HybridPolicyConfig {
+  int slow_period = 20;      // fine-timescale intervals per learned adjustment
+  double min_gain = 0.5;     // structural safety: learned influence is clamped
+  double max_gain = 2.0;
+  double aimd_increase_mbps = 1.0;
+  double smoothing_alpha = 0.2;  // EWMA over signals fed to the model
+};
+
+class HybridRatePolicy : public RatePolicy {
+ public:
+  HybridRatePolicy(SlowPathModel model, HybridPolicyConfig config = {});
+
+  std::string name() const override { return "cc_hybrid_orca"; }
+  bool is_learned() const override { return true; }
+  double NextRate(const CcSignals& signals) override;
+
+  // Introspection for tests and reports.
+  double current_gain() const { return gain_; }
+  uint64_t learned_adjustments() const { return adjustments_; }
+  uint64_t clamped_adjustments() const { return clamped_; }
+
+ private:
+  SlowPathModel model_;
+  HybridPolicyConfig config_;
+  AimdPolicy aimd_;
+  double gain_ = 1.0;
+  int interval_count_ = 0;
+  uint64_t adjustments_ = 0;
+  uint64_t clamped_ = 0;
+  // Smoothed signals handed to the slow path.
+  double smoothed_rtt_ms_ = 0.0;
+  double smoothed_delivered_ = 0.0;
+  double loss_rate_ = 0.0;
+  bool warm_ = false;
+};
+
+}  // namespace osguard
+
+#endif  // SRC_SIM_ORCA_H_

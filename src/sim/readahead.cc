@@ -1,0 +1,111 @@
+#include "src/sim/readahead.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace osguard {
+
+ReadaheadManager::ReadaheadManager(Kernel& kernel, ReadaheadConfig config)
+    : kernel_(kernel), config_(std::move(config)) {
+  kernel_.store().Save("ra.max_legal",
+                       Value(static_cast<int64_t>(config_.cache_capacity_chunks)));
+}
+
+ReadaheadContext ReadaheadManager::MakeContext(uint64_t chunk) const {
+  ReadaheadContext context;
+  context.now = kernel_.now();
+  context.chunk = chunk;
+  context.features.assign(kReadaheadFeatureDim, 0.0);
+  context.features[0] =
+      static_cast<double>(chunk) / static_cast<double>(std::max<uint64_t>(config_.file_chunks, 1));
+  if (stride_history_.size() > 0) {
+    size_t sequential = 0;
+    double stride_sum = 0.0;
+    for (size_t i = 0; i < stride_history_.size(); ++i) {
+      if (stride_history_[i] == 1) {
+        ++sequential;
+      }
+      stride_sum += static_cast<double>(stride_history_[i]);
+    }
+    context.features[1] =
+        static_cast<double>(sequential) / static_cast<double>(stride_history_.size());
+    context.features[3] = stride_sum / static_cast<double>(stride_history_.size());
+  }
+  context.features[2] = static_cast<double>(cache_.size()) /
+                        static_cast<double>(std::max<uint64_t>(config_.cache_capacity_chunks, 1));
+  return context;
+}
+
+void ReadaheadManager::EvictIfNeeded() {
+  while (cache_.size() > config_.cache_capacity_chunks && !cache_fifo_.empty()) {
+    cache_.erase(cache_fifo_.front());
+    cache_fifo_.erase(cache_fifo_.begin());
+  }
+}
+
+Duration ReadaheadManager::Read(uint64_t chunk) {
+  const SimTime now = kernel_.now();
+  FeatureStore& store = kernel_.store();
+  chunk = std::min<uint64_t>(chunk, config_.file_chunks - 1);
+
+  // Serve the read.
+  Duration latency;
+  const bool hit = cache_.count(chunk) > 0;
+  if (hit) {
+    latency = config_.hit_latency;
+    ++stats_.hits;
+  } else {
+    latency = config_.miss_latency;
+    if (cache_.insert(chunk).second) {
+      cache_fifo_.push_back(chunk);
+    }
+  }
+  ++stats_.reads;
+  store.Observe("ra.hit", now, hit ? 1.0 : 0.0);
+
+  // Track stride history for the policy's features.
+  if (has_last_) {
+    stride_history_.Push(static_cast<int64_t>(chunk) - static_cast<int64_t>(last_chunk_));
+  }
+  last_chunk_ = chunk;
+  has_last_ = true;
+
+  // Ask the policy what to prefetch.
+  const ReadaheadContext context = MakeContext(chunk);
+  int64_t decision = 0;
+  auto policy = kernel_.registry().ActiveAs<ReadaheadPolicy>(config_.policy_slot);
+  if (policy.ok()) {
+    decision = policy.value()->PrefetchChunks(context);
+  }
+
+  // Expose the *raw* output for P3 guardrails, then validate and clamp.
+  store.Save("ra.last_decision", Value(decision));
+  store.Observe("ra.decision", now, static_cast<double>(decision));
+  int64_t legal = decision;
+  const int64_t max_by_file =
+      static_cast<int64_t>(config_.file_chunks - 1) - static_cast<int64_t>(chunk);
+  const int64_t max_by_cache = static_cast<int64_t>(config_.cache_capacity_chunks);
+  const int64_t upper = std::max<int64_t>(0, std::min(max_by_file, max_by_cache));
+  if (legal < 0 || legal > upper) {
+    ++stats_.illegal_decisions;
+    legal = std::clamp<int64_t>(legal, 0, upper);
+  }
+
+  for (int64_t i = 1; i <= legal; ++i) {
+    const uint64_t target = chunk + static_cast<uint64_t>(i);
+    if (cache_.insert(target).second) {
+      cache_fifo_.push_back(target);
+      ++stats_.prefetched_chunks;
+    }
+    latency += config_.prefetch_cost_per_chunk;
+  }
+  EvictIfNeeded();
+
+  stats_.latency_ns_total += latency;
+  if (config_.emit_callout) {
+    kernel_.Callout(config_.callout);
+  }
+  return latency;
+}
+
+}  // namespace osguard

@@ -1,0 +1,120 @@
+// File readahead substrate.
+//
+// Hosts the out-of-bounds-output property class (P3): "a model starts to
+// produce illegal decisions, such as prefetching chunks from a file beyond
+// the memory limit for a process". A readahead policy predicts, at each
+// file read, how many subsequent chunks to prefetch. Good predictions turn
+// future reads into cache hits; illegal predictions (negative, beyond the
+// file, beyond the process memory budget) must be caught — the substrate
+// clamps them defensively, counts them, and exposes the *raw* policy output
+// to the store so a P3 guardrail can see the violation even though the
+// kernel survived it.
+//
+// Kernel integration:
+//   feature store series  ra.hit           1/0 per read (cache hit?)
+//                         ra.decision      raw chunks-to-prefetch output
+//   feature store scalars ra.last_decision raw output of the latest decision
+//                         ra.max_legal     current legal bound
+//   policy slot           mem.readahead    (REPLACE target)
+//   callout               ra_decide        FUNCTION trigger site
+
+#ifndef SRC_SIM_READAHEAD_H_
+#define SRC_SIM_READAHEAD_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "src/actions/policy_registry.h"
+#include "src/sim/kernel.h"
+#include "src/support/ring_buffer.h"
+
+namespace osguard {
+
+// Decision context for readahead policies. Features:
+//   [0] current chunk index / file size (position fraction)
+//   [1] sequentiality of the last 8 reads (fraction of +1 strides)
+//   [2] cache occupancy fraction
+//   [3] mean stride of the last 8 reads (chunks)
+inline constexpr size_t kReadaheadFeatureDim = 4;
+
+struct ReadaheadContext {
+  SimTime now = 0;
+  uint64_t chunk = 0;
+  std::vector<double> features;
+};
+
+class ReadaheadPolicy : public Policy {
+ public:
+  // Number of chunks to prefetch after `context.chunk`. The substrate
+  // validates; policies may return garbage (that is the point of P3).
+  virtual int64_t PrefetchChunks(const ReadaheadContext& context) = 0;
+};
+
+// Linux-like fixed-window heuristic: prefetch a small window when access
+// looks sequential, nothing otherwise.
+class FixedWindowReadahead : public ReadaheadPolicy {
+ public:
+  explicit FixedWindowReadahead(int64_t window = 8) : window_(window) {}
+  std::string name() const override { return "heuristic_fixed_window"; }
+  int64_t PrefetchChunks(const ReadaheadContext& context) override {
+    return context.features[1] > 0.5 ? window_ : 0;
+  }
+
+ private:
+  int64_t window_;
+};
+
+struct ReadaheadConfig {
+  uint64_t file_chunks = 1 << 20;       // file size, in chunks
+  uint64_t cache_capacity_chunks = 4096; // process page-cache budget
+  Duration hit_latency = Microseconds(2);
+  Duration miss_latency = Microseconds(120);
+  Duration prefetch_cost_per_chunk = Microseconds(1);  // issue overhead
+  std::string policy_slot = "mem.readahead";
+  std::string callout = "ra_decide";
+  bool emit_callout = false;
+};
+
+struct ReadaheadStats {
+  uint64_t reads = 0;
+  uint64_t hits = 0;
+  uint64_t prefetched_chunks = 0;
+  uint64_t illegal_decisions = 0;   // clamped out-of-bounds outputs
+  int64_t latency_ns_total = 0;
+  double hit_rate() const {
+    return reads == 0 ? 0.0 : static_cast<double>(hits) / static_cast<double>(reads);
+  }
+};
+
+class ReadaheadManager {
+ public:
+  ReadaheadManager(Kernel& kernel, ReadaheadConfig config = {});
+
+  // Performs one chunk read at the kernel's current time. Returns the
+  // simulated read latency (cache hit or miss plus prefetch issue cost).
+  Duration Read(uint64_t chunk);
+
+  ReadaheadContext MakeContext(uint64_t chunk) const;
+
+  const ReadaheadStats& stats() const { return stats_; }
+  const ReadaheadConfig& config() const { return config_; }
+  size_t cached_chunks() const { return cache_.size(); }
+
+ private:
+  void EvictIfNeeded();
+
+  Kernel& kernel_;
+  ReadaheadConfig config_;
+  std::unordered_set<uint64_t> cache_;
+  std::vector<uint64_t> cache_fifo_;  // simple FIFO eviction order
+  RingBuffer<int64_t> stride_history_{8};
+  uint64_t last_chunk_ = 0;
+  bool has_last_ = false;
+  ReadaheadStats stats_;
+};
+
+}  // namespace osguard
+
+#endif  // SRC_SIM_READAHEAD_H_

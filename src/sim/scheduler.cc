@@ -1,0 +1,183 @@
+#include "src/sim/scheduler.h"
+
+#include <algorithm>
+
+namespace osguard {
+
+size_t FairPickPolicy::Pick(const std::vector<const SchedTask*>& runnable, SimTime now) {
+  size_t best = 0;
+  for (size_t i = 1; i < runnable.size(); ++i) {
+    if (runnable[i]->vruntime < runnable[best]->vruntime) {
+      best = i;
+    }
+  }
+  return best;
+}
+
+Scheduler::Scheduler(Kernel& kernel, SchedulerConfig config)
+    : kernel_(kernel), config_(std::move(config)) {
+  kernel_.SetTaskControl(this);
+}
+
+TaskId Scheduler::AddTask(std::string name, double weight) {
+  SchedTask task;
+  task.id = next_id_++;
+  task.name = std::move(name);
+  task.weight = std::max(weight, 0.0001);
+  tasks_[task.id] = std::move(task);
+  return next_id_ - 1;
+}
+
+Status Scheduler::SubmitBurst(TaskId id, Duration cpu_time) {
+  auto it = tasks_.find(id);
+  if (it == tasks_.end()) {
+    return NotFoundError("no task with id " + std::to_string(id));
+  }
+  SchedTask& task = it->second;
+  if (task.state == TaskState::kDead) {
+    return FailedPreconditionError("task '" + task.name + "' was killed");
+  }
+  task.remaining_burst += cpu_time;
+  if (task.state == TaskState::kBlocked || task.state == TaskState::kFinished) {
+    task.state = TaskState::kRunnable;
+    task.runnable_since = kernel_.now();
+  }
+  return OkStatus();
+}
+
+TaskId Scheduler::Tick() {
+  const SimTime now = kernel_.now();
+  std::vector<const SchedTask*> runnable;
+  std::vector<TaskId> runnable_ids;
+  for (auto& [id, task] : tasks_) {
+    if (task.state == TaskState::kRunnable && task.remaining_burst > 0) {
+      runnable.push_back(&task);
+      runnable_ids.push_back(id);
+    }
+  }
+  // Export the starvation signal even when idle so liveness rules always
+  // have fresh data.
+  kernel_.store().Observe("sched.starved_ms", now, ToMillis(CurrentMaxStarvation()));
+  if (runnable.empty()) {
+    ++stats_.idle_quanta;
+    return -1;
+  }
+
+  size_t choice = 0;
+  auto policy = kernel_.registry().ActiveAs<SchedPickPolicy>(config_.policy_slot);
+  if (policy.ok()) {
+    choice = policy.value()->Pick(runnable, now);
+    if (choice >= runnable.size()) {
+      choice = 0;  // defensive: a broken learned policy cannot crash the tick
+    }
+  } else {
+    FairPickPolicy fallback;
+    choice = fallback.Pick(runnable, now);
+  }
+
+  SchedTask& task = tasks_[runnable_ids[choice]];
+  const Duration wait = now - task.runnable_since;
+  task.max_wait = std::max(task.max_wait, wait);
+  stats_.max_wait_ever = std::max(stats_.max_wait_ever, wait);
+  kernel_.store().Observe("sched.wait_ms", now, ToMillis(wait));
+
+  const Duration slice = std::min(config_.quantum, task.remaining_burst);
+  task.remaining_burst -= slice;
+  task.total_cpu += slice;
+  task.vruntime += ToSeconds(slice) / task.weight;
+  task.last_scheduled = now;
+  ++task.times_scheduled;
+  if (task.remaining_burst == 0) {
+    task.state = TaskState::kBlocked;
+  } else {
+    // Stays runnable; its wait clock restarts after this slice.
+    task.runnable_since = now + slice;
+  }
+  ++stats_.picks;
+  if (config_.emit_callout) {
+    kernel_.Callout(config_.callout);
+  }
+  return task.id;
+}
+
+void Scheduler::PumpFor(Duration duration) {
+  const SimTime end = kernel_.now() + duration;
+  // Self-rescheduling tick event (a by-value functor chain; recursive
+  // lambdas can't safely capture themselves).
+  struct Pump {
+    Scheduler* scheduler;
+    SimTime end;
+    void operator()(SimTime now) const {
+      scheduler->Tick();
+      const SimTime next = now + scheduler->config_.quantum;
+      if (next <= end) {
+        Pump pump{scheduler, end};
+        scheduler->kernel_.queue().ScheduleAt(next, pump);
+      }
+    }
+  };
+  kernel_.queue().ScheduleAt(kernel_.now(), Pump{this, end});
+}
+
+Status Scheduler::Deprioritize(const std::vector<std::string>& names,
+                               const std::vector<double>& priorities, SimTime now) {
+  for (size_t i = 0; i < names.size(); ++i) {
+    bool found = false;
+    for (auto& [id, task] : tasks_) {
+      if (task.name != names[i]) {
+        continue;
+      }
+      found = true;
+      if (priorities[i] < 0.0) {
+        task.state = TaskState::kDead;
+        task.remaining_burst = 0;
+        ++stats_.kills;
+      } else {
+        task.weight = std::max(priorities[i], 0.0001);
+      }
+    }
+    if (!found) {
+      return NotFoundError("DEPRIORITIZE: no task named '" + names[i] + "'");
+    }
+  }
+  return OkStatus();
+}
+
+Result<SchedTask> Scheduler::GetTask(TaskId id) const {
+  auto it = tasks_.find(id);
+  if (it == tasks_.end()) {
+    return NotFoundError("no task with id " + std::to_string(id));
+  }
+  return it->second;
+}
+
+Result<SchedTask> Scheduler::GetTaskByName(const std::string& name) const {
+  for (const auto& [id, task] : tasks_) {
+    if (task.name == name) {
+      return task;
+    }
+  }
+  return NotFoundError("no task named '" + name + "'");
+}
+
+std::vector<SchedTask> Scheduler::Tasks() const {
+  std::vector<SchedTask> out;
+  out.reserve(tasks_.size());
+  for (const auto& [id, task] : tasks_) {
+    out.push_back(task);
+  }
+  return out;
+}
+
+Duration Scheduler::CurrentMaxStarvation() const {
+  const SimTime now = kernel_.now();
+  Duration worst = 0;
+  for (const auto& [id, task] : tasks_) {
+    if (task.state == TaskState::kRunnable && task.remaining_burst > 0) {
+      worst = std::max(worst, now - task.runnable_since);
+    }
+  }
+  return worst;
+}
+
+}  // namespace osguard

@@ -1,0 +1,127 @@
+// CPU scheduler substrate.
+//
+// Hosts the fairness/liveness property class (P6): a learned pick-next
+// policy can starve runnable tasks ("no ready task should be starved for
+// more than 100ms"), and the scheduler is also the natural implementer of
+// the DEPRIORITIZE action (A4) — guardrails can demote or kill tasks to
+// relieve pressure.
+//
+// Model: a single CPU with a runqueue of weighted tasks. Every quantum the
+// active pick-next policy chooses a runnable task; it runs for one quantum
+// (or its remaining burst). Tasks accumulate vruntime = cpu_time / weight.
+// The kernel-visible metrics:
+//   feature store series  sched.wait_ms       per-pick wait of the chosen task
+//                         sched.starved_ms    max current wait across runnable tasks
+//   policy slot           sched.pick_next     (REPLACE target)
+//   callout               sched_pick_next     FUNCTION trigger site (opt-in)
+
+#ifndef SRC_SIM_SCHEDULER_H_
+#define SRC_SIM_SCHEDULER_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/actions/policy_registry.h"
+#include "src/actions/task_control.h"
+#include "src/sim/kernel.h"
+
+namespace osguard {
+
+using TaskId = int64_t;
+
+enum class TaskState {
+  kRunnable,
+  kRunning,
+  kBlocked,   // between bursts
+  kDead,      // killed via DEPRIORITIZE with negative priority
+  kFinished,
+};
+
+struct SchedTask {
+  TaskId id = 0;
+  std::string name;
+  double weight = 1.0;             // higher = more CPU share
+  TaskState state = TaskState::kBlocked;
+  double vruntime = 0.0;           // weighted cpu time, seconds
+  Duration total_cpu = 0;
+  Duration remaining_burst = 0;
+  SimTime runnable_since = 0;      // when it last became runnable
+  SimTime last_scheduled = 0;
+  uint64_t times_scheduled = 0;
+  Duration max_wait = 0;           // worst runnable->scheduled gap seen
+};
+
+// Pick-next policy interface for slot sched.pick_next.
+class SchedPickPolicy : public Policy {
+ public:
+  // Chooses among `runnable` (non-empty); returns an index into it.
+  virtual size_t Pick(const std::vector<const SchedTask*>& runnable, SimTime now) = 0;
+};
+
+// CFS-like baseline: minimum vruntime first.
+class FairPickPolicy : public SchedPickPolicy {
+ public:
+  std::string name() const override { return "sched_fair"; }
+  size_t Pick(const std::vector<const SchedTask*>& runnable, SimTime now) override;
+};
+
+struct SchedulerConfig {
+  Duration quantum = Milliseconds(4);
+  std::string policy_slot = "sched.pick_next";
+  std::string callout = "sched_pick_next";
+  bool emit_callout = false;
+};
+
+struct SchedulerStats {
+  uint64_t picks = 0;
+  uint64_t idle_quanta = 0;
+  uint64_t kills = 0;
+  Duration max_wait_ever = 0;
+};
+
+class Scheduler : public TaskControl {
+ public:
+  Scheduler(Kernel& kernel, SchedulerConfig config = {});
+
+  // Creates a task (initially blocked; submit bursts to make it runnable).
+  TaskId AddTask(std::string name, double weight = 1.0);
+
+  // Queues `cpu_time` of work for the task at the kernel's current time;
+  // makes the task runnable if it was blocked.
+  Status SubmitBurst(TaskId id, Duration cpu_time);
+
+  // Runs one scheduling quantum at the kernel's current time; returns the
+  // id of the task that ran, or -1 if the runqueue was idle. The caller (or
+  // RunFor) advances the event queue by the quantum.
+  TaskId Tick();
+
+  // Convenience: schedules recurring Tick events on the kernel's event
+  // queue for `duration` of simulated time.
+  void PumpFor(Duration duration);
+
+  // TaskControl (A4): priorities by task *name*; priority < 0 kills.
+  Status Deprioritize(const std::vector<std::string>& tasks,
+                      const std::vector<double>& priorities, SimTime now) override;
+
+  Result<SchedTask> GetTask(TaskId id) const;
+  Result<SchedTask> GetTaskByName(const std::string& name) const;
+  std::vector<SchedTask> Tasks() const;
+  const SchedulerStats& stats() const { return stats_; }
+
+  // Worst current wait among runnable tasks (exported to the store each
+  // tick as sched.starved_ms).
+  Duration CurrentMaxStarvation() const;
+
+ private:
+  Kernel& kernel_;
+  SchedulerConfig config_;
+  std::map<TaskId, SchedTask> tasks_;
+  TaskId next_id_ = 1;
+  SchedulerStats stats_;
+};
+
+}  // namespace osguard
+
+#endif  // SRC_SIM_SCHEDULER_H_

@@ -1,0 +1,84 @@
+#include "src/sim/ssd_device.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace osguard {
+
+SsdDevice::SsdDevice(std::string name, const SsdConfig& config)
+    : name_(std::move(name)), config_(config), rng_(config.seed) {
+  assert(config.channels >= 1);
+  channels_.resize(static_cast<size_t>(config.channels));
+}
+
+void SsdDevice::PruneCompleted(Channel& channel, SimTime now) const {
+  while (!channel.completions.empty() && channel.completions.front() <= now) {
+    channel.completions.pop_front();
+  }
+}
+
+IoResult SsdDevice::Submit(SimTime now, uint64_t lba, bool is_write) {
+  const int channel_index = ChannelOf(lba);
+  Channel& channel = channels_[static_cast<size_t>(channel_index)];
+  PruneCompleted(channel, now);
+
+  IoResult result;
+  result.channel = channel_index;
+
+  const SimTime start = std::max(now, channel.busy_until);
+  result.queue_wait = start - now;
+  // Waiting behind an earlier GC pause is what makes the tail latency
+  // visible to the host even for reads that do not themselves trigger GC.
+  if (result.queue_wait > config_.gc_pause_mean / 2) {
+    result.hit_gc = true;
+  }
+
+  Duration service;
+  if (is_write) {
+    service = config_.write_base +
+              static_cast<Duration>(rng_.NextDouble() * static_cast<double>(config_.write_jitter));
+  } else {
+    service = config_.read_base +
+              static_cast<Duration>(rng_.NextDouble() * static_cast<double>(config_.read_jitter));
+  }
+
+  const double gc_p = is_write ? config_.gc_per_write : config_.gc_per_read;
+  if (rng_.Bernoulli(gc_p)) {
+    const Duration pause = static_cast<Duration>(
+        rng_.Exponential(1.0 / static_cast<double>(config_.gc_pause_mean)));
+    service += pause;
+    result.hit_gc = true;
+    ++gc_events_;
+  }
+
+  const SimTime done = start + service;
+  channel.busy_until = done;
+  channel.completions.push_back(done);
+  result.latency = done - now;
+
+  latencies_.Record(result.latency);
+  ++total_ios_;
+  return result;
+}
+
+int SsdDevice::QueueDepth(SimTime now, uint64_t lba) const {
+  Channel& channel = channels_[static_cast<size_t>(ChannelOf(lba))];
+  PruneCompleted(channel, now);
+  return static_cast<int>(channel.completions.size());
+}
+
+int SsdDevice::TotalQueueDepth(SimTime now) const {
+  int total = 0;
+  for (Channel& channel : channels_) {
+    PruneCompleted(channel, now);
+    total += static_cast<int>(channel.completions.size());
+  }
+  return total;
+}
+
+void SsdDevice::ScaleGcPressure(double factor) {
+  config_.gc_per_write = std::clamp(config_.gc_per_write * factor, 0.0, 1.0);
+  config_.gc_per_read = std::clamp(config_.gc_per_read * factor, 0.0, 1.0);
+}
+
+}  // namespace osguard

@@ -1,0 +1,98 @@
+// SSD device model with bimodal latency.
+//
+// LinnOS's entire premise is that flash latency is unpredictable from the
+// host but bimodal: most accesses are fast, a tail is slow because the
+// request lands on a channel busy with garbage collection or a deep queue.
+// The model reproduces exactly that structure:
+//
+//   * the LBA space is striped across `channels`; each channel serializes
+//     its requests (busy-until tracking),
+//   * service time = base + jitter (reads cheap, writes expensive),
+//   * writes (and rarely reads) can trigger a GC pause on their channel,
+//     stalling everything queued behind them,
+//   * observed latency = queue wait + service.
+//
+// Determinism: all randomness comes from the per-device Rng seed.
+
+#ifndef SRC_SIM_SSD_DEVICE_H_
+#define SRC_SIM_SSD_DEVICE_H_
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "src/support/histogram.h"
+#include "src/support/rng.h"
+#include "src/support/time.h"
+
+namespace osguard {
+
+struct SsdConfig {
+  int channels = 8;
+  Duration read_base = Microseconds(80);
+  Duration read_jitter = Microseconds(40);    // uniform [0, jitter)
+  Duration write_base = Microseconds(300);
+  Duration write_jitter = Microseconds(150);
+  Duration gc_pause_mean = Milliseconds(2);   // exponential
+  double gc_per_write = 0.02;                 // GC trigger probability
+  double gc_per_read = 0.001;
+  uint64_t seed = 1;
+};
+
+struct IoResult {
+  Duration latency = 0;      // wait + service (+ GC pause if triggered/behind one)
+  Duration queue_wait = 0;
+  bool hit_gc = false;       // this request triggered or waited out a GC pause
+  int channel = 0;
+};
+
+class SsdDevice {
+ public:
+  SsdDevice(std::string name, const SsdConfig& config);
+
+  // Submits one I/O arriving at `now`; returns its simulated completion
+  // characteristics. The device's channel state advances.
+  IoResult Submit(SimTime now, uint64_t lba, bool is_write);
+
+  // Number of requests still in flight on the channel owning `lba` at `now`
+  // — the queue-depth feature LinnOS feeds its model.
+  int QueueDepth(SimTime now, uint64_t lba) const;
+
+  // Aggregate queue depth across channels (another LinnOS feature).
+  int TotalQueueDepth(SimTime now) const;
+
+  int ChannelOf(uint64_t lba) const {
+    return static_cast<int>(lba % static_cast<uint64_t>(config_.channels));
+  }
+
+  const std::string& name() const { return name_; }
+  const SsdConfig& config() const { return config_; }
+  const Histogram& latency_histogram() const { return latencies_; }
+  uint64_t gc_events() const { return gc_events_; }
+  uint64_t total_ios() const { return total_ios_; }
+
+  // Scales GC pressure at run time (drift injection for experiments):
+  // multiplies gc_per_write/gc_per_read by `factor`.
+  void ScaleGcPressure(double factor);
+
+ private:
+  struct Channel {
+    SimTime busy_until = 0;
+    std::deque<SimTime> completions;  // completion times of in-flight IOs
+  };
+
+  void PruneCompleted(Channel& channel, SimTime now) const;
+
+  std::string name_;
+  SsdConfig config_;
+  Rng rng_;
+  mutable std::vector<Channel> channels_;
+  Histogram latencies_;
+  uint64_t gc_events_ = 0;
+  uint64_t total_ios_ = 0;
+};
+
+}  // namespace osguard
+
+#endif  // SRC_SIM_SSD_DEVICE_H_

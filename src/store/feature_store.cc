@@ -1,0 +1,228 @@
+#include "src/store/feature_store.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/support/stats.h"
+
+namespace osguard {
+
+std::string_view AggKindName(AggKind kind) {
+  switch (kind) {
+    case AggKind::kCount:
+      return "COUNT";
+    case AggKind::kSum:
+      return "SUM";
+    case AggKind::kMean:
+      return "MEAN";
+    case AggKind::kMin:
+      return "MIN";
+    case AggKind::kMax:
+      return "MAX";
+    case AggKind::kStdDev:
+      return "STDDEV";
+    case AggKind::kRate:
+      return "RATE";
+    case AggKind::kNewest:
+      return "NEWEST";
+    case AggKind::kOldest:
+      return "OLDEST";
+  }
+  return "?";
+}
+
+void FeatureStore::Save(const std::string& key, Value value) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    scalars_[key] = std::move(value);
+  }
+  NotifyWrite(key);
+}
+
+Result<Value> FeatureStore::Load(const std::string& key) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = scalars_.find(key);
+  if (it == scalars_.end()) {
+    return NotFoundError("feature store has no key '" + key + "'");
+  }
+  return it->second;
+}
+
+Value FeatureStore::LoadOr(const std::string& key, Value fallback) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = scalars_.find(key);
+  return it == scalars_.end() ? std::move(fallback) : it->second;
+}
+
+bool FeatureStore::Contains(const std::string& key) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return scalars_.count(key) > 0;
+}
+
+Status FeatureStore::Erase(const std::string& key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (scalars_.erase(key) == 0) {
+    return NotFoundError("feature store has no key '" + key + "'");
+  }
+  return OkStatus();
+}
+
+double FeatureStore::Increment(const std::string& key, double delta) {
+  double next = delta;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = scalars_.find(key);
+    if (it != scalars_.end()) {
+      next += it->second.NumericOr(0.0);
+    }
+    scalars_[key] = Value(next);
+  }
+  NotifyWrite(key);
+  return next;
+}
+
+void FeatureStore::Observe(const std::string& key, SimTime now, double sample) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    Series& series = series_[key];
+    SimTime t = now;
+    if (!series.samples.empty() && t < series.samples.back().time) {
+      t = series.samples.back().time;  // clamp out-of-order samples
+    }
+    series.samples.push_back(Sample{t, sample});
+    EvictLocked(series, t);
+  }
+  NotifyWrite(key);
+}
+
+void FeatureStore::SetSeriesOptions(const std::string& key, SeriesOptions options) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Series& series = series_[key];
+  series.options = options;
+  if (!series.samples.empty()) {
+    EvictLocked(series, series.samples.back().time);
+  }
+}
+
+void FeatureStore::EvictLocked(Series& series, SimTime now) const {
+  const SimTime cutoff = now - series.options.max_age;
+  while (!series.samples.empty() && series.samples.front().time < cutoff) {
+    series.samples.pop_front();
+  }
+  while (series.samples.size() > series.options.max_samples) {
+    series.samples.pop_front();
+  }
+}
+
+Result<double> FeatureStore::Aggregate(const std::string& key, AggKind kind, Duration window,
+                                       SimTime now) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = series_.find(key);
+  const bool empty_ok =
+      kind == AggKind::kCount || kind == AggKind::kSum || kind == AggKind::kRate;
+  if (it == series_.end()) {
+    if (empty_ok) {
+      return 0.0;
+    }
+    return NotFoundError("no time series for key '" + key + "'");
+  }
+  const SimTime cutoff = now - window;
+  StreamingStats stats;
+  double newest = 0.0;
+  double oldest = 0.0;
+  bool first = true;
+  for (const Sample& s : it->second.samples) {
+    if (s.time <= cutoff || s.time > now) {
+      continue;
+    }
+    stats.Add(s.value);
+    if (first) {
+      oldest = s.value;
+      first = false;
+    }
+    newest = s.value;
+  }
+  if (stats.count() == 0 && !empty_ok) {
+    return NotFoundError("window for key '" + key + "' is empty");
+  }
+  switch (kind) {
+    case AggKind::kCount:
+      return static_cast<double>(stats.count());
+    case AggKind::kSum:
+      return stats.sum();
+    case AggKind::kMean:
+      return stats.mean();
+    case AggKind::kMin:
+      return stats.min();
+    case AggKind::kMax:
+      return stats.max();
+    case AggKind::kStdDev:
+      return stats.stddev();
+    case AggKind::kRate: {
+      if (window <= 0) {
+        return 0.0;
+      }
+      return static_cast<double>(stats.count()) / ToSeconds(window);
+    }
+    case AggKind::kNewest:
+      return newest;
+    case AggKind::kOldest:
+      return oldest;
+  }
+  return InternalError("unknown aggregation kind");
+}
+
+Result<double> FeatureStore::AggregateQuantile(const std::string& key, double q, Duration window,
+                                               SimTime now) const {
+  std::vector<double> samples = WindowSamples(key, window, now);
+  if (samples.empty()) {
+    return NotFoundError("window for key '" + key + "' is empty");
+  }
+  return ExactQuantile(std::move(samples), q);
+}
+
+std::vector<double> FeatureStore::WindowSamples(const std::string& key, Duration window,
+                                                SimTime now) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<double> out;
+  auto it = series_.find(key);
+  if (it == series_.end()) {
+    return out;
+  }
+  const SimTime cutoff = now - window;
+  for (const Sample& s : it->second.samples) {
+    if (s.time > cutoff && s.time <= now) {
+      out.push_back(s.value);
+    }
+  }
+  return out;
+}
+
+size_t FeatureStore::scalar_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return scalars_.size();
+}
+
+size_t FeatureStore::series_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return series_.size();
+}
+
+std::vector<std::string> FeatureStore::ScalarKeys() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> keys;
+  keys.reserve(scalars_.size());
+  for (const auto& [key, value] : scalars_) {
+    keys.push_back(key);
+  }
+  std::sort(keys.begin(), keys.end());
+  return keys;
+}
+
+void FeatureStore::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  scalars_.clear();
+  series_.clear();
+}
+
+}  // namespace osguard

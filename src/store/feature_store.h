@@ -1,0 +1,149 @@
+// The global feature store (paper §4.3).
+//
+// Guardrails evaluate properties over system-wide metrics that are produced
+// at many kernel sites and consumed at one monitor. The paper's answer is a
+// lightweight global store accessed through SAVE(key, value) / LOAD(key).
+// This implementation adds the windowed time-series substrate those rules
+// need in practice: kernel sites call Observe(key, now, sample) and monitors
+// query Aggregate("page_fault_lat", kMean, 10s window).
+//
+// Concurrency: all operations are guarded by a single mutex. In the kernel
+// the store would be per-CPU sharded; a single lock is faithful enough for a
+// simulator and keeps the semantics (strict serializability of SAVE/LOAD)
+// simple to reason about.
+
+#ifndef SRC_STORE_FEATURE_STORE_H_
+#define SRC_STORE_FEATURE_STORE_H_
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/store/value.h"
+#include "src/support/status.h"
+#include "src/support/time.h"
+
+namespace osguard {
+
+// Aggregations available over a time-series key. The DSL exposes these as
+// MEAN(key, window), RATE(key, window), etc.
+enum class AggKind {
+  kCount,   // number of samples in the window
+  kSum,     // sum of sample values
+  kMean,    // arithmetic mean (0 when empty)
+  kMin,
+  kMax,
+  kStdDev,  // sample standard deviation
+  kRate,    // samples per second over the window span
+  kNewest,  // most recent sample value
+  kOldest,  // oldest retained sample within the window
+};
+
+std::string_view AggKindName(AggKind kind);
+
+// Per-series retention limits. A series drops samples older than max_age and
+// keeps at most max_samples; both bounds keep monitor memory bounded, which
+// is a precondition for running in the kernel.
+struct SeriesOptions {
+  size_t max_samples = 65536;
+  Duration max_age = Seconds(300);
+};
+
+// Invoked after a key is written (Save / Increment / Observe), outside the
+// store's lock, on the writing thread. Used by the engine's ONCHANGE
+// triggers (dependency-driven checking, the paper's §6 idea).
+using WriteObserver = std::function<void(const std::string& key)>;
+
+class FeatureStore {
+ public:
+  FeatureStore() = default;
+  FeatureStore(const FeatureStore&) = delete;
+  FeatureStore& operator=(const FeatureStore&) = delete;
+
+  // Registers the single write observer (nullptr to clear). The observer is
+  // called after the write commits and after the store lock is released, so
+  // it may freely read the store.
+  void SetWriteObserver(WriteObserver observer) { observer_ = std::move(observer); }
+
+  // --- Scalar KV (the paper's SAVE/LOAD) ---
+
+  // Stores or overwrites a scalar. Nil values are stored (LOAD distinguishes
+  // "stored nil" from "missing" via status).
+  void Save(const std::string& key, Value value);
+
+  // Returns the stored scalar, or kNotFound.
+  Result<Value> Load(const std::string& key) const;
+
+  // Returns the stored scalar or `fallback` if missing.
+  Value LoadOr(const std::string& key, Value fallback) const;
+
+  bool Contains(const std::string& key) const;
+  Status Erase(const std::string& key);
+
+  // Atomic read-modify-write for numeric counters; creates the key at
+  // `delta` if absent. Returns the post-increment value.
+  double Increment(const std::string& key, double delta = 1.0);
+
+  // --- Time series ---
+
+  // Appends a timestamped sample. Samples must be observed with
+  // non-decreasing timestamps per key (simulation time is monotone);
+  // out-of-order samples are clamped to the newest retained timestamp.
+  void Observe(const std::string& key, SimTime now, double sample);
+
+  void SetSeriesOptions(const std::string& key, SeriesOptions options);
+
+  // Aggregates samples with timestamp in (now - window, now]. Missing series
+  // or empty windows: kCount/kSum/kRate yield 0.0; the others yield
+  // kNotFound so rules can distinguish "no data" from "zero".
+  Result<double> Aggregate(const std::string& key, AggKind kind, Duration window,
+                           SimTime now) const;
+
+  // Value at quantile q in [0,1] over the window (exact, on retained samples).
+  Result<double> AggregateQuantile(const std::string& key, double q, Duration window,
+                                   SimTime now) const;
+
+  // Copies the samples in the window, oldest first (for P1's KS-test style
+  // distribution comparisons).
+  std::vector<double> WindowSamples(const std::string& key, Duration window, SimTime now) const;
+
+  // --- Introspection ---
+
+  size_t scalar_count() const;
+  size_t series_count() const;
+  std::vector<std::string> ScalarKeys() const;
+
+  // Erases everything (tests / between benchmark repetitions).
+  void Clear();
+
+ private:
+  struct Sample {
+    SimTime time;
+    double value;
+  };
+
+  struct Series {
+    std::deque<Sample> samples;
+    SeriesOptions options;
+  };
+
+  void EvictLocked(Series& series, SimTime now) const;
+  void NotifyWrite(const std::string& key) const {
+    if (observer_) {
+      observer_(key);
+    }
+  }
+
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, Value> scalars_;
+  mutable std::unordered_map<std::string, Series> series_;
+  WriteObserver observer_;
+};
+
+}  // namespace osguard
+
+#endif  // SRC_STORE_FEATURE_STORE_H_

@@ -1,0 +1,134 @@
+#include "src/store/value.h"
+
+#include <cstdio>
+
+namespace osguard {
+
+std::string_view ValueTypeName(ValueType type) {
+  switch (type) {
+    case ValueType::kNil:
+      return "nil";
+    case ValueType::kInt:
+      return "int";
+    case ValueType::kFloat:
+      return "float";
+    case ValueType::kBool:
+      return "bool";
+    case ValueType::kString:
+      return "string";
+    case ValueType::kList:
+      return "list";
+  }
+  return "?";
+}
+
+ValueType Value::type() const {
+  switch (data_.index()) {
+    case 0:
+      return ValueType::kNil;
+    case 1:
+      return ValueType::kInt;
+    case 2:
+      return ValueType::kFloat;
+    case 3:
+      return ValueType::kBool;
+    case 4:
+      return ValueType::kString;
+    case 5:
+      return ValueType::kList;
+  }
+  return ValueType::kNil;
+}
+
+Result<int64_t> Value::AsInt() const {
+  if (const auto* v = std::get_if<int64_t>(&data_)) {
+    return *v;
+  }
+  if (const auto* v = std::get_if<double>(&data_)) {
+    return static_cast<int64_t>(*v);
+  }
+  return InvalidArgumentError("value is not numeric: " + ToString());
+}
+
+Result<double> Value::AsFloat() const {
+  if (const auto* v = std::get_if<double>(&data_)) {
+    return *v;
+  }
+  if (const auto* v = std::get_if<int64_t>(&data_)) {
+    return static_cast<double>(*v);
+  }
+  return InvalidArgumentError("value is not numeric: " + ToString());
+}
+
+Result<bool> Value::AsBool() const {
+  if (const auto* v = std::get_if<bool>(&data_)) {
+    return *v;
+  }
+  if (const auto* v = std::get_if<int64_t>(&data_)) {
+    return *v != 0;
+  }
+  if (const auto* v = std::get_if<double>(&data_)) {
+    return *v != 0.0;
+  }
+  return InvalidArgumentError("value is not boolean: " + ToString());
+}
+
+Result<std::string> Value::AsString() const {
+  if (const auto* v = std::get_if<std::string>(&data_)) {
+    return *v;
+  }
+  return InvalidArgumentError("value is not a string: " + ToString());
+}
+
+Result<std::vector<Value>> Value::AsList() const {
+  if (const auto* v = std::get_if<std::vector<Value>>(&data_)) {
+    return *v;
+  }
+  return InvalidArgumentError("value is not a list: " + ToString());
+}
+
+double Value::NumericOr(double fallback) const {
+  switch (data_.index()) {
+    case 1:
+      return static_cast<double>(std::get<int64_t>(data_));
+    case 2:
+      return std::get<double>(data_);
+    case 3:
+      return std::get<bool>(data_) ? 1.0 : 0.0;
+    default:
+      return fallback;
+  }
+}
+
+std::string Value::ToString() const {
+  switch (data_.index()) {
+    case 0:
+      return "nil";
+    case 1:
+      return std::to_string(std::get<int64_t>(data_));
+    case 2: {
+      char buf[48];
+      std::snprintf(buf, sizeof(buf), "%g", std::get<double>(data_));
+      return buf;
+    }
+    case 3:
+      return std::get<bool>(data_) ? "true" : "false";
+    case 4:
+      return "\"" + std::get<std::string>(data_) + "\"";
+    case 5: {
+      const auto& list = std::get<std::vector<Value>>(data_);
+      std::string out = "{";
+      for (size_t i = 0; i < list.size(); ++i) {
+        if (i > 0) {
+          out += ", ";
+        }
+        out += list[i].ToString();
+      }
+      out += "}";
+      return out;
+    }
+  }
+  return "nil";
+}
+
+}  // namespace osguard

@@ -1,0 +1,68 @@
+// Typed values for the feature store and the guardrail VM.
+//
+// The DSL's value universe is deliberately small — the paper's examples only
+// ever move numbers, booleans, and identifiers through SAVE/LOAD — so Value
+// is a tagged union over exactly those plus strings for report payloads.
+
+#ifndef SRC_STORE_VALUE_H_
+#define SRC_STORE_VALUE_H_
+
+#include <cstdint>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "src/support/status.h"
+
+namespace osguard {
+
+enum class ValueType {
+  kNil = 0,
+  kInt,
+  kFloat,
+  kBool,
+  kString,
+  kList,
+};
+
+std::string_view ValueTypeName(ValueType type);
+
+class Value {
+ public:
+  Value() : data_(std::monostate{}) {}
+  Value(int64_t v) : data_(v) {}                       // NOLINT(google-explicit-constructor)
+  Value(int v) : data_(static_cast<int64_t>(v)) {}     // NOLINT(google-explicit-constructor)
+  Value(double v) : data_(v) {}                        // NOLINT(google-explicit-constructor)
+  Value(bool v) : data_(v) {}                          // NOLINT(google-explicit-constructor)
+  Value(std::string v) : data_(std::move(v)) {}        // NOLINT(google-explicit-constructor)
+  Value(const char* v) : data_(std::string(v)) {}      // NOLINT(google-explicit-constructor)
+  Value(std::vector<Value> v) : data_(std::move(v)) {} // NOLINT(google-explicit-constructor)
+
+  ValueType type() const;
+  bool is_nil() const { return type() == ValueType::kNil; }
+  bool is_numeric() const {
+    return type() == ValueType::kInt || type() == ValueType::kFloat;
+  }
+
+  // Checked accessors.
+  Result<int64_t> AsInt() const;
+  Result<double> AsFloat() const;   // ints widen to double
+  Result<bool> AsBool() const;      // numerics: nonzero is true
+  Result<std::string> AsString() const;
+  Result<std::vector<Value>> AsList() const;
+
+  // Unchecked numeric view: nil -> 0, bool -> 0/1, string -> 0.
+  double NumericOr(double fallback) const;
+
+  // "3", "2.5", "true", "\"text\"", "nil" — used by REPORT payloads and tests.
+  std::string ToString() const;
+
+  bool operator==(const Value& other) const { return data_ == other.data_; }
+
+ private:
+  std::variant<std::monostate, int64_t, double, bool, std::string, std::vector<Value>> data_;
+};
+
+}  // namespace osguard
+
+#endif  // SRC_STORE_VALUE_H_

@@ -1,0 +1,122 @@
+#include "src/support/histogram.h"
+
+#include <algorithm>
+#include <bit>
+#include <cassert>
+#include <cstdio>
+
+namespace osguard {
+
+Histogram::Histogram(int sub_bucket_bits) : sub_bucket_bits_(sub_bucket_bits) {
+  assert(sub_bucket_bits >= 1 && sub_bucket_bits <= 10);
+  // 64 octaves x sub-buckets covers the whole int64 range.
+  buckets_.assign(static_cast<size_t>(64) << sub_bucket_bits_, 0);
+}
+
+size_t Histogram::BucketFor(int64_t value) const {
+  const uint64_t v = static_cast<uint64_t>(std::max<int64_t>(value, 0));
+  const int sub = sub_bucket_bits_;
+  if (v < (1ull << sub)) {
+    return static_cast<size_t>(v);  // exact region, octave 0
+  }
+  // Octave k >= 1 covers [2^(sub+k-1), 2^(sub+k)), split into 2^sub
+  // sub-buckets of width 2^(k-1).
+  const int msb = 63 - std::countl_zero(v);
+  const int octave = msb - sub + 1;
+  const uint64_t sub_index = (v >> (octave - 1)) & ((1ull << sub) - 1);
+  return (static_cast<size_t>(octave) << sub) + static_cast<size_t>(sub_index);
+}
+
+int64_t Histogram::BucketMidpoint(size_t index) const {
+  const int sub = sub_bucket_bits_;
+  const size_t octave = index >> sub;
+  const uint64_t sub_index = index & ((1ull << sub) - 1);
+  if (octave == 0) {
+    return static_cast<int64_t>(sub_index);  // exact region
+  }
+  const int shift = static_cast<int>(octave) - 1;  // sub-bucket width = 2^shift
+  const uint64_t base = (sub_index | (1ull << sub)) << shift;
+  const uint64_t width = 1ull << shift;
+  return static_cast<int64_t>(base + width / 2);
+}
+
+void Histogram::Record(int64_t value) { RecordN(value, 1); }
+
+void Histogram::RecordN(int64_t value, uint64_t n) {
+  if (n == 0) {
+    return;
+  }
+  value = std::max<int64_t>(value, 0);
+  if (count_ == 0) {
+    min_ = value;
+    max_ = value;
+  } else {
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+  buckets_[BucketFor(value)] += n;
+  count_ += n;
+  sum_ += static_cast<double>(value) * static_cast<double>(n);
+}
+
+double Histogram::mean() const {
+  return count_ > 0 ? sum_ / static_cast<double>(count_) : 0.0;
+}
+
+int64_t Histogram::ValueAtQuantile(double q) const {
+  if (count_ == 0) {
+    return 0;
+  }
+  q = std::clamp(q, 0.0, 1.0);
+  const uint64_t target = static_cast<uint64_t>(q * static_cast<double>(count_ - 1)) + 1;
+  uint64_t seen = 0;
+  for (size_t i = 0; i < buckets_.size(); ++i) {
+    seen += buckets_[i];
+    if (seen >= target) {
+      return std::clamp(BucketMidpoint(i), min_, max_);
+    }
+  }
+  return max_;
+}
+
+void Histogram::Merge(const Histogram& other) {
+  assert(sub_bucket_bits_ == other.sub_bucket_bits_);
+  if (other.count_ == 0) {
+    return;
+  }
+  if (count_ == 0) {
+    min_ = other.min_;
+    max_ = other.max_;
+  } else {
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
+  for (size_t i = 0; i < buckets_.size(); ++i) {
+    buckets_[i] += other.buckets_[i];
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+}
+
+void Histogram::Reset() {
+  std::fill(buckets_.begin(), buckets_.end(), 0);
+  count_ = 0;
+  min_ = 0;
+  max_ = 0;
+  sum_ = 0.0;
+}
+
+std::string Histogram::Summary() const {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "count=%llu mean=%.1f p50=%lld p90=%lld p99=%lld p999=%lld max=%lld",
+                static_cast<unsigned long long>(count_), mean(),
+                static_cast<long long>(ValueAtQuantile(0.50)),
+                static_cast<long long>(ValueAtQuantile(0.90)),
+                static_cast<long long>(ValueAtQuantile(0.99)),
+                static_cast<long long>(ValueAtQuantile(0.999)),
+                static_cast<long long>(max()));
+  return buf;
+}
+
+}  // namespace osguard

@@ -1,0 +1,57 @@
+// Log-bucketed latency histogram (HdrHistogram-style).
+//
+// Records non-negative values (typically nanosecond latencies) into
+// exponentially sized buckets with bounded relative error, supporting
+// percentile queries without retaining samples. This is what REPORT-style
+// guardrails and the benchmark harnesses use to summarize latency series.
+
+#ifndef SRC_SUPPORT_HISTOGRAM_H_
+#define SRC_SUPPORT_HISTOGRAM_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace osguard {
+
+class Histogram {
+ public:
+  // Values are bucketed with ~2^-sub_bucket_bits relative error; the default
+  // (5 bits -> 32 sub-buckets per octave) gives ~3% error, plenty for latency
+  // reporting.
+  explicit Histogram(int sub_bucket_bits = 5);
+
+  // Records a value; negative values are clamped to zero.
+  void Record(int64_t value);
+  void RecordN(int64_t value, uint64_t count);
+
+  uint64_t count() const { return count_; }
+  int64_t min() const { return count_ > 0 ? min_ : 0; }
+  int64_t max() const { return count_ > 0 ? max_ : 0; }
+  double mean() const;
+
+  // Returns the value at the given quantile in [0, 1], with bucket-granular
+  // resolution. 0 if empty.
+  int64_t ValueAtQuantile(double q) const;
+
+  void Merge(const Histogram& other);
+  void Reset();
+
+  // Multi-line textual rendering: count/mean/p50/p90/p99/p999/max.
+  std::string Summary() const;
+
+ private:
+  size_t BucketFor(int64_t value) const;
+  int64_t BucketMidpoint(size_t index) const;
+
+  int sub_bucket_bits_;
+  std::vector<uint64_t> buckets_;
+  uint64_t count_ = 0;
+  int64_t min_ = 0;
+  int64_t max_ = 0;
+  double sum_ = 0.0;
+};
+
+}  // namespace osguard
+
+#endif  // SRC_SUPPORT_HISTOGRAM_H_

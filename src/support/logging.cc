@@ -1,0 +1,68 @@
+#include "src/support/logging.h"
+
+#include <cstdio>
+
+namespace osguard {
+
+std::string_view LogLevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kTrace:
+      return "TRACE";
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarning:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+    case LogLevel::kOff:
+      return "OFF";
+  }
+  return "?";
+}
+
+namespace {
+
+void StderrSink(LogLevel level, std::string_view message) {
+  std::fprintf(stderr, "[%.*s] %.*s\n", static_cast<int>(LogLevelName(level).size()),
+               LogLevelName(level).data(), static_cast<int>(message.size()), message.data());
+}
+
+}  // namespace
+
+Logger::Logger() : level_(static_cast<int>(LogLevel::kWarning)) {
+  sinks_.push_back(StderrSink);
+}
+
+Logger& Logger::Global() {
+  static Logger* logger = new Logger();
+  return *logger;
+}
+
+void Logger::SetSinks(std::vector<LogSink> sinks) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (sinks.empty()) {
+    sinks_.clear();
+    sinks_.push_back(StderrSink);
+  } else {
+    sinks_ = std::move(sinks);
+  }
+}
+
+void Logger::AddSink(LogSink sink) {
+  std::lock_guard<std::mutex> lock(mu_);
+  sinks_.push_back(std::move(sink));
+}
+
+void Logger::Log(LogLevel level, std::string_view message) {
+  if (!Enabled(level)) {
+    return;
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& sink : sinks_) {
+    sink(level, message);
+  }
+}
+
+}  // namespace osguard

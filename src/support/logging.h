@@ -1,0 +1,85 @@
+// Minimal leveled logger.
+//
+// The runtime's REPORT action and the engine's diagnostics go through this
+// logger. Sinks are pluggable so tests can capture output and the benchmark
+// harnesses can silence it. The logger is process-global but all mutation is
+// mutex-guarded; monitor hot paths only pay an atomic level check when the
+// message is below the active level.
+
+#ifndef SRC_SUPPORT_LOGGING_H_
+#define SRC_SUPPORT_LOGGING_H_
+
+#include <atomic>
+#include <functional>
+#include <mutex>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace osguard {
+
+enum class LogLevel : int {
+  kTrace = 0,
+  kDebug = 1,
+  kInfo = 2,
+  kWarning = 3,
+  kError = 4,
+  kOff = 5,
+};
+
+std::string_view LogLevelName(LogLevel level);
+
+// Receives every emitted record at or above the active level.
+using LogSink = std::function<void(LogLevel, std::string_view message)>;
+
+class Logger {
+ public:
+  static Logger& Global();
+
+  void set_level(LogLevel level) { level_.store(static_cast<int>(level)); }
+  LogLevel level() const { return static_cast<LogLevel>(level_.load()); }
+  bool Enabled(LogLevel level) const { return static_cast<int>(level) >= level_.load(); }
+
+  // Replaces all sinks. Passing an empty vector restores the default stderr sink.
+  void SetSinks(std::vector<LogSink> sinks);
+
+  // Adds a sink alongside the existing ones.
+  void AddSink(LogSink sink);
+
+  void Log(LogLevel level, std::string_view message);
+
+ private:
+  Logger();
+
+  std::atomic<int> level_;
+  std::mutex mu_;
+  std::vector<LogSink> sinks_;
+};
+
+// Streaming helper: OSGUARD_LOG(kInfo) << "loaded " << n << " guardrails";
+class LogMessage {
+ public:
+  explicit LogMessage(LogLevel level) : level_(level) {}
+  ~LogMessage() { Logger::Global().Log(level_, stream_.str()); }
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+#define OSGUARD_LOG(severity)                                             \
+  if (!::osguard::Logger::Global().Enabled(::osguard::LogLevel::severity)) \
+    ;                                                                     \
+  else                                                                    \
+    ::osguard::LogMessage(::osguard::LogLevel::severity)
+
+}  // namespace osguard
+
+#endif  // SRC_SUPPORT_LOGGING_H_

@@ -1,0 +1,74 @@
+// Fixed-capacity ring buffer.
+//
+// Used for latency histories, sliding feature windows, and the feature
+// store's time-series values. Overwrites the oldest element when full, which
+// is exactly the semantics guardrail windows need ("the last N samples").
+
+#ifndef SRC_SUPPORT_RING_BUFFER_H_
+#define SRC_SUPPORT_RING_BUFFER_H_
+
+#include <cassert>
+#include <cstddef>
+#include <vector>
+
+namespace osguard {
+
+template <typename T>
+class RingBuffer {
+ public:
+  explicit RingBuffer(size_t capacity) : buffer_(capacity) { assert(capacity > 0); }
+
+  size_t capacity() const { return buffer_.size(); }
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  bool full() const { return size_ == buffer_.size(); }
+
+  // Appends, evicting the oldest element if at capacity.
+  void Push(T value) {
+    buffer_[head_] = std::move(value);
+    head_ = (head_ + 1) % buffer_.size();
+    if (size_ < buffer_.size()) {
+      ++size_;
+    }
+  }
+
+  // Index 0 is the *oldest* retained element; size()-1 is the newest.
+  const T& operator[](size_t i) const {
+    assert(i < size_);
+    const size_t start = (head_ + buffer_.size() - size_) % buffer_.size();
+    return buffer_[(start + i) % buffer_.size()];
+  }
+
+  const T& newest() const {
+    assert(!empty());
+    return (*this)[size_ - 1];
+  }
+  const T& oldest() const {
+    assert(!empty());
+    return (*this)[0];
+  }
+
+  void Clear() {
+    head_ = 0;
+    size_ = 0;
+  }
+
+  // Copies the retained elements, oldest first.
+  std::vector<T> ToVector() const {
+    std::vector<T> out;
+    out.reserve(size_);
+    for (size_t i = 0; i < size_; ++i) {
+      out.push_back((*this)[i]);
+    }
+    return out;
+  }
+
+ private:
+  std::vector<T> buffer_;
+  size_t head_ = 0;  // next write slot
+  size_t size_ = 0;
+};
+
+}  // namespace osguard
+
+#endif  // SRC_SUPPORT_RING_BUFFER_H_

@@ -1,0 +1,119 @@
+#include "src/support/rng.h"
+
+#include <cassert>
+
+namespace osguard {
+namespace {
+
+uint64_t SplitMix64(uint64_t& x) {
+  x += 0x9E3779B97F4A7C15ull;
+  uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+void Rng::Seed(uint64_t seed) {
+  uint64_t sm = seed;
+  for (auto& s : state_) {
+    s = SplitMix64(sm);
+  }
+  has_cached_normal_ = false;
+}
+
+uint64_t Rng::NextU64() {
+  const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+  const uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = Rotl(state_[3], 45);
+  return result;
+}
+
+double Rng::NextDouble() {
+  // 53 high bits -> [0, 1) with full double precision.
+  return static_cast<double>(NextU64() >> 11) * 0x1.0p-53;
+}
+
+int64_t Rng::UniformInt(int64_t lo, int64_t hi) {
+  assert(lo <= hi);
+  const uint64_t span = static_cast<uint64_t>(hi - lo) + 1;
+  if (span == 0) {  // full 64-bit range
+    return static_cast<int64_t>(NextU64());
+  }
+  // Rejection sampling to avoid modulo bias.
+  const uint64_t limit = UINT64_MAX - UINT64_MAX % span;
+  uint64_t r;
+  do {
+    r = NextU64();
+  } while (r >= limit);
+  return lo + static_cast<int64_t>(r % span);
+}
+
+double Rng::Normal(double mean, double stddev) {
+  if (has_cached_normal_) {
+    has_cached_normal_ = false;
+    return mean + stddev * cached_normal_;
+  }
+  double u1;
+  do {
+    u1 = NextDouble();
+  } while (u1 <= 0.0);
+  const double u2 = NextDouble();
+  const double r = std::sqrt(-2.0 * std::log(u1));
+  const double theta = 2.0 * M_PI * u2;
+  cached_normal_ = r * std::sin(theta);
+  has_cached_normal_ = true;
+  return mean + stddev * r * std::cos(theta);
+}
+
+double Rng::Exponential(double rate) {
+  assert(rate > 0.0);
+  double u;
+  do {
+    u = NextDouble();
+  } while (u <= 0.0);
+  return -std::log(u) / rate;
+}
+
+double Rng::Pareto(double xm, double alpha) {
+  assert(xm > 0.0 && alpha > 0.0);
+  double u;
+  do {
+    u = NextDouble();
+  } while (u <= 0.0);
+  return xm / std::pow(u, 1.0 / alpha);
+}
+
+uint64_t Rng::Zipf(uint64_t n, double s) {
+  assert(n >= 1);
+  if (s <= 0.0) {
+    return static_cast<uint64_t>(UniformInt(0, static_cast<int64_t>(n) - 1));
+  }
+  // Inverse-CDF on the continuous bounded Pareto approximation of the Zipf
+  // distribution, then clamp to rank range. Good skew fidelity without an
+  // O(n) harmonic table.
+  const double u = NextDouble();
+  double rank;
+  if (s == 1.0) {
+    rank = std::exp(u * std::log(static_cast<double>(n)));
+  } else {
+    const double one_minus_s = 1.0 - s;
+    const double max_term = std::pow(static_cast<double>(n), one_minus_s);
+    rank = std::pow(u * (max_term - 1.0) + 1.0, 1.0 / one_minus_s);
+  }
+  uint64_t r = static_cast<uint64_t>(rank);
+  if (r >= n) {
+    r = n - 1;
+  }
+  return r;
+}
+
+}  // namespace osguard

@@ -1,0 +1,71 @@
+// Deterministic random-number generation.
+//
+// Every stochastic component in osguard (device models, workload generators,
+// ML weight init) draws from an explicitly-seeded Rng so that simulations and
+// experiments are bit-for-bit reproducible. The engine is splitmix64-seeded
+// xoshiro256**, which is small, fast, and has no global state.
+
+#ifndef SRC_SUPPORT_RNG_H_
+#define SRC_SUPPORT_RNG_H_
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+namespace osguard {
+
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) { Seed(seed); }
+
+  // Re-seeds the generator. Equal seeds yield equal streams.
+  void Seed(uint64_t seed);
+
+  // Uniform 64-bit value.
+  uint64_t NextU64();
+
+  // Uniform double in [0, 1).
+  double NextDouble();
+
+  // Uniform double in [lo, hi).
+  double Uniform(double lo, double hi) { return lo + (hi - lo) * NextDouble(); }
+
+  // Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  int64_t UniformInt(int64_t lo, int64_t hi);
+
+  // Bernoulli trial with success probability p (clamped to [0, 1]).
+  bool Bernoulli(double p) { return NextDouble() < p; }
+
+  // Standard normal via Box-Muller (caches the second deviate).
+  double Normal(double mean = 0.0, double stddev = 1.0);
+
+  // Exponential with the given rate (mean 1/rate). Requires rate > 0.
+  double Exponential(double rate);
+
+  // Pareto with scale xm > 0 and shape alpha > 0 (heavy-tailed latencies).
+  double Pareto(double xm, double alpha);
+
+  // Zipf-like rank in [0, n) with exponent s >= 0 (s == 0 is uniform).
+  // Uses the rejection-inversion-free CDF-table-less approximation that is
+  // accurate enough for workload skew; n must be >= 1.
+  uint64_t Zipf(uint64_t n, double s);
+
+  // Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>& v) {
+    for (size_t i = v.size(); i > 1; --i) {
+      size_t j = static_cast<size_t>(UniformInt(0, static_cast<int64_t>(i) - 1));
+      using std::swap;
+      swap(v[i - 1], v[j]);
+    }
+  }
+
+ private:
+  uint64_t state_[4];
+  bool has_cached_normal_ = false;
+  double cached_normal_ = 0.0;
+};
+
+}  // namespace osguard
+
+#endif  // SRC_SUPPORT_RNG_H_

@@ -1,0 +1,207 @@
+#include "src/support/stats.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace osguard {
+
+void StreamingStats::Add(double x) {
+  if (count_ == 0) {
+    min_ = x;
+    max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+void StreamingStats::Reset() { *this = StreamingStats(); }
+
+void StreamingStats::Merge(const StreamingStats& other) {
+  if (other.count_ == 0) {
+    return;
+  }
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  const double n1 = static_cast<double>(count_);
+  const double n2 = static_cast<double>(other.count_);
+  const double delta = other.mean_ - mean_;
+  const double total = n1 + n2;
+  mean_ += delta * n2 / total;
+  m2_ += other.m2_ + delta * delta * n1 * n2 / total;
+  count_ += other.count_;
+  sum_ += other.sum_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+P2Quantile::P2Quantile(double quantile) : q_(quantile) {
+  assert(quantile > 0.0 && quantile < 1.0);
+  Reset();
+}
+
+void P2Quantile::Reset() {
+  count_ = 0;
+  for (int i = 0; i < 5; ++i) {
+    heights_[i] = 0.0;
+    positions_[i] = static_cast<double>(i + 1);
+  }
+  desired_[0] = 1.0;
+  desired_[1] = 1.0 + 2.0 * q_;
+  desired_[2] = 1.0 + 4.0 * q_;
+  desired_[3] = 3.0 + 2.0 * q_;
+  desired_[4] = 5.0;
+  increments_[0] = 0.0;
+  increments_[1] = q_ / 2.0;
+  increments_[2] = q_;
+  increments_[3] = (1.0 + q_) / 2.0;
+  increments_[4] = 1.0;
+}
+
+void P2Quantile::Add(double x) {
+  if (count_ < 5) {
+    heights_[count_++] = x;
+    if (count_ == 5) {
+      std::sort(heights_, heights_ + 5);
+    }
+    return;
+  }
+  // Locate the cell containing x and update extreme markers.
+  int k;
+  if (x < heights_[0]) {
+    heights_[0] = x;
+    k = 0;
+  } else if (x >= heights_[4]) {
+    heights_[4] = x;
+    k = 3;
+  } else {
+    k = 0;
+    while (k < 3 && x >= heights_[k + 1]) {
+      ++k;
+    }
+  }
+  for (int i = k + 1; i < 5; ++i) {
+    positions_[i] += 1.0;
+  }
+  for (int i = 0; i < 5; ++i) {
+    desired_[i] += increments_[i];
+  }
+  ++count_;
+  // Adjust interior markers toward their desired positions with parabolic
+  // interpolation, falling back to linear when parabolic would disorder them.
+  for (int i = 1; i <= 3; ++i) {
+    const double d = desired_[i] - positions_[i];
+    const double right_gap = positions_[i + 1] - positions_[i];
+    const double left_gap = positions_[i - 1] - positions_[i];
+    if ((d >= 1.0 && right_gap > 1.0) || (d <= -1.0 && left_gap < -1.0)) {
+      const double sign = d >= 0 ? 1.0 : -1.0;
+      const double hp = heights_[i + 1];
+      const double hm = heights_[i - 1];
+      const double h = heights_[i];
+      const double np = positions_[i + 1];
+      const double nm = positions_[i - 1];
+      const double n = positions_[i];
+      double candidate = h + sign / (np - nm) *
+                                 ((n - nm + sign) * (hp - h) / (np - n) +
+                                  (np - n - sign) * (h - hm) / (n - nm));
+      if (hm < candidate && candidate < hp) {
+        heights_[i] = candidate;
+      } else {
+        // Linear adjustment toward the neighbor in the movement direction.
+        const int j = i + static_cast<int>(sign);
+        heights_[i] = h + sign * (heights_[j] - h) / (positions_[j] - n);
+      }
+      positions_[i] += sign;
+    }
+  }
+}
+
+double P2Quantile::value() const {
+  if (count_ == 0) {
+    return 0.0;
+  }
+  if (count_ < 5) {
+    std::vector<double> v(heights_, heights_ + count_);
+    return ExactQuantile(std::move(v), q_);
+  }
+  return heights_[2];
+}
+
+double ExactQuantile(std::vector<double> values, double quantile) {
+  if (values.empty()) {
+    return 0.0;
+  }
+  std::sort(values.begin(), values.end());
+  if (quantile <= 0.0) {
+    return values.front();
+  }
+  if (quantile >= 1.0) {
+    return values.back();
+  }
+  // Linear interpolation between closest ranks (type-7, numpy default).
+  const double pos = quantile * static_cast<double>(values.size() - 1);
+  const size_t lo = static_cast<size_t>(pos);
+  const double frac = pos - static_cast<double>(lo);
+  if (lo + 1 >= values.size()) {
+    return values.back();
+  }
+  return values[lo] * (1.0 - frac) + values[lo + 1] * frac;
+}
+
+double KsStatistic(std::vector<double> a, std::vector<double> b) {
+  if (a.empty() || b.empty()) {
+    return 0.0;
+  }
+  std::sort(a.begin(), a.end());
+  std::sort(b.begin(), b.end());
+  size_t ia = 0;
+  size_t ib = 0;
+  double d = 0.0;
+  const double na = static_cast<double>(a.size());
+  const double nb = static_cast<double>(b.size());
+  while (ia < a.size() && ib < b.size()) {
+    const double x = std::min(a[ia], b[ib]);
+    while (ia < a.size() && a[ia] <= x) {
+      ++ia;
+    }
+    while (ib < b.size() && b[ib] <= x) {
+      ++ib;
+    }
+    const double fa = static_cast<double>(ia) / na;
+    const double fb = static_cast<double>(ib) / nb;
+    d = std::max(d, std::abs(fa - fb));
+  }
+  return d;
+}
+
+double PearsonCorrelation(const std::vector<double>& x, const std::vector<double>& y) {
+  if (x.size() != y.size() || x.size() < 2) {
+    return 0.0;
+  }
+  StreamingStats sx;
+  StreamingStats sy;
+  for (size_t i = 0; i < x.size(); ++i) {
+    sx.Add(x[i]);
+    sy.Add(y[i]);
+  }
+  const double mx = sx.mean();
+  const double my = sy.mean();
+  double cov = 0.0;
+  for (size_t i = 0; i < x.size(); ++i) {
+    cov += (x[i] - mx) * (y[i] - my);
+  }
+  const double denom = sx.stddev() * sy.stddev() * static_cast<double>(x.size() - 1);
+  if (denom == 0.0) {
+    return 0.0;
+  }
+  return cov / denom;
+}
+
+}  // namespace osguard

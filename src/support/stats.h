@@ -1,0 +1,106 @@
+// Streaming statistics.
+//
+// Guardrail properties are almost always statements about statistics of a
+// stream ("mean page-fault latency over 10s", "p99 under 2ms", "rate above
+// 5%"). These accumulators are the shared numeric substrate: O(1) memory,
+// single-pass, no allocation on the update path.
+
+#ifndef SRC_SUPPORT_STATS_H_
+#define SRC_SUPPORT_STATS_H_
+
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace osguard {
+
+// Welford online mean/variance plus min/max.
+class StreamingStats {
+ public:
+  void Add(double x);
+
+  size_t count() const { return count_; }
+  double mean() const { return count_ > 0 ? mean_ : 0.0; }
+  // Sample variance (n-1 denominator); 0 with fewer than two samples.
+  double variance() const { return count_ > 1 ? m2_ / static_cast<double>(count_ - 1) : 0.0; }
+  double stddev() const { return std::sqrt(variance()); }
+  double min() const { return count_ > 0 ? min_ : 0.0; }
+  double max() const { return count_ > 0 ? max_ : 0.0; }
+  double sum() const { return sum_; }
+
+  void Reset();
+
+  // Pools another accumulator into this one (parallel Welford merge).
+  void Merge(const StreamingStats& other);
+
+ private:
+  size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+// Exponentially weighted moving average. alpha in (0, 1]; larger alpha
+// weights recent samples more.
+class Ewma {
+ public:
+  explicit Ewma(double alpha) : alpha_(alpha) {}
+
+  void Add(double x) {
+    if (!initialized_) {
+      value_ = x;
+      initialized_ = true;
+    } else {
+      value_ = alpha_ * x + (1.0 - alpha_) * value_;
+    }
+  }
+
+  bool initialized() const { return initialized_; }
+  double value() const { return initialized_ ? value_ : 0.0; }
+  void Reset() { initialized_ = false; }
+
+ private:
+  double alpha_;
+  bool initialized_ = false;
+  double value_ = 0.0;
+};
+
+// P² (Jain & Chlamtac) single-quantile estimator: O(1) memory estimate of an
+// arbitrary quantile of a stream. Exact until five samples are seen.
+class P2Quantile {
+ public:
+  explicit P2Quantile(double quantile);
+
+  void Add(double x);
+  // Current estimate; exact for <= 5 samples, interpolated after.
+  double value() const;
+  size_t count() const { return count_; }
+  void Reset();
+
+ private:
+  double q_;
+  size_t count_ = 0;
+  double heights_[5];
+  double positions_[5];
+  double desired_[5];
+  double increments_[5];
+};
+
+// Exact empirical quantile over a bounded sample buffer (used where windows
+// are small and exactness matters, e.g. verifying P2 itself and computing
+// training-set distribution fingerprints).
+double ExactQuantile(std::vector<double> values, double quantile);
+
+// Two-sample Kolmogorov-Smirnov statistic (max CDF distance) between sorted
+// samples; the in-distribution property (P1) thresholds on this.
+double KsStatistic(std::vector<double> a, std::vector<double> b);
+
+// Pearson correlation of two equal-length series; 0 if degenerate.
+double PearsonCorrelation(const std::vector<double>& x, const std::vector<double>& y);
+
+}  // namespace osguard
+
+#endif  // SRC_SUPPORT_STATS_H_

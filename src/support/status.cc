@@ -1,0 +1,79 @@
+#include "src/support/status.h"
+
+namespace osguard {
+
+std::string_view ErrorCodeName(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::kOk:
+      return "OK";
+    case ErrorCode::kInvalidArgument:
+      return "INVALID_ARGUMENT";
+    case ErrorCode::kNotFound:
+      return "NOT_FOUND";
+    case ErrorCode::kAlreadyExists:
+      return "ALREADY_EXISTS";
+    case ErrorCode::kFailedPrecondition:
+      return "FAILED_PRECONDITION";
+    case ErrorCode::kOutOfRange:
+      return "OUT_OF_RANGE";
+    case ErrorCode::kResourceExhausted:
+      return "RESOURCE_EXHAUSTED";
+    case ErrorCode::kParseError:
+      return "PARSE_ERROR";
+    case ErrorCode::kSemanticError:
+      return "SEMANTIC_ERROR";
+    case ErrorCode::kVerifierError:
+      return "VERIFIER_ERROR";
+    case ErrorCode::kExecutionError:
+      return "EXECUTION_ERROR";
+    case ErrorCode::kInternal:
+      return "INTERNAL";
+  }
+  return "UNKNOWN";
+}
+
+std::string Status::ToString() const {
+  if (ok()) {
+    return "OK";
+  }
+  std::string out(ErrorCodeName(code_));
+  out += ": ";
+  out += message_;
+  return out;
+}
+
+Status InvalidArgumentError(std::string message) {
+  return Status(ErrorCode::kInvalidArgument, std::move(message));
+}
+Status NotFoundError(std::string message) {
+  return Status(ErrorCode::kNotFound, std::move(message));
+}
+Status AlreadyExistsError(std::string message) {
+  return Status(ErrorCode::kAlreadyExists, std::move(message));
+}
+Status FailedPreconditionError(std::string message) {
+  return Status(ErrorCode::kFailedPrecondition, std::move(message));
+}
+Status OutOfRangeError(std::string message) {
+  return Status(ErrorCode::kOutOfRange, std::move(message));
+}
+Status ResourceExhaustedError(std::string message) {
+  return Status(ErrorCode::kResourceExhausted, std::move(message));
+}
+Status ParseError(std::string message) {
+  return Status(ErrorCode::kParseError, std::move(message));
+}
+Status SemanticError(std::string message) {
+  return Status(ErrorCode::kSemanticError, std::move(message));
+}
+Status VerifierError(std::string message) {
+  return Status(ErrorCode::kVerifierError, std::move(message));
+}
+Status ExecutionError(std::string message) {
+  return Status(ErrorCode::kExecutionError, std::move(message));
+}
+Status InternalError(std::string message) {
+  return Status(ErrorCode::kInternal, std::move(message));
+}
+
+}  // namespace osguard

@@ -1,0 +1,151 @@
+// Lightweight error-handling vocabulary used across osguard.
+//
+// The library never throws for expected failure modes (bad specs, verifier
+// rejections, missing keys); those are reported through Status / Result<T>.
+// Exceptions are reserved for programming errors surfaced by the standard
+// library itself.
+
+#ifndef SRC_SUPPORT_STATUS_H_
+#define SRC_SUPPORT_STATUS_H_
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <variant>
+
+namespace osguard {
+
+// Error categories, modeled after the small set of conditions the framework
+// actually distinguishes at recovery time.
+enum class ErrorCode {
+  kOk = 0,
+  kInvalidArgument,   // caller passed something malformed
+  kNotFound,          // lookup miss (feature-store key, policy name, ...)
+  kAlreadyExists,     // duplicate registration
+  kFailedPrecondition,// operation illegal in current state
+  kOutOfRange,        // index/bound violation
+  kResourceExhausted, // capacity limits (retrain queue, store size, ...)
+  kParseError,        // DSL lexer/parser failure
+  kSemanticError,     // DSL semantic-analysis failure
+  kVerifierError,     // bytecode rejected by the static verifier
+  kExecutionError,    // runtime fault while executing a monitor program
+  kInternal,          // invariant broken inside the library
+};
+
+// Human-readable name for an ErrorCode ("kOk" -> "OK", etc.).
+std::string_view ErrorCodeName(ErrorCode code);
+
+// A success-or-error value. Cheap to copy on the success path (no message
+// allocation happens for kOk).
+class Status {
+ public:
+  Status() : code_(ErrorCode::kOk) {}
+  Status(ErrorCode code, std::string message) : code_(code), message_(std::move(message)) {
+    assert(code != ErrorCode::kOk && "use Status() / OkStatus() for success");
+  }
+
+  static Status Ok() { return Status(); }
+
+  bool ok() const { return code_ == ErrorCode::kOk; }
+  ErrorCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  // "PARSE_ERROR: unexpected token" style rendering for logs and tests.
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  ErrorCode code_;
+  std::string message_;
+};
+
+inline Status OkStatus() { return Status::Ok(); }
+
+// Convenience constructors mirroring the ErrorCode list.
+Status InvalidArgumentError(std::string message);
+Status NotFoundError(std::string message);
+Status AlreadyExistsError(std::string message);
+Status FailedPreconditionError(std::string message);
+Status OutOfRangeError(std::string message);
+Status ResourceExhaustedError(std::string message);
+Status ParseError(std::string message);
+Status SemanticError(std::string message);
+Status VerifierError(std::string message);
+Status ExecutionError(std::string message);
+Status InternalError(std::string message);
+
+// Result<T> is a value-or-Status sum type (std::expected is C++23; this is the
+// minimal subset the codebase needs).
+template <typename T>
+class Result {
+ public:
+  // Intentionally implicit so functions can `return value;` / `return status;`.
+  Result(T value) : data_(std::move(value)) {}
+  Result(Status status) : data_(std::move(status)) {
+    assert(!std::get<Status>(data_).ok() && "Result<T> must not hold an OK status");
+  }
+
+  bool ok() const { return std::holds_alternative<T>(data_); }
+
+  const Status& status() const {
+    static const Status kOk;
+    return ok() ? kOk : std::get<Status>(data_);
+  }
+
+  const T& value() const& {
+    assert(ok());
+    return std::get<T>(data_);
+  }
+  T& value() & {
+    assert(ok());
+    return std::get<T>(data_);
+  }
+  T&& value() && {
+    assert(ok());
+    return std::get<T>(std::move(data_));
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  T value_or(T fallback) const {
+    return ok() ? std::get<T>(data_) : std::move(fallback);
+  }
+
+ private:
+  std::variant<T, Status> data_;
+};
+
+// Propagate-on-error helpers, used pervasively in the DSL/VM pipeline.
+#define OSGUARD_RETURN_IF_ERROR(expr)              \
+  do {                                             \
+    ::osguard::Status osguard_status_ = (expr);    \
+    if (!osguard_status_.ok()) {                   \
+      return osguard_status_;                      \
+    }                                              \
+  } while (0)
+
+#define OSGUARD_ASSIGN_OR_RETURN(lhs, expr)        \
+  OSGUARD_ASSIGN_OR_RETURN_IMPL_(                  \
+      OSGUARD_CONCAT_(osguard_result_, __LINE__), lhs, expr)
+
+#define OSGUARD_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, expr) \
+  auto tmp = (expr);                                   \
+  if (!tmp.ok()) {                                     \
+    return tmp.status();                               \
+  }                                                    \
+  lhs = std::move(tmp).value()
+
+#define OSGUARD_CONCAT_INNER_(a, b) a##b
+#define OSGUARD_CONCAT_(a, b) OSGUARD_CONCAT_INNER_(a, b)
+
+}  // namespace osguard
+
+#endif  // SRC_SUPPORT_STATUS_H_

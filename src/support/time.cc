@@ -1,0 +1,25 @@
+#include "src/support/time.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace osguard {
+
+std::string FormatDuration(Duration d) {
+  char buf[64];
+  const bool negative = d < 0;
+  const double abs_ns = std::abs(static_cast<double>(d));
+  const char* sign = negative ? "-" : "";
+  if (abs_ns < static_cast<double>(kMicrosecond)) {
+    std::snprintf(buf, sizeof(buf), "%s%.0fns", sign, abs_ns);
+  } else if (abs_ns < static_cast<double>(kMillisecond)) {
+    std::snprintf(buf, sizeof(buf), "%s%.1fus", sign, abs_ns / kMicrosecond);
+  } else if (abs_ns < static_cast<double>(kSecond)) {
+    std::snprintf(buf, sizeof(buf), "%s%.1fms", sign, abs_ns / kMillisecond);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%s%.2fs", sign, abs_ns / kSecond);
+  }
+  return buf;
+}
+
+}  // namespace osguard

@@ -1,0 +1,43 @@
+// Simulated-time vocabulary.
+//
+// All of osguard runs against a simulated monotonic clock expressed in
+// nanoseconds since simulation start. Using a strong typedef (rather than
+// std::chrono) keeps the VM's numeric model trivial: durations and instants
+// are plain int64 nanosecond counts, which is also how the DSL surfaces them
+// (e.g. `1s`, `250ms`, `1e9`).
+
+#ifndef SRC_SUPPORT_TIME_H_
+#define SRC_SUPPORT_TIME_H_
+
+#include <cstdint>
+#include <string>
+
+namespace osguard {
+
+// Instant on the simulated monotonic clock, in nanoseconds.
+using SimTime = int64_t;
+
+// Length of time, in nanoseconds.
+using Duration = int64_t;
+
+inline constexpr Duration kNanosecond = 1;
+inline constexpr Duration kMicrosecond = 1000 * kNanosecond;
+inline constexpr Duration kMillisecond = 1000 * kMicrosecond;
+inline constexpr Duration kSecond = 1000 * kMillisecond;
+inline constexpr Duration kMinute = 60 * kSecond;
+
+inline constexpr Duration Nanoseconds(int64_t n) { return n; }
+inline constexpr Duration Microseconds(int64_t n) { return n * kMicrosecond; }
+inline constexpr Duration Milliseconds(int64_t n) { return n * kMillisecond; }
+inline constexpr Duration Seconds(int64_t n) { return n * kSecond; }
+
+inline constexpr double ToSeconds(Duration d) { return static_cast<double>(d) / kSecond; }
+inline constexpr double ToMillis(Duration d) { return static_cast<double>(d) / kMillisecond; }
+inline constexpr double ToMicros(Duration d) { return static_cast<double>(d) / kMicrosecond; }
+
+// Renders a duration with an adaptive unit: "250ns", "13.5us", "2.0ms", "1.25s".
+std::string FormatDuration(Duration d);
+
+}  // namespace osguard
+
+#endif  // SRC_SUPPORT_TIME_H_

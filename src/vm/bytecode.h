@@ -1,0 +1,80 @@
+// Bytecode format for compiled guardrail monitors.
+//
+// The paper compiles guardrails into monitors that run inside the kernel "as
+// eBPF programs or kernel modules". We mirror the eBPF execution model with a
+// small register machine:
+//
+//   * fixed register file (kMaxRegisters), registers hold Values
+//   * a constant pool per program
+//   * forward-only jumps — every verified program is a DAG, so termination
+//     is structural, exactly like (classic) eBPF's no-back-edges rule
+//   * side effects only through numbered helpers (the DSL builtins)
+//
+// A guardrail compiles into up to three programs: the rule program (returns
+// a truth value; true = property holds), the action program, and optionally
+// the on_satisfy program.
+
+#ifndef SRC_VM_BYTECODE_H_
+#define SRC_VM_BYTECODE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/dsl/builtins.h"
+#include "src/store/value.h"
+
+namespace osguard {
+
+inline constexpr int kMaxRegisters = 64;
+inline constexpr int kMaxInstructions = 4096;
+inline constexpr int kMaxConstants = 1024;
+
+enum class Op : uint8_t {
+  kLoadConst = 0,  // r[a] = consts[imm]
+  kMov,            // r[a] = r[b]
+  kAdd,            // r[a] = r[b] + r[c]   (numeric; int+int stays int)
+  kSub,
+  kMul,
+  kDiv,            // always float division; div-by-zero faults the program
+  kMod,
+  kNeg,            // r[a] = -r[b]
+  kNot,            // r[a] = !truthy(r[b])
+  kCmpLt,          // r[a] = r[b] < r[c]
+  kCmpLe,
+  kCmpGt,
+  kCmpGe,
+  kCmpEq,          // deep equality on Values
+  kCmpNe,
+  kJump,           // pc += imm (imm >= 1, forward only)
+  kJumpIfFalse,    // if !truthy(r[a]) pc += imm
+  kJumpIfTrue,     // if  truthy(r[a]) pc += imm
+  kMakeList,       // r[a] = list(r[b] .. r[b]+imm-1)
+  kCall,           // r[a] = helper<imm>(r[b] .. r[b]+c-1)
+  kRet,            // return r[a]
+};
+
+std::string_view OpName(Op op);
+
+struct Insn {
+  Op op = Op::kRet;
+  uint8_t a = 0;   // destination / condition register
+  uint8_t b = 0;   // first source register
+  uint8_t c = 0;   // second source register or arg count
+  int32_t imm = 0; // constant index / jump offset / helper id / list length
+};
+
+struct Program {
+  std::string name;               // e.g. "low-false-submit.rule"
+  std::vector<Insn> insns;
+  std::vector<Value> consts;
+  int register_count = 0;         // registers actually used
+
+  bool empty() const { return insns.empty(); }
+  // Human-readable listing, one instruction per line.
+  std::string Disassemble() const;
+};
+
+}  // namespace osguard
+
+#endif  // SRC_VM_BYTECODE_H_

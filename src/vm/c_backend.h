@@ -1,0 +1,28 @@
+// C-source backend: renders a compiled guardrail as the kernel-module
+// monitor the paper's §3.3 describes ("compiled into guardrail monitors that
+// run inside the kernel, either as eBPF programs or as kernel modules").
+//
+// The emitted C is a faithful, human-readable transliteration of the verified
+// bytecode against a small osg_* helper ABI. It is meant for inspection and
+// for documenting what in-kernel deployment looks like; this repository does
+// not compile it into a kernel (see DESIGN.md, Substitutions).
+
+#ifndef SRC_VM_C_BACKEND_H_
+#define SRC_VM_C_BACKEND_H_
+
+#include <string>
+
+#include "src/vm/compiler.h"
+
+namespace osguard {
+
+// Emits one C translation unit containing the rule/action/on_satisfy
+// functions plus the module registration boilerplate for `guardrail`.
+std::string EmitKernelModuleSource(const CompiledGuardrail& guardrail);
+
+// Emits just one program as a C function (used by tests).
+std::string EmitCFunction(const Program& program, const std::string& function_name);
+
+}  // namespace osguard
+
+#endif  // SRC_VM_C_BACKEND_H_

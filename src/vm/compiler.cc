@@ -1,0 +1,402 @@
+#include "src/vm/compiler.h"
+
+#include <algorithm>
+
+#include "src/dsl/parser.h"
+#include "src/vm/verifier.h"
+
+namespace osguard {
+namespace {
+
+// Emits one program. Registers are allocated with stack discipline: a scope
+// mark is taken before compiling a subexpression and restored once its value
+// has been consumed.
+class ProgramBuilder {
+ public:
+  explicit ProgramBuilder(std::string name) { program_.name = std::move(name); }
+
+  Result<int> AllocReg() {
+    if (next_reg_ >= kMaxRegisters) {
+      return VerifierError("program '" + program_.name + "' needs more than " +
+                           std::to_string(kMaxRegisters) + " registers");
+    }
+    const int reg = next_reg_++;
+    program_.register_count = std::max(program_.register_count, next_reg_);
+    return reg;
+  }
+  int Mark() const { return next_reg_; }
+  void Release(int mark) { next_reg_ = mark; }
+
+  size_t Emit(Op op, uint8_t a = 0, uint8_t b = 0, uint8_t c = 0, int32_t imm = 0) {
+    program_.insns.push_back(Insn{op, a, b, c, imm});
+    return program_.insns.size() - 1;
+  }
+
+  // Emits a jump with a to-be-patched offset; PatchJump fixes it to point at
+  // the current end of the program.
+  size_t EmitJump(Op op, uint8_t cond_reg = 0) { return Emit(op, cond_reg, 0, 0, 0); }
+  void PatchJump(size_t jump_pc) {
+    program_.insns[jump_pc].imm =
+        static_cast<int32_t>(program_.insns.size() - jump_pc - 1);
+  }
+
+  Result<int> InternConst(const Value& value) {
+    for (size_t i = 0; i < program_.consts.size(); ++i) {
+      if (program_.consts[i] == value) {
+        return static_cast<int>(i);
+      }
+    }
+    if (program_.consts.size() >= kMaxConstants) {
+      return VerifierError("program '" + program_.name + "' exceeds the constant pool limit");
+    }
+    program_.consts.push_back(value);
+    return static_cast<int>(program_.consts.size() - 1);
+  }
+
+  // Loads a constant into a fresh register.
+  Result<int> EmitConst(const Value& value) {
+    OSGUARD_ASSIGN_OR_RETURN(int index, InternConst(value));
+    OSGUARD_ASSIGN_OR_RETURN(int reg, AllocReg());
+    Emit(Op::kLoadConst, static_cast<uint8_t>(reg), 0, 0, index);
+    return reg;
+  }
+
+  // r[dst] = canonical bool of r[src], via double negation.
+  Result<int> EmitTruthy(int src) {
+    OSGUARD_ASSIGN_OR_RETURN(int tmp, AllocReg());
+    Emit(Op::kNot, static_cast<uint8_t>(tmp), static_cast<uint8_t>(src));
+    Emit(Op::kNot, static_cast<uint8_t>(tmp), static_cast<uint8_t>(tmp));
+    return tmp;
+  }
+
+  Program Take() { return std::move(program_); }
+
+ private:
+  Program program_;
+  int next_reg_ = 0;
+};
+
+class ExprCompiler {
+ public:
+  explicit ExprCompiler(std::string name) : builder_(std::move(name)) {}
+
+  ProgramBuilder& builder() { return builder_; }
+
+  // Compiles `expr`, returning the register holding its value.
+  Result<int> Compile(const Expr& expr) {
+    switch (expr.kind) {
+      case ExprKind::kLiteral:
+        return builder_.EmitConst(expr.literal);
+      case ExprKind::kIdent:
+        return CompileImplicitLoad(expr);
+      case ExprKind::kUnary:
+        return CompileUnary(expr);
+      case ExprKind::kBinary:
+        return CompileBinary(expr);
+      case ExprKind::kCall:
+        return CompileCall(expr);
+      case ExprKind::kList:
+        return SemanticError("a {...} list is only valid as a call argument: " +
+                             expr.ToString());
+    }
+    return InternalError("unhandled expression kind");
+  }
+
+  // Finishes the program with `ret r`.
+  Program Finish(int result_reg) {
+    builder_.Emit(Op::kRet, static_cast<uint8_t>(result_reg));
+    return builder_.Take();
+  }
+
+ private:
+  Result<int> CompileImplicitLoad(const Expr& expr) {
+    // Bare identifier: LOAD(key).
+    OSGUARD_ASSIGN_OR_RETURN(int key_reg, builder_.EmitConst(Value(expr.name)));
+    OSGUARD_ASSIGN_OR_RETURN(int dst, builder_.AllocReg());
+    builder_.Emit(Op::kCall, static_cast<uint8_t>(dst), static_cast<uint8_t>(key_reg), 1,
+                  static_cast<int32_t>(HelperId::kLoad));
+    return dst;
+  }
+
+  Result<int> CompileUnary(const Expr& expr) {
+    const int mark = builder_.Mark();
+    OSGUARD_ASSIGN_OR_RETURN(int operand, Compile(*expr.children[0]));
+    builder_.Release(mark);
+    OSGUARD_ASSIGN_OR_RETURN(int dst, builder_.AllocReg());
+    builder_.Emit(expr.unary_op == UnaryOp::kNeg ? Op::kNeg : Op::kNot,
+                  static_cast<uint8_t>(dst), static_cast<uint8_t>(operand));
+    return dst;
+  }
+
+  Result<int> CompileBinary(const Expr& expr) {
+    if (expr.binary_op == BinaryOp::kAnd || expr.binary_op == BinaryOp::kOr) {
+      return CompileShortCircuit(expr);
+    }
+    const int mark = builder_.Mark();
+    OSGUARD_ASSIGN_OR_RETURN(int lhs, Compile(*expr.children[0]));
+    OSGUARD_ASSIGN_OR_RETURN(int rhs, Compile(*expr.children[1]));
+    builder_.Release(mark);
+    OSGUARD_ASSIGN_OR_RETURN(int dst, builder_.AllocReg());
+    Op op;
+    switch (expr.binary_op) {
+      case BinaryOp::kAdd:
+        op = Op::kAdd;
+        break;
+      case BinaryOp::kSub:
+        op = Op::kSub;
+        break;
+      case BinaryOp::kMul:
+        op = Op::kMul;
+        break;
+      case BinaryOp::kDiv:
+        op = Op::kDiv;
+        break;
+      case BinaryOp::kMod:
+        op = Op::kMod;
+        break;
+      case BinaryOp::kLt:
+        op = Op::kCmpLt;
+        break;
+      case BinaryOp::kLe:
+        op = Op::kCmpLe;
+        break;
+      case BinaryOp::kGt:
+        op = Op::kCmpGt;
+        break;
+      case BinaryOp::kGe:
+        op = Op::kCmpGe;
+        break;
+      case BinaryOp::kEq:
+        op = Op::kCmpEq;
+        break;
+      case BinaryOp::kNe:
+        op = Op::kCmpNe;
+        break;
+      default:
+        return InternalError("unexpected binary op");
+    }
+    builder_.Emit(op, static_cast<uint8_t>(dst), static_cast<uint8_t>(lhs),
+                  static_cast<uint8_t>(rhs));
+    return dst;
+  }
+
+  // dst = truthy(a); if (op==AND && !dst) skip b; dst = truthy(b)
+  Result<int> CompileShortCircuit(const Expr& expr) {
+    OSGUARD_ASSIGN_OR_RETURN(int dst, builder_.AllocReg());
+    const int mark = builder_.Mark();
+    OSGUARD_ASSIGN_OR_RETURN(int lhs, Compile(*expr.children[0]));
+    builder_.Emit(Op::kNot, static_cast<uint8_t>(dst), static_cast<uint8_t>(lhs));
+    builder_.Emit(Op::kNot, static_cast<uint8_t>(dst), static_cast<uint8_t>(dst));
+    builder_.Release(mark);
+    const Op skip_op =
+        expr.binary_op == BinaryOp::kAnd ? Op::kJumpIfFalse : Op::kJumpIfTrue;
+    const size_t jump_pc = builder_.EmitJump(skip_op, static_cast<uint8_t>(dst));
+    OSGUARD_ASSIGN_OR_RETURN(int rhs, Compile(*expr.children[1]));
+    builder_.Emit(Op::kNot, static_cast<uint8_t>(dst), static_cast<uint8_t>(rhs));
+    builder_.Emit(Op::kNot, static_cast<uint8_t>(dst), static_cast<uint8_t>(dst));
+    builder_.Release(mark);
+    builder_.PatchJump(jump_pc);
+    return dst;
+  }
+
+  // Evaluates one call argument according to its declared mode, leaving the
+  // value in a freshly allocated register (so consecutive arguments occupy
+  // consecutive registers).
+  Result<int> CompileCallArg(const Expr& arg, ArgMode mode) {
+    switch (mode) {
+      case ArgMode::kKey: {
+        // Bare identifier or string literal -> string constant.
+        std::string key;
+        if (arg.kind == ExprKind::kIdent) {
+          key = arg.name;
+        } else if (arg.kind == ExprKind::kLiteral &&
+                   arg.literal.type() == ValueType::kString) {
+          key = arg.literal.AsString().value();
+        } else {
+          return SemanticError("expected a key identifier, got: " + arg.ToString());
+        }
+        return builder_.EmitConst(Value(std::move(key)));
+      }
+      case ArgMode::kNameList: {
+        if (arg.kind != ExprKind::kList) {
+          return SemanticError("expected a {name, ...} list, got: " + arg.ToString());
+        }
+        std::vector<Value> names;
+        for (const ExprPtr& element : arg.children) {
+          if (element->kind == ExprKind::kIdent) {
+            names.emplace_back(element->name);
+          } else if (element->kind == ExprKind::kLiteral &&
+                     element->literal.type() == ValueType::kString) {
+            names.push_back(element->literal);
+          } else {
+            return SemanticError("name lists may only contain identifiers: " +
+                                 element->ToString());
+          }
+        }
+        return builder_.EmitConst(Value(std::move(names)));
+      }
+      case ArgMode::kValueList: {
+        if (arg.kind != ExprKind::kList) {
+          return SemanticError("expected a {value, ...} list, got: " + arg.ToString());
+        }
+        // Evaluate elements into consecutive registers, then fold into one
+        // list register at the position the argument window expects.
+        OSGUARD_ASSIGN_OR_RETURN(int dst, builder_.AllocReg());
+        const int mark = builder_.Mark();
+        int first = -1;
+        for (const ExprPtr& element : arg.children) {
+          const int element_mark = builder_.Mark();
+          OSGUARD_ASSIGN_OR_RETURN(int value_reg, Compile(*element));
+          // Pin the element value at the next consecutive slot.
+          if (value_reg != element_mark) {
+            builder_.Emit(Op::kMov, static_cast<uint8_t>(element_mark),
+                          static_cast<uint8_t>(value_reg));
+            builder_.Release(element_mark + 1);
+          }
+          if (first < 0) {
+            first = element_mark;
+          }
+        }
+        builder_.Emit(Op::kMakeList, static_cast<uint8_t>(dst),
+                      static_cast<uint8_t>(first < 0 ? 0 : first), 0,
+                      static_cast<int32_t>(arg.children.size()));
+        builder_.Release(mark);
+        return dst;
+      }
+      case ArgMode::kValue: {
+        const int slot = builder_.Mark();
+        OSGUARD_ASSIGN_OR_RETURN(int value_reg, Compile(arg));
+        if (value_reg != slot) {
+          builder_.Emit(Op::kMov, static_cast<uint8_t>(slot),
+                        static_cast<uint8_t>(value_reg));
+          builder_.Release(slot + 1);
+        }
+        return slot;
+      }
+    }
+    return InternalError("unhandled argument mode");
+  }
+
+  Result<int> CompileCall(const Expr& expr) {
+    const Builtin* builtin = FindBuiltin(expr.name);
+    if (builtin == nullptr) {
+      return SemanticError("unknown function '" + expr.name + "'");
+    }
+    const int mark = builder_.Mark();
+    int first_arg = -1;
+    for (size_t i = 0; i < expr.children.size(); ++i) {
+      ArgMode mode = ArgMode::kValue;
+      if (!builtin->arg_modes.empty()) {
+        const size_t mode_index = std::min(i, builtin->arg_modes.size() - 1);
+        mode = builtin->arg_modes[mode_index];
+      }
+      OSGUARD_ASSIGN_OR_RETURN(int reg, CompileCallArg(*expr.children[i], mode));
+      if (first_arg < 0) {
+        first_arg = reg;
+      }
+    }
+    builder_.Release(mark);
+    OSGUARD_ASSIGN_OR_RETURN(int dst, builder_.AllocReg());
+    builder_.Emit(Op::kCall, static_cast<uint8_t>(dst),
+                  static_cast<uint8_t>(first_arg < 0 ? 0 : first_arg),
+                  static_cast<uint8_t>(expr.children.size()),
+                  static_cast<int32_t>(builtin->id));
+    return dst;
+  }
+
+  ProgramBuilder builder_;
+};
+
+// Compiles the conjunction of `rules` into a program returning bool.
+Result<Program> CompileRuleProgram(const std::vector<ExprPtr>& rules, const std::string& name) {
+  ExprCompiler compiler(name);
+  ProgramBuilder& b = compiler.builder();
+  OSGUARD_ASSIGN_OR_RETURN(int dst, b.AllocReg());
+  std::vector<size_t> exit_jumps;
+  for (size_t i = 0; i < rules.size(); ++i) {
+    const int mark = b.Mark();
+    OSGUARD_ASSIGN_OR_RETURN(int value_reg, compiler.Compile(*rules[i]));
+    b.Emit(Op::kNot, static_cast<uint8_t>(dst), static_cast<uint8_t>(value_reg));
+    b.Emit(Op::kNot, static_cast<uint8_t>(dst), static_cast<uint8_t>(dst));
+    b.Release(mark);
+    if (i + 1 < rules.size()) {
+      exit_jumps.push_back(b.EmitJump(Op::kJumpIfFalse, static_cast<uint8_t>(dst)));
+    }
+  }
+  for (size_t jump_pc : exit_jumps) {
+    b.PatchJump(jump_pc);
+  }
+  Program program = compiler.Finish(dst);
+  OSGUARD_RETURN_IF_ERROR(Verify(program, VerifyOptions{.allow_actions = false}));
+  return program;
+}
+
+// Compiles a sequence of action statements into a program returning nil.
+Result<Program> CompileActionProgram(const std::vector<ExprPtr>& statements,
+                                     const std::string& name) {
+  ExprCompiler compiler(name);
+  ProgramBuilder& b = compiler.builder();
+  for (const ExprPtr& stmt : statements) {
+    const int mark = b.Mark();
+    OSGUARD_RETURN_IF_ERROR(compiler.Compile(*stmt).status());
+    b.Release(mark);
+  }
+  OSGUARD_ASSIGN_OR_RETURN(int nil_reg, b.EmitConst(Value()));
+  Program program = compiler.Finish(nil_reg);
+  OSGUARD_RETURN_IF_ERROR(Verify(program, VerifyOptions{.allow_actions = true}));
+  return program;
+}
+
+}  // namespace
+
+Result<Program> CompileExpr(const Expr& expr, const std::string& name) {
+  ExprCompiler compiler(name);
+  OSGUARD_ASSIGN_OR_RETURN(int result_reg, compiler.Compile(expr));
+  Program program = compiler.Finish(result_reg);
+  OSGUARD_RETURN_IF_ERROR(Verify(program, VerifyOptions{.allow_actions = false}));
+  return program;
+}
+
+Result<CompiledGuardrail> CompileGuardrail(const AnalyzedGuardrail& guardrail) {
+  CompiledGuardrail out;
+  out.name = guardrail.decl.name;
+  out.meta = guardrail.meta;
+  for (const TriggerDecl& trigger : guardrail.decl.triggers) {
+    CompiledTrigger compiled;
+    compiled.kind = trigger.kind;
+    compiled.start = trigger.start;
+    compiled.interval = trigger.interval;
+    compiled.stop = trigger.stop;
+    compiled.function_name = trigger.function_name;
+    compiled.watch_key = trigger.watch_key;
+    out.triggers.push_back(std::move(compiled));
+  }
+  OSGUARD_ASSIGN_OR_RETURN(out.rule,
+                           CompileRuleProgram(guardrail.decl.rules, out.name + ".rule"));
+  OSGUARD_ASSIGN_OR_RETURN(
+      out.action, CompileActionProgram(guardrail.decl.actions, out.name + ".action"));
+  if (!guardrail.decl.satisfy_actions.empty()) {
+    OSGUARD_ASSIGN_OR_RETURN(
+        out.on_satisfy,
+        CompileActionProgram(guardrail.decl.satisfy_actions, out.name + ".on_satisfy"));
+  }
+  return out;
+}
+
+Result<std::vector<CompiledGuardrail>> CompileSpec(const AnalyzedSpec& spec) {
+  std::vector<CompiledGuardrail> out;
+  out.reserve(spec.guardrails.size());
+  for (const AnalyzedGuardrail& guardrail : spec.guardrails) {
+    OSGUARD_ASSIGN_OR_RETURN(CompiledGuardrail compiled, CompileGuardrail(guardrail));
+    out.push_back(std::move(compiled));
+  }
+  return out;
+}
+
+Result<std::vector<CompiledGuardrail>> CompileSource(const std::string& source) {
+  OSGUARD_ASSIGN_OR_RETURN(SpecFile spec, ParseSpecSource(source));
+  OSGUARD_ASSIGN_OR_RETURN(AnalyzedSpec analyzed, Analyze(std::move(spec)));
+  return CompileSpec(analyzed);
+}
+
+}  // namespace osguard

@@ -1,0 +1,64 @@
+// AST -> bytecode compiler for guardrail monitors.
+//
+// Each analyzed guardrail compiles into:
+//   * a rule program     — conjunction of the rule expressions, returns bool
+//                          (true = property holds, false = violation)
+//   * an action program  — the action statements, run on violation
+//   * an optional on_satisfy program — run on the violated->satisfied edge
+//
+// plus the constant-folded trigger list. All three programs are verified
+// before being returned; a CompiledGuardrail is therefore loadable as-is.
+//
+// Expression compilation uses stack-discipline register allocation (registers
+// are reclaimed when a subexpression's value dies), short-circuits && and ||
+// with forward jumps, and normalizes truth values with double-negation so
+// every logical result is a canonical bool.
+
+#ifndef SRC_VM_COMPILER_H_
+#define SRC_VM_COMPILER_H_
+
+#include <string>
+#include <vector>
+
+#include "src/dsl/ast.h"
+#include "src/dsl/sema.h"
+#include "src/support/status.h"
+#include "src/vm/bytecode.h"
+
+namespace osguard {
+
+// Trigger with expressions folded away — what the runtime actually consumes.
+struct CompiledTrigger {
+  TriggerKind kind = TriggerKind::kTimer;
+  SimTime start = 0;
+  Duration interval = 0;
+  SimTime stop = 0;  // 0 = run forever
+  std::string function_name;
+  std::string watch_key;  // kOnChange
+};
+
+struct CompiledGuardrail {
+  std::string name;
+  GuardrailMeta meta;
+  std::vector<CompiledTrigger> triggers;
+  Program rule;
+  Program action;
+  Program on_satisfy;  // empty() if the guardrail has no on_satisfy block
+};
+
+// Compiles one analyzed guardrail; all emitted programs pass Verify().
+Result<CompiledGuardrail> CompileGuardrail(const AnalyzedGuardrail& guardrail);
+
+// Compiles every guardrail in an analyzed spec.
+Result<std::vector<CompiledGuardrail>> CompileSpec(const AnalyzedSpec& spec);
+
+// Full pipeline: lex -> parse -> analyze -> compile -> verify.
+Result<std::vector<CompiledGuardrail>> CompileSource(const std::string& source);
+
+// Compiles a standalone side-effect-free expression into a rule-style
+// program returning its value (used by tests and programmatic properties).
+Result<Program> CompileExpr(const Expr& expr, const std::string& name);
+
+}  // namespace osguard
+
+#endif  // SRC_VM_COMPILER_H_

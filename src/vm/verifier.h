@@ -1,0 +1,41 @@
+// Static verifier for monitor bytecode.
+//
+// Mirrors the role of the eBPF verifier: a monitor is only loaded into the
+// (simulated) kernel if it provably terminates and cannot fault on register
+// or constant accesses. The invariants checked here:
+//
+//   1. Size limits: instruction count, constant-pool size, register count.
+//   2. Every register / constant / helper reference is in range.
+//   3. Jumps are strictly forward and land inside the program, so the CFG is
+//      a DAG and termination is structural.
+//   4. Every reachable path ends in kRet (no fall-through off the end).
+//   5. Registers are defined before use along every path (dataflow over the
+//      DAG with intersection-merge at joins).
+//   6. Helper calls match the builtin's arity; action helpers are rejected
+//      unless the caller says the program is an action program.
+//
+// A program that passes Verify() can only fail at run time through a helper
+// error or division by zero, both of which the VM turns into a clean
+// kExecutionError — never a crash. This is the "crash-free semantics" the
+// paper's §4.2 asks of compiled guardrails.
+
+#ifndef SRC_VM_VERIFIER_H_
+#define SRC_VM_VERIFIER_H_
+
+#include "src/support/status.h"
+#include "src/vm/bytecode.h"
+
+namespace osguard {
+
+struct VerifyOptions {
+  // Permit REPORT / REPLACE / RETRAIN / DEPRIORITIZE and the store-mutating
+  // helpers (SAVE / INCR / OBSERVE). Rule programs are verified with this
+  // off, action programs with it on.
+  bool allow_actions = false;
+};
+
+Status Verify(const Program& program, const VerifyOptions& options = {});
+
+}  // namespace osguard
+
+#endif  // SRC_VM_VERIFIER_H_

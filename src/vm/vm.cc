@@ -1,0 +1,218 @@
+#include "src/vm/vm.h"
+
+#include <array>
+#include <cmath>
+
+namespace osguard {
+
+bool TruthyValue(const Value& value) {
+  switch (value.type()) {
+    case ValueType::kNil:
+      return false;
+    case ValueType::kBool:
+      return value.AsBool().value();
+    case ValueType::kInt:
+      return value.AsInt().value() != 0;
+    case ValueType::kFloat:
+      return value.AsFloat().value() != 0.0;
+    case ValueType::kString:
+      return !value.AsString().value().empty();
+    case ValueType::kList:
+      return !value.AsList().value().empty();
+  }
+  return false;
+}
+
+namespace {
+
+bool Truthy(const Value& v) { return TruthyValue(v); }
+
+Result<Value> Arith(Op op, const Value& lhs, const Value& rhs) {
+  if (!lhs.is_numeric() && lhs.type() != ValueType::kBool) {
+    return ExecutionError("arithmetic on non-numeric value " + lhs.ToString());
+  }
+  if (!rhs.is_numeric() && rhs.type() != ValueType::kBool) {
+    return ExecutionError("arithmetic on non-numeric value " + rhs.ToString());
+  }
+  const bool both_int = lhs.type() == ValueType::kInt && rhs.type() == ValueType::kInt;
+  const double a = lhs.NumericOr(0.0);
+  const double b = rhs.NumericOr(0.0);
+  switch (op) {
+    case Op::kAdd:
+      return both_int ? Value(lhs.AsInt().value() + rhs.AsInt().value()) : Value(a + b);
+    case Op::kSub:
+      return both_int ? Value(lhs.AsInt().value() - rhs.AsInt().value()) : Value(a - b);
+    case Op::kMul:
+      return both_int ? Value(lhs.AsInt().value() * rhs.AsInt().value()) : Value(a * b);
+    case Op::kDiv:
+      if (b == 0.0) {
+        return ExecutionError("division by zero");
+      }
+      return Value(a / b);
+    case Op::kMod: {
+      if (b == 0.0) {
+        return ExecutionError("modulo by zero");
+      }
+      if (both_int) {
+        return Value(lhs.AsInt().value() % rhs.AsInt().value());
+      }
+      return Value(std::fmod(a, b));
+    }
+    default:
+      return InternalError("not an arithmetic op");
+  }
+}
+
+// Numbers and bools all participate in numeric comparison (bool as 0/1),
+// matching EvalConst's semantics.
+bool NumericLike(const Value& v) { return v.is_numeric() || v.type() == ValueType::kBool; }
+
+Result<Value> Compare(Op op, const Value& lhs, const Value& rhs) {
+  if (op == Op::kCmpEq) {
+    return Value(lhs == rhs || (NumericLike(lhs) && NumericLike(rhs) &&
+                                lhs.NumericOr(0.0) == rhs.NumericOr(0.0)));
+  }
+  if (op == Op::kCmpNe) {
+    return Value(!(lhs == rhs || (NumericLike(lhs) && NumericLike(rhs) &&
+                                  lhs.NumericOr(0.0) == rhs.NumericOr(0.0))));
+  }
+  // Ordered comparisons: strings compare lexicographically, numerics (and
+  // bools) numerically; anything else faults.
+  if (lhs.type() == ValueType::kString && rhs.type() == ValueType::kString) {
+    const std::string a = lhs.AsString().value();
+    const std::string b = rhs.AsString().value();
+    switch (op) {
+      case Op::kCmpLt:
+        return Value(a < b);
+      case Op::kCmpLe:
+        return Value(a <= b);
+      case Op::kCmpGt:
+        return Value(a > b);
+      case Op::kCmpGe:
+        return Value(a >= b);
+      default:
+        break;
+    }
+  }
+  const bool lhs_ok = NumericLike(lhs);
+  const bool rhs_ok = NumericLike(rhs);
+  if (!lhs_ok || !rhs_ok) {
+    return ExecutionError("ordered comparison on non-numeric values " + lhs.ToString() +
+                          " and " + rhs.ToString());
+  }
+  const double a = lhs.NumericOr(0.0);
+  const double b = rhs.NumericOr(0.0);
+  switch (op) {
+    case Op::kCmpLt:
+      return Value(a < b);
+    case Op::kCmpLe:
+      return Value(a <= b);
+    case Op::kCmpGt:
+      return Value(a > b);
+    case Op::kCmpGe:
+      return Value(a >= b);
+    default:
+      return InternalError("not a comparison op");
+  }
+}
+
+}  // namespace
+
+Result<Value> Vm::Execute(const Program& program, HelperContext& context) {
+  std::array<Value, kMaxRegisters> regs;
+  const size_t n = program.insns.size();
+  size_t pc = 0;
+  int64_t executed = 0;
+  while (pc < n) {
+    if (++executed > kMaxInstructions) {
+      return ExecutionError("program '" + program.name + "' exceeded the instruction budget");
+    }
+    const Insn& insn = program.insns[pc];
+    switch (insn.op) {
+      case Op::kLoadConst:
+        regs[insn.a] = program.consts[static_cast<size_t>(insn.imm)];
+        ++pc;
+        break;
+      case Op::kMov:
+        regs[insn.a] = regs[insn.b];
+        ++pc;
+        break;
+      case Op::kAdd:
+      case Op::kSub:
+      case Op::kMul:
+      case Op::kDiv:
+      case Op::kMod: {
+        OSGUARD_ASSIGN_OR_RETURN(regs[insn.a], Arith(insn.op, regs[insn.b], regs[insn.c]));
+        ++pc;
+        break;
+      }
+      case Op::kNeg: {
+        const Value& v = regs[insn.b];
+        if (v.type() == ValueType::kInt) {
+          regs[insn.a] = Value(-v.AsInt().value());
+        } else if (v.type() == ValueType::kFloat) {
+          regs[insn.a] = Value(-v.AsFloat().value());
+        } else if (v.type() == ValueType::kBool) {
+          regs[insn.a] = Value(v.AsBool().value() ? -1 : 0);
+        } else {
+          return ExecutionError("cannot negate " + v.ToString());
+        }
+        ++pc;
+        break;
+      }
+      case Op::kNot:
+        regs[insn.a] = Value(!Truthy(regs[insn.b]));
+        ++pc;
+        break;
+      case Op::kCmpLt:
+      case Op::kCmpLe:
+      case Op::kCmpGt:
+      case Op::kCmpGe:
+      case Op::kCmpEq:
+      case Op::kCmpNe: {
+        OSGUARD_ASSIGN_OR_RETURN(regs[insn.a], Compare(insn.op, regs[insn.b], regs[insn.c]));
+        ++pc;
+        break;
+      }
+      case Op::kJump:
+        pc += 1 + static_cast<size_t>(insn.imm);
+        break;
+      case Op::kJumpIfFalse:
+        pc += Truthy(regs[insn.a]) ? 1 : 1 + static_cast<size_t>(insn.imm);
+        break;
+      case Op::kJumpIfTrue:
+        pc += Truthy(regs[insn.a]) ? 1 + static_cast<size_t>(insn.imm) : 1;
+        break;
+      case Op::kMakeList: {
+        std::vector<Value> list;
+        list.reserve(static_cast<size_t>(insn.imm));
+        for (int i = 0; i < insn.imm; ++i) {
+          list.push_back(regs[insn.b + i]);
+        }
+        regs[insn.a] = Value(std::move(list));
+        ++pc;
+        break;
+      }
+      case Op::kCall: {
+        ++stats_.helper_calls;
+        std::span<const Value> args(&regs[insn.b], static_cast<size_t>(insn.c));
+        auto result = context.CallHelper(static_cast<HelperId>(insn.imm), args);
+        if (!result.ok()) {
+          stats_.insns_executed += executed;
+          return ExecutionError("program '" + program.name + "': helper failed: " +
+                                result.status().ToString());
+        }
+        regs[insn.a] = std::move(result).value();
+        ++pc;
+        break;
+      }
+      case Op::kRet:
+        stats_.insns_executed += executed;
+        return regs[insn.a];
+    }
+  }
+  stats_.insns_executed += executed;
+  return ExecutionError("program '" + program.name + "' ran off the end");
+}
+
+}  // namespace osguard

@@ -1,0 +1,62 @@
+// Interpreter for verified monitor programs.
+//
+// The VM is deliberately boring: verified programs are DAGs, so execution is
+// a single forward pass over at most kMaxInstructions instructions. All
+// interaction with the outside world happens through the HelperContext, which
+// the runtime binds to the feature store and the action dispatcher. Helper
+// failures and arithmetic faults (division by zero) surface as a clean
+// kExecutionError — the monitor misfires, the kernel does not crash.
+
+#ifndef SRC_VM_VM_H_
+#define SRC_VM_VM_H_
+
+#include <span>
+
+#include "src/store/value.h"
+#include "src/support/status.h"
+#include "src/support/time.h"
+#include "src/vm/bytecode.h"
+
+namespace osguard {
+
+// The VM's window to the world. One implementation lives in the runtime
+// (bound to FeatureStore + ActionDispatcher); tests use lightweight fakes.
+class HelperContext {
+ public:
+  virtual ~HelperContext() = default;
+
+  // Invokes helper `id` with `args`. Must tolerate any argument values the
+  // verifier admits (arity is pre-checked; types are not).
+  virtual Result<Value> CallHelper(HelperId id, std::span<const Value> args) = 0;
+
+  // Current simulated time, for the NOW() helper.
+  virtual SimTime now() const = 0;
+};
+
+// Canonical truthiness used by the VM and the engine: nil and zero are
+// false; non-empty strings/lists are true.
+bool TruthyValue(const Value& value);
+
+struct ExecStats {
+  int64_t insns_executed = 0;
+  int64_t helper_calls = 0;
+};
+
+class Vm {
+ public:
+  // `program` must have passed Verify(); Execute still performs cheap bounds
+  // checks as defense in depth but assumes structural validity.
+  Result<Value> Execute(const Program& program, HelperContext& context);
+
+  // Cumulative statistics across Execute calls (monitor-overhead accounting
+  // for property P5).
+  const ExecStats& stats() const { return stats_; }
+  void ResetStats() { stats_ = ExecStats{}; }
+
+ private:
+  ExecStats stats_;
+};
+
+}  // namespace osguard
+
+#endif  // SRC_VM_VM_H_

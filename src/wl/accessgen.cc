@@ -1,0 +1,30 @@
+#include "src/wl/accessgen.h"
+
+namespace osguard {
+
+std::vector<FileAccess> FileAccessGenerator::Generate(SimTime start) {
+  std::vector<FileAccess> trace;
+  SimTime phase_start = start;
+  uint64_t position = 0;
+  for (const AccessPhase& phase : phases_) {
+    const SimTime phase_end = phase_start + phase.duration;
+    SimTime t = phase_start;
+    while (phase.reads_per_sec > 0.0) {
+      const double gap_s = rng_.Exponential(phase.reads_per_sec);
+      t += static_cast<Duration>(gap_s * static_cast<double>(kSecond));
+      if (t >= phase_end) {
+        break;
+      }
+      if (rng_.Bernoulli(phase.sequential_prob)) {
+        position = (position + 1) % phase.file_chunks;
+      } else {
+        position = rng_.NextU64() % phase.file_chunks;
+      }
+      trace.push_back(FileAccess{t, position});
+    }
+    phase_start = phase_end;
+  }
+  return trace;
+}
+
+}  // namespace osguard

@@ -1,0 +1,45 @@
+// File-access stream generation for the readahead substrate.
+//
+// Produces chunk-read sequences that interleave sequential runs with random
+// jumps; a phase change from sequential-dominant to random-dominant is what
+// makes a readahead model trained on the first phase misbehave (P3/P4
+// scenarios).
+
+#ifndef SRC_WL_ACCESSGEN_H_
+#define SRC_WL_ACCESSGEN_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/support/rng.h"
+#include "src/support/time.h"
+
+namespace osguard {
+
+struct FileAccess {
+  SimTime at = 0;
+  uint64_t chunk = 0;
+};
+
+struct AccessPhase {
+  Duration duration = Seconds(10);
+  double reads_per_sec = 5000.0;
+  double sequential_prob = 0.9;  // continue the current run vs. jump
+  uint64_t file_chunks = 1 << 20;
+};
+
+class FileAccessGenerator {
+ public:
+  FileAccessGenerator(std::vector<AccessPhase> phases, uint64_t seed)
+      : phases_(std::move(phases)), rng_(seed) {}
+
+  std::vector<FileAccess> Generate(SimTime start = 0);
+
+ private:
+  std::vector<AccessPhase> phases_;
+  Rng rng_;
+};
+
+}  // namespace osguard
+
+#endif  // SRC_WL_ACCESSGEN_H_

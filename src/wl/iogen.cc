@@ -1,0 +1,67 @@
+#include "src/wl/iogen.h"
+
+namespace osguard {
+
+std::vector<IoRequest> IoTraceGenerator::Generate(SimTime start) {
+  std::vector<IoRequest> trace;
+  SimTime phase_start = start;
+  for (const IoPhase& phase : phases_) {
+    const SimTime phase_end = phase_start + phase.duration;
+    SimTime t = phase_start;
+    bool burst_on = false;
+    SimTime burst_edge = phase_start;
+    while (true) {
+      // Advance the on/off burst state machine to time t.
+      if (phase.burst_factor > 1.0) {
+        while (burst_edge <= t) {
+          burst_edge += burst_on ? phase.burst_on : phase.burst_off;
+          burst_on = !burst_on;
+        }
+      }
+      const double rate = phase.arrivals_per_sec * (burst_on ? phase.burst_factor : 1.0);
+      if (rate <= 0.0) {
+        break;
+      }
+      const double gap_s = rng_.Exponential(rate);
+      t += static_cast<Duration>(gap_s * static_cast<double>(kSecond));
+      if (t >= phase_end) {
+        break;
+      }
+      IoRequest request;
+      request.at = t;
+      request.lba = rng_.Zipf(phase.address_space, phase.zipf_skew);
+      request.is_write = rng_.Bernoulli(phase.write_fraction);
+      trace.push_back(request);
+    }
+    phase_start = phase_end;
+  }
+  return trace;
+}
+
+Duration IoTraceGenerator::TotalDuration() const {
+  Duration total = 0;
+  for (const IoPhase& phase : phases_) {
+    total += phase.duration;
+  }
+  return total;
+}
+
+std::vector<IoPhase> MakeDriftPhases(Duration before, Duration after,
+                                     double arrivals_per_sec) {
+  IoPhase baseline;
+  baseline.duration = before;
+  baseline.arrivals_per_sec = arrivals_per_sec;
+  baseline.write_fraction = 0.05;
+  baseline.zipf_skew = 0.6;
+
+  IoPhase drifted;
+  drifted.duration = after;
+  drifted.arrivals_per_sec = arrivals_per_sec;
+  drifted.write_fraction = 0.45;   // write-heavy: much more GC
+  drifted.zipf_skew = 1.2;         // hot spots: channel contention
+  drifted.burst_factor = 4.0;      // bursty arrivals: deeper queues
+
+  return {baseline, drifted};
+}
+
+}  // namespace osguard

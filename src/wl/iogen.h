@@ -1,0 +1,62 @@
+// Synthetic I/O trace generation.
+//
+// Stands in for the production traces LinnOS was evaluated on (see
+// DESIGN.md, Substitutions). Traces are built from *phases*; a phase change
+// is the distribution-shift mechanism that degrades a model trained on
+// earlier phases — the trigger for the Figure-2 experiment.
+
+#ifndef SRC_WL_IOGEN_H_
+#define SRC_WL_IOGEN_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/support/rng.h"
+#include "src/support/time.h"
+
+namespace osguard {
+
+struct IoRequest {
+  SimTime at = 0;
+  uint64_t lba = 0;
+  bool is_write = false;
+};
+
+struct IoPhase {
+  Duration duration = Seconds(10);
+  double arrivals_per_sec = 2000.0;   // Poisson arrival rate
+  double write_fraction = 0.05;
+  double zipf_skew = 0.9;             // 0 = uniform addresses
+  uint64_t address_space = 1 << 20;   // LBA range
+  // Bursty on/off modulation: during an "on" period arrivals speed up by
+  // `burst_factor`; 1.0 disables bursts.
+  double burst_factor = 1.0;
+  Duration burst_on = Milliseconds(50);
+  Duration burst_off = Milliseconds(200);
+};
+
+class IoTraceGenerator {
+ public:
+  IoTraceGenerator(std::vector<IoPhase> phases, uint64_t seed)
+      : phases_(std::move(phases)), rng_(seed) {}
+
+  // Generates the full trace, time-ordered, starting at `start`.
+  std::vector<IoRequest> Generate(SimTime start = 0);
+
+  // Total configured duration across phases.
+  Duration TotalDuration() const;
+
+ private:
+  std::vector<IoPhase> phases_;
+  Rng rng_;
+};
+
+// Convenience phase pair for drift experiments: a read-mostly sequentialish
+// baseline phase followed by a write-heavy, hot-spot phase that raises GC
+// pressure and shifts the feature distribution.
+std::vector<IoPhase> MakeDriftPhases(Duration before, Duration after,
+                                     double arrivals_per_sec = 2000.0);
+
+}  // namespace osguard
+
+#endif  // SRC_WL_IOGEN_H_

@@ -1,0 +1,36 @@
+#include "src/wl/taskgen.h"
+
+#include <algorithm>
+
+namespace osguard {
+
+std::vector<BurstEvent> TaskLoadGenerator::Generate(Duration duration, SimTime start) {
+  std::vector<BurstEvent> events;
+  const SimTime end = start + duration;
+  for (size_t i = 0; i < specs_.size(); ++i) {
+    const TaskLoadSpec& spec = specs_[i];
+    if (spec.bursts_per_sec <= 0.0) {
+      continue;
+    }
+    SimTime t = start;
+    while (true) {
+      const double gap_s = rng_.Exponential(spec.bursts_per_sec);
+      t += static_cast<Duration>(gap_s * static_cast<double>(kSecond));
+      if (t >= end) {
+        break;
+      }
+      BurstEvent event;
+      event.at = t;
+      event.task_index = i;
+      event.cpu_time = std::max<Duration>(
+          Microseconds(10),
+          static_cast<Duration>(rng_.Exponential(1.0 / static_cast<double>(spec.burst_mean))));
+      events.push_back(event);
+    }
+  }
+  std::sort(events.begin(), events.end(),
+            [](const BurstEvent& a, const BurstEvent& b) { return a.at < b.at; });
+  return events;
+}
+
+}  // namespace osguard

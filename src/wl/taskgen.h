@@ -1,0 +1,45 @@
+// CPU-burst workload generation for the scheduler substrate.
+
+#ifndef SRC_WL_TASKGEN_H_
+#define SRC_WL_TASKGEN_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/support/rng.h"
+#include "src/support/time.h"
+
+namespace osguard {
+
+struct TaskLoadSpec {
+  std::string name;
+  double weight = 1.0;
+  double bursts_per_sec = 10.0;       // Poisson burst arrivals
+  Duration burst_mean = Milliseconds(8);  // exponential burst length
+};
+
+struct BurstEvent {
+  SimTime at = 0;
+  size_t task_index = 0;   // index into the spec vector
+  Duration cpu_time = 0;
+};
+
+class TaskLoadGenerator {
+ public:
+  TaskLoadGenerator(std::vector<TaskLoadSpec> specs, uint64_t seed)
+      : specs_(std::move(specs)), rng_(seed) {}
+
+  // Time-ordered burst submissions covering [start, start + duration).
+  std::vector<BurstEvent> Generate(Duration duration, SimTime start = 0);
+
+  const std::vector<TaskLoadSpec>& specs() const { return specs_; }
+
+ private:
+  std::vector<TaskLoadSpec> specs_;
+  Rng rng_;
+};
+
+}  // namespace osguard
+
+#endif  // SRC_WL_TASKGEN_H_

@@ -1,0 +1,135 @@
+// C backend tests: the emitted kernel-module source must reflect the
+// compiled guardrail faithfully.
+
+#include <gtest/gtest.h>
+
+#include "src/vm/c_backend.h"
+#include "src/vm/compiler.h"
+
+namespace osguard {
+namespace {
+
+CompiledGuardrail CompileOne(const std::string& source) {
+  auto compiled = CompileSource(source);
+  EXPECT_TRUE(compiled.ok()) << compiled.status().ToString();
+  return compiled.ok() ? std::move(compiled.value()[0]) : CompiledGuardrail{};
+}
+
+TEST(CBackendTest, EmitsRuleAndActionFunctions) {
+  const CompiledGuardrail guardrail = CompileOne(R"(
+    guardrail low-false-submit {
+      trigger: { TIMER(1s, 1s) },
+      rule: { LOAD(false_submit_rate) <= 0.05 },
+      action: { SAVE(ml_enabled, false) }
+    }
+  )");
+  const std::string source = EmitKernelModuleSource(guardrail);
+  EXPECT_NE(source.find("static osg_value low_false_submit_rule(struct osg_ctx *ctx)"),
+            std::string::npos);
+  EXPECT_NE(source.find("static osg_value low_false_submit_action(struct osg_ctx *ctx)"),
+            std::string::npos);
+  EXPECT_NE(source.find("OSG_HELPER_LOAD"), std::string::npos);
+  EXPECT_NE(source.find("OSG_HELPER_SAVE"), std::string::npos);
+  EXPECT_NE(source.find("osg_str(\"false_submit_rate\")"), std::string::npos);
+  EXPECT_NE(source.find("OSG_MODULE"), std::string::npos);
+}
+
+TEST(CBackendTest, TimerTriggerEmitsRegistration) {
+  const CompiledGuardrail guardrail = CompileOne(R"(
+    guardrail g {
+      trigger: { TIMER(2s, 1s, 30s) },
+      rule: { true }, action: { REPORT() }
+    }
+  )");
+  const std::string source = EmitKernelModuleSource(guardrail);
+  EXPECT_NE(source.find("OSG_TRIGGER_TIMER(g_monitor, 2000000000LL, 1000000000LL, "
+                        "30000000000LL);"),
+            std::string::npos);
+}
+
+TEST(CBackendTest, FunctionTriggerEmitsRegistration) {
+  const CompiledGuardrail guardrail = CompileOne(R"(
+    guardrail g {
+      trigger: { FUNCTION(submit_io) },
+      rule: { true }, action: { REPORT() }
+    }
+  )");
+  EXPECT_NE(EmitKernelModuleSource(guardrail).find("OSG_TRIGGER_FUNCTION(g_monitor, submit_io)"),
+            std::string::npos);
+}
+
+TEST(CBackendTest, MetaFieldsAppearInMonitorStruct) {
+  const CompiledGuardrail guardrail = CompileOne(R"(
+    guardrail g {
+      trigger: { TIMER(0, 1s) }, rule: { true }, action: { REPORT() },
+      meta: { severity = critical, cooldown = 5s, hysteresis = 3 }
+    }
+  )");
+  const std::string source = EmitKernelModuleSource(guardrail);
+  EXPECT_NE(source.find(".severity = 2"), std::string::npos);
+  EXPECT_NE(source.find(".cooldown_ns = 5000000000LL"), std::string::npos);
+  EXPECT_NE(source.find(".hysteresis = 3"), std::string::npos);
+}
+
+TEST(CBackendTest, OnSatisfyEmittedWhenPresent) {
+  const CompiledGuardrail with = CompileOne(R"(
+    guardrail g {
+      trigger: { TIMER(0, 1s) }, rule: { true },
+      action: { SAVE(a, 1) }, on_satisfy: { SAVE(a, 0) }
+    }
+  )");
+  EXPECT_NE(EmitKernelModuleSource(with).find("g_on_satisfy"), std::string::npos);
+
+  const CompiledGuardrail without = CompileOne(R"(
+    guardrail g { trigger: { TIMER(0, 1s) }, rule: { true }, action: { SAVE(a, 1) } }
+  )");
+  EXPECT_NE(EmitKernelModuleSource(without).find(".on_satisfy = NULL"), std::string::npos);
+}
+
+TEST(CBackendTest, JumpsBecomeGotosWithLabels) {
+  const CompiledGuardrail guardrail = CompileOne(R"(
+    guardrail g {
+      trigger: { TIMER(0, 1s) },
+      rule: { LOAD_OR(a, 0) <= 1 && LOAD_OR(b, 0) <= 2 },
+      action: { REPORT() }
+    }
+  )");
+  const std::string source = EmitCFunction(guardrail.rule, "rule_fn");
+  EXPECT_NE(source.find("goto L"), std::string::npos);
+  EXPECT_NE(source.find("L"), std::string::npos);
+  EXPECT_NE(source.find("return r["), std::string::npos);
+}
+
+TEST(CBackendTest, StringsAreEscaped) {
+  const CompiledGuardrail guardrail = CompileOne(R"(
+    guardrail g {
+      trigger: { TIMER(0, 1s) }, rule: { true },
+      action: { REPORT("say \"hi\"") }
+    }
+  )");
+  EXPECT_NE(EmitKernelModuleSource(guardrail).find(R"(say \"hi\")"), std::string::npos);
+}
+
+TEST(CBackendTest, NameListConstantsEmitted) {
+  const CompiledGuardrail guardrail = CompileOne(R"(
+    guardrail g {
+      trigger: { TIMER(0, 1s) }, rule: { true },
+      action: { DEPRIORITIZE({batch, scan}, {1, 2}) }
+    }
+  )");
+  const std::string source = EmitKernelModuleSource(guardrail);
+  EXPECT_NE(source.find("osg_namelist(2, \"batch\", \"scan\")"), std::string::npos);
+  EXPECT_NE(source.find("osg_list(&r["), std::string::npos);
+}
+
+TEST(CBackendTest, NamesStartingWithDigitAreMangled) {
+  CompiledGuardrail guardrail = CompileOne(R"(
+    guardrail g { trigger: { TIMER(0, 1s) }, rule: { true }, action: { REPORT() } }
+  )");
+  guardrail.name = "99bottles";
+  const std::string source = EmitKernelModuleSource(guardrail);
+  EXPECT_NE(source.find("g_99bottles_monitor"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace osguard

@@ -1,0 +1,400 @@
+// Compiler tests: expression compilation semantics end to end (parse ->
+// compile -> verify -> execute against a real feature store).
+
+#include <gtest/gtest.h>
+
+#include "src/dsl/parser.h"
+#include "src/dsl/sema.h"
+#include "src/runtime/helper_env.h"
+#include "src/store/feature_store.h"
+#include "src/vm/compiler.h"
+#include "src/vm/verifier.h"
+#include "src/vm/vm.h"
+
+namespace osguard {
+namespace {
+
+class CompilerTest : public ::testing::Test {
+ protected:
+  // Compiles and runs a standalone expression; fails the test on any error.
+  Value Eval(const std::string& source, SimTime now = 0) {
+    auto expr = ParseExprSource(source);
+    EXPECT_TRUE(expr.ok()) << expr.status().ToString() << " for: " << source;
+    if (!expr.ok()) {
+      return Value();
+    }
+    auto program = CompileExpr(*expr.value(), "test");
+    EXPECT_TRUE(program.ok()) << program.status().ToString() << " for: " << source;
+    if (!program.ok()) {
+      return Value();
+    }
+    MonitorHelperEnv env(&store_, nullptr);
+    env.SetEnvelope(ActionEnvelope{"test", Severity::kInfo, now});
+    auto result = vm_.Execute(program.value(), env);
+    EXPECT_TRUE(result.ok()) << result.status().ToString() << " for: " << source;
+    return result.ok() ? result.value() : Value();
+  }
+
+  double EvalNum(const std::string& source, SimTime now = 0) {
+    return Eval(source, now).NumericOr(-999999.0);
+  }
+
+  bool EvalBool(const std::string& source, SimTime now = 0) {
+    auto result = Eval(source, now).AsBool();
+    EXPECT_TRUE(result.ok()) << "not a bool for: " << source;
+    return result.ok() && result.value();
+  }
+
+  FeatureStore store_;
+  Vm vm_;
+};
+
+TEST_F(CompilerTest, IntegerArithmetic) {
+  EXPECT_EQ(EvalNum("1 + 2 * 3"), 7.0);
+  EXPECT_EQ(EvalNum("(1 + 2) * 3"), 9.0);
+  EXPECT_EQ(EvalNum("10 - 4 - 3"), 3.0);  // left associative
+  EXPECT_EQ(EvalNum("7 % 3"), 1.0);
+  EXPECT_EQ(EvalNum("-5 + 2"), -3.0);
+}
+
+TEST_F(CompilerTest, IntegerArithmeticStaysIntegral) {
+  const Value v = Eval("2 + 3");
+  EXPECT_EQ(v.type(), ValueType::kInt);
+  EXPECT_EQ(v.AsInt().value(), 5);
+}
+
+TEST_F(CompilerTest, DivisionIsAlwaysFloat) {
+  EXPECT_DOUBLE_EQ(EvalNum("7 / 2"), 3.5);
+  const Value v = Eval("6 / 3");
+  EXPECT_EQ(v.type(), ValueType::kFloat);
+}
+
+TEST_F(CompilerTest, FloatArithmetic) {
+  EXPECT_DOUBLE_EQ(EvalNum("0.1 + 0.2"), 0.1 + 0.2);
+  EXPECT_DOUBLE_EQ(EvalNum("2.5 * 4"), 10.0);
+}
+
+TEST_F(CompilerTest, DurationLiteralsAreNanoseconds) {
+  EXPECT_EQ(EvalNum("1s"), 1e9);
+  EXPECT_EQ(EvalNum("250ms"), 250e6);
+  EXPECT_EQ(EvalNum("100us"), 100e3);
+  EXPECT_EQ(EvalNum("10ns"), 10.0);
+  EXPECT_EQ(EvalNum("1m"), 60e9);
+  EXPECT_EQ(EvalNum("2s + 500ms"), 2.5e9);
+}
+
+TEST_F(CompilerTest, Comparisons) {
+  EXPECT_TRUE(EvalBool("1 < 2"));
+  EXPECT_FALSE(EvalBool("2 < 1"));
+  EXPECT_TRUE(EvalBool("2 <= 2"));
+  EXPECT_TRUE(EvalBool("3 > 2"));
+  EXPECT_TRUE(EvalBool("3 >= 3"));
+  EXPECT_TRUE(EvalBool("1 == 1"));
+  EXPECT_TRUE(EvalBool("1 != 2"));
+  EXPECT_TRUE(EvalBool("1 == 1.0"));  // cross-type numeric equality
+}
+
+TEST_F(CompilerTest, LogicalOperators) {
+  EXPECT_TRUE(EvalBool("true && true"));
+  EXPECT_FALSE(EvalBool("true && false"));
+  EXPECT_TRUE(EvalBool("false || true"));
+  EXPECT_FALSE(EvalBool("false || false"));
+  EXPECT_TRUE(EvalBool("!false"));
+  EXPECT_FALSE(EvalBool("!true"));
+  EXPECT_TRUE(EvalBool("1 < 2 && 3 < 4 || false"));
+}
+
+TEST_F(CompilerTest, ShortCircuitAndSkipsRhs) {
+  // RHS would fault (LOG of missing key -> nil -> LOG(nil) faults), but the
+  // false LHS must short-circuit it.
+  store_.Save("zero", Value(0));
+  EXPECT_FALSE(EvalBool("zero == 1 && LOG(zero) > 0"));
+}
+
+TEST_F(CompilerTest, ShortCircuitOrSkipsRhs) {
+  store_.Save("zero", Value(0));
+  EXPECT_TRUE(EvalBool("zero == 0 || LOG(zero) > 0"));
+}
+
+TEST_F(CompilerTest, BareIdentifierIsImplicitLoad) {
+  store_.Save("latency", Value(15.0));
+  EXPECT_TRUE(EvalBool("latency <= 20"));
+  EXPECT_FALSE(EvalBool("latency <= 10"));
+}
+
+TEST_F(CompilerTest, LoadOfMissingKeyIsNil) {
+  EXPECT_TRUE(Eval("LOAD(missing_key)").is_nil());
+}
+
+TEST_F(CompilerTest, LoadOrSuppliesDefault) {
+  EXPECT_EQ(EvalNum("LOAD_OR(missing_key, 42)"), 42.0);
+  store_.Save("present", Value(7));
+  EXPECT_EQ(EvalNum("LOAD_OR(present, 42)"), 7.0);
+}
+
+TEST_F(CompilerTest, ExistsHelper) {
+  EXPECT_FALSE(EvalBool("EXISTS(nothing)"));
+  store_.Save("something", Value(1));
+  EXPECT_TRUE(EvalBool("EXISTS(something)"));
+}
+
+TEST_F(CompilerTest, StringKeysWorkLikeIdentifiers) {
+  store_.Save("a.b.c", Value(5));
+  EXPECT_EQ(EvalNum("LOAD(\"a.b.c\")"), 5.0);
+}
+
+TEST_F(CompilerTest, MathHelpers) {
+  EXPECT_DOUBLE_EQ(EvalNum("ABS(0 - 3)"), 3.0);
+  EXPECT_DOUBLE_EQ(EvalNum("SQRT(16)"), 4.0);
+  EXPECT_DOUBLE_EQ(EvalNum("FLOOR(3.7)"), 3.0);
+  EXPECT_DOUBLE_EQ(EvalNum("CEIL(3.2)"), 4.0);
+  EXPECT_DOUBLE_EQ(EvalNum("POW(2, 10)"), 1024.0);
+  EXPECT_DOUBLE_EQ(EvalNum("MIN2(3, 7)"), 3.0);
+  EXPECT_DOUBLE_EQ(EvalNum("MAX2(3, 7)"), 7.0);
+  EXPECT_DOUBLE_EQ(EvalNum("CLAMP(15, 0, 10)"), 10.0);
+  EXPECT_DOUBLE_EQ(EvalNum("CLAMP(0 - 5, 0, 10)"), 0.0);
+  EXPECT_NEAR(EvalNum("EXP(LOG(5))"), 5.0, 1e-9);
+}
+
+TEST_F(CompilerTest, NowHelper) {
+  EXPECT_EQ(EvalNum("NOW()", Seconds(3)), 3e9);
+  EXPECT_TRUE(EvalBool("NOW() >= 2s", Seconds(3)));
+}
+
+TEST_F(CompilerTest, AggregatesOverSeries) {
+  for (int i = 1; i <= 5; ++i) {
+    store_.Observe("lat", Seconds(i), static_cast<double>(i) * 10.0);
+  }
+  const SimTime now = Seconds(5);
+  EXPECT_EQ(EvalNum("COUNT(lat, 10s)", now), 5.0);
+  EXPECT_EQ(EvalNum("SUM(lat, 10s)", now), 150.0);
+  EXPECT_EQ(EvalNum("MEAN(lat, 10s)", now), 30.0);
+  EXPECT_EQ(EvalNum("MIN(lat, 10s)", now), 10.0);
+  EXPECT_EQ(EvalNum("MAX(lat, 10s)", now), 50.0);
+  EXPECT_EQ(EvalNum("NEWEST(lat, 10s)", now), 50.0);
+  EXPECT_EQ(EvalNum("OLDEST(lat, 10s)", now), 10.0);
+  EXPECT_EQ(EvalNum("RATE(lat, 5s)", now), 1.0);  // 5 samples / 5 seconds
+}
+
+TEST_F(CompilerTest, AggregateWindowClipsOldSamples) {
+  store_.Observe("lat", Seconds(1), 100.0);
+  store_.Observe("lat", Seconds(9), 10.0);
+  // Window of 2s at t=10 only sees the second sample.
+  EXPECT_EQ(EvalNum("MEAN(lat, 2s)", Seconds(10)), 10.0);
+}
+
+TEST_F(CompilerTest, EmptyAggregateCountIsZeroButMeanIsNil) {
+  EXPECT_EQ(EvalNum("COUNT(never_observed, 10s)"), 0.0);
+  EXPECT_TRUE(Eval("MEAN(never_observed, 10s)").is_nil());
+}
+
+TEST_F(CompilerTest, QuantileSugar) {
+  for (int i = 1; i <= 100; ++i) {
+    store_.Observe("lat", Seconds(1), static_cast<double>(i));
+  }
+  const SimTime now = Seconds(1);
+  EXPECT_NEAR(EvalNum("P50(lat, 10s)", now), 50.5, 1.0);
+  EXPECT_NEAR(EvalNum("P99(lat, 10s)", now), 99.0, 1.5);
+  EXPECT_NEAR(EvalNum("QUANTILE(lat, 0.9, 10s)", now), 90.1, 1.5);
+}
+
+TEST_F(CompilerTest, GuardedAggregatePattern) {
+  // The documented cold-start idiom must work.
+  EXPECT_TRUE(EvalBool("COUNT(pf_lat, 10s) == 0 || MEAN(pf_lat, 10s) <= 2"));
+  store_.Observe("pf_lat", 0, 5.0);
+  EXPECT_FALSE(EvalBool("COUNT(pf_lat, 10s) == 0 || MEAN(pf_lat, 10s) <= 2"));
+}
+
+TEST_F(CompilerTest, CompileSourceFullPipeline) {
+  auto compiled = CompileSource(R"(
+    guardrail demo {
+      trigger: { TIMER(0, 1s) },
+      rule: { LOAD_OR(x, 0) <= 10 },
+      action: { SAVE(tripped, true) }
+    }
+  )");
+  ASSERT_TRUE(compiled.ok()) << compiled.status().ToString();
+  ASSERT_EQ(compiled.value().size(), 1u);
+  const CompiledGuardrail& guardrail = compiled.value()[0];
+  EXPECT_EQ(guardrail.name, "demo");
+  ASSERT_EQ(guardrail.triggers.size(), 1u);
+  EXPECT_EQ(guardrail.triggers[0].interval, kSecond);
+  EXPECT_TRUE(Verify(guardrail.rule).ok());
+  EXPECT_TRUE(Verify(guardrail.action, {.allow_actions = true}).ok());
+  EXPECT_TRUE(guardrail.on_satisfy.empty());
+}
+
+TEST_F(CompilerTest, CompiledListing2MatchesPaperSemantics) {
+  auto compiled = CompileSource(R"(
+    guardrail low-false-submit {
+      trigger: {
+        TIMER(0, 1e9)  // periodically check every 1s
+      },
+      rule: {
+        LOAD(false_submit_rate) <= 0.05
+      },
+      action: {
+        SAVE(ml_enabled, false)
+      }
+    }
+  )");
+  ASSERT_TRUE(compiled.ok()) << compiled.status().ToString();
+  const CompiledGuardrail& guardrail = compiled.value()[0];
+  EXPECT_EQ(guardrail.name, "low-false-submit");
+  EXPECT_EQ(guardrail.triggers[0].interval, 1000000000);
+
+  // Run the rule program directly: below threshold -> holds; above -> violated.
+  MonitorHelperEnv env(&store_, nullptr);
+  env.SetEnvelope(ActionEnvelope{"t", Severity::kInfo, 0});
+  store_.Save("false_submit_rate", Value(0.01));
+  EXPECT_TRUE(TruthyValue(vm_.Execute(guardrail.rule, env).value()));
+  store_.Save("false_submit_rate", Value(0.20));
+  EXPECT_FALSE(TruthyValue(vm_.Execute(guardrail.rule, env).value()));
+}
+
+TEST_F(CompilerTest, MultipleRulesFormConjunction) {
+  auto compiled = CompileSource(R"(
+    guardrail multi {
+      trigger: { TIMER(0, 1s) },
+      rule: { LOAD_OR(a, 0) <= 10, LOAD_OR(b, 0) <= 20 },
+      action: { REPORT() }
+    }
+  )");
+  ASSERT_TRUE(compiled.ok()) << compiled.status().ToString();
+  MonitorHelperEnv env(&store_, nullptr);
+  env.SetEnvelope(ActionEnvelope{"t", Severity::kInfo, 0});
+  const Program& rule = compiled.value()[0].rule;
+
+  store_.Save("a", Value(5));
+  store_.Save("b", Value(5));
+  EXPECT_TRUE(TruthyValue(vm_.Execute(rule, env).value()));
+  store_.Save("b", Value(50));
+  EXPECT_FALSE(TruthyValue(vm_.Execute(rule, env).value()));
+  store_.Save("a", Value(50));
+  store_.Save("b", Value(5));
+  EXPECT_FALSE(TruthyValue(vm_.Execute(rule, env).value()));
+}
+
+TEST_F(CompilerTest, RegisterReuseKeepsProgramsSmall) {
+  // Deep arithmetic chains must not exhaust the register file thanks to
+  // stack-discipline allocation.
+  std::string source = "1";
+  for (int i = 0; i < 100; ++i) {
+    source += " + 1";
+  }
+  EXPECT_EQ(EvalNum(source), 101.0);
+}
+
+TEST_F(CompilerTest, DeeplyNestedExpressionsStayWithinRegisters) {
+  // Right-leaning nesting grows the live-register set; 40 levels fits.
+  std::string source;
+  for (int i = 0; i < 40; ++i) {
+    source += "(1 + ";
+  }
+  source += "1";
+  for (int i = 0; i < 40; ++i) {
+    source += ")";
+  }
+  EXPECT_EQ(EvalNum(source), 41.0);
+}
+
+TEST_F(CompilerTest, TooDeepNestingFailsCleanly) {
+  std::string source;
+  for (int i = 0; i < 80; ++i) {
+    source += "(1 + ";
+  }
+  source += "1";
+  for (int i = 0; i < 80; ++i) {
+    source += ")";
+  }
+  auto expr = ParseExprSource(source);
+  ASSERT_TRUE(expr.ok());
+  auto program = CompileExpr(*expr.value(), "deep");
+  EXPECT_FALSE(program.ok());
+  EXPECT_EQ(program.status().code(), ErrorCode::kVerifierError);
+}
+
+TEST_F(CompilerTest, ConstantsAreDeduplicated) {
+  auto expr = ParseExprSource("1 + 1 + 1 + 1");
+  ASSERT_TRUE(expr.ok());
+  auto program = CompileExpr(*expr.value(), "dedup");
+  ASSERT_TRUE(program.ok());
+  EXPECT_EQ(program.value().consts.size(), 1u);
+}
+
+TEST_F(CompilerTest, SaveThenLoadRoundTripsThroughStore) {
+  auto compiled = CompileSource(R"(
+    guardrail save-load {
+      trigger: { TIMER(0, 1s) },
+      rule: { true },
+      action: { SAVE(counter, 41); INCR(counter); }
+    }
+  )");
+  ASSERT_TRUE(compiled.ok()) << compiled.status().ToString();
+  MonitorHelperEnv env(&store_, nullptr);
+  env.SetEnvelope(ActionEnvelope{"t", Severity::kInfo, 0});
+  ASSERT_TRUE(vm_.Execute(compiled.value()[0].action, env).ok());
+  EXPECT_EQ(store_.Load("counter").value().NumericOr(0), 42.0);
+}
+
+TEST_F(CompilerTest, ObserveFromActionFeedsSeries) {
+  auto compiled = CompileSource(R"(
+    guardrail observer {
+      trigger: { TIMER(0, 1s) },
+      rule: { true },
+      action: { OBSERVE(metric, 3.5) }
+    }
+  )");
+  ASSERT_TRUE(compiled.ok()) << compiled.status().ToString();
+  MonitorHelperEnv env(&store_, nullptr);
+  env.SetEnvelope(ActionEnvelope{"t", Severity::kInfo, Seconds(2)});
+  ASSERT_TRUE(vm_.Execute(compiled.value()[0].action, env).ok());
+  EXPECT_EQ(store_.Aggregate("metric", AggKind::kCount, Seconds(10), Seconds(2)).value(), 1.0);
+}
+
+TEST_F(CompilerTest, DisassemblyIsReadable) {
+  auto expr = ParseExprSource("LOAD_OR(x, 0) <= 10");
+  ASSERT_TRUE(expr.ok());
+  auto program = CompileExpr(*expr.value(), "disasm");
+  ASSERT_TRUE(program.ok());
+  const std::string listing = program.value().Disassemble();
+  EXPECT_NE(listing.find("LOAD_OR"), std::string::npos);
+  EXPECT_NE(listing.find("ret"), std::string::npos);
+  EXPECT_NE(listing.find("cle"), std::string::npos);
+}
+
+// Property-style sweep: for constant expressions, the compiled program must
+// agree with the AST constant evaluator.
+class ConstFoldEquivalenceTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(ConstFoldEquivalenceTest, CompiledMatchesEvalConst) {
+  const std::string source = GetParam();
+  auto expr = ParseExprSource(source);
+  ASSERT_TRUE(expr.ok()) << expr.status().ToString();
+  auto reference = EvalConst(*expr.value());
+  ASSERT_TRUE(reference.ok()) << reference.status().ToString();
+
+  auto program = CompileExpr(*expr.value(), "equiv");
+  ASSERT_TRUE(program.ok()) << program.status().ToString();
+  FeatureStore store;
+  MonitorHelperEnv env(&store, nullptr);
+  env.SetEnvelope(ActionEnvelope{"t", Severity::kInfo, 0});
+  Vm vm;
+  auto executed = vm.Execute(program.value(), env);
+  ASSERT_TRUE(executed.ok()) << executed.status().ToString();
+  EXPECT_NEAR(executed.value().NumericOr(-1), reference.value().NumericOr(-2), 1e-9)
+      << source;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ConstExpressions, ConstFoldEquivalenceTest,
+    ::testing::Values(
+        "1 + 2 * 3 - 4", "2 * (3 + 4) * 5", "10 / 4", "17 % 5", "-3 * -4",
+        "1 < 2", "2 <= 2", "3 > 4", "5 >= 5", "1 == 2", "1 != 2",
+        "true && false", "true || false", "!true", "!(1 > 2)",
+        "1s + 500ms", "2 * 250ms", "1e9 / 2", "0.5 * 4 + 1",
+        "(1 < 2) && (3 < 4)", "1 + 2 == 3", "100 - 50 - 25 - 12",
+        "3.5 * 2 == 7", "2.0 / 0.5", "-(4 - 9)"));
+
+}  // namespace
+}  // namespace osguard

@@ -1,0 +1,420 @@
+// Engine tests: trigger firing, violation protocol (hysteresis, cooldown,
+// on_satisfy), runtime load/replace/unload, and crash-free error handling.
+
+#include <gtest/gtest.h>
+
+#include "src/runtime/engine.h"
+#include "src/vm/compiler.h"
+
+namespace osguard {
+namespace {
+
+class EngineTest : public ::testing::Test {
+ protected:
+  EngineTest() : engine_(&store_, &registry_, &task_control_) {}
+
+  void Load(const std::string& source) {
+    Status status = engine_.LoadSource(source);
+    ASSERT_TRUE(status.ok()) << status.ToString();
+  }
+
+  MonitorStats Stats(const std::string& name) {
+    auto stats = engine_.StatsFor(name);
+    EXPECT_TRUE(stats.ok()) << stats.status().ToString();
+    return stats.value_or(MonitorStats{});
+  }
+
+  FeatureStore store_;
+  PolicyRegistry registry_;
+  RecordingTaskControl task_control_;
+  Engine engine_;
+};
+
+constexpr char kSimpleGuardrail[] = R"(
+  guardrail simple {
+    trigger: { TIMER(1s, 1s) },
+    rule: { LOAD_OR(x, 0) <= 10 },
+    action: { SAVE(tripped, true) }
+  }
+)";
+
+TEST_F(EngineTest, TimerFiresAtConfiguredInterval) {
+  Load(kSimpleGuardrail);
+  engine_.AdvanceTo(Milliseconds(999));
+  EXPECT_EQ(Stats("simple").evaluations, 0u);
+  engine_.AdvanceTo(Seconds(1));
+  EXPECT_EQ(Stats("simple").evaluations, 1u);
+  engine_.AdvanceTo(Seconds(5));
+  EXPECT_EQ(Stats("simple").evaluations, 5u);
+}
+
+TEST_F(EngineTest, TimerStopTimeEndsChecks) {
+  Load(R"(
+    guardrail bounded {
+      trigger: { TIMER(1s, 1s, 3s) },
+      rule: { true },
+      action: { REPORT() }
+    }
+  )");
+  engine_.AdvanceTo(Seconds(10));
+  EXPECT_EQ(Stats("bounded").evaluations, 3u);  // t = 1, 2, 3
+}
+
+TEST_F(EngineTest, NextTimerDeadlineIsExposed) {
+  Load(kSimpleGuardrail);
+  ASSERT_TRUE(engine_.NextTimerDeadline().has_value());
+  EXPECT_EQ(*engine_.NextTimerDeadline(), Seconds(1));
+  engine_.AdvanceTo(Seconds(1));
+  EXPECT_EQ(*engine_.NextTimerDeadline(), Seconds(2));
+}
+
+TEST_F(EngineTest, ViolationRunsAction) {
+  Load(kSimpleGuardrail);
+  store_.Save("x", Value(50));
+  engine_.AdvanceTo(Seconds(1));
+  const MonitorStats stats = Stats("simple");
+  EXPECT_EQ(stats.violations, 1u);
+  EXPECT_EQ(stats.action_firings, 1u);
+  EXPECT_TRUE(store_.LoadOr("tripped", Value(false)).AsBool().value());
+}
+
+TEST_F(EngineTest, SatisfiedRuleDoesNotAct) {
+  Load(kSimpleGuardrail);
+  store_.Save("x", Value(5));
+  engine_.AdvanceTo(Seconds(3));
+  const MonitorStats stats = Stats("simple");
+  EXPECT_EQ(stats.violations, 0u);
+  EXPECT_EQ(stats.action_firings, 0u);
+  EXPECT_FALSE(store_.Contains("tripped"));
+}
+
+TEST_F(EngineTest, ViolationReportIsRecorded) {
+  Load(kSimpleGuardrail);
+  store_.Save("x", Value(50));
+  engine_.AdvanceTo(Seconds(1));
+  EXPECT_EQ(engine_.reporter().CountOfKind(ReportKind::kViolation), 1u);
+  const auto records = engine_.reporter().RecordsFor("simple");
+  ASSERT_FALSE(records.empty());
+  EXPECT_EQ(records[0].time, Seconds(1));
+}
+
+TEST_F(EngineTest, HysteresisAbsorbsTransientViolations) {
+  Load(R"(
+    guardrail damped {
+      trigger: { TIMER(1s, 1s) },
+      rule: { LOAD_OR(x, 0) <= 10 },
+      action: { SAVE(tripped, true) },
+      meta: { hysteresis = 3 }
+    }
+  )");
+  store_.Save("x", Value(50));
+  engine_.AdvanceTo(Seconds(2));
+  EXPECT_EQ(Stats("damped").action_firings, 0u);
+  EXPECT_EQ(Stats("damped").suppressed_hysteresis, 2u);
+  engine_.AdvanceTo(Seconds(3));  // third consecutive violation
+  EXPECT_EQ(Stats("damped").action_firings, 1u);
+}
+
+TEST_F(EngineTest, HysteresisResetsOnSatisfaction) {
+  Load(R"(
+    guardrail damped {
+      trigger: { TIMER(1s, 1s) },
+      rule: { LOAD_OR(x, 0) <= 10 },
+      action: { SAVE(tripped, true) },
+      meta: { hysteresis = 2 }
+    }
+  )");
+  store_.Save("x", Value(50));
+  engine_.AdvanceTo(Seconds(1));  // violation #1
+  store_.Save("x", Value(0));
+  engine_.AdvanceTo(Seconds(2));  // satisfied: counter resets
+  store_.Save("x", Value(50));
+  engine_.AdvanceTo(Seconds(3));  // violation #1 again
+  EXPECT_EQ(Stats("damped").action_firings, 0u);
+  engine_.AdvanceTo(Seconds(4));  // violation #2 -> fire
+  EXPECT_EQ(Stats("damped").action_firings, 1u);
+}
+
+TEST_F(EngineTest, CooldownRateLimitsActions) {
+  Load(R"(
+    guardrail cooled {
+      trigger: { TIMER(1s, 1s) },
+      rule: { LOAD_OR(x, 0) <= 10 },
+      action: { INCR(fire_count) },
+      meta: { cooldown = 3000000000 }
+    }
+  )");
+  store_.Save("x", Value(50));
+  engine_.AdvanceTo(Seconds(7));  // violations at t=1..7
+  // Fires at t=1, 4, 7 (3s cooldown).
+  EXPECT_EQ(store_.LoadOr("fire_count", Value(0)).NumericOr(0), 3.0);
+  EXPECT_EQ(Stats("cooled").suppressed_cooldown, 4u);
+}
+
+TEST_F(EngineTest, OnSatisfyFiresOnRecoveryEdge) {
+  Load(R"(
+    guardrail recovering {
+      trigger: { TIMER(1s, 1s) },
+      rule: { LOAD_OR(x, 0) <= 10 },
+      action: { SAVE(state, "bad") },
+      on_satisfy: { SAVE(state, "good"); INCR(recoveries) }
+    }
+  )");
+  store_.Save("x", Value(50));
+  engine_.AdvanceTo(Seconds(2));
+  EXPECT_EQ(store_.Load("state").value().AsString().value(), "bad");
+  store_.Save("x", Value(0));
+  engine_.AdvanceTo(Seconds(3));
+  EXPECT_EQ(store_.Load("state").value().AsString().value(), "good");
+  EXPECT_EQ(Stats("recovering").satisfy_firings, 1u);
+  // Staying satisfied does not refire on_satisfy.
+  engine_.AdvanceTo(Seconds(6));
+  EXPECT_EQ(store_.LoadOr("recoveries", Value(0)).NumericOr(0), 1.0);
+}
+
+TEST_F(EngineTest, OnSatisfyNeedsPriorActionFiring) {
+  Load(R"(
+    guardrail quiet {
+      trigger: { TIMER(1s, 1s) },
+      rule: { LOAD_OR(x, 0) <= 10 },
+      action: { REPORT() },
+      on_satisfy: { INCR(recoveries) }
+    }
+  )");
+  store_.Save("x", Value(0));
+  engine_.AdvanceTo(Seconds(5));  // always satisfied: never "recovers"
+  EXPECT_FALSE(store_.Contains("recoveries"));
+}
+
+TEST_F(EngineTest, RuleErrorIsContainedAndReported) {
+  // LOAD of a missing key is nil; nil <= 10 faults. The engine must count
+  // the error, report it, and not fire actions.
+  Load(R"(
+    guardrail faulty {
+      trigger: { TIMER(1s, 1s) },
+      rule: { LOAD(never_set) <= 10 },
+      action: { SAVE(tripped, true) }
+    }
+  )");
+  engine_.AdvanceTo(Seconds(2));
+  const MonitorStats stats = Stats("faulty");
+  EXPECT_EQ(stats.errors, 2u);
+  EXPECT_EQ(stats.violations, 0u);
+  EXPECT_EQ(stats.action_firings, 0u);
+  EXPECT_FALSE(store_.Contains("tripped"));
+  EXPECT_EQ(engine_.reporter().CountOfKind(ReportKind::kMonitorError), 2u);
+}
+
+TEST_F(EngineTest, FunctionTriggerFiresOnCallout) {
+  Load(R"(
+    guardrail hooked {
+      trigger: { FUNCTION(submit_io) },
+      rule: { LOAD_OR(x, 0) <= 10 },
+      action: { INCR(fire_count) }
+    }
+  )");
+  engine_.OnFunctionCall("submit_io", Milliseconds(5));
+  engine_.OnFunctionCall("submit_io", Milliseconds(6));
+  engine_.OnFunctionCall("unrelated_fn", Milliseconds(7));
+  EXPECT_EQ(Stats("hooked").evaluations, 2u);
+}
+
+TEST_F(EngineTest, MixedTriggersBothFire) {
+  Load(R"(
+    guardrail both {
+      trigger: { TIMER(1s, 1s), FUNCTION(submit_io) },
+      rule: { true },
+      action: { REPORT() }
+    }
+  )");
+  engine_.OnFunctionCall("submit_io", Milliseconds(100));
+  engine_.AdvanceTo(Seconds(1));
+  EXPECT_EQ(Stats("both").evaluations, 2u);
+}
+
+TEST_F(EngineTest, DisabledMonitorDoesNotEvaluate) {
+  Load(kSimpleGuardrail);
+  ASSERT_TRUE(engine_.SetEnabled("simple", false).ok());
+  engine_.AdvanceTo(Seconds(3));
+  EXPECT_EQ(Stats("simple").evaluations, 0u);
+  ASSERT_TRUE(engine_.SetEnabled("simple", true).ok());
+  engine_.AdvanceTo(Seconds(4));
+  EXPECT_EQ(Stats("simple").evaluations, 1u);
+}
+
+TEST_F(EngineTest, MetaEnabledFalseLoadsDisabled) {
+  Load(R"(
+    guardrail dormant {
+      trigger: { TIMER(1s, 1s) },
+      rule: { false },
+      action: { REPORT() },
+      meta: { enabled = false }
+    }
+  )");
+  engine_.AdvanceTo(Seconds(3));
+  EXPECT_EQ(Stats("dormant").evaluations, 0u);
+}
+
+TEST_F(EngineTest, UnloadStopsMonitor) {
+  Load(kSimpleGuardrail);
+  engine_.AdvanceTo(Seconds(1));
+  ASSERT_TRUE(engine_.Unload("simple").ok());
+  EXPECT_FALSE(engine_.Contains("simple"));
+  engine_.AdvanceTo(Seconds(5));  // queued timer entries must be inert
+  EXPECT_FALSE(engine_.StatsFor("simple").ok());
+}
+
+TEST_F(EngineTest, UnloadUnknownNameFails) {
+  EXPECT_EQ(engine_.Unload("ghost").code(), ErrorCode::kNotFound);
+}
+
+TEST_F(EngineTest, HotReplaceSwapsRuleWithoutReboot) {
+  Load(kSimpleGuardrail);
+  store_.Save("x", Value(15));
+  engine_.AdvanceTo(Seconds(1));
+  EXPECT_EQ(Stats("simple").violations, 1u);  // 15 > 10
+
+  // Runtime update (§6): same name, looser threshold.
+  Load(R"(
+    guardrail simple {
+      trigger: { TIMER(1s, 1s) },
+      rule: { LOAD_OR(x, 0) <= 100 },
+      action: { SAVE(tripped, true) }
+    }
+  )");
+  engine_.AdvanceTo(Seconds(3));
+  const MonitorStats stats = Stats("simple");
+  EXPECT_EQ(stats.violations, 0u);  // stats reset on replace; 15 <= 100 holds
+  EXPECT_GE(stats.evaluations, 1u);
+}
+
+TEST_F(EngineTest, MonitorLoadedMidRunStartsFromCurrentTime) {
+  engine_.AdvanceTo(Seconds(10));
+  Load(kSimpleGuardrail);  // TIMER(1s, 1s) but it is already t=10
+  engine_.AdvanceTo(Seconds(12));
+  // Fires at t=11 and t=12, not 10 times retroactively.
+  EXPECT_EQ(Stats("simple").evaluations, 2u);
+}
+
+TEST_F(EngineTest, IncrementalDeploymentAddsMonitors) {
+  Load(kSimpleGuardrail);
+  engine_.AdvanceTo(Seconds(1));
+  Load(R"(
+    guardrail second {
+      trigger: { TIMER(1s, 1s) },
+      rule: { true },
+      action: { REPORT() }
+    }
+  )");
+  engine_.AdvanceTo(Seconds(3));
+  EXPECT_EQ(engine_.MonitorNames().size(), 2u);
+  EXPECT_EQ(Stats("simple").evaluations, 3u);
+  EXPECT_EQ(Stats("second").evaluations, 2u);
+}
+
+TEST_F(EngineTest, ActionsSeeEvaluationTimestamp) {
+  Load(R"(
+    guardrail stamper {
+      trigger: { TIMER(2s, 1s) },
+      rule: { false },
+      action: { SAVE(fired_at, NOW()) }
+    }
+  )");
+  engine_.AdvanceTo(Seconds(2));
+  EXPECT_EQ(store_.Load("fired_at").value().NumericOr(0), 2e9);
+}
+
+TEST_F(EngineTest, DeprioritizeReachesTaskControl) {
+  Load(R"(
+    guardrail oom-ish {
+      trigger: { TIMER(1s, 1s) },
+      rule: { LOAD_OR(mem_pressure, 0) <= 0.9 },
+      action: { DEPRIORITIZE({batch_job, background_scan}, {0.1, 0.2}) }
+    }
+  )");
+  store_.Save("mem_pressure", Value(0.95));
+  engine_.AdvanceTo(Seconds(1));
+  const auto events = task_control_.events();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].tasks, (std::vector<std::string>{"batch_job", "background_scan"}));
+  EXPECT_EQ(events[0].priorities, (std::vector<double>{0.1, 0.2}));
+}
+
+TEST_F(EngineTest, ReplaceActionRebindsSlot) {
+  struct NamedPolicy : Policy {
+    std::string policy_name;
+    bool learned;
+    explicit NamedPolicy(std::string n, bool l) : policy_name(std::move(n)), learned(l) {}
+    std::string name() const override { return policy_name; }
+    bool is_learned() const override { return learned; }
+  };
+  ASSERT_TRUE(registry_.Register(std::make_shared<NamedPolicy>("learned_thing", true)).ok());
+  ASSERT_TRUE(registry_.Register(std::make_shared<NamedPolicy>("safe_thing", false)).ok());
+  ASSERT_TRUE(registry_.BindSlot("subsystem.decision", "learned_thing").ok());
+
+  Load(R"(
+    guardrail fallback {
+      trigger: { TIMER(1s, 1s) },
+      rule: { LOAD_OR(quality, 1) >= 0.5 },
+      action: { REPLACE(learned_thing, safe_thing) }
+    }
+  )");
+  store_.Save("quality", Value(0.1));
+  engine_.AdvanceTo(Seconds(1));
+  EXPECT_EQ(registry_.Active("subsystem.decision").value()->name(), "safe_thing");
+  ASSERT_EQ(registry_.replace_history().size(), 1u);
+  EXPECT_EQ(registry_.replace_history()[0].old_policy, "learned_thing");
+}
+
+TEST_F(EngineTest, RetrainActionQueuesRequest) {
+  Load(R"(
+    guardrail drift {
+      trigger: { TIMER(1s, 1s) },
+      rule: { LOAD_OR(drift_score, 0) <= 0.2 },
+      action: { RETRAIN(my_model, recent_window) }
+    }
+  )");
+  store_.Save("drift_score", Value(0.8));
+  engine_.AdvanceTo(Seconds(1));
+  auto request = engine_.retrain_queue().Pop();
+  ASSERT_TRUE(request.has_value());
+  EXPECT_EQ(request->model, "my_model");
+  EXPECT_EQ(request->data_key, "recent_window");
+}
+
+TEST_F(EngineTest, EngineStatsAggregateAcrossMonitors) {
+  Load(kSimpleGuardrail);
+  store_.Save("x", Value(50));
+  engine_.AdvanceTo(Seconds(3));
+  const EngineStats stats = engine_.stats();
+  EXPECT_EQ(stats.timer_firings, 3u);
+  EXPECT_EQ(stats.evaluations, 3u);
+  EXPECT_EQ(stats.violations, 3u);
+  EXPECT_GT(stats.total_wall_ns, 0);
+}
+
+TEST_F(EngineTest, LoadRejectsUnverifiableProgram) {
+  CompiledGuardrail bad;
+  bad.name = "bad";
+  bad.rule.name = "bad.rule";
+  bad.rule.register_count = 1;
+  bad.rule.insns.push_back(Insn{Op::kRet, 63, 0, 0, 0});  // r63 out of range
+  bad.action = bad.rule;
+  EXPECT_EQ(engine_.Load(std::move(bad)).code(), ErrorCode::kVerifierError);
+}
+
+TEST_F(EngineTest, TwoTimersOnOneMonitorBothFire) {
+  Load(R"(
+    guardrail dual {
+      trigger: { TIMER(1s, 2s), TIMER(2s, 2s) },
+      rule: { true },
+      action: { REPORT() }
+    }
+  )");
+  engine_.AdvanceTo(Seconds(4));
+  // t = 1, 3 from the first timer; t = 2, 4 from the second.
+  EXPECT_EQ(Stats("dual").evaluations, 4u);
+}
+
+}  // namespace
+}  // namespace osguard

@@ -1,0 +1,289 @@
+// Robustness ("fuzz-lite") tests: deterministic randomized sweeps asserting
+// the pipeline's total-safety properties —
+//   * the lexer/parser never crash and always return clean statuses,
+//   * every program the compiler accepts passes the verifier,
+//   * every program the verifier accepts executes without crashing (clean
+//     value or clean error, never UB),
+// which together are the "a bad spec cannot take down the kernel" argument.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "src/dsl/lexer.h"
+#include "src/dsl/parser.h"
+#include "src/dsl/sema.h"
+#include "src/runtime/helper_env.h"
+#include "src/support/rng.h"
+#include "src/vm/compiler.h"
+#include "src/vm/verifier.h"
+#include "src/vm/vm.h"
+
+namespace osguard {
+namespace {
+
+constexpr char kValidSpec[] = R"(
+guardrail complex-spec {
+  trigger: { TIMER(500ms, 250ms, 60s), FUNCTION(blk_submit_io), ONCHANGE(err_rate) },
+  rule: {
+    COUNT(io_lat, 10s) == 0 || MEAN(io_lat, 10s) <= 2ms && P99(io_lat, 10s) <= 20ms,
+    LOAD_OR(err_rate, 0) <= 0.1
+  },
+  action: {
+    REPORT("violated", err_rate, NOW());
+    REPLACE(learned_policy, fallback_policy);
+    RETRAIN(learned_policy, recent_window);
+    DEPRIORITIZE({batch, scan}, {0.5, 0.1});
+    SAVE(ml_enabled, false);
+  },
+  on_satisfy: { SAVE(ml_enabled, true) },
+  meta: { severity = critical, cooldown = 5s, hysteresis = 2 }
+}
+)";
+
+TEST(FuzzTest, EveryPrefixOfAValidSpecFailsCleanly) {
+  const std::string source = kValidSpec;
+  for (size_t length = 0; length < source.size(); ++length) {
+    auto spec = ParseSpecSource(source.substr(0, length));
+    // Truncations must produce a status, never crash. (A few prefixes that
+    // end exactly at a guardrail boundary may parse — that's fine.)
+    if (!spec.ok()) {
+      EXPECT_FALSE(spec.status().message().empty());
+    }
+  }
+  EXPECT_TRUE(ParseSpecSource(source).ok());
+}
+
+TEST(FuzzTest, RandomBytesNeverCrashTheLexer) {
+  Rng rng(101);
+  for (int iteration = 0; iteration < 2000; ++iteration) {
+    std::string garbage;
+    const int length = static_cast<int>(rng.UniformInt(0, 120));
+    for (int i = 0; i < length; ++i) {
+      garbage += static_cast<char>(rng.UniformInt(1, 127));
+    }
+    Lexer lexer(garbage);
+    auto tokens = lexer.Tokenize();  // ok or clean error; must not crash
+    if (!tokens.ok()) {
+      EXPECT_EQ(tokens.status().code(), ErrorCode::kParseError);
+    }
+  }
+}
+
+TEST(FuzzTest, RandomTokenSoupNeverCrashesTheParser) {
+  const std::vector<std::string> vocabulary = {
+      "guardrail", "trigger",   "rule",  "action", "meta",   "on_satisfy", "TIMER",
+      "FUNCTION",  "ONCHANGE",  "LOAD",  "SAVE",   "REPORT", "MEAN",       "{",
+      "}",         "(",         ")",     ",",      ":",      ";",          "<=",
+      ">=",        "==",        "&&",    "||",     "!",      "+",          "-",
+      "*",         "/",         "1",     "0.05",   "1s",     "250ms",      "true",
+      "false",     "\"text\"",  "x",     "a_key",  "=",      "severity"};
+  Rng rng(202);
+  for (int iteration = 0; iteration < 3000; ++iteration) {
+    std::string source;
+    const int tokens = static_cast<int>(rng.UniformInt(1, 60));
+    for (int i = 0; i < tokens; ++i) {
+      source += vocabulary[static_cast<size_t>(
+          rng.UniformInt(0, static_cast<int64_t>(vocabulary.size()) - 1))];
+      source += " ";
+    }
+    auto spec = ParseSpecSource(source);
+    if (spec.ok()) {
+      // If it parsed, analysis and compilation must also behave (ok or
+      // clean status) — exercise the rest of the pipeline too.
+      auto analyzed = Analyze(std::move(spec).value());
+      if (analyzed.ok()) {
+        auto compiled = CompileSpec(analyzed.value());
+        if (compiled.ok()) {
+          for (const CompiledGuardrail& guardrail : compiled.value()) {
+            EXPECT_TRUE(Verify(guardrail.rule).ok());
+          }
+        }
+      }
+    }
+  }
+}
+
+// Random expression generator producing syntactically valid, possibly
+// semantically degenerate expressions.
+std::string RandomExpr(Rng& rng, int depth) {
+  if (depth <= 0) {
+    switch (rng.UniformInt(0, 5)) {
+      case 0:
+        return std::to_string(rng.UniformInt(-100, 100));
+      case 1:
+        return "0." + std::to_string(rng.UniformInt(0, 99));
+      case 2:
+        return "some_key";
+      case 3:
+        return "LOAD_OR(k" + std::to_string(rng.UniformInt(0, 5)) + ", " +
+               std::to_string(rng.UniformInt(0, 9)) + ")";
+      case 4:
+        return rng.Bernoulli(0.5) ? "true" : "false";
+      default:
+        return std::to_string(rng.UniformInt(1, 5)) + "s";
+    }
+  }
+  switch (rng.UniformInt(0, 7)) {
+    case 0:
+      return "(" + RandomExpr(rng, depth - 1) + " + " + RandomExpr(rng, depth - 1) + ")";
+    case 1:
+      return "(" + RandomExpr(rng, depth - 1) + " * " + RandomExpr(rng, depth - 1) + ")";
+    case 2:
+      return "(" + RandomExpr(rng, depth - 1) + " / " + RandomExpr(rng, depth - 1) + ")";
+    case 3:
+      return "(" + RandomExpr(rng, depth - 1) + " <= " + RandomExpr(rng, depth - 1) + ")";
+    case 4:
+      return "(" + RandomExpr(rng, depth - 1) + " && " + RandomExpr(rng, depth - 1) + ")";
+    case 5:
+      return "(" + RandomExpr(rng, depth - 1) + " || " + RandomExpr(rng, depth - 1) + ")";
+    case 6:
+      return "!" + RandomExpr(rng, depth - 1);
+    default:
+      return "ABS(" + RandomExpr(rng, depth - 1) + ")";
+  }
+}
+
+TEST(FuzzTest, RandomExpressionsCompileVerifyAndExecuteSafely) {
+  Rng rng(303);
+  FeatureStore store;
+  store.Save("some_key", Value(3.5));
+  for (int k = 0; k < 6; ++k) {
+    store.Save("k" + std::to_string(k), Value(k));
+  }
+  MonitorHelperEnv env(&store, nullptr);
+  env.SetEnvelope(ActionEnvelope{"fuzz", Severity::kInfo, Seconds(1)});
+  Vm vm;
+
+  int executed_ok = 0;
+  for (int iteration = 0; iteration < 2000; ++iteration) {
+    const std::string source = RandomExpr(rng, static_cast<int>(rng.UniformInt(1, 4)));
+    auto expr = ParseExprSource(source);
+    ASSERT_TRUE(expr.ok()) << source;  // generator emits valid syntax
+    auto program = CompileExpr(*expr.value(), "fuzz");
+    if (!program.ok()) {
+      // Deep nesting can exceed registers — must be a clean verifier error.
+      EXPECT_EQ(program.status().code(), ErrorCode::kVerifierError) << source;
+      continue;
+    }
+    EXPECT_TRUE(Verify(program.value()).ok()) << source;
+    auto result = vm.Execute(program.value(), env);
+    if (result.ok()) {
+      ++executed_ok;
+    } else {
+      // Division by zero etc.: clean execution errors only.
+      EXPECT_EQ(result.status().code(), ErrorCode::kExecutionError) << source;
+    }
+  }
+  EXPECT_GT(executed_ok, 1000);  // most random expressions actually run
+}
+
+TEST(FuzzTest, MutatedProgramsNeverCrashTheVm) {
+  // Take a real compiled program, randomly mutate instruction fields, and
+  // run everything the verifier still accepts. The VM must return a value
+  // or a clean error for every accepted mutant.
+  auto expr = ParseExprSource("LOAD_OR(a, 1) + MEAN(s, 10s) <= 2 * ABS(b) && EXISTS(c)");
+  ASSERT_TRUE(expr.ok());
+  auto base = CompileExpr(*expr.value(), "mutant-base");
+  ASSERT_TRUE(base.ok());
+
+  FeatureStore store;
+  store.Save("a", Value(1));
+  store.Save("b", Value(-2.0));
+  store.Observe("s", Seconds(1), 4.0);
+  MonitorHelperEnv env(&store, nullptr);
+  env.SetEnvelope(ActionEnvelope{"mutant", Severity::kInfo, Seconds(1)});
+  Vm vm;
+
+  Rng rng(404);
+  int accepted = 0;
+  for (int iteration = 0; iteration < 5000; ++iteration) {
+    Program mutant = base.value();
+    const int mutations = static_cast<int>(rng.UniformInt(1, 3));
+    for (int m = 0; m < mutations; ++m) {
+      Insn& insn = mutant.insns[static_cast<size_t>(
+          rng.UniformInt(0, static_cast<int64_t>(mutant.insns.size()) - 1))];
+      switch (rng.UniformInt(0, 4)) {
+        case 0:
+          insn.op = static_cast<Op>(rng.UniformInt(0, 25));
+          break;
+        case 1:
+          insn.a = static_cast<uint8_t>(rng.UniformInt(0, 70));
+          break;
+        case 2:
+          insn.b = static_cast<uint8_t>(rng.UniformInt(0, 70));
+          break;
+        case 3:
+          insn.c = static_cast<uint8_t>(rng.UniformInt(0, 70));
+          break;
+        default:
+          insn.imm = static_cast<int32_t>(rng.UniformInt(-4, 80));
+          break;
+      }
+    }
+    if (!Verify(mutant).ok()) {
+      continue;  // rejected mutants are the verifier doing its job
+    }
+    ++accepted;
+    auto result = vm.Execute(mutant, env);
+    if (!result.ok()) {
+      EXPECT_EQ(result.status().code(), ErrorCode::kExecutionError);
+    }
+  }
+  // The verifier is strict but not vacuous: some mutants survive.
+  EXPECT_GT(accepted, 10);
+}
+
+TEST(FuzzTest, RandomConstExpressionsMatchReferenceEvaluator) {
+  // Deterministic differential test: for const-only expressions, the
+  // compiled program and the AST evaluator must agree exactly.
+  Rng rng(505);
+  FeatureStore store;
+  MonitorHelperEnv env(&store, nullptr);
+  env.SetEnvelope(ActionEnvelope{"diff", Severity::kInfo, 0});
+  Vm vm;
+
+  auto random_const_expr = [&rng](auto&& self, int depth) -> std::string {
+    if (depth <= 0) {
+      switch (rng.UniformInt(0, 2)) {
+        case 0:
+          return std::to_string(rng.UniformInt(-20, 20));
+        case 1:
+          return std::to_string(rng.UniformInt(0, 9)) + "." +
+                 std::to_string(rng.UniformInt(0, 9));
+        default:
+          return rng.Bernoulli(0.5) ? "true" : "false";
+      }
+    }
+    static const char* ops[] = {"+", "-", "*", "<=", "<", "==", "&&", "||"};
+    const char* op = ops[rng.UniformInt(0, 7)];
+    return "(" + self(self, depth - 1) + " " + op + " " + self(self, depth - 1) + ")";
+  };
+
+  int compared = 0;
+  for (int iteration = 0; iteration < 3000; ++iteration) {
+    const std::string source =
+        random_const_expr(random_const_expr, static_cast<int>(rng.UniformInt(1, 4)));
+    auto expr = ParseExprSource(source);
+    ASSERT_TRUE(expr.ok()) << source;
+    auto reference = EvalConst(*expr.value());
+    if (!reference.ok()) {
+      continue;  // e.g. arithmetic on bool subtree rejected by the folder
+    }
+    auto program = CompileExpr(*expr.value(), "diff");
+    if (!program.ok()) {
+      continue;
+    }
+    auto executed = vm.Execute(program.value(), env);
+    if (!executed.ok()) {
+      continue;  // e.g. arithmetic type faults the VM flags at run time
+    }
+    EXPECT_NEAR(executed.value().NumericOr(-7777), reference.value().NumericOr(-9999), 1e-9)
+        << source;
+    ++compared;
+  }
+  EXPECT_GT(compared, 1500);
+}
+
+}  // namespace
+}  // namespace osguard

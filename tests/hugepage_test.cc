@@ -1,0 +1,148 @@
+// Huge-page substrate tests, ending in the paper's own §2 property:
+// "Page fault latencies must not exceed 50ms".
+
+#include <gtest/gtest.h>
+
+#include "src/properties/specs.h"
+#include "src/sim/hugepage.h"
+#include "src/support/logging.h"
+
+namespace osguard {
+namespace {
+
+class HugepageTest : public ::testing::Test {
+ protected:
+  HugepageTest() { Logger::Global().set_level(LogLevel::kOff); }
+
+  void Bind(std::shared_ptr<HugepagePolicy> policy) {
+    ASSERT_TRUE(kernel_.registry().Register(policy).ok());
+    ASSERT_TRUE(kernel_.registry().BindSlot("mem.hugepage", policy->name()).ok());
+  }
+
+  // Allocation churn: processes touch regions and exit.
+  void Churn(MemoryManager& mm, int processes, int regions_each,
+             Duration step = Microseconds(50)) {
+    for (int p = 0; p < processes; ++p) {
+      for (int r = 0; r < regions_each; ++r) {
+        kernel_.Run(kernel_.now() + step);
+        mm.Touch(static_cast<uint64_t>(p), static_cast<uint64_t>(r));
+      }
+      if (p % 2 == 1) {
+        mm.ReleaseProcess(static_cast<uint64_t>(p));  // churn
+      }
+    }
+  }
+
+  Kernel kernel_;
+};
+
+TEST_F(HugepageTest, FirstTouchFaultsRepeatTouchDoesNot) {
+  MemoryManager mm(kernel_);
+  EXPECT_GT(mm.Touch(1, 0), 0);
+  EXPECT_EQ(mm.Touch(1, 0), 0);
+  EXPECT_GT(mm.Touch(1, 1), 0);  // new region
+  EXPECT_GT(mm.Touch(2, 0), 0);  // same region, different process
+  EXPECT_EQ(mm.stats().faults, 3u);
+}
+
+TEST_F(HugepageTest, BaseFaultsAreCheapAndPredictable) {
+  MemoryManager mm(kernel_);
+  Bind(std::make_shared<NeverPromotePolicy>());
+  for (int r = 0; r < 1000; ++r) {
+    EXPECT_EQ(mm.Touch(1, static_cast<uint64_t>(r)), Microseconds(8));
+  }
+  EXPECT_EQ(mm.stats().stalls, 0u);
+  EXPECT_EQ(mm.stats().promotions, 0u);
+}
+
+TEST_F(HugepageTest, FreshSystemPromotionIsFast) {
+  MemoryManager mm(kernel_);
+  Bind(std::make_shared<AlwaysPromotePolicy>());
+  // Low fragmentation: stall probability ~frag^2 ~ 0.
+  const Duration latency = mm.Touch(1, 0);
+  EXPECT_EQ(latency, Microseconds(60));
+  EXPECT_EQ(mm.stats().promotions, 1u);
+}
+
+TEST_F(HugepageTest, FragmentationGrowsWithChurnAndCausesStalls) {
+  MemoryManager mm(kernel_);
+  Bind(std::make_shared<AlwaysPromotePolicy>());
+  Churn(mm, 40, 100);
+  EXPECT_GT(mm.fragmentation(), 0.3);
+  EXPECT_GT(mm.stats().stalls, 0u);
+  // The paper's headline number: stalls reach into the hundreds of ms but
+  // never exceed the 500ms cap.
+  EXPECT_GT(mm.stats().worst_fault_ns, Milliseconds(50));
+  EXPECT_LE(mm.stats().worst_fault_ns, Milliseconds(500) + Microseconds(60));
+}
+
+TEST_F(HugepageTest, FragAwareHeuristicAvoidsStallRegime) {
+  MemoryManager mm(kernel_);
+  Bind(std::make_shared<FragAwarePolicy>(0.3));
+  Churn(mm, 40, 100);
+  // It stops promoting once fragmentation crosses its bound, so worst-case
+  // fault latency stays moderate.
+  EXPECT_LT(mm.stats().worst_fault_ns, Milliseconds(500));
+}
+
+TEST_F(HugepageTest, KillSwitchDisablesPromotion) {
+  MemoryManager mm(kernel_);
+  Bind(std::make_shared<AlwaysPromotePolicy>());
+  kernel_.store().Save("mm.huge_enabled", Value(false));
+  EXPECT_EQ(mm.Touch(1, 0), Microseconds(8));
+  EXPECT_EQ(mm.stats().promotions, 0u);
+}
+
+TEST_F(HugepageTest, MetricsPublishedToStore) {
+  MemoryManager mm(kernel_);
+  Bind(std::make_shared<AlwaysPromotePolicy>());
+  mm.Touch(1, 0);
+  EXPECT_GE(kernel_.store()
+                .Aggregate("mm.fault_lat_ms", AggKind::kCount, Seconds(10), kernel_.now())
+                .value(),
+            1.0);
+  EXPECT_TRUE(kernel_.store().Contains("mm.fragmentation"));
+}
+
+TEST_F(HugepageTest, PaperPropertyPageFaultLatencyBound) {
+  // §2: "Page fault latencies must not exceed 50ms" — written in the DSL,
+  // guarding the always-promote policy, with fallback to base pages.
+  MemoryManager mm(kernel_);
+  Bind(std::make_shared<AlwaysPromotePolicy>());
+  PropertySpecOptions options;
+  options.check_interval = Milliseconds(100);
+  options.check_start = Milliseconds(100);
+  options.window = Milliseconds(500);
+  ASSERT_TRUE(kernel_.LoadGuardrails(R"(
+    guardrail page-fault-bound {
+      trigger: { TIMER(100ms, 100ms) },
+      rule: { COUNT(mm.fault_lat_ms, 500ms) == 0 || MAX(mm.fault_lat_ms, 500ms) <= 50 },
+      action: { SAVE(mm.huge_enabled, false); REPORT("fault latency bound violated") }
+    }
+  )").ok());
+
+  Churn(mm, 60, 100);
+  // The guardrail must have tripped and cut off promotion.
+  EXPECT_FALSE(
+      kernel_.store().LoadOr("mm.huge_enabled", Value(true)).AsBool().value_or(true));
+  EXPECT_GT(kernel_.engine().StatsFor("page-fault-bound").value().violations, 0u);
+  // After the cutoff, faults revert to the cheap base path.
+  const Duration after = mm.Touch(999, 0);
+  EXPECT_EQ(after, Microseconds(8));
+}
+
+TEST_F(HugepageTest, ReleaseUnknownProcessIsNoOp) {
+  MemoryManager mm(kernel_);
+  mm.ReleaseProcess(42);  // never touched anything
+  EXPECT_EQ(mm.fragmentation(), 0.0);
+}
+
+TEST_F(HugepageTest, ReleaseAllowsRefault) {
+  MemoryManager mm(kernel_);
+  EXPECT_GT(mm.Touch(1, 0), 0);
+  mm.ReleaseProcess(1);
+  EXPECT_GT(mm.Touch(1, 0), 0);  // faults again after release
+}
+
+}  // namespace
+}  // namespace osguard

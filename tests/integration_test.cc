@@ -1,0 +1,363 @@
+// Cross-module integration tests: full guardrail stories on each substrate
+// (P3 readahead bounds with REPLACE, P6 scheduler liveness with
+// DEPRIORITIZE, P1 drift with RETRAIN), runtime guardrail updates, and the
+// §6 feedback-loop scenario with damping.
+
+#include <gtest/gtest.h>
+
+#include "src/properties/drift.h"
+#include "src/properties/specs.h"
+#include "src/sim/kernel.h"
+#include "src/sim/readahead.h"
+#include "src/sim/scheduler.h"
+#include "src/support/logging.h"
+#include "src/wl/taskgen.h"
+
+namespace osguard {
+namespace {
+
+class IntegrationTest : public ::testing::Test {
+ protected:
+  IntegrationTest() { Logger::Global().set_level(LogLevel::kOff); }
+};
+
+// A readahead "model" that behaves until a switch flips, then emits garbage
+// (the P3 out-of-bounds failure mode).
+class DriftingReadahead : public ReadaheadPolicy {
+ public:
+  std::string name() const override { return "learned_readahead"; }
+  bool is_learned() const override { return true; }
+  int64_t PrefetchChunks(const ReadaheadContext& context) override {
+    if (broken) {
+      return 1 << 24;  // far beyond any legal bound
+    }
+    return context.features[1] > 0.5 ? 8 : 0;
+  }
+  bool broken = false;
+};
+
+TEST_F(IntegrationTest, P3ReadaheadBoundsGuardrailFallsBackViaReplace) {
+  Kernel kernel;
+  ReadaheadManager manager(kernel, {});
+  auto learned = std::make_shared<DriftingReadahead>();
+  auto fallback = std::make_shared<FixedWindowReadahead>(8);
+  ASSERT_TRUE(kernel.registry().Register(learned).ok());
+  ASSERT_TRUE(kernel.registry().Register(fallback).ok());
+  ASSERT_TRUE(kernel.registry().BindSlot("mem.readahead", "learned_readahead").ok());
+
+  // P3 guardrail: raw decision must stay within [0, ra.max_legal]; on
+  // violation, swap in the heuristic and log.
+  PropertySpecOptions options;
+  options.check_interval = Milliseconds(100);
+  options.check_start = Milliseconds(100);
+  ASSERT_TRUE(kernel
+                  .LoadGuardrails(OutputBoundsSpec(
+                      "ra-bounds", "ra.last_decision", "ra.zero", "ra.max_legal",
+                      "REPLACE(learned_readahead, heuristic_fixed_window); "
+                      "REPORT(\"readahead out of bounds\", ra.last_decision)",
+                      options))
+                  .ok());
+  kernel.store().Save("ra.zero", Value(0));
+
+  // Healthy phase: sequential reads, learned policy behaving.
+  uint64_t chunk = 0;
+  for (int i = 0; i < 200; ++i) {
+    kernel.Run(kernel.now() + Milliseconds(2));
+    manager.Read(chunk++);
+  }
+  EXPECT_EQ(kernel.registry().Active("mem.readahead").value()->name(), "learned_readahead");
+
+  // Model breaks: guardrail must catch it within one check interval and
+  // swap in the heuristic.
+  learned->broken = true;
+  for (int i = 0; i < 100; ++i) {
+    kernel.Run(kernel.now() + Milliseconds(2));
+    manager.Read(chunk++);
+  }
+  EXPECT_EQ(kernel.registry().Active("mem.readahead").value()->name(),
+            "heuristic_fixed_window");
+  EXPECT_GT(manager.stats().illegal_decisions, 0u);
+  EXPECT_GE(kernel.engine().reporter().CountFor("ra-bounds"), 1u);
+  // The heuristic keeps the workload served: hit rate stays high afterward.
+  const uint64_t hits_before = manager.stats().hits;
+  for (int i = 0; i < 200; ++i) {
+    kernel.Run(kernel.now() + Milliseconds(2));
+    manager.Read(chunk++);
+  }
+  EXPECT_GT(manager.stats().hits, hits_before + 150);
+}
+
+// A pick-next "model" that always favors one task — the starvation failure
+// mode for P6.
+class BiasedPickPolicy : public SchedPickPolicy {
+ public:
+  std::string name() const override { return "learned_picker"; }
+  bool is_learned() const override { return true; }
+  size_t Pick(const std::vector<const SchedTask*>& runnable, SimTime) override {
+    for (size_t i = 0; i < runnable.size(); ++i) {
+      if (runnable[i]->name == "favored") {
+        return i;
+      }
+    }
+    return 0;
+  }
+};
+
+TEST_F(IntegrationTest, P6StarvationGuardrailRestoresLiveness) {
+  Kernel kernel;
+  Scheduler scheduler(kernel);
+  auto biased = std::make_shared<BiasedPickPolicy>();
+  auto fair = std::make_shared<FairPickPolicy>();
+  ASSERT_TRUE(kernel.registry().Register(biased).ok());
+  ASSERT_TRUE(kernel.registry().Register(fair).ok());
+  ASSERT_TRUE(kernel.registry().BindSlot("sched.pick_next", "learned_picker").ok());
+
+  const TaskId favored = scheduler.AddTask("favored");
+  const TaskId victim = scheduler.AddTask("victim");
+
+  // P6: no ready task starved beyond 100ms; fall back to the fair picker.
+  PropertySpecOptions options;
+  options.check_interval = Milliseconds(50);
+  options.check_start = Milliseconds(50);
+  options.window = Milliseconds(200);
+  ASSERT_TRUE(kernel
+                  .LoadGuardrails(LivenessSpec(
+                      "no-starvation", "sched.starved_ms", 100.0,
+                      "REPLACE(learned_picker, sched_fair); REPORT(\"starvation\")",
+                      options))
+                  .ok());
+
+  // Both tasks always have work; the biased picker starves the victim.
+  ASSERT_TRUE(scheduler.SubmitBurst(favored, Seconds(10)).ok());
+  ASSERT_TRUE(scheduler.SubmitBurst(victim, Seconds(10)).ok());
+  scheduler.PumpFor(Seconds(2));
+  kernel.Run(Seconds(2));
+
+  // The guardrail must have replaced the picker...
+  EXPECT_EQ(kernel.registry().Active("sched.pick_next").value()->name(), "sched_fair");
+  // ...and afterwards the victim runs again.
+  const Duration victim_cpu_at_switch = scheduler.GetTask(victim).value().total_cpu;
+  scheduler.PumpFor(Seconds(2));
+  kernel.Run(Seconds(4));
+  EXPECT_GT(scheduler.GetTask(victim).value().total_cpu,
+            victim_cpu_at_switch + Milliseconds(100));
+}
+
+TEST_F(IntegrationTest, P6DeprioritizeKillsNoisyNeighbor) {
+  Kernel kernel;
+  Scheduler scheduler(kernel);
+  const TaskId hog = scheduler.AddTask("hog", 10.0);
+  scheduler.AddTask("latency_sensitive", 1.0);
+
+  // Liveness property guarded by the OOM-killer-style action: kill the hog.
+  PropertySpecOptions options;
+  options.check_interval = Milliseconds(50);
+  options.check_start = Milliseconds(50);
+  options.window = Milliseconds(500);
+  ASSERT_TRUE(kernel
+                  .LoadGuardrails(LivenessSpec("kill-hog", "sched.starved_ms", 100.0,
+                                               "DEPRIORITIZE({hog}, {0 - 1})", options))
+                  .ok());
+
+  ASSERT_TRUE(scheduler.SubmitBurst(hog, Seconds(30)).ok());
+  auto ls_task = scheduler.GetTaskByName("latency_sensitive");
+  ASSERT_TRUE(ls_task.ok());
+  ASSERT_TRUE(scheduler.SubmitBurst(ls_task.value().id, Seconds(30)).ok());
+  // Biased-by-weight fair policy still runs both; to force starvation, use
+  // the hog-favoring weight and a pick policy that follows weights strictly.
+  struct WeightGreedy : SchedPickPolicy {
+    std::string name() const override { return "weight_greedy"; }
+    size_t Pick(const std::vector<const SchedTask*>& runnable, SimTime) override {
+      size_t best = 0;
+      for (size_t i = 1; i < runnable.size(); ++i) {
+        if (runnable[i]->weight > runnable[best]->weight) {
+          best = i;
+        }
+      }
+      return best;
+    }
+  };
+  ASSERT_TRUE(kernel.registry().Register(std::make_shared<WeightGreedy>()).ok());
+  ASSERT_TRUE(kernel.registry().BindSlot("sched.pick_next", "weight_greedy").ok());
+
+  scheduler.PumpFor(Seconds(2));
+  kernel.Run(Seconds(2));
+
+  EXPECT_EQ(scheduler.GetTask(hog).value().state, TaskState::kDead);
+  EXPECT_GE(scheduler.stats().kills, 1u);
+}
+
+TEST_F(IntegrationTest, P1DriftTriggersRetrainAndModelImproves) {
+  Kernel kernel;
+  ASSERT_TRUE(kernel
+                  .LoadGuardrails(InDistributionSpec("drift-watch", "model.drift", 0.3,
+                                                     "RETRAIN(io_model, recent_window)"))
+                  .ok());
+
+  Rng rng(99);
+  std::vector<std::vector<double>> training_rows;
+  for (int i = 0; i < 2000; ++i) {
+    training_rows.push_back({rng.Normal(0, 1)});
+  }
+  MultiDriftDetector detector(1);
+  ASSERT_TRUE(detector.Fit(training_rows).ok());
+
+  // Shifted live inputs.
+  for (int i = 0; i < 512; ++i) {
+    detector.Observe({rng.Normal(6, 1)});
+  }
+  detector.Publish(kernel.store(), "model.drift");
+  kernel.Run(Seconds(2));
+
+  auto request = kernel.engine().retrain_queue().Pop();
+  ASSERT_TRUE(request.has_value());
+  EXPECT_EQ(request->model, "io_model");
+  // The retrain consumer refits the detector on the new distribution; the
+  // drift score recovers.
+  std::vector<std::vector<double>> new_rows;
+  for (int i = 0; i < 2000; ++i) {
+    new_rows.push_back({rng.Normal(6, 1)});
+  }
+  ASSERT_TRUE(detector.Fit(new_rows).ok());
+  for (int i = 0; i < 512; ++i) {
+    detector.Observe({rng.Normal(6, 1)});
+  }
+  EXPECT_LT(detector.Publish(kernel.store(), "model.drift"), 0.3);
+}
+
+TEST_F(IntegrationTest, GuardrailUpdatedAtRuntimeWithoutReboot) {
+  Kernel kernel;
+  ASSERT_TRUE(kernel.LoadGuardrails(R"(
+    guardrail threshold {
+      trigger: { TIMER(1s, 1s) },
+      rule: { LOAD_OR(metric, 0) <= 10 },
+      action: { INCR(fires) }
+    }
+  )").ok());
+  kernel.store().Save("metric", Value(50));
+  kernel.Run(Seconds(2));
+  EXPECT_EQ(kernel.store().LoadOr("fires", Value(0)).NumericOr(0), 2.0);
+
+  // Operator loosens the threshold mid-run; same guardrail name.
+  ASSERT_TRUE(kernel.LoadGuardrails(R"(
+    guardrail threshold {
+      trigger: { TIMER(1s, 1s) },
+      rule: { LOAD_OR(metric, 0) <= 100 },
+      action: { INCR(fires) }
+    }
+  )").ok());
+  kernel.Run(Seconds(5));
+  EXPECT_EQ(kernel.store().LoadOr("fires", Value(0)).NumericOr(0), 2.0);  // no new fires
+  EXPECT_EQ(kernel.engine().MonitorNames().size(), 1u);
+}
+
+// The §6 feedback-loop scenario: two guardrails whose actions invalidate
+// each other's property oscillate; hysteresis + cooldown damp the loop.
+TEST_F(IntegrationTest, FeedbackLoopOscillatesWithoutDamping) {
+  Kernel kernel;
+  // Guardrail A: wants mode == 0. Guardrail B: wants mode == 1. Each
+  // "fixes" the system by setting its preferred mode, violating the other.
+  ASSERT_TRUE(kernel.LoadGuardrails(R"(
+    guardrail wants-zero {
+      trigger: { TIMER(1s, 1s) },
+      rule: { LOAD_OR(mode, 0) == 0 },
+      action: { SAVE(mode, 0); INCR(a_fires) }
+    }
+    guardrail wants-one {
+      trigger: { TIMER(1s, 1s) },
+      rule: { LOAD_OR(mode, 0) == 1 },
+      action: { SAVE(mode, 1); INCR(b_fires) }
+    }
+  )").ok());
+  kernel.Run(Seconds(20));
+  // Undamped: the pair fires continuously, every check interval.
+  const double a = kernel.store().LoadOr("a_fires", Value(0)).NumericOr(0);
+  const double b = kernel.store().LoadOr("b_fires", Value(0)).NumericOr(0);
+  EXPECT_GE(a + b, 19.0);
+}
+
+TEST_F(IntegrationTest, CooldownDampsFeedbackLoop) {
+  Kernel kernel;
+  ASSERT_TRUE(kernel.LoadGuardrails(R"(
+    guardrail wants-zero {
+      trigger: { TIMER(1s, 1s) },
+      rule: { LOAD_OR(mode, 0) == 0 },
+      action: { SAVE(mode, 0); INCR(a_fires) },
+      meta: { cooldown = 10s }
+    }
+    guardrail wants-one {
+      trigger: { TIMER(1s, 1s) },
+      rule: { LOAD_OR(mode, 0) == 1 },
+      action: { SAVE(mode, 1); INCR(b_fires) },
+      meta: { cooldown = 10s }
+    }
+  )").ok());
+  kernel.Run(Seconds(20));
+  const double a = kernel.store().LoadOr("a_fires", Value(0)).NumericOr(0);
+  const double b = kernel.store().LoadOr("b_fires", Value(0)).NumericOr(0);
+  // With a 10s cooldown each side fires at most ~2 times in 20s.
+  EXPECT_LE(a, 3.0);
+  EXPECT_LE(b, 3.0);
+}
+
+TEST_F(IntegrationTest, SeverityPropagatesToReports) {
+  Kernel kernel;
+  ASSERT_TRUE(kernel.LoadGuardrails(R"(
+    guardrail critical-one {
+      trigger: { TIMER(1s, 1s) },
+      rule: { false },
+      action: { REPORT("bad") },
+      meta: { severity = critical }
+    }
+  )").ok());
+  kernel.Run(Seconds(1));
+  const auto records = kernel.engine().reporter().RecordsFor("critical-one");
+  ASSERT_GE(records.size(), 1u);
+  for (const auto& record : records) {
+    EXPECT_EQ(record.severity, Severity::kCritical);
+  }
+}
+
+TEST_F(IntegrationTest, MultipleGuardrailsOverOneSubsystemCompose) {
+  // Incremental deployment (§3.3): bounds + quality + overhead guardrails
+  // all watching the readahead subsystem simultaneously.
+  Kernel kernel;
+  ReadaheadManager manager(kernel, {});
+  auto learned = std::make_shared<DriftingReadahead>();
+  auto fallback = std::make_shared<FixedWindowReadahead>(8);
+  ASSERT_TRUE(kernel.registry().Register(learned).ok());
+  ASSERT_TRUE(kernel.registry().Register(fallback).ok());
+  ASSERT_TRUE(kernel.registry().BindSlot("mem.readahead", "learned_readahead").ok());
+  kernel.store().Save("ra.zero", Value(0));
+
+  PropertySpecOptions fast_check;
+  fast_check.check_interval = Milliseconds(100);
+  fast_check.check_start = Milliseconds(100);
+  fast_check.window = Seconds(2);
+  ASSERT_TRUE(kernel
+                  .LoadGuardrails(OutputBoundsSpec("g1", "ra.last_decision", "ra.zero",
+                                                   "ra.max_legal", "REPORT()", fast_check))
+                  .ok());
+  ASSERT_TRUE(kernel
+                  .LoadGuardrails(DecisionQualityAbsoluteSpec("g2", "ra.hit", 0.2, "REPORT()",
+                                                              fast_check))
+                  .ok());
+  ASSERT_TRUE(kernel
+                  .LoadGuardrails(LivenessSpec("g3", "sched.starved_ms", 1000.0, "REPORT()",
+                                               fast_check))
+                  .ok());
+  EXPECT_EQ(kernel.engine().MonitorNames().size(), 3u);
+
+  uint64_t chunk = 0;
+  for (int i = 0; i < 300; ++i) {
+    kernel.Run(kernel.now() + Milliseconds(2));
+    manager.Read(chunk++);
+  }
+  // All three evaluated; none crashed the run.
+  for (const std::string& name : kernel.engine().MonitorNames()) {
+    EXPECT_GT(kernel.engine().StatsFor(name).value().evaluations, 0u) << name;
+  }
+}
+
+}  // namespace
+}  // namespace osguard

@@ -1,0 +1,204 @@
+// Lexer tests: token classification, literals, comments, and diagnostics.
+
+#include <gtest/gtest.h>
+
+#include "src/dsl/lexer.h"
+#include "src/support/time.h"
+
+namespace osguard {
+namespace {
+
+std::vector<Token> Lex(const std::string& source) {
+  Lexer lexer(source);
+  auto tokens = lexer.Tokenize();
+  EXPECT_TRUE(tokens.ok()) << tokens.status().ToString();
+  return tokens.ok() ? std::move(tokens).value() : std::vector<Token>{};
+}
+
+Status LexError(const std::string& source) {
+  Lexer lexer(source);
+  auto tokens = lexer.Tokenize();
+  EXPECT_FALSE(tokens.ok()) << "expected lex failure for: " << source;
+  return tokens.ok() ? OkStatus() : tokens.status();
+}
+
+std::vector<TokenKind> Kinds(const std::string& source) {
+  std::vector<TokenKind> kinds;
+  for (const Token& token : Lex(source)) {
+    kinds.push_back(token.kind);
+  }
+  return kinds;
+}
+
+TEST(LexerTest, EmptyInputYieldsEof) {
+  const auto tokens = Lex("");
+  ASSERT_EQ(tokens.size(), 1u);
+  EXPECT_EQ(tokens[0].kind, TokenKind::kEof);
+}
+
+TEST(LexerTest, Keywords) {
+  EXPECT_EQ(Kinds("guardrail trigger rule action on_satisfy meta true false"),
+            (std::vector<TokenKind>{TokenKind::kGuardrail, TokenKind::kTrigger,
+                                    TokenKind::kRule, TokenKind::kAction,
+                                    TokenKind::kOnSatisfy, TokenKind::kMeta, TokenKind::kTrue,
+                                    TokenKind::kFalse, TokenKind::kEof}));
+}
+
+TEST(LexerTest, IdentifiersIncludeUnderscoresAndDigits) {
+  const auto tokens = Lex("false_submit_rate x1 _private");
+  EXPECT_EQ(tokens[0].kind, TokenKind::kIdent);
+  EXPECT_EQ(tokens[0].text, "false_submit_rate");
+  EXPECT_EQ(tokens[1].text, "x1");
+  EXPECT_EQ(tokens[2].text, "_private");
+}
+
+TEST(LexerTest, KeywordPrefixedIdentifierIsIdent) {
+  const auto tokens = Lex("ruler guardrails truex");
+  for (size_t i = 0; i + 1 < tokens.size(); ++i) {
+    EXPECT_EQ(tokens[i].kind, TokenKind::kIdent) << tokens[i].text;
+  }
+}
+
+TEST(LexerTest, IntegerLiterals) {
+  const auto tokens = Lex("0 42 1000000");
+  EXPECT_EQ(tokens[0].int_value, 0);
+  EXPECT_EQ(tokens[1].int_value, 42);
+  EXPECT_EQ(tokens[2].int_value, 1000000);
+  EXPECT_EQ(tokens[1].kind, TokenKind::kIntLiteral);
+}
+
+TEST(LexerTest, FloatLiterals) {
+  const auto tokens = Lex("0.05 3.14 2.5");
+  EXPECT_EQ(tokens[0].kind, TokenKind::kFloatLiteral);
+  EXPECT_DOUBLE_EQ(tokens[0].float_value, 0.05);
+  EXPECT_DOUBLE_EQ(tokens[1].float_value, 3.14);
+}
+
+TEST(LexerTest, ScientificNotation) {
+  const auto tokens = Lex("1e9 2.5e3 1E-2 3e+4");
+  EXPECT_EQ(tokens[0].kind, TokenKind::kFloatLiteral);
+  EXPECT_DOUBLE_EQ(tokens[0].float_value, 1e9);
+  EXPECT_DOUBLE_EQ(tokens[1].float_value, 2500.0);
+  EXPECT_DOUBLE_EQ(tokens[2].float_value, 0.01);
+  EXPECT_DOUBLE_EQ(tokens[3].float_value, 30000.0);
+}
+
+TEST(LexerTest, DurationLiterals) {
+  const auto tokens = Lex("10ns 5us 250ms 1s 2m");
+  EXPECT_EQ(tokens[0].kind, TokenKind::kDurationLiteral);
+  EXPECT_EQ(tokens[0].int_value, 10);
+  EXPECT_EQ(tokens[1].int_value, 5000);
+  EXPECT_EQ(tokens[2].int_value, 250000000);
+  EXPECT_EQ(tokens[3].int_value, 1000000000);
+  EXPECT_EQ(tokens[4].int_value, 120000000000);
+}
+
+TEST(LexerTest, FractionalDurations) {
+  const auto tokens = Lex("1.5s 0.5ms");
+  EXPECT_EQ(tokens[0].int_value, 1500000000);
+  EXPECT_EQ(tokens[1].int_value, 500000);
+}
+
+TEST(LexerTest, DurationSuffixMustTerminate) {
+  // `5str` is not a duration followed by `tr`; it's 5 then identifier str.
+  const auto tokens = Lex("5str");
+  EXPECT_EQ(tokens[0].kind, TokenKind::kIntLiteral);
+  EXPECT_EQ(tokens[1].kind, TokenKind::kIdent);
+  EXPECT_EQ(tokens[1].text, "str");
+}
+
+TEST(LexerTest, MsNotConfusedWithM) {
+  const auto tokens = Lex("5ms 5m");
+  EXPECT_EQ(tokens[0].int_value, 5 * kMillisecond);
+  EXPECT_EQ(tokens[1].int_value, 5 * kMinute);
+}
+
+TEST(LexerTest, StringLiterals) {
+  const auto tokens = Lex(R"("hello" "with \"escape\"" "line\nbreak")");
+  EXPECT_EQ(tokens[0].kind, TokenKind::kStringLiteral);
+  EXPECT_EQ(tokens[0].text, "hello");
+  EXPECT_EQ(tokens[1].text, "with \"escape\"");
+  EXPECT_EQ(tokens[2].text, "line\nbreak");
+}
+
+TEST(LexerTest, Operators) {
+  EXPECT_EQ(Kinds("+ - * / % < <= > >= == != && || ! ="),
+            (std::vector<TokenKind>{
+                TokenKind::kPlus, TokenKind::kMinus, TokenKind::kStar, TokenKind::kSlash,
+                TokenKind::kPercent, TokenKind::kLt, TokenKind::kLe, TokenKind::kGt,
+                TokenKind::kGe, TokenKind::kEq, TokenKind::kNe, TokenKind::kAndAnd,
+                TokenKind::kOrOr, TokenKind::kBang, TokenKind::kAssign, TokenKind::kEof}));
+}
+
+TEST(LexerTest, Punctuation) {
+  EXPECT_EQ(Kinds("{ } ( ) , : ;"),
+            (std::vector<TokenKind>{TokenKind::kLBrace, TokenKind::kRBrace,
+                                    TokenKind::kLParen, TokenKind::kRParen, TokenKind::kComma,
+                                    TokenKind::kColon, TokenKind::kSemicolon,
+                                    TokenKind::kEof}));
+}
+
+TEST(LexerTest, LineComments) {
+  const auto tokens = Lex("1 // this is ignored\n2");
+  ASSERT_EQ(tokens.size(), 3u);
+  EXPECT_EQ(tokens[0].int_value, 1);
+  EXPECT_EQ(tokens[1].int_value, 2);
+}
+
+TEST(LexerTest, BlockComments) {
+  const auto tokens = Lex("1 /* span\nmultiple\nlines */ 2");
+  ASSERT_EQ(tokens.size(), 3u);
+  EXPECT_EQ(tokens[1].int_value, 2);
+}
+
+TEST(LexerTest, LineAndColumnTracking) {
+  const auto tokens = Lex("a\n  b");
+  EXPECT_EQ(tokens[0].line, 1);
+  EXPECT_EQ(tokens[0].column, 1);
+  EXPECT_EQ(tokens[1].line, 2);
+  EXPECT_EQ(tokens[1].column, 3);
+}
+
+TEST(LexerTest, UnterminatedStringFails) {
+  const Status status = LexError("\"never closed");
+  EXPECT_EQ(status.code(), ErrorCode::kParseError);
+  EXPECT_NE(status.message().find("unterminated"), std::string::npos);
+}
+
+TEST(LexerTest, UnterminatedBlockCommentFails) {
+  EXPECT_EQ(LexError("1 /* open").code(), ErrorCode::kParseError);
+}
+
+TEST(LexerTest, StrayAmpersandFails) {
+  const Status status = LexError("a & b");
+  EXPECT_NE(status.message().find("&&"), std::string::npos);
+}
+
+TEST(LexerTest, StrayPipeFails) { EXPECT_FALSE(Lexer("a | b").Tokenize().ok()); }
+
+TEST(LexerTest, UnknownCharacterFails) {
+  const Status status = LexError("a # b");
+  EXPECT_NE(status.message().find("#"), std::string::npos);
+}
+
+TEST(LexerTest, UnknownEscapeFails) { EXPECT_FALSE(Lexer(R"("\q")").Tokenize().ok()); }
+
+TEST(LexerTest, ErrorsIncludePosition) {
+  const Status status = LexError("ok\nok #");
+  EXPECT_NE(status.message().find("line 2"), std::string::npos);
+}
+
+TEST(LexerTest, Listing2Tokenizes) {
+  const auto kinds = Kinds(R"(
+    guardrail low-false-submit {
+      trigger: { TIMER(start_time, 1e9) },
+      rule: { LOAD(false_submit_rate) <= 0.05 },
+      action: { SAVE(ml_enabled, false) }
+    }
+  )");
+  EXPECT_GT(kinds.size(), 25u);
+  EXPECT_EQ(kinds.back(), TokenKind::kEof);
+}
+
+}  // namespace
+}  // namespace osguard

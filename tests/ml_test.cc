@@ -1,0 +1,314 @@
+// ML substrate tests: datasets, normalization, MLP training dynamics,
+// logistic regression, and metrics.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/ml/linear.h"
+#include "src/ml/metrics.h"
+#include "src/ml/mlp.h"
+
+namespace osguard {
+namespace {
+
+// Linearly separable binary dataset: label = x0 + x1 > 0.
+Dataset MakeLinearDataset(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  Dataset data;
+  for (size_t i = 0; i < n; ++i) {
+    const double x0 = rng.Uniform(-1, 1);
+    const double x1 = rng.Uniform(-1, 1);
+    data.Add({x0, x1}, x0 + x1 > 0 ? 1.0 : 0.0);
+  }
+  return data;
+}
+
+// XOR-ish dataset that a linear model cannot fit.
+Dataset MakeXorDataset(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  Dataset data;
+  for (size_t i = 0; i < n; ++i) {
+    const double x0 = rng.Uniform(-1, 1);
+    const double x1 = rng.Uniform(-1, 1);
+    data.Add({x0, x1}, (x0 > 0) != (x1 > 0) ? 1.0 : 0.0);
+  }
+  return data;
+}
+
+double BinaryAccuracy(const Mlp& model, const Dataset& data) {
+  ConfusionMatrix matrix;
+  for (size_t i = 0; i < data.size(); ++i) {
+    matrix.Add(model.PredictBinary(data.features[i]), data.labels[i] >= 0.5);
+  }
+  return matrix.accuracy();
+}
+
+// --- Dataset / Normalizer ---
+
+TEST(DatasetTest, SplitPreservesAllRows) {
+  Dataset data = MakeLinearDataset(100, 1);
+  Rng rng(2);
+  auto [train, test] = data.Split(0.7, rng);
+  EXPECT_EQ(train.size(), 70u);
+  EXPECT_EQ(test.size(), 30u);
+  EXPECT_EQ(train.feature_dim(), 2u);
+}
+
+TEST(DatasetTest, SplitIsDeterministicPerSeed) {
+  Dataset data = MakeLinearDataset(50, 1);
+  Rng rng_a(3);
+  Rng rng_b(3);
+  auto [train_a, test_a] = data.Split(0.5, rng_a);
+  auto [train_b, test_b] = data.Split(0.5, rng_b);
+  EXPECT_EQ(train_a.features, train_b.features);
+}
+
+TEST(NormalizerTest, ZScoresTrainingData) {
+  Dataset data;
+  data.Add({10.0, 100.0}, 0);
+  data.Add({20.0, 200.0}, 0);
+  data.Add({30.0, 300.0}, 0);
+  Normalizer normalizer;
+  normalizer.Fit(data);
+  EXPECT_DOUBLE_EQ(normalizer.mean()[0], 20.0);
+  EXPECT_DOUBLE_EQ(normalizer.mean()[1], 200.0);
+  const auto normalized = normalizer.Apply(data);
+  // Mean of normalized features is ~0.
+  double sum0 = 0;
+  for (const auto& row : normalized.features) {
+    sum0 += row[0];
+  }
+  EXPECT_NEAR(sum0, 0.0, 1e-12);
+}
+
+TEST(NormalizerTest, ConstantFeaturePassesThrough) {
+  Dataset data;
+  data.Add({5.0}, 0);
+  data.Add({5.0}, 1);
+  Normalizer normalizer;
+  normalizer.Fit(data);
+  EXPECT_EQ(normalizer.Apply({5.0})[0], 0.0);
+  EXPECT_EQ(normalizer.Apply({6.0})[0], 1.0);  // stddev clamped to 1
+}
+
+// --- MLP ---
+
+TEST(MlpTest, CreateValidatesConfig) {
+  MlpConfig config;
+  config.layer_sizes = {2};
+  EXPECT_FALSE(Mlp::Create(config).ok());
+  config.layer_sizes = {2, 0, 1};
+  EXPECT_FALSE(Mlp::Create(config).ok());
+  config.layer_sizes = {2, 4, 1};
+  config.learning_rate = -1;
+  EXPECT_FALSE(Mlp::Create(config).ok());
+  config.learning_rate = 0.1;
+  config.loss = LossKind::kBinaryCrossEntropy;
+  config.output_activation = Activation::kIdentity;
+  EXPECT_FALSE(Mlp::Create(config).ok());
+}
+
+TEST(MlpTest, DeterministicInitPerSeed) {
+  MlpConfig config;
+  config.layer_sizes = {3, 8, 1};
+  auto a = Mlp::Create(config);
+  auto b = Mlp::Create(config);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a.value().GetWeights(), b.value().GetWeights());
+  config.seed = 99;
+  auto c = Mlp::Create(config);
+  EXPECT_NE(a.value().GetWeights(), c.value().GetWeights());
+}
+
+TEST(MlpTest, ParameterCountIsCorrect) {
+  MlpConfig config;
+  config.layer_sizes = {4, 8, 2};
+  auto model = Mlp::Create(config);
+  ASSERT_TRUE(model.ok());
+  // (4*8 + 8) + (8*2 + 2) = 40 + 18
+  EXPECT_EQ(model.value().ParameterCount(), 58u);
+  EXPECT_EQ(model.value().GetWeights().size(), 58u);
+}
+
+TEST(MlpTest, SetWeightsRoundTrips) {
+  MlpConfig config;
+  config.layer_sizes = {2, 4, 1};
+  auto model = Mlp::Create(config);
+  ASSERT_TRUE(model.ok());
+  std::vector<double> weights = model.value().GetWeights();
+  weights[0] = 123.0;
+  ASSERT_TRUE(model.value().SetWeights(weights).ok());
+  EXPECT_EQ(model.value().GetWeights()[0], 123.0);
+  weights.pop_back();
+  EXPECT_FALSE(model.value().SetWeights(weights).ok());
+}
+
+TEST(MlpTest, TrainRejectsBadData) {
+  MlpConfig config;
+  config.layer_sizes = {2, 4, 1};
+  auto model = Mlp::Create(config);
+  ASSERT_TRUE(model.ok());
+  EXPECT_FALSE(model.value().Train(Dataset{}).ok());
+  Dataset wrong_dim;
+  wrong_dim.Add({1.0, 2.0, 3.0}, 1.0);
+  EXPECT_FALSE(model.value().Train(wrong_dim).ok());
+}
+
+TEST(MlpTest, LossDecreasesDuringTraining) {
+  MlpConfig config;
+  config.layer_sizes = {2, 8, 1};
+  config.epochs = 15;
+  auto model = Mlp::Create(config);
+  ASSERT_TRUE(model.ok());
+  const Dataset data = MakeLinearDataset(500, 5);
+  auto report = model.value().Train(data);
+  ASSERT_TRUE(report.ok());
+  ASSERT_EQ(report.value().epoch_losses.size(), 15u);
+  EXPECT_LT(report.value().final_loss, report.value().epoch_losses.front() * 0.8);
+}
+
+TEST(MlpTest, LearnsLinearlySeparableData) {
+  MlpConfig config;
+  config.layer_sizes = {2, 8, 1};
+  config.epochs = 20;
+  auto model = Mlp::Create(config);
+  ASSERT_TRUE(model.ok());
+  ASSERT_TRUE(model.value().Train(MakeLinearDataset(1000, 7)).ok());
+  EXPECT_GT(BinaryAccuracy(model.value(), MakeLinearDataset(500, 8)), 0.93);
+}
+
+TEST(MlpTest, LearnsXorWhereLinearCannot) {
+  MlpConfig config;
+  config.layer_sizes = {2, 16, 16, 1};
+  config.epochs = 60;
+  config.learning_rate = 0.1;
+  auto model = Mlp::Create(config);
+  ASSERT_TRUE(model.ok());
+  ASSERT_TRUE(model.value().Train(MakeXorDataset(2000, 9)).ok());
+  EXPECT_GT(BinaryAccuracy(model.value(), MakeXorDataset(500, 10)), 0.9);
+
+  // Logistic regression on the same data stays near chance.
+  LogisticConfig logistic_config;
+  logistic_config.feature_dim = 2;
+  logistic_config.epochs = 60;
+  auto logistic = LogisticRegression::Create(logistic_config);
+  ASSERT_TRUE(logistic.ok());
+  ASSERT_TRUE(logistic.value().Train(MakeXorDataset(2000, 9)).ok());
+  ConfusionMatrix matrix;
+  const Dataset test = MakeXorDataset(500, 10);
+  for (size_t i = 0; i < test.size(); ++i) {
+    matrix.Add(logistic.value().PredictBinary(test.features[i]), test.labels[i] >= 0.5);
+  }
+  EXPECT_LT(matrix.accuracy(), 0.7);
+}
+
+TEST(MlpTest, EvaluateMatchesLossScale) {
+  MlpConfig config;
+  config.layer_sizes = {2, 8, 1};
+  config.epochs = 20;
+  auto model = Mlp::Create(config);
+  ASSERT_TRUE(model.ok());
+  const Dataset data = MakeLinearDataset(500, 11);
+  const double before = model.value().Evaluate(data);
+  ASSERT_TRUE(model.value().Train(data).ok());
+  const double after = model.value().Evaluate(data);
+  EXPECT_LT(after, before);
+}
+
+TEST(MlpTest, RegressionWithMseLoss) {
+  MlpConfig config;
+  config.layer_sizes = {1, 16, 1};
+  config.output_activation = Activation::kIdentity;
+  config.loss = LossKind::kMse;
+  config.epochs = 200;
+  config.learning_rate = 0.02;
+  auto model = Mlp::Create(config);
+  ASSERT_TRUE(model.ok());
+  // Fit y = 2x - 1 on [0, 1].
+  Dataset data;
+  Rng rng(13);
+  for (int i = 0; i < 400; ++i) {
+    const double x = rng.NextDouble();
+    data.Add({x}, 2.0 * x - 1.0);
+  }
+  ASSERT_TRUE(model.value().Train(data).ok());
+  EXPECT_NEAR(model.value().PredictScalar({0.5}), 0.0, 0.15);
+  EXPECT_NEAR(model.value().PredictScalar({1.0}), 1.0, 0.2);
+}
+
+TEST(MlpTest, ContinuedTrainingRefinesModel) {
+  MlpConfig config;
+  config.layer_sizes = {2, 8, 1};
+  config.epochs = 5;
+  auto model = Mlp::Create(config);
+  ASSERT_TRUE(model.ok());
+  const Dataset data = MakeLinearDataset(500, 15);
+  ASSERT_TRUE(model.value().Train(data).ok());
+  const std::vector<double> after_first = model.value().GetWeights();
+  ASSERT_TRUE(model.value().Train(data).ok());  // retraining continues
+  EXPECT_NE(model.value().GetWeights(), after_first);
+}
+
+// --- LogisticRegression ---
+
+TEST(LogisticTest, CreateValidates) {
+  EXPECT_FALSE(LogisticRegression::Create(LogisticConfig{.feature_dim = 0}).ok());
+  EXPECT_TRUE(LogisticRegression::Create(LogisticConfig{.feature_dim = 3}).ok());
+}
+
+TEST(LogisticTest, LearnsLinearData) {
+  LogisticConfig config;
+  config.feature_dim = 2;
+  config.epochs = 30;
+  auto model = LogisticRegression::Create(config);
+  ASSERT_TRUE(model.ok());
+  ASSERT_TRUE(model.value().Train(MakeLinearDataset(1000, 17)).ok());
+  ConfusionMatrix matrix;
+  const Dataset test = MakeLinearDataset(500, 18);
+  for (size_t i = 0; i < test.size(); ++i) {
+    matrix.Add(model.value().PredictBinary(test.features[i]), test.labels[i] >= 0.5);
+  }
+  EXPECT_GT(matrix.accuracy(), 0.95);
+}
+
+// --- Metrics ---
+
+TEST(ConfusionMatrixTest, CountsAndDerivedMetrics) {
+  ConfusionMatrix matrix;
+  matrix.Add(true, true);    // tp
+  matrix.Add(true, true);    // tp
+  matrix.Add(true, false);   // fp
+  matrix.Add(false, true);   // fn
+  matrix.Add(false, false);  // tn
+  EXPECT_EQ(matrix.true_positive, 2u);
+  EXPECT_EQ(matrix.false_positive, 1u);
+  EXPECT_EQ(matrix.false_negative, 1u);
+  EXPECT_EQ(matrix.true_negative, 1u);
+  EXPECT_DOUBLE_EQ(matrix.accuracy(), 0.6);
+  EXPECT_DOUBLE_EQ(matrix.precision(), 2.0 / 3.0);
+  EXPECT_DOUBLE_EQ(matrix.recall(), 2.0 / 3.0);
+  EXPECT_DOUBLE_EQ(matrix.f1(), 2.0 / 3.0);
+  EXPECT_DOUBLE_EQ(matrix.miss_rate(), 0.2);
+}
+
+TEST(ConfusionMatrixTest, EmptyAndDegenerateCases) {
+  ConfusionMatrix matrix;
+  EXPECT_EQ(matrix.accuracy(), 0.0);
+  EXPECT_EQ(matrix.precision(), 0.0);
+  EXPECT_EQ(matrix.recall(), 0.0);
+  EXPECT_EQ(matrix.f1(), 0.0);
+  matrix.Add(false, false);
+  EXPECT_EQ(matrix.precision(), 0.0);  // no positive predictions
+  EXPECT_DOUBLE_EQ(matrix.accuracy(), 1.0);
+}
+
+TEST(MetricsTest, ErrorMeasures) {
+  EXPECT_DOUBLE_EQ(MeanAbsoluteError({1, 2, 3}, {2, 2, 5}), 1.0);
+  EXPECT_DOUBLE_EQ(RootMeanSquaredError({0, 0}, {3, 4}), std::sqrt(12.5));
+  EXPECT_EQ(MeanAbsoluteError({}, {}), 0.0);
+}
+
+}  // namespace
+}  // namespace osguard

@@ -1,0 +1,298 @@
+// Parser tests: grammar coverage, precedence, structure, and diagnostics.
+
+#include <gtest/gtest.h>
+
+#include "src/dsl/parser.h"
+
+namespace osguard {
+namespace {
+
+SpecFile Parse(const std::string& source) {
+  auto spec = ParseSpecSource(source);
+  EXPECT_TRUE(spec.ok()) << spec.status().ToString();
+  return spec.ok() ? std::move(spec).value() : SpecFile{};
+}
+
+Status ParseFailure(const std::string& source) {
+  auto spec = ParseSpecSource(source);
+  EXPECT_FALSE(spec.ok()) << "expected parse failure";
+  return spec.ok() ? OkStatus() : spec.status();
+}
+
+std::string ExprString(const std::string& source) {
+  auto expr = ParseExprSource(source);
+  EXPECT_TRUE(expr.ok()) << expr.status().ToString();
+  return expr.ok() ? expr.value()->ToString() : "<error>";
+}
+
+TEST(ParserTest, MinimalGuardrail) {
+  const SpecFile spec = Parse(R"(
+    guardrail g {
+      trigger: { TIMER(0, 1s) },
+      rule: { true },
+      action: { REPORT() }
+    }
+  )");
+  ASSERT_EQ(spec.guardrails.size(), 1u);
+  const GuardrailDecl& decl = spec.guardrails[0];
+  EXPECT_EQ(decl.name, "g");
+  EXPECT_EQ(decl.triggers.size(), 1u);
+  EXPECT_EQ(decl.rules.size(), 1u);
+  EXPECT_EQ(decl.actions.size(), 1u);
+  EXPECT_TRUE(decl.satisfy_actions.empty());
+}
+
+TEST(ParserTest, DashedNamesIncludingKeywords) {
+  const SpecFile spec = Parse(R"(
+    guardrail low-false-submit {
+      trigger: { TIMER(0, 1s) }, rule: { true }, action: { REPORT() }
+    }
+  )");
+  EXPECT_EQ(spec.guardrails[0].name, "low-false-submit");
+}
+
+TEST(ParserTest, MultipleGuardrailsInOneFile) {
+  const SpecFile spec = Parse(R"(
+    guardrail a { trigger: { TIMER(0, 1s) }, rule: { true }, action: { REPORT() } }
+    guardrail b { trigger: { TIMER(0, 2s) }, rule: { false }, action: { REPORT() } }
+  )");
+  ASSERT_EQ(spec.guardrails.size(), 2u);
+  EXPECT_EQ(spec.guardrails[0].name, "a");
+  EXPECT_EQ(spec.guardrails[1].name, "b");
+}
+
+TEST(ParserTest, SectionsInAnyOrder) {
+  const SpecFile spec = Parse(R"(
+    guardrail g {
+      action: { REPORT() },
+      rule: { true },
+      trigger: { TIMER(0, 1s) }
+    }
+  )");
+  EXPECT_EQ(spec.guardrails[0].triggers.size(), 1u);
+}
+
+TEST(ParserTest, TimerTriggerTwoOrThreeArgs) {
+  const SpecFile spec = Parse(R"(
+    guardrail g {
+      trigger: { TIMER(0, 1s), TIMER(1s, 2s, 10s) },
+      rule: { true }, action: { REPORT() }
+    }
+  )");
+  ASSERT_EQ(spec.guardrails[0].triggers.size(), 2u);
+  EXPECT_EQ(spec.guardrails[0].triggers[0].kind, TriggerKind::kTimer);
+  EXPECT_EQ(spec.guardrails[0].triggers[0].args.size(), 2u);
+  EXPECT_EQ(spec.guardrails[0].triggers[1].args.size(), 3u);
+}
+
+TEST(ParserTest, FunctionTrigger) {
+  const SpecFile spec = Parse(R"(
+    guardrail g {
+      trigger: { FUNCTION(submit_io) },
+      rule: { true }, action: { REPORT() }
+    }
+  )");
+  EXPECT_EQ(spec.guardrails[0].triggers[0].kind, TriggerKind::kFunction);
+  EXPECT_EQ(spec.guardrails[0].triggers[0].function_name, "submit_io");
+}
+
+TEST(ParserTest, MultipleRulesAndActions) {
+  const SpecFile spec = Parse(R"(
+    guardrail g {
+      trigger: { TIMER(0, 1s) },
+      rule: { a <= 1, b >= 2 },
+      action: { REPORT(); SAVE(x, 1); RETRAIN(m) }
+    }
+  )");
+  EXPECT_EQ(spec.guardrails[0].rules.size(), 2u);
+  EXPECT_EQ(spec.guardrails[0].actions.size(), 3u);
+}
+
+TEST(ParserTest, OnSatisfySection) {
+  const SpecFile spec = Parse(R"(
+    guardrail g {
+      trigger: { TIMER(0, 1s) },
+      rule: { true },
+      action: { SAVE(off, true) },
+      on_satisfy: { SAVE(off, false) }
+    }
+  )");
+  EXPECT_EQ(spec.guardrails[0].satisfy_actions.size(), 1u);
+}
+
+TEST(ParserTest, MetaSection) {
+  const SpecFile spec = Parse(R"(
+    guardrail g {
+      trigger: { TIMER(0, 1s) },
+      rule: { true },
+      action: { REPORT() },
+      meta: { severity = critical, cooldown = 5s, hysteresis = 3, enabled = true,
+              description = "demo" }
+    }
+  )");
+  const auto& meta = spec.guardrails[0].meta;
+  ASSERT_EQ(meta.size(), 5u);
+  EXPECT_EQ(meta[0].key, "severity");
+  EXPECT_EQ(meta[0].value.AsString().value(), "critical");
+  EXPECT_EQ(meta[1].value.AsInt().value(), Seconds(5));
+  EXPECT_EQ(meta[4].value.AsString().value(), "demo");
+}
+
+TEST(ParserTest, PrecedenceMulOverAdd) {
+  EXPECT_EQ(ExprString("1 + 2 * 3"), "(1 + (2 * 3))");
+  EXPECT_EQ(ExprString("(1 + 2) * 3"), "((1 + 2) * 3)");
+}
+
+TEST(ParserTest, PrecedenceComparisonOverLogical) {
+  EXPECT_EQ(ExprString("a < 1 && b > 2"), "((a < 1) && (b > 2))");
+}
+
+TEST(ParserTest, PrecedenceAndOverOr) {
+  EXPECT_EQ(ExprString("a || b && c"), "(a || (b && c))");
+}
+
+TEST(ParserTest, UnaryBindsTightly) {
+  EXPECT_EQ(ExprString("-a + b"), "(-a + b)");
+  EXPECT_EQ(ExprString("!a && b"), "(!a && b)");
+  EXPECT_EQ(ExprString("--3"), "--3");  // double negation parses
+}
+
+TEST(ParserTest, ArithmeticLeftAssociative) {
+  EXPECT_EQ(ExprString("10 - 4 - 3"), "((10 - 4) - 3)");
+  EXPECT_EQ(ExprString("100 / 10 / 2"), "((100 / 10) / 2)");
+}
+
+TEST(ParserTest, CallsWithArguments) {
+  EXPECT_EQ(ExprString("MEAN(lat, 10s)"), "MEAN(lat, 10000000000)");
+  EXPECT_EQ(ExprString("LOAD(x)"), "LOAD(x)");
+  EXPECT_EQ(ExprString("NOW()"), "NOW()");
+}
+
+TEST(ParserTest, QuantileSugarRewrites) {
+  EXPECT_EQ(ExprString("P99(lat, 1s)"), "QUANTILE(lat, 0.99, 1000000000)");
+  EXPECT_EQ(ExprString("P50(lat, 1s)"), "QUANTILE(lat, 0.5, 1000000000)");
+}
+
+TEST(ParserTest, BraceListsAsArguments) {
+  EXPECT_EQ(ExprString("DEPRIORITIZE({a, b}, {1, 2})"), "DEPRIORITIZE({a, b}, {1, 2})");
+}
+
+TEST(ParserTest, ChainedComparisonRejected) {
+  auto expr = ParseExprSource("1 < 2 < 3");
+  ASSERT_FALSE(expr.ok());
+  EXPECT_NE(expr.status().message().find("chained"), std::string::npos);
+}
+
+TEST(ParserTest, MissingTriggerSectionFails) {
+  const Status status = ParseFailure("guardrail g { rule: { true }, action: { REPORT() } }");
+  EXPECT_NE(status.message().find("trigger"), std::string::npos);
+}
+
+TEST(ParserTest, MissingRuleSectionFails) {
+  EXPECT_FALSE(
+      ParseSpecSource("guardrail g { trigger: { TIMER(0,1s) }, action: { REPORT() } }").ok());
+}
+
+TEST(ParserTest, MissingActionSectionFails) {
+  EXPECT_FALSE(
+      ParseSpecSource("guardrail g { trigger: { TIMER(0,1s) }, rule: { true } }").ok());
+}
+
+TEST(ParserTest, DuplicateSectionFails) {
+  const Status status = ParseFailure(R"(
+    guardrail g {
+      trigger: { TIMER(0, 1s) },
+      trigger: { TIMER(0, 2s) },
+      rule: { true }, action: { REPORT() }
+    }
+  )");
+  EXPECT_NE(status.message().find("duplicate"), std::string::npos);
+}
+
+TEST(ParserTest, EmptySpecFails) {
+  EXPECT_FALSE(ParseSpecSource("").ok());
+  EXPECT_FALSE(ParseSpecSource("   // just a comment\n").ok());
+}
+
+TEST(ParserTest, EmptyRuleBlockFails) {
+  EXPECT_FALSE(ParseSpecSource(R"(
+    guardrail g { trigger: { TIMER(0,1s) }, rule: { }, action: { REPORT() } }
+  )").ok());
+}
+
+TEST(ParserTest, EmptyActionBlockFails) {
+  EXPECT_FALSE(ParseSpecSource(R"(
+    guardrail g { trigger: { TIMER(0,1s) }, rule: { true }, action: { } }
+  )").ok());
+}
+
+TEST(ParserTest, TimerWrongArityFails) {
+  EXPECT_FALSE(ParseSpecSource(R"(
+    guardrail g { trigger: { TIMER(1s) }, rule: { true }, action: { REPORT() } }
+  )").ok());
+  EXPECT_FALSE(ParseSpecSource(R"(
+    guardrail g { trigger: { TIMER(1s,2s,3s,4s) }, rule: { true }, action: { REPORT() } }
+  )").ok());
+}
+
+TEST(ParserTest, UnknownTriggerKindFails) {
+  const Status status = ParseFailure(R"(
+    guardrail g { trigger: { INTERRUPT(x) }, rule: { true }, action: { REPORT() } }
+  )");
+  EXPECT_NE(status.message().find("INTERRUPT"), std::string::npos);
+}
+
+TEST(ParserTest, NonCallActionStatementFails) {
+  EXPECT_FALSE(ParseSpecSource(R"(
+    guardrail g { trigger: { TIMER(0,1s) }, rule: { true }, action: { 42 } }
+  )").ok());
+}
+
+TEST(ParserTest, ErrorsIncludeLineNumbers) {
+  const Status status = ParseFailure("guardrail g {\n  bogus: { }\n}");
+  EXPECT_NE(status.message().find("line 2"), std::string::npos);
+}
+
+TEST(ParserTest, TrailingInputAfterExpressionFails) {
+  EXPECT_FALSE(ParseExprSource("1 + 2 extra").ok());
+}
+
+TEST(ParserTest, CommentsEverywhere) {
+  const SpecFile spec = Parse(R"(
+    // leading comment
+    guardrail g { /* inline */
+      trigger: { TIMER(0, 1s) /* after */ },
+      rule: { true },  // trailing
+      action: { REPORT() }
+    }
+  )");
+  EXPECT_EQ(spec.guardrails.size(), 1u);
+}
+
+TEST(ParserTest, ListingOneGrammarShapesParse) {
+  // Every production of Listing 1: multiple triggers, multiple rules,
+  // all four paper actions.
+  const SpecFile spec = Parse(R"(
+    guardrail full {
+      trigger: { TIMER(0, 1s), FUNCTION(pick_next) },
+      rule: { LOAD(err_rate) <= 0.1, MEAN(lat, 5s) <= 2ms },
+      action: {
+        REPORT("violated", err_rate);
+        REPLACE(learned_policy, fallback_policy);
+        RETRAIN(learned_policy, recent_data);
+        DEPRIORITIZE({batch, scan}, {0.5, 0.1});
+      }
+    }
+  )");
+  const GuardrailDecl& decl = spec.guardrails[0];
+  EXPECT_EQ(decl.triggers.size(), 2u);
+  EXPECT_EQ(decl.rules.size(), 2u);
+  ASSERT_EQ(decl.actions.size(), 4u);
+  EXPECT_EQ(decl.actions[0]->name, "REPORT");
+  EXPECT_EQ(decl.actions[1]->name, "REPLACE");
+  EXPECT_EQ(decl.actions[2]->name, "RETRAIN");
+  EXPECT_EQ(decl.actions[3]->name, "DEPRIORITIZE");
+}
+
+}  // namespace
+}  // namespace osguard

@@ -1,0 +1,324 @@
+// Property-library tests: every P1-P6 spec builder must produce compilable
+// DSL that detects its violation class, and the drift detector must score
+// distribution shifts.
+
+#include <gtest/gtest.h>
+
+#include "src/properties/drift.h"
+#include "src/properties/specs.h"
+#include "src/runtime/engine.h"
+#include "src/support/logging.h"
+#include "src/support/rng.h"
+#include "src/vm/compiler.h"
+
+namespace osguard {
+namespace {
+
+class PropertySpecTest : public ::testing::Test {
+ protected:
+  PropertySpecTest() : engine_(&store_, &registry_) {
+    Logger::Global().set_level(LogLevel::kOff);
+  }
+
+  void LoadSpec(const std::string& source) {
+    auto status = engine_.LoadSource(source);
+    ASSERT_TRUE(status.ok()) << status.ToString() << "\nsource:\n" << source;
+  }
+
+  uint64_t Violations(const std::string& name) {
+    return engine_.StatsFor(name).value().violations;
+  }
+
+  FeatureStore store_;
+  PolicyRegistry registry_;
+  Engine engine_;
+};
+
+// Shared minimal action for the generated specs.
+constexpr char kFlagAction[] = "SAVE(flag, true)";
+
+TEST_F(PropertySpecTest, AllBuildersProduceCompilableSpecs) {
+  PropertySpecOptions options;
+  for (const std::string& source : {
+           InDistributionSpec("p1", "drift_score", 0.2, kFlagAction, options),
+           RobustnessSpec("p2", "in_series", "out_series", 2.0, kFlagAction, options),
+           OutputBoundsSpec("p3", "decision", "lo", "hi", kFlagAction, options),
+           OutputBoundsConstSpec("p3c", "decision", 0, 100, kFlagAction, options),
+           DecisionQualitySpec("p4", "learned_metric", "baseline_metric", 0.9, kFlagAction,
+                               options),
+           DecisionQualityAbsoluteSpec("p4a", "accuracy", 0.9, kFlagAction, options),
+           DecisionOverheadSpec("p5", "infer_cost", "total_latency", 0.1, kFlagAction,
+                                options),
+           LivenessSpec("p6", "starved_ms", 100.0, kFlagAction, options),
+       }) {
+    auto compiled = CompileSource(source);
+    EXPECT_TRUE(compiled.ok()) << compiled.status().ToString() << "\n" << source;
+  }
+}
+
+TEST_F(PropertySpecTest, InDistributionDetectsHighDriftScore) {
+  LoadSpec(InDistributionSpec("p1", "drift", 0.2, kFlagAction));
+  store_.Save("drift", Value(0.05));
+  engine_.AdvanceTo(Seconds(1));
+  EXPECT_EQ(Violations("p1"), 0u);
+  store_.Save("drift", Value(0.5));
+  engine_.AdvanceTo(Seconds(2));
+  EXPECT_EQ(Violations("p1"), 1u);
+  EXPECT_TRUE(store_.Contains("flag"));
+}
+
+TEST_F(PropertySpecTest, InDistributionSatisfiedWithNoScoreYet) {
+  LoadSpec(InDistributionSpec("p1", "drift", 0.2, kFlagAction));
+  engine_.AdvanceTo(Seconds(1));  // LOAD_OR default 0 <= 0.2
+  EXPECT_EQ(Violations("p1"), 0u);
+}
+
+TEST_F(PropertySpecTest, RobustnessDetectsOutputSensitivity) {
+  PropertySpecOptions options;
+  options.window = Seconds(10);
+  LoadSpec(RobustnessSpec("p2", "model_in", "model_out", 2.0, kFlagAction, options));
+  // Calm inputs, calm outputs: fine.
+  for (int i = 0; i < 20; ++i) {
+    store_.Observe("model_in", Milliseconds(i * 10), 1.0 + 0.01 * (i % 2));
+    store_.Observe("model_out", Milliseconds(i * 10), 0.5 + 0.01 * (i % 2));
+  }
+  engine_.AdvanceTo(Seconds(1));
+  EXPECT_EQ(Violations("p2"), 0u);
+  // Calm inputs, wild outputs: sensitivity violation.
+  for (int i = 0; i < 20; ++i) {
+    store_.Observe("model_in", Seconds(1) + Milliseconds(i * 10), 1.0 + 0.01 * (i % 2));
+    store_.Observe("model_out", Seconds(1) + Milliseconds(i * 10), i % 2 == 0 ? 10.0 : -10.0);
+  }
+  engine_.AdvanceTo(Seconds(2));
+  EXPECT_EQ(Violations("p2"), 1u);
+}
+
+TEST_F(PropertySpecTest, OutputBoundsDetectsIllegalOutput) {
+  LoadSpec(OutputBoundsSpec("p3", "ra.last_decision", "ra.min", "ra.max", kFlagAction));
+  store_.Save("ra.min", Value(0));
+  store_.Save("ra.max", Value(64));
+  store_.Save("ra.last_decision", Value(32));
+  engine_.AdvanceTo(Seconds(1));
+  EXPECT_EQ(Violations("p3"), 0u);
+  store_.Save("ra.last_decision", Value(100000));
+  engine_.AdvanceTo(Seconds(2));
+  EXPECT_EQ(Violations("p3"), 1u);
+  store_.Save("ra.last_decision", Value(-3));
+  engine_.AdvanceTo(Seconds(3));
+  EXPECT_EQ(Violations("p3"), 2u);
+}
+
+TEST_F(PropertySpecTest, BoundsFollowRuntimeKeys) {
+  // The legal range is itself dynamic — shrinking it can flip the verdict.
+  LoadSpec(OutputBoundsSpec("p3", "out", "lo", "hi", kFlagAction));
+  store_.Save("lo", Value(0));
+  store_.Save("hi", Value(100));
+  store_.Save("out", Value(80));
+  engine_.AdvanceTo(Seconds(1));
+  EXPECT_EQ(Violations("p3"), 0u);
+  store_.Save("hi", Value(50));  // bound tightened at run time
+  engine_.AdvanceTo(Seconds(2));
+  EXPECT_EQ(Violations("p3"), 1u);
+}
+
+TEST_F(PropertySpecTest, DecisionQualityComparesAgainstBaseline) {
+  PropertySpecOptions options;
+  options.window = Seconds(60);
+  LoadSpec(DecisionQualitySpec("p4", "learned_hit", "baseline_hit", 1.0, kFlagAction,
+                               options));
+  for (int i = 1; i <= 10; ++i) {
+    store_.Observe("learned_hit", Milliseconds(i * 50), 0.9);
+    store_.Observe("baseline_hit", Milliseconds(i * 50), 0.6);
+  }
+  engine_.AdvanceTo(Seconds(1));
+  EXPECT_EQ(Violations("p4"), 0u);  // learned better than baseline
+  for (int i = 1; i <= 50; ++i) {
+    store_.Observe("learned_hit", Seconds(1) + Milliseconds(i * 10), 0.2);
+  }
+  engine_.AdvanceTo(Seconds(2));
+  EXPECT_EQ(Violations("p4"), 1u);  // learned collapsed below baseline
+}
+
+TEST_F(PropertySpecTest, DecisionQualityAbsoluteThreshold) {
+  LoadSpec(DecisionQualityAbsoluteSpec("p4a", "accuracy", 0.9, kFlagAction));
+  for (int i = 1; i <= 10; ++i) {
+    store_.Observe("accuracy", Milliseconds(i * 50), i <= 9 ? 1.0 : 0.0);  // mean 0.9
+  }
+  engine_.AdvanceTo(Seconds(1));
+  EXPECT_EQ(Violations("p4a"), 0u);
+  for (int i = 1; i <= 30; ++i) {
+    store_.Observe("accuracy", Seconds(1) + Milliseconds(i * 10), 0.0);
+  }
+  engine_.AdvanceTo(Seconds(2));
+  EXPECT_EQ(Violations("p4a"), 1u);
+}
+
+TEST_F(PropertySpecTest, DecisionOverheadBoundsInferenceShare) {
+  PropertySpecOptions options;
+  options.window = Seconds(60);
+  LoadSpec(DecisionOverheadSpec("p5", "infer_us", "latency_us", 0.10, kFlagAction, options));
+  for (int i = 1; i <= 10; ++i) {
+    store_.Observe("infer_us", Milliseconds(i * 50), 5.0);
+    store_.Observe("latency_us", Milliseconds(i * 50), 100.0);
+  }
+  engine_.AdvanceTo(Seconds(1));
+  EXPECT_EQ(Violations("p5"), 0u);  // 5%
+  for (int i = 1; i <= 100; ++i) {
+    store_.Observe("infer_us", Seconds(1) + Milliseconds(i * 5), 50.0);
+  }
+  engine_.AdvanceTo(Seconds(2));
+  EXPECT_EQ(Violations("p5"), 1u);  // inference now dominates
+}
+
+TEST_F(PropertySpecTest, LivenessDetectsStarvation) {
+  LoadSpec(LivenessSpec("p6", "sched.starved_ms", 100.0, kFlagAction));
+  store_.Observe("sched.starved_ms", Milliseconds(500), 20.0);
+  engine_.AdvanceTo(Seconds(1));
+  EXPECT_EQ(Violations("p6"), 0u);
+  store_.Observe("sched.starved_ms", Milliseconds(1500), 250.0);
+  engine_.AdvanceTo(Seconds(2));
+  EXPECT_EQ(Violations("p6"), 1u);
+}
+
+TEST_F(PropertySpecTest, OptionsControlMetaAndTrigger) {
+  PropertySpecOptions options;
+  options.check_interval = Milliseconds(100);
+  options.check_start = Milliseconds(100);
+  options.hysteresis = 3;
+  options.cooldown = Seconds(2);
+  options.severity = "critical";
+  const std::string source = InDistributionSpec("p1", "drift", 0.2, kFlagAction, options);
+  auto compiled = CompileSource(source);
+  ASSERT_TRUE(compiled.ok()) << compiled.status().ToString();
+  const CompiledGuardrail& guardrail = compiled.value()[0];
+  EXPECT_EQ(guardrail.triggers[0].interval, Milliseconds(100));
+  EXPECT_EQ(guardrail.meta.hysteresis, 3);
+  EXPECT_EQ(guardrail.meta.cooldown, Seconds(2));
+  EXPECT_EQ(guardrail.meta.severity, Severity::kCritical);
+}
+
+// --- DriftDetector ---
+
+TEST(DriftDetectorTest, UnfittedScoresZero) {
+  DriftDetector detector;
+  detector.Observe(1.0);
+  EXPECT_EQ(detector.Score(), 0.0);
+  EXPECT_FALSE(detector.fitted());
+}
+
+TEST(DriftDetectorTest, FitRejectsEmpty) {
+  DriftDetector detector;
+  EXPECT_FALSE(detector.Fit({}).ok());
+}
+
+TEST(DriftDetectorTest, SameDistributionScoresLow) {
+  Rng rng(1);
+  std::vector<double> training;
+  for (int i = 0; i < 4000; ++i) {
+    training.push_back(rng.Normal(10, 2));
+  }
+  DriftDetector detector;
+  ASSERT_TRUE(detector.Fit(training).ok());
+  for (int i = 0; i < 512; ++i) {
+    detector.Observe(rng.Normal(10, 2));
+  }
+  EXPECT_LT(detector.Score(), 0.12);
+}
+
+TEST(DriftDetectorTest, ShiftedDistributionScoresHigh) {
+  Rng rng(2);
+  std::vector<double> training;
+  for (int i = 0; i < 4000; ++i) {
+    training.push_back(rng.Normal(10, 2));
+  }
+  DriftDetector detector;
+  ASSERT_TRUE(detector.Fit(training).ok());
+  for (int i = 0; i < 512; ++i) {
+    detector.Observe(rng.Normal(20, 2));
+  }
+  EXPECT_GT(detector.Score(), 0.8);
+}
+
+TEST(DriftDetectorTest, FingerprintSubsamplesLargeTrainingSets) {
+  Rng rng(3);
+  std::vector<double> training;
+  for (int i = 0; i < 100000; ++i) {
+    training.push_back(rng.Normal(0, 1));
+  }
+  DriftDetectorOptions options;
+  options.fingerprint_max = 1000;
+  DriftDetector detector(options);
+  ASSERT_TRUE(detector.Fit(training).ok());
+  for (int i = 0; i < 512; ++i) {
+    detector.Observe(rng.Normal(0, 1));
+  }
+  EXPECT_LT(detector.Score(), 0.15);  // subsampling keeps fidelity
+}
+
+TEST(DriftDetectorTest, PublishWritesScoreToStore) {
+  DriftDetector detector;
+  ASSERT_TRUE(detector.Fit({1, 2, 3, 4, 5}).ok());
+  detector.Observe(100.0);
+  FeatureStore store;
+  const double score = detector.Publish(store, "drift_score");
+  EXPECT_GT(score, 0.9);
+  EXPECT_DOUBLE_EQ(store.Load("drift_score").value().NumericOr(0), score);
+}
+
+TEST(MultiDriftDetectorTest, ScoresWorstDimension) {
+  Rng rng(4);
+  std::vector<std::vector<double>> rows;
+  for (int i = 0; i < 2000; ++i) {
+    rows.push_back({rng.Normal(0, 1), rng.Normal(5, 1)});
+  }
+  MultiDriftDetector detector(2);
+  ASSERT_TRUE(detector.Fit(rows).ok());
+  // Dimension 0 stays put; dimension 1 shifts.
+  for (int i = 0; i < 512; ++i) {
+    detector.Observe({rng.Normal(0, 1), rng.Normal(15, 1)});
+  }
+  EXPECT_GT(detector.Score(), 0.8);
+  EXPECT_LT(detector.dimension(0).Score(), 0.15);
+  EXPECT_GT(detector.dimension(1).Score(), 0.8);
+}
+
+TEST(MultiDriftDetectorTest, EndToEndWithInDistributionSpec) {
+  // The full P1 story: fit on training, observe drifted inputs, publish,
+  // guardrail fires RETRAIN.
+  Logger::Global().set_level(LogLevel::kOff);
+  FeatureStore store;
+  PolicyRegistry registry;
+  Engine engine(&store, &registry);
+  ASSERT_TRUE(engine
+                  .LoadSource(InDistributionSpec("input-drift", "model.drift", 0.3,
+                                                 "RETRAIN(the_model, recent)"))
+                  .ok());
+  Rng rng(5);
+  std::vector<std::vector<double>> training;
+  for (int i = 0; i < 2000; ++i) {
+    training.push_back({rng.Normal(0, 1)});
+  }
+  MultiDriftDetector detector(1);
+  ASSERT_TRUE(detector.Fit(training).ok());
+
+  // In distribution: no retrain.
+  for (int i = 0; i < 256; ++i) {
+    detector.Observe({rng.Normal(0, 1)});
+  }
+  detector.Publish(store, "model.drift");
+  engine.AdvanceTo(Seconds(1));
+  EXPECT_FALSE(engine.retrain_queue().Pop().has_value());
+
+  // Drift: retrain queued.
+  for (int i = 0; i < 512; ++i) {
+    detector.Observe({rng.Normal(8, 1)});
+  }
+  detector.Publish(store, "model.drift");
+  engine.AdvanceTo(Seconds(2));
+  auto request = engine.retrain_queue().Pop();
+  ASSERT_TRUE(request.has_value());
+  EXPECT_EQ(request->model, "the_model");
+}
+
+}  // namespace
+}  // namespace osguard

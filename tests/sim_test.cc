@@ -1,0 +1,582 @@
+// Simulator tests: event queue, kernel harness, SSD model, block layer
+// (reactive vs. predictive paths), scheduler, and readahead.
+
+#include <gtest/gtest.h>
+
+#include "src/sim/blk_layer.h"
+#include "src/sim/event_queue.h"
+#include "src/sim/kernel.h"
+#include "src/sim/readahead.h"
+#include "src/sim/scheduler.h"
+#include "src/sim/ssd_device.h"
+#include "src/support/logging.h"
+
+namespace osguard {
+namespace {
+
+// --- EventQueue ---
+
+TEST(EventQueueTest, RunsInTimestampOrder) {
+  EventQueue queue;
+  std::vector<int> order;
+  queue.ScheduleAt(Seconds(3), [&](SimTime) { order.push_back(3); });
+  queue.ScheduleAt(Seconds(1), [&](SimTime) { order.push_back(1); });
+  queue.ScheduleAt(Seconds(2), [&](SimTime) { order.push_back(2); });
+  EXPECT_EQ(queue.RunUntil(Seconds(10)), 3u);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(queue.now(), Seconds(10));
+}
+
+TEST(EventQueueTest, EqualTimesRunFifo) {
+  EventQueue queue;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    queue.ScheduleAt(Seconds(1), [&order, i](SimTime) { order.push_back(i); });
+  }
+  queue.RunAll();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventQueueTest, RunUntilStopsAtBoundary) {
+  EventQueue queue;
+  int ran = 0;
+  queue.ScheduleAt(Seconds(1), [&](SimTime) { ++ran; });
+  queue.ScheduleAt(Seconds(5), [&](SimTime) { ++ran; });
+  queue.RunUntil(Seconds(2));
+  EXPECT_EQ(ran, 1);
+  EXPECT_EQ(queue.size(), 1u);
+}
+
+TEST(EventQueueTest, EventsCanScheduleEvents) {
+  EventQueue queue;
+  int count = 0;
+  std::function<void(SimTime)> chain = [&](SimTime now) {
+    if (++count < 5) {
+      queue.ScheduleAt(now + Seconds(1), chain);
+    }
+  };
+  queue.ScheduleAt(0, chain);
+  queue.RunUntil(Seconds(10));
+  EXPECT_EQ(count, 5);
+}
+
+TEST(EventQueueTest, PastSchedulingClampsToNow) {
+  EventQueue queue;
+  queue.RunUntil(Seconds(5));
+  SimTime ran_at = -1;
+  queue.ScheduleAt(Seconds(1), [&](SimTime now) { ran_at = now; });
+  queue.RunUntil(Seconds(6));
+  EXPECT_EQ(ran_at, Seconds(5));
+}
+
+TEST(EventQueueTest, ClearDropsPending) {
+  EventQueue queue;
+  queue.ScheduleAt(Seconds(1), [](SimTime) { FAIL() << "should not run"; });
+  queue.Clear();
+  EXPECT_EQ(queue.RunUntil(Seconds(2)), 0u);
+}
+
+// --- Kernel ---
+
+TEST(KernelTest, RunInterleavesEventsAndMonitors) {
+  Logger::Global().set_level(LogLevel::kOff);
+  Kernel kernel;
+  ASSERT_TRUE(kernel.LoadGuardrails(R"(
+    guardrail watcher {
+      trigger: { TIMER(1s, 1s) },
+      rule: { LOAD_OR(events_run, 0) >= 1 },
+      action: { SAVE(violated_at, NOW()) }
+    }
+  )").ok());
+  // The event at 500ms sets events_run, so the 1s check must pass.
+  kernel.queue().ScheduleAt(Milliseconds(500),
+                            [&](SimTime) { kernel.store().Increment("events_run"); });
+  kernel.Run(Seconds(2));
+  EXPECT_FALSE(kernel.store().Contains("violated_at"));
+  EXPECT_EQ(kernel.engine().StatsFor("watcher").value().evaluations, 2u);
+}
+
+TEST(KernelTest, MonitorSeesStateAtItsTimestampNotAfter) {
+  Logger::Global().set_level(LogLevel::kOff);
+  Kernel kernel;
+  ASSERT_TRUE(kernel.LoadGuardrails(R"(
+    guardrail watcher {
+      trigger: { TIMER(1s, 10s) },
+      rule: { LOAD_OR(flag, 0) == 0 },
+      action: { SAVE(tripped, true) }
+    }
+  )").ok());
+  // Event at 1.5s is after the 1s check: the check must not see it.
+  kernel.queue().ScheduleAt(Milliseconds(1500),
+                            [&](SimTime) { kernel.store().Save("flag", Value(1)); });
+  kernel.Run(Seconds(2));
+  EXPECT_FALSE(kernel.store().Contains("tripped"));
+}
+
+TEST(KernelTest, CalloutFiresFunctionMonitors) {
+  Logger::Global().set_level(LogLevel::kOff);
+  Kernel kernel;
+  ASSERT_TRUE(kernel.LoadGuardrails(R"(
+    guardrail hook {
+      trigger: { FUNCTION(my_fn) },
+      rule: { false },
+      action: { INCR(hits) }
+    }
+  )").ok());
+  kernel.Callout("my_fn");
+  kernel.Callout("my_fn");
+  EXPECT_EQ(kernel.store().LoadOr("hits", Value(0)).NumericOr(0), 2.0);
+}
+
+// --- SsdDevice ---
+
+SsdConfig QuietSsd(uint64_t seed) {
+  SsdConfig config;
+  config.seed = seed;
+  config.gc_per_write = 0.0;
+  config.gc_per_read = 0.0;
+  return config;
+}
+
+TEST(SsdDeviceTest, ReadLatencyWithinConfiguredBand) {
+  SsdDevice device("d", QuietSsd(1));
+  for (int i = 0; i < 100; ++i) {
+    // Idle device (spread in time): latency = base + jitter only.
+    const IoResult result = device.Submit(Seconds(i), static_cast<uint64_t>(i), false);
+    EXPECT_GE(result.latency, device.config().read_base);
+    EXPECT_LT(result.latency, device.config().read_base + device.config().read_jitter);
+    EXPECT_EQ(result.queue_wait, 0);
+  }
+}
+
+TEST(SsdDeviceTest, WritesSlowerThanReads) {
+  SsdDevice device("d", QuietSsd(2));
+  Duration read_total = 0;
+  Duration write_total = 0;
+  for (int i = 0; i < 200; ++i) {
+    read_total += device.Submit(Seconds(i), 0, false).latency;
+    write_total += device.Submit(Seconds(i) + Milliseconds(500), 1, true).latency;
+  }
+  EXPECT_GT(write_total, read_total * 2);
+}
+
+TEST(SsdDeviceTest, BackToBackRequestsQueue) {
+  SsdDevice device("d", QuietSsd(3));
+  const IoResult first = device.Submit(0, 0, false);
+  const IoResult second = device.Submit(0, 0, false);  // same channel, same time
+  EXPECT_EQ(second.queue_wait, first.latency);
+  EXPECT_GT(second.latency, first.latency);
+}
+
+TEST(SsdDeviceTest, DifferentChannelsDoNotQueue) {
+  SsdDevice device("d", QuietSsd(4));
+  device.Submit(0, 0, false);
+  const IoResult other = device.Submit(0, 1, false);  // lba 1 -> channel 1
+  EXPECT_EQ(other.queue_wait, 0);
+}
+
+TEST(SsdDeviceTest, GcPausesCreateBimodality) {
+  SsdConfig config;
+  config.seed = 5;
+  config.gc_per_write = 1.0;  // every write triggers GC
+  SsdDevice device("d", config);
+  const IoResult write = device.Submit(0, 0, true);
+  EXPECT_TRUE(write.hit_gc);
+  EXPECT_GT(write.latency, config.write_base);
+  EXPECT_GT(device.gc_events(), 0u);
+}
+
+TEST(SsdDeviceTest, QueueDepthTracksInFlight) {
+  SsdDevice device("d", QuietSsd(6));
+  EXPECT_EQ(device.QueueDepth(0, 0), 0);
+  device.Submit(0, 0, false);
+  device.Submit(0, 0, false);
+  EXPECT_EQ(device.QueueDepth(0, 0), 2);
+  EXPECT_EQ(device.TotalQueueDepth(0), 2);
+  // After both complete, depth drains.
+  EXPECT_EQ(device.QueueDepth(Seconds(1), 0), 0);
+}
+
+TEST(SsdDeviceTest, HistogramAccumulates) {
+  SsdDevice device("d", QuietSsd(7));
+  for (int i = 0; i < 50; ++i) {
+    device.Submit(Seconds(i), static_cast<uint64_t>(i), false);
+  }
+  EXPECT_EQ(device.latency_histogram().count(), 50u);
+  EXPECT_EQ(device.total_ios(), 50u);
+}
+
+TEST(SsdDeviceTest, ScaleGcPressureClamps) {
+  SsdConfig config;
+  config.gc_per_write = 0.5;
+  SsdDevice device("d", config);
+  device.ScaleGcPressure(10.0);
+  EXPECT_EQ(device.config().gc_per_write, 1.0);
+}
+
+TEST(SsdDeviceTest, DeterministicPerSeed) {
+  SsdDevice a("a", QuietSsd(42));
+  SsdDevice b("b", QuietSsd(42));
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Submit(Seconds(i), static_cast<uint64_t>(i), i % 3 == 0).latency,
+              b.Submit(Seconds(i), static_cast<uint64_t>(i), i % 3 == 0).latency);
+  }
+}
+
+// --- BlockLayer ---
+
+class AlwaysSlowPolicy : public IoSubmitPolicy {
+ public:
+  std::string name() const override { return "always_slow"; }
+  bool is_learned() const override { return true; }
+  bool PredictSlow(const IoContext&) override { return true; }
+  Duration inference_cost() const override { return Microseconds(5); }
+};
+
+class NeverSlowLearnedPolicy : public IoSubmitPolicy {
+ public:
+  std::string name() const override { return "never_slow"; }
+  bool is_learned() const override { return true; }
+  bool PredictSlow(const IoContext&) override { return false; }
+  Duration inference_cost() const override { return Microseconds(5); }
+};
+
+class BlockLayerTest : public ::testing::Test {
+ protected:
+  BlockLayerTest() {
+    Logger::Global().set_level(LogLevel::kOff);
+    SsdConfig primary_config = QuietSsd(10);
+    SsdConfig replica_config = QuietSsd(11);
+    primary_ = std::make_unique<SsdDevice>("primary", primary_config);
+    replica_ = std::make_unique<SsdDevice>("replica", replica_config);
+  }
+
+  void MakeBlockLayer(BlockLayerConfig config = {}) {
+    blk_ = std::make_unique<BlockLayer>(kernel_, primary_.get(), replica_.get(), config);
+  }
+
+  Kernel kernel_;
+  std::unique_ptr<SsdDevice> primary_;
+  std::unique_ptr<SsdDevice> replica_;
+  std::unique_ptr<BlockLayer> blk_;
+};
+
+TEST_F(BlockLayerTest, NoPolicyFastIoGoesToPrimary) {
+  MakeBlockLayer();
+  const IoOutcome outcome = blk_->SubmitIo(0, false);
+  EXPECT_FALSE(outcome.used_model);
+  EXPECT_FALSE(outcome.redirected);
+  EXPECT_EQ(primary_->total_ios(), 1u);
+  EXPECT_EQ(replica_->total_ios(), 0u);
+}
+
+TEST_F(BlockLayerTest, ReactiveRevocationCapsSlowIo) {
+  // Force a guaranteed-slow primary: GC on every read with a long pause.
+  SsdConfig slow = QuietSsd(12);
+  slow.gc_per_read = 1.0;
+  slow.gc_pause_mean = Milliseconds(5);
+  primary_ = std::make_unique<SsdDevice>("primary", slow);
+  BlockLayerConfig config;
+  config.revoke_timeout = Microseconds(500);
+  MakeBlockLayer(config);
+
+  const IoOutcome outcome = blk_->SubmitIo(0, false);
+  EXPECT_TRUE(outcome.revoked);
+  EXPECT_TRUE(outcome.redirected);
+  // Latency is bounded by timeout + penalty + replica read, far below the
+  // multi-ms GC pause.
+  EXPECT_LT(outcome.latency, Milliseconds(1));
+}
+
+TEST_F(BlockLayerTest, PredictedSlowGoesStraightToReplica) {
+  MakeBlockLayer();
+  auto policy = std::make_shared<AlwaysSlowPolicy>();
+  ASSERT_TRUE(kernel_.registry().Register(policy).ok());
+  ASSERT_TRUE(kernel_.registry().BindSlot("blk.submit_predictor", "always_slow").ok());
+  const IoOutcome outcome = blk_->SubmitIo(0, false);
+  EXPECT_TRUE(outcome.used_model);
+  EXPECT_TRUE(outcome.predicted_slow);
+  EXPECT_TRUE(outcome.redirected);
+  EXPECT_FALSE(outcome.revoked);
+  EXPECT_EQ(replica_->total_ios(), 1u);
+  EXPECT_EQ(primary_->total_ios(), 0u);
+  EXPECT_EQ(blk_->stats().redirects, 1u);
+}
+
+TEST_F(BlockLayerTest, ModelVouchDisablesReactiveRevocation) {
+  // Slow primary + model that vouches "fast": the I/O pays the full pause.
+  SsdConfig slow = QuietSsd(13);
+  slow.gc_per_read = 1.0;
+  slow.gc_pause_mean = Milliseconds(50);
+  primary_ = std::make_unique<SsdDevice>("primary", slow);
+  MakeBlockLayer();
+  auto policy = std::make_shared<NeverSlowLearnedPolicy>();
+  ASSERT_TRUE(kernel_.registry().Register(policy).ok());
+  ASSERT_TRUE(kernel_.registry().BindSlot("blk.submit_predictor", "never_slow").ok());
+
+  const IoOutcome outcome = blk_->SubmitIo(0, false);
+  EXPECT_TRUE(outcome.false_submit);
+  EXPECT_FALSE(outcome.revoked);
+  EXPECT_GT(outcome.latency, Milliseconds(1));
+  EXPECT_EQ(blk_->stats().false_submits, 1u);
+}
+
+TEST_F(BlockLayerTest, FalseSubmitRateMaintainedInStore) {
+  SsdConfig slow = QuietSsd(14);
+  slow.gc_per_read = 1.0;
+  slow.gc_pause_mean = Milliseconds(500);
+  primary_ = std::make_unique<SsdDevice>("primary", slow);
+  MakeBlockLayer();
+  auto policy = std::make_shared<NeverSlowLearnedPolicy>();
+  ASSERT_TRUE(kernel_.registry().Register(policy).ok());
+  ASSERT_TRUE(kernel_.registry().BindSlot("blk.submit_predictor", "never_slow").ok());
+
+  for (int i = 0; i < 5; ++i) {
+    kernel_.queue().RunUntil(Seconds(i));  // spread I/Os so they don't queue
+    blk_->SubmitIo(static_cast<uint64_t>(i), false);
+  }
+  // Every predicted-fast I/O was slow -> rate 1.0.
+  EXPECT_DOUBLE_EQ(kernel_.store().LoadOr("false_submit_rate", Value(-1.0)).NumericOr(-1),
+                   1.0);
+}
+
+TEST_F(BlockLayerTest, MlEnabledKillSwitchBypassesModel) {
+  MakeBlockLayer();
+  auto policy = std::make_shared<AlwaysSlowPolicy>();
+  ASSERT_TRUE(kernel_.registry().Register(policy).ok());
+  ASSERT_TRUE(kernel_.registry().BindSlot("blk.submit_predictor", "always_slow").ok());
+  kernel_.store().Save("blk.ml_enabled", Value(false));
+  const IoOutcome outcome = blk_->SubmitIo(0, false);
+  EXPECT_FALSE(outcome.used_model);
+  EXPECT_FALSE(outcome.redirected);  // reverts to default primary path
+  EXPECT_EQ(primary_->total_ios(), 1u);
+}
+
+TEST_F(BlockLayerTest, InferenceCostAddedAndAccounted) {
+  MakeBlockLayer();
+  auto policy = std::make_shared<NeverSlowLearnedPolicy>();
+  ASSERT_TRUE(kernel_.registry().Register(policy).ok());
+  ASSERT_TRUE(kernel_.registry().BindSlot("blk.submit_predictor", "never_slow").ok());
+  blk_->SubmitIo(0, false);
+  EXPECT_EQ(blk_->stats().inference_ns_total, Microseconds(5));
+  EXPECT_GE(kernel_.store()
+                .Aggregate("blk.infer_cost_us", AggKind::kCount, Seconds(10), kernel_.now())
+                .value(),
+            1.0);
+}
+
+TEST_F(BlockLayerTest, LatencySeriesObserved) {
+  MakeBlockLayer();
+  blk_->SubmitIo(0, false);
+  blk_->SubmitIo(1, false);
+  EXPECT_EQ(kernel_.store()
+                .Aggregate("blk.io_latency_us", AggKind::kCount, Seconds(10), kernel_.now())
+                .value(),
+            2.0);
+}
+
+TEST_F(BlockLayerTest, FeatureVectorShape) {
+  MakeBlockLayer();
+  blk_->SubmitIo(0, false);
+  const IoContext context = blk_->MakeContext(5, true);
+  ASSERT_EQ(context.features.size(), kIoFeatureDim);
+  EXPECT_EQ(context.features[6], 1.0);              // write flag
+  EXPECT_GT(context.features[3], 0.0);              // newest latency history entry
+  EXPECT_EQ(context.features[0], 0.0);              // history not yet warm
+}
+
+// --- Scheduler ---
+
+class SchedulerTest : public ::testing::Test {
+ protected:
+  SchedulerTest() : scheduler_(kernel_) { Logger::Global().set_level(LogLevel::kOff); }
+
+  Kernel kernel_;
+  Scheduler scheduler_;
+};
+
+TEST_F(SchedulerTest, PicksAndRunsBursts) {
+  const TaskId a = scheduler_.AddTask("a");
+  ASSERT_TRUE(scheduler_.SubmitBurst(a, Milliseconds(10)).ok());
+  int picks = 0;
+  while (scheduler_.Tick() >= 0) {
+    kernel_.queue().RunUntil(kernel_.now() + Milliseconds(4));
+    ++picks;
+  }
+  EXPECT_EQ(picks, 3);  // 10ms in 4ms quanta
+  EXPECT_EQ(scheduler_.GetTask(a).value().total_cpu, Milliseconds(10));
+  EXPECT_EQ(scheduler_.GetTask(a).value().state, TaskState::kBlocked);
+}
+
+TEST_F(SchedulerTest, FairPolicySharesByWeight) {
+  const TaskId heavy = scheduler_.AddTask("heavy", 3.0);
+  const TaskId light = scheduler_.AddTask("light", 1.0);
+  ASSERT_TRUE(scheduler_.SubmitBurst(heavy, Seconds(10)).ok());
+  ASSERT_TRUE(scheduler_.SubmitBurst(light, Seconds(10)).ok());
+  auto policy = std::make_shared<FairPickPolicy>();
+  ASSERT_TRUE(kernel_.registry().Register(policy).ok());
+  ASSERT_TRUE(kernel_.registry().BindSlot("sched.pick_next", "sched_fair").ok());
+
+  for (int i = 0; i < 1000; ++i) {
+    scheduler_.Tick();
+    kernel_.queue().RunUntil(kernel_.now() + Milliseconds(4));
+  }
+  const Duration heavy_cpu = scheduler_.GetTask(heavy).value().total_cpu;
+  const Duration light_cpu = scheduler_.GetTask(light).value().total_cpu;
+  const double ratio = static_cast<double>(heavy_cpu) / static_cast<double>(light_cpu);
+  EXPECT_NEAR(ratio, 3.0, 0.25);
+}
+
+TEST_F(SchedulerTest, IdleTickReturnsMinusOne) {
+  EXPECT_EQ(scheduler_.Tick(), -1);
+  EXPECT_EQ(scheduler_.stats().idle_quanta, 1u);
+}
+
+TEST_F(SchedulerTest, WaitTimesObservedToStore) {
+  const TaskId a = scheduler_.AddTask("a");
+  ASSERT_TRUE(scheduler_.SubmitBurst(a, Milliseconds(4)).ok());
+  scheduler_.Tick();
+  EXPECT_GE(kernel_.store()
+                .Aggregate("sched.wait_ms", AggKind::kCount, Seconds(10), kernel_.now())
+                .value(),
+            1.0);
+}
+
+TEST_F(SchedulerTest, StarvationMetricTracksWaitingTask) {
+  const TaskId a = scheduler_.AddTask("a");
+  ASSERT_TRUE(scheduler_.SubmitBurst(a, Milliseconds(4)).ok());
+  kernel_.queue().RunUntil(Milliseconds(100));  // task waits 100ms
+  EXPECT_EQ(scheduler_.CurrentMaxStarvation(), Milliseconds(100));
+}
+
+TEST_F(SchedulerTest, DeprioritizeChangesWeight) {
+  scheduler_.AddTask("victim", 5.0);
+  ASSERT_TRUE(scheduler_.Deprioritize({"victim"}, {0.5}, 0).ok());
+  EXPECT_EQ(scheduler_.GetTaskByName("victim").value().weight, 0.5);
+}
+
+TEST_F(SchedulerTest, NegativePriorityKills) {
+  const TaskId victim = scheduler_.AddTask("victim");
+  ASSERT_TRUE(scheduler_.SubmitBurst(victim, Seconds(1)).ok());
+  ASSERT_TRUE(scheduler_.Deprioritize({"victim"}, {-1.0}, 0).ok());
+  EXPECT_EQ(scheduler_.GetTask(victim).value().state, TaskState::kDead);
+  EXPECT_EQ(scheduler_.stats().kills, 1u);
+  EXPECT_FALSE(scheduler_.SubmitBurst(victim, Seconds(1)).ok());
+  EXPECT_EQ(scheduler_.Tick(), -1);  // dead task is not runnable
+}
+
+TEST_F(SchedulerTest, DeprioritizeUnknownTaskFails) {
+  EXPECT_EQ(scheduler_.Deprioritize({"ghost"}, {1.0}, 0).code(), ErrorCode::kNotFound);
+}
+
+TEST_F(SchedulerTest, KernelTaskControlRoutesToScheduler) {
+  // Scheduler registered itself with the kernel; a DEPRIORITIZE guardrail
+  // action must reach it.
+  scheduler_.AddTask("bg", 2.0);
+  ASSERT_TRUE(kernel_.LoadGuardrails(R"(
+    guardrail squeeze {
+      trigger: { TIMER(1s, 1s) },
+      rule: { false },
+      action: { DEPRIORITIZE({bg}, {0.1}) }
+    }
+  )").ok());
+  kernel_.Run(Seconds(1));
+  EXPECT_EQ(scheduler_.GetTaskByName("bg").value().weight, 0.1);
+}
+
+// --- Readahead ---
+
+class ReadaheadTest : public ::testing::Test {
+ protected:
+  ReadaheadTest() { Logger::Global().set_level(LogLevel::kOff); }
+  Kernel kernel_;
+};
+
+TEST_F(ReadaheadTest, SequentialAccessBenefitsFromHeuristic) {
+  ReadaheadManager manager(kernel_, {});
+  auto policy = std::make_shared<FixedWindowReadahead>(8);
+  ASSERT_TRUE(kernel_.registry().Register(policy).ok());
+  ASSERT_TRUE(kernel_.registry().BindSlot("mem.readahead", policy->name()).ok());
+  for (uint64_t chunk = 0; chunk < 200; ++chunk) {
+    manager.Read(chunk);
+  }
+  // After warmup almost everything hits.
+  EXPECT_GT(manager.stats().hit_rate(), 0.8);
+}
+
+TEST_F(ReadaheadTest, NoPolicyMeansAllMisses) {
+  ReadaheadManager manager(kernel_, {});
+  for (uint64_t chunk = 0; chunk < 50; ++chunk) {
+    manager.Read(chunk);
+  }
+  EXPECT_EQ(manager.stats().hits, 0u);
+}
+
+TEST_F(ReadaheadTest, RereadIsAHit) {
+  ReadaheadManager manager(kernel_, {});
+  const Duration miss = manager.Read(7);
+  const Duration hit = manager.Read(7);
+  EXPECT_LT(hit, miss);
+  EXPECT_EQ(manager.stats().hits, 1u);
+}
+
+class OutOfBoundsReadahead : public ReadaheadPolicy {
+ public:
+  explicit OutOfBoundsReadahead(int64_t decision) : decision_(decision) {}
+  std::string name() const override { return "oob_readahead"; }
+  bool is_learned() const override { return true; }
+  int64_t PrefetchChunks(const ReadaheadContext&) override { return decision_; }
+
+ private:
+  int64_t decision_;
+};
+
+TEST_F(ReadaheadTest, IllegalDecisionClampedAndCounted) {
+  ReadaheadConfig config;
+  config.cache_capacity_chunks = 64;
+  ReadaheadManager manager(kernel_, config);
+  auto policy = std::make_shared<OutOfBoundsReadahead>(1000000);
+  ASSERT_TRUE(kernel_.registry().Register(policy).ok());
+  ASSERT_TRUE(kernel_.registry().BindSlot("mem.readahead", policy->name()).ok());
+  manager.Read(0);
+  EXPECT_EQ(manager.stats().illegal_decisions, 1u);
+  // Raw decision is visible to guardrails even though the kernel clamped.
+  EXPECT_EQ(kernel_.store().LoadOr("ra.last_decision", Value(0)).AsInt().value(), 1000000);
+  EXPECT_LE(manager.cached_chunks(), 65u);
+}
+
+TEST_F(ReadaheadTest, NegativeDecisionClamped) {
+  ReadaheadManager manager(kernel_, {});
+  auto policy = std::make_shared<OutOfBoundsReadahead>(-5);
+  ASSERT_TRUE(kernel_.registry().Register(policy).ok());
+  ASSERT_TRUE(kernel_.registry().BindSlot("mem.readahead", policy->name()).ok());
+  manager.Read(0);
+  EXPECT_EQ(manager.stats().illegal_decisions, 1u);
+  EXPECT_EQ(manager.stats().prefetched_chunks, 0u);
+}
+
+TEST_F(ReadaheadTest, CacheEvictionBoundsOccupancy) {
+  ReadaheadConfig config;
+  config.cache_capacity_chunks = 16;
+  ReadaheadManager manager(kernel_, config);
+  auto policy = std::make_shared<FixedWindowReadahead>(8);
+  ASSERT_TRUE(kernel_.registry().Register(policy).ok());
+  ASSERT_TRUE(kernel_.registry().BindSlot("mem.readahead", policy->name()).ok());
+  for (uint64_t chunk = 0; chunk < 500; ++chunk) {
+    manager.Read(chunk);
+  }
+  EXPECT_LE(manager.cached_chunks(), 17u);
+}
+
+TEST_F(ReadaheadTest, FeaturesReflectSequentiality) {
+  ReadaheadManager manager(kernel_, {});
+  for (uint64_t chunk = 10; chunk < 20; ++chunk) {
+    manager.Read(chunk);
+  }
+  const ReadaheadContext context = manager.MakeContext(20);
+  EXPECT_DOUBLE_EQ(context.features[1], 1.0);  // fully sequential
+  EXPECT_DOUBLE_EQ(context.features[3], 1.0);  // mean stride 1
+}
+
+}  // namespace
+}  // namespace osguard

@@ -1,0 +1,61 @@
+// Compiles every spec in the specs/ corpus — the same check CI would run
+// with `osguardc specs/*.osg` — and sanity-checks the corpus contents.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "src/vm/compiler.h"
+
+#ifndef OSGUARD_SPECS_DIR
+#define OSGUARD_SPECS_DIR "specs"
+#endif
+
+namespace osguard {
+namespace {
+
+std::vector<std::filesystem::path> SpecFiles() {
+  std::vector<std::filesystem::path> files;
+  for (const auto& entry : std::filesystem::directory_iterator(OSGUARD_SPECS_DIR)) {
+    if (entry.path().extension() == ".osg") {
+      files.push_back(entry.path());
+    }
+  }
+  std::sort(files.begin(), files.end());
+  return files;
+}
+
+std::string ReadFile(const std::filesystem::path& path) {
+  std::ifstream file(path);
+  std::ostringstream buffer;
+  buffer << file.rdbuf();
+  return buffer.str();
+}
+
+TEST(SpecCorpusTest, CorpusIsNonEmpty) { EXPECT_GE(SpecFiles().size(), 3u); }
+
+TEST(SpecCorpusTest, EveryShippedSpecCompilesAndVerifies) {
+  for (const auto& path : SpecFiles()) {
+    auto compiled = CompileSource(ReadFile(path));
+    EXPECT_TRUE(compiled.ok()) << path << ": " << compiled.status().ToString();
+    if (compiled.ok()) {
+      EXPECT_FALSE(compiled.value().empty()) << path;
+    }
+  }
+}
+
+TEST(SpecCorpusTest, Listing2SpecMatchesPaperShape) {
+  const auto path = std::filesystem::path(OSGUARD_SPECS_DIR) / "listing2.osg";
+  auto compiled = CompileSource(ReadFile(path));
+  ASSERT_TRUE(compiled.ok()) << compiled.status().ToString();
+  const CompiledGuardrail& guardrail = compiled.value()[0];
+  EXPECT_EQ(guardrail.name, "low-false-submit");
+  ASSERT_EQ(guardrail.triggers.size(), 1u);
+  EXPECT_EQ(guardrail.triggers[0].kind, TriggerKind::kTimer);
+  EXPECT_EQ(guardrail.triggers[0].interval, Seconds(1));
+}
+
+}  // namespace
+}  // namespace osguard

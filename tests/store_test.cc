@@ -1,0 +1,273 @@
+// Feature store tests: typed values, SAVE/LOAD semantics, windowed
+// aggregates, retention, and concurrency.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <thread>
+
+#include "src/store/feature_store.h"
+
+namespace osguard {
+namespace {
+
+// --- Value ---
+
+TEST(ValueTest, TypesAreTagged) {
+  EXPECT_EQ(Value().type(), ValueType::kNil);
+  EXPECT_EQ(Value(int64_t{5}).type(), ValueType::kInt);
+  EXPECT_EQ(Value(2.5).type(), ValueType::kFloat);
+  EXPECT_EQ(Value(true).type(), ValueType::kBool);
+  EXPECT_EQ(Value("hello").type(), ValueType::kString);
+  EXPECT_EQ(Value(std::vector<Value>{Value(1)}).type(), ValueType::kList);
+}
+
+TEST(ValueTest, NumericConversions) {
+  EXPECT_EQ(Value(5).AsInt().value(), 5);
+  EXPECT_EQ(Value(5).AsFloat().value(), 5.0);
+  EXPECT_EQ(Value(2.9).AsInt().value(), 2);  // truncates
+  EXPECT_FALSE(Value("text").AsInt().ok());
+  EXPECT_FALSE(Value().AsFloat().ok());
+}
+
+TEST(ValueTest, BoolConversions) {
+  EXPECT_TRUE(Value(true).AsBool().value());
+  EXPECT_TRUE(Value(1).AsBool().value());
+  EXPECT_FALSE(Value(0).AsBool().value());
+  EXPECT_TRUE(Value(0.5).AsBool().value());
+  EXPECT_FALSE(Value("x").AsBool().ok());
+}
+
+TEST(ValueTest, NumericOrFallsBack) {
+  EXPECT_EQ(Value(7).NumericOr(-1), 7.0);
+  EXPECT_EQ(Value(true).NumericOr(-1), 1.0);
+  EXPECT_EQ(Value("s").NumericOr(-1), -1.0);
+  EXPECT_EQ(Value().NumericOr(-1), -1.0);
+}
+
+TEST(ValueTest, ToStringRendersAllTypes) {
+  EXPECT_EQ(Value().ToString(), "nil");
+  EXPECT_EQ(Value(3).ToString(), "3");
+  EXPECT_EQ(Value(true).ToString(), "true");
+  EXPECT_EQ(Value("hi").ToString(), "\"hi\"");
+  EXPECT_EQ(Value(std::vector<Value>{Value(1), Value(2)}).ToString(), "{1, 2}");
+}
+
+TEST(ValueTest, EqualityIsDeep) {
+  EXPECT_EQ(Value(3), Value(3));
+  EXPECT_FALSE(Value(3) == Value(4));
+  EXPECT_FALSE(Value(3) == Value(3.0));  // type-sensitive
+  EXPECT_EQ(Value(std::vector<Value>{Value(1)}), Value(std::vector<Value>{Value(1)}));
+}
+
+TEST(ValueTest, ListAccess) {
+  Value list(std::vector<Value>{Value(1), Value("a")});
+  auto elements = list.AsList();
+  ASSERT_TRUE(elements.ok());
+  EXPECT_EQ(elements.value().size(), 2u);
+  EXPECT_FALSE(Value(3).AsList().ok());
+}
+
+// --- Scalar KV ---
+
+TEST(FeatureStoreTest, SaveLoadRoundTrip) {
+  FeatureStore store;
+  store.Save("k", Value(42));
+  EXPECT_EQ(store.Load("k").value().AsInt().value(), 42);
+}
+
+TEST(FeatureStoreTest, LoadMissingIsNotFound) {
+  FeatureStore store;
+  EXPECT_EQ(store.Load("nope").status().code(), ErrorCode::kNotFound);
+}
+
+TEST(FeatureStoreTest, SaveOverwrites) {
+  FeatureStore store;
+  store.Save("k", Value(1));
+  store.Save("k", Value("now a string"));
+  EXPECT_EQ(store.Load("k").value().type(), ValueType::kString);
+}
+
+TEST(FeatureStoreTest, LoadOrDefault) {
+  FeatureStore store;
+  EXPECT_EQ(store.LoadOr("nope", Value(9)).AsInt().value(), 9);
+  store.Save("yes", Value(1));
+  EXPECT_EQ(store.LoadOr("yes", Value(9)).AsInt().value(), 1);
+}
+
+TEST(FeatureStoreTest, StoredNilIsDistinctFromMissing) {
+  FeatureStore store;
+  store.Save("nil_key", Value());
+  EXPECT_TRUE(store.Contains("nil_key"));
+  EXPECT_TRUE(store.Load("nil_key").value().is_nil());
+  EXPECT_FALSE(store.Contains("other"));
+}
+
+TEST(FeatureStoreTest, EraseRemoves) {
+  FeatureStore store;
+  store.Save("k", Value(1));
+  EXPECT_TRUE(store.Erase("k").ok());
+  EXPECT_FALSE(store.Contains("k"));
+  EXPECT_EQ(store.Erase("k").code(), ErrorCode::kNotFound);
+}
+
+TEST(FeatureStoreTest, IncrementCreatesAndAccumulates) {
+  FeatureStore store;
+  EXPECT_EQ(store.Increment("c"), 1.0);
+  EXPECT_EQ(store.Increment("c"), 2.0);
+  EXPECT_EQ(store.Increment("c", 0.5), 2.5);
+  EXPECT_EQ(store.Increment("c", -2.5), 0.0);
+}
+
+TEST(FeatureStoreTest, ScalarKeysSorted) {
+  FeatureStore store;
+  store.Save("b", Value(1));
+  store.Save("a", Value(1));
+  store.Save("c", Value(1));
+  EXPECT_EQ(store.ScalarKeys(), (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(store.scalar_count(), 3u);
+}
+
+// --- Time series ---
+
+class SeriesTest : public ::testing::Test {
+ protected:
+  void Fill(const std::string& key, std::initializer_list<std::pair<int, double>> samples) {
+    for (const auto& [sec, value] : samples) {
+      store_.Observe(key, Seconds(sec), value);
+    }
+  }
+  FeatureStore store_;
+};
+
+TEST_F(SeriesTest, AggregatesOverWindow) {
+  Fill("s", {{1, 10}, {2, 20}, {3, 30}});
+  const SimTime now = Seconds(3);
+  EXPECT_EQ(store_.Aggregate("s", AggKind::kCount, Seconds(10), now).value(), 3.0);
+  EXPECT_EQ(store_.Aggregate("s", AggKind::kSum, Seconds(10), now).value(), 60.0);
+  EXPECT_EQ(store_.Aggregate("s", AggKind::kMean, Seconds(10), now).value(), 20.0);
+  EXPECT_EQ(store_.Aggregate("s", AggKind::kMin, Seconds(10), now).value(), 10.0);
+  EXPECT_EQ(store_.Aggregate("s", AggKind::kMax, Seconds(10), now).value(), 30.0);
+  EXPECT_EQ(store_.Aggregate("s", AggKind::kNewest, Seconds(10), now).value(), 30.0);
+  EXPECT_EQ(store_.Aggregate("s", AggKind::kOldest, Seconds(10), now).value(), 10.0);
+}
+
+TEST_F(SeriesTest, WindowIsHalfOpenOnTheLeft) {
+  Fill("s", {{1, 10}, {2, 20}, {3, 30}});
+  // Window (1s, 3s]: the sample exactly at the cutoff is excluded.
+  EXPECT_EQ(store_.Aggregate("s", AggKind::kCount, Seconds(2), Seconds(3)).value(), 2.0);
+}
+
+TEST_F(SeriesTest, FutureSamplesExcluded) {
+  Fill("s", {{1, 10}, {5, 50}});
+  EXPECT_EQ(store_.Aggregate("s", AggKind::kCount, Seconds(10), Seconds(2)).value(), 1.0);
+}
+
+TEST_F(SeriesTest, RatePerSecond) {
+  Fill("s", {{1, 1}, {2, 1}, {3, 1}, {4, 1}});
+  EXPECT_EQ(store_.Aggregate("s", AggKind::kRate, Seconds(4), Seconds(4)).value(), 1.0);
+  EXPECT_EQ(store_.Aggregate("s", AggKind::kRate, Seconds(2), Seconds(4)).value(), 1.0);
+}
+
+TEST_F(SeriesTest, StdDevMatchesStreamingStats) {
+  Fill("s", {{1, 2}, {1, 4}, {1, 4}, {1, 4}, {1, 5}, {1, 5}, {1, 7}, {1, 9}});
+  EXPECT_NEAR(store_.Aggregate("s", AggKind::kStdDev, Seconds(10), Seconds(1)).value(),
+              std::sqrt(32.0 / 7.0), 1e-12);
+}
+
+TEST_F(SeriesTest, EmptyWindowSemantics) {
+  EXPECT_EQ(store_.Aggregate("missing", AggKind::kCount, Seconds(1), 0).value(), 0.0);
+  EXPECT_EQ(store_.Aggregate("missing", AggKind::kSum, Seconds(1), 0).value(), 0.0);
+  EXPECT_EQ(store_.Aggregate("missing", AggKind::kRate, Seconds(1), 0).value(), 0.0);
+  EXPECT_FALSE(store_.Aggregate("missing", AggKind::kMean, Seconds(1), 0).ok());
+  Fill("old", {{1, 5}});
+  EXPECT_FALSE(store_.Aggregate("old", AggKind::kMean, Seconds(1), Seconds(100)).ok());
+}
+
+TEST_F(SeriesTest, QuantileOverWindow) {
+  for (int i = 1; i <= 99; ++i) {
+    store_.Observe("q", Seconds(1), static_cast<double>(i));
+  }
+  EXPECT_NEAR(store_.AggregateQuantile("q", 0.5, Seconds(10), Seconds(1)).value(), 50.0, 0.01);
+  EXPECT_NEAR(store_.AggregateQuantile("q", 0.99, Seconds(10), Seconds(1)).value(), 98.02, 0.1);
+  EXPECT_FALSE(store_.AggregateQuantile("none", 0.5, Seconds(10), 0).ok());
+}
+
+TEST_F(SeriesTest, WindowSamplesCopiesInOrder) {
+  Fill("s", {{1, 10}, {2, 20}, {3, 30}});
+  EXPECT_EQ(store_.WindowSamples("s", Seconds(10), Seconds(3)),
+            (std::vector<double>{10, 20, 30}));
+  EXPECT_EQ(store_.WindowSamples("s", Seconds(1), Seconds(3)), (std::vector<double>{30}));
+  EXPECT_TRUE(store_.WindowSamples("nope", Seconds(10), Seconds(3)).empty());
+}
+
+TEST_F(SeriesTest, MaxSamplesEviction) {
+  store_.SetSeriesOptions("s", SeriesOptions{.max_samples = 3, .max_age = Seconds(1000)});
+  for (int i = 1; i <= 10; ++i) {
+    store_.Observe("s", Seconds(i), static_cast<double>(i));
+  }
+  EXPECT_EQ(store_.WindowSamples("s", Seconds(1000), Seconds(10)),
+            (std::vector<double>{8, 9, 10}));
+}
+
+TEST_F(SeriesTest, MaxAgeEviction) {
+  store_.SetSeriesOptions("s", SeriesOptions{.max_samples = 100000, .max_age = Seconds(5)});
+  Fill("s", {{1, 1}, {2, 2}, {10, 10}});
+  // Observing at t=10 evicts everything older than t=5.
+  EXPECT_EQ(store_.WindowSamples("s", Seconds(1000), Seconds(10)), (std::vector<double>{10}));
+}
+
+TEST_F(SeriesTest, OutOfOrderSamplesClampToNewest) {
+  store_.Observe("s", Seconds(5), 1.0);
+  store_.Observe("s", Seconds(3), 2.0);  // clamped to t=5
+  EXPECT_EQ(store_.Aggregate("s", AggKind::kCount, Seconds(1), Seconds(5)).value(), 2.0);
+}
+
+TEST_F(SeriesTest, ClearWipesEverything) {
+  store_.Save("scalar", Value(1));
+  Fill("series", {{1, 1}});
+  store_.Clear();
+  EXPECT_EQ(store_.scalar_count(), 0u);
+  EXPECT_EQ(store_.series_count(), 0u);
+}
+
+TEST(FeatureStoreConcurrencyTest, ParallelIncrementsAreAtomic) {
+  FeatureStore store;
+  constexpr int kThreads = 8;
+  constexpr int kIncrements = 10000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&store] {
+      for (int i = 0; i < kIncrements; ++i) {
+        store.Increment("counter");
+      }
+    });
+  }
+  for (auto& thread : threads) {
+    thread.join();
+  }
+  EXPECT_EQ(store.Load("counter").value().NumericOr(0), kThreads * kIncrements);
+}
+
+TEST(FeatureStoreConcurrencyTest, ParallelObserveAndAggregate) {
+  FeatureStore store;
+  std::thread writer([&store] {
+    for (int i = 0; i < 20000; ++i) {
+      store.Observe("lat", i + 1, 1.0);  // t=0 would fall outside the half-open window
+    }
+  });
+  // Concurrent reads must not crash or see torn state.
+  for (int i = 0; i < 200; ++i) {
+    auto result = store.Aggregate("lat", AggKind::kCount, Seconds(100), Seconds(100));
+    if (result.ok()) {
+      EXPECT_GE(result.value(), 0.0);
+    }
+  }
+  writer.join();
+  EXPECT_EQ(store.Aggregate("lat", AggKind::kCount, Seconds(100), Seconds(100)).value(),
+            20000.0);
+}
+
+}  // namespace
+}  // namespace osguard

@@ -1,0 +1,261 @@
+// Tests for the congestion-control (P2) and cache (P4) substrates, including
+// end-to-end guardrail stories on each.
+
+#include <gtest/gtest.h>
+
+#include "src/properties/specs.h"
+#include "src/sim/cache.h"
+#include "src/sim/congestion.h"
+#include "src/support/logging.h"
+
+namespace osguard {
+namespace {
+
+class CongestionTest : public ::testing::Test {
+ protected:
+  CongestionTest() { Logger::Global().set_level(LogLevel::kOff); }
+  Kernel kernel_;
+};
+
+TEST_F(CongestionTest, AimdConvergesNearCapacity) {
+  CongestionSim sim(kernel_);
+  ASSERT_TRUE(kernel_.registry().Register(std::make_shared<AimdPolicy>(2.0)).ok());
+  ASSERT_TRUE(kernel_.registry().BindSlot("net.cc", "cc_aimd").ok());
+  sim.PumpFor(Seconds(30));
+  kernel_.Run(Seconds(30));
+  // Sawtooth around capacity: utilization well above half, some losses.
+  const double mean_util =
+      kernel_.store().Aggregate("net.util", AggKind::kMean, Seconds(10), kernel_.now()).value();
+  EXPECT_GT(mean_util, 0.6);
+  EXPECT_GT(sim.stats().losses, 0u);
+  EXPECT_LT(sim.current_rate_mbps(), sim.config().capacity_mbps * 2.0);
+}
+
+TEST_F(CongestionTest, NoPolicyHoldsInitialRate) {
+  CongestionSim sim(kernel_);
+  const double initial = sim.current_rate_mbps();
+  sim.PumpFor(Seconds(1));
+  kernel_.Run(Seconds(1));
+  EXPECT_EQ(sim.current_rate_mbps(), initial);
+}
+
+TEST_F(CongestionTest, QueueBuildsRttAndOverflowIsLoss) {
+  CongestionConfig config;
+  config.capacity_mbps = 10.0;
+  config.buffer_ms = 20.0;
+  CongestionSim sim(kernel_, config);
+  struct Blast : RatePolicy {
+    std::string name() const override { return "blast"; }
+    double NextRate(const CcSignals&) override { return 100.0; }  // 10x capacity
+  };
+  ASSERT_TRUE(kernel_.registry().Register(std::make_shared<Blast>()).ok());
+  ASSERT_TRUE(kernel_.registry().BindSlot("net.cc", "blast").ok());
+  sim.PumpFor(Seconds(2));
+  kernel_.Run(Seconds(2));
+  EXPECT_GT(sim.stats().losses, 0u);
+  EXPECT_NEAR(sim.queue_ms(), config.buffer_ms, 1.0);  // pinned at the buffer cap
+  const double mean_rtt =
+      kernel_.store().Aggregate("net.rtt_ms", AggKind::kMean, Seconds(1), kernel_.now()).value();
+  EXPECT_GT(mean_rtt, config.base_rtt_ms + config.buffer_ms * 0.8);
+}
+
+TEST_F(CongestionTest, BrokenRateClampedButVisible) {
+  CongestionSim sim(kernel_);
+  struct Negative : RatePolicy {
+    std::string name() const override { return "negative"; }
+    bool is_learned() const override { return true; }
+    double NextRate(const CcSignals&) override { return -50.0; }
+  };
+  ASSERT_TRUE(kernel_.registry().Register(std::make_shared<Negative>()).ok());
+  ASSERT_TRUE(kernel_.registry().BindSlot("net.cc", "negative").ok());
+  sim.PumpFor(Milliseconds(100));
+  kernel_.Run(Milliseconds(100));
+  EXPECT_GE(sim.current_rate_mbps(), 0.1);  // clamped
+  // Raw decision series carries the illegal value for P3-style guardrails.
+  const double raw_min =
+      kernel_.store()
+          .Aggregate("net.rate_mbps", AggKind::kMin, Seconds(1), kernel_.now())
+          .value();
+  EXPECT_EQ(raw_min, -50.0);
+}
+
+// A fragile learned controller: overreacts to RTT noise (the P2 failure).
+class JitterySensitivePolicy : public RatePolicy {
+ public:
+  std::string name() const override { return "cc_learned_fragile"; }
+  bool is_learned() const override { return true; }
+  double NextRate(const CcSignals& signals) override {
+    // Amplifies the RTT measurement delta into a huge rate swing.
+    const double delta = signals.rtt_ms - last_rtt_;
+    last_rtt_ = signals.rtt_ms;
+    return std::max(1.0, signals.current_rate_mbps - delta * 40.0);
+  }
+
+ private:
+  double last_rtt_ = 20.0;
+};
+
+TEST_F(CongestionTest, P2GuardrailCatchesNoiseSensitivityAndFallsBack) {
+  CongestionConfig config;
+  config.rtt_noise_ms = 2.0;  // noisy measurements
+  CongestionSim sim(kernel_, config);
+  ASSERT_TRUE(kernel_.registry().Register(std::make_shared<JitterySensitivePolicy>()).ok());
+  ASSERT_TRUE(kernel_.registry().Register(std::make_shared<AimdPolicy>()).ok());
+  ASSERT_TRUE(kernel_.registry().BindSlot("net.cc", "cc_learned_fragile").ok());
+
+  PropertySpecOptions options;
+  options.check_interval = Milliseconds(250);
+  options.check_start = Milliseconds(500);
+  options.window = Milliseconds(500);
+  // Output (rate) variance must not exceed 2x input (rtt) variance.
+  ASSERT_TRUE(kernel_
+                  .LoadGuardrails(RobustnessSpec("cc-robust", "net.rtt_ms", "net.rate_mbps",
+                                                 2.0, "REPLACE(cc_learned_fragile, cc_aimd)",
+                                                 options))
+                  .ok());
+  sim.PumpFor(Seconds(5));
+  kernel_.Run(Seconds(5));
+  EXPECT_EQ(kernel_.registry().Active("net.cc").value()->name(), "cc_aimd");
+  EXPECT_GT(kernel_.engine().StatsFor("cc-robust").value().violations, 0u);
+}
+
+// --- CacheSim ---
+
+class CacheTest : public ::testing::Test {
+ protected:
+  CacheTest() { Logger::Global().set_level(LogLevel::kOff); }
+
+  void BindPolicy(std::shared_ptr<EvictionPolicy> policy) {
+    ASSERT_TRUE(kernel_.registry().Register(policy).ok());
+    ASSERT_TRUE(kernel_.registry().BindSlot("cache.evict", policy->name()).ok());
+  }
+
+  // Zipf-skewed accesses over a key space larger than the cache.
+  void DriveZipf(CacheSim& cache, int accesses, uint64_t space, double skew,
+                 uint64_t seed = 3) {
+    Rng rng(seed);
+    for (int i = 0; i < accesses; ++i) {
+      kernel_.Run(kernel_.now() + Microseconds(10));
+      cache.Access(rng.Zipf(space, skew));
+    }
+  }
+
+  Kernel kernel_;
+};
+
+TEST_F(CacheTest, HitsAndMissesTracked) {
+  CacheSim cache(kernel_, CacheConfig{.capacity = 4});
+  EXPECT_FALSE(cache.Access(1));
+  EXPECT_TRUE(cache.Access(1));
+  EXPECT_EQ(cache.stats().accesses, 2u);
+  EXPECT_EQ(cache.stats().hits, 1u);
+  EXPECT_TRUE(cache.Resident(1));
+}
+
+TEST_F(CacheTest, CapacityEnforcedViaEviction) {
+  CacheSim cache(kernel_, CacheConfig{.capacity = 3});
+  BindPolicy(std::make_shared<LruEvictionPolicy>());
+  for (uint64_t key = 0; key < 10; ++key) {
+    kernel_.Run(kernel_.now() + Microseconds(10));
+    cache.Access(key);
+  }
+  EXPECT_LE(cache.resident_count(), 3u);
+  EXPECT_EQ(cache.stats().evictions, 7u);
+}
+
+TEST_F(CacheTest, LruEvictsColdestKey) {
+  CacheSim cache(kernel_, CacheConfig{.capacity = 2});
+  BindPolicy(std::make_shared<LruEvictionPolicy>());
+  kernel_.Run(Microseconds(10));
+  cache.Access(1);
+  kernel_.Run(Microseconds(20));
+  cache.Access(2);
+  kernel_.Run(Microseconds(30));
+  cache.Access(1);  // 1 is now hotter than 2
+  kernel_.Run(Microseconds(40));
+  cache.Access(3);  // evicts 2
+  EXPECT_TRUE(cache.Resident(1));
+  EXPECT_FALSE(cache.Resident(2));
+}
+
+TEST_F(CacheTest, LruBeatsRandomBeatsMruOnSkewedWorkload) {
+  auto hit_rate = [this](std::shared_ptr<EvictionPolicy> policy) {
+    Kernel kernel;
+    Logger::Global().set_level(LogLevel::kOff);
+    (void)kernel.registry().Register(policy);
+    (void)kernel.registry().BindSlot("cache.evict", policy->name());
+    CacheSim cache(kernel, CacheConfig{.capacity = 128});
+    Rng rng(3);
+    for (int i = 0; i < 20000; ++i) {
+      kernel.Run(kernel.now() + Microseconds(10));
+      cache.Access(rng.Zipf(4096, 1.0));
+    }
+    return cache.stats().hit_rate();
+  };
+  const double lru = hit_rate(std::make_shared<LruEvictionPolicy>());
+  const double random = hit_rate(std::make_shared<RandomEvictionPolicy>());
+  const double mru = hit_rate(std::make_shared<MruEvictionPolicy>());
+  EXPECT_GT(lru, random + 0.02);
+  EXPECT_GT(random, mru + 0.02);
+}
+
+TEST_F(CacheTest, ShadowLruMatchesRealLru) {
+  CacheSim cache(kernel_, CacheConfig{.capacity = 64});
+  BindPolicy(std::make_shared<LruEvictionPolicy>());
+  DriveZipf(cache, 5000, 1024, 0.9);
+  // Primary runs LRU, shadow runs LRU: identical hit counts.
+  EXPECT_EQ(cache.stats().hits, cache.stats().shadow_hits);
+}
+
+TEST_F(CacheTest, BadVictimIndexClampedAndCounted) {
+  CacheSim cache(kernel_, CacheConfig{.capacity = 2});
+  struct Broken : EvictionPolicy {
+    std::string name() const override { return "broken"; }
+    bool is_learned() const override { return true; }
+    size_t PickVictim(const EvictionContext&) override { return 9999; }
+  };
+  BindPolicy(std::make_shared<Broken>());
+  cache.Access(1);
+  cache.Access(2);
+  cache.Access(3);  // miss -> eviction with an out-of-range pick
+  EXPECT_EQ(cache.stats().bad_victim_indices, 1u);
+  EXPECT_LE(cache.resident_count(), 2u);
+}
+
+TEST_F(CacheTest, P4GuardrailReplacesCollapsedLearnedPolicy) {
+  // "Learned" MRU policy collapses hit rate below the shadow-LRU baseline;
+  // the quality guardrail swaps LRU in and hit rate recovers.
+  CacheSim cache(kernel_, CacheConfig{.capacity = 128});
+  auto learned = std::make_shared<MruEvictionPolicy>();
+  auto baseline = std::make_shared<LruEvictionPolicy>();
+  ASSERT_TRUE(kernel_.registry().Register(learned).ok());
+  ASSERT_TRUE(kernel_.registry().Register(baseline).ok());
+  ASSERT_TRUE(kernel_.registry().BindSlot("cache.evict", "cache_mru").ok());
+
+  PropertySpecOptions options;
+  options.check_interval = Milliseconds(20);
+  options.check_start = Milliseconds(40);
+  options.window = Milliseconds(40);
+  ASSERT_TRUE(kernel_
+                  .LoadGuardrails(DecisionQualitySpec(
+                      "cache-quality", "cache.hit", "cache.shadow_hit", 0.8,
+                      "REPLACE(cache_mru, cache_lru); REPORT(\"hit rate collapsed\")",
+                      options))
+                  .ok());
+  DriveZipf(cache, 20000, 4096, 1.0);
+  EXPECT_EQ(kernel_.registry().Active("cache.evict").value()->name(), "cache_lru");
+  EXPECT_GT(kernel_.engine().StatsFor("cache-quality").value().violations, 0u);
+
+  // After the swap the primary tracks the shadow again.
+  const uint64_t hits_at_swap = cache.stats().hits;
+  const uint64_t shadow_at_swap = cache.stats().shadow_hits;
+  DriveZipf(cache, 20000, 4096, 1.0, /*seed=*/4);
+  const double primary_after =
+      static_cast<double>(cache.stats().hits - hits_at_swap) / 20000.0;
+  const double shadow_after =
+      static_cast<double>(cache.stats().shadow_hits - shadow_at_swap) / 20000.0;
+  EXPECT_GT(primary_after, shadow_after * 0.9);
+}
+
+}  // namespace
+}  // namespace osguard

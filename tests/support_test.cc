@@ -1,0 +1,456 @@
+// Support-library tests: status/result, rng, stats, histogram, ring buffer,
+// time formatting.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/support/histogram.h"
+#include "src/support/ring_buffer.h"
+#include "src/support/rng.h"
+#include "src/support/stats.h"
+#include "src/support/status.h"
+#include "src/support/time.h"
+
+namespace osguard {
+namespace {
+
+// --- Status / Result ---
+
+TEST(StatusTest, DefaultIsOk) {
+  Status status;
+  EXPECT_TRUE(status.ok());
+  EXPECT_EQ(status.code(), ErrorCode::kOk);
+  EXPECT_EQ(status.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status status = ParseError("bad token");
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), ErrorCode::kParseError);
+  EXPECT_EQ(status.message(), "bad token");
+  EXPECT_EQ(status.ToString(), "PARSE_ERROR: bad token");
+}
+
+TEST(StatusTest, AllConstructorsMapToCodes) {
+  EXPECT_EQ(InvalidArgumentError("x").code(), ErrorCode::kInvalidArgument);
+  EXPECT_EQ(NotFoundError("x").code(), ErrorCode::kNotFound);
+  EXPECT_EQ(AlreadyExistsError("x").code(), ErrorCode::kAlreadyExists);
+  EXPECT_EQ(FailedPreconditionError("x").code(), ErrorCode::kFailedPrecondition);
+  EXPECT_EQ(OutOfRangeError("x").code(), ErrorCode::kOutOfRange);
+  EXPECT_EQ(ResourceExhaustedError("x").code(), ErrorCode::kResourceExhausted);
+  EXPECT_EQ(SemanticError("x").code(), ErrorCode::kSemanticError);
+  EXPECT_EQ(VerifierError("x").code(), ErrorCode::kVerifierError);
+  EXPECT_EQ(ExecutionError("x").code(), ErrorCode::kExecutionError);
+  EXPECT_EQ(InternalError("x").code(), ErrorCode::kInternal);
+}
+
+Result<int> Half(int x) {
+  if (x % 2 != 0) {
+    return InvalidArgumentError("odd");
+  }
+  return x / 2;
+}
+
+TEST(ResultTest, HoldsValueOrStatus) {
+  Result<int> good = Half(10);
+  ASSERT_TRUE(good.ok());
+  EXPECT_EQ(good.value(), 5);
+  EXPECT_EQ(*good, 5);
+
+  Result<int> bad = Half(3);
+  EXPECT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), ErrorCode::kInvalidArgument);
+  EXPECT_EQ(bad.value_or(-1), -1);
+}
+
+Result<int> Chain(int x) {
+  OSGUARD_ASSIGN_OR_RETURN(int half, Half(x));
+  OSGUARD_ASSIGN_OR_RETURN(int quarter, Half(half));
+  return quarter;
+}
+
+TEST(ResultTest, AssignOrReturnPropagates) {
+  EXPECT_EQ(Chain(20).value(), 5);
+  EXPECT_FALSE(Chain(10).ok());  // 5 is odd at the second step
+  EXPECT_FALSE(Chain(3).ok());
+}
+
+// --- Rng ---
+
+TEST(RngTest, SameSeedSameStream) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.NextU64(), b.NextU64());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int differences = 0;
+  for (int i = 0; i < 20; ++i) {
+    if (a.NextU64() != b.NextU64()) {
+      ++differences;
+    }
+  }
+  EXPECT_GT(differences, 15);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double x = rng.NextDouble();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(RngTest, UniformIntCoversRangeInclusive) {
+  Rng rng(9);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 10000; ++i) {
+    const int64_t x = rng.UniformInt(3, 7);
+    EXPECT_GE(x, 3);
+    EXPECT_LE(x, 7);
+    saw_lo |= x == 3;
+    saw_hi |= x == 7;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, NormalMomentsRoughlyCorrect) {
+  Rng rng(11);
+  StreamingStats stats;
+  for (int i = 0; i < 50000; ++i) {
+    stats.Add(rng.Normal(5.0, 2.0));
+  }
+  EXPECT_NEAR(stats.mean(), 5.0, 0.05);
+  EXPECT_NEAR(stats.stddev(), 2.0, 0.05);
+}
+
+TEST(RngTest, ExponentialMeanMatchesRate) {
+  Rng rng(13);
+  StreamingStats stats;
+  for (int i = 0; i < 50000; ++i) {
+    stats.Add(rng.Exponential(4.0));
+  }
+  EXPECT_NEAR(stats.mean(), 0.25, 0.01);
+}
+
+TEST(RngTest, BernoulliFrequency) {
+  Rng rng(17);
+  int hits = 0;
+  for (int i = 0; i < 100000; ++i) {
+    hits += rng.Bernoulli(0.3) ? 1 : 0;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / 100000.0, 0.3, 0.01);
+}
+
+TEST(RngTest, ZipfSkewsTowardLowRanks) {
+  Rng rng(19);
+  int low = 0;
+  for (int i = 0; i < 10000; ++i) {
+    if (rng.Zipf(1000, 1.1) < 10) {
+      ++low;
+    }
+  }
+  // With skew 1.1 the first 1% of ranks should draw far more than 1%.
+  EXPECT_GT(low, 2000);
+}
+
+TEST(RngTest, ZipfZeroSkewIsUniform) {
+  Rng rng(21);
+  int low = 0;
+  for (int i = 0; i < 10000; ++i) {
+    if (rng.Zipf(1000, 0.0) < 10) {
+      ++low;
+    }
+  }
+  EXPECT_NEAR(low, 100, 60);
+}
+
+TEST(RngTest, ParetoRespectsScale) {
+  Rng rng(23);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_GE(rng.Pareto(2.0, 1.5), 2.0);
+  }
+}
+
+TEST(RngTest, ShuffleIsPermutation) {
+  Rng rng(29);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  std::vector<int> shuffled = v;
+  rng.Shuffle(shuffled);
+  std::sort(shuffled.begin(), shuffled.end());
+  EXPECT_EQ(shuffled, v);
+}
+
+// --- StreamingStats ---
+
+TEST(StreamingStatsTest, BasicMoments) {
+  StreamingStats stats;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) {
+    stats.Add(x);
+  }
+  EXPECT_EQ(stats.count(), 8u);
+  EXPECT_DOUBLE_EQ(stats.mean(), 5.0);
+  EXPECT_NEAR(stats.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_EQ(stats.min(), 2.0);
+  EXPECT_EQ(stats.max(), 9.0);
+  EXPECT_EQ(stats.sum(), 40.0);
+}
+
+TEST(StreamingStatsTest, EmptyIsZero) {
+  StreamingStats stats;
+  EXPECT_EQ(stats.count(), 0u);
+  EXPECT_EQ(stats.mean(), 0.0);
+  EXPECT_EQ(stats.variance(), 0.0);
+}
+
+TEST(StreamingStatsTest, MergeMatchesSequential) {
+  StreamingStats a;
+  StreamingStats b;
+  StreamingStats all;
+  Rng rng(31);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.Normal(3, 2);
+    (i % 2 == 0 ? a : b).Add(x);
+    all.Add(x);
+  }
+  a.Merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+  EXPECT_EQ(a.min(), all.min());
+  EXPECT_EQ(a.max(), all.max());
+}
+
+// --- Ewma ---
+
+TEST(EwmaTest, FirstSampleInitializes) {
+  Ewma ewma(0.5);
+  EXPECT_FALSE(ewma.initialized());
+  ewma.Add(10.0);
+  EXPECT_TRUE(ewma.initialized());
+  EXPECT_DOUBLE_EQ(ewma.value(), 10.0);
+}
+
+TEST(EwmaTest, ConvergesTowardConstantInput) {
+  Ewma ewma(0.3);
+  ewma.Add(0.0);
+  for (int i = 0; i < 100; ++i) {
+    ewma.Add(5.0);
+  }
+  EXPECT_NEAR(ewma.value(), 5.0, 1e-9);
+}
+
+// --- Quantiles ---
+
+TEST(ExactQuantileTest, KnownValues) {
+  std::vector<double> v{1, 2, 3, 4, 5, 6, 7, 8, 9, 10};
+  EXPECT_DOUBLE_EQ(ExactQuantile(v, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(ExactQuantile(v, 1.0), 10.0);
+  EXPECT_DOUBLE_EQ(ExactQuantile(v, 0.5), 5.5);
+  EXPECT_TRUE(std::isfinite(ExactQuantile(v, 0.9)));
+  EXPECT_EQ(ExactQuantile({}, 0.5), 0.0);
+}
+
+class P2QuantileParamTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(P2QuantileParamTest, TracksExactQuantileOnNormalData) {
+  const double q = GetParam();
+  P2Quantile estimator(q);
+  std::vector<double> samples;
+  Rng rng(37);
+  for (int i = 0; i < 20000; ++i) {
+    const double x = rng.Normal(100.0, 15.0);
+    estimator.Add(x);
+    samples.push_back(x);
+  }
+  const double exact = ExactQuantile(samples, q);
+  EXPECT_NEAR(estimator.value(), exact, 1.5) << "q=" << q;
+}
+
+INSTANTIATE_TEST_SUITE_P(Quantiles, P2QuantileParamTest,
+                         ::testing::Values(0.1, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99));
+
+TEST(P2QuantileTest, ExactForSmallCounts) {
+  P2Quantile estimator(0.5);
+  estimator.Add(3.0);
+  estimator.Add(1.0);
+  estimator.Add(2.0);
+  EXPECT_DOUBLE_EQ(estimator.value(), 2.0);
+}
+
+// --- KS statistic ---
+
+TEST(KsStatisticTest, IdenticalSamplesScoreZero) {
+  std::vector<double> a{1, 2, 3, 4, 5};
+  EXPECT_DOUBLE_EQ(KsStatistic(a, a), 0.0);
+}
+
+TEST(KsStatisticTest, DisjointSamplesScoreOne) {
+  EXPECT_DOUBLE_EQ(KsStatistic({1, 2, 3}, {10, 11, 12}), 1.0);
+}
+
+TEST(KsStatisticTest, ShiftedDistributionsScoreHigh) {
+  Rng rng(41);
+  std::vector<double> a;
+  std::vector<double> b;
+  for (int i = 0; i < 2000; ++i) {
+    a.push_back(rng.Normal(0, 1));
+    b.push_back(rng.Normal(3, 1));
+  }
+  EXPECT_GT(KsStatistic(a, b), 0.8);
+}
+
+TEST(KsStatisticTest, SameDistributionScoresLow) {
+  Rng rng(43);
+  std::vector<double> a;
+  std::vector<double> b;
+  for (int i = 0; i < 2000; ++i) {
+    a.push_back(rng.Normal(0, 1));
+    b.push_back(rng.Normal(0, 1));
+  }
+  EXPECT_LT(KsStatistic(a, b), 0.08);
+}
+
+TEST(PearsonTest, PerfectCorrelation) {
+  std::vector<double> x{1, 2, 3, 4, 5};
+  std::vector<double> y{2, 4, 6, 8, 10};
+  EXPECT_NEAR(PearsonCorrelation(x, y), 1.0, 1e-12);
+  std::vector<double> neg{-2, -4, -6, -8, -10};
+  EXPECT_NEAR(PearsonCorrelation(x, neg), -1.0, 1e-12);
+}
+
+TEST(PearsonTest, DegenerateInputsGiveZero) {
+  EXPECT_EQ(PearsonCorrelation({1, 1, 1}, {2, 3, 4}), 0.0);
+  EXPECT_EQ(PearsonCorrelation({1}, {2}), 0.0);
+  EXPECT_EQ(PearsonCorrelation({1, 2}, {2, 3, 4}), 0.0);
+}
+
+// --- Histogram ---
+
+TEST(HistogramTest, SmallValuesAreExact) {
+  Histogram h;
+  for (int i = 0; i < 32; ++i) {
+    h.Record(i);
+  }
+  EXPECT_EQ(h.count(), 32u);
+  EXPECT_EQ(h.min(), 0);
+  EXPECT_EQ(h.max(), 31);
+}
+
+TEST(HistogramTest, PercentilesWithinRelativeError) {
+  Histogram h;
+  Rng rng(47);
+  std::vector<double> samples;
+  for (int i = 0; i < 100000; ++i) {
+    const int64_t v = static_cast<int64_t>(rng.Pareto(100.0, 1.2));
+    h.Record(v);
+    samples.push_back(static_cast<double>(v));
+  }
+  for (double q : {0.5, 0.9, 0.99}) {
+    const double exact = ExactQuantile(samples, q);
+    const double approx = static_cast<double>(h.ValueAtQuantile(q));
+    EXPECT_NEAR(approx, exact, exact * 0.08 + 2) << "q=" << q;
+  }
+}
+
+TEST(HistogramTest, MeanIsExact) {
+  Histogram h;
+  h.Record(10);
+  h.Record(20);
+  h.Record(60);
+  EXPECT_DOUBLE_EQ(h.mean(), 30.0);
+}
+
+TEST(HistogramTest, MergeCombines) {
+  Histogram a;
+  Histogram b;
+  a.Record(5);
+  b.Record(500000);
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_EQ(a.min(), 5);
+  EXPECT_EQ(a.max(), 500000);
+}
+
+TEST(HistogramTest, NegativeValuesClampToZero) {
+  Histogram h;
+  h.Record(-100);
+  EXPECT_EQ(h.min(), 0);
+  EXPECT_EQ(h.count(), 1u);
+}
+
+TEST(HistogramTest, ResetClears) {
+  Histogram h;
+  h.Record(42);
+  h.Reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.ValueAtQuantile(0.5), 0);
+}
+
+TEST(HistogramTest, SummaryMentionsPercentiles) {
+  Histogram h;
+  h.Record(100);
+  const std::string summary = h.Summary();
+  EXPECT_NE(summary.find("count=1"), std::string::npos);
+  EXPECT_NE(summary.find("p99"), std::string::npos);
+}
+
+// --- RingBuffer ---
+
+TEST(RingBufferTest, PushAndIndexOldestFirst) {
+  RingBuffer<int> ring(3);
+  ring.Push(1);
+  ring.Push(2);
+  EXPECT_EQ(ring.size(), 2u);
+  EXPECT_EQ(ring[0], 1);
+  EXPECT_EQ(ring[1], 2);
+  EXPECT_EQ(ring.oldest(), 1);
+  EXPECT_EQ(ring.newest(), 2);
+}
+
+TEST(RingBufferTest, OverwritesOldestWhenFull) {
+  RingBuffer<int> ring(3);
+  for (int i = 1; i <= 5; ++i) {
+    ring.Push(i);
+  }
+  EXPECT_TRUE(ring.full());
+  EXPECT_EQ(ring.ToVector(), (std::vector<int>{3, 4, 5}));
+}
+
+TEST(RingBufferTest, ClearEmpties) {
+  RingBuffer<int> ring(2);
+  ring.Push(1);
+  ring.Clear();
+  EXPECT_TRUE(ring.empty());
+  EXPECT_EQ(ring.size(), 0u);
+}
+
+// --- Time ---
+
+TEST(TimeTest, UnitConstants) {
+  EXPECT_EQ(Seconds(1), 1000000000);
+  EXPECT_EQ(Milliseconds(1), 1000000);
+  EXPECT_EQ(Microseconds(1), 1000);
+  EXPECT_EQ(kMinute, 60 * kSecond);
+  EXPECT_DOUBLE_EQ(ToSeconds(Milliseconds(1500)), 1.5);
+  EXPECT_DOUBLE_EQ(ToMicros(Milliseconds(2)), 2000.0);
+}
+
+TEST(TimeTest, FormatDurationAdaptsUnits) {
+  EXPECT_EQ(FormatDuration(250), "250ns");
+  EXPECT_EQ(FormatDuration(Microseconds(13) + 500), "13.5us");
+  EXPECT_EQ(FormatDuration(Milliseconds(2)), "2.0ms");
+  EXPECT_EQ(FormatDuration(Seconds(1) + Milliseconds(250)), "1.25s");
+  EXPECT_EQ(FormatDuration(-Milliseconds(2)), "-2.0ms");
+}
+
+}  // namespace
+}  // namespace osguard

@@ -1,0 +1,213 @@
+// Workload generator tests: rates, phases, determinism, and drift shapes.
+
+#include <gtest/gtest.h>
+
+#include "src/wl/accessgen.h"
+#include "src/wl/iogen.h"
+#include "src/wl/taskgen.h"
+
+namespace osguard {
+namespace {
+
+TEST(IoGenTest, ApproximatesArrivalRate) {
+  IoPhase phase;
+  phase.duration = Seconds(10);
+  phase.arrivals_per_sec = 1000.0;
+  IoTraceGenerator generator({phase}, 1);
+  const auto trace = generator.Generate();
+  EXPECT_NEAR(static_cast<double>(trace.size()), 10000.0, 500.0);
+}
+
+TEST(IoGenTest, TimestampsMonotoneAndBounded) {
+  IoPhase phase;
+  phase.duration = Seconds(5);
+  IoTraceGenerator generator({phase}, 2);
+  const auto trace = generator.Generate();
+  ASSERT_FALSE(trace.empty());
+  for (size_t i = 1; i < trace.size(); ++i) {
+    EXPECT_GE(trace[i].at, trace[i - 1].at);
+  }
+  EXPECT_LT(trace.back().at, Seconds(5));
+}
+
+TEST(IoGenTest, WriteFractionRespected) {
+  IoPhase phase;
+  phase.duration = Seconds(20);
+  phase.write_fraction = 0.3;
+  IoTraceGenerator generator({phase}, 3);
+  const auto trace = generator.Generate();
+  size_t writes = 0;
+  for (const IoRequest& request : trace) {
+    writes += request.is_write ? 1 : 0;
+  }
+  EXPECT_NEAR(static_cast<double>(writes) / static_cast<double>(trace.size()), 0.3, 0.02);
+}
+
+TEST(IoGenTest, AddressesWithinSpace) {
+  IoPhase phase;
+  phase.duration = Seconds(2);
+  phase.address_space = 1024;
+  IoTraceGenerator generator({phase}, 4);
+  for (const IoRequest& request : generator.Generate()) {
+    EXPECT_LT(request.lba, 1024u);
+  }
+}
+
+TEST(IoGenTest, ZipfSkewConcentratesAddresses) {
+  IoPhase skewed;
+  skewed.duration = Seconds(10);
+  skewed.zipf_skew = 1.2;
+  skewed.address_space = 100000;
+  IoPhase uniform = skewed;
+  uniform.zipf_skew = 0.0;
+
+  auto count_low = [](const std::vector<IoRequest>& trace) {
+    size_t low = 0;
+    for (const IoRequest& request : trace) {
+      low += request.lba < 1000 ? 1 : 0;
+    }
+    return static_cast<double>(low) / static_cast<double>(trace.size());
+  };
+  EXPECT_GT(count_low(IoTraceGenerator({skewed}, 5).Generate()), 0.5);
+  EXPECT_LT(count_low(IoTraceGenerator({uniform}, 5).Generate()), 0.05);
+}
+
+TEST(IoGenTest, PhasesConcatenateInTime) {
+  IoPhase first;
+  first.duration = Seconds(5);
+  first.write_fraction = 0.0;
+  IoPhase second;
+  second.duration = Seconds(5);
+  second.write_fraction = 1.0;
+  IoTraceGenerator generator({first, second}, 6);
+  for (const IoRequest& request : generator.Generate()) {
+    EXPECT_EQ(request.is_write, request.at >= Seconds(5)) << request.at;
+  }
+  EXPECT_EQ(generator.TotalDuration(), Seconds(10));
+}
+
+TEST(IoGenTest, DeterministicPerSeed) {
+  IoPhase phase;
+  phase.duration = Seconds(2);
+  const auto a = IoTraceGenerator({phase}, 7).Generate();
+  const auto b = IoTraceGenerator({phase}, 7).Generate();
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].at, b[i].at);
+    EXPECT_EQ(a[i].lba, b[i].lba);
+  }
+  const auto c = IoTraceGenerator({phase}, 8).Generate();
+  EXPECT_NE(a.size(), c.size());
+}
+
+TEST(IoGenTest, BurstFactorRaisesThroughput) {
+  IoPhase calm;
+  calm.duration = Seconds(10);
+  calm.arrivals_per_sec = 1000;
+  IoPhase bursty = calm;
+  bursty.burst_factor = 5.0;
+  const auto calm_trace = IoTraceGenerator({calm}, 9).Generate();
+  const auto bursty_trace = IoTraceGenerator({bursty}, 9).Generate();
+  EXPECT_GT(bursty_trace.size(), calm_trace.size() + calm_trace.size() / 4);
+}
+
+TEST(IoGenTest, DriftPhasesShapeMatchesIntent) {
+  const auto phases = MakeDriftPhases(Seconds(10), Seconds(20), 1500);
+  ASSERT_EQ(phases.size(), 2u);
+  EXPECT_EQ(phases[0].duration, Seconds(10));
+  EXPECT_EQ(phases[1].duration, Seconds(20));
+  EXPECT_LT(phases[0].write_fraction, 0.1);
+  EXPECT_GT(phases[1].write_fraction, 0.3);
+  EXPECT_GT(phases[1].zipf_skew, phases[0].zipf_skew);
+}
+
+TEST(IoGenTest, StartOffsetShiftsTrace) {
+  IoPhase phase;
+  phase.duration = Seconds(1);
+  const auto trace = IoTraceGenerator({phase}, 10).Generate(Seconds(100));
+  ASSERT_FALSE(trace.empty());
+  EXPECT_GE(trace.front().at, Seconds(100));
+  EXPECT_LT(trace.back().at, Seconds(101));
+}
+
+// --- FileAccessGenerator ---
+
+TEST(AccessGenTest, SequentialPhaseMostlyStrideOne) {
+  AccessPhase phase;
+  phase.duration = Seconds(5);
+  phase.sequential_prob = 1.0;
+  FileAccessGenerator generator({phase}, 11);
+  const auto trace = generator.Generate();
+  ASSERT_GT(trace.size(), 100u);
+  for (size_t i = 1; i < trace.size(); ++i) {
+    EXPECT_EQ(trace[i].chunk, (trace[i - 1].chunk + 1) % phase.file_chunks);
+  }
+}
+
+TEST(AccessGenTest, RandomPhaseJumpsAround) {
+  AccessPhase phase;
+  phase.duration = Seconds(5);
+  phase.sequential_prob = 0.0;
+  FileAccessGenerator generator({phase}, 12);
+  const auto trace = generator.Generate();
+  size_t sequential = 0;
+  for (size_t i = 1; i < trace.size(); ++i) {
+    sequential += trace[i].chunk == trace[i - 1].chunk + 1 ? 1 : 0;
+  }
+  EXPECT_LT(static_cast<double>(sequential) / static_cast<double>(trace.size()), 0.01);
+}
+
+TEST(AccessGenTest, ChunksStayInFile) {
+  AccessPhase phase;
+  phase.duration = Seconds(2);
+  phase.file_chunks = 256;
+  phase.sequential_prob = 0.5;
+  for (const FileAccess& access : FileAccessGenerator({phase}, 13).Generate()) {
+    EXPECT_LT(access.chunk, 256u);
+  }
+}
+
+// --- TaskLoadGenerator ---
+
+TEST(TaskGenTest, GeneratesSortedBursts) {
+  TaskLoadGenerator generator(
+      {{"a", 1.0, 50.0, Milliseconds(5)}, {"b", 2.0, 100.0, Milliseconds(2)}}, 14);
+  const auto events = generator.Generate(Seconds(10));
+  ASSERT_GT(events.size(), 1000u);
+  for (size_t i = 1; i < events.size(); ++i) {
+    EXPECT_GE(events[i].at, events[i - 1].at);
+  }
+}
+
+TEST(TaskGenTest, PerTaskRatesRespected) {
+  TaskLoadGenerator generator(
+      {{"slow", 1.0, 10.0, Milliseconds(5)}, {"fast", 1.0, 100.0, Milliseconds(5)}}, 15);
+  const auto events = generator.Generate(Seconds(20));
+  size_t slow_count = 0;
+  size_t fast_count = 0;
+  for (const BurstEvent& event : events) {
+    (event.task_index == 0 ? slow_count : fast_count) += 1;
+  }
+  EXPECT_NEAR(static_cast<double>(slow_count), 200.0, 60.0);
+  EXPECT_NEAR(static_cast<double>(fast_count), 2000.0, 200.0);
+}
+
+TEST(TaskGenTest, BurstLengthsHaveConfiguredMean) {
+  TaskLoadGenerator generator({{"t", 1.0, 200.0, Milliseconds(8)}}, 16);
+  const auto events = generator.Generate(Seconds(30));
+  double total = 0;
+  for (const BurstEvent& event : events) {
+    EXPECT_GE(event.cpu_time, Microseconds(10));
+    total += static_cast<double>(event.cpu_time);
+  }
+  const double mean = total / static_cast<double>(events.size());
+  EXPECT_NEAR(mean, static_cast<double>(Milliseconds(8)), static_cast<double>(Milliseconds(1)));
+}
+
+TEST(TaskGenTest, ZeroRateTaskGeneratesNothing) {
+  TaskLoadGenerator generator({{"idle", 1.0, 0.0, Milliseconds(5)}}, 17);
+  EXPECT_TRUE(generator.Generate(Seconds(10)).empty());
+}
+
+}  // namespace
+}  // namespace osguard

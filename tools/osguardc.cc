@@ -1,0 +1,181 @@
+// osguardc — the guardrail spec compiler, as a command-line tool.
+//
+// Usage:
+//   osguardc [options] <spec-file>...
+//   osguardc [options] -            (read the spec from stdin)
+//
+// Options:
+//   --dump-tokens   print the token stream
+//   --dump-ast      print the parsed rules/actions (surface syntax)
+//   --disasm        print bytecode disassembly for every compiled program
+//   --emit-c        print the generated kernel-module C
+//   --check         compile + verify only (default if no dump flag given)
+//   -q              suppress the per-guardrail summary
+//
+// Exit status: 0 if every spec compiles and verifies, 1 otherwise —
+// suitable for CI over a directory of production guardrails.
+
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/dsl/lexer.h"
+#include "src/dsl/parser.h"
+#include "src/dsl/sema.h"
+#include "src/vm/c_backend.h"
+#include "src/vm/compiler.h"
+
+namespace osguard {
+namespace {
+
+struct CliOptions {
+  bool dump_tokens = false;
+  bool dump_ast = false;
+  bool disasm = false;
+  bool emit_c = false;
+  bool quiet = false;
+  std::vector<std::string> inputs;
+};
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: osguardc [--dump-tokens] [--dump-ast] [--disasm] [--emit-c] "
+               "[--check] [-q] <spec-file>... | -\n");
+  return 2;
+}
+
+Result<std::string> ReadInput(const std::string& path) {
+  if (path == "-") {
+    std::ostringstream buffer;
+    buffer << std::cin.rdbuf();
+    return buffer.str();
+  }
+  std::ifstream file(path);
+  if (!file) {
+    return NotFoundError("cannot open '" + path + "'");
+  }
+  std::ostringstream buffer;
+  buffer << file.rdbuf();
+  return buffer.str();
+}
+
+int ProcessOne(const std::string& path, const CliOptions& options) {
+  auto source = ReadInput(path);
+  if (!source.ok()) {
+    std::fprintf(stderr, "osguardc: %s\n", source.status().ToString().c_str());
+    return 1;
+  }
+
+  if (options.dump_tokens) {
+    Lexer lexer(source.value());
+    auto tokens = lexer.Tokenize();
+    if (!tokens.ok()) {
+      std::fprintf(stderr, "%s: %s\n", path.c_str(), tokens.status().ToString().c_str());
+      return 1;
+    }
+    for (const Token& token : tokens.value()) {
+      std::printf("%3d:%-3d %s\n", token.line, token.column, token.Describe().c_str());
+    }
+  }
+
+  auto spec = ParseSpecSource(source.value());
+  if (!spec.ok()) {
+    std::fprintf(stderr, "%s: %s\n", path.c_str(), spec.status().ToString().c_str());
+    return 1;
+  }
+
+  if (options.dump_ast) {
+    for (const GuardrailDecl& decl : spec.value().guardrails) {
+      std::printf("guardrail %s\n", decl.name.c_str());
+      for (const auto& rule : decl.rules) {
+        std::printf("  rule:   %s\n", rule->ToString().c_str());
+      }
+      for (const auto& action : decl.actions) {
+        std::printf("  action: %s\n", action->ToString().c_str());
+      }
+      for (const auto& action : decl.satisfy_actions) {
+        std::printf("  on_satisfy: %s\n", action->ToString().c_str());
+      }
+    }
+  }
+
+  auto analyzed = Analyze(std::move(spec).value());
+  if (!analyzed.ok()) {
+    std::fprintf(stderr, "%s: %s\n", path.c_str(), analyzed.status().ToString().c_str());
+    return 1;
+  }
+  auto compiled = CompileSpec(analyzed.value());
+  if (!compiled.ok()) {
+    std::fprintf(stderr, "%s: %s\n", path.c_str(), compiled.status().ToString().c_str());
+    return 1;
+  }
+
+  for (const CompiledGuardrail& guardrail : compiled.value()) {
+    if (!options.quiet) {
+      size_t timer_count = 0;
+      size_t hook_count = 0;
+      for (const CompiledTrigger& trigger : guardrail.triggers) {
+        (trigger.kind == TriggerKind::kTimer ? timer_count : hook_count) += 1;
+      }
+      std::printf("%s: guardrail '%s' OK (%zu timer / %zu hook triggers, rule %zu insns, "
+                  "action %zu insns%s)\n",
+                  path.c_str(), guardrail.name.c_str(), timer_count, hook_count,
+                  guardrail.rule.insns.size(), guardrail.action.insns.size(),
+                  guardrail.on_satisfy.empty() ? "" : ", on_satisfy present");
+    }
+    if (options.disasm) {
+      std::printf("%s", guardrail.rule.Disassemble().c_str());
+      std::printf("%s", guardrail.action.Disassemble().c_str());
+      if (!guardrail.on_satisfy.empty()) {
+        std::printf("%s", guardrail.on_satisfy.Disassemble().c_str());
+      }
+    }
+    if (options.emit_c) {
+      std::printf("%s\n", EmitKernelModuleSource(guardrail).c_str());
+    }
+  }
+  return 0;
+}
+
+int Main(int argc, char** argv) {
+  CliOptions options;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--dump-tokens") {
+      options.dump_tokens = true;
+    } else if (arg == "--dump-ast") {
+      options.dump_ast = true;
+    } else if (arg == "--disasm") {
+      options.disasm = true;
+    } else if (arg == "--emit-c") {
+      options.emit_c = true;
+    } else if (arg == "--check") {
+      // default behavior; accepted for scripting clarity
+    } else if (arg == "-q") {
+      options.quiet = true;
+    } else if (arg == "--help" || arg == "-h") {
+      return Usage();
+    } else if (!arg.empty() && arg[0] == '-' && arg != "-") {
+      std::fprintf(stderr, "osguardc: unknown option '%s'\n", arg.c_str());
+      return Usage();
+    } else {
+      options.inputs.push_back(arg);
+    }
+  }
+  if (options.inputs.empty()) {
+    return Usage();
+  }
+  int failures = 0;
+  for (const std::string& path : options.inputs) {
+    failures += ProcessOne(path, options);
+  }
+  return failures == 0 ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace osguard
+
+int main(int argc, char** argv) { return osguard::Main(argc, argv); }
