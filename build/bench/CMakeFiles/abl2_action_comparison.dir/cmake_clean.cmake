@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl2_action_comparison.dir/abl2_action_comparison.cc.o"
+  "CMakeFiles/abl2_action_comparison.dir/abl2_action_comparison.cc.o.d"
+  "abl2_action_comparison"
+  "abl2_action_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl2_action_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext1_monitor_overhead.dir/ext1_monitor_overhead.cc.o"
+  "CMakeFiles/ext1_monitor_overhead.dir/ext1_monitor_overhead.cc.o.d"
+  "ext1_monitor_overhead"
+  "ext1_monitor_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext1_monitor_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext2_feedback_loops.dir/ext2_feedback_loops.cc.o"
+  "CMakeFiles/ext2_feedback_loops.dir/ext2_feedback_loops.cc.o.d"
+  "ext2_feedback_loops"
+  "ext2_feedback_loops.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext2_feedback_loops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

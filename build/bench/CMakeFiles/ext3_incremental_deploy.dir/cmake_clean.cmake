@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext3_incremental_deploy.dir/ext3_incremental_deploy.cc.o"
+  "CMakeFiles/ext3_incremental_deploy.dir/ext3_incremental_deploy.cc.o.d"
+  "ext3_incremental_deploy"
+  "ext3_incremental_deploy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext3_incremental_deploy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext4_feature_store.dir/ext4_feature_store.cc.o"
+  "CMakeFiles/ext4_feature_store.dir/ext4_feature_store.cc.o.d"
+  "ext4_feature_store"
+  "ext4_feature_store.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext4_feature_store.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

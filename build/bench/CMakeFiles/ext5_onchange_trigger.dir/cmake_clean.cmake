@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext5_onchange_trigger.dir/ext5_onchange_trigger.cc.o"
+  "CMakeFiles/ext5_onchange_trigger.dir/ext5_onchange_trigger.cc.o.d"
+  "ext5_onchange_trigger"
+  "ext5_onchange_trigger.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext5_onchange_trigger.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for ext5_onchange_trigger.
+# This may be replaced when dependencies are built.

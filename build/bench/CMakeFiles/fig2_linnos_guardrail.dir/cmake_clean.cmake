@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_linnos_guardrail.dir/fig2_linnos_guardrail.cc.o"
+  "CMakeFiles/fig2_linnos_guardrail.dir/fig2_linnos_guardrail.cc.o.d"
+  "fig2_linnos_guardrail"
+  "fig2_linnos_guardrail.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_linnos_guardrail.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/listing1_dsl_pipeline.dir/listing1_dsl_pipeline.cc.o"
+  "CMakeFiles/listing1_dsl_pipeline.dir/listing1_dsl_pipeline.cc.o.d"
+  "listing1_dsl_pipeline"
+  "listing1_dsl_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/listing1_dsl_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab1_actions.dir/tab1_actions.cc.o"
+  "CMakeFiles/tab1_actions.dir/tab1_actions.cc.o.d"
+  "tab1_actions"
+  "tab1_actions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab1_actions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab1_properties.dir/tab1_properties.cc.o"
+  "CMakeFiles/tab1_properties.dir/tab1_properties.cc.o.d"
+  "tab1_properties"
+  "tab1_properties.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab1_properties.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

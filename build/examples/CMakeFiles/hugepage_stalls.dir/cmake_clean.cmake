@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hugepage_stalls.dir/hugepage_stalls.cpp.o"
+  "CMakeFiles/hugepage_stalls.dir/hugepage_stalls.cpp.o.d"
+  "hugepage_stalls"
+  "hugepage_stalls.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hugepage_stalls.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

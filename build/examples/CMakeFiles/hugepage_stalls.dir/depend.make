@@ -1,0 +1,2 @@
+# Empty dependencies file for hugepage_stalls.
+# This may be replaced when dependencies are built.

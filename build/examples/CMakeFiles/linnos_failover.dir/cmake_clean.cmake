@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/linnos_failover.dir/linnos_failover.cpp.o"
+  "CMakeFiles/linnos_failover.dir/linnos_failover.cpp.o.d"
+  "linnos_failover"
+  "linnos_failover.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/linnos_failover.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

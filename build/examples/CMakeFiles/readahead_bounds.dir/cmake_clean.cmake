@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/readahead_bounds.dir/readahead_bounds.cpp.o"
+  "CMakeFiles/readahead_bounds.dir/readahead_bounds.cpp.o.d"
+  "readahead_bounds"
+  "readahead_bounds.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/readahead_bounds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sched_fairness.dir/sched_fairness.cpp.o"
+  "CMakeFiles/sched_fairness.dir/sched_fairness.cpp.o.d"
+  "sched_fairness"
+  "sched_fairness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sched_fairness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("support")
+subdirs("store")
+subdirs("dsl")
+subdirs("vm")
+subdirs("actions")
+subdirs("runtime")
+subdirs("ml")
+subdirs("properties")
+subdirs("sim")
+subdirs("wl")
+subdirs("linnos")

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/actions/dispatcher.cc" "src/actions/CMakeFiles/osguard_actions.dir/dispatcher.cc.o" "gcc" "src/actions/CMakeFiles/osguard_actions.dir/dispatcher.cc.o.d"
+  "/root/repo/src/actions/policy_registry.cc" "src/actions/CMakeFiles/osguard_actions.dir/policy_registry.cc.o" "gcc" "src/actions/CMakeFiles/osguard_actions.dir/policy_registry.cc.o.d"
+  "/root/repo/src/actions/report.cc" "src/actions/CMakeFiles/osguard_actions.dir/report.cc.o" "gcc" "src/actions/CMakeFiles/osguard_actions.dir/report.cc.o.d"
+  "/root/repo/src/actions/retrain.cc" "src/actions/CMakeFiles/osguard_actions.dir/retrain.cc.o" "gcc" "src/actions/CMakeFiles/osguard_actions.dir/retrain.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dsl/CMakeFiles/osguard_dsl.dir/DependInfo.cmake"
+  "/root/repo/build/src/store/CMakeFiles/osguard_store.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/osguard_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

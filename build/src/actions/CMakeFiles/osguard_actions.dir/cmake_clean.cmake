@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/osguard_actions.dir/dispatcher.cc.o"
+  "CMakeFiles/osguard_actions.dir/dispatcher.cc.o.d"
+  "CMakeFiles/osguard_actions.dir/policy_registry.cc.o"
+  "CMakeFiles/osguard_actions.dir/policy_registry.cc.o.d"
+  "CMakeFiles/osguard_actions.dir/report.cc.o"
+  "CMakeFiles/osguard_actions.dir/report.cc.o.d"
+  "CMakeFiles/osguard_actions.dir/retrain.cc.o"
+  "CMakeFiles/osguard_actions.dir/retrain.cc.o.d"
+  "libosguard_actions.a"
+  "libosguard_actions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/osguard_actions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

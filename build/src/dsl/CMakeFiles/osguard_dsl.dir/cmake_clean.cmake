@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/osguard_dsl.dir/ast.cc.o"
+  "CMakeFiles/osguard_dsl.dir/ast.cc.o.d"
+  "CMakeFiles/osguard_dsl.dir/builtins.cc.o"
+  "CMakeFiles/osguard_dsl.dir/builtins.cc.o.d"
+  "CMakeFiles/osguard_dsl.dir/lexer.cc.o"
+  "CMakeFiles/osguard_dsl.dir/lexer.cc.o.d"
+  "CMakeFiles/osguard_dsl.dir/parser.cc.o"
+  "CMakeFiles/osguard_dsl.dir/parser.cc.o.d"
+  "CMakeFiles/osguard_dsl.dir/sema.cc.o"
+  "CMakeFiles/osguard_dsl.dir/sema.cc.o.d"
+  "CMakeFiles/osguard_dsl.dir/token.cc.o"
+  "CMakeFiles/osguard_dsl.dir/token.cc.o.d"
+  "libosguard_dsl.a"
+  "libosguard_dsl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/osguard_dsl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

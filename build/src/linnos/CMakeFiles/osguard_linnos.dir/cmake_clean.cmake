@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/osguard_linnos.dir/harness.cc.o"
+  "CMakeFiles/osguard_linnos.dir/harness.cc.o.d"
+  "CMakeFiles/osguard_linnos.dir/model.cc.o"
+  "CMakeFiles/osguard_linnos.dir/model.cc.o.d"
+  "CMakeFiles/osguard_linnos.dir/policy.cc.o"
+  "CMakeFiles/osguard_linnos.dir/policy.cc.o.d"
+  "libosguard_linnos.a"
+  "libosguard_linnos.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/osguard_linnos.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/osguard_ml.dir/dataset.cc.o"
+  "CMakeFiles/osguard_ml.dir/dataset.cc.o.d"
+  "CMakeFiles/osguard_ml.dir/linear.cc.o"
+  "CMakeFiles/osguard_ml.dir/linear.cc.o.d"
+  "CMakeFiles/osguard_ml.dir/metrics.cc.o"
+  "CMakeFiles/osguard_ml.dir/metrics.cc.o.d"
+  "CMakeFiles/osguard_ml.dir/mlp.cc.o"
+  "CMakeFiles/osguard_ml.dir/mlp.cc.o.d"
+  "libosguard_ml.a"
+  "libosguard_ml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/osguard_ml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libosguard_ml.a"
+)

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/properties/drift.cc" "src/properties/CMakeFiles/osguard_properties.dir/drift.cc.o" "gcc" "src/properties/CMakeFiles/osguard_properties.dir/drift.cc.o.d"
+  "/root/repo/src/properties/specs.cc" "src/properties/CMakeFiles/osguard_properties.dir/specs.cc.o" "gcc" "src/properties/CMakeFiles/osguard_properties.dir/specs.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/store/CMakeFiles/osguard_store.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/osguard_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

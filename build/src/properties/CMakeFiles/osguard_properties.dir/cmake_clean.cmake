@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/osguard_properties.dir/drift.cc.o"
+  "CMakeFiles/osguard_properties.dir/drift.cc.o.d"
+  "CMakeFiles/osguard_properties.dir/specs.cc.o"
+  "CMakeFiles/osguard_properties.dir/specs.cc.o.d"
+  "libosguard_properties.a"
+  "libosguard_properties.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/osguard_properties.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/runtime/engine.cc" "src/runtime/CMakeFiles/osguard_runtime.dir/engine.cc.o" "gcc" "src/runtime/CMakeFiles/osguard_runtime.dir/engine.cc.o.d"
+  "/root/repo/src/runtime/helper_env.cc" "src/runtime/CMakeFiles/osguard_runtime.dir/helper_env.cc.o" "gcc" "src/runtime/CMakeFiles/osguard_runtime.dir/helper_env.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/actions/CMakeFiles/osguard_actions.dir/DependInfo.cmake"
+  "/root/repo/build/src/vm/CMakeFiles/osguard_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/dsl/CMakeFiles/osguard_dsl.dir/DependInfo.cmake"
+  "/root/repo/build/src/store/CMakeFiles/osguard_store.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/osguard_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/osguard_runtime.dir/engine.cc.o"
+  "CMakeFiles/osguard_runtime.dir/engine.cc.o.d"
+  "CMakeFiles/osguard_runtime.dir/helper_env.cc.o"
+  "CMakeFiles/osguard_runtime.dir/helper_env.cc.o.d"
+  "libosguard_runtime.a"
+  "libosguard_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/osguard_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/blk_layer.cc" "src/sim/CMakeFiles/osguard_sim.dir/blk_layer.cc.o" "gcc" "src/sim/CMakeFiles/osguard_sim.dir/blk_layer.cc.o.d"
+  "/root/repo/src/sim/cache.cc" "src/sim/CMakeFiles/osguard_sim.dir/cache.cc.o" "gcc" "src/sim/CMakeFiles/osguard_sim.dir/cache.cc.o.d"
+  "/root/repo/src/sim/congestion.cc" "src/sim/CMakeFiles/osguard_sim.dir/congestion.cc.o" "gcc" "src/sim/CMakeFiles/osguard_sim.dir/congestion.cc.o.d"
+  "/root/repo/src/sim/event_queue.cc" "src/sim/CMakeFiles/osguard_sim.dir/event_queue.cc.o" "gcc" "src/sim/CMakeFiles/osguard_sim.dir/event_queue.cc.o.d"
+  "/root/repo/src/sim/hugepage.cc" "src/sim/CMakeFiles/osguard_sim.dir/hugepage.cc.o" "gcc" "src/sim/CMakeFiles/osguard_sim.dir/hugepage.cc.o.d"
+  "/root/repo/src/sim/kernel.cc" "src/sim/CMakeFiles/osguard_sim.dir/kernel.cc.o" "gcc" "src/sim/CMakeFiles/osguard_sim.dir/kernel.cc.o.d"
+  "/root/repo/src/sim/orca.cc" "src/sim/CMakeFiles/osguard_sim.dir/orca.cc.o" "gcc" "src/sim/CMakeFiles/osguard_sim.dir/orca.cc.o.d"
+  "/root/repo/src/sim/readahead.cc" "src/sim/CMakeFiles/osguard_sim.dir/readahead.cc.o" "gcc" "src/sim/CMakeFiles/osguard_sim.dir/readahead.cc.o.d"
+  "/root/repo/src/sim/scheduler.cc" "src/sim/CMakeFiles/osguard_sim.dir/scheduler.cc.o" "gcc" "src/sim/CMakeFiles/osguard_sim.dir/scheduler.cc.o.d"
+  "/root/repo/src/sim/ssd_device.cc" "src/sim/CMakeFiles/osguard_sim.dir/ssd_device.cc.o" "gcc" "src/sim/CMakeFiles/osguard_sim.dir/ssd_device.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/runtime/CMakeFiles/osguard_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/actions/CMakeFiles/osguard_actions.dir/DependInfo.cmake"
+  "/root/repo/build/src/store/CMakeFiles/osguard_store.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/osguard_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/vm/CMakeFiles/osguard_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/dsl/CMakeFiles/osguard_dsl.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

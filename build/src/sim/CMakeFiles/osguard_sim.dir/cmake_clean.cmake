@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/osguard_sim.dir/blk_layer.cc.o"
+  "CMakeFiles/osguard_sim.dir/blk_layer.cc.o.d"
+  "CMakeFiles/osguard_sim.dir/cache.cc.o"
+  "CMakeFiles/osguard_sim.dir/cache.cc.o.d"
+  "CMakeFiles/osguard_sim.dir/congestion.cc.o"
+  "CMakeFiles/osguard_sim.dir/congestion.cc.o.d"
+  "CMakeFiles/osguard_sim.dir/event_queue.cc.o"
+  "CMakeFiles/osguard_sim.dir/event_queue.cc.o.d"
+  "CMakeFiles/osguard_sim.dir/hugepage.cc.o"
+  "CMakeFiles/osguard_sim.dir/hugepage.cc.o.d"
+  "CMakeFiles/osguard_sim.dir/kernel.cc.o"
+  "CMakeFiles/osguard_sim.dir/kernel.cc.o.d"
+  "CMakeFiles/osguard_sim.dir/orca.cc.o"
+  "CMakeFiles/osguard_sim.dir/orca.cc.o.d"
+  "CMakeFiles/osguard_sim.dir/readahead.cc.o"
+  "CMakeFiles/osguard_sim.dir/readahead.cc.o.d"
+  "CMakeFiles/osguard_sim.dir/scheduler.cc.o"
+  "CMakeFiles/osguard_sim.dir/scheduler.cc.o.d"
+  "CMakeFiles/osguard_sim.dir/ssd_device.cc.o"
+  "CMakeFiles/osguard_sim.dir/ssd_device.cc.o.d"
+  "libosguard_sim.a"
+  "libosguard_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/osguard_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

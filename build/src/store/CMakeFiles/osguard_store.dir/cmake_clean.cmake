@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/osguard_store.dir/feature_store.cc.o"
+  "CMakeFiles/osguard_store.dir/feature_store.cc.o.d"
+  "CMakeFiles/osguard_store.dir/value.cc.o"
+  "CMakeFiles/osguard_store.dir/value.cc.o.d"
+  "libosguard_store.a"
+  "libosguard_store.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/osguard_store.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/osguard_support.dir/histogram.cc.o"
+  "CMakeFiles/osguard_support.dir/histogram.cc.o.d"
+  "CMakeFiles/osguard_support.dir/logging.cc.o"
+  "CMakeFiles/osguard_support.dir/logging.cc.o.d"
+  "CMakeFiles/osguard_support.dir/rng.cc.o"
+  "CMakeFiles/osguard_support.dir/rng.cc.o.d"
+  "CMakeFiles/osguard_support.dir/stats.cc.o"
+  "CMakeFiles/osguard_support.dir/stats.cc.o.d"
+  "CMakeFiles/osguard_support.dir/status.cc.o"
+  "CMakeFiles/osguard_support.dir/status.cc.o.d"
+  "CMakeFiles/osguard_support.dir/time.cc.o"
+  "CMakeFiles/osguard_support.dir/time.cc.o.d"
+  "libosguard_support.a"
+  "libosguard_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/osguard_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

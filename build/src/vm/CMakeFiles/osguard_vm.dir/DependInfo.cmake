@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/vm/bytecode.cc" "src/vm/CMakeFiles/osguard_vm.dir/bytecode.cc.o" "gcc" "src/vm/CMakeFiles/osguard_vm.dir/bytecode.cc.o.d"
+  "/root/repo/src/vm/c_backend.cc" "src/vm/CMakeFiles/osguard_vm.dir/c_backend.cc.o" "gcc" "src/vm/CMakeFiles/osguard_vm.dir/c_backend.cc.o.d"
+  "/root/repo/src/vm/compiler.cc" "src/vm/CMakeFiles/osguard_vm.dir/compiler.cc.o" "gcc" "src/vm/CMakeFiles/osguard_vm.dir/compiler.cc.o.d"
+  "/root/repo/src/vm/verifier.cc" "src/vm/CMakeFiles/osguard_vm.dir/verifier.cc.o" "gcc" "src/vm/CMakeFiles/osguard_vm.dir/verifier.cc.o.d"
+  "/root/repo/src/vm/vm.cc" "src/vm/CMakeFiles/osguard_vm.dir/vm.cc.o" "gcc" "src/vm/CMakeFiles/osguard_vm.dir/vm.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dsl/CMakeFiles/osguard_dsl.dir/DependInfo.cmake"
+  "/root/repo/build/src/store/CMakeFiles/osguard_store.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/osguard_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

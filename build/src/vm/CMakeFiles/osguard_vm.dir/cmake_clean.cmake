@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/osguard_vm.dir/bytecode.cc.o"
+  "CMakeFiles/osguard_vm.dir/bytecode.cc.o.d"
+  "CMakeFiles/osguard_vm.dir/c_backend.cc.o"
+  "CMakeFiles/osguard_vm.dir/c_backend.cc.o.d"
+  "CMakeFiles/osguard_vm.dir/compiler.cc.o"
+  "CMakeFiles/osguard_vm.dir/compiler.cc.o.d"
+  "CMakeFiles/osguard_vm.dir/verifier.cc.o"
+  "CMakeFiles/osguard_vm.dir/verifier.cc.o.d"
+  "CMakeFiles/osguard_vm.dir/vm.cc.o"
+  "CMakeFiles/osguard_vm.dir/vm.cc.o.d"
+  "libosguard_vm.a"
+  "libosguard_vm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/osguard_vm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/wl/accessgen.cc" "src/wl/CMakeFiles/osguard_wl.dir/accessgen.cc.o" "gcc" "src/wl/CMakeFiles/osguard_wl.dir/accessgen.cc.o.d"
+  "/root/repo/src/wl/iogen.cc" "src/wl/CMakeFiles/osguard_wl.dir/iogen.cc.o" "gcc" "src/wl/CMakeFiles/osguard_wl.dir/iogen.cc.o.d"
+  "/root/repo/src/wl/taskgen.cc" "src/wl/CMakeFiles/osguard_wl.dir/taskgen.cc.o" "gcc" "src/wl/CMakeFiles/osguard_wl.dir/taskgen.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/osguard_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

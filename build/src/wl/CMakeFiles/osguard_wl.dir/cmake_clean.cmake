@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/osguard_wl.dir/accessgen.cc.o"
+  "CMakeFiles/osguard_wl.dir/accessgen.cc.o.d"
+  "CMakeFiles/osguard_wl.dir/iogen.cc.o"
+  "CMakeFiles/osguard_wl.dir/iogen.cc.o.d"
+  "CMakeFiles/osguard_wl.dir/taskgen.cc.o"
+  "CMakeFiles/osguard_wl.dir/taskgen.cc.o.d"
+  "libosguard_wl.a"
+  "libosguard_wl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/osguard_wl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

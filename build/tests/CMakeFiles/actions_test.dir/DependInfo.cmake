@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/actions_test.cc" "tests/CMakeFiles/actions_test.dir/actions_test.cc.o" "gcc" "tests/CMakeFiles/actions_test.dir/actions_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/linnos/CMakeFiles/osguard_linnos.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/osguard_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/wl/CMakeFiles/osguard_wl.dir/DependInfo.cmake"
+  "/root/repo/build/src/properties/CMakeFiles/osguard_properties.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/osguard_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/actions/CMakeFiles/osguard_actions.dir/DependInfo.cmake"
+  "/root/repo/build/src/vm/CMakeFiles/osguard_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/osguard_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/dsl/CMakeFiles/osguard_dsl.dir/DependInfo.cmake"
+  "/root/repo/build/src/store/CMakeFiles/osguard_store.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/osguard_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

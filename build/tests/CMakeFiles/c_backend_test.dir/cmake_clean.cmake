@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/c_backend_test.dir/c_backend_test.cc.o"
+  "CMakeFiles/c_backend_test.dir/c_backend_test.cc.o.d"
+  "c_backend_test"
+  "c_backend_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/c_backend_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

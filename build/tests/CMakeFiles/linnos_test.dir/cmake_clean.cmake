@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/linnos_test.dir/linnos_test.cc.o"
+  "CMakeFiles/linnos_test.dir/linnos_test.cc.o.d"
+  "linnos_test"
+  "linnos_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/linnos_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/onchange_test.dir/onchange_test.cc.o"
+  "CMakeFiles/onchange_test.dir/onchange_test.cc.o.d"
+  "onchange_test"
+  "onchange_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/onchange_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

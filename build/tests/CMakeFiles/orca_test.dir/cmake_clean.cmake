@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/orca_test.dir/orca_test.cc.o"
+  "CMakeFiles/orca_test.dir/orca_test.cc.o.d"
+  "orca_test"
+  "orca_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/orca_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

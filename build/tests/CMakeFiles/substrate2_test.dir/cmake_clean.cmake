@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/substrate2_test.dir/substrate2_test.cc.o"
+  "CMakeFiles/substrate2_test.dir/substrate2_test.cc.o.d"
+  "substrate2_test"
+  "substrate2_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/substrate2_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/osguardc.dir/osguardc.cc.o"
+  "CMakeFiles/osguardc.dir/osguardc.cc.o.d"
+  "osguardc"
+  "osguardc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/osguardc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,10 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(osguardc_check_corpus "/root/repo/build/tools/osguardc" "-q" "/root/repo/specs/listing2.osg" "/root/repo/specs/page_fault_latency.osg" "/root/repo/specs/scheduler_liveness.osg")
+set_tests_properties(osguardc_check_corpus PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;5;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(osguardc_rejects_bad_spec "sh" "-c" "echo 'guardrail broken {' | /root/repo/build/tools/osguardc - ; test \$? -eq 1")
+set_tests_properties(osguardc_rejects_bad_spec PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;9;add_test;/root/repo/tools/CMakeLists.txt;0;")
