@@ -59,7 +59,7 @@ void DetectionLatency() {
       PolicyRegistry registry;
       Engine engine(&store, &registry);
       store.SetWriteObserver(
-          [&engine](const std::string& key) { engine.OnStoreWrite(key); });
+          [&engine](KeyId id, const std::string& /*key*/) { engine.OnStoreWrite(id); });
       std::string spec;
       if (std::string(mode) == "TIMER(1s)") {
         spec = TimerSpec(Seconds(1));
@@ -100,7 +100,8 @@ void Overhead() {
     FeatureStore store;
     PolicyRegistry registry;
     Engine engine(&store, &registry);
-    store.SetWriteObserver([&engine](const std::string& key) { engine.OnStoreWrite(key); });
+    store.SetWriteObserver(
+        [&engine](KeyId id, const std::string& /*key*/) { engine.OnStoreWrite(id); });
     (void)engine.LoadSource(c.onchange ? kChangeSpec : TimerSpec(c.interval));
     store.Save("metric", Value(1));
 

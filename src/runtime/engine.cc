@@ -15,6 +15,112 @@ int64_t WallNowNs() {
       .count();
 }
 
+// Helpers whose first argument is a feature-store key — candidates for the
+// kCall -> kCallKeyed slot-id rewrite.
+bool IsKeyedHelper(HelperId id) {
+  switch (id) {
+    case HelperId::kLoad:
+    case HelperId::kLoadOr:
+    case HelperId::kSave:
+    case HelperId::kIncr:
+    case HelperId::kExists:
+    case HelperId::kObserve:
+    case HelperId::kCount:
+    case HelperId::kSum:
+    case HelperId::kMean:
+    case HelperId::kMinAgg:
+    case HelperId::kMaxAgg:
+    case HelperId::kStdDev:
+    case HelperId::kRate:
+    case HelperId::kNewest:
+    case HelperId::kOldest:
+    case HelperId::kQuantile:
+      return true;
+    default:
+      return false;
+  }
+}
+
+// Destination register of an instruction, or -1 if it writes none.
+int DefRegOf(const Insn& insn) {
+  switch (insn.op) {
+    case Op::kJump:
+    case Op::kJumpIfFalse:
+    case Op::kJumpIfTrue:
+    case Op::kRet:
+      return -1;
+    default:
+      return insn.a;
+  }
+}
+
+// Load-time specialization: for every store/aggregate kCall whose key operand
+// is provably the program constant loaded immediately-dominating the call,
+// intern the key into `store` and rewrite the call to kCallKeyed carrying the
+// slot id in aux. The analysis is deliberately conservative — it walks the
+// straight-line predecessor block and gives up at any join point (jump
+// target), non-fall-through instruction, or non-constant reaching definition.
+// Calls it cannot prove stay on the string path; semantics never change.
+void RewriteKeyedCalls(Program& program, FeatureStore& store) {
+  const size_t n = program.insns.size();
+  std::vector<char> is_target(n, 0);
+  for (size_t pc = 0; pc < n; ++pc) {
+    const Insn& insn = program.insns[pc];
+    int32_t off = 0;
+    switch (insn.op) {
+      case Op::kJump:
+      case Op::kJumpIfFalse:
+      case Op::kJumpIfTrue:
+        off = insn.imm;
+        break;
+      case Op::kCmpConstJf:
+      case Op::kCmpConstJt:
+      case Op::kCmpRegJf:
+      case Op::kCmpRegJt:
+        off = insn.aux;
+        break;
+      default:
+        continue;
+    }
+    const size_t target = pc + 1 + static_cast<size_t>(off);
+    if (target < n) {
+      is_target[target] = 1;
+    }
+  }
+  for (size_t pc = 0; pc < n; ++pc) {
+    Insn& call = program.insns[pc];
+    if (call.op != Op::kCall || call.c < 1 ||
+        !IsKeyedHelper(static_cast<HelperId>(call.imm))) {
+      continue;
+    }
+    if (is_target[pc]) {
+      continue;  // multiple predecessors: the key register isn't provable
+    }
+    const int key_reg = call.b;
+    for (size_t k = pc; k-- > 0;) {
+      const Insn& def = program.insns[k];
+      if (def.op == Op::kJump || def.op == Op::kRet) {
+        break;  // the call isn't reached by falling through this pc
+      }
+      if (DefRegOf(def) == key_reg) {
+        // Nearest reaching definition. It dominates the call even if `k` is
+        // itself a jump target — every path through k runs this def.
+        if (def.op == Op::kLoadConst) {
+          const Value& v = program.consts[static_cast<size_t>(def.imm)];
+          if (const std::string* key = v.IfString()) {
+            call.op = Op::kCallKeyed;
+            call.aux = static_cast<int32_t>(store.InternKey(*key));
+          }
+        }
+        break;
+      }
+      if (is_target[k]) {
+        break;  // join point before the def: another path may differ
+      }
+    }
+  }
+}
+
 }  // namespace
 
 Engine::Engine(FeatureStore* store, PolicyRegistry* registry, TaskControl* task_control,
@@ -25,7 +131,10 @@ Engine::Engine(FeatureStore* store, PolicyRegistry* registry, TaskControl* task_
       reporter_(options.reporter_capacity),
       retrain_queue_(options.retrain),
       dispatcher_(&reporter_, registry, &retrain_queue_, task_control),
-      env_(store, &dispatcher_) {}
+      env_(store, &dispatcher_) {
+  pending_changes_.reserve(64);
+  drain_batch_.reserve(64);
+}
 
 void Engine::ArmTimers(Monitor& monitor) {
   for (size_t i = 0; i < monitor.guardrail.triggers.size(); ++i) {
@@ -59,13 +168,22 @@ Engine::Monitor* Engine::ResolveEntry(const TimerEntry& entry) const {
 
 void Engine::RebuildFunctionIndex() {
   function_hooks_.clear();
-  watch_hooks_.clear();
+  watch_hooks_.assign(store_->key_count(), {});
+  watch_hook_count_ = 0;
+  monitor_names_.clear();
+  monitor_names_.reserve(monitors_.size());
   for (auto& [name, monitor] : monitors_) {
+    monitor_names_.push_back(name);
     for (const CompiledTrigger& trigger : monitor->guardrail.triggers) {
       if (trigger.kind == TriggerKind::kFunction) {
         function_hooks_[trigger.function_name].push_back(monitor.get());
       } else if (trigger.kind == TriggerKind::kOnChange) {
-        watch_hooks_[trigger.watch_key].push_back(monitor.get());
+        const KeyId id = store_->InternKey(trigger.watch_key);
+        if (id >= watch_hooks_.size()) {
+          watch_hooks_.resize(id + 1);
+        }
+        watch_hooks_[id].push_back(monitor.get());
+        ++watch_hook_count_;
       }
     }
   }
@@ -79,6 +197,17 @@ Status Engine::Load(CompiledGuardrail guardrail) {
   OSGUARD_RETURN_IF_ERROR(Verify(guardrail.rule, VerifyOptions{.allow_actions = false}));
   OSGUARD_RETURN_IF_ERROR(Verify(guardrail.action, VerifyOptions{.allow_actions = true}));
   if (!guardrail.on_satisfy.empty()) {
+    OSGUARD_RETURN_IF_ERROR(Verify(guardrail.on_satisfy, VerifyOptions{.allow_actions = true}));
+  }
+  // Bind constant store keys to slot ids, then re-verify: the rewrite only
+  // flips kCall -> kCallKeyed and fills aux, but the verifier is the
+  // authority on what runs, so it gets the final word on the mutated form.
+  RewriteKeyedCalls(guardrail.rule, *store_);
+  RewriteKeyedCalls(guardrail.action, *store_);
+  OSGUARD_RETURN_IF_ERROR(Verify(guardrail.rule, VerifyOptions{.allow_actions = false}));
+  OSGUARD_RETURN_IF_ERROR(Verify(guardrail.action, VerifyOptions{.allow_actions = true}));
+  if (!guardrail.on_satisfy.empty()) {
+    RewriteKeyedCalls(guardrail.on_satisfy, *store_);
     OSGUARD_RETURN_IF_ERROR(Verify(guardrail.on_satisfy, VerifyOptions{.allow_actions = true}));
   }
   auto monitor = std::make_unique<Monitor>();
@@ -120,23 +249,19 @@ Status Engine::SetEnabled(const std::string& name, bool enabled) {
   return OkStatus();
 }
 
-std::vector<std::string> Engine::MonitorNames() const {
-  std::vector<std::string> names;
-  names.reserve(monitors_.size());
-  for (const auto& [name, monitor] : monitors_) {
-    names.push_back(name);
-  }
-  return names;
-}
-
 bool Engine::Contains(const std::string& name) const { return monitors_.count(name) > 0; }
 
 Result<MonitorStats> Engine::StatsFor(const std::string& name) const {
-  auto it = monitors_.find(name);
-  if (it == monitors_.end()) {
+  const MonitorStats* stats = FindStats(name);
+  if (stats == nullptr) {
     return NotFoundError("no guardrail named '" + name + "'");
   }
-  return it->second->stats;
+  return *stats;
+}
+
+const MonitorStats* Engine::FindStats(const std::string& name) const {
+  auto it = monitors_.find(name);
+  return it == monitors_.end() ? nullptr : &it->second->stats;
 }
 
 std::optional<SimTime> Engine::NextTimerDeadline() const {
@@ -180,7 +305,10 @@ void Engine::AdvanceTo(SimTime t) {
 
 void Engine::OnFunctionCall(std::string_view function, SimTime t) {
   now_ = std::max(now_, t);
-  auto it = function_hooks_.find(std::string(function));
+  if (function_hooks_.empty()) {
+    return;  // hot path when no FUNCTION guardrail is loaded
+  }
+  auto it = function_hooks_.find(function);  // heterogeneous: no temp string
   if (it == function_hooks_.end()) {
     return;
   }
@@ -192,21 +320,20 @@ void Engine::OnFunctionCall(std::string_view function, SimTime t) {
   }
 }
 
-void Engine::OnStoreWrite(const std::string& key) {
-  if (watch_hooks_.empty()) {
+void Engine::OnStoreWrite(KeyId id) {
+  if (watch_hook_count_ == 0) {
     return;  // hot path when no ONCHANGE guardrail is loaded
   }
-  if (watch_hooks_.find(key) == watch_hooks_.end()) {
+  if (id >= watch_hooks_.size() || watch_hooks_[id].empty()) {
     return;
   }
   if (evaluating_) {
     // Write performed by a running monitor program: defer (see header).
-    pending_changes_.push_back(key);
+    pending_changes_.push_back(id);
     return;
   }
-  auto it = watch_hooks_.find(key);
   // Copy: Evaluate may load/unload monitors indirectly in future revisions.
-  const std::vector<Monitor*> hooked = it->second;
+  const std::vector<Monitor*> hooked = watch_hooks_[id];
   for (Monitor* monitor : hooked) {
     if (monitor->enabled) {
       ++stats_.change_firings;
@@ -214,6 +341,17 @@ void Engine::OnStoreWrite(const std::string& key) {
     }
   }
   DrainPendingChanges();
+}
+
+void Engine::OnStoreWrite(const std::string& key) {
+  if (watch_hook_count_ == 0) {
+    return;
+  }
+  const KeyId id = store_->FindKey(key);
+  if (id == kInvalidKeyId) {
+    return;  // never interned, so certainly unwatched
+  }
+  OnStoreWrite(id);
 }
 
 void Engine::DrainPendingChanges() {
@@ -227,14 +365,13 @@ void Engine::DrainPendingChanges() {
   constexpr int kCascadeBudget = 64;
   int processed = 0;
   while (!pending_changes_.empty()) {
-    std::vector<std::string> batch;
-    batch.swap(pending_changes_);
-    for (const std::string& key : batch) {
-      auto it = watch_hooks_.find(key);
-      if (it == watch_hooks_.end()) {
+    drain_batch_.clear();
+    drain_batch_.swap(pending_changes_);
+    for (const KeyId id : drain_batch_) {
+      if (id >= watch_hooks_.size()) {
         continue;
       }
-      for (Monitor* monitor : it->second) {
+      for (Monitor* monitor : watch_hooks_[id]) {
         if (!monitor->enabled) {
           continue;
         }
@@ -257,8 +394,7 @@ void Engine::DrainPendingChanges() {
 }
 
 void Engine::RunActions(Monitor& monitor, const Program& program, SimTime t) {
-  env_.SetEnvelope(
-      ActionEnvelope{monitor.guardrail.name, monitor.guardrail.meta.severity, t});
+  env_.UpdateEnvelope(monitor.guardrail.name, monitor.guardrail.meta.severity, t);
   const int64_t start = options_.measure_wall_time ? WallNowNs() : 0;
   auto result = vm_.Execute(program, env_);
   if (options_.measure_wall_time) {
@@ -293,8 +429,7 @@ void Engine::EvaluateInner(Monitor& monitor, SimTime t) {
   ++stats.evaluations;
   ++stats_.evaluations;
 
-  env_.SetEnvelope(
-      ActionEnvelope{monitor.guardrail.name, monitor.guardrail.meta.severity, t});
+  env_.UpdateEnvelope(monitor.guardrail.name, monitor.guardrail.meta.severity, t);
   const int64_t start = options_.measure_wall_time ? WallNowNs() : 0;
   auto result = vm_.Execute(monitor.guardrail.rule, env_);
   if (options_.measure_wall_time) {

@@ -43,6 +43,7 @@
 #include "src/actions/task_control.h"
 #include "src/runtime/helper_env.h"
 #include "src/store/feature_store.h"
+#include "src/support/hash.h"
 #include "src/vm/compiler.h"
 #include "src/vm/vm.h"
 
@@ -102,7 +103,9 @@ class Engine {
 
   Status Unload(const std::string& name);
   Status SetEnabled(const std::string& name, bool enabled);
-  std::vector<std::string> MonitorNames() const;
+  // Sorted monitor names; the vector is cached and rebuilt on load/unload,
+  // so calling this per-tick is free.
+  const std::vector<std::string>& MonitorNames() const { return monitor_names_; }
   bool Contains(const std::string& name) const;
 
   // --- Kernel callouts ---
@@ -125,12 +128,21 @@ class Engine {
   // finishes and are processed with a bounded cascade budget, so two
   // ONCHANGE guardrails whose actions touch each other's keys cannot loop
   // the engine (§6's feedback-loop hazard, contained at the trigger layer).
+  //
+  // The KeyId overload is the hot path — the store's write observer hands the
+  // interned slot id straight through, so dispatch is an array index. The
+  // string overload resolves the id first (never interning a key the store
+  // doesn't know).
+  void OnStoreWrite(KeyId id);
   void OnStoreWrite(const std::string& key);
 
   // --- Introspection ---
 
   SimTime now() const { return now_; }
   Result<MonitorStats> StatsFor(const std::string& name) const;
+  // Zero-copy variant: pointer into the live monitor (invalidated by
+  // unload/replace), or nullptr if no such monitor. Preferred in bench loops.
+  const MonitorStats* FindStats(const std::string& name) const;
   EngineStats stats() const { return stats_; }
 
   FeatureStore& store() { return *store_; }
@@ -186,12 +198,21 @@ class Engine {
   uint64_t next_tiebreak_ = 0;
   uint64_t next_generation_ = 1;
   std::map<std::string, std::unique_ptr<Monitor>> monitors_;
+  std::vector<std::string> monitor_names_;  // cache backing MonitorNames()
   std::priority_queue<TimerEntry, std::vector<TimerEntry>, std::greater<TimerEntry>> timers_;
-  std::unordered_map<std::string, std::vector<Monitor*>> function_hooks_;
-  std::unordered_map<std::string, std::vector<Monitor*>> watch_hooks_;
+  // Heterogeneous lookup: OnFunctionCall probes with its string_view argument
+  // directly — no temporary std::string on the callout hot path.
+  std::unordered_map<std::string, std::vector<Monitor*>, TransparentStringHash,
+                     std::equal_to<>>
+      function_hooks_;
+  // Indexed by KeyId (watch keys are interned into the store at load), so an
+  // ONCHANGE dispatch is a bounds check + vector index.
+  std::vector<std::vector<Monitor*>> watch_hooks_;
+  size_t watch_hook_count_ = 0;  // total hooked monitors; 0 = fast bail-out
   bool evaluating_ = false;
   bool draining_ = false;
-  std::vector<std::string> pending_changes_;
+  std::vector<KeyId> pending_changes_;
+  std::vector<KeyId> drain_batch_;  // swap buffer; keeps capacity across drains
   EngineStats stats_;
 };
 

@@ -36,7 +36,45 @@ AggKind AggKindFor(HelperId id) {
   }
 }
 
+// Store/aggregate keys arrive as string Values; view them in place — the
+// helper protocol never needs an owned copy.
+Result<std::string_view> KeyArg(const Value& v) {
+  if (const std::string* s = v.IfString()) {
+    return std::string_view(*s);
+  }
+  return InvalidArgumentError("value is not a string: " + v.ToString());
+}
+
 }  // namespace
+
+Result<Value> MonitorHelperEnv::CallHelperKeyed(HelperId id, uint32_t slot,
+                                                std::span<const Value> args) {
+  if (slot >= store_->key_count()) {
+    return CallHelper(id, args);  // unknown slot: take the string slow path
+  }
+  switch (id) {
+    case HelperId::kLoad:
+    case HelperId::kLoadOr:
+    case HelperId::kSave:
+    case HelperId::kIncr:
+    case HelperId::kExists:
+    case HelperId::kObserve:
+      return StoreHelperKeyed(id, slot, args);
+    case HelperId::kCount:
+    case HelperId::kSum:
+    case HelperId::kMean:
+    case HelperId::kMinAgg:
+    case HelperId::kMaxAgg:
+    case HelperId::kStdDev:
+    case HelperId::kRate:
+    case HelperId::kNewest:
+    case HelperId::kOldest:
+    case HelperId::kQuantile:
+      return AggregateHelperKeyed(id, slot, args);
+    default:
+      return CallHelper(id, args);
+  }
+}
 
 Result<Value> MonitorHelperEnv::CallHelper(HelperId id, std::span<const Value> args) {
   switch (id) {
@@ -84,7 +122,7 @@ Result<Value> MonitorHelperEnv::CallHelper(HelperId id, std::span<const Value> a
 }
 
 Result<Value> MonitorHelperEnv::StoreHelper(HelperId id, std::span<const Value> args) {
-  OSGUARD_ASSIGN_OR_RETURN(std::string key, args[0].AsString());
+  OSGUARD_ASSIGN_OR_RETURN(std::string_view key, KeyArg(args[0]));
   switch (id) {
     case HelperId::kLoad:
       return store_->LoadOr(key, Value());  // nil when missing (see header)
@@ -112,8 +150,61 @@ Result<Value> MonitorHelperEnv::StoreHelper(HelperId id, std::span<const Value> 
   }
 }
 
+Result<Value> MonitorHelperEnv::StoreHelperKeyed(HelperId id, KeyId key,
+                                                 std::span<const Value> args) {
+  switch (id) {
+    case HelperId::kLoad:
+      return store_->LoadOr(key, Value());
+    case HelperId::kLoadOr:
+      return store_->LoadOr(key, args[1]);
+    case HelperId::kSave:
+      store_->Save(key, args[1]);
+      return Value();
+    case HelperId::kIncr: {
+      double delta = 1.0;
+      if (args.size() > 1) {
+        OSGUARD_ASSIGN_OR_RETURN(delta, NumericArg(args[1], "INCR delta"));
+      }
+      return Value(store_->Increment(key, delta));
+    }
+    case HelperId::kExists:
+      return Value(store_->Contains(key));
+    case HelperId::kObserve: {
+      OSGUARD_ASSIGN_OR_RETURN(double sample, NumericArg(args[1], "OBSERVE sample"));
+      store_->Observe(key, envelope_.now, sample);
+      return Value();
+    }
+    default:
+      return InternalError("not a store helper");
+  }
+}
+
 Result<Value> MonitorHelperEnv::AggregateHelper(HelperId id, std::span<const Value> args) {
-  OSGUARD_ASSIGN_OR_RETURN(std::string key, args[0].AsString());
+  OSGUARD_ASSIGN_OR_RETURN(std::string_view key, KeyArg(args[0]));
+  if (id == HelperId::kQuantile) {
+    OSGUARD_ASSIGN_OR_RETURN(double q, NumericArg(args[1], "QUANTILE q"));
+    if (q < 0.0 || q > 1.0) {
+      return InvalidArgumentError("QUANTILE q must be in [0, 1]");
+    }
+    OSGUARD_ASSIGN_OR_RETURN(double window, NumericArg(args[2], "QUANTILE window"));
+    auto result = store_->AggregateQuantile(key, q, static_cast<Duration>(window),
+                                            envelope_.now);
+    if (!result.ok()) {
+      return Value();  // nil on empty window
+    }
+    return Value(result.value());
+  }
+  OSGUARD_ASSIGN_OR_RETURN(double window, NumericArg(args[1], "aggregate window"));
+  auto result =
+      store_->Aggregate(key, AggKindFor(id), static_cast<Duration>(window), envelope_.now);
+  if (!result.ok()) {
+    return Value();  // nil on empty window / missing series
+  }
+  return Value(result.value());
+}
+
+Result<Value> MonitorHelperEnv::AggregateHelperKeyed(HelperId id, KeyId key,
+                                                     std::span<const Value> args) {
   if (id == HelperId::kQuantile) {
     OSGUARD_ASSIGN_OR_RETURN(double q, NumericArg(args[1], "QUANTILE q"));
     if (q < 0.0 || q > 1.0) {

@@ -31,12 +31,33 @@ class MonitorHelperEnv : public HelperContext {
   void SetEnvelope(ActionEnvelope envelope) { envelope_ = std::move(envelope); }
   const ActionEnvelope& envelope() const { return envelope_; }
 
+  // Hot-path envelope refresh: only touches the guardrail-name string when it
+  // actually changed, so repeated evaluations of the same monitor never
+  // allocate (std::string assignment reuses capacity otherwise).
+  void UpdateEnvelope(const std::string& guardrail, Severity severity, SimTime now) {
+    if (envelope_.guardrail != guardrail) {
+      envelope_.guardrail = guardrail;
+    }
+    envelope_.severity = severity;
+    envelope_.now = now;
+  }
+
   Result<Value> CallHelper(HelperId id, std::span<const Value> args) override;
+
+  // kCallKeyed fast path: store/aggregate helpers dispatch on the pre-resolved
+  // slot id, skipping the string hash probe entirely. Slots the store doesn't
+  // know about (a fuzzed or stale program) fall back to the string path, so
+  // the hint is purely an optimization.
+  Result<Value> CallHelperKeyed(HelperId id, uint32_t slot,
+                                std::span<const Value> args) override;
+
   SimTime now() const override { return envelope_.now; }
 
  private:
   Result<Value> StoreHelper(HelperId id, std::span<const Value> args);
+  Result<Value> StoreHelperKeyed(HelperId id, KeyId key, std::span<const Value> args);
   Result<Value> AggregateHelper(HelperId id, std::span<const Value> args);
+  Result<Value> AggregateHelperKeyed(HelperId id, KeyId key, std::span<const Value> args);
   Result<Value> MathHelper(HelperId id, std::span<const Value> args);
 
   FeatureStore* store_;

@@ -5,7 +5,8 @@ namespace osguard {
 Kernel::Kernel(EngineOptions engine_options) {
   engine_ = std::make_unique<Engine>(&store_, &registry_, &task_control_shim_, engine_options);
   // Route store writes to the engine so ONCHANGE triggers fire.
-  store_.SetWriteObserver([this](const std::string& key) { engine_->OnStoreWrite(key); });
+  store_.SetWriteObserver(
+      [this](KeyId id, const std::string& /*key*/) { engine_->OnStoreWrite(id); });
 }
 
 void Kernel::Run(SimTime until) {

@@ -31,189 +31,444 @@ std::string_view AggKindName(AggKind kind) {
   return "?";
 }
 
-void FeatureStore::Save(const std::string& key, Value value) {
+// --- Interning ---
+
+KeyId FeatureStore::InternLocked(std::string_view key) {
+  auto it = index_.find(key);
+  if (it != index_.end()) {
+    return it->second;
+  }
+  const KeyId id = static_cast<KeyId>(slots_.size());
+  slots_.emplace_back();
+  slots_.back().key = std::string(key);
+  index_.emplace(slots_.back().key, id);
+  return id;
+}
+
+KeyId FeatureStore::FindLocked(std::string_view key) const {
+  auto it = index_.find(key);
+  return it == index_.end() ? kInvalidKeyId : it->second;
+}
+
+KeyId FeatureStore::InternKey(std::string_view key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return InternLocked(key);
+}
+
+KeyId FeatureStore::FindKey(std::string_view key) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return FindLocked(key);
+}
+
+size_t FeatureStore::key_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return slots_.size();
+}
+
+const std::string& FeatureStore::KeyName(KeyId id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return slots_[id].key;
+}
+
+// --- Scalars ---
+
+void FeatureStore::Save(std::string_view key, Value value) {
+  KeyId id;
   {
     std::lock_guard<std::mutex> lock(mu_);
-    scalars_[key] = std::move(value);
+    id = InternLocked(key);
+    slots_[id].scalar = std::move(value);
+    slots_[id].has_scalar = true;
   }
-  NotifyWrite(key);
+  NotifyWrite(id);
 }
 
-Result<Value> FeatureStore::Load(const std::string& key) const {
-  std::lock_guard<std::mutex> lock(mu_);
-  auto it = scalars_.find(key);
-  if (it == scalars_.end()) {
-    return NotFoundError("feature store has no key '" + key + "'");
+void FeatureStore::Save(KeyId id, Value value) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    slots_[id].scalar = std::move(value);
+    slots_[id].has_scalar = true;
   }
-  return it->second;
+  NotifyWrite(id);
 }
 
-Value FeatureStore::LoadOr(const std::string& key, Value fallback) const {
+Result<Value> FeatureStore::Load(std::string_view key) const {
   std::lock_guard<std::mutex> lock(mu_);
-  auto it = scalars_.find(key);
-  return it == scalars_.end() ? std::move(fallback) : it->second;
-}
-
-bool FeatureStore::Contains(const std::string& key) const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return scalars_.count(key) > 0;
-}
-
-Status FeatureStore::Erase(const std::string& key) {
-  std::lock_guard<std::mutex> lock(mu_);
-  if (scalars_.erase(key) == 0) {
-    return NotFoundError("feature store has no key '" + key + "'");
+  const KeyId id = FindLocked(key);
+  if (id == kInvalidKeyId || !slots_[id].has_scalar) {
+    return NotFoundError("feature store has no key '" + std::string(key) + "'");
   }
+  return slots_[id].scalar;
+}
+
+Result<Value> FeatureStore::Load(KeyId id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (id >= slots_.size() || !slots_[id].has_scalar) {
+    return NotFoundError("feature store has no slot " + std::to_string(id));
+  }
+  return slots_[id].scalar;
+}
+
+Value FeatureStore::LoadOr(std::string_view key, Value fallback) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const KeyId id = FindLocked(key);
+  if (id == kInvalidKeyId || !slots_[id].has_scalar) {
+    return fallback;
+  }
+  return slots_[id].scalar;
+}
+
+Value FeatureStore::LoadOr(KeyId id, Value fallback) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (id >= slots_.size() || !slots_[id].has_scalar) {
+    return fallback;
+  }
+  return slots_[id].scalar;
+}
+
+bool FeatureStore::Contains(std::string_view key) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const KeyId id = FindLocked(key);
+  return id != kInvalidKeyId && slots_[id].has_scalar;
+}
+
+bool FeatureStore::Contains(KeyId id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return id < slots_.size() && slots_[id].has_scalar;
+}
+
+Status FeatureStore::Erase(std::string_view key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const KeyId id = FindLocked(key);
+  if (id == kInvalidKeyId || !slots_[id].has_scalar) {
+    return NotFoundError("feature store has no key '" + std::string(key) + "'");
+  }
+  slots_[id].has_scalar = false;
+  slots_[id].scalar = Value();
   return OkStatus();
 }
 
-double FeatureStore::Increment(const std::string& key, double delta) {
+double FeatureStore::Increment(std::string_view key, double delta) {
+  KeyId id;
   double next = delta;
   {
     std::lock_guard<std::mutex> lock(mu_);
-    auto it = scalars_.find(key);
-    if (it != scalars_.end()) {
-      next += it->second.NumericOr(0.0);
+    id = InternLocked(key);
+    Slot& slot = slots_[id];
+    if (slot.has_scalar) {
+      next += slot.scalar.NumericOr(0.0);
     }
-    scalars_[key] = Value(next);
+    slot.scalar = Value(next);
+    slot.has_scalar = true;
   }
-  NotifyWrite(key);
+  NotifyWrite(id);
   return next;
 }
 
-void FeatureStore::Observe(const std::string& key, SimTime now, double sample) {
+double FeatureStore::Increment(KeyId id, double delta) {
+  double next = delta;
   {
     std::lock_guard<std::mutex> lock(mu_);
-    Series& series = series_[key];
-    SimTime t = now;
-    if (!series.samples.empty() && t < series.samples.back().time) {
-      t = series.samples.back().time;  // clamp out-of-order samples
+    Slot& slot = slots_[id];
+    if (slot.has_scalar) {
+      next += slot.scalar.NumericOr(0.0);
     }
-    series.samples.push_back(Sample{t, sample});
-    EvictLocked(series, t);
+    slot.scalar = Value(next);
+    slot.has_scalar = true;
   }
-  NotifyWrite(key);
+  NotifyWrite(id);
+  return next;
 }
 
-void FeatureStore::SetSeriesOptions(const std::string& key, SeriesOptions options) {
+// --- Time series ---
+
+void FeatureStore::AppendLocked(Series& series, SimTime t, double sample) {
+  if (!series.samples.empty() && t < series.samples.back().time) {
+    t = series.samples.back().time;  // clamp out-of-order samples
+  }
+  double cum_sum = sample;
+  double cum_sumsq = sample * sample;
+  if (!series.samples.empty()) {
+    cum_sum += series.samples.back().cum_sum;
+    cum_sumsq += series.samples.back().cum_sumsq;
+  }
+  const uint64_t seq = series.next_seq++;
+  series.samples.push_back(Sample{t, sample, cum_sum, cum_sumsq, seq});
+  // Maintain the monotonic extrema deques (amortized O(1)): a new sample
+  // invalidates every older candidate that it dominates.
+  while (!series.minima.empty() && series.minima.back().value >= sample) {
+    series.minima.pop_back();
+  }
+  series.minima.push_back(Extremum{seq, t, sample});
+  while (!series.maxima.empty() && series.maxima.back().value <= sample) {
+    series.maxima.pop_back();
+  }
+  series.maxima.push_back(Extremum{seq, t, sample});
+  EvictLocked(series, t);
+}
+
+void FeatureStore::EvictLocked(Series& series, SimTime now) {
+  const SimTime cutoff = now - series.options.max_age;
+  auto pop_front = [&series] {
+    const uint64_t seq = series.samples.front().seq;
+    if (!series.minima.empty() && series.minima.front().seq == seq) {
+      series.minima.pop_front();
+    }
+    if (!series.maxima.empty() && series.maxima.front().seq == seq) {
+      series.maxima.pop_front();
+    }
+    series.samples.pop_front();
+  };
+  while (!series.samples.empty() && series.samples.front().time < cutoff) {
+    pop_front();
+  }
+  while (series.samples.size() > series.options.max_samples) {
+    pop_front();
+  }
+  // Rebase point: with no retained samples the prefix accumulators restart
+  // from zero on the next append (bounds floating-point drift).
+}
+
+void FeatureStore::Observe(std::string_view key, SimTime now, double sample) {
+  KeyId id;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    id = InternLocked(key);
+    if (slots_[id].series == nullptr) {
+      slots_[id].series = std::make_unique<Series>();
+    }
+    AppendLocked(*slots_[id].series, now, sample);
+  }
+  NotifyWrite(id);
+}
+
+void FeatureStore::Observe(KeyId id, SimTime now, double sample) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (slots_[id].series == nullptr) {
+      slots_[id].series = std::make_unique<Series>();
+    }
+    AppendLocked(*slots_[id].series, now, sample);
+  }
+  NotifyWrite(id);
+}
+
+void FeatureStore::SetSeriesOptions(std::string_view key, SeriesOptions options) {
   std::lock_guard<std::mutex> lock(mu_);
-  Series& series = series_[key];
+  const KeyId id = InternLocked(key);
+  if (slots_[id].series == nullptr) {
+    slots_[id].series = std::make_unique<Series>();
+  }
+  Series& series = *slots_[id].series;
   series.options = options;
   if (!series.samples.empty()) {
     EvictLocked(series, series.samples.back().time);
   }
 }
 
-void FeatureStore::EvictLocked(Series& series, SimTime now) const {
-  const SimTime cutoff = now - series.options.max_age;
-  while (!series.samples.empty() && series.samples.front().time < cutoff) {
-    series.samples.pop_front();
+namespace {
+
+struct WindowRange {
+  size_t lo = 0;
+  size_t hi = 0;  // inclusive
+  bool empty = true;
+};
+
+// Deque indices covered by (cutoff, now]; times are non-decreasing so both
+// bounds are binary searches.
+template <typename Deque>
+WindowRange FindWindow(const Deque& samples, SimTime cutoff, SimTime now) {
+  WindowRange r;
+  if (samples.empty()) {
+    return r;
   }
-  while (series.samples.size() > series.options.max_samples) {
-    series.samples.pop_front();
+  auto lo_it = std::upper_bound(samples.begin(), samples.end(), cutoff,
+                                [](SimTime t, const auto& s) { return t < s.time; });
+  auto hi_it = std::upper_bound(samples.begin(), samples.end(), now,
+                                [](SimTime t, const auto& s) { return t < s.time; });
+  if (lo_it == samples.end() || lo_it == hi_it) {
+    return r;
   }
+  r.lo = static_cast<size_t>(lo_it - samples.begin());
+  r.hi = static_cast<size_t>(hi_it - samples.begin()) - 1;
+  r.empty = false;
+  return r;
 }
 
-Result<double> FeatureStore::Aggregate(const std::string& key, AggKind kind, Duration window,
+}  // namespace
+
+Result<double> FeatureStore::Aggregate(KeyId id, AggKind kind, Duration window,
                                        SimTime now) const {
   std::lock_guard<std::mutex> lock(mu_);
-  auto it = series_.find(key);
   const bool empty_ok =
       kind == AggKind::kCount || kind == AggKind::kSum || kind == AggKind::kRate;
-  if (it == series_.end()) {
+  const Series* series = id < slots_.size() ? slots_[id].series.get() : nullptr;
+  if (series == nullptr) {
     if (empty_ok) {
       return 0.0;
     }
-    return NotFoundError("no time series for key '" + key + "'");
+    return NotFoundError("no time series for key '" +
+                         (id < slots_.size() ? slots_[id].key : std::to_string(id)) + "'");
   }
   const SimTime cutoff = now - window;
-  StreamingStats stats;
-  double newest = 0.0;
-  double oldest = 0.0;
-  bool first = true;
-  for (const Sample& s : it->second.samples) {
-    if (s.time <= cutoff || s.time > now) {
-      continue;
+  const WindowRange r = FindWindow(series->samples, cutoff, now);
+  if (r.empty) {
+    if (empty_ok) {
+      return 0.0;
     }
-    stats.Add(s.value);
-    if (first) {
-      oldest = s.value;
-      first = false;
-    }
-    newest = s.value;
+    return NotFoundError("window for key '" + slots_[id].key + "' is empty");
   }
-  if (stats.count() == 0 && !empty_ok) {
-    return NotFoundError("window for key '" + key + "' is empty");
-  }
+  const Sample& first = series->samples[r.lo];
+  const Sample& last = series->samples[r.hi];
+  const double count = static_cast<double>(last.seq - first.seq + 1);
   switch (kind) {
     case AggKind::kCount:
-      return static_cast<double>(stats.count());
+      return count;
     case AggKind::kSum:
-      return stats.sum();
+      return last.cum_sum - (first.cum_sum - first.value);
     case AggKind::kMean:
-      return stats.mean();
+      return (last.cum_sum - (first.cum_sum - first.value)) / count;
     case AggKind::kMin:
-      return stats.min();
-    case AggKind::kMax:
-      return stats.max();
-    case AggKind::kStdDev:
-      return stats.stddev();
+    case AggKind::kMax: {
+      const bool suffix = r.hi + 1 == series->samples.size();
+      if (suffix) {
+        const auto& candidates = kind == AggKind::kMin ? series->minima : series->maxima;
+        // First candidate with seq >= first.seq is the suffix extremum.
+        auto it = std::lower_bound(candidates.begin(), candidates.end(), first.seq,
+                                   [](const Extremum& e, uint64_t s) { return e.seq < s; });
+        if (it != candidates.end()) {
+          return it->value;
+        }
+        return InternalError("extrema deque out of sync");  // unreachable
+      }
+      // Query bounded away from the newest sample (now < back.time): rare —
+      // the engine's clock is monotone — so a linear scan is acceptable.
+      double extreme = series->samples[r.lo].value;
+      for (size_t i = r.lo + 1; i <= r.hi; ++i) {
+        const double v = series->samples[i].value;
+        extreme = kind == AggKind::kMin ? std::min(extreme, v) : std::max(extreme, v);
+      }
+      return extreme;
+    }
+    case AggKind::kStdDev: {
+      if (count < 2.0) {
+        return 0.0;
+      }
+      const double sum = last.cum_sum - (first.cum_sum - first.value);
+      const double sumsq = last.cum_sumsq - (first.cum_sumsq - first.value * first.value);
+      const double mean = sum / count;
+      // Clamp: prefix-difference cancellation can drive tiny windows
+      // fractionally negative.
+      const double var = std::max(0.0, (sumsq - sum * mean) / (count - 1.0));
+      return std::sqrt(var);
+    }
     case AggKind::kRate: {
       if (window <= 0) {
         return 0.0;
       }
-      return static_cast<double>(stats.count()) / ToSeconds(window);
+      return count / ToSeconds(window);
     }
     case AggKind::kNewest:
-      return newest;
+      return last.value;
     case AggKind::kOldest:
-      return oldest;
+      return first.value;
   }
   return InternalError("unknown aggregation kind");
 }
 
-Result<double> FeatureStore::AggregateQuantile(const std::string& key, double q, Duration window,
+Result<double> FeatureStore::Aggregate(std::string_view key, AggKind kind, Duration window,
+                                       SimTime now) const {
+  KeyId id;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    id = FindLocked(key);
+  }
+  if (id == kInvalidKeyId) {
+    if (kind == AggKind::kCount || kind == AggKind::kSum || kind == AggKind::kRate) {
+      return 0.0;
+    }
+    return NotFoundError("no time series for key '" + std::string(key) + "'");
+  }
+  return Aggregate(id, kind, window, now);
+}
+
+Result<double> FeatureStore::AggregateQuantile(KeyId id, double q, Duration window,
                                                SimTime now) const {
-  std::vector<double> samples = WindowSamples(key, window, now);
+  std::vector<double> samples = WindowSamples(id, window, now);
   if (samples.empty()) {
-    return NotFoundError("window for key '" + key + "' is empty");
+    return NotFoundError("window for slot " + std::to_string(id) + " is empty");
   }
   return ExactQuantile(std::move(samples), q);
 }
 
-std::vector<double> FeatureStore::WindowSamples(const std::string& key, Duration window,
-                                                SimTime now) const {
+Result<double> FeatureStore::AggregateQuantile(std::string_view key, double q, Duration window,
+                                               SimTime now) const {
+  std::vector<double> samples = WindowSamples(key, window, now);
+  if (samples.empty()) {
+    return NotFoundError("window for key '" + std::string(key) + "' is empty");
+  }
+  return ExactQuantile(std::move(samples), q);
+}
+
+std::vector<double> FeatureStore::WindowSamples(KeyId id, Duration window, SimTime now) const {
   std::lock_guard<std::mutex> lock(mu_);
   std::vector<double> out;
-  auto it = series_.find(key);
-  if (it == series_.end()) {
+  const Series* series = id < slots_.size() ? slots_[id].series.get() : nullptr;
+  if (series == nullptr) {
     return out;
   }
-  const SimTime cutoff = now - window;
-  for (const Sample& s : it->second.samples) {
-    if (s.time > cutoff && s.time <= now) {
-      out.push_back(s.value);
-    }
+  const WindowRange r = FindWindow(series->samples, now - window, now);
+  if (r.empty) {
+    return out;
+  }
+  out.reserve(r.hi - r.lo + 1);
+  for (size_t i = r.lo; i <= r.hi; ++i) {
+    out.push_back(series->samples[i].value);
   }
   return out;
 }
 
+std::vector<double> FeatureStore::WindowSamples(std::string_view key, Duration window,
+                                                SimTime now) const {
+  KeyId id;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    id = FindLocked(key);
+  }
+  if (id == kInvalidKeyId) {
+    return {};
+  }
+  return WindowSamples(id, window, now);
+}
+
+// --- Introspection ---
+
 size_t FeatureStore::scalar_count() const {
   std::lock_guard<std::mutex> lock(mu_);
-  return scalars_.size();
+  size_t count = 0;
+  for (const Slot& slot : slots_) {
+    count += slot.has_scalar ? 1 : 0;
+  }
+  return count;
 }
 
 size_t FeatureStore::series_count() const {
   std::lock_guard<std::mutex> lock(mu_);
-  return series_.size();
+  size_t count = 0;
+  for (const Slot& slot : slots_) {
+    count += slot.series != nullptr ? 1 : 0;
+  }
+  return count;
 }
 
 std::vector<std::string> FeatureStore::ScalarKeys() const {
   std::lock_guard<std::mutex> lock(mu_);
   std::vector<std::string> keys;
-  keys.reserve(scalars_.size());
-  for (const auto& [key, value] : scalars_) {
-    keys.push_back(key);
+  keys.reserve(slots_.size());
+  for (const Slot& slot : slots_) {
+    if (slot.has_scalar) {
+      keys.push_back(slot.key);
+    }
   }
   std::sort(keys.begin(), keys.end());
   return keys;
@@ -221,8 +476,11 @@ std::vector<std::string> FeatureStore::ScalarKeys() const {
 
 void FeatureStore::Clear() {
   std::lock_guard<std::mutex> lock(mu_);
-  scalars_.clear();
-  series_.clear();
+  for (Slot& slot : slots_) {
+    slot.has_scalar = false;
+    slot.scalar = Value();
+    slot.series.reset();
+  }
 }
 
 }  // namespace osguard

@@ -7,6 +7,18 @@
 // need in practice: kernel sites call Observe(key, now, sample) and monitors
 // query Aggregate("page_fault_lat", kMean, 10s window).
 //
+// Hot-path design (the P5 "decision overhead" budget):
+//
+//   * Keys are interned to dense slot ids (KeyId). The engine resolves every
+//     compile-time-constant key to a slot at monitor load, so steady-state
+//     helper calls are an array index — no hashing, no std::string
+//     construction. The string API remains as the slow path for dynamic keys
+//     and does exactly one (transparent, string_view) hash probe.
+//   * Every series keeps incremental window state: per-sample running
+//     sum/sum-of-squares prefixes and monotonic min/max deques. Aggregate
+//     queries are O(log n) binary searches + O(1) arithmetic instead of an
+//     O(n) scan; Observe/evict maintenance is amortized O(1).
+//
 // Concurrency: all operations are guarded by a single mutex. In the kernel
 // the store would be per-CPU sharded; a single lock is faithful enough for a
 // simulator and keeps the semantics (strict serializability of SAVE/LOAD)
@@ -18,16 +30,26 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <string>
+#include <string_view>
 #include <unordered_map>
 #include <vector>
 
 #include "src/store/value.h"
+#include "src/support/hash.h"
 #include "src/support/status.h"
 #include "src/support/time.h"
 
 namespace osguard {
+
+// Dense identifier for an interned feature-store key. Ids are assigned in
+// interning order, are stable for the lifetime of the store (Clear() resets
+// values but keeps the intern table, so monitor-cached ids stay valid), and
+// index directly into the slot array.
+using KeyId = uint32_t;
+inline constexpr KeyId kInvalidKeyId = 0xffffffffu;
 
 // Aggregations available over a time-series key. The DSL exposes these as
 // MEAN(key, window), RATE(key, window), etc.
@@ -55,8 +77,10 @@ struct SeriesOptions {
 
 // Invoked after a key is written (Save / Increment / Observe), outside the
 // store's lock, on the writing thread. Used by the engine's ONCHANGE
-// triggers (dependency-driven checking, the paper's §6 idea).
-using WriteObserver = std::function<void(const std::string& key)>;
+// triggers (dependency-driven checking, the paper's §6 idea). The id is the
+// key's interned slot so the consumer can dispatch without re-hashing; the
+// string reference stays valid for the lifetime of the store.
+using WriteObserver = std::function<void(KeyId id, const std::string& key)>;
 
 class FeatureStore {
  public:
@@ -69,47 +93,70 @@ class FeatureStore {
   // it may freely read the store.
   void SetWriteObserver(WriteObserver observer) { observer_ = std::move(observer); }
 
+  // --- Key interning ---
+
+  // Returns the slot id for `key`, creating an empty slot if absent.
+  KeyId InternKey(std::string_view key);
+
+  // Returns the slot id for `key` or kInvalidKeyId if it was never interned.
+  KeyId FindKey(std::string_view key) const;
+
+  // Number of interned slots; all valid KeyIds are < key_count().
+  size_t key_count() const;
+
+  // The key string for a valid id (stable reference).
+  const std::string& KeyName(KeyId id) const;
+
   // --- Scalar KV (the paper's SAVE/LOAD) ---
 
   // Stores or overwrites a scalar. Nil values are stored (LOAD distinguishes
   // "stored nil" from "missing" via status).
-  void Save(const std::string& key, Value value);
+  void Save(std::string_view key, Value value);
+  void Save(KeyId id, Value value);
 
   // Returns the stored scalar, or kNotFound.
-  Result<Value> Load(const std::string& key) const;
+  Result<Value> Load(std::string_view key) const;
+  Result<Value> Load(KeyId id) const;
 
   // Returns the stored scalar or `fallback` if missing.
-  Value LoadOr(const std::string& key, Value fallback) const;
+  Value LoadOr(std::string_view key, Value fallback) const;
+  Value LoadOr(KeyId id, Value fallback) const;
 
-  bool Contains(const std::string& key) const;
-  Status Erase(const std::string& key);
+  bool Contains(std::string_view key) const;
+  bool Contains(KeyId id) const;
+  Status Erase(std::string_view key);
 
   // Atomic read-modify-write for numeric counters; creates the key at
   // `delta` if absent. Returns the post-increment value.
-  double Increment(const std::string& key, double delta = 1.0);
+  double Increment(std::string_view key, double delta = 1.0);
+  double Increment(KeyId id, double delta = 1.0);
 
   // --- Time series ---
 
   // Appends a timestamped sample. Samples must be observed with
   // non-decreasing timestamps per key (simulation time is monotone);
   // out-of-order samples are clamped to the newest retained timestamp.
-  void Observe(const std::string& key, SimTime now, double sample);
+  void Observe(std::string_view key, SimTime now, double sample);
+  void Observe(KeyId id, SimTime now, double sample);
 
-  void SetSeriesOptions(const std::string& key, SeriesOptions options);
+  void SetSeriesOptions(std::string_view key, SeriesOptions options);
 
   // Aggregates samples with timestamp in (now - window, now]. Missing series
   // or empty windows: kCount/kSum/kRate yield 0.0; the others yield
   // kNotFound so rules can distinguish "no data" from "zero".
-  Result<double> Aggregate(const std::string& key, AggKind kind, Duration window,
+  Result<double> Aggregate(std::string_view key, AggKind kind, Duration window,
                            SimTime now) const;
+  Result<double> Aggregate(KeyId id, AggKind kind, Duration window, SimTime now) const;
 
   // Value at quantile q in [0,1] over the window (exact, on retained samples).
-  Result<double> AggregateQuantile(const std::string& key, double q, Duration window,
+  Result<double> AggregateQuantile(std::string_view key, double q, Duration window,
                                    SimTime now) const;
+  Result<double> AggregateQuantile(KeyId id, double q, Duration window, SimTime now) const;
 
   // Copies the samples in the window, oldest first (for P1's KS-test style
   // distribution comparisons).
-  std::vector<double> WindowSamples(const std::string& key, Duration window, SimTime now) const;
+  std::vector<double> WindowSamples(std::string_view key, Duration window, SimTime now) const;
+  std::vector<double> WindowSamples(KeyId id, Duration window, SimTime now) const;
 
   // --- Introspection ---
 
@@ -117,30 +164,61 @@ class FeatureStore {
   size_t series_count() const;
   std::vector<std::string> ScalarKeys() const;
 
-  // Erases everything (tests / between benchmark repetitions).
+  // Erases all values (tests / between benchmark repetitions). The intern
+  // table survives so previously resolved KeyIds remain valid.
   void Clear();
 
  private:
   struct Sample {
     SimTime time;
     double value;
+    // Running prefixes from the series' last rebase point (the most recent
+    // moment the sample deque was empty) through this sample. Window totals
+    // are prefix differences; absolute prefixes never need fixup on evict.
+    double cum_sum;
+    double cum_sumsq;
+    uint64_t seq;  // monotone per-series sample number (count via diff)
+  };
+
+  // Monotonic deque entry for O(1)-amortized window min/max.
+  struct Extremum {
+    uint64_t seq;
+    SimTime time;
+    double value;
   };
 
   struct Series {
     std::deque<Sample> samples;
+    // minima: values strictly increase front->back; front is min of the
+    // retained suffix starting at its seq. maxima: values strictly decrease.
+    std::deque<Extremum> minima;
+    std::deque<Extremum> maxima;
     SeriesOptions options;
+    uint64_t next_seq = 0;
   };
 
-  void EvictLocked(Series& series, SimTime now) const;
-  void NotifyWrite(const std::string& key) const {
+  struct Slot {
+    std::string key;
+    bool has_scalar = false;
+    Value scalar;
+    std::unique_ptr<Series> series;  // null until first Observe/SetSeriesOptions
+  };
+
+  KeyId InternLocked(std::string_view key);
+  KeyId FindLocked(std::string_view key) const;
+  static void AppendLocked(Series& series, SimTime t, double sample);
+  static void EvictLocked(Series& series, SimTime now);
+  void NotifyWrite(KeyId id) const {
     if (observer_) {
-      observer_(key);
+      observer_(id, slots_[id].key);
     }
   }
 
   mutable std::mutex mu_;
-  std::unordered_map<std::string, Value> scalars_;
-  mutable std::unordered_map<std::string, Series> series_;
+  // deque: slots never move, so KeyName() references and the observer's key
+  // strings stay valid across interning.
+  std::deque<Slot> slots_;
+  std::unordered_map<std::string, KeyId, TransparentStringHash, std::equal_to<>> index_;
   WriteObserver observer_;
 };
 

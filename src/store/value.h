@@ -51,6 +51,15 @@ class Value {
   Result<std::string> AsString() const;
   Result<std::vector<Value>> AsList() const;
 
+  // Zero-cost type-tested views for the interpreter's fast paths: a direct
+  // pointer into the variant, or nullptr when the value holds another type.
+  // No Status machinery, no copies.
+  const int64_t* IfInt() const { return std::get_if<int64_t>(&data_); }
+  const double* IfFloat() const { return std::get_if<double>(&data_); }
+  const bool* IfBool() const { return std::get_if<bool>(&data_); }
+  const std::string* IfString() const { return std::get_if<std::string>(&data_); }
+  const std::vector<Value>* IfList() const { return std::get_if<std::vector<Value>>(&data_); }
+
   // Unchecked numeric view: nil -> 0, bool -> 0/1, string -> 0.
   double NumericOr(double fallback) const;
 

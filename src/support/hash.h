@@ -1,0 +1,26 @@
+// Heterogeneous string hashing for unordered containers.
+//
+// Containers keyed by std::string declared with (TransparentStringHash,
+// std::equal_to<>) accept std::string_view / const char* probes directly —
+// C++20 heterogeneous lookup — so hot-path lookups (feature-store keys,
+// function hook names) never construct a temporary std::string.
+
+#ifndef SRC_SUPPORT_HASH_H_
+#define SRC_SUPPORT_HASH_H_
+
+#include <cstddef>
+#include <functional>
+#include <string_view>
+
+namespace osguard {
+
+struct TransparentStringHash {
+  using is_transparent = void;
+  size_t operator()(std::string_view s) const noexcept {
+    return std::hash<std::string_view>{}(s);
+  }
+};
+
+}  // namespace osguard
+
+#endif  // SRC_SUPPORT_HASH_H_

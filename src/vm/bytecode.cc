@@ -48,6 +48,18 @@ std::string_view OpName(Op op) {
       return "call";
     case Op::kRet:
       return "ret";
+    case Op::kCmpConst:
+      return "cmpc";
+    case Op::kCmpConstJf:
+      return "cmpc.jz";
+    case Op::kCmpConstJt:
+      return "cmpc.jnz";
+    case Op::kCmpRegJf:
+      return "cmp.jz";
+    case Op::kCmpRegJt:
+      return "cmp.jnz";
+    case Op::kCallKeyed:
+      return "callk";
   }
   return "???";
 }
@@ -100,6 +112,42 @@ std::string Program::Disassemble() const {
       case Op::kRet:
         std::snprintf(line, sizeof(line), "%4zu  ret   r%u\n", pc, insn.a);
         break;
+      case Op::kCmpConst: {
+        const std::string kind(OpName(CmpKindToOp(insn.c)));
+        std::string c = insn.imm >= 0 && static_cast<size_t>(insn.imm) < consts.size()
+                            ? consts[static_cast<size_t>(insn.imm)].ToString()
+                            : "<bad const>";
+        std::snprintf(line, sizeof(line), "%4zu  %s.c r%u, r%u, %s\n", pc, kind.c_str(),
+                      insn.a, insn.b, c.c_str());
+        break;
+      }
+      case Op::kCmpConstJf:
+      case Op::kCmpConstJt: {
+        const std::string kind(OpName(CmpKindToOp(insn.c)));
+        std::string c = insn.imm >= 0 && static_cast<size_t>(insn.imm) < consts.size()
+                            ? consts[static_cast<size_t>(insn.imm)].ToString()
+                            : "<bad const>";
+        std::snprintf(line, sizeof(line), "%4zu  %s.c.%s r%u, r%u, %s, +%d (-> %zu)\n", pc,
+                      kind.c_str(), insn.op == Op::kCmpConstJf ? "jz" : "jnz", insn.a, insn.b,
+                      c.c_str(), insn.aux, pc + 1 + static_cast<size_t>(insn.aux));
+        break;
+      }
+      case Op::kCmpRegJf:
+      case Op::kCmpRegJt: {
+        const std::string kind(OpName(CmpKindToOp(insn.imm)));
+        std::snprintf(line, sizeof(line), "%4zu  %s.%s r%u, r%u, r%u, +%d (-> %zu)\n", pc,
+                      kind.c_str(), insn.op == Op::kCmpRegJf ? "jz" : "jnz", insn.a, insn.b,
+                      insn.c, insn.aux, pc + 1 + static_cast<size_t>(insn.aux));
+        break;
+      }
+      case Op::kCallKeyed: {
+        const Builtin* builtin = FindBuiltinById(static_cast<HelperId>(insn.imm));
+        std::snprintf(line, sizeof(line), "%4zu  callk r%u, %s(r%u..r%u) slot=%d\n", pc,
+                      insn.a,
+                      builtin != nullptr ? std::string(builtin->name).c_str() : "<bad helper>",
+                      insn.b, insn.b + (insn.c > 0 ? insn.c - 1 : 0), insn.aux);
+        break;
+      }
       default:
         std::snprintf(line, sizeof(line), "%4zu  %-5s r%u, r%u, r%u\n", pc,
                       std::string(OpName(insn.op)).c_str(), insn.a, insn.b, insn.c);

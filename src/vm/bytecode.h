@@ -52,7 +52,30 @@ enum class Op : uint8_t {
   kMakeList,       // r[a] = list(r[b] .. r[b]+imm-1)
   kCall,           // r[a] = helper<imm>(r[b] .. r[b]+c-1)
   kRet,            // return r[a]
+  // --- Superinstructions (peephole-fused forms of the ops above). ---
+  // Compare kinds for the fused compares: 0..5 = Lt Le Gt Ge Eq Ne, the same
+  // order as kCmpLt..kCmpNe.
+  kCmpConst,       // r[a] = cmp<c>(r[b], consts[imm])
+  kCmpConstJf,     // r[a] = cmp<c>(r[b], consts[imm]); if !r[a] pc += aux
+  kCmpConstJt,     // r[a] = cmp<c>(r[b], consts[imm]); if  r[a] pc += aux
+  kCmpRegJf,       // r[a] = cmp<imm>(r[b], r[c]); if !r[a] pc += aux
+  kCmpRegJt,       // r[a] = cmp<imm>(r[b], r[c]); if  r[a] pc += aux
+  // Keyed helper call: like kCall, but aux carries the feature-store slot id
+  // pre-resolved (by Engine::Load) for the key in r[b]. The helper context
+  // may use it to skip the string lookup; semantics are identical to kCall.
+  kCallKeyed,      // r[a] = helper<imm>(slot aux; r[b] .. r[b]+c-1)
 };
+
+inline constexpr int kOpCount = static_cast<int>(Op::kCallKeyed) + 1;
+
+// Number of fused compare kinds, and the mapping back to the base opcode.
+inline constexpr int kCmpKindCount = 6;
+inline constexpr Op CmpKindToOp(int kind) {
+  return static_cast<Op>(static_cast<int>(Op::kCmpLt) + kind);
+}
+inline constexpr int CmpOpToKind(Op op) {
+  return static_cast<int>(op) - static_cast<int>(Op::kCmpLt);
+}
 
 std::string_view OpName(Op op);
 
@@ -60,8 +83,9 @@ struct Insn {
   Op op = Op::kRet;
   uint8_t a = 0;   // destination / condition register
   uint8_t b = 0;   // first source register
-  uint8_t c = 0;   // second source register or arg count
+  uint8_t c = 0;   // second source register / arg count / fused compare kind
   int32_t imm = 0; // constant index / jump offset / helper id / list length
+  int32_t aux = 0; // superinstruction extra: fused jump offset / store slot id
 };
 
 struct Program {

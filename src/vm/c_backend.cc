@@ -104,6 +104,9 @@ std::string EmitCFunction(const Program& program, const std::string& function_na
     const Insn& insn = program.insns[pc];
     if (insn.op == Op::kJump || insn.op == Op::kJumpIfFalse || insn.op == Op::kJumpIfTrue) {
       targets.insert(pc + 1 + static_cast<size_t>(insn.imm));
+    } else if (insn.op == Op::kCmpConstJf || insn.op == Op::kCmpConstJt ||
+               insn.op == Op::kCmpRegJf || insn.op == Op::kCmpRegJt) {
+      targets.insert(pc + 1 + static_cast<size_t>(insn.aux));
     }
   }
   out << "/* compiled from program '" << program.name << "' (" << program.insns.size()
@@ -170,6 +173,33 @@ std::string EmitCFunction(const Program& program, const std::string& function_na
       case Op::kRet:
         out << "  return r[" << a << "];\n";
         break;
+      // Superinstructions decompose back into their unfused C forms: the
+      // kernel-module compiler re-fuses whatever it finds profitable.
+      case Op::kCmpConst:
+        out << "  r[" << a << "] = " << BinOpToC(CmpKindToOp(c)) << "(r[" << b << "], "
+            << ConstToC(program.consts[static_cast<size_t>(insn.imm)]) << ");\n";
+        break;
+      case Op::kCmpConstJf:
+      case Op::kCmpConstJt:
+        out << "  r[" << a << "] = " << BinOpToC(CmpKindToOp(c)) << "(r[" << b << "], "
+            << ConstToC(program.consts[static_cast<size_t>(insn.imm)]) << ");\n";
+        out << "  if (" << (insn.op == Op::kCmpConstJf ? "!" : "") << "osg_truthy(r[" << a
+            << "])) goto L" << (pc + 1 + static_cast<size_t>(insn.aux)) << ";\n";
+        break;
+      case Op::kCmpRegJf:
+      case Op::kCmpRegJt:
+        out << "  r[" << a << "] = " << BinOpToC(CmpKindToOp(insn.imm)) << "(r[" << b
+            << "], r[" << c << "]);\n";
+        out << "  if (" << (insn.op == Op::kCmpRegJf ? "!" : "") << "osg_truthy(r[" << a
+            << "])) goto L" << (pc + 1 + static_cast<size_t>(insn.aux)) << ";\n";
+        break;
+      case Op::kCallKeyed: {
+        const Builtin* builtin = FindBuiltinById(static_cast<HelperId>(insn.imm));
+        out << "  r[" << a << "] = osg_call(ctx, OSG_HELPER_"
+            << (builtin != nullptr ? std::string(builtin->name) : std::string("UNKNOWN"))
+            << ", &r[" << b << "], " << c << ");\n";
+        break;
+      }
     }
   }
   out << "}\n";

@@ -326,7 +326,7 @@ Result<Program> CompileRuleProgram(const std::vector<ExprPtr>& rules, const std:
   for (size_t jump_pc : exit_jumps) {
     b.PatchJump(jump_pc);
   }
-  Program program = compiler.Finish(dst);
+  Program program = PeepholeOptimize(compiler.Finish(dst));
   OSGUARD_RETURN_IF_ERROR(Verify(program, VerifyOptions{.allow_actions = false}));
   return program;
 }
@@ -342,17 +342,367 @@ Result<Program> CompileActionProgram(const std::vector<ExprPtr>& statements,
     b.Release(mark);
   }
   OSGUARD_ASSIGN_OR_RETURN(int nil_reg, b.EmitConst(Value()));
-  Program program = compiler.Finish(nil_reg);
+  Program program = PeepholeOptimize(compiler.Finish(nil_reg));
   OSGUARD_RETURN_IF_ERROR(Verify(program, VerifyOptions{.allow_actions = true}));
   return program;
 }
 
 }  // namespace
 
+// ---------------------------------------------------------------------------
+// Peephole optimizer.
+//
+// Operates on the builder's output before verification. Because verified
+// programs only ever jump forward, a single backward sweep computes exact
+// liveness and a single forward sweep can apply local rewrites; deletions are
+// committed at the end of each round by compacting the instruction vector and
+// remapping every jump offset. Rounds iterate to a small fixpoint so that,
+// e.g., a LoadConst+Cmp fusion in round 1 exposes a CmpConst+branch fusion in
+// round 2.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+struct PeepEffects {
+  uint64_t uses = 0;
+  uint64_t defs = 0;
+  bool is_jump = false;
+  bool jump_in_aux = false;   // fused branches keep their offset in aux
+  bool falls_through = true;
+};
+
+PeepEffects PeepEffectsOf(const Insn& insn) {
+  PeepEffects e;
+  auto use = [&e](int r) { e.uses |= 1ull << r; };
+  auto def = [&e](int r) { e.defs |= 1ull << r; };
+  switch (insn.op) {
+    case Op::kLoadConst:
+      def(insn.a);
+      break;
+    case Op::kMov:
+    case Op::kNeg:
+    case Op::kNot:
+      use(insn.b);
+      def(insn.a);
+      break;
+    case Op::kAdd:
+    case Op::kSub:
+    case Op::kMul:
+    case Op::kDiv:
+    case Op::kMod:
+    case Op::kCmpLt:
+    case Op::kCmpLe:
+    case Op::kCmpGt:
+    case Op::kCmpGe:
+    case Op::kCmpEq:
+    case Op::kCmpNe:
+      use(insn.b);
+      use(insn.c);
+      def(insn.a);
+      break;
+    case Op::kJump:
+      e.is_jump = true;
+      e.falls_through = false;
+      break;
+    case Op::kJumpIfFalse:
+    case Op::kJumpIfTrue:
+      use(insn.a);
+      e.is_jump = true;
+      break;
+    case Op::kMakeList:
+      for (int i = 0; i < insn.imm; ++i) {
+        use(insn.b + i);
+      }
+      def(insn.a);
+      break;
+    case Op::kCall:
+    case Op::kCallKeyed:
+      for (int i = 0; i < insn.c; ++i) {
+        use(insn.b + i);
+      }
+      def(insn.a);
+      break;
+    case Op::kRet:
+      use(insn.a);
+      e.falls_through = false;
+      break;
+    case Op::kCmpConst:
+      use(insn.b);
+      def(insn.a);
+      break;
+    case Op::kCmpConstJf:
+    case Op::kCmpConstJt:
+      use(insn.b);
+      def(insn.a);
+      e.is_jump = true;
+      e.jump_in_aux = true;
+      break;
+    case Op::kCmpRegJf:
+    case Op::kCmpRegJt:
+      use(insn.b);
+      use(insn.c);
+      def(insn.a);
+      e.is_jump = true;
+      e.jump_in_aux = true;
+      break;
+  }
+  return e;
+}
+
+int32_t PeepJumpOffset(const Insn& insn, const PeepEffects& e) {
+  return e.jump_in_aux ? insn.aux : insn.imm;
+}
+
+bool IsPlainCmp(Op op) {
+  const int v = static_cast<int>(op);
+  return v >= static_cast<int>(Op::kCmpLt) && v <= static_cast<int>(Op::kCmpNe);
+}
+
+// Ops that always leave a canonical bool in their destination register.
+bool IsBoolProducer(Op op) {
+  return IsPlainCmp(op) || op == Op::kNot || op == Op::kCmpConst;
+}
+
+// cmp<kind> with swapped operands: const OP x  ==  x OP' const.
+int MirrorCmpKind(int kind) {
+  switch (kind) {
+    case 0:  // Lt -> Gt
+      return 2;
+    case 1:  // Le -> Ge
+      return 3;
+    case 2:  // Gt -> Lt
+      return 0;
+    case 3:  // Ge -> Le
+      return 1;
+    default:  // Eq / Ne are symmetric
+      return kind;
+  }
+}
+
+// Cheap structural sanity check so the optimizer can assume in-range register
+// indices (shift safety) and in-bounds forward jumps. Anything questionable
+// makes PeepholeOptimize a no-op; Verify() reports the real diagnostic.
+bool PeepSafe(const Program& program) {
+  const size_t n = program.insns.size();
+  for (size_t pc = 0; pc < n; ++pc) {
+    const Insn& insn = program.insns[pc];
+    if (static_cast<int>(insn.op) >= kOpCount) {
+      return false;
+    }
+    if (insn.a >= kMaxRegisters || insn.b >= kMaxRegisters || insn.c >= kMaxRegisters) {
+      return false;
+    }
+    if (insn.op == Op::kMakeList &&
+        (insn.imm < 0 || insn.b + insn.imm > kMaxRegisters)) {
+      return false;
+    }
+    if ((insn.op == Op::kCall || insn.op == Op::kCallKeyed) &&
+        insn.b + insn.c > kMaxRegisters) {
+      return false;
+    }
+    const PeepEffects e = PeepEffectsOf(insn);
+    if (e.is_jump) {
+      const int32_t off = PeepJumpOffset(insn, e);
+      if (off < 1 || pc + 1 + static_cast<size_t>(off) >= n) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+Program PeepholeOptimize(Program program) {
+  if (program.insns.empty() || !PeepSafe(program)) {
+    return program;
+  }
+
+  for (int round = 0; round < 4; ++round) {
+    std::vector<Insn>& insns = program.insns;
+    const size_t m = insns.size();
+
+    // Which pcs are jump targets. Fusions never span a target pc: the second
+    // instruction of a fused pair must be reachable only by falling out of
+    // the first, otherwise the join path would observe different state.
+    std::vector<char> is_target(m, 0);
+    for (size_t k = 0; k < m; ++k) {
+      const PeepEffects e = PeepEffectsOf(insns[k]);
+      if (e.is_jump) {
+        is_target[k + 1 + static_cast<size_t>(PeepJumpOffset(insns[k], e))] = 1;
+      }
+    }
+
+    // Exact backward liveness — forward-only jumps mean one sweep suffices.
+    std::vector<uint64_t> live_in(m + 1, 0);
+    std::vector<uint64_t> live_out(m, 0);
+    for (size_t k = m; k-- > 0;) {
+      const PeepEffects e = PeepEffectsOf(insns[k]);
+      uint64_t out = 0;
+      if (e.falls_through && k + 1 < m) {
+        out |= live_in[k + 1];
+      }
+      if (e.is_jump) {
+        out |= live_in[k + 1 + static_cast<size_t>(PeepJumpOffset(insns[k], e))];
+      }
+      live_out[k] = out;
+      live_in[k] = (out & ~e.defs) | e.uses;
+    }
+
+    std::vector<char> deleted(m, 0);
+    bool changed = false;
+
+    size_t i = 0;
+    while (i < m) {
+      // Pattern: <bool-producer> r ; not t, r ; not t, t
+      // The double negation only canonicalizes truthiness, and a compare/not
+      // already yields a canonical bool.
+      if (i + 2 < m && IsBoolProducer(insns[i].op) && insns[i + 1].op == Op::kNot &&
+          insns[i + 2].op == Op::kNot && !is_target[i + 1] && !is_target[i + 2] &&
+          insns[i + 1].b == insns[i].a && insns[i + 2].a == insns[i + 1].a &&
+          insns[i + 2].b == insns[i + 1].a) {
+        const uint8_t r = insns[i].a;
+        const uint8_t t = insns[i + 1].a;
+        if (t == r) {
+          deleted[i + 1] = deleted[i + 2] = 1;
+        } else if (((live_out[i + 2] >> r) & 1) == 0) {
+          // r dies here: produce the bool directly into t.
+          insns[i].a = t;
+          deleted[i + 1] = deleted[i + 2] = 1;
+        } else {
+          insns[i + 1] = Insn{Op::kMov, t, r, 0, 0, 0};
+          deleted[i + 2] = 1;
+        }
+        changed = true;
+        i += 3;
+        continue;
+      }
+      // Pattern: ldc r, <const> ; cmp a, b, c with r as exactly one operand
+      // and r dead afterwards  ->  cmpc against the constant pool directly
+      // (mirrored predicate when the constant was the left operand).
+      if (i + 1 < m && insns[i].op == Op::kLoadConst && IsPlainCmp(insns[i + 1].op) &&
+          !is_target[i + 1]) {
+        const uint8_t r = insns[i].a;
+        Insn& cmp = insns[i + 1];
+        const bool rhs_const = cmp.c == r;
+        const bool lhs_const = cmp.b == r;
+        if (rhs_const != lhs_const && ((live_out[i + 1] >> r) & 1) == 0) {
+          const int kind = CmpOpToKind(cmp.op);
+          if (rhs_const) {
+            cmp = Insn{Op::kCmpConst, cmp.a, cmp.b, static_cast<uint8_t>(kind),
+                       insns[i].imm, 0};
+          } else {
+            cmp = Insn{Op::kCmpConst, cmp.a, cmp.c,
+                       static_cast<uint8_t>(MirrorCmpKind(kind)), insns[i].imm, 0};
+          }
+          deleted[i] = 1;
+          changed = true;
+          i += 2;
+          continue;
+        }
+      }
+      // Pattern: cmp/cmpc a, ... ; jz/jnz a  ->  fused compare-and-branch.
+      // The fused form still writes a on both paths, so later readers of the
+      // compare result are unaffected.
+      if (i + 1 < m && !is_target[i + 1] &&
+          (insns[i + 1].op == Op::kJumpIfFalse || insns[i + 1].op == Op::kJumpIfTrue) &&
+          insns[i + 1].a == insns[i].a &&
+          (IsPlainCmp(insns[i].op) || insns[i].op == Op::kCmpConst)) {
+        const bool jf = insns[i + 1].op == Op::kJumpIfFalse;
+        // Same absolute target, measured from pc i instead of pc i+1.
+        const int32_t aux = insns[i + 1].imm + 1;
+        if (insns[i].op == Op::kCmpConst) {
+          insns[i] = Insn{jf ? Op::kCmpConstJf : Op::kCmpConstJt, insns[i].a, insns[i].b,
+                          insns[i].c, insns[i].imm, aux};
+        } else {
+          insns[i] = Insn{jf ? Op::kCmpRegJf : Op::kCmpRegJt, insns[i].a, insns[i].b,
+                          insns[i].c, CmpOpToKind(insns[i].op), aux};
+        }
+        deleted[i + 1] = 1;
+        changed = true;
+        i += 2;
+        continue;
+      }
+      ++i;
+    }
+
+    if (!changed) {
+      break;
+    }
+
+    // Deleting instructions can collapse a jump onto its own fall-through
+    // (offset 0 after remap), which the verifier rejects. Drop such jumps —
+    // plain ones disappear, fused ones revert to their branch-free compare.
+    // Each conversion removes a jump, so this inner loop terminates.
+    for (;;) {
+      std::vector<size_t> new_index(m + 1, 0);
+      for (size_t k = 0; k < m; ++k) {
+        new_index[k + 1] = new_index[k] + (deleted[k] ? 0 : 1);
+      }
+      bool jump_removed = false;
+      for (size_t k = 0; k < m; ++k) {
+        if (deleted[k]) {
+          continue;
+        }
+        const PeepEffects e = PeepEffectsOf(insns[k]);
+        if (!e.is_jump) {
+          continue;
+        }
+        const size_t t = k + 1 + static_cast<size_t>(PeepJumpOffset(insns[k], e));
+        if (new_index[t] != new_index[k + 1]) {
+          continue;  // still jumps over something
+        }
+        if (insns[k].op == Op::kJump || insns[k].op == Op::kJumpIfFalse ||
+            insns[k].op == Op::kJumpIfTrue) {
+          deleted[k] = 1;
+        } else if (insns[k].op == Op::kCmpRegJf || insns[k].op == Op::kCmpRegJt) {
+          insns[k] = Insn{CmpKindToOp(insns[k].imm), insns[k].a, insns[k].b, insns[k].c,
+                          0, 0};
+        } else {  // kCmpConstJf / kCmpConstJt
+          insns[k] = Insn{Op::kCmpConst, insns[k].a, insns[k].b, insns[k].c,
+                          insns[k].imm, 0};
+        }
+        jump_removed = true;
+      }
+      if (!jump_removed) {
+        break;
+      }
+    }
+
+    // Compact and remap every jump offset.
+    std::vector<size_t> new_index(m + 1, 0);
+    for (size_t k = 0; k < m; ++k) {
+      new_index[k + 1] = new_index[k] + (deleted[k] ? 0 : 1);
+    }
+    std::vector<Insn> out;
+    out.reserve(new_index[m]);
+    for (size_t k = 0; k < m; ++k) {
+      if (deleted[k]) {
+        continue;
+      }
+      Insn insn = insns[k];
+      const PeepEffects e = PeepEffectsOf(insn);
+      if (e.is_jump) {
+        const size_t t = k + 1 + static_cast<size_t>(PeepJumpOffset(insn, e));
+        const int32_t off =
+            static_cast<int32_t>(new_index[t]) - static_cast<int32_t>(new_index[k]) - 1;
+        if (e.jump_in_aux) {
+          insn.aux = off;
+        } else {
+          insn.imm = off;
+        }
+      }
+      out.push_back(insn);
+    }
+    program.insns = std::move(out);
+  }
+  return program;
+}
+
 Result<Program> CompileExpr(const Expr& expr, const std::string& name) {
   ExprCompiler compiler(name);
   OSGUARD_ASSIGN_OR_RETURN(int result_reg, compiler.Compile(expr));
-  Program program = compiler.Finish(result_reg);
+  Program program = PeepholeOptimize(compiler.Finish(result_reg));
   OSGUARD_RETURN_IF_ERROR(Verify(program, VerifyOptions{.allow_actions = false}));
   return program;
 }

@@ -59,6 +59,16 @@ Result<std::vector<CompiledGuardrail>> CompileSource(const std::string& source);
 // program returning its value (used by tests and programmatic properties).
 Result<Program> CompileExpr(const Expr& expr, const std::string& name);
 
+// Peephole pass run on every compiled program before verification. Fuses
+// LoadConst+compare into kCmpConst, compare+branch into the fused
+// compare-and-branch superinstructions, and collapses the canonicalizing
+// not;not pairs the expression compiler emits after bool-producing ops.
+// Jump offsets are remapped and jumps that collapse to fall-through are
+// dropped. Semantics are preserved exactly; if `program` looks structurally
+// unsound (out-of-range registers or jumps) it is returned unchanged.
+// Exposed for differential testing of fused vs. unfused execution.
+Program PeepholeOptimize(Program program);
+
 }  // namespace osguard
 
 #endif  // SRC_VM_COMPILER_H_

@@ -18,9 +18,15 @@ bool IsMutatingHelperId(HelperId id) {
 struct Effects {
   uint64_t uses = 0;
   std::optional<uint8_t> def;
-  bool is_jump = false;          // has a jump offset in imm
+  bool is_jump = false;          // has a jump offset (imm, or aux when fused)
+  bool jump_in_aux = false;      // fused compare-and-branch: offset lives in aux
   bool falls_through = true;     // execution may continue at pc+1
 };
+
+// The jump offset of an instruction whose Effects said is_jump.
+int32_t JumpOffsetOf(const Insn& insn, const Effects& effects) {
+  return effects.jump_in_aux ? insn.aux : insn.imm;
+}
 
 // Range-checked bit helper: register indices must be validated BEFORE any
 // mask computation — a shift by >= 64 is undefined behavior (and on x86
@@ -97,6 +103,33 @@ Result<Effects> EffectsOf(const Insn& insn) {
       OSGUARD_RETURN_IF_ERROR(use(insn.a));
       e.falls_through = false;
       return e;
+    case Op::kCmpConst:
+      OSGUARD_RETURN_IF_ERROR(use(insn.b));
+      OSGUARD_RETURN_IF_ERROR(def(insn.a));
+      return e;
+    case Op::kCmpConstJf:
+    case Op::kCmpConstJt:
+      // r[a] is written on both the branch-taken and fall-through paths.
+      OSGUARD_RETURN_IF_ERROR(use(insn.b));
+      OSGUARD_RETURN_IF_ERROR(def(insn.a));
+      e.is_jump = true;
+      e.jump_in_aux = true;
+      return e;
+    case Op::kCmpRegJf:
+    case Op::kCmpRegJt:
+      OSGUARD_RETURN_IF_ERROR(use(insn.b));
+      OSGUARD_RETURN_IF_ERROR(use(insn.c));
+      OSGUARD_RETURN_IF_ERROR(def(insn.a));
+      e.is_jump = true;
+      e.jump_in_aux = true;
+      return e;
+    case Op::kCallKeyed: {
+      for (int i = 0; i < insn.c; ++i) {
+        OSGUARD_RETURN_IF_ERROR(use(insn.b + i));
+      }
+      OSGUARD_RETURN_IF_ERROR(def(insn.a));
+      return e;
+    }
   }
   return VerifierError("unknown opcode " + std::to_string(static_cast<int>(insn.op)));
 }
@@ -142,59 +175,101 @@ Status Verify(const Program& program, const VerifyOptions& options) {
       }
     }
 
+    auto check_jump = [&](int32_t offset) -> Status {
+      if (offset < 1) {
+        return VerifierError("program '" + program.name +
+                             "': non-forward jump (offset " + std::to_string(offset) + ")" +
+                             At(pc));
+      }
+      const size_t target = pc + 1 + static_cast<size_t>(offset);
+      if (target >= n) {
+        return VerifierError("program '" + program.name + "': jump target " +
+                             std::to_string(target) + " out of range" + At(pc));
+      }
+      return OkStatus();
+    };
+    auto check_const = [&](int32_t index) -> Status {
+      if (index < 0 || static_cast<size_t>(index) >= program.consts.size()) {
+        return VerifierError("program '" + program.name + "': constant index " +
+                             std::to_string(index) + " out of range" + At(pc));
+      }
+      return OkStatus();
+    };
+    auto check_cmp_kind = [&](int kind) -> Status {
+      if (kind < 0 || kind >= kCmpKindCount) {
+        return VerifierError("program '" + program.name + "': invalid compare kind " +
+                             std::to_string(kind) + At(pc));
+      }
+      return OkStatus();
+    };
+    auto check_call = [&](int32_t helper, int argc) -> Status {
+      const Builtin* builtin = FindBuiltinById(static_cast<HelperId>(helper));
+      if (builtin == nullptr) {
+        return VerifierError("program '" + program.name + "': unknown helper " +
+                             std::to_string(helper) + At(pc));
+      }
+      if (argc < builtin->min_args ||
+          (builtin->max_args >= 0 && argc > builtin->max_args)) {
+        return VerifierError("program '" + program.name + "': helper " +
+                             std::string(builtin->name) + " called with " +
+                             std::to_string(argc) + " args" + At(pc));
+      }
+      if (insn.b + argc > regs) {
+        return VerifierError("program '" + program.name + "': helper argument window out of "
+                             "range" + At(pc));
+      }
+      if (!options.allow_actions &&
+          (builtin->is_action || IsMutatingHelperId(builtin->id))) {
+        return VerifierError("program '" + program.name + "': side-effecting helper " +
+                             std::string(builtin->name) +
+                             " is not allowed in a rule program" + At(pc));
+      }
+      return OkStatus();
+    };
+
     switch (insn.op) {
       case Op::kLoadConst:
-        if (insn.imm < 0 || static_cast<size_t>(insn.imm) >= program.consts.size()) {
-          return VerifierError("program '" + program.name + "': constant index " +
-                               std::to_string(insn.imm) + " out of range" + At(pc));
-        }
+        OSGUARD_RETURN_IF_ERROR(check_const(insn.imm));
         break;
       case Op::kJump:
       case Op::kJumpIfFalse:
-      case Op::kJumpIfTrue: {
-        if (insn.imm < 1) {
-          return VerifierError("program '" + program.name +
-                               "': non-forward jump (offset " + std::to_string(insn.imm) + ")" +
-                               At(pc));
-        }
-        const size_t target = pc + 1 + static_cast<size_t>(insn.imm);
-        if (target >= n) {
-          return VerifierError("program '" + program.name + "': jump target " +
-                               std::to_string(target) + " out of range" + At(pc));
-        }
+      case Op::kJumpIfTrue:
+        OSGUARD_RETURN_IF_ERROR(check_jump(insn.imm));
         break;
-      }
       case Op::kMakeList:
         if (insn.imm < 0 || insn.b + insn.imm > regs) {
           return VerifierError("program '" + program.name + "': list window out of range" +
                                At(pc));
         }
         break;
-      case Op::kCall: {
-        const Builtin* builtin = FindBuiltinById(static_cast<HelperId>(insn.imm));
-        if (builtin == nullptr) {
-          return VerifierError("program '" + program.name + "': unknown helper " +
-                               std::to_string(insn.imm) + At(pc));
-        }
-        const int argc = insn.c;
-        if (argc < builtin->min_args ||
-            (builtin->max_args >= 0 && argc > builtin->max_args)) {
-          return VerifierError("program '" + program.name + "': helper " +
-                               std::string(builtin->name) + " called with " +
-                               std::to_string(argc) + " args" + At(pc));
-        }
-        if (insn.b + argc > regs) {
-          return VerifierError("program '" + program.name + "': helper argument window out of "
-                               "range" + At(pc));
-        }
-        if (!options.allow_actions &&
-            (builtin->is_action || IsMutatingHelperId(builtin->id))) {
-          return VerifierError("program '" + program.name + "': side-effecting helper " +
-                               std::string(builtin->name) +
-                               " is not allowed in a rule program" + At(pc));
-        }
+      case Op::kCall:
+        OSGUARD_RETURN_IF_ERROR(check_call(insn.imm, insn.c));
         break;
-      }
+      case Op::kCallKeyed:
+        // The slot id (aux) is bound to a concrete store at load time; the
+        // verifier only requires it to be non-negative — a stale or
+        // out-of-range slot degrades to the string-keyed slow path at run
+        // time, never to a fault.
+        if (insn.aux < 0) {
+          return VerifierError("program '" + program.name + "': negative store slot" + At(pc));
+        }
+        OSGUARD_RETURN_IF_ERROR(check_call(insn.imm, insn.c));
+        break;
+      case Op::kCmpConst:
+        OSGUARD_RETURN_IF_ERROR(check_cmp_kind(insn.c));
+        OSGUARD_RETURN_IF_ERROR(check_const(insn.imm));
+        break;
+      case Op::kCmpConstJf:
+      case Op::kCmpConstJt:
+        OSGUARD_RETURN_IF_ERROR(check_cmp_kind(insn.c));
+        OSGUARD_RETURN_IF_ERROR(check_const(insn.imm));
+        OSGUARD_RETURN_IF_ERROR(check_jump(insn.aux));
+        break;
+      case Op::kCmpRegJf:
+      case Op::kCmpRegJt:
+        OSGUARD_RETURN_IF_ERROR(check_cmp_kind(insn.imm));
+        OSGUARD_RETURN_IF_ERROR(check_jump(insn.aux));
+        break;
       default:
         break;
     }
@@ -236,7 +311,7 @@ Status Verify(const Program& program, const VerifyOptions& options) {
       }
     };
     if (effects.is_jump) {
-      propagate(pc + 1 + static_cast<size_t>(insn.imm));
+      propagate(pc + 1 + static_cast<size_t>(JumpOffsetOf(insn, effects)));
     }
     if (effects.falls_through) {
       if (pc + 1 >= n) {

@@ -2,6 +2,21 @@
 
 #include <array>
 #include <cmath>
+#include <memory>
+
+// Dispatch strategy. On GCC/Clang the interpreter uses computed goto (a label
+// address table indexed by opcode), which gives each handler its own indirect
+// branch and lets the CPU's branch predictor learn per-opcode successor
+// patterns — the classic "threaded code" win over a single switch whose one
+// indirect branch aliases every opcode transition. Define
+// OSGUARD_VM_SWITCH_DISPATCH (or build with a compiler without the extension)
+// to force the portable switch loop; both paths share the same handler bodies
+// via the VM_CASE / VM_NEXT macros, so they cannot drift apart semantically.
+#if !defined(OSGUARD_VM_SWITCH_DISPATCH) && (defined(__GNUC__) || defined(__clang__))
+#define OSGUARD_VM_COMPUTED_GOTO 1
+#else
+#define OSGUARD_VM_COMPUTED_GOTO 0
+#endif
 
 namespace osguard {
 
@@ -10,15 +25,15 @@ bool TruthyValue(const Value& value) {
     case ValueType::kNil:
       return false;
     case ValueType::kBool:
-      return value.AsBool().value();
+      return *value.IfBool();
     case ValueType::kInt:
-      return value.AsInt().value() != 0;
+      return *value.IfInt() != 0;
     case ValueType::kFloat:
-      return value.AsFloat().value() != 0.0;
+      return *value.IfFloat() != 0.0;
     case ValueType::kString:
-      return !value.AsString().value().empty();
+      return !value.IfString()->empty();
     case ValueType::kList:
-      return !value.AsList().value().empty();
+      return !value.IfList()->empty();
   }
   return false;
 }
@@ -26,6 +41,22 @@ bool TruthyValue(const Value& value) {
 namespace {
 
 bool Truthy(const Value& v) { return TruthyValue(v); }
+
+// Two's-complement wrapping int64 arithmetic (the kernel-friendly overflow
+// behavior the VM guarantees). Routed through uint64 so it is defined
+// behavior — signed overflow would be UB and trips UBSan.
+inline int64_t WrapAdd(int64_t a, int64_t b) {
+  return static_cast<int64_t>(static_cast<uint64_t>(a) + static_cast<uint64_t>(b));
+}
+inline int64_t WrapSub(int64_t a, int64_t b) {
+  return static_cast<int64_t>(static_cast<uint64_t>(a) - static_cast<uint64_t>(b));
+}
+inline int64_t WrapMul(int64_t a, int64_t b) {
+  return static_cast<int64_t>(static_cast<uint64_t>(a) * static_cast<uint64_t>(b));
+}
+inline int64_t WrapNeg(int64_t a) {
+  return static_cast<int64_t>(0u - static_cast<uint64_t>(a));
+}
 
 Result<Value> Arith(Op op, const Value& lhs, const Value& rhs) {
   if (!lhs.is_numeric() && lhs.type() != ValueType::kBool) {
@@ -39,11 +70,11 @@ Result<Value> Arith(Op op, const Value& lhs, const Value& rhs) {
   const double b = rhs.NumericOr(0.0);
   switch (op) {
     case Op::kAdd:
-      return both_int ? Value(lhs.AsInt().value() + rhs.AsInt().value()) : Value(a + b);
+      return both_int ? Value(WrapAdd(lhs.AsInt().value(), rhs.AsInt().value())) : Value(a + b);
     case Op::kSub:
-      return both_int ? Value(lhs.AsInt().value() - rhs.AsInt().value()) : Value(a - b);
+      return both_int ? Value(WrapSub(lhs.AsInt().value(), rhs.AsInt().value())) : Value(a - b);
     case Op::kMul:
-      return both_int ? Value(lhs.AsInt().value() * rhs.AsInt().value()) : Value(a * b);
+      return both_int ? Value(WrapMul(lhs.AsInt().value(), rhs.AsInt().value())) : Value(a * b);
     case Op::kDiv:
       if (b == 0.0) {
         return ExecutionError("division by zero");
@@ -54,7 +85,12 @@ Result<Value> Arith(Op op, const Value& lhs, const Value& rhs) {
         return ExecutionError("modulo by zero");
       }
       if (both_int) {
-        return Value(lhs.AsInt().value() % rhs.AsInt().value());
+        const int64_t divisor = rhs.AsInt().value();
+        // INT64_MIN % -1 overflows in hardware; the wrapped answer is 0.
+        if (divisor == -1) {
+          return Value(int64_t{0});
+        }
+        return Value(lhs.AsInt().value() % divisor);
       }
       return Value(std::fmod(a, b));
     }
@@ -79,8 +115,8 @@ Result<Value> Compare(Op op, const Value& lhs, const Value& rhs) {
   // Ordered comparisons: strings compare lexicographically, numerics (and
   // bools) numerically; anything else faults.
   if (lhs.type() == ValueType::kString && rhs.type() == ValueType::kString) {
-    const std::string a = lhs.AsString().value();
-    const std::string b = rhs.AsString().value();
+    const std::string& a = *lhs.IfString();
+    const std::string& b = *rhs.IfString();
     switch (op) {
       case Op::kCmpLt:
         return Value(a < b);
@@ -116,103 +152,406 @@ Result<Value> Compare(Op op, const Value& lhs, const Value& rhs) {
   }
 }
 
+// Int/float view used by the interpreter's numeric fast paths. Bools and
+// everything else decline, falling back to the generic (and unchanged)
+// Arith/Compare routines, so semantics are bit-identical to the slow path:
+// both already funnel mixed numeric operands through doubles via NumericOr.
+inline bool ToDouble(const Value& v, double* out) {
+  if (const int64_t* i = v.IfInt()) {
+    *out = static_cast<double>(*i);
+    return true;
+  }
+  if (const double* d = v.IfFloat()) {
+    *out = *d;
+    return true;
+  }
+  return false;
+}
+
+inline bool CmpKindDouble(int kind, double a, double b) {
+  switch (kind) {
+    case 0:
+      return a < b;
+    case 1:
+      return a <= b;
+    case 2:
+      return a > b;
+    case 3:
+      return a >= b;
+    case 4:
+      return a == b;
+    default:
+      return a != b;
+  }
+}
+
+// cmp<kind>(lhs, rhs) with the numeric fast path. Returns false on fault with
+// *fault set; otherwise *out holds the comparison result.
+inline bool DoCompare(int kind, const Value& lhs, const Value& rhs, bool* out,
+                      Status* fault) {
+  double a;
+  double b;
+  if (ToDouble(lhs, &a) && ToDouble(rhs, &b)) {
+    *out = CmpKindDouble(kind, a, b);
+    return true;
+  }
+  auto result = Compare(CmpKindToOp(kind), lhs, rhs);
+  if (!result.ok()) {
+    *fault = result.status();
+    return false;
+  }
+  *out = TruthyValue(result.value());
+  return true;
+}
+
 }  // namespace
 
 Result<Value> Vm::Execute(const Program& program, HelperContext& context) {
-  std::array<Value, kMaxRegisters> regs;
+  // Register file: normally the member scratch array (reused across calls so
+  // a 1 kHz monitor doesn't churn 64 Value constructions per tick); on
+  // re-entrant execution a heap-allocated spare.
+  std::unique_ptr<std::array<Value, kMaxRegisters>> spare;
+  Value* regs;
+  if (!scratch_in_use_) {
+    scratch_in_use_ = true;
+    regs = scratch_regs_.data();
+  } else {
+    spare = std::make_unique<std::array<Value, kMaxRegisters>>();
+    regs = spare->data();
+  }
+  struct ScratchGuard {
+    Vm* vm;
+    bool release;
+    ~ScratchGuard() {
+      if (release) {
+        vm->scratch_in_use_ = false;
+      }
+    }
+  } scratch_guard{this, spare == nullptr};
+
+  const Insn* const insns = program.insns.data();
+  const Value* const consts = program.consts.data();
   const size_t n = program.insns.size();
   size_t pc = 0;
   int64_t executed = 0;
-  while (pc < n) {
-    if (++executed > kMaxInstructions) {
-      return ExecutionError("program '" + program.name + "' exceeded the instruction budget");
-    }
-    const Insn& insn = program.insns[pc];
-    switch (insn.op) {
-      case Op::kLoadConst:
-        regs[insn.a] = program.consts[static_cast<size_t>(insn.imm)];
+  const Insn* insn = nullptr;
+  Status fault;
+
+#if OSGUARD_VM_COMPUTED_GOTO
+  // Indexed by static_cast<int>(Op); must stay in enum declaration order.
+  static const void* const kDispatch[kOpCount] = {
+      &&lbl_LoadConst, &&lbl_Mov,         &&lbl_Add,        &&lbl_Sub,
+      &&lbl_Mul,       &&lbl_Div,         &&lbl_Mod,        &&lbl_Neg,
+      &&lbl_Not,       &&lbl_Cmp,         &&lbl_Cmp,        &&lbl_Cmp,
+      &&lbl_Cmp,       &&lbl_Cmp,         &&lbl_Cmp,        &&lbl_Jump,
+      &&lbl_JumpIfFalse, &&lbl_JumpIfTrue, &&lbl_MakeList,  &&lbl_Call,
+      &&lbl_Ret,       &&lbl_CmpConst,    &&lbl_CmpConstJf, &&lbl_CmpConstJt,
+      &&lbl_CmpRegJf,  &&lbl_CmpRegJt,    &&lbl_CallKeyed,
+  };
+
+#define VM_CASE(name) lbl_##name:
+#define VM_NEXT()                                             \
+  do {                                                        \
+    if (pc >= n) goto lbl_off_end;                            \
+    if (++executed > kMaxInstructions) goto lbl_budget;       \
+    insn = &insns[pc];                                        \
+    if (static_cast<int>(insn->op) >= kOpCount) goto lbl_bad_op; \
+    goto* kDispatch[static_cast<int>(insn->op)];              \
+  } while (0)
+
+  VM_NEXT();  // initial dispatch
+
+#else  // switch fallback
+
+#define VM_CASE(name) case Op::k##name:
+#define VM_NEXT() continue
+
+  for (;;) {
+    if (pc >= n) goto lbl_off_end;
+    if (++executed > kMaxInstructions) goto lbl_budget;
+    insn = &insns[pc];
+    switch (insn->op) {
+#endif
+
+      VM_CASE(LoadConst) {
+        regs[insn->a] = consts[static_cast<size_t>(insn->imm)];
         ++pc;
-        break;
-      case Op::kMov:
-        regs[insn.a] = regs[insn.b];
-        ++pc;
-        break;
-      case Op::kAdd:
-      case Op::kSub:
-      case Op::kMul:
-      case Op::kDiv:
-      case Op::kMod: {
-        OSGUARD_ASSIGN_OR_RETURN(regs[insn.a], Arith(insn.op, regs[insn.b], regs[insn.c]));
-        ++pc;
-        break;
+        VM_NEXT();
       }
-      case Op::kNeg: {
-        const Value& v = regs[insn.b];
-        if (v.type() == ValueType::kInt) {
-          regs[insn.a] = Value(-v.AsInt().value());
-        } else if (v.type() == ValueType::kFloat) {
-          regs[insn.a] = Value(-v.AsFloat().value());
-        } else if (v.type() == ValueType::kBool) {
-          regs[insn.a] = Value(v.AsBool().value() ? -1 : 0);
+      VM_CASE(Mov) {
+        regs[insn->a] = regs[insn->b];
+        ++pc;
+        VM_NEXT();
+      }
+      VM_CASE(Add) {
+        const Value& lhs = regs[insn->b];
+        const Value& rhs = regs[insn->c];
+        if (const int64_t* li = lhs.IfInt()) {
+          if (const int64_t* ri = rhs.IfInt()) {
+            regs[insn->a] = Value(WrapAdd(*li, *ri));
+            ++pc;
+            VM_NEXT();
+          }
+        }
+        double a;
+        double b;
+        if (ToDouble(lhs, &a) && ToDouble(rhs, &b)) {
+          regs[insn->a] = Value(a + b);
+          ++pc;
+          VM_NEXT();
+        }
+        auto result = Arith(Op::kAdd, lhs, rhs);
+        if (!result.ok()) {
+          fault = result.status();
+          goto lbl_fault;
+        }
+        regs[insn->a] = std::move(result).value();
+        ++pc;
+        VM_NEXT();
+      }
+      VM_CASE(Sub) {
+        const Value& lhs = regs[insn->b];
+        const Value& rhs = regs[insn->c];
+        if (const int64_t* li = lhs.IfInt()) {
+          if (const int64_t* ri = rhs.IfInt()) {
+            regs[insn->a] = Value(WrapSub(*li, *ri));
+            ++pc;
+            VM_NEXT();
+          }
+        }
+        double a;
+        double b;
+        if (ToDouble(lhs, &a) && ToDouble(rhs, &b)) {
+          regs[insn->a] = Value(a - b);
+          ++pc;
+          VM_NEXT();
+        }
+        auto result = Arith(Op::kSub, lhs, rhs);
+        if (!result.ok()) {
+          fault = result.status();
+          goto lbl_fault;
+        }
+        regs[insn->a] = std::move(result).value();
+        ++pc;
+        VM_NEXT();
+      }
+      VM_CASE(Mul) {
+        const Value& lhs = regs[insn->b];
+        const Value& rhs = regs[insn->c];
+        if (const int64_t* li = lhs.IfInt()) {
+          if (const int64_t* ri = rhs.IfInt()) {
+            regs[insn->a] = Value(WrapMul(*li, *ri));
+            ++pc;
+            VM_NEXT();
+          }
+        }
+        double a;
+        double b;
+        if (ToDouble(lhs, &a) && ToDouble(rhs, &b)) {
+          regs[insn->a] = Value(a * b);
+          ++pc;
+          VM_NEXT();
+        }
+        auto result = Arith(Op::kMul, lhs, rhs);
+        if (!result.ok()) {
+          fault = result.status();
+          goto lbl_fault;
+        }
+        regs[insn->a] = std::move(result).value();
+        ++pc;
+        VM_NEXT();
+      }
+      VM_CASE(Div) {
+        double a;
+        double b;
+        if (ToDouble(regs[insn->b], &a) && ToDouble(regs[insn->c], &b) && b != 0.0) {
+          regs[insn->a] = Value(a / b);
+          ++pc;
+          VM_NEXT();
+        }
+        auto result = Arith(Op::kDiv, regs[insn->b], regs[insn->c]);
+        if (!result.ok()) {
+          fault = result.status();
+          goto lbl_fault;
+        }
+        regs[insn->a] = std::move(result).value();
+        ++pc;
+        VM_NEXT();
+      }
+      VM_CASE(Mod) {
+        auto result = Arith(Op::kMod, regs[insn->b], regs[insn->c]);
+        if (!result.ok()) {
+          fault = result.status();
+          goto lbl_fault;
+        }
+        regs[insn->a] = std::move(result).value();
+        ++pc;
+        VM_NEXT();
+      }
+      VM_CASE(Neg) {
+        const Value& v = regs[insn->b];
+        if (const int64_t* i = v.IfInt()) {
+          regs[insn->a] = Value(WrapNeg(*i));
+        } else if (const double* d = v.IfFloat()) {
+          regs[insn->a] = Value(-*d);
+        } else if (const bool* bv = v.IfBool()) {
+          regs[insn->a] = Value(*bv ? -1 : 0);
         } else {
-          return ExecutionError("cannot negate " + v.ToString());
+          fault = ExecutionError("cannot negate " + v.ToString());
+          goto lbl_fault;
         }
         ++pc;
-        break;
+        VM_NEXT();
       }
-      case Op::kNot:
-        regs[insn.a] = Value(!Truthy(regs[insn.b]));
+      VM_CASE(Not) {
+        regs[insn->a] = Value(!Truthy(regs[insn->b]));
         ++pc;
-        break;
-      case Op::kCmpLt:
-      case Op::kCmpLe:
-      case Op::kCmpGt:
-      case Op::kCmpGe:
-      case Op::kCmpEq:
-      case Op::kCmpNe: {
-        OSGUARD_ASSIGN_OR_RETURN(regs[insn.a], Compare(insn.op, regs[insn.b], regs[insn.c]));
-        ++pc;
-        break;
+        VM_NEXT();
       }
-      case Op::kJump:
-        pc += 1 + static_cast<size_t>(insn.imm);
-        break;
-      case Op::kJumpIfFalse:
-        pc += Truthy(regs[insn.a]) ? 1 : 1 + static_cast<size_t>(insn.imm);
-        break;
-      case Op::kJumpIfTrue:
-        pc += Truthy(regs[insn.a]) ? 1 + static_cast<size_t>(insn.imm) : 1;
-        break;
-      case Op::kMakeList: {
+#if OSGUARD_VM_COMPUTED_GOTO
+      VM_CASE(Cmp) {
+#else
+      VM_CASE(CmpLt)
+      VM_CASE(CmpLe)
+      VM_CASE(CmpGt)
+      VM_CASE(CmpGe)
+      VM_CASE(CmpEq)
+      VM_CASE(CmpNe) {
+#endif
+        bool flag;
+        if (!DoCompare(CmpOpToKind(insn->op), regs[insn->b], regs[insn->c], &flag,
+                       &fault)) {
+          goto lbl_fault;
+        }
+        regs[insn->a] = Value(flag);
+        ++pc;
+        VM_NEXT();
+      }
+      VM_CASE(Jump) {
+        pc += 1 + static_cast<size_t>(insn->imm);
+        VM_NEXT();
+      }
+      VM_CASE(JumpIfFalse) {
+        pc += Truthy(regs[insn->a]) ? 1 : 1 + static_cast<size_t>(insn->imm);
+        VM_NEXT();
+      }
+      VM_CASE(JumpIfTrue) {
+        pc += Truthy(regs[insn->a]) ? 1 + static_cast<size_t>(insn->imm) : 1;
+        VM_NEXT();
+      }
+      VM_CASE(MakeList) {
         std::vector<Value> list;
-        list.reserve(static_cast<size_t>(insn.imm));
-        for (int i = 0; i < insn.imm; ++i) {
-          list.push_back(regs[insn.b + i]);
+        list.reserve(static_cast<size_t>(insn->imm));
+        for (int i = 0; i < insn->imm; ++i) {
+          list.push_back(regs[insn->b + i]);
         }
-        regs[insn.a] = Value(std::move(list));
+        regs[insn->a] = Value(std::move(list));
         ++pc;
-        break;
+        VM_NEXT();
       }
-      case Op::kCall: {
+      VM_CASE(Call) {
         ++stats_.helper_calls;
-        std::span<const Value> args(&regs[insn.b], static_cast<size_t>(insn.c));
-        auto result = context.CallHelper(static_cast<HelperId>(insn.imm), args);
+        std::span<const Value> args(&regs[insn->b], static_cast<size_t>(insn->c));
+        auto result = context.CallHelper(static_cast<HelperId>(insn->imm), args);
         if (!result.ok()) {
           stats_.insns_executed += executed;
           return ExecutionError("program '" + program.name + "': helper failed: " +
                                 result.status().ToString());
         }
-        regs[insn.a] = std::move(result).value();
+        regs[insn->a] = std::move(result).value();
         ++pc;
-        break;
+        VM_NEXT();
       }
-      case Op::kRet:
+      VM_CASE(Ret) {
         stats_.insns_executed += executed;
-        return regs[insn.a];
-    }
-  }
+        return regs[insn->a];
+      }
+      VM_CASE(CmpConst) {
+        bool flag;
+        if (!DoCompare(insn->c, regs[insn->b], consts[static_cast<size_t>(insn->imm)],
+                       &flag, &fault)) {
+          goto lbl_fault;
+        }
+        regs[insn->a] = Value(flag);
+        ++pc;
+        VM_NEXT();
+      }
+      VM_CASE(CmpConstJf) {
+        bool flag;
+        if (!DoCompare(insn->c, regs[insn->b], consts[static_cast<size_t>(insn->imm)],
+                       &flag, &fault)) {
+          goto lbl_fault;
+        }
+        regs[insn->a] = Value(flag);
+        pc += flag ? 1 : 1 + static_cast<size_t>(insn->aux);
+        VM_NEXT();
+      }
+      VM_CASE(CmpConstJt) {
+        bool flag;
+        if (!DoCompare(insn->c, regs[insn->b], consts[static_cast<size_t>(insn->imm)],
+                       &flag, &fault)) {
+          goto lbl_fault;
+        }
+        regs[insn->a] = Value(flag);
+        pc += flag ? 1 + static_cast<size_t>(insn->aux) : 1;
+        VM_NEXT();
+      }
+      VM_CASE(CmpRegJf) {
+        bool flag;
+        if (!DoCompare(insn->imm, regs[insn->b], regs[insn->c], &flag, &fault)) {
+          goto lbl_fault;
+        }
+        regs[insn->a] = Value(flag);
+        pc += flag ? 1 : 1 + static_cast<size_t>(insn->aux);
+        VM_NEXT();
+      }
+      VM_CASE(CmpRegJt) {
+        bool flag;
+        if (!DoCompare(insn->imm, regs[insn->b], regs[insn->c], &flag, &fault)) {
+          goto lbl_fault;
+        }
+        regs[insn->a] = Value(flag);
+        pc += flag ? 1 + static_cast<size_t>(insn->aux) : 1;
+        VM_NEXT();
+      }
+      VM_CASE(CallKeyed) {
+        ++stats_.helper_calls;
+        std::span<const Value> args(&regs[insn->b], static_cast<size_t>(insn->c));
+        auto result = context.CallHelperKeyed(static_cast<HelperId>(insn->imm),
+                                              static_cast<uint32_t>(insn->aux), args);
+        if (!result.ok()) {
+          stats_.insns_executed += executed;
+          return ExecutionError("program '" + program.name + "': helper failed: " +
+                                result.status().ToString());
+        }
+        regs[insn->a] = std::move(result).value();
+        ++pc;
+        VM_NEXT();
+      }
+
+#if !OSGUARD_VM_COMPUTED_GOTO
+      default:
+        goto lbl_bad_op;
+    }  // switch
+  }    // for
+#endif
+
+#undef VM_CASE
+#undef VM_NEXT
+
+lbl_off_end:
   stats_.insns_executed += executed;
   return ExecutionError("program '" + program.name + "' ran off the end");
+lbl_budget:
+  stats_.insns_executed += executed;
+  return ExecutionError("program '" + program.name + "' exceeded the instruction budget");
+lbl_bad_op:
+  stats_.insns_executed += executed;
+  return ExecutionError("program '" + program.name + "': unknown opcode " +
+                        std::to_string(static_cast<int>(insn->op)));
+lbl_fault:
+  stats_.insns_executed += executed;
+  return fault;
 }
 
 }  // namespace osguard

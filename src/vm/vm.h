@@ -10,6 +10,8 @@
 #ifndef SRC_VM_VM_H_
 #define SRC_VM_VM_H_
 
+#include <array>
+#include <cstdint>
 #include <span>
 
 #include "src/store/value.h"
@@ -28,6 +30,16 @@ class HelperContext {
   // Invokes helper `id` with `args`. Must tolerate any argument values the
   // verifier admits (arity is pre-checked; types are not).
   virtual Result<Value> CallHelper(HelperId id, std::span<const Value> args) = 0;
+
+  // Keyed variant used by kCallKeyed: `slot` is the feature-store slot id that
+  // Engine::Load resolved for the (constant) key argument. Contexts that can
+  // exploit it override this; the default ignores the hint, so a stale or
+  // foreign slot id can never change behavior — only speed.
+  virtual Result<Value> CallHelperKeyed(HelperId id, uint32_t slot,
+                                        std::span<const Value> args) {
+    (void)slot;
+    return CallHelper(id, args);
+  }
 
   // Current simulated time, for the NOW() helper.
   virtual SimTime now() const = 0;
@@ -55,6 +67,14 @@ class Vm {
 
  private:
   ExecStats stats_;
+
+  // Scratch register file reused across Execute calls so the hot path does
+  // not construct/destruct 64 Values per evaluation. A Vm is not thread-safe;
+  // re-entrant Execute calls (a helper evaluating another program on the same
+  // Vm) fall back to a heap-allocated register file, so reuse is a pure
+  // optimization, never a correctness hazard.
+  std::array<Value, kMaxRegisters> scratch_regs_;
+  bool scratch_in_use_ = false;
 };
 
 }  // namespace osguard

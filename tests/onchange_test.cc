@@ -14,7 +14,8 @@ class OnChangeTest : public ::testing::Test {
  protected:
   OnChangeTest() : engine_(&store_, &registry_) {
     Logger::Global().set_level(LogLevel::kOff);
-    store_.SetWriteObserver([this](const std::string& key) { engine_.OnStoreWrite(key); });
+    store_.SetWriteObserver(
+        [this](KeyId id, const std::string& /*key*/) { engine_.OnStoreWrite(id); });
   }
 
   void Load(const std::string& source) {

@@ -1,0 +1,288 @@
+// Differential tests for the peephole fusion pass: an optimized program must
+// verify exactly like its unfused source and compute the same result — value
+// for value, fault for fault — under both dispatch modes. The randomized
+// section hammers the pass with generated straight-line/branchy programs and
+// fails loudly on any divergence.
+
+#include <cstdint>
+#include <random>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/vm/bytecode.h"
+#include "src/vm/compiler.h"
+#include "src/vm/verifier.h"
+#include "src/vm/vm.h"
+
+namespace osguard {
+namespace {
+
+class NullHelperContext : public HelperContext {
+ public:
+  Result<Value> CallHelper(HelperId, std::span<const Value>) override {
+    return ExecutionError("no helpers in fusion tests");
+  }
+  SimTime now() const override { return 0; }
+};
+
+Program Make(std::vector<Insn> insns, std::vector<Value> consts, int regs = 8) {
+  Program program;
+  program.name = "fusion-test";
+  program.insns = std::move(insns);
+  program.consts = std::move(consts);
+  program.register_count = regs;
+  return program;
+}
+
+bool HasOp(const Program& program, Op op) {
+  for (const Insn& insn : program.insns) {
+    if (insn.op == op) {
+      return true;
+    }
+  }
+  return false;
+}
+
+// Runs both programs and demands identical outcomes: same ok-ness, same
+// value when ok, same error code when not. (Error text may differ — the
+// optimized program has different pcs — but the fault class must match.)
+void ExpectSameResult(Vm& vm, HelperContext& ctx, const Program& unfused,
+                      const Program& fused, const std::string& context) {
+  const Result<Value> a = vm.Execute(unfused, ctx);
+  const Result<Value> b = vm.Execute(fused, ctx);
+  ASSERT_EQ(a.ok(), b.ok()) << context << "\nunfused:\n"
+                            << unfused.Disassemble() << "fused:\n"
+                            << fused.Disassemble();
+  if (a.ok()) {
+    EXPECT_EQ(a.value(), b.value()) << context << "\nunfused:\n"
+                                    << unfused.Disassemble() << "fused:\n"
+                                    << fused.Disassemble();
+  } else {
+    EXPECT_EQ(a.status().code(), b.status().code()) << context;
+  }
+}
+
+TEST(VmFusionTest, ConstCompareBranchFusesAndAgrees) {
+  // if (r0 < 10) return 111 else return 222 — the classic rule shape.
+  for (int64_t input : {int64_t{5}, int64_t{10}, int64_t{50}}) {
+    const Program unfused = Make({{Op::kLoadConst, 0, 0, 0, 0},   // r0 = input
+                                  {Op::kLoadConst, 1, 0, 0, 1},   // r1 = 10
+                                  {Op::kCmpLt, 2, 0, 1, 0},       // r2 = r0 < r1
+                                  {Op::kJumpIfFalse, 2, 0, 0, 2}, // -> else
+                                  {Op::kLoadConst, 3, 0, 0, 2},
+                                  {Op::kRet, 3, 0, 0, 0},
+                                  {Op::kLoadConst, 3, 0, 0, 3},
+                                  {Op::kRet, 3, 0, 0, 0}},
+                                 {Value(input), Value(int64_t{10}), Value(int64_t{111}),
+                                  Value(int64_t{222})});
+    ASSERT_TRUE(Verify(unfused).ok());
+    const Program fused = PeepholeOptimize(unfused);
+    // The ldc/cmp pair folds to kCmpConst and the compare/branch pair fuses.
+    EXPECT_TRUE(HasOp(fused, Op::kCmpConstJf)) << fused.Disassemble();
+    EXPECT_LT(fused.insns.size(), unfused.insns.size());
+    ASSERT_TRUE(Verify(fused).ok()) << Verify(fused).ToString();
+    Vm vm;
+    NullHelperContext ctx;
+    ExpectSameResult(vm, ctx, unfused, fused, "input=" + std::to_string(input));
+  }
+}
+
+TEST(VmFusionTest, RegCompareBranchFusesAndAgrees) {
+  const Program unfused = Make({{Op::kLoadConst, 0, 0, 0, 0},
+                                {Op::kLoadConst, 1, 0, 0, 1},
+                                {Op::kLoadConst, 2, 0, 0, 0},   // keep r1 live-ish
+                                {Op::kCmpGe, 3, 0, 1, 0},       // r3 = r0 >= r1
+                                {Op::kJumpIfTrue, 3, 0, 0, 1},
+                                {Op::kRet, 2, 0, 0, 0},
+                                {Op::kRet, 1, 0, 0, 0}},
+                               {Value(3.5), Value(int64_t{2})});
+  ASSERT_TRUE(Verify(unfused).ok());
+  const Program fused = PeepholeOptimize(unfused);
+  // r1 is still used after the compare, so the ldc can't fold away — but the
+  // compare/branch pair must fuse into kCmpRegJt.
+  EXPECT_TRUE(HasOp(fused, Op::kCmpRegJt)) << fused.Disassemble();
+  ASSERT_TRUE(Verify(fused).ok()) << Verify(fused).ToString();
+  Vm vm;
+  NullHelperContext ctx;
+  ExpectSameResult(vm, ctx, unfused, fused, "reg-compare");
+}
+
+TEST(VmFusionTest, MirroredConstLhsCompare) {
+  // 10 < r0 must fold to r0 > 10, not r0 < 10.
+  for (int64_t input : {int64_t{5}, int64_t{10}, int64_t{50}}) {
+    const Program unfused = Make({{Op::kLoadConst, 0, 0, 0, 0},  // r0 = input
+                                  {Op::kLoadConst, 1, 0, 0, 1},  // r1 = 10 (lhs!)
+                                  {Op::kCmpLt, 2, 1, 0, 0},      // r2 = 10 < r0
+                                  {Op::kRet, 2, 0, 0, 0}},
+                                 {Value(input), Value(int64_t{10})});
+    ASSERT_TRUE(Verify(unfused).ok());
+    const Program fused = PeepholeOptimize(unfused);
+    EXPECT_TRUE(HasOp(fused, Op::kCmpConst)) << fused.Disassemble();
+    ASSERT_TRUE(Verify(fused).ok()) << Verify(fused).ToString();
+    Vm vm;
+    NullHelperContext ctx;
+    ExpectSameResult(vm, ctx, unfused, fused, "const-lhs input=" + std::to_string(input));
+  }
+}
+
+TEST(VmFusionTest, InvalidProgramStaysInvalid) {
+  // Uses r5 without defining it; fusion must not launder the program into
+  // something the verifier accepts.
+  const Program unfused = Make({{Op::kLoadConst, 0, 0, 0, 0},
+                                {Op::kCmpEq, 1, 0, 5, 0},
+                                {Op::kJumpIfFalse, 1, 0, 0, 1},
+                                {Op::kRet, 0, 0, 0, 0}},
+                               {Value(int64_t{1})});
+  ASSERT_FALSE(Verify(unfused).ok());
+  const Program fused = PeepholeOptimize(unfused);
+  EXPECT_FALSE(Verify(fused).ok());
+}
+
+// --- Randomized differential fuzzing of the pass ---
+
+struct RandomProgramGen {
+  std::mt19937 rng;
+  std::uniform_real_distribution<double> dval{-100.0, 100.0};
+
+  explicit RandomProgramGen(uint32_t seed) : rng(seed) {}
+
+  int Pick(int lo, int hi) {  // inclusive
+    return std::uniform_int_distribution<int>(lo, hi)(rng);
+  }
+
+  Value RandomConst() {
+    switch (Pick(0, 3)) {
+      case 0:
+        return Value(static_cast<int64_t>(Pick(-50, 50)));
+      case 1:
+        return Value(dval(rng));
+      case 2:
+        return Value(Pick(0, 1) == 1);
+      default:
+        return Value(static_cast<int64_t>(Pick(0, 5)));
+    }
+  }
+
+  Program Generate() {
+    std::vector<Insn> insns;
+    std::vector<Value> consts;
+    auto add_const = [&](Value v) {
+      consts.push_back(std::move(v));
+      return static_cast<int32_t>(consts.size() - 1);
+    };
+    // Define r0..r7 up front so register use is valid on every path no
+    // matter how the random jumps land.
+    for (uint8_t r = 0; r < 8; ++r) {
+      insns.push_back({Op::kLoadConst, r, 0, 0, add_const(RandomConst()), 0});
+    }
+    const int body = Pick(4, 24);
+    std::vector<size_t> branch_fixups;  // jump offsets patched once length is known
+    for (int i = 0; i < body; ++i) {
+      const uint8_t d = static_cast<uint8_t>(Pick(0, 7));
+      const uint8_t s1 = static_cast<uint8_t>(Pick(0, 7));
+      const uint8_t s2 = static_cast<uint8_t>(Pick(0, 7));
+      switch (Pick(0, 9)) {
+        case 0:
+          insns.push_back({Op::kLoadConst, d, 0, 0, add_const(RandomConst()), 0});
+          break;
+        case 1:
+          insns.push_back({Op::kMov, d, s1, 0, 0, 0});
+          break;
+        case 2:
+          insns.push_back(
+              {static_cast<Op>(Pick(static_cast<int>(Op::kAdd), static_cast<int>(Op::kMul))),
+               d, s1, s2, 0, 0});
+          break;
+        case 3:
+          insns.push_back({Op::kNot, d, s1, 0, 0, 0});
+          break;
+        case 4:
+        case 5:
+          insns.push_back(
+              {static_cast<Op>(Pick(static_cast<int>(Op::kCmpLt), static_cast<int>(Op::kCmpNe))),
+               d, s1, s2, 0, 0});
+          break;
+        case 6: {  // fusable ldc/cmp pair
+          insns.push_back({Op::kLoadConst, 7, 0, 0, add_const(RandomConst()), 0});
+          const bool const_lhs = Pick(0, 1) == 1;
+          insns.push_back(
+              {static_cast<Op>(Pick(static_cast<int>(Op::kCmpLt), static_cast<int>(Op::kCmpNe))),
+               d, const_lhs ? uint8_t{7} : s1, const_lhs ? s1 : uint8_t{7}, 0, 0});
+          ++i;
+          break;
+        }
+        case 7: {  // fusable cmp/branch pair (offset patched below)
+          insns.push_back(
+              {static_cast<Op>(Pick(static_cast<int>(Op::kCmpLt), static_cast<int>(Op::kCmpNe))),
+               d, s1, s2, 0, 0});
+          insns.push_back({Pick(0, 1) == 1 ? Op::kJumpIfTrue : Op::kJumpIfFalse, d, 0, 0, 1, 0});
+          branch_fixups.push_back(insns.size() - 1);
+          ++i;
+          break;
+        }
+        case 8:
+          insns.push_back({Op::kJump, 0, 0, 0, 1, 0});
+          branch_fixups.push_back(insns.size() - 1);
+          break;
+        default:
+          insns.push_back({Op::kNot, d, s1, 0, 0, 0});
+          break;
+      }
+    }
+    insns.push_back({Op::kRet, static_cast<uint8_t>(Pick(0, 7)), 0, 0, 0, 0});
+    const int n = static_cast<int>(insns.size());
+    for (size_t pc : branch_fixups) {
+      // Target is pc + 1 + imm and must stay < n (the trailing ret).
+      const int max_off = n - 2 - static_cast<int>(pc);
+      if (max_off < 1) {
+        // A branch in the last slot has nowhere to go; neutralize it.
+        insns[pc] = {Op::kNot, insns[pc].a, insns[pc].a, 0, 0, 0};
+        continue;
+      }
+      insns[pc].imm = Pick(1, max_off);
+    }
+    return Make(std::move(insns), std::move(consts));
+  }
+};
+
+TEST(VmFusionTest, RandomizedProgramsAgreeAfterFusion) {
+  RandomProgramGen gen(0xf05e01);
+  Vm vm;
+  NullHelperContext ctx;
+  int fused_programs = 0;
+  constexpr int kPrograms = 500;
+  for (int i = 0; i < kPrograms; ++i) {
+    const Program unfused = gen.Generate();
+    ASSERT_TRUE(Verify(unfused).ok())
+        << "generator produced an invalid program:\n"
+        << unfused.Disassemble();
+    const Program fused = PeepholeOptimize(unfused);
+    ASSERT_TRUE(Verify(fused).ok())
+        << Verify(fused).ToString() << "\nunfused:\n"
+        << unfused.Disassemble() << "fused:\n" << fused.Disassemble();
+    if (fused.insns.size() < unfused.insns.size()) {
+      ++fused_programs;
+    }
+    ExpectSameResult(vm, ctx, unfused, fused, "program " + std::to_string(i));
+  }
+  // The generator plants fusable pairs; the pass must actually shrink a
+  // healthy fraction of programs or it is silently disabled.
+  EXPECT_GT(fused_programs, kPrograms / 4);
+}
+
+TEST(VmFusionTest, OptimizeIsIdempotent) {
+  RandomProgramGen gen(0x1de3210);
+  for (int i = 0; i < 100; ++i) {
+    const Program once = PeepholeOptimize(gen.Generate());
+    const Program twice = PeepholeOptimize(once);
+    ASSERT_EQ(once.insns.size(), twice.insns.size()) << once.Disassemble();
+    for (size_t pc = 0; pc < once.insns.size(); ++pc) {
+      EXPECT_EQ(once.insns[pc].op, twice.insns[pc].op) << "pc " << pc;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace osguard

@@ -1,0 +1,238 @@
+// Hot-path benchmark runner with a stable JSON output schema.
+//
+// Runs the monitor-overhead workloads behind `ext1_monitor_overhead` (the P5
+// "decision overhead" extension) and emits machine-readable results so the
+// perf trajectory can be tracked across PRs in BENCH_hotpath.json.
+//
+// Schema (stable; additions append new metric objects, never rename):
+//   {
+//     "bench": "hotpath",
+//     "schema_version": 1,
+//     "metrics": [
+//       {"name": "...", "value": <number>, "unit": "ns_per_eval" | ...},
+//       ...
+//     ],
+//     "ns_per_eval_mean": <number>   // headline: mean over *_ns_per_eval
+//   }
+//
+// Usage: benchjson [--strict-alloc] [-o FILE]
+//   --strict-alloc  exit(1) if the steady-state FUNCTION callout loop
+//                   allocates (the zero-allocation trigger-dispatch
+//                   guarantee; a heap-profile assertion, not a timer).
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <new>
+#include <string>
+#include <vector>
+
+#include "src/runtime/engine.h"
+#include "src/support/logging.h"
+
+// --- Heap profile hooks -----------------------------------------------------
+// Counts every global allocation so workloads can assert "no allocations in
+// the steady state". Counting is always on; it is a single relaxed atomic
+// increment and does not perturb the ns-scale measurements meaningfully.
+
+namespace {
+std::atomic<uint64_t> g_alloc_count{0};
+}  // namespace
+
+void* operator new(std::size_t size) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) {
+    return p;
+  }
+  throw std::bad_alloc();
+}
+
+void* operator new[](std::size_t size) { return ::operator new(size); }
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+namespace osguard {
+namespace {
+
+int64_t WallNs() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+struct Metric {
+  std::string name;
+  double value = 0.0;
+  std::string unit;
+};
+
+std::string MakeTimerGuardrail(int index, Duration interval) {
+  return "guardrail g" + std::to_string(index) +
+         " {\n"
+         "  trigger: { TIMER(" +
+         std::to_string(interval) + ", " + std::to_string(interval) +
+         ") },\n"
+         "  rule: { COUNT(metric" +
+         std::to_string(index) + ", 10s) == 0 || MEAN(metric" + std::to_string(index) +
+         ", 10s) <= 100 },\n"
+         "  action: { REPORT() }\n"
+         "}\n";
+}
+
+// (1) One guardrail on a 1ms TIMER whose 10s aggregate window holds 1000
+// samples: the aggregate-query-dominated regime.
+Metric TimerHotWindow() {
+  FeatureStore store;
+  PolicyRegistry registry;
+  Engine engine(&store, &registry);
+  (void)engine.LoadSource(MakeTimerGuardrail(0, Milliseconds(1)));
+  for (int i = 0; i < 1000; ++i) {
+    store.Observe("metric0", Milliseconds(i * 60), 50.0);
+  }
+  const int64_t start = WallNs();
+  engine.AdvanceTo(Seconds(60));
+  const int64_t elapsed = WallNs() - start;
+  const uint64_t evals = engine.stats().evaluations;
+  return Metric{"timer_hot_window_ns_per_eval",
+                evals > 0 ? static_cast<double>(elapsed) / static_cast<double>(evals) : 0.0,
+                "ns_per_eval"};
+}
+
+// (2) 64 guardrails on 100ms TIMERs, one sample per series: the
+// dispatch/VM-dominated regime.
+Metric TimerManyMonitors() {
+  FeatureStore store;
+  PolicyRegistry registry;
+  Engine engine(&store, &registry);
+  std::string spec;
+  constexpr int kCount = 64;
+  for (int i = 0; i < kCount; ++i) {
+    spec += MakeTimerGuardrail(i, Milliseconds(100));
+  }
+  (void)engine.LoadSource(spec);
+  for (int i = 0; i < kCount; ++i) {
+    store.Observe("metric" + std::to_string(i), 0, 50.0);
+  }
+  const int64_t start = WallNs();
+  engine.AdvanceTo(Seconds(60));
+  const int64_t elapsed = WallNs() - start;
+  const uint64_t evals = engine.stats().evaluations;
+  return Metric{"timer_many_monitors_ns_per_eval",
+                evals > 0 ? static_cast<double>(elapsed) / static_cast<double>(evals) : 0.0,
+                "ns_per_eval"};
+}
+
+// (3) FUNCTION trigger on a hot path: 1M callouts against one hooked
+// monitor. Also reports the steady-state allocation count per callout.
+void FunctionCallouts(std::vector<Metric>& metrics) {
+  FeatureStore store;
+  PolicyRegistry registry;
+  EngineOptions options;
+  options.measure_wall_time = false;
+  Engine engine(&store, &registry, nullptr, options);
+  (void)engine.LoadSource(
+      "guardrail f0 { trigger: { FUNCTION(blk_mq_submit_bio_hotpath) }, rule: { LOAD_OR(x, 0) <= 1 }, "
+      "action: { REPORT() } }\n");
+  constexpr int kCalls = 1000000;
+  // Warm up so lazy one-time work (report ring, first-eval paths) is done.
+  for (int i = 0; i < 1000; ++i) {
+    engine.OnFunctionCall("blk_mq_submit_bio_hotpath", i);
+  }
+  const uint64_t allocs_before = g_alloc_count.load(std::memory_order_relaxed);
+  const int64_t start = WallNs();
+  for (int i = 0; i < kCalls; ++i) {
+    engine.OnFunctionCall("blk_mq_submit_bio_hotpath", 1000 + i);
+  }
+  const int64_t elapsed = WallNs() - start;
+  const uint64_t allocs = g_alloc_count.load(std::memory_order_relaxed) - allocs_before;
+  metrics.push_back(Metric{"function_callout_ns_per_eval",
+                           static_cast<double>(elapsed) / kCalls, "ns_per_eval"});
+  metrics.push_back(Metric{"function_callout_allocs_per_call",
+                           static_cast<double>(allocs) / kCalls, "allocs_per_call"});
+  // Unhooked path: the cost a kernel pays for instrumenting a function no
+  // monitor watches.
+  const int64_t start2 = WallNs();
+  for (int i = 0; i < kCalls; ++i) {
+    engine.OnFunctionCall("blk_mq_requeue_request_cold", i);
+  }
+  metrics.push_back(Metric{"function_callout_unhooked_ns",
+                           static_cast<double>(WallNs() - start2) / kCalls, "ns_per_call"});
+}
+
+int Main(int argc, char** argv) {
+  Logger::Global().set_level(LogLevel::kOff);
+  bool strict_alloc = false;
+  const char* out_path = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--strict-alloc") == 0) {
+      strict_alloc = true;
+    } else if (std::strcmp(argv[i], "-o") == 0 && i + 1 < argc) {
+      out_path = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: benchjson [--strict-alloc] [-o FILE]\n");
+      return 2;
+    }
+  }
+
+  std::vector<Metric> metrics;
+  metrics.push_back(TimerHotWindow());
+  metrics.push_back(TimerManyMonitors());
+  FunctionCallouts(metrics);
+
+  double eval_sum = 0.0;
+  int eval_count = 0;
+  for (const Metric& m : metrics) {
+    if (m.unit == "ns_per_eval") {
+      eval_sum += m.value;
+      ++eval_count;
+    }
+  }
+  const double mean = eval_count > 0 ? eval_sum / eval_count : 0.0;
+
+  std::string json = "{\n  \"bench\": \"hotpath\",\n  \"schema_version\": 1,\n  \"metrics\": [\n";
+  for (size_t i = 0; i < metrics.size(); ++i) {
+    char line[256];
+    std::snprintf(line, sizeof(line),
+                  "    {\"name\": \"%s\", \"value\": %.2f, \"unit\": \"%s\"}%s\n",
+                  metrics[i].name.c_str(), metrics[i].value, metrics[i].unit.c_str(),
+                  i + 1 < metrics.size() ? "," : "");
+    json += line;
+  }
+  char tail[96];
+  std::snprintf(tail, sizeof(tail), "  ],\n  \"ns_per_eval_mean\": %.2f\n}\n", mean);
+  json += tail;
+
+  if (out_path != nullptr) {
+    std::FILE* f = std::fopen(out_path, "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "benchjson: cannot open %s\n", out_path);
+      return 2;
+    }
+    std::fputs(json.c_str(), f);
+    std::fclose(f);
+  }
+  std::fputs(json.c_str(), stdout);
+
+  if (strict_alloc) {
+    for (const Metric& m : metrics) {
+      if (m.name == "function_callout_allocs_per_call" && m.value > 0.0) {
+        std::fprintf(stderr,
+                     "benchjson: FAIL --strict-alloc: %.4f allocations per steady-state "
+                     "FUNCTION callout (expected 0)\n",
+                     m.value);
+        return 1;
+      }
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace osguard
+
+int main(int argc, char** argv) { return osguard::Main(argc, argv); }
