@@ -1,5 +1,7 @@
 #include "src/actions/dispatcher.h"
 
+#include <algorithm>
+
 namespace osguard {
 
 ActionDispatcher::ActionDispatcher(Reporter* reporter, PolicyRegistry* registry,
@@ -9,27 +11,134 @@ ActionDispatcher::ActionDispatcher(Reporter* reporter, PolicyRegistry* registry,
       retrain_queue_(retrain_queue),
       task_control_(task_control != nullptr ? task_control : &fallback_task_control_) {}
 
+void ActionDispatcher::SetRetryOptions(RetryOptions options) {
+  options.max_attempts = std::max(1, options.max_attempts);
+  options.backoff_base = std::max<Duration>(0, options.backoff_base);
+  options.backoff_multiplier = std::max(1.0, options.backoff_multiplier);
+  retry_ = options;
+}
+
+void ActionDispatcher::SetChaos(ChaosEngine* chaos) {
+  chaos_ = chaos;
+  fail_site_ = chaos != nullptr ? chaos->RegisterSite(kChaosSiteDispatchFail)
+                                : kInvalidChaosSite;
+}
+
+void ActionDispatcher::SetReplaceFallbacks(std::vector<std::string> policies) {
+  replace_fallbacks_ = std::move(policies);
+}
+
+std::vector<Duration> ActionDispatcher::last_backoff_schedule() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return last_backoff_schedule_;
+}
+
+Result<Value> ActionDispatcher::RunAction(HelperId id, std::span<const Value> args,
+                                          const ActionEnvelope& envelope) {
+  switch (id) {
+    case HelperId::kReport:
+      return DoReport(args, envelope);
+    case HelperId::kReplace:
+      return DoReplace(args, envelope);
+    case HelperId::kRetrain:
+      return DoRetrain(args, envelope);
+    case HelperId::kDeprioritize:
+      return DoDeprioritize(args, envelope);
+    default:
+      return InternalError("helper is not an action");
+  }
+}
+
 Result<Value> ActionDispatcher::Dispatch(HelperId id, std::span<const Value> args,
                                          const ActionEnvelope& envelope) {
-  Result<Value> result = [&]() -> Result<Value> {
-    switch (id) {
-      case HelperId::kReport:
-        return DoReport(args, envelope);
-      case HelperId::kReplace:
-        return DoReplace(args, envelope);
-      case HelperId::kRetrain:
-        return DoRetrain(args, envelope);
-      case HelperId::kDeprioritize:
-        return DoDeprioritize(args, envelope);
-      default:
-        return InternalError("helper is not an action");
+  const int max_attempts = std::max(1, retry_.max_attempts);
+  Duration backoff = retry_.backoff_base;
+  std::vector<Duration> schedule;
+  Result<Value> result = Value();
+  int attempts = 0;
+  for (;;) {
+    ++attempts;
+    bool injected = false;
+    if (chaos_ != nullptr && fail_site_ != kInvalidChaosSite) {
+      injected = chaos_->ShouldInject(fail_site_, envelope.now);
     }
-  }();
-  if (!result.ok()) {
+    if (injected) {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++stats_.injected_failures;
+    }
+    result = injected ? Result<Value>(ExecutionError(
+                            "injected action failure (chaos site actions.dispatch_fail)"))
+                      : RunAction(id, args, envelope);
+    if (result.ok() || attempts >= max_attempts) {
+      break;
+    }
+    // The simulator cannot sleep: the backoff delay is recorded (and would
+    // be honored by a wall-clock host) rather than waited out.
+    schedule.push_back(backoff);
+    backoff = static_cast<Duration>(static_cast<double>(backoff) * retry_.backoff_multiplier);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++stats_.retries;
+    }
+    if (store_ != nullptr) {
+      store_->Increment(kActionRetriesKey, 1.0);
+    }
+  }
+  if (!schedule.empty()) {
     std::lock_guard<std::mutex> lock(mu_);
-    ++stats_.failures;
+    last_backoff_schedule_ = std::move(schedule);
+  }
+  if (!result.ok()) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++stats_.failures;
+    }
+    if (store_ != nullptr) {
+      store_->Increment(kActionFailuresKey, 1.0);
+    }
+    if (id == HelperId::kReplace) {
+      // Fallback chain: tried exactly once per exhausted chain.
+      Result<Value> fallback = RunReplaceFallback(args, envelope);
+      if (fallback.ok()) {
+        return fallback;
+      }
+    }
   }
   return result;
+}
+
+// Tries the configured fallback policies for an exhausted REPLACE chain.
+// Returns the rebound count if a fallback engaged, or the original error.
+Result<Value> ActionDispatcher::RunReplaceFallback(std::span<const Value> args,
+                                                   const ActionEnvelope& envelope) {
+  if (replace_fallbacks_.empty() || args.size() < 2) {
+    return ExecutionError("no REPLACE fallback configured");
+  }
+  auto old_policy = args[0].AsString();
+  if (!old_policy.ok()) {
+    return old_policy.status();
+  }
+  for (const std::string& candidate : replace_fallbacks_) {
+    auto rebound = registry_->Replace(old_policy.value(), candidate, envelope.now);
+    if (!rebound.ok()) {
+      continue;
+    }
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++stats_.fallbacks;
+    }
+    if (store_ != nullptr) {
+      store_->Increment(kActionFallbacksKey, 1.0);
+    }
+    if (reporter_ != nullptr) {
+      reporter_->Report(ReportRecord{0, envelope.now, ReportKind::kActionPayload,
+                                     envelope.severity, envelope.guardrail,
+                                     "REPLACE fallback engaged: '" + candidate + "'",
+                                     {}});
+    }
+    return Value(static_cast<int64_t>(rebound.value()));
+  }
+  return ExecutionError("every REPLACE fallback policy was rejected");
 }
 
 Result<Value> ActionDispatcher::DoReport(std::span<const Value> args,

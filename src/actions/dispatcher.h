@@ -11,6 +11,18 @@
 // into a reported monitor error rather than propagating a fault into the
 // kernel. The only errors returned to the VM are argument-shape violations
 // that the verifier cannot see (e.g. REPLACE of an unregistered policy).
+//
+// Hardening (exercised by the chaos layer, tests/actions_retry_test.cc):
+//   * bounded retry — a failing action is re-attempted up to
+//     RetryOptions::max_attempts times with a recorded geometric backoff
+//     schedule (the simulator cannot sleep, so backoff is accounting the
+//     host would honor, not wall-clock delay);
+//   * fallback chaining — when a REPLACE chain exhausts its retries, the
+//     configured fallback policies are tried in order, at most once per
+//     exhausted chain;
+//   * failure counters surfaced through the feature store
+//     (actions.failures / actions.retries / actions.fallbacks), so
+//     guardrails can guard their own corrective actions with ONCHANGE.
 
 #ifndef SRC_ACTIONS_DISPATCHER_H_
 #define SRC_ACTIONS_DISPATCHER_H_
@@ -18,12 +30,15 @@
 #include <cstdint>
 #include <span>
 #include <string>
+#include <vector>
 
 #include "src/actions/policy_registry.h"
 #include "src/actions/report.h"
 #include "src/actions/retrain.h"
 #include "src/actions/task_control.h"
+#include "src/chaos/chaos.h"
 #include "src/dsl/builtins.h"
+#include "src/store/feature_store.h"
 #include "src/store/value.h"
 #include "src/support/status.h"
 #include "src/support/time.h"
@@ -45,8 +60,24 @@ struct ActionStats {
   uint64_t retrains_requested = 0; // accepted by the queue
   uint64_t retrains_suppressed = 0;
   uint64_t deprioritizes = 0;
-  uint64_t failures = 0;
+  uint64_t failures = 0;           // chains that exhausted every attempt
+  uint64_t retries = 0;            // re-attempts after a failed attempt
+  uint64_t fallbacks = 0;          // fallback engagements (<= exhausted chains)
+  uint64_t injected_failures = 0;  // attempts failed by the chaos layer
 };
+
+// Bounded-retry policy for failing actions. The defaults reproduce the
+// pre-hardening behavior exactly: one attempt, no retries.
+struct RetryOptions {
+  int max_attempts = 1;                     // total attempts per dispatch (>= 1)
+  Duration backoff_base = Milliseconds(1);  // delay recorded before retry 1
+  double backoff_multiplier = 2.0;          // geometric growth (clamped >= 1)
+};
+
+// Feature-store keys the dispatcher increments (see header comment).
+inline constexpr char kActionFailuresKey[] = "actions.failures";
+inline constexpr char kActionRetriesKey[] = "actions.retries";
+inline constexpr char kActionFallbacksKey[] = "actions.fallbacks";
 
 class ActionDispatcher {
  public:
@@ -57,13 +88,39 @@ class ActionDispatcher {
                    TaskControl* task_control);
 
   // Executes action helper `id`. Only called with is_action builtins.
+  // Applies the retry/fallback policy around the single-attempt helpers.
   Result<Value> Dispatch(HelperId id, std::span<const Value> args,
                          const ActionEnvelope& envelope);
+
+  // Bounded retry with recorded backoff (max_attempts clamped >= 1,
+  // backoff_multiplier clamped >= 1 so the schedule is monotone).
+  void SetRetryOptions(RetryOptions options);
+  const RetryOptions& retry_options() const { return retry_; }
+
+  // Fault injection at site actions.dispatch_fail. Borrowed; may be null.
+  void SetChaos(ChaosEngine* chaos);
+
+  // Feature store for the actions.* counters. Borrowed; may be null (no
+  // counters published — unit-test dispatchers need no store).
+  void SetStore(FeatureStore* store) { store_ = store; }
+
+  // Fallback policies for exhausted REPLACE chains, tried in order; the
+  // first one the registry accepts wins. At most one fallback engagement
+  // per exhausted chain.
+  void SetReplaceFallbacks(std::vector<std::string> policies);
+
+  // Backoff schedule recorded by the most recent dispatch that retried
+  // (oldest first). For tests asserting the schedule is monotone.
+  std::vector<Duration> last_backoff_schedule() const;
 
   ActionStats stats() const;
   RecordingTaskControl& fallback_task_control() { return fallback_task_control_; }
 
  private:
+  Result<Value> RunAction(HelperId id, std::span<const Value> args,
+                          const ActionEnvelope& envelope);
+  Result<Value> RunReplaceFallback(std::span<const Value> args,
+                                   const ActionEnvelope& envelope);
   Result<Value> DoReport(std::span<const Value> args, const ActionEnvelope& envelope);
   Result<Value> DoReplace(std::span<const Value> args, const ActionEnvelope& envelope);
   Result<Value> DoRetrain(std::span<const Value> args, const ActionEnvelope& envelope);
@@ -75,8 +132,15 @@ class ActionDispatcher {
   TaskControl* task_control_;
   RecordingTaskControl fallback_task_control_;
 
+  RetryOptions retry_;
+  ChaosEngine* chaos_ = nullptr;
+  ChaosSiteId fail_site_ = kInvalidChaosSite;
+  FeatureStore* store_ = nullptr;
+  std::vector<std::string> replace_fallbacks_;
+
   mutable std::mutex mu_;
   ActionStats stats_;
+  std::vector<Duration> last_backoff_schedule_;
 };
 
 }  // namespace osguard

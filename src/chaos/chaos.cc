@@ -1,0 +1,242 @@
+#include "src/chaos/chaos.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace osguard {
+
+namespace {
+
+// FNV-1a over the site name. Used (not std::hash) so site-stream derivation
+// is identical across standard libraries and platforms — determinism here is
+// an API promise, not an implementation detail.
+uint64_t Fnv1a(std::string_view s) {
+  uint64_t h = 0xcbf29ce484222325ull;
+  for (const char c : s) {
+    h ^= static_cast<uint8_t>(c);
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+// splitmix64 finalizer: decorrelates master_seed ^ name_hash so similar
+// seeds (0, 1, 2, ...) still yield unrelated site streams.
+uint64_t Mix(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+std::string_view FaultModeName(FaultMode mode) {
+  switch (mode) {
+    case FaultMode::kOff:
+      return "off";
+    case FaultMode::kBernoulli:
+      return "bernoulli";
+    case FaultMode::kSchedule:
+      return "schedule";
+    case FaultMode::kBurst:
+      return "burst";
+  }
+  return "?";
+}
+
+Status ValidateFaultPlan(const FaultPlanConfig& config) {
+  if (config.p < 0.0 || config.p > 1.0) {
+    return InvalidArgumentError("fault plan p must be in [0, 1]");
+  }
+  if (config.latency < 0) {
+    return InvalidArgumentError("fault plan latency must be >= 0");
+  }
+  switch (config.mode) {
+    case FaultMode::kOff:
+      return OkStatus();
+    case FaultMode::kBernoulli:
+      if (config.p <= 0.0) {
+        return InvalidArgumentError("bernoulli fault plan needs p > 0");
+      }
+      return OkStatus();
+    case FaultMode::kSchedule:
+      if (config.nth.empty()) {
+        return InvalidArgumentError("schedule fault plan needs a non-empty nth list");
+      }
+      if (!std::is_sorted(config.nth.begin(), config.nth.end())) {
+        return InvalidArgumentError("schedule fault plan nth list must be sorted");
+      }
+      if (std::adjacent_find(config.nth.begin(), config.nth.end()) != config.nth.end()) {
+        return InvalidArgumentError("schedule fault plan nth list must not repeat indices");
+      }
+      return OkStatus();
+    case FaultMode::kBurst:
+      if (config.period <= 0 || config.burst <= 0) {
+        return InvalidArgumentError("burst fault plan needs period > 0 and burst > 0");
+      }
+      if (config.burst > config.period) {
+        return InvalidArgumentError("burst fault plan burst must not exceed period");
+      }
+      if (config.p <= 0.0) {
+        return InvalidArgumentError("burst fault plan needs p > 0");
+      }
+      return OkStatus();
+  }
+  return InternalError("unhandled fault mode");
+}
+
+void ChaosEngine::RederiveStream(Site& site) {
+  site.rng.Seed(Mix(seed_ ^ Fnv1a(site.name)));
+  site.next_schedule = 0;
+  site.stats = ChaosSiteStats{};
+}
+
+void ChaosEngine::Reseed(uint64_t seed) {
+  seed_ = seed;
+  for (Site& site : sites_) {
+    RederiveStream(site);
+  }
+}
+
+ChaosSiteId ChaosEngine::RegisterSite(std::string_view name) {
+  if (const auto it = index_.find(name); it != index_.end()) {
+    return it->second;
+  }
+  const ChaosSiteId id = static_cast<ChaosSiteId>(sites_.size());
+  Site site;
+  site.name = std::string(name);
+  RederiveStream(site);
+  sites_.push_back(std::move(site));
+  index_.emplace(sites_.back().name, id);
+  return id;
+}
+
+ChaosSiteId ChaosEngine::FindSite(std::string_view name) const {
+  const auto it = index_.find(name);
+  return it == index_.end() ? kInvalidChaosSite : it->second;
+}
+
+Status ChaosEngine::Arm(std::string_view name, FaultPlanConfig config) {
+  OSGUARD_RETURN_IF_ERROR(ValidateFaultPlan(config));
+  Site& site = sites_[RegisterSite(name)];
+  site.plan = std::move(config);
+  // Arming defines time zero for the plan: the stream restarts so the plan's
+  // decisions depend only on (engine seed, site name, queries since arming).
+  RederiveStream(site);
+  return OkStatus();
+}
+
+void ChaosEngine::Disarm(std::string_view name) {
+  const ChaosSiteId id = FindSite(name);
+  if (id != kInvalidChaosSite) {
+    sites_[id].plan = FaultPlanConfig{};
+  }
+}
+
+void ChaosEngine::DisarmAll() {
+  for (Site& site : sites_) {
+    site.plan = FaultPlanConfig{};
+  }
+}
+
+FaultDecision ChaosEngine::Query(ChaosSiteId id, SimTime now) {
+  Site& site = sites_[id];
+  const FaultPlanConfig& plan = site.plan;
+  if (plan.mode == FaultMode::kOff) {
+    // No counter bump and no RNG draw: an engine full of kOff sites is
+    // stream-identical to no engine at all.
+    return FaultDecision{};
+  }
+  const uint64_t index = site.stats.queries++;
+  bool inject = false;
+  switch (plan.mode) {
+    case FaultMode::kOff:
+      break;
+    case FaultMode::kBernoulli:
+      inject = site.rng.Bernoulli(plan.p);
+      break;
+    case FaultMode::kSchedule:
+      // nth is sorted and the query index is monotone, so a cursor suffices.
+      if (site.next_schedule < plan.nth.size() &&
+          plan.nth[site.next_schedule] == index) {
+        ++site.next_schedule;
+        inject = true;
+      }
+      break;
+    case FaultMode::kBurst: {
+      const Duration phase = now >= 0 ? now % plan.period : 0;
+      // Every in-window query draws — out-of-window queries must not, or the
+      // storm phase would shift every site decision after the first cycle.
+      inject = phase < plan.burst && site.rng.Bernoulli(plan.p);
+      break;
+    }
+  }
+  if (!inject) {
+    return FaultDecision{};
+  }
+  ++site.stats.injected;
+  return FaultDecision{true, plan.latency, plan.value};
+}
+
+Result<ChaosSiteStats> ChaosEngine::StatsFor(std::string_view name) const {
+  const ChaosSiteId id = FindSite(name);
+  if (id == kInvalidChaosSite) {
+    return NotFoundError("unknown chaos site '" + std::string(name) + "'");
+  }
+  return sites_[id].stats;
+}
+
+uint64_t ChaosEngine::total_injected() const {
+  uint64_t total = 0;
+  for (const Site& site : sites_) {
+    total += site.stats.injected;
+  }
+  return total;
+}
+
+std::vector<std::string> ChaosEngine::SiteNames() const {
+  std::vector<std::string> names;
+  names.reserve(sites_.size());
+  for (const Site& site : sites_) {
+    names.push_back(site.name);
+  }
+  return names;
+}
+
+Status ApplyChaosSpec(const AnalyzedChaos& spec, ChaosEngine& chaos) {
+  if (spec.has_seed) {
+    chaos.Reseed(spec.seed);
+  }
+  for (const AnalyzedChaosSite& site : spec.sites) {
+    FaultPlanConfig config;
+    switch (site.mode) {
+      case ChaosMode::kOff:
+        config.mode = FaultMode::kOff;
+        break;
+      case ChaosMode::kBernoulli:
+        config.mode = FaultMode::kBernoulli;
+        break;
+      case ChaosMode::kSchedule:
+        config.mode = FaultMode::kSchedule;
+        break;
+      case ChaosMode::kBurst:
+        config.mode = FaultMode::kBurst;
+        break;
+    }
+    config.p = site.p;
+    config.nth = site.nth;
+    config.period = site.period;
+    config.burst = site.burst;
+    config.latency = site.latency;
+    config.value = site.value;
+    if (config.mode == FaultMode::kOff) {
+      chaos.Disarm(site.name);
+      chaos.RegisterSite(site.name);
+      continue;
+    }
+    OSGUARD_RETURN_IF_ERROR(chaos.Arm(site.name, std::move(config)));
+  }
+  return OkStatus();
+}
+
+}  // namespace osguard

@@ -17,6 +17,7 @@
 #define SRC_DSL_AST_H_
 
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -131,9 +132,28 @@ struct GuardrailDecl {
   std::vector<MetaAttr> meta;
 };
 
-// A parsed spec file: one or more guardrail declarations.
+// One injection site inside a chaos block:
+//   site <name> { mode = bernoulli, p = 0.01, latency = 2ms }
+// Attributes reuse the meta `key = literal` shape (plus {..} lists for the
+// schedule mode's `nth`); semantic analysis validates the vocabulary.
+struct ChaosSiteDecl {
+  std::string name;
+  int line = 0;
+  std::vector<MetaAttr> attrs;
+};
+
+// A top-level `chaos { seed = N, site ... }` block configuring the
+// fault-injection engine alongside the guardrails it is meant to exercise.
+struct ChaosDecl {
+  int line = 0;
+  std::vector<MetaAttr> attrs;  // block-level attributes (seed)
+  std::vector<ChaosSiteDecl> sites;
+};
+
+// A parsed spec file: guardrail declarations plus an optional chaos block.
 struct SpecFile {
   std::vector<GuardrailDecl> guardrails;
+  std::optional<ChaosDecl> chaos;
 };
 
 }  // namespace osguard

@@ -49,10 +49,21 @@ Result<Token> Parser::Expect(TokenKind kind, const std::string& context) {
 Result<SpecFile> Parser::ParseSpec() {
   SpecFile spec;
   while (!Check(TokenKind::kEof)) {
+    // `chaos` is a contextual keyword: only `chaos {` at the top level opens
+    // a chaos block, so feature-store keys named "chaos" keep working.
+    if (Check(TokenKind::kIdent) && Peek().text == "chaos" &&
+        Peek(1).kind == TokenKind::kLBrace) {
+      if (spec.chaos.has_value()) {
+        return ErrorAt(Peek(), "duplicate chaos block");
+      }
+      OSGUARD_ASSIGN_OR_RETURN(ChaosDecl chaos, ParseChaosBlock());
+      spec.chaos = std::move(chaos);
+      continue;
+    }
     OSGUARD_ASSIGN_OR_RETURN(GuardrailDecl decl, ParseGuardrail());
     spec.guardrails.push_back(std::move(decl));
   }
-  if (spec.guardrails.empty()) {
+  if (spec.guardrails.empty() && !spec.chaos.has_value()) {
     return ParseError("spec file contains no guardrail declarations");
   }
   return spec;
@@ -290,6 +301,93 @@ Status Parser::ParseMetaSection(GuardrailDecl& decl) {
   }
   OSGUARD_RETURN_IF_ERROR(Expect(TokenKind::kRBrace, "to close the meta block").status());
   return OkStatus();
+}
+
+// attr := IDENT "=" (literal | "{" literal ("," literal)* [","] "}")
+// Shared by chaos blocks; bare-word values become strings (mode = bernoulli)
+// exactly as in meta sections.
+Result<MetaAttr> Parser::ParseAttr(const char* context) {
+  OSGUARD_ASSIGN_OR_RETURN(
+      Token key, Expect(TokenKind::kIdent, std::string("as a ") + context + " attribute name"));
+  OSGUARD_RETURN_IF_ERROR(Expect(TokenKind::kAssign, "after the attribute name").status());
+  MetaAttr attr;
+  attr.key = key.text;
+  attr.line = key.line;
+
+  auto literal_value = [this](const Token& token) -> Result<Value> {
+    switch (token.kind) {
+      case TokenKind::kIntLiteral:
+      case TokenKind::kDurationLiteral:
+        return Value(token.int_value);
+      case TokenKind::kFloatLiteral:
+        return Value(token.float_value);
+      case TokenKind::kTrue:
+        return Value(true);
+      case TokenKind::kFalse:
+        return Value(false);
+      case TokenKind::kStringLiteral:
+      case TokenKind::kIdent:
+        return Value(token.text);
+      default:
+        return ErrorAt(token, std::string("attribute values must be literals"));
+    }
+  };
+
+  if (Check(TokenKind::kLBrace)) {
+    // {10, 20, 30} — list-valued attribute (the schedule mode's `nth`).
+    Advance();
+    std::vector<Value> elements;
+    while (!Check(TokenKind::kRBrace)) {
+      OSGUARD_ASSIGN_OR_RETURN(Value element, literal_value(Peek()));
+      Advance();
+      elements.push_back(std::move(element));
+      if (!Match(TokenKind::kComma)) {
+        break;
+      }
+    }
+    OSGUARD_RETURN_IF_ERROR(Expect(TokenKind::kRBrace, "to close the attribute list").status());
+    attr.value = Value(std::move(elements));
+  } else {
+    OSGUARD_ASSIGN_OR_RETURN(attr.value, literal_value(Peek()));
+    Advance();
+  }
+  return attr;
+}
+
+// chaos := "chaos" "{" (attr | site)* "}"
+// site  := "site" IDENT "{" attr* "}"
+Result<ChaosDecl> Parser::ParseChaosBlock() {
+  ChaosDecl decl;
+  decl.line = Peek().line;
+  Advance();  // consume 'chaos'
+  OSGUARD_RETURN_IF_ERROR(Expect(TokenKind::kLBrace, "to open the chaos block").status());
+  while (!Check(TokenKind::kRBrace)) {
+    if (Check(TokenKind::kIdent) && Peek().text == "site") {
+      const Token& site_kw = Advance();
+      ChaosSiteDecl site;
+      site.line = site_kw.line;
+      OSGUARD_ASSIGN_OR_RETURN(Token name, Expect(TokenKind::kIdent, "as the chaos site name"));
+      site.name = name.text;
+      OSGUARD_RETURN_IF_ERROR(Expect(TokenKind::kLBrace, "to open the site body").status());
+      while (!Check(TokenKind::kRBrace)) {
+        OSGUARD_ASSIGN_OR_RETURN(MetaAttr attr, ParseAttr("chaos site"));
+        site.attrs.push_back(std::move(attr));
+        if (!Match(TokenKind::kComma)) {
+          Match(TokenKind::kSemicolon);
+        }
+      }
+      OSGUARD_RETURN_IF_ERROR(Expect(TokenKind::kRBrace, "to close the site body").status());
+      decl.sites.push_back(std::move(site));
+    } else {
+      OSGUARD_ASSIGN_OR_RETURN(MetaAttr attr, ParseAttr("chaos"));
+      decl.attrs.push_back(std::move(attr));
+    }
+    if (!Match(TokenKind::kComma)) {
+      Match(TokenKind::kSemicolon);
+    }
+  }
+  OSGUARD_RETURN_IF_ERROR(Expect(TokenKind::kRBrace, "to close the chaos block").status());
+  return decl;
 }
 
 Result<ExprPtr> Parser::ParseExpr() { return ParseOr(); }

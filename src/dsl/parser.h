@@ -2,8 +2,11 @@
 //
 // Grammar (extends Listing 1 / Listing 2 of the paper):
 //
-//   spec       := guardrail*
+//   spec       := (guardrail | chaos)*
 //   guardrail  := "guardrail" IDENT "{" section* "}"
+//   chaos      := "chaos" "{" (attr | site)* "}"        -- fault injection
+//   site       := "site" IDENT "{" attr* "}"
+//   attr       := IDENT "=" (literal | "{" literal-list "}")
 //   section    := "trigger"    ":" "{" trigger ("," trigger)* [","] "}"
 //              |  "rule"       ":" "{" expr ("," expr)* [","] "}"
 //              |  "action"     ":" "{" stmt* "}"
@@ -59,6 +62,8 @@ class Parser {
   Status ParseActionSection(std::vector<ExprPtr>& out);
   Status ParseMetaSection(GuardrailDecl& decl);
   Result<TriggerDecl> ParseTrigger();
+  Result<ChaosDecl> ParseChaosBlock();
+  Result<MetaAttr> ParseAttr(const char* context);
 
   Result<ExprPtr> ParseExpr();
   Result<ExprPtr> ParseOr();

@@ -1,9 +1,24 @@
 #include "src/dsl/sema.h"
 
+#include <algorithm>
 #include <cmath>
 #include <unordered_set>
 
 namespace osguard {
+
+std::string_view ChaosModeName(ChaosMode mode) {
+  switch (mode) {
+    case ChaosMode::kOff:
+      return "off";
+    case ChaosMode::kBernoulli:
+      return "bernoulli";
+    case ChaosMode::kSchedule:
+      return "schedule";
+    case ChaosMode::kBurst:
+      return "burst";
+  }
+  return "?";
+}
 
 std::string_view SeverityName(Severity severity) {
   switch (severity) {
@@ -254,6 +269,137 @@ Result<GuardrailMeta> AnalyzeMeta(const GuardrailDecl& decl) {
   return meta;
 }
 
+Result<AnalyzedChaosSite> AnalyzeChaosSite(const ChaosSiteDecl& site) {
+  AnalyzedChaosSite out;
+  out.name = site.name;
+  bool saw_mode = false;
+  for (const MetaAttr& attr : site.attrs) {
+    const std::string loc =
+        " (chaos site '" + site.name + "', line " + std::to_string(attr.line) + ")";
+    if (attr.key == "mode") {
+      OSGUARD_ASSIGN_OR_RETURN(std::string s, attr.value.AsString());
+      if (s == "off") {
+        out.mode = ChaosMode::kOff;
+      } else if (s == "bernoulli") {
+        out.mode = ChaosMode::kBernoulli;
+      } else if (s == "schedule") {
+        out.mode = ChaosMode::kSchedule;
+      } else if (s == "burst") {
+        out.mode = ChaosMode::kBurst;
+      } else {
+        return SemanticError("mode must be off|bernoulli|schedule|burst" + loc);
+      }
+      saw_mode = true;
+    } else if (attr.key == "p") {
+      const double p = attr.value.NumericOr(-1.0);
+      if (!attr.value.is_numeric() || p < 0.0 || p > 1.0) {
+        return SemanticError("p must be a number in [0, 1]" + loc);
+      }
+      out.p = p;
+    } else if (attr.key == "nth") {
+      const std::vector<Value>* list = attr.value.IfList();
+      if (list == nullptr) {
+        // A single index without braces is accepted as a one-element schedule.
+        OSGUARD_ASSIGN_OR_RETURN(int64_t n, attr.value.AsInt());
+        if (n < 0) {
+          return SemanticError("nth indices must be >= 0" + loc);
+        }
+        out.nth.assign(1, static_cast<uint64_t>(n));
+        continue;
+      }
+      for (const Value& element : *list) {
+        OSGUARD_ASSIGN_OR_RETURN(int64_t n, element.AsInt());
+        if (n < 0) {
+          return SemanticError("nth indices must be >= 0" + loc);
+        }
+        out.nth.push_back(static_cast<uint64_t>(n));
+      }
+      std::sort(out.nth.begin(), out.nth.end());
+      out.nth.erase(std::unique(out.nth.begin(), out.nth.end()), out.nth.end());
+    } else if (attr.key == "period") {
+      OSGUARD_ASSIGN_OR_RETURN(out.period, attr.value.AsInt());
+      if (out.period <= 0) {
+        return SemanticError("period must be > 0" + loc);
+      }
+    } else if (attr.key == "burst") {
+      OSGUARD_ASSIGN_OR_RETURN(out.burst, attr.value.AsInt());
+      if (out.burst <= 0) {
+        return SemanticError("burst must be > 0" + loc);
+      }
+    } else if (attr.key == "latency") {
+      OSGUARD_ASSIGN_OR_RETURN(out.latency, attr.value.AsInt());
+      if (out.latency < 0) {
+        return SemanticError("latency must be >= 0" + loc);
+      }
+    } else if (attr.key == "value") {
+      if (!attr.value.is_numeric()) {
+        return SemanticError("value must be a number" + loc);
+      }
+      out.value = attr.value.NumericOr(0.0);
+    } else {
+      return SemanticError("unknown chaos site attribute '" + attr.key + "'" + loc);
+    }
+  }
+  const std::string where = " (chaos site '" + site.name + "', line " +
+                            std::to_string(site.line) + ")";
+  if (!saw_mode) {
+    return SemanticError("chaos site must declare a mode" + where);
+  }
+  switch (out.mode) {
+    case ChaosMode::kOff:
+      break;
+    case ChaosMode::kBernoulli:
+      if (out.p <= 0.0) {
+        return SemanticError("bernoulli mode needs p > 0" + where);
+      }
+      break;
+    case ChaosMode::kSchedule:
+      if (out.nth.empty()) {
+        return SemanticError("schedule mode needs a non-empty nth list" + where);
+      }
+      break;
+    case ChaosMode::kBurst:
+      if (out.period <= 0 || out.burst <= 0) {
+        return SemanticError("burst mode needs period > 0 and burst > 0" + where);
+      }
+      if (out.burst > out.period) {
+        return SemanticError("burst must not exceed period" + where);
+      }
+      if (out.p <= 0.0) {
+        out.p = 1.0;  // a storm with unspecified p injects every in-window event
+      }
+      break;
+  }
+  return out;
+}
+
+Result<AnalyzedChaos> AnalyzeChaos(const ChaosDecl& decl) {
+  AnalyzedChaos out;
+  for (const MetaAttr& attr : decl.attrs) {
+    const std::string loc = " (chaos block, line " + std::to_string(attr.line) + ")";
+    if (attr.key == "seed") {
+      OSGUARD_ASSIGN_OR_RETURN(int64_t seed, attr.value.AsInt());
+      if (seed < 0) {
+        return SemanticError("seed must be >= 0" + loc);
+      }
+      out.seed = static_cast<uint64_t>(seed);
+      out.has_seed = true;
+    } else {
+      return SemanticError("unknown chaos attribute '" + attr.key + "'" + loc);
+    }
+  }
+  std::unordered_set<std::string> names;
+  for (const ChaosSiteDecl& site : decl.sites) {
+    if (!names.insert(site.name).second) {
+      return SemanticError("duplicate chaos site '" + site.name + "' (line " +
+                           std::to_string(site.line) + ")");
+    }
+    OSGUARD_ASSIGN_OR_RETURN(AnalyzedChaosSite analyzed, AnalyzeChaosSite(site));
+    out.sites.push_back(std::move(analyzed));
+  }
+  return out;
+}
+
 }  // namespace
 
 Result<Value> EvalConst(const Expr& expr) {
@@ -413,6 +559,10 @@ Result<AnalyzedSpec> Analyze(SpecFile spec) {
     OSGUARD_ASSIGN_OR_RETURN(out.meta, AnalyzeMeta(decl));
     out.decl = std::move(decl);
     analyzed.guardrails.push_back(std::move(out));
+  }
+  if (spec.chaos.has_value()) {
+    OSGUARD_ASSIGN_OR_RETURN(AnalyzedChaos chaos, AnalyzeChaos(*spec.chaos));
+    analyzed.chaos = std::move(chaos);
   }
   return analyzed;
 }

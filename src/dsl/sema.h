@@ -11,10 +11,14 @@
 //    identifiers or string literals, DEPRIORITIZE takes brace lists.
 //  * meta attributes are restricted to a known vocabulary (severity,
 //    cooldown, hysteresis, enabled, description) to catch typos early.
+//  * chaos blocks are validated the same way: known site attributes only,
+//    mode in {off, bernoulli, schedule, burst}, p in [0, 1], sane windows.
 
 #ifndef SRC_DSL_SEMA_H_
 #define SRC_DSL_SEMA_H_
 
+#include <cstdint>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -52,8 +56,39 @@ struct AnalyzedGuardrail {
   GuardrailMeta meta;
 };
 
+// How a chaos site decides whether to inject (mirrors osguard::FaultMode;
+// the chaos library converts — sema cannot depend on src/chaos).
+enum class ChaosMode {
+  kOff = 0,
+  kBernoulli,
+  kSchedule,
+  kBurst,
+};
+
+std::string_view ChaosModeName(ChaosMode mode);
+
+// A validated `site name { ... }` entry from a chaos block.
+struct AnalyzedChaosSite {
+  std::string name;
+  ChaosMode mode = ChaosMode::kBernoulli;
+  double p = 0.0;              // bernoulli / burst in-window probability
+  std::vector<uint64_t> nth;   // schedule indices (sorted, deduped)
+  Duration period = 0;         // burst cycle
+  Duration burst = 0;          // burst window
+  Duration latency = 0;        // injected magnitude
+  double value = 0.0;          // generic magnitude payload
+};
+
+// A validated `chaos { ... }` block.
+struct AnalyzedChaos {
+  bool has_seed = false;
+  uint64_t seed = 0;
+  std::vector<AnalyzedChaosSite> sites;
+};
+
 struct AnalyzedSpec {
   std::vector<AnalyzedGuardrail> guardrails;
+  std::optional<AnalyzedChaos> chaos;
 };
 
 // Consumes the spec (triggers are folded in place).

@@ -1,7 +1,10 @@
 #include "src/linnos/harness.h"
 
 #include <algorithm>
+#include <cstdio>
+#include <vector>
 
+#include "src/chaos/chaos.h"
 #include "src/sim/kernel.h"
 #include "src/wl/iogen.h"
 
@@ -37,6 +40,20 @@ guardrail retrain-on-false-submit {
 }
 )";
 
+std::string MakeFaultStormChaosSpec(uint64_t seed, double spike_p, double mispredict_p) {
+  char buf[512];
+  std::snprintf(buf, sizeof(buf),
+                "chaos {\n"
+                "  seed = %llu,\n"
+                "  site ssd.latency_spike { mode = bernoulli, p = %.4f, latency = 4ms },\n"
+                "  site ssd.io_error { mode = bernoulli, p = %.4f },\n"
+                "  site model.mispredict { mode = burst, period = 2s, burst = 400ms, p = %.4f }\n"
+                "}\n",
+                static_cast<unsigned long long>(seed), spike_p,
+                std::max(spike_p / 20.0, 0.0001), mispredict_p);
+  return std::string(buf);
+}
+
 Result<LinnosRunResult> RunLinnosConfiguration(const Figure2Options& options,
                                                std::shared_ptr<LinnosModel> model,
                                                const std::string& guardrail_source) {
@@ -47,11 +64,22 @@ Result<LinnosRunResult> RunLinnosConfiguration(const Figure2Options& options,
     engine_options.retrain.min_interval = Seconds(2);
   }
   Kernel kernel(engine_options);
+  // The chaos engine outlives every subsystem that borrows it. Faults target
+  // the primary only — the replica is the recovery path, and injecting there
+  // too would make failover recursively unreliable (a different experiment).
+  ChaosEngine chaos;
+  const bool chaos_enabled = !options.chaos_source.empty();
+  if (chaos_enabled) {
+    kernel.AttachChaos(&chaos);
+  }
   SsdConfig primary_config = options.device;
   SsdConfig replica_config = options.device;
   replica_config.seed = options.device.seed + 1;
   SsdDevice primary("primary", primary_config);
   SsdDevice replica("replica", replica_config);
+  if (chaos_enabled) {
+    primary.AttachChaos(&chaos);
+  }
   BlockLayer blk(kernel, &primary, &replica, options.blk);
 
   if (model != nullptr) {
@@ -65,6 +93,24 @@ Result<LinnosRunResult> RunLinnosConfiguration(const Figure2Options& options,
   if (!guardrail_source.empty()) {
     OSGUARD_RETURN_IF_ERROR(kernel.LoadGuardrails(guardrail_source));
     result.guardrail_loaded = true;
+  }
+
+  // Arm the fault plans (and load any guardrails riding in the chaos spec).
+  // Weight corruption is a one-shot pre-run fault drawn through the normal
+  // site machinery, so it replays bit-identically with the chaos seed; the
+  // pristine weights are restored before returning because `model` is shared
+  // across the experiment's configurations.
+  std::vector<double> pristine_weights;
+  if (chaos_enabled) {
+    OSGUARD_RETURN_IF_ERROR(kernel.LoadGuardrails(options.chaos_source));
+    const ChaosSiteId corrupt_site = chaos.FindSite(kChaosSiteWeightCorrupt);
+    if (model != nullptr && corrupt_site != kInvalidChaosSite) {
+      if (const FaultDecision fault = chaos.Query(corrupt_site, 0)) {
+        pristine_weights = model->network().GetWeights();
+        const double stddev = fault.value > 0.0 ? fault.value : 0.1;
+        model->network().PerturbWeights(stddev, chaos.seed() ^ 0x77656967687473ull);
+      }
+    }
   }
 
   // Constant workload; the drift is device-side. Same trace for every
@@ -155,6 +201,10 @@ Result<LinnosRunResult> RunLinnosConfiguration(const Figure2Options& options,
   }
   result.blk = blk.stats();
   result.retrains_serviced = result_counters.retrains_serviced;
+  result.injected_faults = chaos_enabled ? chaos.total_injected() : 0;
+  if (!pristine_weights.empty() && model != nullptr) {
+    OSGUARD_RETURN_IF_ERROR(model->network().SetWeights(pristine_weights));
+  }
   result.mean_latency_us_before =
       before_count == 0 ? 0.0 : before_sum / static_cast<double>(before_count);
   result.mean_latency_us_after =

@@ -62,6 +62,15 @@ struct Figure2Options {
   uint64_t trace_seed = 7;
   std::string guardrail_source;          // empty -> kListing2Guardrail
 
+  // Fault injection: a spec whose `chaos { ... }` block arms the run's
+  // ChaosEngine (sites on the primary SSD, the block layer's prediction
+  // path, and the monitor runtime). Empty = no chaos attached. Site
+  // ml.weight_corrupt is a one-shot pre-run fault: if its plan injects on
+  // the first draw, the shared model's weights are perturbed (value =
+  // noise stddev, default 0.1) and restored after the run so other
+  // configurations see the pristine model.
+  std::string chaos_source;
+
   // When true, the run services RETRAIN requests: it keeps a bounded window
   // of recent (features, slow) observations from the live predicted-fast
   // path and retrains the shared model in place when the guardrail fires
@@ -88,6 +97,7 @@ struct LinnosRunResult {
   double mean_latency_us_before = 0.0;  // pre-drift mean
   double mean_latency_us_after = 0.0;   // post-drift mean
   uint64_t retrains_serviced = 0;       // A3 loop: models retrained in-run
+  uint64_t injected_faults = 0;         // chaos decisions that fired this run
 };
 
 struct Figure2Result {
@@ -97,6 +107,16 @@ struct Figure2Result {
   double drift_time_s = 0.0;
   ConfusionMatrix model_quality_before;  // classifier vs. pre-drift traffic
 };
+
+// Canonical fault-storm chaos block (the ext6 experiment): a steady
+// background of injected device latency spikes and I/O errors on the primary
+// plus periodic misprediction storms against the policy. `spike_p` is the
+// per-I/O probability of a multi-ms latency spike (the severity knob the
+// ext6 sweep turns — spikes are invisible to host-side features, so every
+// one that lands on a predicted-fast I/O is a false submit); `mispredict_p`
+// is the in-storm decision-flip probability. I/O errors ride along at
+// spike_p / 20.
+std::string MakeFaultStormChaosSpec(uint64_t seed, double spike_p, double mispredict_p);
 
 // Runs one configuration over the drift trace. `model` may be null for the
 // reactive baseline. `guardrail_source` empty = no guardrails.

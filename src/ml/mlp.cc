@@ -276,4 +276,19 @@ size_t Mlp::ParameterCount() const {
   return count;
 }
 
+void Mlp::PerturbWeights(double stddev, uint64_t seed) {
+  if (stddev <= 0.0) {
+    return;
+  }
+  Rng noise(seed);
+  for (Layer& layer : layers_) {
+    for (double& w : layer.weights) {
+      w += noise.Normal(0.0, stddev);
+    }
+    for (double& b : layer.bias) {
+      b += noise.Normal(0.0, stddev);
+    }
+  }
+}
+
 }  // namespace osguard

@@ -82,6 +82,12 @@ class Mlp {
   Status SetWeights(const std::vector<double>& weights);
   size_t ParameterCount() const;
 
+  // Adds zero-mean Gaussian noise with the given stddev to every parameter,
+  // from a throwaway Rng(seed) — the training rng is untouched, so a
+  // perturb-then-retrain sequence stays reproducible. Used by the chaos
+  // layer (site ml.weight_corrupt) to model bit-rot / botched model pushes.
+  void PerturbWeights(double stddev, uint64_t seed);
+
  private:
   struct Layer {
     int in = 0;

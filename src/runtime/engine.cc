@@ -2,6 +2,7 @@
 
 #include <chrono>
 
+#include "src/dsl/parser.h"
 #include "src/vm/verifier.h"
 
 #include "src/support/logging.h"
@@ -132,6 +133,7 @@ Engine::Engine(FeatureStore* store, PolicyRegistry* registry, TaskControl* task_
       retrain_queue_(options.retrain),
       dispatcher_(&reporter_, registry, &retrain_queue_, task_control),
       env_(store, &dispatcher_) {
+  dispatcher_.SetStore(store);  // publishes the actions.* failure counters
   pending_changes_.reserve(64);
   drain_batch_.reserve(64);
 }
@@ -223,11 +225,31 @@ Status Engine::Load(CompiledGuardrail guardrail) {
 }
 
 Status Engine::LoadSource(const std::string& source) {
-  OSGUARD_ASSIGN_OR_RETURN(std::vector<CompiledGuardrail> compiled, CompileSource(source));
+  // Run the pipeline in stages (rather than CompileSource) so the analyzed
+  // chaos block is visible before compilation.
+  OSGUARD_ASSIGN_OR_RETURN(SpecFile spec, ParseSpecSource(source));
+  OSGUARD_ASSIGN_OR_RETURN(AnalyzedSpec analyzed, Analyze(std::move(spec)));
+  if (analyzed.chaos.has_value() && chaos_ != nullptr) {
+    OSGUARD_RETURN_IF_ERROR(ApplyChaosSpec(*analyzed.chaos, *chaos_));
+  }
+  OSGUARD_ASSIGN_OR_RETURN(std::vector<CompiledGuardrail> compiled, CompileSpec(analyzed));
   for (CompiledGuardrail& guardrail : compiled) {
     OSGUARD_RETURN_IF_ERROR(Load(std::move(guardrail)));
   }
   return OkStatus();
+}
+
+void Engine::SetChaos(ChaosEngine* chaos) {
+  chaos_ = chaos;
+  env_.SetChaos(chaos);
+  dispatcher_.SetChaos(chaos);
+  if (chaos != nullptr) {
+    callout_drop_site_ = chaos->RegisterSite(kChaosSiteCalloutDrop);
+    callout_delay_site_ = chaos->RegisterSite(kChaosSiteCalloutDelay);
+  } else {
+    callout_drop_site_ = kInvalidChaosSite;
+    callout_delay_site_ = kInvalidChaosSite;
+  }
 }
 
 Status Engine::Unload(const std::string& name) {
@@ -307,6 +329,20 @@ void Engine::OnFunctionCall(std::string_view function, SimTime t) {
   now_ = std::max(now_, t);
   if (function_hooks_.empty()) {
     return;  // hot path when no FUNCTION guardrail is loaded
+  }
+  if (chaos_ != nullptr) {
+    // Dropped callouts advance the clock (time is the kernel's) but the
+    // hooked monitors never see the call; delayed callouts evaluate at the
+    // shifted timestamp, modeling instrumentation latency.
+    if (chaos_->ShouldInject(callout_drop_site_, t)) {
+      ++stats_.callouts_dropped;
+      return;
+    }
+    if (const FaultDecision delay = chaos_->Query(callout_delay_site_, t)) {
+      ++stats_.callouts_delayed;
+      t += delay.latency;
+      now_ = std::max(now_, t);
+    }
   }
   auto it = function_hooks_.find(function);  // heterogeneous: no temp string
   if (it == function_hooks_.end()) {

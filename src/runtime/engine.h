@@ -38,6 +38,7 @@
 
 #include "src/actions/dispatcher.h"
 #include "src/actions/policy_registry.h"
+#include "src/chaos/chaos.h"
 #include "src/actions/report.h"
 #include "src/actions/retrain.h"
 #include "src/actions/task_control.h"
@@ -73,6 +74,8 @@ struct EngineStats {
   uint64_t violations = 0;
   uint64_t action_firings = 0;
   uint64_t errors = 0;
+  uint64_t callouts_dropped = 0;  // FUNCTION callouts eaten by the chaos layer
+  uint64_t callouts_delayed = 0;  // FUNCTION callouts time-shifted by chaos
   int64_t total_wall_ns = 0;  // rule + action host-clock cost across monitors
 };
 
@@ -98,8 +101,19 @@ class Engine {
   // replaces it (stats reset, triggers re-armed from the current time).
   Status Load(CompiledGuardrail guardrail);
 
-  // Compiles `source` (full pipeline) and loads every guardrail in it.
+  // Compiles `source` (full pipeline) and loads every guardrail in it. If
+  // the spec carries a `chaos { ... }` block and a chaos engine is attached
+  // (SetChaos), the block is applied to it; with no engine attached the
+  // block is validated but inert, so the same spec drives both a chaos run
+  // and its clean shadow run.
   Status LoadSource(const std::string& source);
+
+  // Attaches the fault-injection engine (borrowed; null detaches).
+  // Monitor-facing sites: engine.callout_drop (FUNCTION callouts silently
+  // eaten), engine.callout_delay (callouts time-shifted by the plan's
+  // latency), runtime.helper_fail (helper calls fail cleanly inside monitor
+  // programs), actions.dispatch_fail (corrective actions fail and retry).
+  void SetChaos(ChaosEngine* chaos);
 
   Status Unload(const std::string& name);
   Status SetEnabled(const std::string& name, bool enabled);
@@ -213,6 +227,9 @@ class Engine {
   bool draining_ = false;
   std::vector<KeyId> pending_changes_;
   std::vector<KeyId> drain_batch_;  // swap buffer; keeps capacity across drains
+  ChaosEngine* chaos_ = nullptr;
+  ChaosSiteId callout_drop_site_ = kInvalidChaosSite;
+  ChaosSiteId callout_delay_site_ = kInvalidChaosSite;
   EngineStats stats_;
 };
 

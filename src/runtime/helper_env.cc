@@ -49,8 +49,13 @@ Result<std::string_view> KeyArg(const Value& v) {
 
 Result<Value> MonitorHelperEnv::CallHelperKeyed(HelperId id, uint32_t slot,
                                                 std::span<const Value> args) {
+  // Single injection point per helper call: the fallbacks below go to the
+  // unchecked body, so a fallback never draws a second chaos decision.
+  if (chaos_ != nullptr && chaos_->ShouldInject(helper_fail_site_, envelope_.now)) {
+    return ExecutionError("injected helper failure (chaos site runtime.helper_fail)");
+  }
   if (slot >= store_->key_count()) {
-    return CallHelper(id, args);  // unknown slot: take the string slow path
+    return CallHelperUnchecked(id, args);  // unknown slot: string slow path
   }
   switch (id) {
     case HelperId::kLoad:
@@ -72,11 +77,18 @@ Result<Value> MonitorHelperEnv::CallHelperKeyed(HelperId id, uint32_t slot,
     case HelperId::kQuantile:
       return AggregateHelperKeyed(id, slot, args);
     default:
-      return CallHelper(id, args);
+      return CallHelperUnchecked(id, args);
   }
 }
 
 Result<Value> MonitorHelperEnv::CallHelper(HelperId id, std::span<const Value> args) {
+  if (chaos_ != nullptr && chaos_->ShouldInject(helper_fail_site_, envelope_.now)) {
+    return ExecutionError("injected helper failure (chaos site runtime.helper_fail)");
+  }
+  return CallHelperUnchecked(id, args);
+}
+
+Result<Value> MonitorHelperEnv::CallHelperUnchecked(HelperId id, std::span<const Value> args) {
   switch (id) {
     case HelperId::kLoad:
     case HelperId::kLoadOr:

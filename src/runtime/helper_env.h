@@ -15,6 +15,7 @@
 #define SRC_RUNTIME_HELPER_ENV_H_
 
 #include "src/actions/dispatcher.h"
+#include "src/chaos/chaos.h"
 #include "src/store/feature_store.h"
 #include "src/vm/vm.h"
 
@@ -42,6 +43,16 @@ class MonitorHelperEnv : public HelperContext {
     envelope_.now = now;
   }
 
+  // Attaches the fault-injection engine (borrowed; null detaches). When site
+  // runtime.helper_fail injects, the helper call fails with a clean
+  // ExecutionError before touching the store — the engine's monitor-error
+  // path (count, report, no actions) is exactly what gets exercised.
+  void SetChaos(ChaosEngine* chaos) {
+    chaos_ = chaos;
+    helper_fail_site_ =
+        chaos != nullptr ? chaos->RegisterSite(kChaosSiteHelperFail) : kInvalidChaosSite;
+  }
+
   Result<Value> CallHelper(HelperId id, std::span<const Value> args) override;
 
   // kCallKeyed fast path: store/aggregate helpers dispatch on the pre-resolved
@@ -54,6 +65,7 @@ class MonitorHelperEnv : public HelperContext {
   SimTime now() const override { return envelope_.now; }
 
  private:
+  Result<Value> CallHelperUnchecked(HelperId id, std::span<const Value> args);
   Result<Value> StoreHelper(HelperId id, std::span<const Value> args);
   Result<Value> StoreHelperKeyed(HelperId id, KeyId key, std::span<const Value> args);
   Result<Value> AggregateHelper(HelperId id, std::span<const Value> args);
@@ -63,6 +75,8 @@ class MonitorHelperEnv : public HelperContext {
   FeatureStore* store_;
   ActionDispatcher* dispatcher_;
   ActionEnvelope envelope_;
+  ChaosEngine* chaos_ = nullptr;
+  ChaosSiteId helper_fail_site_ = kInvalidChaosSite;
 };
 
 }  // namespace osguard

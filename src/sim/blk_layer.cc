@@ -12,6 +12,17 @@ BlockLayer::BlockLayer(Kernel& kernel, SsdDevice* primary, SsdDevice* replica,
   }
 }
 
+void BlockLayer::RefreshChaos() {
+  // The chaos engine is attached to the kernel after construction (harnesses
+  // build the topology first, then arm faults), so re-resolve lazily. Site
+  // registration is idempotent and cheap; this only re-runs on attach/detach.
+  if (chaos_ != kernel_.chaos()) {
+    chaos_ = kernel_.chaos();
+    mispredict_site_ =
+        chaos_ != nullptr ? chaos_->RegisterSite(kChaosSiteMispredict) : kInvalidChaosSite;
+  }
+}
+
 IoContext BlockLayer::MakeContext(uint64_t lba, bool is_write) const {
   IoContext context;
   context.now = kernel_.now();
@@ -32,6 +43,7 @@ IoContext BlockLayer::MakeContext(uint64_t lba, bool is_write) const {
 IoOutcome BlockLayer::SubmitIo(uint64_t lba, bool is_write) {
   const SimTime now = kernel_.now();
   FeatureStore& store = kernel_.store();
+  RefreshChaos();
   IoContext context = MakeContext(lba, is_write);
   IoOutcome outcome;
 
@@ -52,6 +64,14 @@ IoOutcome BlockLayer::SubmitIo(uint64_t lba, bool is_write) {
     outcome.used_model = policy->is_learned();
     outcome.predicted_slow = policy->PredictSlow(context);
     inference_cost = policy->inference_cost();
+    // Misprediction storm (chaos site model.mispredict): flip the decision
+    // the policy just made. Only armed decisions flip — with no policy there
+    // is no prediction to corrupt, and the site consumes no randomness.
+    if (chaos_ != nullptr && chaos_->ShouldInject(mispredict_site_, now)) {
+      outcome.predicted_slow = !outcome.predicted_slow;
+      outcome.mispredicted = true;
+      ++stats_.mispredictions;
+    }
   }
 
   Duration device_latency;
@@ -63,13 +83,28 @@ IoOutcome BlockLayer::SubmitIo(uint64_t lba, bool is_write) {
     const IoResult primary_result = primary_->Submit(now, lba, is_write);
     device_latency = primary_result.latency;
     outcome.actually_slow = primary_result.latency > config_.slow_threshold;
+    if (primary_result.error) {
+      // Injected device error (chaos site ssd.io_error): the primary burned
+      // its full service time and returned garbage. Reissue to the replica
+      // when one exists; otherwise the error surfaces in the stats/store and
+      // the I/O completes with the (wasted) primary latency.
+      outcome.io_error = true;
+      ++stats_.io_errors;
+      store.Observe("blk.io_error", now, 1.0);
+      if (replica_ != nullptr) {
+        outcome.redirected = true;
+        device_latency = primary_result.latency + config_.failover_penalty +
+                         replica_->Submit(now + primary_result.latency, lba, is_write).latency;
+      }
+    }
     if (outcome.used_model) {
       // The model vouched for the primary: no reactive revocation. A wrong
       // vouch (false submit) pays the full slow latency.
       outcome.false_submit = !outcome.predicted_slow && outcome.actually_slow;
       // 1/0 per predicted-fast decision; MEAN over a window = false-submit rate.
       store.Observe("blk.false_submit", now, outcome.false_submit ? 1.0 : 0.0);
-    } else if (replica_ != nullptr && primary_result.latency > config_.revoke_timeout) {
+    } else if (!outcome.io_error && replica_ != nullptr &&
+               primary_result.latency > config_.revoke_timeout) {
       // Default reactive behavior: revoke at the timeout, reissue to the
       // replica; the slow primary I/O is abandoned.
       outcome.revoked = true;

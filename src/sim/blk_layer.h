@@ -111,6 +111,8 @@ struct IoOutcome {
   bool revoked = false;        // reactive timeout revocation fired
   bool actually_slow = false;  // primary-path latency exceeded slow_threshold
   bool false_submit = false;   // predicted fast, was slow
+  bool io_error = false;       // device I/O error (chaos); reissued if possible
+  bool mispredicted = false;   // chaos flipped this prediction (model.mispredict)
 };
 
 struct BlockLayerStats {
@@ -120,6 +122,8 @@ struct BlockLayerStats {
   uint64_t revokes = 0;
   uint64_t false_submits = 0;
   uint64_t slow_ios = 0;
+  uint64_t io_errors = 0;       // device errors observed (chaos-injected)
+  uint64_t mispredictions = 0;  // predictions flipped by the chaos layer
   int64_t inference_ns_total = 0;
   int64_t latency_ns_total = 0;
 };
@@ -143,12 +147,18 @@ class BlockLayer {
   const BlockLayerConfig& config() const { return config_; }
 
  private:
+  // Tracks the kernel's attached chaos engine (which may be attached after
+  // this block layer was constructed) and keeps the site ids current.
+  void RefreshChaos();
+
   Kernel& kernel_;
   SsdDevice* primary_;
   SsdDevice* replica_;
   BlockLayerConfig config_;
   RingBuffer<double> latency_history_us_{4};
   BlockLayerStats stats_;
+  ChaosEngine* chaos_ = nullptr;
+  ChaosSiteId mispredict_site_ = kInvalidChaosSite;
 };
 
 }  // namespace osguard

@@ -42,4 +42,10 @@ void EventQueue::Clear() {
   }
 }
 
+void EventQueue::Reset() {
+  Clear();
+  now_ = 0;
+  next_sequence_ = 0;
+}
+
 }  // namespace osguard

@@ -39,8 +39,16 @@ class EventQueue {
   // Runs until the queue drains or `max_events` have executed.
   size_t RunAll(size_t max_events = SIZE_MAX);
 
-  // Drops all pending events (between experiment repetitions).
+  // Drops all pending events; the clock and the tie-break sequence counter
+  // keep running (mid-run cancellation).
   void Clear();
+
+  // Clear() plus rewinds the clock and the sequence counter to a pristine
+  // queue. Between experiment repetitions this is the one to call: a stale
+  // `now_` silently clamps re-scheduled events forward and a stale sequence
+  // counter shifts tie-break ranks, either of which reorders same-timestamp
+  // events relative to the first run and breaks bit-exact replay.
+  void Reset();
 
  private:
   struct Event {

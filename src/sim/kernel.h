@@ -19,6 +19,7 @@
 #include <string>
 
 #include "src/actions/task_control.h"
+#include "src/chaos/chaos.h"
 #include "src/runtime/engine.h"
 #include "src/sim/event_queue.h"
 #include "src/store/feature_store.h"
@@ -36,6 +37,17 @@ class Kernel {
   // construction, so the Kernel constructor wires a forwarding shim and this
   // call just retargets it.
   void SetTaskControl(TaskControl* task_control) { task_control_shim_.target = task_control; }
+
+  // Attaches the fault-injection engine (borrowed; null detaches). Forwards
+  // to the guardrail engine (callout drop/delay, helper and dispatch
+  // failures) and exposes the pointer so subsystems built on this kernel
+  // (block layer, devices) can pick it up. Attach before constructing
+  // subsystems, or re-attach them yourself.
+  void AttachChaos(ChaosEngine* chaos) {
+    chaos_ = chaos;
+    engine_->SetChaos(chaos);
+  }
+  ChaosEngine* chaos() { return chaos_; }
 
   FeatureStore& store() { return store_; }
   PolicyRegistry& registry() { return registry_; }
@@ -72,6 +84,7 @@ class Kernel {
   EventQueue queue_;
   TaskControlShim task_control_shim_;
   std::unique_ptr<Engine> engine_;
+  ChaosEngine* chaos_ = nullptr;
 };
 
 }  // namespace osguard

@@ -51,6 +51,21 @@ IoResult SsdDevice::Submit(SimTime now, uint64_t lba, bool is_write) {
     ++gc_events_;
   }
 
+  // Injected faults draw from the chaos engine's own site streams, so the
+  // device RNG above is untouched — an unarmed chaos engine leaves latencies
+  // bit-identical to no chaos engine at all. Site query order is fixed
+  // (latency then error) for the same reason.
+  if (chaos_ != nullptr) {
+    if (const FaultDecision spike = chaos_->Query(latency_site_, now)) {
+      service += spike.latency;  // stalls the channel like a firmware hang
+      ++injected_spikes_;
+    }
+    if (chaos_->ShouldInject(error_site_, now)) {
+      result.error = true;  // surfaced after the request's bus time elapses
+      ++injected_errors_;
+    }
+  }
+
   const SimTime done = start + service;
   channel.busy_until = done;
   channel.completions.push_back(done);
@@ -74,6 +89,17 @@ int SsdDevice::TotalQueueDepth(SimTime now) const {
     total += static_cast<int>(channel.completions.size());
   }
   return total;
+}
+
+void SsdDevice::AttachChaos(ChaosEngine* chaos) {
+  chaos_ = chaos;
+  if (chaos != nullptr) {
+    latency_site_ = chaos->RegisterSite(kChaosSiteSsdLatency);
+    error_site_ = chaos->RegisterSite(kChaosSiteSsdError);
+  } else {
+    latency_site_ = kInvalidChaosSite;
+    error_site_ = kInvalidChaosSite;
+  }
 }
 
 void SsdDevice::ScaleGcPressure(double factor) {

@@ -22,6 +22,7 @@
 #include <string>
 #include <vector>
 
+#include "src/chaos/chaos.h"
 #include "src/support/histogram.h"
 #include "src/support/rng.h"
 #include "src/support/time.h"
@@ -44,6 +45,7 @@ struct IoResult {
   Duration latency = 0;      // wait + service (+ GC pause if triggered/behind one)
   Duration queue_wait = 0;
   bool hit_gc = false;       // this request triggered or waited out a GC pause
+  bool error = false;        // injected I/O error (chaos site ssd.io_error)
   int channel = 0;
 };
 
@@ -76,6 +78,15 @@ class SsdDevice {
   // multiplies gc_per_write/gc_per_read by `factor`.
   void ScaleGcPressure(double factor);
 
+  // Attaches the fault-injection engine (borrowed; null detaches). Each
+  // Submit then consults sites ssd.latency_spike (adds the plan's latency to
+  // the request's service time, stalling the channel like a real device hang)
+  // and ssd.io_error (fails the request after it completes its bus time).
+  void AttachChaos(ChaosEngine* chaos);
+
+  uint64_t injected_spikes() const { return injected_spikes_; }
+  uint64_t injected_errors() const { return injected_errors_; }
+
  private:
   struct Channel {
     SimTime busy_until = 0;
@@ -91,6 +102,11 @@ class SsdDevice {
   Histogram latencies_;
   uint64_t gc_events_ = 0;
   uint64_t total_ios_ = 0;
+  ChaosEngine* chaos_ = nullptr;
+  ChaosSiteId latency_site_ = kInvalidChaosSite;
+  ChaosSiteId error_site_ = kInvalidChaosSite;
+  uint64_t injected_spikes_ = 0;
+  uint64_t injected_errors_ = 0;
 };
 
 }  // namespace osguard

@@ -28,8 +28,16 @@ std::vector<BurstEvent> TaskLoadGenerator::Generate(Duration duration, SimTime s
       events.push_back(event);
     }
   }
-  std::sort(events.begin(), events.end(),
-            [](const BurstEvent& a, const BurstEvent& b) { return a.at < b.at; });
+  // Same-timestamp events are real: the exponential gap truncates to whole
+  // nanoseconds, so a burst can land on another's timestamp (and fault
+  // injection deliberately piles events onto one instant). An unstable sort
+  // on `at` alone would order such ties arbitrarily; break ties by task
+  // index, and stable_sort keeps generation order within a task, so the
+  // merged trace is a pure function of the specs and the seed.
+  std::stable_sort(events.begin(), events.end(),
+                   [](const BurstEvent& a, const BurstEvent& b) {
+                     return a.at != b.at ? a.at < b.at : a.task_index < b.task_index;
+                   });
   return events;
 }
 

@@ -1,0 +1,253 @@
+// Corrective-action hardening tests (src/actions/dispatcher.cc):
+//   * retries never exceed the configured bound,
+//   * the recorded backoff schedule is monotone (geometric, multiplier
+//     clamped >= 1),
+//   * an exhausted REPLACE chain engages the fallback list exactly once,
+//   * failure/retry/fallback counters surface through the feature store,
+//   * the defaults (one attempt, no fallbacks) reproduce the pre-hardening
+//     dispatcher exactly.
+//
+// Failures are driven deterministically through chaos site
+// actions.dispatch_fail, so every scenario replays bit-identically.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/actions/dispatcher.h"
+#include "src/chaos/chaos.h"
+#include "src/store/feature_store.h"
+#include "src/support/logging.h"
+
+namespace osguard {
+namespace {
+
+class NamedPolicy : public Policy {
+ public:
+  explicit NamedPolicy(std::string name) : name_(std::move(name)) {}
+  std::string name() const override { return name_; }
+
+ private:
+  std::string name_;
+};
+
+struct Fixture {
+  Fixture() {
+    Logger::Global().set_level(LogLevel::kOff);
+    dispatcher = std::make_unique<ActionDispatcher>(&reporter, &registry, &retrain_queue,
+                                                    nullptr);
+  }
+
+  // Arms actions.dispatch_fail so the first `failures` attempts of the next
+  // dispatch fail (schedule mode: exact, replayable).
+  void FailFirstAttempts(std::vector<uint64_t> indices) {
+    FaultPlanConfig plan;
+    plan.mode = FaultMode::kSchedule;
+    plan.nth = std::move(indices);
+    ASSERT_TRUE(chaos.Arm(kChaosSiteDispatchFail, plan).ok());
+    dispatcher->SetChaos(&chaos);
+  }
+
+  void FailAlways() {
+    FaultPlanConfig plan;
+    plan.mode = FaultMode::kBernoulli;
+    plan.p = 1.0;
+    ASSERT_TRUE(chaos.Arm(kChaosSiteDispatchFail, plan).ok());
+    dispatcher->SetChaos(&chaos);
+  }
+
+  Result<Value> Report(const std::string& message) {
+    const Value args[] = {Value(message)};
+    return dispatcher->Dispatch(HelperId::kReport, args, envelope);
+  }
+
+  Result<Value> Replace(const std::string& old_policy, const std::string& new_policy) {
+    const Value args[] = {Value(old_policy), Value(new_policy)};
+    return dispatcher->Dispatch(HelperId::kReplace, args, envelope);
+  }
+
+  Reporter reporter;
+  PolicyRegistry registry;
+  RetrainQueue retrain_queue;
+  ChaosEngine chaos{17};
+  std::unique_ptr<ActionDispatcher> dispatcher;
+  ActionEnvelope envelope{"test-guardrail", Severity::kWarning, Seconds(1)};
+};
+
+TEST(ActionsRetryTest, RetriesNeverExceedTheConfiguredBound) {
+  Fixture f;
+  f.FailAlways();
+  RetryOptions options;
+  options.max_attempts = 4;
+  f.dispatcher->SetRetryOptions(options);
+
+  EXPECT_FALSE(f.Report("doomed").ok());
+  ActionStats stats = f.dispatcher->stats();
+  // Exactly max_attempts attempts: 4 injected failures, 3 retries, 1
+  // exhausted chain. Not one attempt more.
+  EXPECT_EQ(stats.injected_failures, 4u);
+  EXPECT_EQ(stats.retries, 3u);
+  EXPECT_EQ(stats.failures, 1u);
+  EXPECT_EQ(stats.reports, 0u);
+
+  // Ten more doomed dispatches: the bound holds per chain.
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_FALSE(f.Report("doomed").ok());
+  }
+  stats = f.dispatcher->stats();
+  EXPECT_EQ(stats.injected_failures, 44u);
+  EXPECT_EQ(stats.retries, 33u);
+  EXPECT_EQ(stats.failures, 11u);
+}
+
+TEST(ActionsRetryTest, RetrySucceedsAfterTransientFailures) {
+  Fixture f;
+  f.FailFirstAttempts({0, 1});  // first two attempts fail, third succeeds
+  RetryOptions options;
+  options.max_attempts = 4;
+  f.dispatcher->SetRetryOptions(options);
+
+  EXPECT_TRUE(f.Report("transient").ok());
+  const ActionStats stats = f.dispatcher->stats();
+  EXPECT_EQ(stats.injected_failures, 2u);
+  EXPECT_EQ(stats.retries, 2u);
+  EXPECT_EQ(stats.failures, 0u);   // the chain did not exhaust
+  EXPECT_EQ(stats.reports, 1u);    // the action finally ran
+  EXPECT_EQ(f.reporter.total_reports(), 1u);
+}
+
+TEST(ActionsRetryTest, BackoffScheduleIsMonotoneGeometric) {
+  Fixture f;
+  f.FailAlways();
+  RetryOptions options;
+  options.max_attempts = 6;
+  options.backoff_base = Milliseconds(1);
+  options.backoff_multiplier = 2.0;
+  f.dispatcher->SetRetryOptions(options);
+
+  EXPECT_FALSE(f.Report("doomed").ok());
+  const std::vector<Duration> schedule = f.dispatcher->last_backoff_schedule();
+  const std::vector<Duration> expected = {Milliseconds(1), Milliseconds(2), Milliseconds(4),
+                                          Milliseconds(8), Milliseconds(16)};
+  EXPECT_EQ(schedule, expected);
+  for (size_t i = 1; i < schedule.size(); ++i) {
+    EXPECT_GE(schedule[i], schedule[i - 1]);
+  }
+}
+
+TEST(ActionsRetryTest, SubUnityMultiplierIsClampedToMonotone) {
+  Fixture f;
+  f.FailAlways();
+  RetryOptions options;
+  options.max_attempts = 5;
+  options.backoff_base = Milliseconds(3);
+  options.backoff_multiplier = 0.25;  // clamped to 1.0: constant, never shrinking
+  f.dispatcher->SetRetryOptions(options);
+
+  EXPECT_FALSE(f.Report("doomed").ok());
+  const std::vector<Duration> schedule = f.dispatcher->last_backoff_schedule();
+  ASSERT_EQ(schedule.size(), 4u);
+  for (size_t i = 0; i < schedule.size(); ++i) {
+    EXPECT_EQ(schedule[i], Milliseconds(3));
+  }
+}
+
+TEST(ActionsRetryTest, FallbackFiresExactlyOncePerExhaustedChain) {
+  Fixture f;
+  ASSERT_TRUE(f.registry.Register(std::make_shared<NamedPolicy>("learned")).ok());
+  ASSERT_TRUE(f.registry.Register(std::make_shared<NamedPolicy>("target")).ok());
+  ASSERT_TRUE(f.registry.Register(std::make_shared<NamedPolicy>("safe")).ok());
+  ASSERT_TRUE(f.registry.BindSlot("slot", "learned").ok());
+
+  f.FailAlways();
+  RetryOptions options;
+  options.max_attempts = 3;
+  f.dispatcher->SetRetryOptions(options);
+  // First candidate is unknown to the registry and must be skipped; the
+  // second engages. "ghost" failing does NOT count as a fallback engagement.
+  f.dispatcher->SetReplaceFallbacks({"ghost", "safe"});
+
+  const Result<Value> first = f.Replace("learned", "target");
+  ASSERT_TRUE(first.ok());  // the fallback rescued the chain
+  EXPECT_EQ(first.value().AsInt().value(), 1);
+  EXPECT_EQ(f.registry.Active("slot").value()->name(), "safe");
+
+  ActionStats stats = f.dispatcher->stats();
+  EXPECT_EQ(stats.failures, 1u);
+  EXPECT_EQ(stats.fallbacks, 1u);  // exactly once for this chain
+
+  // Second exhausted chain: exactly one more engagement (idempotent rebind).
+  ASSERT_TRUE(f.Replace("learned", "target").ok());
+  stats = f.dispatcher->stats();
+  EXPECT_EQ(stats.failures, 2u);
+  EXPECT_EQ(stats.fallbacks, 2u);
+
+  // The engagement is visible in the report stream, once per chain.
+  EXPECT_EQ(f.reporter.CountFor("test-guardrail"), 2u);
+}
+
+TEST(ActionsRetryTest, FallbackDoesNotFireForNonReplaceActions) {
+  Fixture f;
+  ASSERT_TRUE(f.registry.Register(std::make_shared<NamedPolicy>("safe")).ok());
+  f.FailAlways();
+  f.dispatcher->SetReplaceFallbacks({"safe"});
+
+  EXPECT_FALSE(f.Report("doomed").ok());
+  EXPECT_EQ(f.dispatcher->stats().fallbacks, 0u);
+}
+
+TEST(ActionsRetryTest, ExhaustedFallbackChainReturnsTheOriginalError) {
+  Fixture f;
+  ASSERT_TRUE(f.registry.Register(std::make_shared<NamedPolicy>("learned")).ok());
+  ASSERT_TRUE(f.registry.BindSlot("slot", "learned").ok());
+  f.FailAlways();
+  f.dispatcher->SetReplaceFallbacks({"ghost1", "ghost2"});
+
+  const Result<Value> result = f.Replace("learned", "also-ghost");
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.status().message().find("actions.dispatch_fail"), std::string::npos);
+  EXPECT_EQ(f.dispatcher->stats().fallbacks, 0u);
+}
+
+TEST(ActionsRetryTest, CountersSurfaceThroughTheFeatureStore) {
+  Fixture f;
+  FeatureStore store;
+  f.dispatcher->SetStore(&store);
+  ASSERT_TRUE(f.registry.Register(std::make_shared<NamedPolicy>("learned")).ok());
+  ASSERT_TRUE(f.registry.Register(std::make_shared<NamedPolicy>("safe")).ok());
+  ASSERT_TRUE(f.registry.BindSlot("slot", "learned").ok());
+
+  f.FailAlways();
+  RetryOptions options;
+  options.max_attempts = 3;
+  f.dispatcher->SetRetryOptions(options);
+  f.dispatcher->SetReplaceFallbacks({"safe"});
+
+  ASSERT_TRUE(f.Replace("learned", "safe").ok());  // rescued by the fallback
+  EXPECT_EQ(store.LoadOr(kActionRetriesKey, Value(0)).NumericOr(-1), 2.0);
+  EXPECT_EQ(store.LoadOr(kActionFailuresKey, Value(0)).NumericOr(-1), 1.0);
+  EXPECT_EQ(store.LoadOr(kActionFallbacksKey, Value(0)).NumericOr(-1), 1.0);
+}
+
+TEST(ActionsRetryTest, DefaultsReproducePreHardeningBehavior) {
+  Fixture f;
+  // No chaos, no retry config, no fallbacks: a failing REPLACE fails once,
+  // immediately, with no retries and an empty backoff schedule.
+  const Result<Value> result = f.Replace("nobody", "home");
+  ASSERT_FALSE(result.ok());
+  const ActionStats stats = f.dispatcher->stats();
+  EXPECT_EQ(stats.failures, 1u);
+  EXPECT_EQ(stats.retries, 0u);
+  EXPECT_EQ(stats.fallbacks, 0u);
+  EXPECT_EQ(stats.injected_failures, 0u);
+  EXPECT_TRUE(f.dispatcher->last_backoff_schedule().empty());
+
+  // And a healthy action succeeds on the first attempt.
+  EXPECT_TRUE(f.Report("fine").ok());
+  EXPECT_EQ(f.dispatcher->stats().reports, 1u);
+}
+
+}  // namespace
+}  // namespace osguard

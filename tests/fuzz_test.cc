@@ -8,6 +8,9 @@
 
 #include <gtest/gtest.h>
 
+#include <filesystem>
+#include <fstream>
+#include <sstream>
 #include <string>
 
 #include "src/dsl/lexer.h"
@@ -41,6 +44,21 @@ guardrail complex-spec {
 }
 )";
 
+constexpr char kValidChaosSpec[] = R"(
+guardrail storm-watch {
+  trigger: { TIMER(1s, 1s) },
+  rule: { LOAD_OR(false_submit_rate, 0) <= 0.05 },
+  action: { SAVE(blk.ml_enabled, false) }
+}
+chaos {
+  seed = 42,
+  site ssd.latency_spike { mode = bernoulli, p = 0.01, latency = 2ms },
+  site model.mispredict { mode = burst, period = 5s, burst = 500ms, p = 0.9 },
+  site engine.callout_drop { mode = schedule, nth = {3, 1, 4} },
+  site runtime.helper_fail { mode = off }
+}
+)";
+
 TEST(FuzzTest, EveryPrefixOfAValidSpecFailsCleanly) {
   const std::string source = kValidSpec;
   for (size_t length = 0; length < source.size(); ++length) {
@@ -52,6 +70,128 @@ TEST(FuzzTest, EveryPrefixOfAValidSpecFailsCleanly) {
     }
   }
   EXPECT_TRUE(ParseSpecSource(source).ok());
+}
+
+TEST(FuzzTest, EveryPrefixOfAChaosSpecFailsCleanly) {
+  const std::string source = kValidChaosSpec;
+  for (size_t length = 0; length < source.size(); ++length) {
+    auto spec = ParseSpecSource(source.substr(0, length));
+    if (!spec.ok()) {
+      EXPECT_FALSE(spec.status().message().empty());
+    } else {
+      // A prefix that parses must also analyze without crashing.
+      Analyze(std::move(spec).value()).ok();
+    }
+  }
+  auto full = ParseSpecSource(source);
+  ASSERT_TRUE(full.ok());
+  EXPECT_TRUE(Analyze(std::move(full).value()).ok());
+}
+
+TEST(FuzzTest, RandomChaosBlocksNeverCrashAndDiagnoseStably) {
+  // Random chaos blocks assembled from the real attribute vocabulary plus
+  // junk: lexer -> parser -> sema must return cleanly, and running the
+  // pipeline twice on the same source must produce the same status and the
+  // same message (stable diagnostics — no pointer values, no iteration-order
+  // dependence).
+  const std::vector<std::string> keys = {"mode", "p",     "nth",  "period",
+                                         "burst", "latency", "value", "seed",
+                                         "junk_attr"};
+  const std::vector<std::string> values = {"bernoulli", "schedule", "burst", "off",
+                                           "0.5",       "1",        "-3",    "2ms",
+                                           "5s",        "{1, 2, 3}", "{}",   "true",
+                                           "\"text\"",  "teapot"};
+  const std::vector<std::string> sites = {"ssd.latency_spike", "model.mispredict", "s",
+                                          "a.b.c"};
+  Rng rng(606);
+  auto run_pipeline = [](const std::string& source) -> std::pair<bool, std::string> {
+    auto spec = ParseSpecSource(source);
+    if (!spec.ok()) {
+      return {false, std::string(spec.status().message())};
+    }
+    auto analyzed = Analyze(std::move(spec).value());
+    if (!analyzed.ok()) {
+      return {false, std::string(analyzed.status().message())};
+    }
+    return {true, ""};
+  };
+  int parsed_ok = 0;
+  for (int iteration = 0; iteration < 2000; ++iteration) {
+    std::string source = "chaos {\n";
+    if (rng.Bernoulli(0.5)) {
+      source += "  seed = " + std::to_string(rng.UniformInt(-2, 100)) + ",\n";
+    }
+    const int site_count = static_cast<int>(rng.UniformInt(0, 3));
+    for (int s = 0; s < site_count; ++s) {
+      source += "  site " + sites[static_cast<size_t>(rng.UniformInt(
+                                0, static_cast<int64_t>(sites.size()) - 1))] +
+                " { ";
+      const int attrs = static_cast<int>(rng.UniformInt(0, 4));
+      for (int a = 0; a < attrs; ++a) {
+        if (a > 0) {
+          source += ", ";
+        }
+        source += keys[static_cast<size_t>(
+                      rng.UniformInt(0, static_cast<int64_t>(keys.size()) - 1))] +
+                  " = " +
+                  values[static_cast<size_t>(
+                      rng.UniformInt(0, static_cast<int64_t>(values.size()) - 1))];
+      }
+      source += " },\n";
+    }
+    source += "}\n";
+    const auto first = run_pipeline(source);
+    const auto second = run_pipeline(source);
+    EXPECT_EQ(first, second) << source;  // deterministic verdict AND message
+    if (first.first) {
+      ++parsed_ok;
+    }
+  }
+  // The generator is not vacuous: a decent share of blocks is fully valid.
+  EXPECT_GT(parsed_ok, 50);
+}
+
+TEST(FuzzTest, CorpusSpecsParseWithStableDiagnostics) {
+  // Seed corpus under tests/corpus/: known-good and known-bad chaos specs.
+  // Every file must run the pipeline without crashing, twice, with identical
+  // diagnostics; files named valid_* must parse and analyze cleanly, files
+  // named invalid_* must be rejected with a non-empty message.
+  const std::filesystem::path corpus_dir = OSGUARD_CORPUS_DIR;
+  ASSERT_TRUE(std::filesystem::exists(corpus_dir)) << corpus_dir;
+  int files = 0;
+  for (const auto& entry : std::filesystem::directory_iterator(corpus_dir)) {
+    if (entry.path().extension() != ".spec") {
+      continue;
+    }
+    ++files;
+    std::ifstream in(entry.path());
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    const std::string source = buffer.str();
+
+    auto pipeline = [&source]() -> std::pair<bool, std::string> {
+      auto spec = ParseSpecSource(source);
+      if (!spec.ok()) {
+        return {false, std::string(spec.status().message())};
+      }
+      auto analyzed = Analyze(std::move(spec).value());
+      if (!analyzed.ok()) {
+        return {false, std::string(analyzed.status().message())};
+      }
+      return {true, ""};
+    };
+    const auto first = pipeline();
+    const auto second = pipeline();
+    EXPECT_EQ(first, second) << entry.path();
+    const std::string stem = entry.path().stem().string();
+    if (stem.rfind("valid_", 0) == 0) {
+      EXPECT_TRUE(first.first) << entry.path() << ": " << first.second;
+    } else if (stem.rfind("invalid_", 0) == 0) {
+      EXPECT_FALSE(first.first) << entry.path();
+      EXPECT_FALSE(first.second.empty()) << entry.path();
+    }
+  }
+  EXPECT_GE(files, 6) << "corpus went missing from " << corpus_dir;
 }
 
 TEST(FuzzTest, RandomBytesNeverCrashTheLexer) {
@@ -77,7 +217,9 @@ TEST(FuzzTest, RandomTokenSoupNeverCrashesTheParser) {
       "}",         "(",         ")",     ",",      ":",      ";",          "<=",
       ">=",        "==",        "&&",    "||",     "!",      "+",          "-",
       "*",         "/",         "1",     "0.05",   "1s",     "250ms",      "true",
-      "false",     "\"text\"",  "x",     "a_key",  "=",      "severity"};
+      "false",     "\"text\"",  "x",     "a_key",  "=",      "severity",   "chaos",
+      "site",      "mode",      "bernoulli",       "nth",    "seed",       "burst",
+      "period",    "ssd.latency_spike"};
   Rng rng(202);
   for (int iteration = 0; iteration < 3000; ++iteration) {
     std::string source;

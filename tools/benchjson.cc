@@ -15,10 +15,16 @@
 //     "ns_per_eval_mean": <number>   // headline: mean over *_ns_per_eval
 //   }
 //
-// Usage: benchjson [--strict-alloc] [-o FILE]
+// Usage: benchjson [--strict-alloc] [--chaos] [-o FILE]
 //   --strict-alloc  exit(1) if the steady-state FUNCTION callout loop
 //                   allocates (the zero-allocation trigger-dispatch
 //                   guarantee; a heap-profile assertion, not a timer).
+//   --chaos         run the ext6 fault-storm experiment instead and emit
+//                   bench "chaos" (BENCH_chaos.json): guardrail trigger
+//                   latency under an injected fault storm vs. idle, and the
+//                   guarded vs. unguarded false-submit counts under the
+//                   storm (the guarded count must stay bounded). Exits 1 if
+//                   the guardrail fails to contain the storm.
 
 #include <atomic>
 #include <chrono>
@@ -29,6 +35,7 @@
 #include <string>
 #include <vector>
 
+#include "src/linnos/harness.h"
 #include "src/runtime/engine.h"
 #include "src/support/logging.h"
 
@@ -164,25 +171,89 @@ void FunctionCallouts(std::vector<Metric>& metrics) {
                            static_cast<double>(WallNs() - start2) / kCalls, "ns_per_call"});
 }
 
+// --chaos: the ext6 fault-storm experiment in machine-readable form. Runs
+// the Figure-2 drift trace twice — idle, and under the canonical
+// MakeFaultStormChaosSpec storm — and reports how fast the Listing-2
+// guardrail trips from fault onset (drift time when idle, t=0 under the
+// storm, which is armed from the first I/O) plus the guarded vs. unguarded
+// false-submit counts. Returns false if any run fails or the guardrail does
+// not contain the storm.
+bool RunChaosBench(std::vector<Metric>& metrics, bool& contained) {
+  Figure2Options options;
+  options.before_drift = Seconds(10);
+  options.after_drift = Seconds(10);
+
+  auto idle = RunFigure2Experiment(options);
+  if (!idle.ok()) {
+    std::fprintf(stderr, "benchjson: idle run failed: %s\n", idle.status().ToString().c_str());
+    return false;
+  }
+  options.chaos_source = MakeFaultStormChaosSpec(1729, 0.08, 0.6);
+  auto storm = RunFigure2Experiment(options);
+  if (!storm.ok()) {
+    std::fprintf(stderr, "benchjson: storm run failed: %s\n", storm.status().ToString().c_str());
+    return false;
+  }
+  const Figure2Result& ri = idle.value();
+  const Figure2Result& rs = storm.value();
+
+  const double trigger_idle =
+      ri.with_guardrail.guardrail_fired ? ri.with_guardrail.trigger_time_s : -1.0;
+  const double trigger_storm =
+      rs.with_guardrail.guardrail_fired ? rs.with_guardrail.trigger_time_s : -1.0;
+  metrics.push_back(Metric{"trigger_latency_idle_s",
+                           trigger_idle >= 0.0 ? trigger_idle - ri.drift_time_s : -1.0, "s"});
+  metrics.push_back(Metric{"trigger_latency_storm_s", trigger_storm, "s"});
+  metrics.push_back(Metric{"injected_faults_storm",
+                           static_cast<double>(rs.with_guardrail.injected_faults), "count"});
+  const double guarded = static_cast<double>(rs.with_guardrail.blk.false_submits);
+  const double unguarded = static_cast<double>(rs.without_guardrail.blk.false_submits);
+  metrics.push_back(Metric{"false_submits_guarded_storm", guarded, "count"});
+  metrics.push_back(Metric{"false_submits_unguarded_storm", unguarded, "count"});
+  metrics.push_back(Metric{"false_submits_guarded_idle",
+                           static_cast<double>(ri.with_guardrail.blk.false_submits), "count"});
+  metrics.push_back(Metric{"false_submits_unguarded_idle",
+                           static_cast<double>(ri.without_guardrail.blk.false_submits), "count"});
+  metrics.push_back(Metric{"containment_factor",
+                           guarded > 0.0 ? unguarded / guarded : unguarded, "ratio"});
+  metrics.push_back(Metric{"ml_disabled_at_end_storm",
+                           rs.with_guardrail.ml_enabled_at_end ? 0.0 : 1.0, "bool"});
+
+  // Containment: the guardrail fired under the storm and the unguarded run
+  // accumulated at least twice the guarded run's false submits.
+  contained = trigger_storm >= 0.0 && unguarded >= 2.0 * guarded && unguarded > guarded;
+  return true;
+}
+
 int Main(int argc, char** argv) {
   Logger::Global().set_level(LogLevel::kOff);
   bool strict_alloc = false;
+  bool chaos = false;
   const char* out_path = nullptr;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--strict-alloc") == 0) {
       strict_alloc = true;
+    } else if (std::strcmp(argv[i], "--chaos") == 0) {
+      chaos = true;
     } else if (std::strcmp(argv[i], "-o") == 0 && i + 1 < argc) {
       out_path = argv[++i];
     } else {
-      std::fprintf(stderr, "usage: benchjson [--strict-alloc] [-o FILE]\n");
+      std::fprintf(stderr, "usage: benchjson [--strict-alloc] [--chaos] [-o FILE]\n");
       return 2;
     }
   }
 
   std::vector<Metric> metrics;
-  metrics.push_back(TimerHotWindow());
-  metrics.push_back(TimerManyMonitors());
-  FunctionCallouts(metrics);
+  bool chaos_contained = true;
+  if (chaos) {
+    if (!RunChaosBench(metrics, chaos_contained)) {
+      return 1;
+    }
+  } else {
+    metrics.push_back(TimerHotWindow());
+    metrics.push_back(TimerManyMonitors());
+    FunctionCallouts(metrics);
+  }
 
   double eval_sum = 0.0;
   int eval_count = 0;
@@ -194,7 +265,8 @@ int Main(int argc, char** argv) {
   }
   const double mean = eval_count > 0 ? eval_sum / eval_count : 0.0;
 
-  std::string json = "{\n  \"bench\": \"hotpath\",\n  \"schema_version\": 1,\n  \"metrics\": [\n";
+  std::string json = std::string("{\n  \"bench\": \"") + (chaos ? "chaos" : "hotpath") +
+                     "\",\n  \"schema_version\": 1,\n  \"metrics\": [\n";
   for (size_t i = 0; i < metrics.size(); ++i) {
     char line[256];
     std::snprintf(line, sizeof(line),
@@ -204,7 +276,12 @@ int Main(int argc, char** argv) {
     json += line;
   }
   char tail[96];
-  std::snprintf(tail, sizeof(tail), "  ],\n  \"ns_per_eval_mean\": %.2f\n}\n", mean);
+  if (chaos) {
+    std::snprintf(tail, sizeof(tail), "  ],\n  \"storm_contained\": %s\n}\n",
+                  chaos_contained ? "true" : "false");
+  } else {
+    std::snprintf(tail, sizeof(tail), "  ],\n  \"ns_per_eval_mean\": %.2f\n}\n", mean);
+  }
   json += tail;
 
   if (out_path != nullptr) {
@@ -218,6 +295,11 @@ int Main(int argc, char** argv) {
   }
   std::fputs(json.c_str(), stdout);
 
+  if (chaos && !chaos_contained) {
+    std::fprintf(stderr,
+                 "benchjson: FAIL --chaos: guardrail did not contain the fault storm\n");
+    return 1;
+  }
   if (strict_alloc) {
     for (const Metric& m : metrics) {
       if (m.name == "function_callout_allocs_per_call" && m.value > 0.0) {
