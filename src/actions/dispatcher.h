@@ -64,6 +64,12 @@ struct ActionStats {
   uint64_t retries = 0;            // re-attempts after a failed attempt
   uint64_t fallbacks = 0;          // fallback engagements (<= exhausted chains)
   uint64_t injected_failures = 0;  // attempts failed by the chaos layer
+  // Per-dispatch host-clock latency of the full chain (attempts + retries +
+  // fallback), in nanoseconds. min is 0 until the first dispatch completes.
+  uint64_t dispatches = 0;
+  int64_t latency_min_ns = 0;
+  int64_t latency_max_ns = 0;
+  int64_t latency_total_ns = 0;  // mean = total / dispatches
 };
 
 // Bounded-retry policy for failing actions. The defaults reproduce the
@@ -78,6 +84,10 @@ struct RetryOptions {
 inline constexpr char kActionFailuresKey[] = "actions.failures";
 inline constexpr char kActionRetriesKey[] = "actions.retries";
 inline constexpr char kActionFallbacksKey[] = "actions.fallbacks";
+// Dispatch-latency gauges (nanoseconds, host clock), refreshed per dispatch.
+inline constexpr char kActionLatencyMinKey[] = "actions.latency.min_ns";
+inline constexpr char kActionLatencyMeanKey[] = "actions.latency.mean_ns";
+inline constexpr char kActionLatencyMaxKey[] = "actions.latency.max_ns";
 
 class ActionDispatcher {
  public:
@@ -114,9 +124,14 @@ class ActionDispatcher {
   std::vector<Duration> last_backoff_schedule() const;
 
   ActionStats stats() const;
+  // Exhausted-chain count alone; one lock and one word read, cheap enough for
+  // the supervisor to snapshot around every supervised evaluation.
+  uint64_t failure_count() const;
   RecordingTaskControl& fallback_task_control() { return fallback_task_control_; }
 
  private:
+  Result<Value> DispatchChain(HelperId id, std::span<const Value> args,
+                              const ActionEnvelope& envelope);
   Result<Value> RunAction(HelperId id, std::span<const Value> args,
                           const ActionEnvelope& envelope);
   Result<Value> RunReplaceFallback(std::span<const Value> args,

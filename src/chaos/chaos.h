@@ -53,6 +53,8 @@ inline constexpr char kChaosSiteCalloutDrop[] = "engine.callout_drop";
 inline constexpr char kChaosSiteCalloutDelay[] = "engine.callout_delay";
 inline constexpr char kChaosSiteHelperFail[] = "runtime.helper_fail";
 inline constexpr char kChaosSiteDispatchFail[] = "actions.dispatch_fail";
+inline constexpr char kChaosSiteProbeFail[] = "supervisor.probe_fail";
+inline constexpr char kChaosSiteBudgetExhaust[] = "vm.budget_exhaust";
 
 enum class FaultMode {
   kOff = 0,    // never inject (the default for every registered site)

@@ -130,6 +130,10 @@ struct GuardrailDecl {
   std::vector<ExprPtr> actions;         // run top-to-bottom on violation
   std::vector<ExprPtr> satisfy_actions; // run on violated -> satisfied edge
   std::vector<MetaAttr> meta;
+  // `health: { ... }` supervisor attributes (budgets, breaker, probation).
+  // Empty means unsupervised; has_health distinguishes an empty block.
+  std::vector<MetaAttr> health;
+  bool has_health = false;
 };
 
 // One injection site inside a chaos block:

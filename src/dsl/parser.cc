@@ -147,7 +147,19 @@ Result<GuardrailDecl> Parser::ParseGuardrail() {
         OSGUARD_RETURN_IF_ERROR(ParseMetaSection(decl));
         break;
       default:
-        return ErrorAt(section, "expected a section (trigger / rule / action / on_satisfy / meta)");
+        // `health` is contextual (an ident, not a keyword) so specs remain
+        // free to use it as a store key or guardrail-name segment.
+        if (section.kind == TokenKind::kIdent && section.text == "health") {
+          if (decl.has_health) {
+            return ErrorAt(section, "duplicate health section");
+          }
+          decl.has_health = true;
+          Advance();
+          OSGUARD_RETURN_IF_ERROR(ParseHealthSection(decl));
+          break;
+        }
+        return ErrorAt(section,
+                       "expected a section (trigger / rule / action / on_satisfy / meta / health)");
     }
     Match(TokenKind::kComma);  // optional separator between sections
   }
@@ -300,6 +312,23 @@ Status Parser::ParseMetaSection(GuardrailDecl& decl) {
     }
   }
   OSGUARD_RETURN_IF_ERROR(Expect(TokenKind::kRBrace, "to close the meta block").status());
+  return OkStatus();
+}
+
+// health := "health" ":" "{" (attr [","|";"])* "}"
+// Supervisor attributes (budget_steps, quarantine, probation, ...); the
+// vocabulary and value ranges are validated by semantic analysis.
+Status Parser::ParseHealthSection(GuardrailDecl& decl) {
+  OSGUARD_RETURN_IF_ERROR(Expect(TokenKind::kColon, "after 'health'").status());
+  OSGUARD_RETURN_IF_ERROR(Expect(TokenKind::kLBrace, "to open the health block").status());
+  while (!Check(TokenKind::kRBrace)) {
+    OSGUARD_ASSIGN_OR_RETURN(MetaAttr attr, ParseAttr("health"));
+    decl.health.push_back(std::move(attr));
+    if (!Match(TokenKind::kComma)) {
+      Match(TokenKind::kSemicolon);
+    }
+  }
+  OSGUARD_RETURN_IF_ERROR(Expect(TokenKind::kRBrace, "to close the health block").status());
   return OkStatus();
 }
 

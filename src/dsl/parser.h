@@ -12,6 +12,7 @@
 //              |  "action"     ":" "{" stmt* "}"
 //              |  "on_satisfy" ":" "{" stmt* "}"
 //              |  "meta"       ":" "{" (IDENT "=" literal [","|";"])* "}"
+//              |  "health"     ":" "{" (attr [","|";"])* "}"   -- supervisor
 //   trigger    := "TIMER" "(" expr "," expr ["," expr] ")"
 //              |  "FUNCTION" "(" IDENT ")"
 //   stmt       := call [";"]
@@ -61,6 +62,7 @@ class Parser {
   Status ParseRuleSection(GuardrailDecl& decl);
   Status ParseActionSection(std::vector<ExprPtr>& out);
   Status ParseMetaSection(GuardrailDecl& decl);
+  Status ParseHealthSection(GuardrailDecl& decl);
   Result<TriggerDecl> ParseTrigger();
   Result<ChaosDecl> ParseChaosBlock();
   Result<MetaAttr> ParseAttr(const char* context);

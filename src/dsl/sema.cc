@@ -269,6 +269,71 @@ Result<GuardrailMeta> AnalyzeMeta(const GuardrailDecl& decl) {
   return meta;
 }
 
+Result<GuardrailHealth> AnalyzeHealth(const GuardrailDecl& decl) {
+  GuardrailHealth health;
+  if (!decl.has_health) {
+    return health;  // unsupervised
+  }
+  health.supervised = true;
+  for (const MetaAttr& attr : decl.health) {
+    const std::string loc = " (guardrail '" + decl.name + "', line " + std::to_string(attr.line) + ")";
+    if (attr.key == "budget_steps") {
+      OSGUARD_ASSIGN_OR_RETURN(health.budget_steps, attr.value.AsInt());
+      if (health.budget_steps < 0) {
+        return SemanticError("budget_steps must be >= 0" + loc);
+      }
+    } else if (attr.key == "budget_ns") {
+      OSGUARD_ASSIGN_OR_RETURN(health.budget_ns, attr.value.AsInt());
+      if (health.budget_ns < 0) {
+        return SemanticError("budget_ns must be >= 0" + loc);
+      }
+    } else if (attr.key == "flap_window") {
+      OSGUARD_ASSIGN_OR_RETURN(health.flap_window, attr.value.AsInt());
+      if (health.flap_window <= 0) {
+        return SemanticError("flap_window must be > 0" + loc);
+      }
+    } else if (attr.key == "flap_threshold") {
+      OSGUARD_ASSIGN_OR_RETURN(int64_t n, attr.value.AsInt());
+      if (n < 1) {
+        return SemanticError("flap_threshold must be >= 1" + loc);
+      }
+      health.flap_threshold = static_cast<int>(n);
+    } else if (attr.key == "quarantine") {
+      OSGUARD_ASSIGN_OR_RETURN(int64_t n, attr.value.AsInt());
+      if (n < 1) {
+        return SemanticError("quarantine must be >= 1" + loc);
+      }
+      health.quarantine = static_cast<int>(n);
+    } else if (attr.key == "probe_every") {
+      OSGUARD_ASSIGN_OR_RETURN(int64_t n, attr.value.AsInt());
+      if (n < 1) {
+        return SemanticError("probe_every must be >= 1" + loc);
+      }
+      health.probe_every = static_cast<int>(n);
+    } else if (attr.key == "reinstate") {
+      OSGUARD_ASSIGN_OR_RETURN(int64_t n, attr.value.AsInt());
+      if (n < 1) {
+        return SemanticError("reinstate must be >= 1" + loc);
+      }
+      health.reinstate = static_cast<int>(n);
+    } else if (attr.key == "probation") {
+      OSGUARD_ASSIGN_OR_RETURN(health.probation, attr.value.AsInt());
+      if (health.probation < 0) {
+        return SemanticError("probation must be >= 0" + loc);
+      }
+    } else if (attr.key == "ewma_alpha") {
+      const double a = attr.value.NumericOr(-1.0);
+      if (!attr.value.is_numeric() || a <= 0.0 || a > 1.0) {
+        return SemanticError("ewma_alpha must be a number in (0, 1]" + loc);
+      }
+      health.ewma_alpha = a;
+    } else {
+      return SemanticError("unknown health attribute '" + attr.key + "'" + loc);
+    }
+  }
+  return health;
+}
+
 Result<AnalyzedChaosSite> AnalyzeChaosSite(const ChaosSiteDecl& site) {
   AnalyzedChaosSite out;
   out.name = site.name;
@@ -557,6 +622,7 @@ Result<AnalyzedSpec> Analyze(SpecFile spec) {
     }
     AnalyzedGuardrail out;
     OSGUARD_ASSIGN_OR_RETURN(out.meta, AnalyzeMeta(decl));
+    OSGUARD_ASSIGN_OR_RETURN(out.meta.health, AnalyzeHealth(decl));
     out.decl = std::move(decl);
     analyzed.guardrails.push_back(std::move(out));
   }

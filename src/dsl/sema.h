@@ -37,6 +37,34 @@ enum class Severity {
 
 std::string_view SeverityName(Severity severity);
 
+// Validated supervisor attributes from the `health: { ... }` block. The
+// presence of the block (supervised = true) places the guardrail under the
+// runtime supervisor: budget enforcement, health scoring, circuit-breaker
+// quarantine, and (on replace-by-name) probation with auto-rollback.
+struct GuardrailHealth {
+  bool supervised = false;
+  // Per-evaluation VM step budget applied to the rule and action programs;
+  // 0 = no step cap beyond the structural verifier bound.
+  int64_t budget_steps = 0;
+  // Per-evaluation wall-time budget (ns, coarse-grained); 0 = none.
+  Duration budget_ns = 0;
+  // Trip-flap detector: more than flap_threshold violated<->satisfied
+  // transitions inside flap_window counts as a failure event.
+  Duration flap_window = Seconds(60);
+  int flap_threshold = 8;
+  // Circuit breaker: consecutive failure events that open it, probe cadence
+  // while open (every Nth suppressed trigger runs half-open), and the number
+  // of consecutive clean probes that close it again.
+  int quarantine = 3;
+  int probe_every = 8;
+  int reinstate = 2;
+  // Staged deployment: when > 0, a replace-by-name load runs in probation for
+  // this window and is rolled back if its health regresses; 0 = no probation.
+  Duration probation = 0;
+  // EWMA smoothing factor for the failure/cost health scores, in (0, 1].
+  double ewma_alpha = 0.2;
+};
+
 // Validated per-guardrail attributes from the meta block (with defaults).
 struct GuardrailMeta {
   Severity severity = Severity::kWarning;
@@ -49,6 +77,9 @@ struct GuardrailMeta {
   int hysteresis = 1;
   bool enabled = true;
   std::string description;
+  // Supervisor configuration (default: unsupervised). Carried inside meta so
+  // it flows through compilation to the runtime untouched.
+  GuardrailHealth health;
 };
 
 struct AnalyzedGuardrail {

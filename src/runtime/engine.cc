@@ -134,6 +134,7 @@ Engine::Engine(FeatureStore* store, PolicyRegistry* registry, TaskControl* task_
       dispatcher_(&reporter_, registry, &retrain_queue_, task_control),
       env_(store, &dispatcher_) {
   dispatcher_.SetStore(store);  // publishes the actions.* failure counters
+  supervisor_.SetStore(store);  // publishes the supervisor.* health keys
   pending_changes_.reserve(64);
   drain_batch_.reserve(64);
 }
@@ -217,6 +218,29 @@ Status Engine::Load(CompiledGuardrail guardrail) {
   monitor->enabled = monitor->guardrail.meta.enabled;
   monitor->generation = next_generation_++;
   const std::string name = monitor->guardrail.name;
+  auto existing = monitors_.find(name);
+  const bool replacing = existing != monitors_.end();
+  if (replacing) {
+    // Replace-by-name carry-over (explicit policy): the counters describe
+    // the outgoing program version and reset with it, but the
+    // violation-protocol clocks describe the monitored property, so they
+    // persist — a hot replace can neither bypass an active cooldown nor
+    // discard accumulated hysteresis evidence, and a rule fixed while in
+    // violation still emits its satisfied edge.
+    const MonitorStats& old = existing->second->stats;
+    monitor->stats.in_violation = old.in_violation;
+    monitor->stats.consecutive_violations = old.consecutive_violations;
+    monitor->stats.last_action_time = old.last_action_time;
+  }
+  const GuardrailHealth& health = monitor->guardrail.meta.health;
+  if (replacing && health.supervised && health.probation > 0) {
+    // Staged deployment: retain the verified, key-rewritten outgoing program
+    // so a regressing deploy can be rolled back to it bit-identically.
+    monitor->rollback_snapshot =
+        std::make_unique<CompiledGuardrail>(existing->second->guardrail);
+  }
+  monitor->guard = supervisor_.OnLoad(name, health, now_, replacing,
+                                      replacing ? existing->second->guard : nullptr);
   monitors_[name] = std::move(monitor);  // replace-by-name is the update path
   ArmTimers(*monitors_[name]);
   RebuildFunctionIndex();
@@ -243,6 +267,7 @@ void Engine::SetChaos(ChaosEngine* chaos) {
   chaos_ = chaos;
   env_.SetChaos(chaos);
   dispatcher_.SetChaos(chaos);
+  supervisor_.SetChaos(chaos);  // supervisor.probe_fail, vm.budget_exhaust
   if (chaos != nullptr) {
     callout_drop_site_ = chaos->RegisterSite(kChaosSiteCalloutDrop);
     callout_delay_site_ = chaos->RegisterSite(kChaosSiteCalloutDelay);
@@ -258,6 +283,7 @@ Status Engine::Unload(const std::string& name) {
     return NotFoundError("no guardrail named '" + name + "'");
   }
   monitors_.erase(it);  // queued timer entries die via generation mismatch
+  supervisor_.OnUnload(name);
   RebuildFunctionIndex();
   return OkStatus();
 }
@@ -286,6 +312,11 @@ const MonitorStats* Engine::FindStats(const std::string& name) const {
   return it == monitors_.end() ? nullptr : &it->second->stats;
 }
 
+const CompiledGuardrail* Engine::FindGuardrail(const std::string& name) const {
+  auto it = monitors_.find(name);
+  return it == monitors_.end() ? nullptr : &it->second->guardrail;
+}
+
 std::optional<SimTime> Engine::NextTimerDeadline() const {
   // The heap may hold stale entries; a const peek can't pop them, so scan
   // down lazily via a copy of the top. Stale entries are rare (only after
@@ -302,6 +333,7 @@ std::optional<SimTime> Engine::NextTimerDeadline() const {
 }
 
 void Engine::AdvanceTo(SimTime t) {
+  ApplyPendingRollbacks();
   while (!timers_.empty() && timers_.top().due <= t) {
     TimerEntry entry = timers_.top();
     timers_.pop();
@@ -321,6 +353,10 @@ void Engine::AdvanceTo(SimTime t) {
       timers_.push(TimerEntry{next, next_tiebreak_++, entry.monitor_name, entry.trigger_index,
                               entry.generation});
     }
+    // Between timer entries no Monitor pointers or trigger references are
+    // live, so a rollback queued by the evaluation applies here — before the
+    // doomed version can see another trigger.
+    ApplyPendingRollbacks();
   }
   now_ = std::max(now_, t);
 }
@@ -354,6 +390,7 @@ void Engine::OnFunctionCall(std::string_view function, SimTime t) {
       Evaluate(*monitor, now_);
     }
   }
+  ApplyPendingRollbacks();  // after the loop: `it` is dead past this point
 }
 
 void Engine::OnStoreWrite(KeyId id) {
@@ -377,6 +414,7 @@ void Engine::OnStoreWrite(KeyId id) {
     }
   }
   DrainPendingChanges();
+  ApplyPendingRollbacks();
 }
 
 void Engine::OnStoreWrite(const std::string& key) {
@@ -429,10 +467,81 @@ void Engine::DrainPendingChanges() {
   draining_ = false;
 }
 
+void Engine::QueueRollback(Monitor& monitor) {
+  if (monitor.rollback_queued) {
+    return;
+  }
+  if (monitor.rollback_snapshot == nullptr) {
+    // Nothing to restore (first load of this name): clear the request so the
+    // monitor isn't skipped forever waiting on an impossible rollback.
+    if (monitor.guard != nullptr) {
+      monitor.guard->rollback_pending = false;
+    }
+    return;
+  }
+  monitor.rollback_queued = true;
+  pending_rollbacks_.emplace_back(monitor.guardrail.name, monitor.generation);
+}
+
+void Engine::ApplyPendingRollbacks() {
+  if (evaluating_ || pending_rollbacks_.empty()) {
+    return;
+  }
+  std::vector<std::pair<std::string, uint64_t>> pending;
+  pending.swap(pending_rollbacks_);
+  for (const auto& [name, generation] : pending) {
+    auto it = monitors_.find(name);
+    if (it == monitors_.end() || it->second->generation != generation ||
+        it->second->rollback_snapshot == nullptr) {
+      continue;  // unloaded or replaced again since the rollback was queued
+    }
+    Monitor& doomed = *it->second;
+    auto restored = std::make_unique<Monitor>();
+    // The snapshot was verified and key-rewritten at its original load, so
+    // the restored program is bit-identical to the pre-deploy version; no
+    // re-verification or rewrite may touch it here.
+    restored->guardrail = std::move(*doomed.rollback_snapshot);
+    restored->enabled = restored->guardrail.meta.enabled;
+    restored->generation = next_generation_++;
+    // Same carry-over policy as a replace: the violation-protocol clocks
+    // describe the monitored property and persist across the swap.
+    restored->stats.in_violation = doomed.stats.in_violation;
+    restored->stats.consecutive_violations = doomed.stats.consecutive_violations;
+    restored->stats.last_action_time = doomed.stats.last_action_time;
+    restored->guard =
+        supervisor_.OnRollback(name, restored->guardrail.meta.health, now_);
+    reporter_.Report(ReportRecord{0, now_, ReportKind::kMonitorError,
+                                  restored->guardrail.meta.severity, name,
+                                  "probation deploy rolled back by supervisor",
+                                  {}});
+    it->second = std::move(restored);
+    ArmTimers(*it->second);
+    RebuildFunctionIndex();
+    OSGUARD_LOG(kDebug) << "rolled back guardrail '" << name
+                        << "' to its pre-deploy version";
+  }
+}
+
 void Engine::RunActions(Monitor& monitor, const Program& program, SimTime t) {
   env_.UpdateEnvelope(monitor.guardrail.name, monitor.guardrail.meta.severity, t);
+  // Supervised monitors run their action programs under the same per-eval
+  // budget as the rule; an over-budget action program is killed mid-flight.
+  ExecBudget budget;
+  const ExecBudget* budget_ptr = nullptr;
+  if (monitor.guard != nullptr) {
+    const GuardrailHealth& cfg = monitor.guard->config;
+    if (cfg.budget_steps > 0 || cfg.budget_ns > 0) {
+      budget.max_steps = cfg.budget_steps;
+      if (cfg.budget_ns > 0) {
+        budget.deadline_wall_ns = WallNowNs() + cfg.budget_ns;
+      }
+      budget_ptr = &budget;
+    }
+  }
+  const uint64_t failures_before =
+      monitor.guard != nullptr ? dispatcher_.failure_count() : 0;
   const int64_t start = options_.measure_wall_time ? WallNowNs() : 0;
-  auto result = vm_.Execute(program, env_);
+  auto result = vm_.Execute(program, env_, budget_ptr);
   if (options_.measure_wall_time) {
     const int64_t elapsed = WallNowNs() - start;
     monitor.stats.action_wall_ns += elapsed;
@@ -445,6 +554,20 @@ void Engine::RunActions(Monitor& monitor, const Program& program, SimTime t) {
                                   monitor.guardrail.meta.severity, monitor.guardrail.name,
                                   result.status().ToString(),
                                   {}});
+  }
+  if (monitor.guard != nullptr) {
+    // Failure events against the breaker: every dispatch chain that exhausted
+    // its retries during this program (counted even when a fallback rescued
+    // the VM-level result), plus one for a program fault with no exhausted
+    // chain behind it (type error, budget abort). An exhausted chain that
+    // also faulted the program counts once, via the dispatcher delta.
+    uint64_t events = dispatcher_.failure_count() - failures_before;
+    if (!result.ok() && events == 0) {
+      events = 1;
+    }
+    if (events > 0) {
+      supervisor_.OnActionFailures(*monitor.guard, monitor.guardrail.name, events, t);
+    }
   }
 }
 
@@ -461,17 +584,81 @@ void Engine::Evaluate(Monitor& monitor, SimTime t) {
 }
 
 void Engine::EvaluateInner(Monitor& monitor, SimTime t) {
+  if (monitor.guard == nullptr) {
+    // Unsupervised fast path: one null check over the pre-supervisor engine.
+    EvaluateCore(monitor, t, GateDecision::kEvaluate);
+    return;
+  }
+  GuardHealth& guard = *monitor.guard;
+  const GateDecision gate = supervisor_.Gate(guard, t);
+  if (guard.rollback_pending) {
+    QueueRollback(monitor);
+    return;
+  }
+  if (gate == GateDecision::kSkip) {
+    return;
+  }
+  EvaluateCore(monitor, t, gate);
+  if (supervisor_.ConsumeQuarantineAction(guard)) {
+    // The breaker just opened: apply the corrective action once as the
+    // quarantine fail-safe default, then suppress evals until a probe
+    // reinstates the guardrail. (The breaker is open, so any failures the
+    // default itself reports cannot re-trip it.)
+    reporter_.Report(ReportRecord{0, t, ReportKind::kMonitorError,
+                                  monitor.guardrail.meta.severity, monitor.guardrail.name,
+                                  "quarantined by supervisor; applying corrective default",
+                                  {}});
+    RunActions(monitor, monitor.guardrail.action, t);
+  }
+  if (guard.rollback_pending) {
+    QueueRollback(monitor);
+  }
+}
+
+void Engine::EvaluateCore(Monitor& monitor, SimTime t, GateDecision gate) {
   MonitorStats& stats = monitor.stats;
   ++stats.evaluations;
   ++stats_.evaluations;
 
   env_.UpdateEnvelope(monitor.guardrail.name, monitor.guardrail.meta.severity, t);
+  GuardHealth* guard = monitor.guard;
+  ExecBudget budget;
+  const ExecBudget* budget_ptr = nullptr;
+  bool injected_budget = false;
+  int64_t steps_before = 0;
+  if (guard != nullptr) {
+    const GuardrailHealth& cfg = guard->config;
+    if (cfg.budget_steps > 0 || cfg.budget_ns > 0) {
+      budget.max_steps = cfg.budget_steps;
+      if (cfg.budget_ns > 0) {
+        budget.deadline_wall_ns = WallNowNs() + cfg.budget_ns;
+      }
+      budget_ptr = &budget;
+    }
+    injected_budget = supervisor_.InjectBudgetExhaust(t);
+    steps_before = vm_.stats().insns_executed;
+  }
   const int64_t start = options_.measure_wall_time ? WallNowNs() : 0;
-  auto result = vm_.Execute(monitor.guardrail.rule, env_);
+  auto result = injected_budget
+                    ? Result<Value>(ResourceExhaustedError(
+                          "rule of guardrail '" + monitor.guardrail.name +
+                          "' aborted by chaos site vm.budget_exhaust"))
+                    : vm_.Execute(monitor.guardrail.rule, env_, budget_ptr);
   if (options_.measure_wall_time) {
     const int64_t elapsed = WallNowNs() - start;
     stats.rule_wall_ns += elapsed;
     stats_.total_wall_ns += elapsed;
+  }
+
+  if (guard != nullptr) {
+    const int64_t steps = vm_.stats().insns_executed - steps_before;
+    EvalOutcome outcome = EvalOutcome::kOk;
+    if (!result.ok()) {
+      outcome = result.status().code() == ErrorCode::kResourceExhausted
+                    ? EvalOutcome::kBudgetExceeded
+                    : EvalOutcome::kError;
+    }
+    supervisor_.OnEvalResult(*guard, monitor.guardrail.name, gate, outcome, steps, t);
   }
 
   if (!result.ok()) {
@@ -495,6 +682,9 @@ void Engine::EvaluateInner(Monitor& monitor, SimTime t) {
                                     monitor.guardrail.meta.severity, monitor.guardrail.name,
                                     "property satisfied again",
                                     {}});
+      if (guard != nullptr) {
+        supervisor_.OnViolationFlip(*guard, monitor.guardrail.name, t);
+      }
       if (!monitor.guardrail.on_satisfy.empty()) {
         RunActions(monitor, monitor.guardrail.on_satisfy, t);
       }
@@ -517,6 +707,7 @@ void Engine::EvaluateInner(Monitor& monitor, SimTime t) {
     ++stats.suppressed_cooldown;
     return;
   }
+  const bool entered_violation = !stats.in_violation;
   stats.in_violation = true;
   stats.last_action_time = t;
   ++stats.action_firings;
@@ -525,6 +716,9 @@ void Engine::EvaluateInner(Monitor& monitor, SimTime t) {
                                 monitor.guardrail.meta.severity, monitor.guardrail.name,
                                 "rule violated",
                                 {}});
+  if (entered_violation && guard != nullptr) {
+    supervisor_.OnViolationFlip(*guard, monitor.guardrail.name, t);
+  }
   RunActions(monitor, monitor.guardrail.action, t);
 }
 

@@ -44,6 +44,7 @@
 #include "src/actions/task_control.h"
 #include "src/runtime/helper_env.h"
 #include "src/store/feature_store.h"
+#include "src/supervisor/supervisor.h"
 #include "src/support/hash.h"
 #include "src/vm/compiler.h"
 #include "src/vm/vm.h"
@@ -98,7 +99,15 @@ class Engine {
   // --- Loading ---
 
   // Installs a compiled guardrail. Re-loading an existing name atomically
-  // replaces it (stats reset, triggers re-armed from the current time).
+  // replaces it: triggers are re-armed from the current time and the
+  // counters reset (they describe the outgoing program version), but the
+  // violation-protocol clocks — in_violation, consecutive_violations,
+  // last_action_time — persist, so a hot replace can neither bypass an
+  // active cooldown nor discard accumulated hysteresis evidence (see
+  // docs/DSL.md "Reload semantics"). If the incoming guardrail carries a
+  // `health { probation = ... }` block, the replace is a staged deployment:
+  // the outgoing program is retained and the supervisor rolls back to it if
+  // the new version's health regresses during the probation window.
   Status Load(CompiledGuardrail guardrail);
 
   // Compiles `source` (full pipeline) and loads every guardrail in it. If
@@ -157,7 +166,13 @@ class Engine {
   // Zero-copy variant: pointer into the live monitor (invalidated by
   // unload/replace), or nullptr if no such monitor. Preferred in bench loops.
   const MonitorStats* FindStats(const std::string& name) const;
+  // The live compiled program of a monitor (invalidated by unload/replace),
+  // or nullptr. Lets tests assert a rollback restored the old bytecode
+  // bit-identically.
+  const CompiledGuardrail* FindGuardrail(const std::string& name) const;
   EngineStats stats() const { return stats_; }
+  GuardrailSupervisor& supervisor() { return supervisor_; }
+  const GuardrailSupervisor& supervisor() const { return supervisor_; }
 
   FeatureStore& store() { return *store_; }
   PolicyRegistry& registry() { return *registry_; }
@@ -172,6 +187,13 @@ class Engine {
     MonitorStats stats;
     bool enabled = true;
     uint64_t generation = 0;  // invalidates queued timer entries on unload
+    // Supervisor record for supervised monitors (owned by the supervisor,
+    // stable for this monitor's lifetime); null = unsupervised, and the
+    // evaluation path pays exactly one null check (off == absent).
+    GuardHealth* guard = nullptr;
+    // Pre-deploy program retained while a probation deploy is under watch.
+    std::unique_ptr<CompiledGuardrail> rollback_snapshot;
+    bool rollback_queued = false;
   };
 
   // Timer entries reference monitors by (name, generation) rather than by
@@ -196,8 +218,13 @@ class Engine {
   void RebuildFunctionIndex();
   void Evaluate(Monitor& monitor, SimTime t);
   void EvaluateInner(Monitor& monitor, SimTime t);
+  void EvaluateCore(Monitor& monitor, SimTime t, GateDecision gate);
   void RunActions(Monitor& monitor, const Program& program, SimTime t);
   void DrainPendingChanges();
+  // Rollbacks are queued during evaluation and applied at callout
+  // boundaries, where no Monitor pointers or trigger references are live.
+  void QueueRollback(Monitor& monitor);
+  void ApplyPendingRollbacks();
 
   FeatureStore* store_;
   PolicyRegistry* registry_;
@@ -230,6 +257,9 @@ class Engine {
   ChaosEngine* chaos_ = nullptr;
   ChaosSiteId callout_drop_site_ = kInvalidChaosSite;
   ChaosSiteId callout_delay_site_ = kInvalidChaosSite;
+  GuardrailSupervisor supervisor_;
+  // (name, generation) of monitors whose probation deploy must roll back.
+  std::vector<std::pair<std::string, uint64_t>> pending_rollbacks_;
   EngineStats stats_;
 };
 

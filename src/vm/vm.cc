@@ -1,6 +1,7 @@
 #include "src/vm/vm.h"
 
 #include <array>
+#include <chrono>
 #include <cmath>
 #include <memory>
 
@@ -204,9 +205,31 @@ inline bool DoCompare(int kind, const Value& lhs, const Value& rhs, bool* out,
   return true;
 }
 
+inline int64_t SteadyNowNs() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+// Wall deadlines are polled every 32 instructions: guardrail programs are
+// typically shorter than that, so max_steps is the precise knob and the
+// deadline only catches pathologically long programs without putting a clock
+// read on every instruction.
+inline bool BudgetExhausted(const ExecBudget& budget, int64_t executed) {
+  if (budget.max_steps > 0 && executed > budget.max_steps) {
+    return true;
+  }
+  if (budget.deadline_wall_ns > 0 && (executed & 31) == 0 &&
+      SteadyNowNs() >= budget.deadline_wall_ns) {
+    return true;
+  }
+  return false;
+}
+
 }  // namespace
 
-Result<Value> Vm::Execute(const Program& program, HelperContext& context) {
+Result<Value> Vm::Execute(const Program& program, HelperContext& context,
+                          const ExecBudget* budget) {
   // Register file: normally the member scratch array (reused across calls so
   // a 1 kHz monitor doesn't churn 64 Value constructions per tick); on
   // re-entrant execution a heap-allocated spare.
@@ -254,6 +277,8 @@ Result<Value> Vm::Execute(const Program& program, HelperContext& context) {
   do {                                                        \
     if (pc >= n) goto lbl_off_end;                            \
     if (++executed > kMaxInstructions) goto lbl_budget;       \
+    if (budget != nullptr && BudgetExhausted(*budget, executed)) \
+      goto lbl_user_budget;                                   \
     insn = &insns[pc];                                        \
     if (static_cast<int>(insn->op) >= kOpCount) goto lbl_bad_op; \
     goto* kDispatch[static_cast<int>(insn->op)];              \
@@ -269,6 +294,7 @@ Result<Value> Vm::Execute(const Program& program, HelperContext& context) {
   for (;;) {
     if (pc >= n) goto lbl_off_end;
     if (++executed > kMaxInstructions) goto lbl_budget;
+    if (budget != nullptr && BudgetExhausted(*budget, executed)) goto lbl_user_budget;
     insn = &insns[pc];
     switch (insn->op) {
 #endif
@@ -545,6 +571,12 @@ lbl_off_end:
 lbl_budget:
   stats_.insns_executed += executed;
   return ExecutionError("program '" + program.name + "' exceeded the instruction budget");
+lbl_user_budget:
+  stats_.insns_executed += executed;
+  ++stats_.budget_aborts;
+  return ResourceExhaustedError("program '" + program.name +
+                                "' exceeded its runtime budget after " +
+                                std::to_string(executed) + " steps");
 lbl_bad_op:
   stats_.insns_executed += executed;
   return ExecutionError("program '" + program.name + "': unknown opcode " +

@@ -15,7 +15,7 @@
 //     "ns_per_eval_mean": <number>   // headline: mean over *_ns_per_eval
 //   }
 //
-// Usage: benchjson [--strict-alloc] [--chaos] [-o FILE]
+// Usage: benchjson [--strict-alloc] [--chaos] [--supervisor] [-o FILE]
 //   --strict-alloc  exit(1) if the steady-state FUNCTION callout loop
 //                   allocates (the zero-allocation trigger-dispatch
 //                   guarantee; a heap-profile assertion, not a timer).
@@ -25,6 +25,16 @@
 //                   guarded vs. unguarded false-submit counts under the
 //                   storm (the guarded count must stay bounded). Exits 1 if
 //                   the guardrail fails to contain the storm.
+//   --supervisor    run the ext7 supervisor experiment instead and emit
+//                   bench "supervisor" (BENCH_supervisor.json): trip rate of
+//                   the undamped E2 oscillating pair with and without the
+//                   flap-detecting breaker, breaker recovery through a
+//                   vm.budget_exhaust storm, probation auto-rollback of a
+//                   budget-blowing deploy, and supervised-vs-bare per-eval
+//                   overhead. Exits 1 if quarantine fails to at least halve
+//                   the oscillation trip rate, the breaker fails to recover,
+//                   the rollback is not bit-identical, or overhead regresses
+//                   past the CI bound (p99 +25%; the design target is 5%).
 
 #include <atomic>
 #include <chrono>
@@ -35,6 +45,9 @@
 #include <string>
 #include <vector>
 
+#include <algorithm>
+
+#include "src/chaos/chaos.h"
 #include "src/linnos/harness.h"
 #include "src/runtime/engine.h"
 #include "src/support/logging.h"
@@ -225,28 +238,231 @@ bool RunChaosBench(std::vector<Metric>& metrics, bool& contained) {
   return true;
 }
 
+// --supervisor: the ext7 supervisor experiment in machine-readable form.
+// Three containment checks plus an overhead regression bound:
+//   (a) the undamped E2 oscillating pair trips at most half as often once the
+//       flap detector can quarantine it (with at least one quarantine);
+//   (b) the breaker rides out a vm.budget_exhaust burst storm — it
+//       quarantines during bursts, probes back, and is closed at the end;
+//   (c) a probation deploy that blows its step budget rolls back exactly once
+//       to the bit-identical pre-deploy program, which keeps evaluating;
+//   (d) an untripped health block costs at most 25% extra p99 per eval over
+//       the identical unsupervised monitor (CI bound; the design target is
+//       5%, and the measured value is emitted for trend tracking).
+bool RunSupervisorBench(std::vector<Metric>& metrics, bool& contained) {
+  const Duration total = Seconds(120);
+
+  // (a) Oscillating pair. The system model is ext2's: a bigger page cache
+  // lowers I/O latency but raises memory pressure; the two guardrails fight
+  // around the crossover point, undamped (no cooldown, hysteresis 1).
+  double trips_per_min[2] = {0.0, 0.0};
+  uint64_t osc_quarantines = 0;
+  for (const bool supervised : {false, true}) {
+    FeatureStore store;
+    PolicyRegistry registry;
+    Engine engine(&store, &registry);
+    const std::string health =
+        supervised ? ",\n  health: { flap_window = 60s, flap_threshold = 4, "
+                     "quarantine = 1, probe_every = 10, reinstate = 4 }\n"
+                   : "\n";
+    (void)engine.LoadSource(
+        "guardrail shrink-on-pressure {\n"
+        "  trigger: { TIMER(1s, 1s) },\n"
+        "  rule: { LOAD_OR(mem_pressure, 0) <= 0.55 },\n"
+        "  action: { SAVE(cache_gb, LOAD_OR(cache_gb, 4) - 2); INCR(trips) }" +
+        health +
+        "}\n"
+        "guardrail grow-on-latency {\n"
+        "  trigger: { TIMER(1s, 1s) },\n"
+        "  rule: { LOAD_OR(io_latency_ms, 0) <= 1.8 },\n"
+        "  action: { SAVE(cache_gb, LOAD_OR(cache_gb, 4) + 2); INCR(trips) }" +
+        health + "}\n");
+    for (SimTime t = 0; t <= total; t += Milliseconds(500)) {
+      const double cache = store.LoadOr("cache_gb", Value(4.0)).NumericOr(4.0);
+      store.Save("mem_pressure", Value(0.10 * cache));
+      store.Save("io_latency_ms", Value(12.0 / (cache + 1.0)));
+      engine.AdvanceTo(t);
+    }
+    trips_per_min[supervised ? 1 : 0] =
+        store.LoadOr("trips", Value(0)).NumericOr(0) / (ToSeconds(total) / 60.0);
+    if (supervised) {
+      osc_quarantines = engine.supervisor().stats().quarantines;
+    }
+  }
+  metrics.push_back(Metric{"osc_trips_per_min_bare", trips_per_min[0], "per_min"});
+  metrics.push_back(Metric{"osc_trips_per_min_supervised", trips_per_min[1], "per_min"});
+  metrics.push_back(
+      Metric{"osc_quarantines", static_cast<double>(osc_quarantines), "count"});
+  const bool osc_ok = osc_quarantines >= 1 && trips_per_min[0] > 0.0 &&
+                      trips_per_min[1] <= 0.5 * trips_per_min[0];
+
+  // (b) Budget-exhaust storm: 2s bursts every 25s (8% duty) force every
+  // supervised eval inside the windows into a budget abort.
+  bool storm_ok = false;
+  {
+    FeatureStore store;
+    PolicyRegistry registry;
+    Engine engine(&store, &registry);
+    ChaosEngine chaos_engine(1729);
+    engine.SetChaos(&chaos_engine);
+    (void)engine.LoadSource(R"(
+      guardrail storm-watch {
+        trigger: { TIMER(1s, 1s) },
+        rule: { LOAD_OR(x, 0) <= 100 },
+        action: { REPORT("storm-watch") },
+        health: { quarantine = 1, probe_every = 4, reinstate = 1 }
+      }
+      chaos { site vm.budget_exhaust { mode = burst, period = 25s, burst = 2s } }
+    )");
+    engine.AdvanceTo(total);
+    const SupervisorStats& stats = engine.supervisor().stats();
+    const GuardHealth* guard = engine.supervisor().Find("storm-watch");
+    const bool closed = guard != nullptr && guard->state == BreakerState::kClosed;
+    metrics.push_back(Metric{"storm_budget_aborts",
+                             static_cast<double>(stats.budget_aborts), "count"});
+    metrics.push_back(
+        Metric{"storm_quarantines", static_cast<double>(stats.quarantines), "count"});
+    metrics.push_back(Metric{"storm_reinstatements",
+                             static_cast<double>(stats.reinstatements), "count"});
+    metrics.push_back(
+        Metric{"storm_skipped_evals", static_cast<double>(stats.skipped_evals), "count"});
+    metrics.push_back(Metric{"storm_breaker_closed_at_end", closed ? 1.0 : 0.0, "bool"});
+    storm_ok = stats.quarantines >= 1 && stats.reinstatements >= 1 && closed;
+  }
+
+  // (c) Probation deploy + auto-rollback.
+  bool rollback_ok = false;
+  {
+    FeatureStore store;
+    PolicyRegistry registry;
+    Engine engine(&store, &registry);
+    (void)engine.LoadSource(R"(
+      guardrail deploy {
+        trigger: { TIMER(1s, 1s) },
+        rule: { LOAD_OR(x, 0) <= 100 },
+        action: { REPORT("v1") },
+        health: { quarantine = 3 }
+      }
+    )");
+    engine.AdvanceTo(Seconds(5));
+    const std::string v1 = engine.FindGuardrail("deploy")->rule.Disassemble();
+    (void)engine.LoadSource(R"(
+      guardrail deploy {
+        trigger: { TIMER(1s, 1s) },
+        rule: { LOAD_OR(x, 0) <= 99 },
+        action: { REPORT("v2") },
+        health: { budget_steps = 1, quarantine = 2, probation = 60s }
+      }
+    )");
+    engine.AdvanceTo(Seconds(10));
+    const uint64_t rollbacks = engine.supervisor().stats().rollbacks;
+    const CompiledGuardrail* live = engine.FindGuardrail("deploy");
+    const bool identical = live != nullptr && live->rule.Disassemble() == v1;
+    const uint64_t evals_at_rollback = engine.stats().evaluations;
+    engine.AdvanceTo(Seconds(20));
+    const uint64_t evals_after = engine.stats().evaluations - evals_at_rollback;
+    metrics.push_back(
+        Metric{"probation_rollbacks", static_cast<double>(rollbacks), "count"});
+    metrics.push_back(
+        Metric{"probation_restored_bit_identical", identical ? 1.0 : 0.0, "bool"});
+    metrics.push_back(
+        Metric{"probation_evals_after_rollback", static_cast<double>(evals_after), "count"});
+    rollback_ok = rollbacks == 1 && identical && evals_after > 0;
+  }
+
+  // (d) Supervision overhead on an untripped monitor: batches of 1000 evals
+  // (one simulated second on a 1ms timer) against the identical monitor with
+  // no health block.
+  double p99_us[2] = {0.0, 0.0};
+  for (const bool supervised : {false, true}) {
+    FeatureStore store;
+    PolicyRegistry registry;
+    EngineOptions options;
+    options.measure_wall_time = false;
+    Engine engine(&store, &registry, nullptr, options);
+    const std::string health =
+        supervised ? ",\n  health: { budget_steps = 1000000, quarantine = 1000000, "
+                     "flap_threshold = 1000000 }\n"
+                   : "\n";
+    (void)engine.LoadSource(
+        "guardrail hot {\n"
+        "  trigger: { TIMER(1ms, 1ms) },\n"
+        "  rule: { LOAD_OR(x, 0) <= 100 },\n"
+        "  action: { REPORT() }" +
+        health + "}\n");
+    engine.AdvanceTo(Seconds(1));  // warm-up
+    constexpr int kBatches = 100;
+    std::vector<double> samples;
+    samples.reserve(kBatches);
+    for (int b = 0; b < kBatches; ++b) {
+      const int64_t start = WallNs();
+      engine.AdvanceTo(Seconds(2 + b));
+      samples.push_back(static_cast<double>(WallNs() - start) / 1000.0);
+    }
+    std::sort(samples.begin(), samples.end());
+    p99_us[supervised ? 1 : 0] =
+        samples[static_cast<size_t>(static_cast<double>(samples.size() - 1) * 0.99)];
+  }
+  const double overhead_pct =
+      p99_us[0] > 0.0 ? 100.0 * (p99_us[1] - p99_us[0]) / p99_us[0] : 0.0;
+  metrics.push_back(Metric{"overhead_p99_us_per_kbatch_bare", p99_us[0], "us"});
+  metrics.push_back(Metric{"overhead_p99_us_per_kbatch_supervised", p99_us[1], "us"});
+  metrics.push_back(Metric{"overhead_p99_pct", overhead_pct, "percent"});
+  const bool overhead_ok = overhead_pct <= 25.0;
+
+  if (!osc_ok) {
+    std::fprintf(stderr, "benchjson: --supervisor: quarantine failed to halve the "
+                         "oscillation trip rate\n");
+  }
+  if (!storm_ok) {
+    std::fprintf(stderr,
+                 "benchjson: --supervisor: breaker did not recover from the storm\n");
+  }
+  if (!rollback_ok) {
+    std::fprintf(stderr, "benchjson: --supervisor: probation rollback missing or not "
+                         "bit-identical\n");
+  }
+  if (!overhead_ok) {
+    std::fprintf(stderr,
+                 "benchjson: --supervisor: p99 overhead %.1f%% exceeds the 25%% CI "
+                 "bound (design target 5%%)\n",
+                 overhead_pct);
+  }
+  contained = osc_ok && storm_ok && rollback_ok && overhead_ok;
+  return true;
+}
+
 int Main(int argc, char** argv) {
   Logger::Global().set_level(LogLevel::kOff);
   bool strict_alloc = false;
   bool chaos = false;
+  bool supervisor = false;
   const char* out_path = nullptr;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--strict-alloc") == 0) {
       strict_alloc = true;
     } else if (std::strcmp(argv[i], "--chaos") == 0) {
       chaos = true;
+    } else if (std::strcmp(argv[i], "--supervisor") == 0) {
+      supervisor = true;
     } else if (std::strcmp(argv[i], "-o") == 0 && i + 1 < argc) {
       out_path = argv[++i];
     } else {
-      std::fprintf(stderr, "usage: benchjson [--strict-alloc] [--chaos] [-o FILE]\n");
+      std::fprintf(stderr,
+                   "usage: benchjson [--strict-alloc] [--chaos] [--supervisor] [-o FILE]\n");
       return 2;
     }
   }
 
   std::vector<Metric> metrics;
   bool chaos_contained = true;
+  bool supervisor_contained = true;
   if (chaos) {
     if (!RunChaosBench(metrics, chaos_contained)) {
+      return 1;
+    }
+  } else if (supervisor) {
+    if (!RunSupervisorBench(metrics, supervisor_contained)) {
       return 1;
     }
   } else {
@@ -265,7 +481,8 @@ int Main(int argc, char** argv) {
   }
   const double mean = eval_count > 0 ? eval_sum / eval_count : 0.0;
 
-  std::string json = std::string("{\n  \"bench\": \"") + (chaos ? "chaos" : "hotpath") +
+  const char* bench_name = chaos ? "chaos" : (supervisor ? "supervisor" : "hotpath");
+  std::string json = std::string("{\n  \"bench\": \"") + bench_name +
                      "\",\n  \"schema_version\": 1,\n  \"metrics\": [\n";
   for (size_t i = 0; i < metrics.size(); ++i) {
     char line[256];
@@ -279,6 +496,9 @@ int Main(int argc, char** argv) {
   if (chaos) {
     std::snprintf(tail, sizeof(tail), "  ],\n  \"storm_contained\": %s\n}\n",
                   chaos_contained ? "true" : "false");
+  } else if (supervisor) {
+    std::snprintf(tail, sizeof(tail), "  ],\n  \"supervisor_contained\": %s\n}\n",
+                  supervisor_contained ? "true" : "false");
   } else {
     std::snprintf(tail, sizeof(tail), "  ],\n  \"ns_per_eval_mean\": %.2f\n}\n", mean);
   }
@@ -298,6 +518,12 @@ int Main(int argc, char** argv) {
   if (chaos && !chaos_contained) {
     std::fprintf(stderr,
                  "benchjson: FAIL --chaos: guardrail did not contain the fault storm\n");
+    return 1;
+  }
+  if (supervisor && !supervisor_contained) {
+    std::fprintf(stderr,
+                 "benchjson: FAIL --supervisor: supervisor containment or overhead "
+                 "check failed\n");
     return 1;
   }
   if (strict_alloc) {
