@@ -65,6 +65,18 @@ struct GuardrailHealth {
   double ewma_alpha = 0.2;
 };
 
+// Per-guardrail execution-tier hint from the meta block: `auto` (default)
+// lets the engine promote hot monitors to the native AOT tier, `interpreter`
+// pins the monitor to the bytecode VM, `native` asks for promotion at the
+// first evaluation. Purely a scheduling hint — results are tier-invariant.
+enum class TierHint {
+  kAuto = 0,
+  kInterpreter,
+  kNative,
+};
+
+std::string_view TierHintName(TierHint tier);
+
 // Validated per-guardrail attributes from the meta block (with defaults).
 struct GuardrailMeta {
   Severity severity = Severity::kWarning;
@@ -77,6 +89,7 @@ struct GuardrailMeta {
   int hysteresis = 1;
   bool enabled = true;
   std::string description;
+  TierHint tier = TierHint::kAuto;
   // Supervisor configuration (default: unsupervised). Carried inside meta so
   // it flows through compilation to the runtime untouched.
   GuardrailHealth health;

@@ -132,11 +132,22 @@ Engine::Engine(FeatureStore* store, PolicyRegistry* registry, TaskControl* task_
       reporter_(options.reporter_capacity),
       retrain_queue_(options.retrain),
       dispatcher_(&reporter_, registry, &retrain_queue_, task_control),
-      env_(store, &dispatcher_) {
+      env_(store, &dispatcher_),
+      native_exec_(&env_) {
   dispatcher_.SetStore(store);  // publishes the actions.* failure counters
   supervisor_.SetStore(store);  // publishes the supervisor.* health keys
   pending_changes_.reserve(64);
   drain_batch_.reserve(64);
+  if (options_.tier.enabled) {
+    aot_ = std::make_unique<NativeAot>(NativeAotOptions{
+        .compiler = options_.tier.compiler, .cache_dir = options_.tier.cache_dir});
+    gk_tier_promotions_ = store_->InternKey("engine.tier.promotions");
+    gk_tier_demotions_ = store_->InternKey("engine.tier.demotions");
+    gk_tier_native_evals_ = store_->InternKey("engine.tier.native_evals");
+    gk_tier_interp_evals_ = store_->InternKey("engine.tier.interp_evals");
+    tier_dirty_ = true;
+    PublishTierStats();  // keys exist (as zeros) from the start
+  }
 }
 
 void Engine::ArmTimers(Monitor& monitor) {
@@ -241,6 +252,15 @@ Status Engine::Load(CompiledGuardrail guardrail) {
   }
   monitor->guard = supervisor_.OnLoad(name, health, now_, replacing,
                                       replacing ? existing->second->guard : nullptr);
+  if (options_.tier.enabled) {
+    // Per-monitor tier state mirrors the supervisor.* convention: 0 while
+    // interpreted, 1 once promoted to the native object.
+    monitor->tier_key = store_->InternKey("engine.tier." + name);
+    monitor->promote_at = monitor->guardrail.meta.tier == TierHint::kNative
+                              ? 0
+                              : options_.tier.promote_after;
+    store_->Save(monitor->tier_key, Value(static_cast<int64_t>(0)));
+  }
   monitors_[name] = std::move(monitor);  // replace-by-name is the update path
   ArmTimers(*monitors_[name]);
   RebuildFunctionIndex();
@@ -359,6 +379,7 @@ void Engine::AdvanceTo(SimTime t) {
     ApplyPendingRollbacks();
   }
   now_ = std::max(now_, t);
+  PublishTierStats();
 }
 
 void Engine::OnFunctionCall(std::string_view function, SimTime t) {
@@ -391,6 +412,7 @@ void Engine::OnFunctionCall(std::string_view function, SimTime t) {
     }
   }
   ApplyPendingRollbacks();  // after the loop: `it` is dead past this point
+  PublishTierStats();
 }
 
 void Engine::OnStoreWrite(KeyId id) {
@@ -522,6 +544,130 @@ void Engine::ApplyPendingRollbacks() {
   }
 }
 
+bool Engine::TierOf(const std::string& name) const {
+  auto it = monitors_.find(name);
+  return it != monitors_.end() && it->second->promoted;
+}
+
+void Engine::MaybePromote(Monitor& monitor) {
+  if (monitor.promoted || monitor.native_failed) {
+    return;
+  }
+  if (monitor.guardrail.meta.tier == TierHint::kInterpreter) {
+    monitor.native_failed = true;  // pinned; stop re-checking every eval
+    return;
+  }
+  const GuardHealth* guard = monitor.guard;
+  if (guard != nullptr) {
+    if (guard->config.budget_steps > 0) {
+      // A step cap demands the interpreter's exact mid-program abort point;
+      // native code only polls budgets at helper escapes. The cap never
+      // lifts for this program version, so stop considering it.
+      monitor.native_failed = true;
+      return;
+    }
+    if (guard->in_probation) {
+      // A probation deploy gathers health evidence on the tier it will keep
+      // after the window closes; defer promotion, don't forbid it.
+      return;
+    }
+  }
+  if (monitor.stats.evaluations < monitor.promote_at) {
+    return;
+  }
+  if (aot_ == nullptr || !aot_->Available()) {
+    monitor.native_failed = true;
+    return;
+  }
+  auto compiled = aot_->Compile(monitor.guardrail);
+  if (!compiled.ok()) {
+    monitor.native_failed = true;
+    ++tier_stats_.compile_failures;
+    OSGUARD_LOG(kDebug) << "native compile failed for '" << monitor.guardrail.name
+                        << "': " << compiled.status().ToString();
+    return;
+  }
+  monitor.native = std::move(compiled.value());
+  monitor.nat_rule_consts = NativeExec::PrepareConsts(monitor.guardrail.rule);
+  monitor.nat_action_consts = NativeExec::PrepareConsts(monitor.guardrail.action);
+  if (!monitor.guardrail.on_satisfy.empty()) {
+    monitor.nat_satisfy_consts = NativeExec::PrepareConsts(monitor.guardrail.on_satisfy);
+  }
+  monitor.promoted = true;
+  ++tier_stats_.promotions;
+  tier_dirty_ = true;
+  if (monitor.tier_key != kInvalidKeyId) {
+    store_->Save(monitor.tier_key, Value(static_cast<int64_t>(1)));
+  }
+  OSGUARD_LOG(kDebug) << "promoted guardrail '" << monitor.guardrail.name
+                      << "' to the native tier (object " << monitor.native->content_hash
+                      << ")";
+}
+
+void Engine::Demote(Monitor& monitor) {
+  if (!monitor.promoted) {
+    return;
+  }
+  monitor.promoted = false;
+  // Re-promotion barrier: a demoted monitor must prove itself hot again from
+  // here, not inherit the heat that preceded the demotion.
+  monitor.promote_at = monitor.stats.evaluations + options_.tier.promote_after;
+  ++tier_stats_.demotions;
+  tier_dirty_ = true;
+  if (monitor.tier_key != kInvalidKeyId) {
+    store_->Save(monitor.tier_key, Value(static_cast<int64_t>(0)));
+  }
+}
+
+Result<Value> Engine::ExecProgram(Monitor& monitor, const Program& program,
+                                  const ExecBudget* budget) {
+  // Native only when step accounting cannot abort mid-program (no step cap)
+  // and no native frame is already live (actions re-enter via the rule's
+  // frame; the interpreter handles the nested program).
+  if (monitor.promoted && monitor.native != nullptr && !native_exec_.running() &&
+      (budget == nullptr || budget->max_steps == 0) &&
+      (monitor.guard == nullptr || !monitor.guard->in_probation)) {
+    NativeObject::EntryFn fn = nullptr;
+    const std::vector<osg_value>* consts = nullptr;
+    if (&program == &monitor.guardrail.rule) {
+      fn = monitor.native->rule;
+      consts = &monitor.nat_rule_consts;
+    } else if (&program == &monitor.guardrail.action) {
+      fn = monitor.native->action;
+      consts = &monitor.nat_action_consts;
+    } else if (&program == &monitor.guardrail.on_satisfy) {
+      fn = monitor.native->on_satisfy;
+      consts = &monitor.nat_satisfy_consts;
+    }
+    if (fn != nullptr) {
+      ++tier_stats_.native_evals;
+      tier_dirty_ = true;
+      return native_exec_.Run(fn, program, consts->data(), budget,
+                              &vm_.mutable_stats());
+    }
+  }
+  if (options_.tier.enabled) {
+    ++tier_stats_.interp_evals;
+    tier_dirty_ = true;
+  }
+  return vm_.Execute(program, env_, budget);
+}
+
+void Engine::PublishTierStats() {
+  // Deferred out of evaluation: a Save here while a monitor runs would feed
+  // the ONCHANGE queue mid-eval. AdvanceTo / OnFunctionCall flush instead.
+  if (evaluating_ || !tier_dirty_ || gk_tier_promotions_ == kInvalidKeyId) {
+    return;
+  }
+  tier_dirty_ = false;
+  store_->Save(gk_tier_promotions_, Value(static_cast<int64_t>(tier_stats_.promotions)));
+  store_->Save(gk_tier_demotions_, Value(static_cast<int64_t>(tier_stats_.demotions)));
+  store_->Save(gk_tier_native_evals_,
+               Value(static_cast<int64_t>(tier_stats_.native_evals)));
+  store_->Save(gk_tier_interp_evals_,
+               Value(static_cast<int64_t>(tier_stats_.interp_evals)));
+}
+
 void Engine::RunActions(Monitor& monitor, const Program& program, SimTime t) {
   env_.UpdateEnvelope(monitor.guardrail.name, monitor.guardrail.meta.severity, t);
   // Supervised monitors run their action programs under the same per-eval
@@ -541,7 +687,7 @@ void Engine::RunActions(Monitor& monitor, const Program& program, SimTime t) {
   const uint64_t failures_before =
       monitor.guard != nullptr ? dispatcher_.failure_count() : 0;
   const int64_t start = options_.measure_wall_time ? WallNowNs() : 0;
-  auto result = vm_.Execute(program, env_, budget_ptr);
+  auto result = ExecProgram(monitor, program, budget_ptr);
   if (options_.measure_wall_time) {
     const int64_t elapsed = WallNowNs() - start;
     monitor.stats.action_wall_ns += elapsed;
@@ -600,6 +746,10 @@ void Engine::EvaluateInner(Monitor& monitor, SimTime t) {
   }
   EvaluateCore(monitor, t, gate);
   if (supervisor_.ConsumeQuarantineAction(guard)) {
+    // A quarantined monitor drops back to the interpreter: whatever tripped
+    // the breaker deserves the tier with exact step accounting and no native
+    // frame in the way while the supervisor probes it back to health.
+    Demote(monitor);
     // The breaker just opened: apply the corrective action once as the
     // quarantine fail-safe default, then suppress evals until a probe
     // reinstates the guardrail. (The breaker is open, so any failures the
@@ -619,6 +769,9 @@ void Engine::EvaluateCore(Monitor& monitor, SimTime t, GateDecision gate) {
   MonitorStats& stats = monitor.stats;
   ++stats.evaluations;
   ++stats_.evaluations;
+  if (options_.tier.enabled) {
+    MaybePromote(monitor);
+  }
 
   env_.UpdateEnvelope(monitor.guardrail.name, monitor.guardrail.meta.severity, t);
   GuardHealth* guard = monitor.guard;
@@ -643,7 +796,7 @@ void Engine::EvaluateCore(Monitor& monitor, SimTime t, GateDecision gate) {
                     ? Result<Value>(ResourceExhaustedError(
                           "rule of guardrail '" + monitor.guardrail.name +
                           "' aborted by chaos site vm.budget_exhaust"))
-                    : vm_.Execute(monitor.guardrail.rule, env_, budget_ptr);
+                    : ExecProgram(monitor, monitor.guardrail.rule, budget_ptr);
   if (options_.measure_wall_time) {
     const int64_t elapsed = WallNowNs() - start;
     stats.rule_wall_ns += elapsed;

@@ -43,10 +43,12 @@
 #include "src/actions/retrain.h"
 #include "src/actions/task_control.h"
 #include "src/runtime/helper_env.h"
+#include "src/runtime/native_exec.h"
 #include "src/store/feature_store.h"
 #include "src/supervisor/supervisor.h"
 #include "src/support/hash.h"
 #include "src/vm/compiler.h"
+#include "src/vm/native_aot.h"
 #include "src/vm/vm.h"
 
 namespace osguard {
@@ -80,12 +82,40 @@ struct EngineStats {
   int64_t total_wall_ns = 0;  // rule + action host-clock cost across monitors
 };
 
+// Native AOT tier configuration. Off by default: deterministic unit tests
+// and replays should not depend on a host compiler being present. When
+// enabled, hot monitors are promoted from the bytecode interpreter to
+// AOT-compiled shared objects; results, reports, stats, and chaos replays
+// are bit-identical across tiers (see docs/NATIVE.md).
+struct NativeTierOptions {
+  bool enabled = false;
+  // Evaluations before a monitor is promoted. A `meta { tier = native }`
+  // hint promotes at the first evaluation; `tier = interpreter` never
+  // promotes. After a demotion the monitor must re-earn promotion with this
+  // many further interpreted evaluations.
+  uint64_t promote_after = 64;
+  // Passed through to NativeAotOptions (empty = environment defaults).
+  std::string compiler;
+  std::string cache_dir;
+};
+
+// Cumulative tier activity, exported as engine.tier.* feature-store keys
+// (mirroring the supervisor.* convention) at callout boundaries.
+struct TierStats {
+  uint64_t promotions = 0;
+  uint64_t demotions = 0;
+  uint64_t native_evals = 0;  // program executions on the native tier
+  uint64_t interp_evals = 0;  // program executions on the interpreter
+  uint64_t compile_failures = 0;
+};
+
 struct EngineOptions {
   size_t reporter_capacity = 4096;
   RetrainQueueOptions retrain;
   // Measure per-evaluation host-clock cost (small overhead itself; the E1
   // bench turns it on, unit tests don't care).
   bool measure_wall_time = true;
+  NativeTierOptions tier;
 };
 
 class Engine {
@@ -181,6 +211,13 @@ class Engine {
   ActionDispatcher& dispatcher() { return dispatcher_; }
   Vm& vm() { return vm_; }
 
+  // Native tier introspection. tier_stats() is live; native_aot() is null
+  // unless the tier was enabled in EngineOptions. TierOf returns whether a
+  // monitor currently runs native (false for unknown names).
+  const TierStats& tier_stats() const { return tier_stats_; }
+  NativeAot* native_aot() { return aot_.get(); }
+  bool TierOf(const std::string& name) const;
+
  private:
   struct Monitor {
     CompiledGuardrail guardrail;
@@ -194,6 +231,20 @@ class Engine {
     // Pre-deploy program retained while a probation deploy is under watch.
     std::unique_ptr<CompiledGuardrail> rollback_snapshot;
     bool rollback_queued = false;
+
+    // --- Native tier state ---
+    bool promoted = false;       // currently executing on the native tier
+    bool native_failed = false;  // AOT compile failed once: stay interpreted
+    // stats.evaluations threshold for (re-)promotion; demotions push it back
+    // by promote_after so a demoted monitor re-earns its promotion.
+    uint64_t promote_at = 0;
+    std::shared_ptr<NativeObject> native;
+    // ABI-converted constant pools (handles point into `guardrail`, which is
+    // immutable and pointer-stable for this monitor generation).
+    std::vector<osg_value> nat_rule_consts;
+    std::vector<osg_value> nat_action_consts;
+    std::vector<osg_value> nat_satisfy_consts;
+    KeyId tier_key = kInvalidKeyId;  // engine.tier.<name> export slot
   };
 
   // Timer entries reference monitors by (name, generation) rather than by
@@ -220,6 +271,16 @@ class Engine {
   void EvaluateInner(Monitor& monitor, SimTime t);
   void EvaluateCore(Monitor& monitor, SimTime t, GateDecision gate);
   void RunActions(Monitor& monitor, const Program& program, SimTime t);
+  // Tier-dispatching program execution: runs `program` natively when the
+  // monitor is promoted and the budget/replay constraints allow it, falling
+  // back to the interpreter otherwise. Results are tier-invariant.
+  Result<Value> ExecProgram(Monitor& monitor, const Program& program,
+                            const ExecBudget* budget);
+  void MaybePromote(Monitor& monitor);
+  void Demote(Monitor& monitor);
+  // Writes the engine.tier.* counters to the store. No-op mid-evaluation
+  // (callout boundaries only) and when nothing changed.
+  void PublishTierStats();
   void DrainPendingChanges();
   // Rollbacks are queued during evaluation and applied at callout
   // boundaries, where no Monitor pointers or trigger references are live.
@@ -261,6 +322,16 @@ class Engine {
   // (name, generation) of monitors whose probation deploy must roll back.
   std::vector<std::pair<std::string, uint64_t>> pending_rollbacks_;
   EngineStats stats_;
+
+  // --- Native tier ---
+  std::unique_ptr<NativeAot> aot_;  // null unless options_.tier.enabled
+  NativeExec native_exec_;
+  TierStats tier_stats_;
+  bool tier_dirty_ = false;  // counters changed since the last publish
+  KeyId gk_tier_promotions_ = kInvalidKeyId;
+  KeyId gk_tier_demotions_ = kInvalidKeyId;
+  KeyId gk_tier_native_evals_ = kInvalidKeyId;
+  KeyId gk_tier_interp_evals_ = kInvalidKeyId;
 };
 
 }  // namespace osguard

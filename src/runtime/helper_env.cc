@@ -13,29 +13,6 @@ Result<double> NumericArg(const Value& v, const char* what) {
   return v.NumericOr(0.0);
 }
 
-AggKind AggKindFor(HelperId id) {
-  switch (id) {
-    case HelperId::kCount:
-      return AggKind::kCount;
-    case HelperId::kSum:
-      return AggKind::kSum;
-    case HelperId::kMean:
-      return AggKind::kMean;
-    case HelperId::kMinAgg:
-      return AggKind::kMin;
-    case HelperId::kMaxAgg:
-      return AggKind::kMax;
-    case HelperId::kStdDev:
-      return AggKind::kStdDev;
-    case HelperId::kRate:
-      return AggKind::kRate;
-    case HelperId::kNewest:
-      return AggKind::kNewest;
-    default:
-      return AggKind::kOldest;
-  }
-}
-
 // Store/aggregate keys arrive as string Values; view them in place — the
 // helper protocol never needs an owned copy.
 Result<std::string_view> KeyArg(const Value& v) {
@@ -208,7 +185,7 @@ Result<Value> MonitorHelperEnv::AggregateHelper(HelperId id, std::span<const Val
   }
   OSGUARD_ASSIGN_OR_RETURN(double window, NumericArg(args[1], "aggregate window"));
   auto result =
-      store_->Aggregate(key, AggKindFor(id), static_cast<Duration>(window), envelope_.now);
+      store_->Aggregate(key, AggKindForHelper(id), static_cast<Duration>(window), envelope_.now);
   if (!result.ok()) {
     return Value();  // nil on empty window / missing series
   }
@@ -232,7 +209,7 @@ Result<Value> MonitorHelperEnv::AggregateHelperKeyed(HelperId id, KeyId key,
   }
   OSGUARD_ASSIGN_OR_RETURN(double window, NumericArg(args[1], "aggregate window"));
   auto result =
-      store_->Aggregate(key, AggKindFor(id), static_cast<Duration>(window), envelope_.now);
+      store_->Aggregate(key, AggKindForHelper(id), static_cast<Duration>(window), envelope_.now);
   if (!result.ok()) {
     return Value();  // nil on empty window / missing series
   }

@@ -1,0 +1,503 @@
+#include "src/runtime/native_exec.h"
+
+#include <chrono>
+#include <utility>
+
+#include "src/vm/vm_ops.h"
+
+namespace osguard {
+namespace {
+
+inline int64_t SteadyNowNs() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+inline NativeExec* Self(osg_ctx* ctx) { return static_cast<NativeExec*>(ctx->host); }
+
+// OSG_OP_* -> Op for the generic arithmetic escape.
+inline Op BinOpFor(int code) {
+  switch (code) {
+    case OSG_OP_ADD:
+      return Op::kAdd;
+    case OSG_OP_SUB:
+      return Op::kSub;
+    case OSG_OP_MUL:
+      return Op::kMul;
+    case OSG_OP_DIV:
+      return Op::kDiv;
+    default:
+      return Op::kMod;
+  }
+}
+
+}  // namespace
+
+std::vector<osg_value> NativeExec::PrepareConsts(const Program& program) {
+  std::vector<osg_value> pool(program.consts.size());
+  for (size_t i = 0; i < program.consts.size(); ++i) {
+    const Value& v = program.consts[i];
+    osg_value& out = pool[i];
+    out.kind = OSG_NIL;
+    out.i = 0;
+    out.f = 0.0;
+    out.h = nullptr;
+    switch (v.type()) {
+      case ValueType::kNil:
+        break;
+      case ValueType::kInt:
+        out.kind = OSG_INT;
+        out.i = *v.IfInt();
+        break;
+      case ValueType::kFloat:
+        out.kind = OSG_FLOAT;
+        out.f = *v.IfFloat();
+        break;
+      case ValueType::kBool:
+        out.kind = OSG_BOOL;
+        out.i = *v.IfBool() ? 1 : 0;
+        break;
+      case ValueType::kString:
+        out.kind = OSG_STR;
+        out.h = &v;
+        out.i = v.IfString()->empty() ? 0 : 1;
+        break;
+      case ValueType::kList:
+        out.kind = OSG_LIST;
+        out.h = &v;
+        out.i = v.IfList()->empty() ? 0 : 1;
+        break;
+    }
+  }
+  return pool;
+}
+
+void NativeExec::ToHost(const osg_value& v, Value* out) const {
+  switch (v.kind) {
+    case OSG_INT:
+      *out = Value(static_cast<int64_t>(v.i));
+      break;
+    case OSG_FLOAT:
+      *out = Value(v.f);
+      break;
+    case OSG_BOOL:
+      *out = Value(v.i != 0);
+      break;
+    case OSG_STR:
+    case OSG_LIST:
+      *out = *static_cast<const Value*>(v.h);
+      break;
+    default:
+      *out = Value();
+      break;
+  }
+}
+
+int NativeExec::Stash(Value&& v, osg_value* out) {
+  switch (v.type()) {
+    case ValueType::kNil:
+      osg_set_nil(out);
+      return 1;
+    case ValueType::kInt:
+      osg_set_int(out, *v.IfInt());
+      return 1;
+    case ValueType::kFloat:
+      osg_set_float(out, *v.IfFloat());
+      return 1;
+    case ValueType::kBool:
+      osg_set_bool(out, *v.IfBool() ? 1 : 0);
+      return 1;
+    case ValueType::kString: {
+      temporaries_.push_back(std::move(v));
+      const Value& stable = temporaries_.back();
+      out->kind = OSG_STR;
+      out->i = stable.IfString()->empty() ? 0 : 1;
+      out->f = 0.0;
+      out->h = &stable;
+      return 1;
+    }
+    case ValueType::kList: {
+      temporaries_.push_back(std::move(v));
+      const Value& stable = temporaries_.back();
+      out->kind = OSG_LIST;
+      out->i = stable.IfList()->empty() ? 0 : 1;
+      out->f = 0.0;
+      out->h = &stable;
+      return 1;
+    }
+  }
+  osg_set_nil(out);
+  return 1;
+}
+
+int NativeExec::FailPlain(Status status) {
+  fault_ = std::move(status);
+  return 0;
+}
+
+int NativeExec::FailHelper(const Status& status) {
+  // Interpreter's kCall/kCallKeyed failure wrapping, verbatim.
+  fault_ = ExecutionError("program '" + program_->name + "': helper failed: " +
+                          status.ToString());
+  return 0;
+}
+
+int NativeExec::HelperPrologue(osg_ctx* ctx) {
+  // The interpreter polls wall deadlines between instructions; native code
+  // polls at helper escapes, which every store/action touch passes through.
+  // Guardrail programs are loop-free, so the pure-compute stretch between
+  // escapes is bounded by the program length.
+  if (budget_ != nullptr && budget_->deadline_wall_ns > 0 &&
+      SteadyNowNs() >= budget_->deadline_wall_ns) {
+    budget_abort_ = true;
+    fault_ = ResourceExhaustedError("program '" + program_->name +
+                                    "' exceeded its runtime budget after " +
+                                    std::to_string(ctx->steps) + " steps");
+    return 0;
+  }
+  ++helper_calls_;
+  return 1;
+}
+
+int NativeExec::NumericOsg(const osg_value& v, const char* what, double* out) {
+  switch (v.kind) {
+    case OSG_INT:
+      *out = static_cast<double>(v.i);
+      return 1;
+    case OSG_FLOAT:
+      *out = v.f;
+      return 1;
+    case OSG_BOOL:
+      *out = v.i != 0 ? 1.0 : 0.0;
+      return 1;
+    default: {
+      Value host;
+      ToHost(v, &host);
+      return FailHelper(InvalidArgumentError(std::string(what) +
+                                             " is not numeric: " + host.ToString()));
+    }
+  }
+}
+
+int NativeExec::Fallback(HelperId id, const osg_value* args, int nargs, osg_value* out) {
+  // Slot the store never interned: the interpreter routes these through the
+  // unchecked string path (the keyed call already drew its chaos decision).
+  for (int i = 0; i < nargs; ++i) {
+    ToHost(args[i], &argbuf_[static_cast<size_t>(i)]);
+  }
+  auto result =
+      env_->CallHelperUnchecked(id, std::span<const Value>(argbuf_.data(),
+                                                           static_cast<size_t>(nargs)));
+  if (!result.ok()) {
+    return FailHelper(result.status());
+  }
+  return Stash(std::move(result).value(), out);
+}
+
+int NativeExec::OpCall(osg_ctx* ctx, int helper, unsigned slot, const osg_value* args,
+                       int nargs, osg_value* out) {
+  NativeExec* self = Self(ctx);
+  if (!self->HelperPrologue(ctx)) {
+    return 0;
+  }
+  for (int i = 0; i < nargs; ++i) {
+    self->ToHost(args[i], &self->argbuf_[static_cast<size_t>(i)]);
+  }
+  const std::span<const Value> span(self->argbuf_.data(), static_cast<size_t>(nargs));
+  const HelperId id = static_cast<HelperId>(helper);
+  auto result = slot == OSG_NO_SLOT ? self->env_->CallHelper(id, span)
+                                    : self->env_->CallHelperKeyed(id, slot, span);
+  if (!result.ok()) {
+    return self->FailHelper(result.status());
+  }
+  return self->Stash(std::move(result).value(), out);
+}
+
+int NativeExec::OpBinop(osg_ctx* ctx, int op, const osg_value* a, const osg_value* b,
+                        osg_value* out) {
+  NativeExec* self = Self(ctx);
+  Value lhs;
+  Value rhs;
+  self->ToHost(*a, &lhs);
+  self->ToHost(*b, &rhs);
+  auto result = vm_ops::Arith(BinOpFor(op), lhs, rhs);
+  if (!result.ok()) {
+    return self->FailPlain(result.status());
+  }
+  return self->Stash(std::move(result).value(), out);
+}
+
+int NativeExec::OpUnop(osg_ctx* ctx, int op, const osg_value* a, osg_value* out) {
+  NativeExec* self = Self(ctx);
+  (void)op;  // OSG_OP_NEG is the only unop; int/float/bool negate inline
+  (void)out;
+  Value v;
+  self->ToHost(*a, &v);
+  return self->FailPlain(ExecutionError("cannot negate " + v.ToString()));
+}
+
+int NativeExec::OpCmp(osg_ctx* ctx, int kind, const osg_value* a, const osg_value* b,
+                      osg_value* out) {
+  NativeExec* self = Self(ctx);
+  Value lhs;
+  Value rhs;
+  self->ToHost(*a, &lhs);
+  self->ToHost(*b, &rhs);
+  bool flag = false;
+  Status fault;
+  if (!vm_ops::DoCompare(kind, lhs, rhs, &flag, &fault)) {
+    return self->FailPlain(std::move(fault));
+  }
+  osg_set_bool(out, flag ? 1 : 0);
+  return 1;
+}
+
+int NativeExec::OpMakeList(osg_ctx* ctx, const osg_value* elems, int n, osg_value* out) {
+  NativeExec* self = Self(ctx);
+  std::vector<Value> list(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    self->ToHost(elems[i], &list[static_cast<size_t>(i)]);
+  }
+  return self->Stash(Value(std::move(list)), out);
+}
+
+int NativeExec::OpLoadSlot(osg_ctx* ctx, unsigned slot, const osg_value* args,
+                           osg_value* out) {
+  NativeExec* self = Self(ctx);
+  if (!self->HelperPrologue(ctx)) {
+    return 0;
+  }
+  if (self->env_->ChaosShouldFailHelper()) {
+    return self->FailHelper(
+        ExecutionError("injected helper failure (chaos site runtime.helper_fail)"));
+  }
+  FeatureStore* store = self->env_->store();
+  if (slot >= store->key_count()) {
+    return self->Fallback(HelperId::kLoad, args, 1, out);
+  }
+  return self->Stash(store->LoadOr(slot, Value()), out);
+}
+
+int NativeExec::OpLoadOrSlot(osg_ctx* ctx, unsigned slot, const osg_value* args,
+                             osg_value* out) {
+  NativeExec* self = Self(ctx);
+  if (!self->HelperPrologue(ctx)) {
+    return 0;
+  }
+  if (self->env_->ChaosShouldFailHelper()) {
+    return self->FailHelper(
+        ExecutionError("injected helper failure (chaos site runtime.helper_fail)"));
+  }
+  FeatureStore* store = self->env_->store();
+  if (slot >= store->key_count()) {
+    return self->Fallback(HelperId::kLoadOr, args, 2, out);
+  }
+  self->ToHost(args[1], &self->argbuf_[1]);
+  return self->Stash(store->LoadOr(slot, self->argbuf_[1]), out);
+}
+
+int NativeExec::OpSaveSlot(osg_ctx* ctx, unsigned slot, const osg_value* args,
+                           osg_value* out) {
+  NativeExec* self = Self(ctx);
+  if (!self->HelperPrologue(ctx)) {
+    return 0;
+  }
+  if (self->env_->ChaosShouldFailHelper()) {
+    return self->FailHelper(
+        ExecutionError("injected helper failure (chaos site runtime.helper_fail)"));
+  }
+  FeatureStore* store = self->env_->store();
+  if (slot >= store->key_count()) {
+    return self->Fallback(HelperId::kSave, args, 2, out);
+  }
+  self->ToHost(args[1], &self->argbuf_[1]);
+  store->Save(slot, self->argbuf_[1]);
+  osg_set_nil(out);
+  return 1;
+}
+
+int NativeExec::OpIncrSlot(osg_ctx* ctx, unsigned slot, const osg_value* args, int nargs,
+                           osg_value* out) {
+  NativeExec* self = Self(ctx);
+  if (!self->HelperPrologue(ctx)) {
+    return 0;
+  }
+  if (self->env_->ChaosShouldFailHelper()) {
+    return self->FailHelper(
+        ExecutionError("injected helper failure (chaos site runtime.helper_fail)"));
+  }
+  FeatureStore* store = self->env_->store();
+  if (slot >= store->key_count()) {
+    return self->Fallback(HelperId::kIncr, args, nargs, out);
+  }
+  double delta = 1.0;
+  if (nargs > 1 && !self->NumericOsg(args[1], "INCR delta", &delta)) {
+    return 0;
+  }
+  osg_set_float(out, store->Increment(slot, delta));
+  return 1;
+}
+
+int NativeExec::OpExistsSlot(osg_ctx* ctx, unsigned slot, const osg_value* args,
+                             osg_value* out) {
+  NativeExec* self = Self(ctx);
+  if (!self->HelperPrologue(ctx)) {
+    return 0;
+  }
+  if (self->env_->ChaosShouldFailHelper()) {
+    return self->FailHelper(
+        ExecutionError("injected helper failure (chaos site runtime.helper_fail)"));
+  }
+  FeatureStore* store = self->env_->store();
+  if (slot >= store->key_count()) {
+    return self->Fallback(HelperId::kExists, args, 1, out);
+  }
+  osg_set_bool(out, store->Contains(slot) ? 1 : 0);
+  return 1;
+}
+
+int NativeExec::OpObserveSlot(osg_ctx* ctx, unsigned slot, const osg_value* args,
+                              osg_value* out) {
+  NativeExec* self = Self(ctx);
+  if (!self->HelperPrologue(ctx)) {
+    return 0;
+  }
+  if (self->env_->ChaosShouldFailHelper()) {
+    return self->FailHelper(
+        ExecutionError("injected helper failure (chaos site runtime.helper_fail)"));
+  }
+  FeatureStore* store = self->env_->store();
+  if (slot >= store->key_count()) {
+    return self->Fallback(HelperId::kObserve, args, 2, out);
+  }
+  double sample = 0.0;
+  if (!self->NumericOsg(args[1], "OBSERVE sample", &sample)) {
+    return 0;
+  }
+  store->Observe(slot, self->env_->envelope().now, sample);
+  osg_set_nil(out);
+  return 1;
+}
+
+int NativeExec::OpAggSlot(osg_ctx* ctx, int helper, unsigned slot, const osg_value* args,
+                          osg_value* out) {
+  NativeExec* self = Self(ctx);
+  if (!self->HelperPrologue(ctx)) {
+    return 0;
+  }
+  if (self->env_->ChaosShouldFailHelper()) {
+    return self->FailHelper(
+        ExecutionError("injected helper failure (chaos site runtime.helper_fail)"));
+  }
+  FeatureStore* store = self->env_->store();
+  const HelperId id = static_cast<HelperId>(helper);
+  if (slot >= store->key_count()) {
+    return self->Fallback(id, args, 2, out);
+  }
+  double window = 0.0;
+  if (!self->NumericOsg(args[1], "aggregate window", &window)) {
+    return 0;
+  }
+  auto result = store->Aggregate(slot, AggKindForHelper(id),
+                                 static_cast<Duration>(window), self->env_->envelope().now);
+  if (!result.ok()) {
+    osg_set_nil(out);  // nil on empty window / missing series
+    return 1;
+  }
+  osg_set_float(out, result.value());
+  return 1;
+}
+
+int NativeExec::OpQuantileSlot(osg_ctx* ctx, unsigned slot, const osg_value* args,
+                               osg_value* out) {
+  NativeExec* self = Self(ctx);
+  if (!self->HelperPrologue(ctx)) {
+    return 0;
+  }
+  if (self->env_->ChaosShouldFailHelper()) {
+    return self->FailHelper(
+        ExecutionError("injected helper failure (chaos site runtime.helper_fail)"));
+  }
+  FeatureStore* store = self->env_->store();
+  if (slot >= store->key_count()) {
+    return self->Fallback(HelperId::kQuantile, args, 3, out);
+  }
+  double q = 0.0;
+  if (!self->NumericOsg(args[1], "QUANTILE q", &q)) {
+    return 0;
+  }
+  if (q < 0.0 || q > 1.0) {
+    return self->FailHelper(InvalidArgumentError("QUANTILE q must be in [0, 1]"));
+  }
+  double window = 0.0;
+  if (!self->NumericOsg(args[2], "QUANTILE window", &window)) {
+    return 0;
+  }
+  auto result = store->AggregateQuantile(slot, q, static_cast<Duration>(window),
+                                         self->env_->envelope().now);
+  if (!result.ok()) {
+    osg_set_nil(out);  // nil on empty window
+    return 1;
+  }
+  osg_set_float(out, result.value());
+  return 1;
+}
+
+int NativeExec::OpRaise(osg_ctx* ctx, int code) {
+  NativeExec* self = Self(ctx);
+  if (code == OSG_RAISE_OFF_END) {
+    self->fault_ = ExecutionError("program '" + self->program_->name + "' ran off the end");
+  } else {
+    self->fault_ = InternalError("native program raised unknown fault code " +
+                                 std::to_string(code));
+  }
+  return 1;
+}
+
+const osg_ops NativeExec::kOps = {
+    &NativeExec::OpCall,       &NativeExec::OpBinop,      &NativeExec::OpUnop,
+    &NativeExec::OpCmp,        &NativeExec::OpMakeList,   &NativeExec::OpLoadSlot,
+    &NativeExec::OpLoadOrSlot, &NativeExec::OpSaveSlot,   &NativeExec::OpIncrSlot,
+    &NativeExec::OpExistsSlot, &NativeExec::OpObserveSlot, &NativeExec::OpAggSlot,
+    &NativeExec::OpQuantileSlot, &NativeExec::OpRaise,
+};
+
+Result<Value> NativeExec::Run(NativeEntryFn fn, const Program& program,
+                              const osg_value* consts, const ExecBudget* budget,
+                              ExecStats* stats) {
+  if (running_) {
+    return FailedPreconditionError("re-entrant native execution");
+  }
+  running_ = true;
+  program_ = &program;
+  budget_ = budget;
+  fault_ = OkStatus();
+  budget_abort_ = false;
+  helper_calls_ = 0;
+  temporaries_.clear();
+
+  osg_ctx ctx;
+  ctx.ops = &kOps;
+  ctx.consts = consts;
+  ctx.host = this;
+  ctx.steps = 0;
+  const osg_value out = fn(&ctx);
+  running_ = false;
+
+  if (stats != nullptr) {
+    stats->insns_executed += ctx.steps;
+    stats->helper_calls += helper_calls_;
+    if (budget_abort_) {
+      ++stats->budget_aborts;
+    }
+  }
+  if (!fault_.ok()) {
+    return std::move(fault_);
+  }
+  Value result;
+  ToHost(out, &result);
+  return result;
+}
+
+}  // namespace osguard

@@ -1,0 +1,116 @@
+// Host side of the native tier: runs an AOT-compiled guardrail program and
+// services its osg_ops escapes.
+//
+// The emitted code handles int/float arithmetic, comparisons, branches, and
+// register moves inline; everything touching a Value handle, the feature
+// store, or an action helper escapes here. Every escape routes into the very
+// same code the interpreter uses (vm_ops.h scalars, MonitorHelperEnv helper
+// dispatch), with exactly one chaos draw per helper call and the interpreter's
+// fault strings reproduced verbatim — that is what makes reports, stats, and
+// chaos replays bit-identical across tiers (see docs/NATIVE.md).
+//
+// Allocation discipline: the evaluation fast path (keyed loads, saves,
+// aggregates over interned slots) boxes no arguments. Values that must
+// materialize host-side (helper string/list results, MakeList) go into a
+// per-run std::deque pool whose elements stay pointer-stable while registers
+// hold handles to them.
+
+#ifndef SRC_RUNTIME_NATIVE_EXEC_H_
+#define SRC_RUNTIME_NATIVE_EXEC_H_
+
+#include <array>
+#include <deque>
+#include <vector>
+
+#include "src/runtime/helper_env.h"
+#include "src/vm/bytecode.h"
+#include "src/vm/native_abi.h"
+#include "src/vm/vm.h"
+
+namespace osguard {
+
+using NativeEntryFn = osg_value (*)(osg_ctx*);
+
+class NativeExec {
+ public:
+  // `env` is borrowed and must outlive the executor.
+  explicit NativeExec(MonitorHelperEnv* env) : env_(env) {}
+
+  // Converts a program's constant pool to the ABI representation. String and
+  // list constants carry handles into `program.consts`, so the returned pool
+  // is valid only while that vector lives unmoved (the engine rebuilds the
+  // binding whenever a monitor generation changes).
+  static std::vector<osg_value> PrepareConsts(const Program& program);
+
+  // Executes `fn` (an AOT entry point compiled from `program`) and returns
+  // the same Result<Value> the interpreter would. `stats` (may be null)
+  // receives the interpreter-identical step/helper-call accounting. `budget`
+  // may carry a wall deadline, honored at helper escapes; step-capped budgets
+  // are the engine's cue to use the interpreter instead.
+  Result<Value> Run(NativeEntryFn fn, const Program& program, const osg_value* consts,
+                    const ExecBudget* budget, ExecStats* stats);
+
+  // True while a Run is on the stack. The engine falls back to the
+  // interpreter rather than re-entering (the scratch buffers are not
+  // re-entrancy safe; the interpreter handles nesting with a spare file).
+  bool running() const { return running_; }
+
+ private:
+  static const osg_ops kOps;
+
+  // osg_ops entries (ctx->host is the NativeExec).
+  static int OpCall(osg_ctx* ctx, int helper, unsigned slot, const osg_value* args,
+                    int nargs, osg_value* out);
+  static int OpBinop(osg_ctx* ctx, int op, const osg_value* a, const osg_value* b,
+                     osg_value* out);
+  static int OpUnop(osg_ctx* ctx, int op, const osg_value* a, osg_value* out);
+  static int OpCmp(osg_ctx* ctx, int kind, const osg_value* a, const osg_value* b,
+                   osg_value* out);
+  static int OpMakeList(osg_ctx* ctx, const osg_value* elems, int n, osg_value* out);
+  static int OpLoadSlot(osg_ctx* ctx, unsigned slot, const osg_value* args, osg_value* out);
+  static int OpLoadOrSlot(osg_ctx* ctx, unsigned slot, const osg_value* args,
+                          osg_value* out);
+  static int OpSaveSlot(osg_ctx* ctx, unsigned slot, const osg_value* args, osg_value* out);
+  static int OpIncrSlot(osg_ctx* ctx, unsigned slot, const osg_value* args, int nargs,
+                        osg_value* out);
+  static int OpExistsSlot(osg_ctx* ctx, unsigned slot, const osg_value* args,
+                          osg_value* out);
+  static int OpObserveSlot(osg_ctx* ctx, unsigned slot, const osg_value* args,
+                           osg_value* out);
+  static int OpAggSlot(osg_ctx* ctx, int helper, unsigned slot, const osg_value* args,
+                       osg_value* out);
+  static int OpQuantileSlot(osg_ctx* ctx, unsigned slot, const osg_value* args,
+                            osg_value* out);
+  static int OpRaise(osg_ctx* ctx, int code);
+
+  // Deadline poll + helper-call accounting shared by every helper escape.
+  int HelperPrologue(osg_ctx* ctx);
+  // Records a helper failure with the interpreter's wrapped message.
+  int FailHelper(const Status& status);
+  // Records a plain execution fault (arith/compare semantics, no wrapping).
+  int FailPlain(Status status);
+  // Slot the store does not know: the interpreter's string fallback.
+  int Fallback(HelperId id, const osg_value* args, int nargs, osg_value* out);
+  // args[index] as a double under interpreter coercion rules (ints, floats,
+  // bools; everything else is the "<what> is not numeric" helper fault).
+  int NumericOsg(const osg_value& v, const char* what, double* out);
+
+  void ToHost(const osg_value& v, Value* out) const;
+  int Stash(Value&& v, osg_value* out);
+
+  MonitorHelperEnv* env_;
+  const Program* program_ = nullptr;
+  const ExecBudget* budget_ = nullptr;
+  Status fault_;
+  bool budget_abort_ = false;
+  bool running_ = false;
+  int64_t helper_calls_ = 0;
+  // Argument conversion buffer (capacity-reusing Values, one per register at
+  // most) and the handle-target pool for values materialized during the run.
+  std::array<Value, kMaxRegisters> argbuf_;
+  std::deque<Value> temporaries_;
+};
+
+}  // namespace osguard
+
+#endif  // SRC_RUNTIME_NATIVE_EXEC_H_

@@ -2,10 +2,18 @@
 // monitor the paper's §3.3 describes ("compiled into guardrail monitors that
 // run inside the kernel, either as eBPF programs or as kernel modules").
 //
-// The emitted C is a faithful, human-readable transliteration of the verified
-// bytecode against a small osg_* helper ABI. It is meant for inspection and
-// for documenting what in-kernel deployment looks like; this repository does
-// not compile it into a kernel (see DESIGN.md, Substitutions).
+// Two flavors share one emitter core:
+//
+//  * Kernel-module flavor (EmitKernelModuleSource / EmitCFunction): a
+//    human-readable transliteration against the include/osguard/kmod.h ABI,
+//    with module/trigger registration boilerplate. Compile-checked with
+//    -Wall -Wextra -Werror by the test suite, but not executed.
+//
+//  * Native flavor (EmitNativeSource / EmitNativeFunction): the executed
+//    tier. Self-contained C (the AOT pipeline prepends the
+//    src/vm/native_abi.h prelude), with per-instruction step counting and
+//    osg_ops escapes into the host runtime, bit-identical to the
+//    interpreter by the contract documented in docs/NATIVE.md.
 
 #ifndef SRC_VM_C_BACKEND_H_
 #define SRC_VM_C_BACKEND_H_
@@ -20,8 +28,16 @@ namespace osguard {
 // functions plus the module registration boilerplate for `guardrail`.
 std::string EmitKernelModuleSource(const CompiledGuardrail& guardrail);
 
-// Emits just one program as a C function (used by tests).
+// Emits just one program as a C function in the kernel-module flavor.
 std::string EmitCFunction(const Program& program, const std::string& function_name);
+
+// Native flavor: all of `guardrail`'s programs as exported functions
+// (osg_rule / osg_action / osg_on_satisfy). The result is not a complete
+// translation unit — the AOT pipeline prepends the ABI prelude.
+std::string EmitNativeSource(const CompiledGuardrail& guardrail);
+
+// Native flavor, one program as the exported function `function_name`.
+std::string EmitNativeFunction(const Program& program, const std::string& function_name);
 
 }  // namespace osguard
 

@@ -1,0 +1,376 @@
+/*
+ * osguard native-tier ABI.
+ *
+ * This header is both (a) included by the host runtime (C++) for the shared
+ * type layout and (b) embedded verbatim as the prelude of every translation
+ * unit the AOT pipeline emits (plain C11, compiled by the host `cc`). Keep it
+ * compilable as both languages and free of any '@' characters — the build
+ * embeds the file text via configure_file(@ONLY).
+ *
+ * Determinism contract: every inline fast path below mirrors the interpreter
+ * byte for byte (see src/vm/vm_ops.h). Anything the fast path cannot decide
+ * locally escapes to the host through the osg_ops table, which routes into
+ * the same Arith/Compare/helper code the interpreter uses. Ops return 1 on
+ * success and 0 on fault; the fault status itself lives host-side in the
+ * NativeFrame, so emitted code only needs `goto osg_fault`.
+ */
+
+#ifndef OSGUARD_NATIVE_ABI_H_
+#define OSGUARD_NATIVE_ABI_H_
+
+/* Value kind tags. OSG_NIL must stay 0: register files zero-initialize. */
+enum {
+  OSG_NIL = 0,
+  OSG_INT = 1,
+  OSG_FLOAT = 2,
+  OSG_BOOL = 3,
+  OSG_STR = 4,
+  OSG_LIST = 5
+};
+
+/*
+ * One VM register / constant. Strings and lists are never materialized on
+ * the native side: `h` is an opaque handle to the host Value (stable for the
+ * lifetime of the loaded program) and `i` caches its truthiness so branches
+ * on string/list values stay escape-free.
+ */
+typedef struct osg_value {
+  int kind;
+  long long i;   /* OSG_INT / OSG_BOOL payload; OSG_STR / OSG_LIST truthiness */
+  double f;      /* OSG_FLOAT payload */
+  const void *h; /* OSG_STR / OSG_LIST host handle */
+} osg_value;
+
+/* Helper ids — mirror osguard::HelperId (src/dsl/builtins.h). */
+enum {
+  OSG_HELPER_LOAD = 0,
+  OSG_HELPER_LOAD_OR = 1,
+  OSG_HELPER_SAVE = 2,
+  OSG_HELPER_INCR = 3,
+  OSG_HELPER_EXISTS = 4,
+  OSG_HELPER_OBSERVE = 5,
+  OSG_HELPER_COUNT = 16,
+  OSG_HELPER_SUM = 17,
+  OSG_HELPER_MEAN = 18,
+  OSG_HELPER_MIN = 19,
+  OSG_HELPER_MAX = 20,
+  OSG_HELPER_STDDEV = 21,
+  OSG_HELPER_RATE = 22,
+  OSG_HELPER_NEWEST = 23,
+  OSG_HELPER_OLDEST = 24,
+  OSG_HELPER_QUANTILE = 25,
+  OSG_HELPER_ABS = 32,
+  OSG_HELPER_SQRT = 33,
+  OSG_HELPER_LOG = 34,
+  OSG_HELPER_EXP = 35,
+  OSG_HELPER_FLOOR = 36,
+  OSG_HELPER_CEIL = 37,
+  OSG_HELPER_POW = 38,
+  OSG_HELPER_MIN2 = 39,
+  OSG_HELPER_MAX2 = 40,
+  OSG_HELPER_CLAMP = 41,
+  OSG_HELPER_NOW = 48,
+  OSG_HELPER_REPORT = 64,
+  OSG_HELPER_REPLACE = 65,
+  OSG_HELPER_RETRAIN = 66,
+  OSG_HELPER_DEPRIORITIZE = 67,
+  OSG_HELPER_UNKNOWN = 255
+};
+
+/* Comparison kinds — mirror the interpreter's CmpOpToKind encoding. */
+enum {
+  OSG_CMP_LT = 0,
+  OSG_CMP_LE = 1,
+  OSG_CMP_GT = 2,
+  OSG_CMP_GE = 3,
+  OSG_CMP_EQ = 4,
+  OSG_CMP_NE = 5
+};
+
+/* Generic binop / unop codes for the slow-path escape. */
+enum {
+  OSG_OP_ADD = 0,
+  OSG_OP_SUB = 1,
+  OSG_OP_MUL = 2,
+  OSG_OP_DIV = 3,
+  OSG_OP_MOD = 4,
+  OSG_OP_NEG = 5
+};
+
+/* Host-raised fault codes (ops->raise). */
+enum {
+  OSG_RAISE_OFF_END = 0
+};
+
+/* Sentinel for "no interned store slot" on the generic call escape. */
+#define OSG_NO_SLOT 0xffffffffu
+
+struct osg_ctx;
+
+/*
+ * Host escape table. Every entry returns 1 on success (out written) or 0 on
+ * fault (fault recorded host-side; emitted code jumps to its fault exit).
+ * `out` may alias any argument; hosts read all inputs before writing it.
+ */
+typedef struct osg_ops {
+  /* Generic helper call (chaos-checked, identical to the interpreter's
+   * kCall / kCallKeyed dispatch). slot is OSG_NO_SLOT for unkeyed calls. */
+  int (*call)(struct osg_ctx *ctx, int helper, unsigned slot,
+              const osg_value *args, int nargs, osg_value *out);
+  /* Arith / Compare slow paths (vm_ops.h semantics, same fault strings). */
+  int (*binop)(struct osg_ctx *ctx, int op, const osg_value *a,
+               const osg_value *b, osg_value *out);
+  int (*unop)(struct osg_ctx *ctx, int op, const osg_value *a, osg_value *out);
+  int (*cmp)(struct osg_ctx *ctx, int kind, const osg_value *a,
+             const osg_value *b, osg_value *out);
+  int (*make_list)(struct osg_ctx *ctx, const osg_value *elems, int n,
+                   osg_value *out);
+  /* Specialized keyed store / aggregate paths (KeyId slot already interned
+   * at load time; no string hashing, no argument boxing on the fast path).
+   * `args` is the full helper argument window starting at the key register —
+   * args[0] is the key string — so a slot the store does not recognize can
+   * fall back to the interpreter's string path with identical semantics. */
+  int (*load_slot)(struct osg_ctx *ctx, unsigned slot, const osg_value *args,
+                   osg_value *out);
+  int (*load_or_slot)(struct osg_ctx *ctx, unsigned slot,
+                      const osg_value *args, osg_value *out);
+  int (*save_slot)(struct osg_ctx *ctx, unsigned slot, const osg_value *args,
+                   osg_value *out);
+  int (*incr_slot)(struct osg_ctx *ctx, unsigned slot, const osg_value *args,
+                   int nargs, osg_value *out);
+  int (*exists_slot)(struct osg_ctx *ctx, unsigned slot, const osg_value *args,
+                     osg_value *out);
+  int (*observe_slot)(struct osg_ctx *ctx, unsigned slot,
+                      const osg_value *args, osg_value *out);
+  int (*agg_slot)(struct osg_ctx *ctx, int helper, unsigned slot,
+                  const osg_value *args, osg_value *out);
+  int (*quantile_slot)(struct osg_ctx *ctx, unsigned slot,
+                       const osg_value *args, osg_value *out);
+  /* Record a host-raised fault (e.g. control flow ran off the end). */
+  int (*raise)(struct osg_ctx *ctx, int code);
+} osg_ops;
+
+/*
+ * Execution context for one program invocation. `steps` counts executed
+ * bytecode instructions exactly like the interpreter's insns_executed (the
+ * emitted code increments once per original instruction, including Ret); it
+ * is synced back before every helper escape and at every exit, so supervisor
+ * cost accounting is bit-identical across tiers.
+ */
+typedef struct osg_ctx {
+  const osg_ops *ops;
+  const osg_value *consts; /* current program's constant pool */
+  void *host;              /* NativeFrame */
+  long long steps;
+} osg_ctx;
+
+/* ---- Inline fast paths (mirror vm_ops.h; escape on anything else) ---- */
+
+static inline void osg_set_nil(osg_value *v) {
+  v->kind = OSG_NIL;
+  v->i = 0;
+  v->f = 0.0;
+  v->h = 0;
+}
+
+static inline void osg_set_int(osg_value *v, long long x) {
+  v->kind = OSG_INT;
+  v->i = x;
+  v->f = 0.0;
+  v->h = 0;
+}
+
+static inline void osg_set_float(osg_value *v, double x) {
+  v->kind = OSG_FLOAT;
+  v->i = 0;
+  v->f = x;
+  v->h = 0;
+}
+
+static inline void osg_set_bool(osg_value *v, int x) {
+  v->kind = OSG_BOOL;
+  v->i = x != 0;
+  v->f = 0.0;
+  v->h = 0;
+}
+
+static inline int osg_truthy(const osg_value *v) {
+  switch (v->kind) {
+    case OSG_NIL:
+      return 0;
+    case OSG_FLOAT:
+      return v->f != 0.0;
+    default:
+      /* int / bool payloads, and the cached str / list truthiness */
+      return v->i != 0;
+  }
+}
+
+/* Int/float view — bools and handles decline, exactly like vm_ops::ToDouble,
+ * so mixed-type operands fall back to the generic host routines. */
+static inline int osg_num(const osg_value *v, double *out) {
+  if (v->kind == OSG_INT) {
+    *out = (double)v->i;
+    return 1;
+  }
+  if (v->kind == OSG_FLOAT) {
+    *out = v->f;
+    return 1;
+  }
+  return 0;
+}
+
+/* Two's-complement wrapping int64 arithmetic (defined behavior via unsigned),
+ * mirroring vm_ops::WrapAdd / WrapSub / WrapMul / WrapNeg. */
+static inline long long osg_wrap_add(long long a, long long b) {
+  return (long long)((unsigned long long)a + (unsigned long long)b);
+}
+static inline long long osg_wrap_sub(long long a, long long b) {
+  return (long long)((unsigned long long)a - (unsigned long long)b);
+}
+static inline long long osg_wrap_mul(long long a, long long b) {
+  return (long long)((unsigned long long)a * (unsigned long long)b);
+}
+static inline long long osg_wrap_neg(long long a) {
+  return (long long)(0ULL - (unsigned long long)a);
+}
+
+/* Cold-path escape into the host. Operates on value copies, never on the
+ * caller's operands: generated code keeps VM registers in C locals, and if
+ * their addresses escaped into an opaque host call here the compiler would
+ * have to pin every register to the stack. With copies, the hot int/float
+ * paths above stay fully registerizable. */
+static inline int osg_binop_escape(struct osg_ctx *ctx, int op, osg_value *dst,
+                                   const osg_value *a, const osg_value *b) {
+  osg_value ta = *a;
+  osg_value tb = *b;
+  osg_value td = {OSG_NIL, 0, 0.0, 0};
+  int ok = ctx->ops->binop(ctx, op, &ta, &tb, &td);
+  *dst = td;
+  return ok;
+}
+
+static inline int osg_add(struct osg_ctx *ctx, osg_value *dst,
+                          const osg_value *a, const osg_value *b) {
+  double x, y;
+  if (a->kind == OSG_INT && b->kind == OSG_INT) {
+    osg_set_int(dst, osg_wrap_add(a->i, b->i));
+    return 1;
+  }
+  if (osg_num(a, &x) && osg_num(b, &y)) {
+    osg_set_float(dst, x + y);
+    return 1;
+  }
+  return osg_binop_escape(ctx, OSG_OP_ADD, dst, a, b);
+}
+
+static inline int osg_sub(struct osg_ctx *ctx, osg_value *dst,
+                          const osg_value *a, const osg_value *b) {
+  double x, y;
+  if (a->kind == OSG_INT && b->kind == OSG_INT) {
+    osg_set_int(dst, osg_wrap_sub(a->i, b->i));
+    return 1;
+  }
+  if (osg_num(a, &x) && osg_num(b, &y)) {
+    osg_set_float(dst, x - y);
+    return 1;
+  }
+  return osg_binop_escape(ctx, OSG_OP_SUB, dst, a, b);
+}
+
+static inline int osg_mul(struct osg_ctx *ctx, osg_value *dst,
+                          const osg_value *a, const osg_value *b) {
+  double x, y;
+  if (a->kind == OSG_INT && b->kind == OSG_INT) {
+    osg_set_int(dst, osg_wrap_mul(a->i, b->i));
+    return 1;
+  }
+  if (osg_num(a, &x) && osg_num(b, &y)) {
+    osg_set_float(dst, x * y);
+    return 1;
+  }
+  return osg_binop_escape(ctx, OSG_OP_MUL, dst, a, b);
+}
+
+static inline int osg_div(struct osg_ctx *ctx, osg_value *dst,
+                          const osg_value *a, const osg_value *b) {
+  double x, y;
+  if (osg_num(a, &x) && osg_num(b, &y) && y != 0.0) {
+    osg_set_float(dst, x / y);
+    return 1;
+  }
+  return osg_binop_escape(ctx, OSG_OP_DIV, dst, a, b);
+}
+
+static inline int osg_mod(struct osg_ctx *ctx, osg_value *dst,
+                          const osg_value *a, const osg_value *b) {
+  /* The interpreter has no Mod fast path either: always generic. */
+  return osg_binop_escape(ctx, OSG_OP_MOD, dst, a, b);
+}
+
+static inline int osg_neg(struct osg_ctx *ctx, osg_value *dst,
+                          const osg_value *a) {
+  if (a->kind == OSG_INT) {
+    osg_set_int(dst, osg_wrap_neg(a->i));
+    return 1;
+  }
+  if (a->kind == OSG_FLOAT) {
+    osg_set_float(dst, -a->f);
+    return 1;
+  }
+  if (a->kind == OSG_BOOL) {
+    osg_set_int(dst, a->i ? -1 : 0);
+    return 1;
+  }
+  {
+    osg_value ta = *a;
+    osg_value td = {OSG_NIL, 0, 0.0, 0};
+    int ok = ctx->ops->unop(ctx, OSG_OP_NEG, &ta, &td);
+    *dst = td;
+    return ok;
+  }
+}
+
+static inline void osg_not(osg_value *dst, const osg_value *a) {
+  osg_set_bool(dst, !osg_truthy(a));
+}
+
+static inline int osg_cmp(struct osg_ctx *ctx, int kind, osg_value *dst,
+                          const osg_value *a, const osg_value *b) {
+  double x, y;
+  if (osg_num(a, &x) && osg_num(b, &y)) {
+    int t;
+    switch (kind) {
+      case OSG_CMP_LT:
+        t = x < y;
+        break;
+      case OSG_CMP_LE:
+        t = x <= y;
+        break;
+      case OSG_CMP_GT:
+        t = x > y;
+        break;
+      case OSG_CMP_GE:
+        t = x >= y;
+        break;
+      case OSG_CMP_EQ:
+        t = x == y;
+        break;
+      default:
+        t = x != y;
+        break;
+    }
+    osg_set_bool(dst, t);
+    return 1;
+  }
+  {
+    osg_value ta = *a;
+    osg_value tb = *b;
+    osg_value td = {OSG_NIL, 0, 0.0, 0};
+    int ok = ctx->ops->cmp(ctx, kind, &ta, &tb, &td);
+    *dst = td;
+    return ok;
+  }
+}
+
+#endif /* OSGUARD_NATIVE_ABI_H_ */

@@ -1,0 +1,243 @@
+#include "src/vm/native_aot.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+
+#include "src/vm/c_backend.h"
+#include "src/vm/native_prelude.h"
+
+#if defined(OSGUARD_NATIVE_TIER)
+#include <dlfcn.h>
+#include <unistd.h>
+#endif
+
+namespace osguard {
+namespace {
+
+namespace fs = std::filesystem;
+
+// FNV-1a 64 over the emitted translation unit. Content addressing is what
+// makes reload/rollback reuse exact: identical bytecode emits identical C,
+// which hashes to the same object file.
+std::string ContentHash(const std::string& text) {
+  uint64_t h = 1469598103934665603ull;
+  for (unsigned char c : text) {
+    h ^= c;
+    h *= 1099511628211ull;
+  }
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016llx", static_cast<unsigned long long>(h));
+  return buf;
+}
+
+std::string DefaultCompiler() {
+  if (const char* env = std::getenv("OSGUARD_CC"); env != nullptr && env[0] != '\0') {
+    return env;
+  }
+#if defined(OSGUARD_HOST_CC)
+  return OSGUARD_HOST_CC;
+#else
+  return "cc";
+#endif
+}
+
+std::string DefaultCacheDir() {
+  if (const char* env = std::getenv("OSGUARD_NATIVE_CACHE"); env != nullptr && env[0] != '\0') {
+    return env;
+  }
+  std::error_code ec;
+  fs::path tmp = fs::temp_directory_path(ec);
+  if (ec) {
+    tmp = "/tmp";
+  }
+#if defined(OSGUARD_NATIVE_TIER)
+  return (tmp / ("osguard-native-" + std::to_string(static_cast<long>(getuid())))).string();
+#else
+  return (tmp / "osguard-native").string();
+#endif
+}
+
+bool WriteFileAtomic(const fs::path& path, const std::string& text) {
+  const fs::path tmp = path.string() + ".tmp." +
+                       std::to_string(static_cast<unsigned long>(
+#if defined(OSGUARD_NATIVE_TIER)
+                           getpid()
+#else
+                           0
+#endif
+                           ));
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      return false;
+    }
+    out << text;
+    if (!out.flush()) {
+      return false;
+    }
+  }
+  std::error_code ec;
+  fs::rename(tmp, path, ec);
+  return !ec;
+}
+
+}  // namespace
+
+NativeObject::~NativeObject() {
+#if defined(OSGUARD_NATIVE_TIER)
+  if (handle != nullptr) {
+    dlclose(handle);
+  }
+#endif
+}
+
+NativeAot::NativeAot(NativeAotOptions options)
+    : compiler_(options.compiler.empty() ? DefaultCompiler() : std::move(options.compiler)),
+      cache_dir_(options.cache_dir.empty() ? DefaultCacheDir() : std::move(options.cache_dir)) {}
+
+bool NativeAot::CompiledIn() {
+#if defined(OSGUARD_NATIVE_TIER)
+  return true;
+#else
+  return false;
+#endif
+}
+
+bool NativeAot::Available() {
+  if (available_ >= 0) {
+    return available_ == 1;
+  }
+  if (!CompiledIn()) {
+    available_ = 0;
+    return false;
+  }
+  // Probe: compile and load a trivial rule. Runs the full pipeline once, so
+  // a broken compiler, unwritable cache dir, or failing dlopen all demote the
+  // tier to "unavailable" up front — the engine then logs and stays on the
+  // interpreter rather than failing per-monitor.
+  Program probe;
+  probe.name = "osguard.native.probe";
+  probe.register_count = 1;
+  probe.insns.push_back(Insn{Op::kLoadConst, 0, 0, 0, 0, 0});
+  probe.insns.push_back(Insn{Op::kRet, 0, 0, 0, 0, 0});
+  probe.consts.push_back(Value(int64_t{42}));
+  auto result = CompileProgram(probe);
+  available_ = result.ok() ? 1 : 0;
+  if (available_ == 0) {
+    std::fprintf(stderr,
+                 "osguard: native tier unavailable (%s); monitors stay interpreted\n",
+                 result.status().ToString().c_str());
+  }
+  return available_ == 1;
+}
+
+Result<std::shared_ptr<NativeObject>> NativeAot::Compile(const CompiledGuardrail& guardrail) {
+  std::string tu = NativeAbiText();
+  tu += "\n";
+  tu += EmitNativeSource(guardrail);
+  return CompileText(tu, /*expect_action=*/true);
+}
+
+Result<std::shared_ptr<NativeObject>> NativeAot::CompileProgram(const Program& program) {
+  std::string tu = NativeAbiText();
+  tu += "\n";
+  tu += EmitNativeFunction(program, "osg_rule");
+  return CompileText(tu, /*expect_action=*/false);
+}
+
+Result<std::shared_ptr<NativeObject>> NativeAot::CompileText(const std::string& tu_text,
+                                                             bool expect_action) {
+#if !defined(OSGUARD_NATIVE_TIER)
+  (void)tu_text;
+  (void)expect_action;
+  return FailedPreconditionError("native tier not compiled into this binary");
+#else
+  const std::string hash = ContentHash(tu_text);
+  if (auto it = cache_.find(hash); it != cache_.end()) {
+    ++stats_.cache_hits;
+    return it->second;
+  }
+
+  std::error_code ec;
+  fs::create_directories(cache_dir_, ec);
+  if (ec) {
+    ++stats_.failures;
+    return InternalError("native cache dir '" + cache_dir_ + "': " + ec.message());
+  }
+  const fs::path base = fs::path(cache_dir_) / ("osg_" + hash);
+  const std::string c_path = base.string() + ".c";
+  const std::string so_path = base.string() + ".so";
+  const std::string log_path = base.string() + ".log";
+
+  if (fs::exists(so_path, ec) && !ec) {
+    // Disk cache: a previous process (or run) built this exact TU.
+    auto loaded = LoadObject(so_path, hash, expect_action);
+    if (loaded.ok()) {
+      ++stats_.cache_hits;
+      return loaded;
+    }
+    fs::remove(so_path, ec);  // stale/corrupt object: rebuild below
+  }
+
+  if (!WriteFileAtomic(c_path, tu_text)) {
+    ++stats_.failures;
+    return InternalError("cannot write native TU to '" + c_path + "'");
+  }
+  const std::string so_tmp = so_path + ".tmp." + std::to_string(static_cast<long>(getpid()));
+  const std::string command = compiler_ + " -O2 -fPIC -shared -o '" + so_tmp + "' '" +
+                              c_path + "' > '" + log_path + "' 2>&1";
+  const int rc = std::system(command.c_str());
+  if (rc != 0) {
+    ++stats_.failures;
+    fs::remove(so_tmp, ec);
+    return InternalError("native compile failed (exit " + std::to_string(rc) + "): " +
+                         command);
+  }
+  fs::rename(so_tmp, so_path, ec);
+  if (ec) {
+    ++stats_.failures;
+    return InternalError("cannot install native object '" + so_path + "': " + ec.message());
+  }
+  auto loaded = LoadObject(so_path, hash, expect_action);
+  if (loaded.ok()) {
+    ++stats_.compiles;
+  }
+  return loaded;
+#endif
+}
+
+Result<std::shared_ptr<NativeObject>> NativeAot::LoadObject(const std::string& so_path,
+                                                            const std::string& hash,
+                                                            bool expect_action) {
+#if !defined(OSGUARD_NATIVE_TIER)
+  (void)so_path;
+  (void)hash;
+  (void)expect_action;
+  return FailedPreconditionError("native tier not compiled into this binary");
+#else
+  void* handle = dlopen(so_path.c_str(), RTLD_NOW | RTLD_LOCAL);
+  if (handle == nullptr) {
+    ++stats_.failures;
+    const char* err = dlerror();
+    return InternalError("dlopen('" + so_path + "') failed: " +
+                         (err != nullptr ? err : "unknown error"));
+  }
+  auto object = std::make_shared<NativeObject>();
+  object->handle = handle;
+  object->content_hash = hash;
+  object->rule = reinterpret_cast<NativeObject::EntryFn>(dlsym(handle, "osg_rule"));
+  object->action = reinterpret_cast<NativeObject::EntryFn>(dlsym(handle, "osg_action"));
+  object->on_satisfy =
+      reinterpret_cast<NativeObject::EntryFn>(dlsym(handle, "osg_on_satisfy"));
+  if (object->rule == nullptr || (expect_action && object->action == nullptr)) {
+    ++stats_.failures;
+    return InternalError("native object '" + so_path + "' is missing entry points");
+  }
+  cache_.emplace(hash, object);
+  return object;
+#endif
+}
+
+}  // namespace osguard

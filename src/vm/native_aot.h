@@ -1,0 +1,105 @@
+// Native AOT pipeline: compile verified guardrail programs to host shared
+// objects and load them.
+//
+//   emit C (c_backend native flavor, prefixed with the embedded ABI prelude)
+//     -> content-hash the translation unit
+//     -> reuse a cached object if one exists (memory first, then the on-disk
+//        cache dir), otherwise `cc -O2 -fPIC -shared` and dlopen the result.
+//
+// Objects are keyed by the content hash of the *entire* emitted TU, so a
+// reload or a supervisor rollback that restores bit-identical bytecode gets
+// back the exact same shared object — no recompile, no drift. Loaded objects
+// are cached for the lifetime of the NativeAot instance and never dlclosed
+// while referenced.
+//
+// The pipeline degrades gracefully: if the binary was built without dlopen
+// support, or no working host compiler can be found, Available() is false
+// and the engine simply stays on the interpreter (see docs/NATIVE.md).
+
+#ifndef SRC_VM_NATIVE_AOT_H_
+#define SRC_VM_NATIVE_AOT_H_
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+
+#include "src/support/status.h"
+#include "src/vm/compiler.h"
+#include "src/vm/native_abi.h"
+
+namespace osguard {
+
+// One dlopen'ed shared object holding a guardrail's entry points. Held via
+// shared_ptr by the cache and by every monitor bound to it; the handle is
+// dlclosed only when the last reference drops.
+struct NativeObject {
+  using EntryFn = osg_value (*)(osg_ctx*);
+
+  EntryFn rule = nullptr;
+  EntryFn action = nullptr;
+  EntryFn on_satisfy = nullptr;  // null when the guardrail has none
+  std::string content_hash;      // hex FNV-1a of the emitted TU
+  void* handle = nullptr;
+
+  NativeObject() = default;
+  NativeObject(const NativeObject&) = delete;
+  NativeObject& operator=(const NativeObject&) = delete;
+  ~NativeObject();
+};
+
+struct NativeAotOptions {
+  // Host C compiler command. Empty selects, in order: $OSGUARD_CC, the
+  // compiler CMake discovered at configure time, then plain "cc". The value
+  // is used unquoted, so it may carry flags ("ccache gcc").
+  std::string compiler;
+  // Object cache directory. Empty selects $OSGUARD_NATIVE_CACHE, then
+  // <system tmp>/osguard-native-<uid>.
+  std::string cache_dir;
+};
+
+struct NativeAotStats {
+  uint64_t compiles = 0;    // cc invocations that produced a new object
+  uint64_t cache_hits = 0;  // bit-identical object reused (memory or disk)
+  uint64_t failures = 0;    // compile, dlopen, or dlsym failures
+};
+
+class NativeAot {
+ public:
+  explicit NativeAot(NativeAotOptions options = {});
+
+  // Whether this binary was built with dlopen support at all.
+  static bool CompiledIn();
+
+  // Whether the tier can actually produce and load objects: probes the host
+  // compiler once (compile + dlopen of a trivial TU) and caches the verdict.
+  bool Available();
+
+  // Emits, compiles, and loads all of `guardrail`'s programs
+  // (osg_rule / osg_action / osg_on_satisfy).
+  Result<std::shared_ptr<NativeObject>> Compile(const CompiledGuardrail& guardrail);
+
+  // Single program, exported as osg_rule. Used by the differential tests and
+  // benchmarks.
+  Result<std::shared_ptr<NativeObject>> CompileProgram(const Program& program);
+
+  const NativeAotStats& stats() const { return stats_; }
+  const std::string& compiler() const { return compiler_; }
+  const std::string& cache_dir() const { return cache_dir_; }
+
+ private:
+  Result<std::shared_ptr<NativeObject>> CompileText(const std::string& tu_text,
+                                                    bool expect_action);
+  Result<std::shared_ptr<NativeObject>> LoadObject(const std::string& so_path,
+                                                   const std::string& hash,
+                                                   bool expect_action);
+
+  std::string compiler_;
+  std::string cache_dir_;
+  int available_ = -1;  // -1 unprobed, 0 no, 1 yes
+  NativeAotStats stats_;
+  std::unordered_map<std::string, std::shared_ptr<NativeObject>> cache_;
+};
+
+}  // namespace osguard
+
+#endif  // SRC_VM_NATIVE_AOT_H_

@@ -1,0 +1,14 @@
+#ifndef SRC_VM_NATIVE_PRELUDE_H_
+#define SRC_VM_NATIVE_PRELUDE_H_
+
+namespace osguard {
+
+// The full text of src/vm/native_abi.h, embedded at configure time
+// (src/vm/native_prelude.cc.in). The AOT pipeline prepends it to every
+// emitted translation unit, so the host runtime and the emitted C can never
+// disagree about the ABI — there is exactly one source of truth.
+const char* NativeAbiText();
+
+}  // namespace osguard
+
+#endif  // SRC_VM_NATIVE_PRELUDE_H_

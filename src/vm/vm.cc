@@ -5,6 +5,8 @@
 #include <cmath>
 #include <memory>
 
+#include "src/vm/vm_ops.h"
+
 // Dispatch strategy. On GCC/Clang the interpreter uses computed goto (a label
 // address table indexed by opcode), which gives each handler its own indirect
 // branch and lets the CPU's branch predictor learn per-opcode successor
@@ -43,167 +45,17 @@ namespace {
 
 bool Truthy(const Value& v) { return TruthyValue(v); }
 
-// Two's-complement wrapping int64 arithmetic (the kernel-friendly overflow
-// behavior the VM guarantees). Routed through uint64 so it is defined
-// behavior — signed overflow would be UB and trips UBSan.
-inline int64_t WrapAdd(int64_t a, int64_t b) {
-  return static_cast<int64_t>(static_cast<uint64_t>(a) + static_cast<uint64_t>(b));
-}
-inline int64_t WrapSub(int64_t a, int64_t b) {
-  return static_cast<int64_t>(static_cast<uint64_t>(a) - static_cast<uint64_t>(b));
-}
-inline int64_t WrapMul(int64_t a, int64_t b) {
-  return static_cast<int64_t>(static_cast<uint64_t>(a) * static_cast<uint64_t>(b));
-}
-inline int64_t WrapNeg(int64_t a) {
-  return static_cast<int64_t>(0u - static_cast<uint64_t>(a));
-}
-
-Result<Value> Arith(Op op, const Value& lhs, const Value& rhs) {
-  if (!lhs.is_numeric() && lhs.type() != ValueType::kBool) {
-    return ExecutionError("arithmetic on non-numeric value " + lhs.ToString());
-  }
-  if (!rhs.is_numeric() && rhs.type() != ValueType::kBool) {
-    return ExecutionError("arithmetic on non-numeric value " + rhs.ToString());
-  }
-  const bool both_int = lhs.type() == ValueType::kInt && rhs.type() == ValueType::kInt;
-  const double a = lhs.NumericOr(0.0);
-  const double b = rhs.NumericOr(0.0);
-  switch (op) {
-    case Op::kAdd:
-      return both_int ? Value(WrapAdd(lhs.AsInt().value(), rhs.AsInt().value())) : Value(a + b);
-    case Op::kSub:
-      return both_int ? Value(WrapSub(lhs.AsInt().value(), rhs.AsInt().value())) : Value(a - b);
-    case Op::kMul:
-      return both_int ? Value(WrapMul(lhs.AsInt().value(), rhs.AsInt().value())) : Value(a * b);
-    case Op::kDiv:
-      if (b == 0.0) {
-        return ExecutionError("division by zero");
-      }
-      return Value(a / b);
-    case Op::kMod: {
-      if (b == 0.0) {
-        return ExecutionError("modulo by zero");
-      }
-      if (both_int) {
-        const int64_t divisor = rhs.AsInt().value();
-        // INT64_MIN % -1 overflows in hardware; the wrapped answer is 0.
-        if (divisor == -1) {
-          return Value(int64_t{0});
-        }
-        return Value(lhs.AsInt().value() % divisor);
-      }
-      return Value(std::fmod(a, b));
-    }
-    default:
-      return InternalError("not an arithmetic op");
-  }
-}
-
-// Numbers and bools all participate in numeric comparison (bool as 0/1),
-// matching EvalConst's semantics.
-bool NumericLike(const Value& v) { return v.is_numeric() || v.type() == ValueType::kBool; }
-
-Result<Value> Compare(Op op, const Value& lhs, const Value& rhs) {
-  if (op == Op::kCmpEq) {
-    return Value(lhs == rhs || (NumericLike(lhs) && NumericLike(rhs) &&
-                                lhs.NumericOr(0.0) == rhs.NumericOr(0.0)));
-  }
-  if (op == Op::kCmpNe) {
-    return Value(!(lhs == rhs || (NumericLike(lhs) && NumericLike(rhs) &&
-                                  lhs.NumericOr(0.0) == rhs.NumericOr(0.0))));
-  }
-  // Ordered comparisons: strings compare lexicographically, numerics (and
-  // bools) numerically; anything else faults.
-  if (lhs.type() == ValueType::kString && rhs.type() == ValueType::kString) {
-    const std::string& a = *lhs.IfString();
-    const std::string& b = *rhs.IfString();
-    switch (op) {
-      case Op::kCmpLt:
-        return Value(a < b);
-      case Op::kCmpLe:
-        return Value(a <= b);
-      case Op::kCmpGt:
-        return Value(a > b);
-      case Op::kCmpGe:
-        return Value(a >= b);
-      default:
-        break;
-    }
-  }
-  const bool lhs_ok = NumericLike(lhs);
-  const bool rhs_ok = NumericLike(rhs);
-  if (!lhs_ok || !rhs_ok) {
-    return ExecutionError("ordered comparison on non-numeric values " + lhs.ToString() +
-                          " and " + rhs.ToString());
-  }
-  const double a = lhs.NumericOr(0.0);
-  const double b = rhs.NumericOr(0.0);
-  switch (op) {
-    case Op::kCmpLt:
-      return Value(a < b);
-    case Op::kCmpLe:
-      return Value(a <= b);
-    case Op::kCmpGt:
-      return Value(a > b);
-    case Op::kCmpGe:
-      return Value(a >= b);
-    default:
-      return InternalError("not a comparison op");
-  }
-}
-
-// Int/float view used by the interpreter's numeric fast paths. Bools and
-// everything else decline, falling back to the generic (and unchanged)
-// Arith/Compare routines, so semantics are bit-identical to the slow path:
-// both already funnel mixed numeric operands through doubles via NumericOr.
-inline bool ToDouble(const Value& v, double* out) {
-  if (const int64_t* i = v.IfInt()) {
-    *out = static_cast<double>(*i);
-    return true;
-  }
-  if (const double* d = v.IfFloat()) {
-    *out = *d;
-    return true;
-  }
-  return false;
-}
-
-inline bool CmpKindDouble(int kind, double a, double b) {
-  switch (kind) {
-    case 0:
-      return a < b;
-    case 1:
-      return a <= b;
-    case 2:
-      return a > b;
-    case 3:
-      return a >= b;
-    case 4:
-      return a == b;
-    default:
-      return a != b;
-  }
-}
-
-// cmp<kind>(lhs, rhs) with the numeric fast path. Returns false on fault with
-// *fault set; otherwise *out holds the comparison result.
-inline bool DoCompare(int kind, const Value& lhs, const Value& rhs, bool* out,
-                      Status* fault) {
-  double a;
-  double b;
-  if (ToDouble(lhs, &a) && ToDouble(rhs, &b)) {
-    *out = CmpKindDouble(kind, a, b);
-    return true;
-  }
-  auto result = Compare(CmpKindToOp(kind), lhs, rhs);
-  if (!result.ok()) {
-    *fault = result.status();
-    return false;
-  }
-  *out = TruthyValue(result.value());
-  return true;
-}
+// The scalar semantics (wrapping arithmetic, Arith/Compare fault rules, the
+// numeric fast-path coercions) are shared with the native tier's host shim —
+// see src/vm/vm_ops.h for the definitions and the determinism rationale.
+using vm_ops::Arith;
+using vm_ops::Compare;
+using vm_ops::DoCompare;
+using vm_ops::ToDouble;
+using vm_ops::WrapAdd;
+using vm_ops::WrapMul;
+using vm_ops::WrapNeg;
+using vm_ops::WrapSub;
 
 inline int64_t SteadyNowNs() {
   return std::chrono::duration_cast<std::chrono::nanoseconds>(

@@ -1,0 +1,676 @@
+// Differential suite for the native AOT tier (`ctest -L native`).
+//
+// Determinism contract (docs/NATIVE.md): for every verified program the
+// interpreter and the AOT-compiled object are bit-identical — same result
+// values, same fault strings, same feature-store effects, and same
+// insns_executed / helper_calls accounting. The suite checks the contract
+// three ways:
+//
+//   1. Engine level: every spec under specs/ and tests/corpus/ is driven
+//      through the same recorded pseudo-workload with the tier off, with
+//      immediate promotion, and with mid-run promotion; reports, store dumps
+//      (engine.tier.* telemetry excluded), per-monitor stats, and VM
+//      accounting must match exactly — chaos-seeded specs included, since
+//      chaos draws are part of the contract (one draw per helper call on
+//      both tiers, in the same order).
+//   2. Program level, randomized: hundreds of random expressions compiled
+//      into one batched shared object, each executed on both tiers against
+//      several seeded stores (1000 program x seed runs total).
+//   3. Keyed-helper matrix: straight-line programs using the kCallKeyed
+//      slot specialization, run both where the slot is valid and where it
+//      is out of range for the executing store (the string-fallback path a
+//      stale snapshot or cross-store replay hits).
+//
+// When the host has no working C compiler the tier degrades to
+// interpreter-only; these tests skip (the pinning of that degrade mode
+// lives in native_tier_test.cc).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#if defined(OSGUARD_NATIVE_TIER)
+#include <dlfcn.h>
+#endif
+
+#include "src/actions/dispatcher.h"
+#include "src/chaos/chaos.h"
+#include "src/dsl/builtins.h"
+#include "src/dsl/parser.h"
+#include "src/dsl/sema.h"
+#include "src/runtime/engine.h"
+#include "src/runtime/helper_env.h"
+#include "src/runtime/native_exec.h"
+#include "src/support/logging.h"
+#include "src/support/rng.h"
+#include "src/vm/c_backend.h"
+#include "src/vm/compiler.h"
+#include "src/vm/native_aot.h"
+#include "src/vm/native_prelude.h"
+#include "src/vm/verifier.h"
+#include "src/vm/vm.h"
+
+namespace osguard {
+namespace {
+
+NativeAot& SharedAot() {
+  static NativeAot* aot = new NativeAot();
+  return *aot;
+}
+
+bool NativeAvailable() { return NativeAot::CompiledIn() && SharedAot().Available(); }
+
+#define SKIP_IF_NO_NATIVE()                                                  \
+  do {                                                                       \
+    if (!NativeAvailable()) {                                                \
+      GTEST_SKIP() << "native tier unavailable on this host; the engine "    \
+                      "degrades to interpreter-only (pinned elsewhere)";     \
+    }                                                                        \
+  } while (0)
+
+// ---------------------------------------------------------------------------
+// 1. Engine-level corpus diff.
+// ---------------------------------------------------------------------------
+
+std::vector<std::filesystem::path> SpecFiles() {
+  std::vector<std::filesystem::path> files;
+  for (const char* dir : {OSGUARD_SPECS_DIR, OSGUARD_CORPUS_DIR}) {
+    for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+      const std::string stem = entry.path().stem().string();
+      if (entry.path().extension() == ".osg" ||
+          (entry.path().extension() == ".spec" && stem.rfind("valid_", 0) == 0)) {
+        files.push_back(entry.path());
+      }
+    }
+  }
+  std::sort(files.begin(), files.end());
+  return files;
+}
+
+std::string ReadFile(const std::filesystem::path& path) {
+  std::ifstream in(path);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+// Drives one engine through a seed-recorded workload and renders everything
+// observable into one comparable string. The workload feeds the keys the
+// repo's specs actually watch, so rules flip between satisfied and violated
+// and all three program kinds (rule / action / on_satisfy) execute.
+std::string RunScenario(const std::string& source, const NativeTierOptions& tier,
+                        uint64_t seed) {
+  FeatureStore store;
+  PolicyRegistry registry;
+  EngineOptions options;
+  options.measure_wall_time = false;
+  options.tier = tier;
+  Engine engine(&store, &registry, nullptr, options);
+  store.SetWriteObserver(
+      [&engine](KeyId id, const std::string& /*key*/) { engine.OnStoreWrite(id); });
+  ChaosEngine chaos(913);
+  engine.SetChaos(&chaos);
+  Status status = engine.LoadSource(source);
+  EXPECT_TRUE(status.ok()) << status.ToString();
+  if (!status.ok()) {
+    return "load failed: " + status.ToString();
+  }
+
+  Rng rng(seed);
+  for (int tick = 1; tick <= 400; ++tick) {
+    const SimTime t = Milliseconds(50) * tick;
+    if (rng.Bernoulli(0.4)) {
+      store.Save("false_submit_rate", Value(rng.Uniform(0.0, 0.1)));
+    }
+    if (rng.Bernoulli(0.3)) {
+      store.Save("err_rate", Value(rng.Uniform(0.0, 0.2)));
+    }
+    if (rng.Bernoulli(0.5)) {
+      store.Observe("mm.page_fault_lat_ms", t, rng.Uniform(0.0, 4.0));
+    }
+    if (rng.Bernoulli(0.5)) {
+      store.Observe("sched.starved_ms", t, rng.Uniform(0.0, 250.0));
+    }
+    if (rng.Bernoulli(0.2)) {
+      engine.OnFunctionCall("blk_submit_io", t);
+    }
+    engine.AdvanceTo(t);
+  }
+
+  std::ostringstream out;
+  for (const ReportRecord& record : engine.reporter().Records()) {
+    out << record.ToString() << "\n";
+  }
+  std::vector<std::string> keys = store.ScalarKeys();
+  std::sort(keys.begin(), keys.end());
+  for (const std::string& key : keys) {
+    if (key.rfind("engine.tier.", 0) == 0 ||
+        key.rfind("actions.latency.", 0) == 0) {
+      // Tier telemetry differs across tiers by design; action-dispatch
+      // latency is a wall-clock measurement (nondeterministic even between
+      // two interpreter runs).
+      continue;
+    }
+    auto value = store.Load(key);
+    out << "store " << key << " = "
+        << (value.ok() ? value.value().ToString() : value.status().ToString()) << "\n";
+  }
+  for (const std::string& name : engine.MonitorNames()) {
+    const MonitorStats* m = engine.FindStats(name);
+    out << "monitor " << name << " evals=" << m->evaluations
+        << " violations=" << m->violations << " actions=" << m->action_firings
+        << " satisfies=" << m->satisfy_firings << " errors=" << m->errors
+        << " hyst=" << m->suppressed_hysteresis << " cd=" << m->suppressed_cooldown
+        << " inviol=" << m->in_violation << "\n";
+  }
+  const EngineStats s = engine.stats();
+  out << "engine evals=" << s.evaluations << " violations=" << s.violations
+      << " actions=" << s.action_firings << " errors=" << s.errors
+      << " timer=" << s.timer_firings << " fn=" << s.function_firings
+      << " change=" << s.change_firings << " dropped=" << s.callouts_dropped
+      << " delayed=" << s.callouts_delayed << "\n";
+  const ExecStats& v = engine.vm().stats();
+  out << "vm insns=" << v.insns_executed << " helpers=" << v.helper_calls
+      << " budget_aborts=" << v.budget_aborts << "\n";
+  return out.str();
+}
+
+TEST(NativeEngineDiff, CorpusSpecsAreTierInvariant) {
+  SKIP_IF_NO_NATIVE();
+  Logger::Global().set_level(LogLevel::kOff);
+  NativeTierOptions off;
+  NativeTierOptions hot;
+  hot.enabled = true;
+  hot.promote_after = 0;  // every monitor native from its first evaluation
+  NativeTierOptions warm;
+  warm.enabled = true;
+  warm.promote_after = 7;  // promotion mid-run: interpreted prefix, native tail
+  int checked = 0;
+  for (const auto& path : SpecFiles()) {
+    const std::string source = ReadFile(path);
+    const std::string base = RunScenario(source, off, 0xd1ff);
+    EXPECT_EQ(base, RunScenario(source, hot, 0xd1ff))
+        << path << " diverged under immediate promotion";
+    EXPECT_EQ(base, RunScenario(source, warm, 0xd1ff))
+        << path << " diverged under mid-run promotion";
+    ++checked;
+  }
+  EXPECT_GE(checked, 7) << "spec corpus went missing";
+}
+
+// A spec exercising the keyed store mutations (SAVE / INCR / OBSERVE land on
+// the kCallKeyed fast path after the engine's rewrite) plus on_satisfy.
+constexpr char kMutatingSpec[] = R"(
+guardrail mutator {
+  trigger: { TIMER(100ms, 100ms) },
+  rule: { LOAD_OR(err_rate, 0) <= 0.1 && COUNT(mut.series, 2s) <= 12 },
+  action: {
+    SAVE(mut.flag, false);
+    INCR(mut.trips);
+    INCR(mut.weight, 2.5);
+    OBSERVE(mut.series, LOAD_OR(err_rate, 0));
+    REPORT("tripped", LOAD_OR(err_rate, 0), NOW())
+  },
+  on_satisfy: { SAVE(mut.flag, true); INCR(mut.recoveries) },
+  meta: { severity = info, hysteresis = 2, cooldown = 300ms }
+}
+)";
+
+TEST(NativeEngineDiff, KeyedMutationsAreTierInvariant) {
+  SKIP_IF_NO_NATIVE();
+  Logger::Global().set_level(LogLevel::kOff);
+  NativeTierOptions off;
+  NativeTierOptions hot;
+  hot.enabled = true;
+  hot.promote_after = 0;
+  for (uint64_t seed : {11ull, 22ull, 33ull}) {
+    const std::string base = RunScenario(kMutatingSpec, off, seed);
+    EXPECT_EQ(base, RunScenario(kMutatingSpec, hot, seed)) << "seed " << seed;
+    EXPECT_NE(base.find("mut.trips"), std::string::npos)
+        << "workload never tripped the mutator; the diff is vacuous";
+  }
+}
+
+#if defined(OSGUARD_NATIVE_TIER)
+
+// ---------------------------------------------------------------------------
+// 2. Program-level randomized sweep.
+//
+// All programs are emitted into one translation unit and compiled with a
+// single cc invocation (per-program objects would dominate the test's
+// runtime), then each entry point is compared against the interpreter over
+// several seeded stores.
+// ---------------------------------------------------------------------------
+
+struct NativeBatch {
+  void* handle = nullptr;
+  std::vector<NativeEntryFn> fns;
+
+  ~NativeBatch() {
+    if (handle != nullptr) {
+      dlclose(handle);
+    }
+  }
+};
+
+testing::AssertionResult CompileBatch(const std::vector<Program>& programs,
+                                      const std::string& tag, NativeBatch* out) {
+  std::string tu = NativeAbiText();
+  for (size_t i = 0; i < programs.size(); ++i) {
+    tu += EmitNativeFunction(programs[i], "osg_fn_" + std::to_string(i));
+  }
+  const std::filesystem::path dir =
+      std::filesystem::path(::testing::TempDir()) / "osguard-native-diff";
+  std::filesystem::create_directories(dir);
+  const std::string c_path = (dir / (tag + ".c")).string();
+  const std::string so_path = (dir / (tag + ".so")).string();
+  const std::string log_path = (dir / (tag + ".log")).string();
+  {
+    std::ofstream c_file(c_path);
+    c_file << tu;
+  }
+  const std::string command = SharedAot().compiler() + " -O2 -fPIC -shared -o '" +
+                              so_path + "' '" + c_path + "' > '" + log_path +
+                              "' 2>&1";
+  if (std::system(command.c_str()) != 0) {
+    return testing::AssertionFailure()
+           << "batch compile failed: " << command << "\n"
+           << ReadFile(log_path);
+  }
+  out->handle = dlopen(so_path.c_str(), RTLD_NOW | RTLD_LOCAL);
+  if (out->handle == nullptr) {
+    return testing::AssertionFailure() << "dlopen failed: " << dlerror();
+  }
+  for (size_t i = 0; i < programs.size(); ++i) {
+    void* symbol = dlsym(out->handle, ("osg_fn_" + std::to_string(i)).c_str());
+    if (symbol == nullptr) {
+      return testing::AssertionFailure() << "dlsym osg_fn_" << i << " failed";
+    }
+    out->fns.push_back(reinterpret_cast<NativeEntryFn>(symbol));
+  }
+  return testing::AssertionSuccess();
+}
+
+// Deterministically populates a store; the layout (intern order) is part of
+// the seed so keyed slots resolve identically on both sides of a diff.
+void SeedStore(FeatureStore& store, uint64_t seed) {
+  Rng rng(seed);
+  store.Save("some_key", Value(rng.Uniform(-5.0, 5.0)));
+  for (int k = 0; k < 6; ++k) {
+    const std::string name = "k" + std::to_string(k);
+    switch (rng.UniformInt(0, 3)) {
+      case 0:
+        store.Save(name, Value(rng.UniformInt(-100, 100)));
+        break;
+      case 1:
+        store.Save(name, Value(rng.Uniform(-10.0, 10.0)));
+        break;
+      case 2:
+        store.Save(name, Value(rng.Bernoulli(0.5)));
+        break;
+      default:
+        break;  // left missing: LOAD_OR takes its fallback
+    }
+  }
+  for (int s = 0; s < 3; ++s) {
+    const std::string name = "s" + std::to_string(s);
+    const int samples = static_cast<int>(rng.UniformInt(0, 24));
+    for (int i = 1; i <= samples; ++i) {
+      store.Observe(name, Milliseconds(200) * i, rng.Uniform(-4.0, 12.0));
+    }
+  }
+}
+
+struct RunOutcome {
+  std::string result;      // "ok <value>" or the full fault string
+  std::string store_dump;  // sorted scalars after execution
+  int64_t insns = 0;
+  int64_t helpers = 0;
+
+  bool operator==(const RunOutcome& other) const {
+    return result == other.result && store_dump == other.store_dump &&
+           insns == other.insns && helpers == other.helpers;
+  }
+};
+
+std::ostream& operator<<(std::ostream& out, const RunOutcome& outcome) {
+  return out << outcome.result << " | insns=" << outcome.insns
+             << " helpers=" << outcome.helpers << " | " << outcome.store_dump;
+}
+
+std::string DumpScalars(const FeatureStore& store) {
+  std::vector<std::string> keys = store.ScalarKeys();
+  std::sort(keys.begin(), keys.end());
+  std::string dump;
+  for (const std::string& key : keys) {
+    auto value = store.Load(key);
+    dump += key + "=" + (value.ok() ? value.value().ToString() : "?") + ";";
+  }
+  return dump;
+}
+
+// chaos_p > 0 arms runtime.helper_fail so injected helper failures are part
+// of the compared behavior (the draw order is the contract).
+RunOutcome RunOneTier(const Program& program, NativeEntryFn fn, uint64_t store_seed,
+                      double chaos_p) {
+  FeatureStore store;
+  SeedStore(store, store_seed);
+  MonitorHelperEnv env(&store, nullptr);
+  env.SetEnvelope(ActionEnvelope{"diff", Severity::kInfo, Seconds(3)});
+  ChaosEngine chaos(store_seed ^ 0xc4a05);
+  if (chaos_p > 0) {
+    env.SetChaos(&chaos);
+    FaultPlanConfig plan;
+    plan.mode = FaultMode::kBernoulli;
+    plan.p = chaos_p;
+    EXPECT_TRUE(chaos.Arm(kChaosSiteHelperFail, plan).ok());
+  }
+  RunOutcome outcome;
+  Result<Value> result = InternalError("unset");
+  if (fn == nullptr) {
+    Vm vm;
+    result = vm.Execute(program, env);
+    outcome.insns = vm.stats().insns_executed;
+    outcome.helpers = vm.stats().helper_calls;
+  } else {
+    NativeExec exec(&env);
+    const std::vector<osg_value> consts = NativeExec::PrepareConsts(program);
+    ExecStats stats;
+    result = exec.Run(fn, program, consts.data(), nullptr, &stats);
+    outcome.insns = stats.insns_executed;
+    outcome.helpers = stats.helper_calls;
+  }
+  outcome.result =
+      result.ok() ? "ok " + result.value().ToString() : result.status().ToString();
+  outcome.store_dump = DumpScalars(store);
+  return outcome;
+}
+
+// Random expression generator: richer than the fuzz_test one — aggregates,
+// quantiles, EXISTS, NOW, comparisons, and enough division to hit faults.
+std::string RandomExpr(Rng& rng, int depth) {
+  if (depth <= 0) {
+    switch (rng.UniformInt(0, 9)) {
+      case 0:
+        return std::to_string(rng.UniformInt(-100, 100));
+      case 1:
+        return "0." + std::to_string(rng.UniformInt(0, 99));
+      case 2:
+        return "some_key";
+      case 3:
+        return "LOAD_OR(k" + std::to_string(rng.UniformInt(0, 5)) + ", " +
+               std::to_string(rng.UniformInt(-9, 9)) + ")";
+      case 4:
+        return rng.Bernoulli(0.5) ? "true" : "false";
+      case 5:
+        return "EXISTS(k" + std::to_string(rng.UniformInt(0, 5)) + ")";
+      case 6:
+        return "COUNT(s" + std::to_string(rng.UniformInt(0, 2)) + ", " +
+               std::to_string(rng.UniformInt(1, 5)) + "s)";
+      case 7:
+        return "MEAN(s" + std::to_string(rng.UniformInt(0, 2)) + ", " +
+               std::to_string(rng.UniformInt(1, 5)) + "s)";
+      case 8:
+        return "P99(s" + std::to_string(rng.UniformInt(0, 2)) + ", 4s)";
+      default:
+        return "NOW()";
+    }
+  }
+  const std::string lhs = RandomExpr(rng, depth - 1);
+  const std::string rhs = RandomExpr(rng, depth - 1);
+  switch (rng.UniformInt(0, 12)) {
+    case 0:
+      return "(" + lhs + " + " + rhs + ")";
+    case 1:
+      return "(" + lhs + " - " + rhs + ")";
+    case 2:
+      return "(" + lhs + " * " + rhs + ")";
+    case 3:
+      return "(" + lhs + " / " + rhs + ")";
+    case 4:
+      return "(" + lhs + " % " + rhs + ")";
+    case 5:
+      return "(" + lhs + " <= " + rhs + ")";
+    case 6:
+      return "(" + lhs + " < " + rhs + ")";
+    case 7:
+      return "(" + lhs + " == " + rhs + ")";
+    case 8:
+      return "(" + lhs + " != " + rhs + ")";
+    case 9:
+      return "(" + lhs + " && " + rhs + ")";
+    case 10:
+      return "(" + lhs + " || " + rhs + ")";
+    case 11:
+      return "!" + lhs;
+    default:
+      return "ABS(" + lhs + ")";
+  }
+}
+
+TEST(NativeProgramDiff, RandomizedProgramsMatchOverSeededStores) {
+  SKIP_IF_NO_NATIVE();
+  constexpr int kPrograms = 250;
+  constexpr uint64_t kStoreSeeds[] = {1, 2, 3, 4};  // 250 x 4 = 1000 runs
+  Rng rng(0x5eed);
+  std::vector<Program> programs;
+  std::vector<std::string> sources;
+  while (programs.size() < kPrograms) {
+    const std::string source = RandomExpr(rng, static_cast<int>(rng.UniformInt(1, 4)));
+    auto expr = ParseExprSource(source);
+    ASSERT_TRUE(expr.ok()) << source;
+    auto program = CompileExpr(*expr.value(), "diff");
+    if (!program.ok()) {
+      continue;  // register pressure; the verifier already rejected it
+    }
+    ASSERT_TRUE(Verify(program.value()).ok()) << source;
+    programs.push_back(std::move(program).value());
+    sources.push_back(source);
+  }
+  NativeBatch batch;
+  ASSERT_TRUE(CompileBatch(programs, "random_sweep", &batch));
+
+  int faults = 0;
+  for (size_t i = 0; i < programs.size(); ++i) {
+    for (const uint64_t seed : kStoreSeeds) {
+      const RunOutcome interp = RunOneTier(programs[i], nullptr, seed, 0.0);
+      const RunOutcome native = RunOneTier(programs[i], batch.fns[i], seed, 0.0);
+      ASSERT_EQ(interp, native) << sources[i] << " (store seed " << seed << ")";
+      if (interp.result.rfind("ok ", 0) != 0) {
+        ++faults;
+      }
+    }
+  }
+  // The sweep is not vacuous: some runs fault (division by zero, non-numeric
+  // comparisons) and their fault strings matched too.
+  EXPECT_GT(faults, 0);
+}
+
+TEST(NativeProgramDiff, ChaosInjectedHelperFailuresMatch) {
+  SKIP_IF_NO_NATIVE();
+  Rng rng(0xc405);
+  std::vector<Program> programs;
+  std::vector<std::string> sources;
+  while (programs.size() < 40) {
+    // Helper-dense expressions so the bernoulli site gets many draws.
+    const std::string source = "(LOAD_OR(k0, 1) + MEAN(s0, 3s) + ABS(" +
+                               RandomExpr(rng, 2) + ") + COUNT(s1, 2s))";
+    auto expr = ParseExprSource(source);
+    ASSERT_TRUE(expr.ok()) << source;
+    auto program = CompileExpr(*expr.value(), "chaos-diff");
+    if (!program.ok()) {
+      continue;
+    }
+    programs.push_back(std::move(program).value());
+    sources.push_back(source);
+  }
+  NativeBatch batch;
+  ASSERT_TRUE(CompileBatch(programs, "chaos_sweep", &batch));
+  int injected = 0;
+  for (size_t i = 0; i < programs.size(); ++i) {
+    for (const uint64_t seed : {7ull, 8ull, 9ull}) {
+      const RunOutcome interp = RunOneTier(programs[i], nullptr, seed, 0.35);
+      const RunOutcome native = RunOneTier(programs[i], batch.fns[i], seed, 0.35);
+      ASSERT_EQ(interp, native) << sources[i] << " (store seed " << seed << ")";
+      if (interp.result.find("injected helper failure") != std::string::npos) {
+        ++injected;
+      }
+    }
+  }
+  EXPECT_GT(injected, 0) << "chaos never fired; the replay diff is vacuous";
+}
+
+// ---------------------------------------------------------------------------
+// 3. Keyed-helper matrix: kCallKeyed with valid slots and with slots out of
+//    range for the executing store (string fallback).
+// ---------------------------------------------------------------------------
+
+bool IsKeyedHelperId(int32_t imm) {
+  const auto id = static_cast<HelperId>(imm);
+  return (id >= HelperId::kLoad && id <= HelperId::kObserve) ||
+         (id >= HelperId::kCount && id <= HelperId::kQuantile);
+}
+
+// The engine's keyed rewrite, restricted to straight-line programs (no
+// jumps), which is all this matrix uses. Slots are interned into `store`.
+void RewriteKeyedStraightLine(Program& program, FeatureStore& store) {
+  for (const Insn& insn : program.insns) {
+    ASSERT_TRUE(insn.op != Op::kJump && insn.op != Op::kJumpIfFalse &&
+                insn.op != Op::kJumpIfTrue && insn.op != Op::kCmpConstJf &&
+                insn.op != Op::kCmpConstJt && insn.op != Op::kCmpRegJf &&
+                insn.op != Op::kCmpRegJt)
+        << "matrix programs must be straight-line";
+  }
+  for (size_t pc = 0; pc < program.insns.size(); ++pc) {
+    Insn& call = program.insns[pc];
+    if (call.op != Op::kCall || call.c < 1 || !IsKeyedHelperId(call.imm)) {
+      continue;
+    }
+    for (size_t k = pc; k-- > 0;) {
+      const Insn& def = program.insns[k];
+      if (def.op == Op::kRet || def.a != call.b) {
+        continue;
+      }
+      if (def.op == Op::kLoadConst) {
+        if (const std::string* key =
+                program.consts[static_cast<size_t>(def.imm)].IfString()) {
+          call.op = Op::kCallKeyed;
+          call.aux = static_cast<int32_t>(store.InternKey(*key));
+        }
+      }
+      break;
+    }
+  }
+}
+
+// Interns this matrix's keys in a fixed order so a program rewritten against
+// one store resolves identical slots in any other built the same way.
+void InternMatrixKeys(FeatureStore& store) {
+  for (const char* key : {"alpha", "beta", "lat", "out", "ctr", "ghost"}) {
+    store.InternKey(key);
+  }
+}
+
+void PopulateMatrixStore(FeatureStore& store, uint64_t seed) {
+  InternMatrixKeys(store);
+  Rng rng(seed);
+  store.Save("alpha", Value(rng.Uniform(-3.0, 3.0)));
+  if (rng.Bernoulli(0.5)) {
+    store.Save("beta", Value(rng.UniformInt(-5, 5)));
+  }
+  const int samples = static_cast<int>(rng.UniformInt(0, 16));
+  for (int i = 1; i <= samples; ++i) {
+    store.Observe("lat", Milliseconds(300) * i, rng.Uniform(0.0, 20.0));
+  }
+}
+
+RunOutcome RunMatrixTier(const Program& program, NativeEntryFn fn, uint64_t seed,
+                         bool populate) {
+  FeatureStore store;
+  if (populate) {
+    PopulateMatrixStore(store, seed);
+  }
+  // An unpopulated store interned nothing, so every rewritten slot is out of
+  // range and both tiers must take the string-fallback path.
+  MonitorHelperEnv env(&store, nullptr);
+  env.SetEnvelope(ActionEnvelope{"matrix", Severity::kInfo, Seconds(5)});
+  RunOutcome outcome;
+  Result<Value> result = InternalError("unset");
+  if (fn == nullptr) {
+    Vm vm;
+    result = vm.Execute(program, env);
+    outcome.insns = vm.stats().insns_executed;
+    outcome.helpers = vm.stats().helper_calls;
+  } else {
+    NativeExec exec(&env);
+    const std::vector<osg_value> consts = NativeExec::PrepareConsts(program);
+    ExecStats stats;
+    result = exec.Run(fn, program, consts.data(), nullptr, &stats);
+    outcome.insns = stats.insns_executed;
+    outcome.helpers = stats.helper_calls;
+  }
+  outcome.result =
+      result.ok() ? "ok " + result.value().ToString() : result.status().ToString();
+  outcome.store_dump = DumpScalars(store);
+  return outcome;
+}
+
+TEST(NativeProgramDiff, KeyedSlotAndFallbackPathsMatch) {
+  SKIP_IF_NO_NATIVE();
+  const char* kExprs[] = {
+      "LOAD_OR(alpha, 3) + LOAD_OR(beta, 0.5)",
+      "LOAD(alpha)",
+      "EXISTS(alpha) + EXISTS(ghost)",
+      "COUNT(lat, 10s) + MEAN(lat, 10s) * 2",
+      "MAX(lat, 5s) - MIN(lat, 5s)",
+      "P99(lat, 10s)",
+      "QUANTILE(lat, 0.5, 10s)",
+      "SUM(lat, 4s)",
+      "LOAD_OR(ghost, 7) * LOAD_OR(alpha, 1)",
+  };
+  std::vector<Program> programs;
+  std::vector<std::string> sources;
+  FeatureStore donor;
+  InternMatrixKeys(donor);
+  for (const char* source : kExprs) {
+    auto expr = ParseExprSource(source);
+    ASSERT_TRUE(expr.ok()) << source;
+    auto program = CompileExpr(*expr.value(), "matrix");
+    ASSERT_TRUE(program.ok()) << source << ": " << program.status().ToString();
+    RewriteKeyedStraightLine(program.value(), donor);
+    ASSERT_TRUE(Verify(program.value()).ok()) << source;
+    bool keyed = false;
+    for (const Insn& insn : program.value().insns) {
+      keyed = keyed || insn.op == Op::kCallKeyed;
+    }
+    EXPECT_TRUE(keyed) << source << ": rewrite produced no kCallKeyed";
+    programs.push_back(std::move(program).value());
+    sources.push_back(source);
+  }
+  NativeBatch batch;
+  ASSERT_TRUE(CompileBatch(programs, "keyed_matrix", &batch));
+  for (size_t i = 0; i < programs.size(); ++i) {
+    for (const uint64_t seed : {21ull, 22ull, 23ull}) {
+      for (const bool populate : {true, false}) {
+        const RunOutcome interp = RunMatrixTier(programs[i], nullptr, seed, populate);
+        const RunOutcome native =
+            RunMatrixTier(programs[i], batch.fns[i], seed, populate);
+        ASSERT_EQ(interp, native)
+            << sources[i] << (populate ? " (keyed slots)" : " (string fallback)")
+            << " seed " << seed;
+      }
+    }
+  }
+}
+
+#endif  // OSGUARD_NATIVE_TIER
+
+}  // namespace
+}  // namespace osguard

@@ -1,0 +1,322 @@
+// Native-tier engine behavior (`ctest -L native`): promotion thresholds and
+// hints, demotion on quarantine, step-budget pinning, tier telemetry through
+// the feature store, object-cache reuse across engines, and — crucially —
+// the graceful-degrade pin: with no working host compiler the engine runs
+// interpreter-only and everything still works.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <string>
+
+#include "src/actions/dispatcher.h"
+#include "src/dsl/parser.h"
+#include "src/dsl/sema.h"
+#include "src/runtime/engine.h"
+#include "src/support/logging.h"
+#include "src/vm/native_aot.h"
+
+namespace osguard {
+namespace {
+
+bool NativeAvailable() {
+  static const bool available = [] {
+    if (!NativeAot::CompiledIn()) {
+      return false;
+    }
+    NativeAot aot;
+    return aot.Available();
+  }();
+  return available;
+}
+
+#define SKIP_IF_NO_NATIVE()                                               \
+  do {                                                                    \
+    if (!NativeAvailable()) {                                             \
+      GTEST_SKIP() << "native tier unavailable; degrade mode is pinned "  \
+                      "by GracefulDegrade tests below";                   \
+    }                                                                     \
+  } while (0)
+
+constexpr char kHotSpec[] = R"(
+guardrail hotpath {
+  trigger: { TIMER(100ms, 100ms) },
+  rule: { LOAD_OR(x, 0) <= 5 },
+  action: { SAVE(tripped, true) }
+}
+)";
+
+class NativeTierTest : public ::testing::Test {
+ protected:
+  NativeTierTest() { Logger::Global().set_level(LogLevel::kOff); }
+
+  void MakeEngine(const NativeTierOptions& tier) {
+    EngineOptions options;
+    options.measure_wall_time = false;
+    options.tier = tier;
+    engine_ = std::make_unique<Engine>(&store_, &registry_, nullptr, options);
+  }
+
+  void Load(const std::string& source) {
+    Status status = engine_->LoadSource(source);
+    ASSERT_TRUE(status.ok()) << status.ToString();
+  }
+
+  int64_t TierKey(const std::string& key) {
+    return store_.LoadOr(key, Value(static_cast<int64_t>(-1))).NumericOr(-1);
+  }
+
+  FeatureStore store_;
+  PolicyRegistry registry_;
+  std::unique_ptr<Engine> engine_;
+};
+
+TEST_F(NativeTierTest, PromotesAfterThresholdAndPublishesTierKeys) {
+  SKIP_IF_NO_NATIVE();
+  NativeTierOptions tier;
+  tier.enabled = true;
+  tier.promote_after = 3;
+  MakeEngine(tier);
+  Load(kHotSpec);
+  EXPECT_FALSE(engine_->TierOf("hotpath"));
+  EXPECT_EQ(TierKey("engine.tier.promotions"), 0);  // keys exist from the start
+  EXPECT_EQ(TierKey("engine.tier.hotpath"), 0);
+
+  engine_->AdvanceTo(Seconds(2));  // 20 timer firings
+  EXPECT_TRUE(engine_->TierOf("hotpath"));
+  const TierStats& stats = engine_->tier_stats();
+  EXPECT_EQ(stats.promotions, 1u);
+  EXPECT_EQ(stats.demotions, 0u);
+  EXPECT_GT(stats.native_evals, 0u);
+  EXPECT_GT(stats.interp_evals, 0u);  // the pre-promotion evaluations
+  EXPECT_EQ(stats.compile_failures, 0u);
+  // Telemetry mirrors the supervisor.* convention through the store.
+  EXPECT_EQ(TierKey("engine.tier.promotions"), 1);
+  EXPECT_EQ(TierKey("engine.tier.demotions"), 0);
+  EXPECT_EQ(TierKey("engine.tier.native_evals"),
+            static_cast<int64_t>(stats.native_evals));
+  EXPECT_EQ(TierKey("engine.tier.interp_evals"),
+            static_cast<int64_t>(stats.interp_evals));
+  EXPECT_EQ(TierKey("engine.tier.hotpath"), 1);
+}
+
+TEST_F(NativeTierTest, NativeHintPromotesAtFirstEvaluation) {
+  SKIP_IF_NO_NATIVE();
+  NativeTierOptions tier;
+  tier.enabled = true;
+  tier.promote_after = 1000;  // the hint must override this
+  MakeEngine(tier);
+  Load(R"(
+    guardrail eager {
+      trigger: { TIMER(100ms, 100ms) },
+      rule: { LOAD_OR(x, 0) <= 5 },
+      action: { SAVE(tripped, true) },
+      meta: { tier = native }
+    }
+  )");
+  engine_->AdvanceTo(Milliseconds(100));
+  EXPECT_TRUE(engine_->TierOf("eager"));
+  EXPECT_EQ(engine_->tier_stats().promotions, 1u);
+  EXPECT_EQ(engine_->tier_stats().interp_evals, 0u);  // never ran interpreted
+  EXPECT_GT(engine_->tier_stats().native_evals, 0u);
+}
+
+TEST_F(NativeTierTest, InterpreterHintPinsTheMonitor) {
+  SKIP_IF_NO_NATIVE();
+  NativeTierOptions tier;
+  tier.enabled = true;
+  tier.promote_after = 0;
+  MakeEngine(tier);
+  Load(R"(
+    guardrail pinned {
+      trigger: { TIMER(100ms, 100ms) },
+      rule: { LOAD_OR(x, 0) <= 5 },
+      action: { SAVE(tripped, true) },
+      meta: { tier = interpreter }
+    }
+  )");
+  engine_->AdvanceTo(Seconds(2));
+  EXPECT_FALSE(engine_->TierOf("pinned"));
+  EXPECT_EQ(engine_->tier_stats().promotions, 0u);
+  EXPECT_EQ(engine_->tier_stats().native_evals, 0u);
+  EXPECT_GT(engine_->tier_stats().interp_evals, 0u);
+}
+
+TEST_F(NativeTierTest, StepBudgetKeepsTheMonitorInterpreted) {
+  SKIP_IF_NO_NATIVE();
+  NativeTierOptions tier;
+  tier.enabled = true;
+  tier.promote_after = 0;
+  MakeEngine(tier);
+  // A step budget needs the interpreter's exact mid-program abort point;
+  // native code only honors wall deadlines, so the monitor must never
+  // promote while the cap is in force.
+  Load(R"(
+    guardrail capped {
+      trigger: { TIMER(100ms, 100ms) },
+      rule: { LOAD_OR(x, 0) <= 5 },
+      action: { SAVE(tripped, true) },
+      health: { budget_steps = 500 }
+    }
+  )");
+  engine_->AdvanceTo(Seconds(2));
+  EXPECT_FALSE(engine_->TierOf("capped"));
+  EXPECT_EQ(engine_->tier_stats().promotions, 0u);
+  EXPECT_EQ(engine_->tier_stats().native_evals, 0u);
+  const MonitorStats* stats = engine_->FindStats("capped");
+  ASSERT_NE(stats, nullptr);
+  EXPECT_GT(stats->evaluations, 0u);  // still evaluating, just interpreted
+}
+
+TEST_F(NativeTierTest, QuarantineDemotesBackToTheInterpreter) {
+  SKIP_IF_NO_NATIVE();
+  NativeTierOptions tier;
+  tier.enabled = true;
+  tier.promote_after = 2;
+  MakeEngine(tier);
+  // The rule faults on every evaluation (division by zero), so the breaker
+  // opens after `quarantine` consecutive failures — by which point the
+  // monitor has been promoted. Opening the breaker must demote it.
+  Load(R"(
+    guardrail shaky {
+      trigger: { TIMER(100ms, 100ms) },
+      rule: { 1 / LOAD_OR(zero, 0) <= 1 },
+      action: { SAVE(tripped, true) },
+      health: { quarantine = 4, probe_every = 1000, flap_threshold = 100 }
+    }
+  )");
+  engine_->AdvanceTo(Seconds(3));
+  const TierStats& stats = engine_->tier_stats();
+  EXPECT_EQ(stats.promotions, 1u);
+  EXPECT_EQ(stats.demotions, 1u);
+  EXPECT_FALSE(engine_->TierOf("shaky"));
+  EXPECT_EQ(TierKey("engine.tier.shaky"), 0);
+  EXPECT_EQ(TierKey("engine.tier.demotions"), 1);
+}
+
+TEST_F(NativeTierTest, ObjectCacheIsReusedAcrossEngines) {
+  SKIP_IF_NO_NATIVE();
+  const std::filesystem::path cache_dir =
+      std::filesystem::path(::testing::TempDir()) / "osguard-tier-cache";
+  std::filesystem::remove_all(cache_dir);  // stale objects would skew the counts
+
+  NativeTierOptions tier;
+  tier.enabled = true;
+  tier.promote_after = 0;
+  tier.cache_dir = cache_dir.string();
+  {
+    MakeEngine(tier);
+    Load(kHotSpec);
+    engine_->AdvanceTo(Seconds(1));
+    ASSERT_TRUE(engine_->TierOf("hotpath"));
+    const NativeAotStats& aot = engine_->native_aot()->stats();
+    EXPECT_GE(aot.compiles, 1u);  // availability probe + the guardrail
+    EXPECT_EQ(aot.failures, 0u);
+  }
+  store_.Clear();
+  {
+    // A second engine (fresh process in spirit: empty memory cache) finds
+    // bit-identical objects on disk — reloads and rollbacks recompile
+    // nothing.
+    MakeEngine(tier);
+    Load(kHotSpec);
+    engine_->AdvanceTo(Seconds(1));
+    ASSERT_TRUE(engine_->TierOf("hotpath"));
+    const NativeAotStats& aot = engine_->native_aot()->stats();
+    EXPECT_EQ(aot.compiles, 0u);
+    EXPECT_GE(aot.cache_hits, 2u);  // the probe TU and the guardrail TU
+    EXPECT_EQ(aot.failures, 0u);
+  }
+}
+
+// --- Graceful degrade: these tests run on every host, compiler or not. ---
+
+TEST_F(NativeTierTest, GracefulDegradeWithBrokenCompiler) {
+  // A fresh cache dir, or the disk cache would happily serve objects other
+  // tests compiled for the same programs — cache hits work without a
+  // compiler by design, but here we want the fully degraded path.
+  const std::filesystem::path cache =
+      std::filesystem::path(::testing::TempDir()) / "osguard-tier-broken-cc";
+  std::filesystem::remove_all(cache);
+  NativeTierOptions tier;
+  tier.enabled = true;
+  tier.promote_after = 0;
+  tier.compiler = "/nonexistent/osguard-no-such-cc";
+  tier.cache_dir = cache.string();
+  MakeEngine(tier);
+  Load(kHotSpec);
+  store_.Save("x", Value(9));  // rule violated: the action must still fire
+  engine_->AdvanceTo(Seconds(2));
+
+  EXPECT_FALSE(engine_->TierOf("hotpath"));
+  EXPECT_EQ(engine_->tier_stats().promotions, 0u);
+  EXPECT_EQ(engine_->tier_stats().native_evals, 0u);
+  EXPECT_GT(engine_->tier_stats().interp_evals, 0u);
+  // The engine still does its job on the interpreter.
+  const MonitorStats* stats = engine_->FindStats("hotpath");
+  ASSERT_NE(stats, nullptr);
+  EXPECT_GT(stats->evaluations, 0u);
+  EXPECT_GT(stats->violations, 0u);
+  EXPECT_TRUE(store_.LoadOr("tripped", Value(false)).NumericOr(0) > 0);
+}
+
+TEST_F(NativeTierTest, TierDisabledMeansNoTierStateAtAll) {
+  MakeEngine(NativeTierOptions{});  // default: disabled
+  Load(kHotSpec);
+  engine_->AdvanceTo(Seconds(1));
+  EXPECT_EQ(engine_->native_aot(), nullptr);
+  EXPECT_FALSE(engine_->TierOf("hotpath"));
+  EXPECT_EQ(engine_->tier_stats().promotions, 0u);
+  EXPECT_EQ(engine_->tier_stats().interp_evals, 0u);  // not even counted
+  EXPECT_FALSE(store_.Contains("engine.tier.promotions"));
+  EXPECT_FALSE(store_.Contains("engine.tier.hotpath"));
+}
+
+// --- meta { tier = ... } sema ---
+
+TEST(TierHintDslTest, TierAttributeParses) {
+  auto spec = ParseSpecSource(R"(
+    guardrail t {
+      trigger: { TIMER(1s, 1s) },
+      rule: { true },
+      action: { REPORT() },
+      meta: { tier = native }
+    }
+  )");
+  ASSERT_TRUE(spec.ok()) << spec.status().message();
+  auto analyzed = Analyze(std::move(spec).value());
+  ASSERT_TRUE(analyzed.ok()) << analyzed.status().message();
+  EXPECT_EQ(analyzed.value().guardrails[0].meta.tier, TierHint::kNative);
+  EXPECT_EQ(TierHintName(TierHint::kNative), "native");
+  EXPECT_EQ(TierHintName(TierHint::kInterpreter), "interpreter");
+  EXPECT_EQ(TierHintName(TierHint::kAuto), "auto");
+}
+
+TEST(TierHintDslTest, DefaultsToAutoAndRejectsJunk) {
+  auto spec = ParseSpecSource(R"(
+    guardrail t {
+      trigger: { TIMER(1s, 1s) },
+      rule: { true },
+      action: { REPORT() }
+    }
+  )");
+  ASSERT_TRUE(spec.ok());
+  auto analyzed = Analyze(std::move(spec).value());
+  ASSERT_TRUE(analyzed.ok());
+  EXPECT_EQ(analyzed.value().guardrails[0].meta.tier, TierHint::kAuto);
+
+  auto bad = ParseSpecSource(R"(
+    guardrail t {
+      trigger: { TIMER(1s, 1s) },
+      rule: { true },
+      action: { REPORT() },
+      meta: { tier = turbo }
+    }
+  )");
+  ASSERT_TRUE(bad.ok());
+  EXPECT_FALSE(Analyze(std::move(bad).value()).ok());
+}
+
+}  // namespace
+}  // namespace osguard
