@@ -52,6 +52,12 @@ Result<Value> ActionDispatcher::RunAction(HelperId id, std::span<const Value> ar
 
 Result<Value> ActionDispatcher::Dispatch(HelperId id, std::span<const Value> args,
                                          const ActionEnvelope& envelope) {
+  if (!measure_wall_time_) {
+    Result<Value> result = DispatchChain(id, args, envelope);
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.dispatches;
+    return result;
+  }
   const auto start = std::chrono::steady_clock::now();
   Result<Value> result = DispatchChain(id, args, envelope);
   const int64_t elapsed_ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
@@ -271,6 +277,11 @@ Result<Value> ActionDispatcher::DoDeprioritize(std::span<const Value> args,
 ActionStats ActionDispatcher::stats() const {
   std::lock_guard<std::mutex> lock(mu_);
   return stats_;
+}
+
+void ActionDispatcher::RestoreStats(const ActionStats& stats) {
+  std::lock_guard<std::mutex> lock(mu_);
+  stats_ = stats;
 }
 
 uint64_t ActionDispatcher::failure_count() const {

@@ -114,6 +114,16 @@ class ActionDispatcher {
   // counters published — unit-test dispatchers need no store).
   void SetStore(FeatureStore* store) { store_ = store; }
 
+  // Host-clock latency measurement around each dispatch (on by default).
+  // When off, the latency stats stay zero and the actions.latency.* keys are
+  // never published — deterministic replays (persist differential, chaos
+  // replay) need two runs of the same simulation to write identical store
+  // contents, and wall-clock gauges are the one source of divergence.
+  void SetMeasureWallTime(bool measure) { measure_wall_time_ = measure; }
+
+  // Reinstates persisted counters (osguard::persist warm restart).
+  void RestoreStats(const ActionStats& stats);
+
   // Fallback policies for exhausted REPLACE chains, tried in order; the
   // first one the registry accepts wins. At most one fallback engagement
   // per exhausted chain.
@@ -148,6 +158,7 @@ class ActionDispatcher {
   RecordingTaskControl fallback_task_control_;
 
   RetryOptions retry_;
+  bool measure_wall_time_ = true;
   ChaosEngine* chaos_ = nullptr;
   ChaosSiteId fail_site_ = kInvalidChaosSite;
   FeatureStore* store_ = nullptr;

@@ -43,6 +43,15 @@ struct ReportRecord {
   std::string ToString() const;
 };
 
+// Counter state of a Reporter, in deterministic (sorted) order so two
+// reporters with identical history snapshot to identical bytes. Used by
+// osguard::persist via the engine's state image.
+struct ReporterSnapshot {
+  uint64_t next_sequence = 0;
+  std::vector<std::pair<std::string, uint64_t>> per_guardrail;  // sorted by name
+  std::vector<std::pair<int, uint64_t>> per_kind;               // sorted by kind
+};
+
 class Reporter {
  public:
   explicit Reporter(size_t capacity = 4096) : capacity_(capacity) {}
@@ -55,9 +64,25 @@ class Reporter {
   std::vector<ReportRecord> Records() const;
   std::vector<ReportRecord> RecordsFor(const std::string& guardrail) const;
 
+  // Retained records with sequence >= from, oldest first (the persist
+  // layer's per-frame delta: records reported since the last commit).
+  std::vector<ReportRecord> RecordsSince(uint64_t from) const;
+
   uint64_t total_reports() const;
   uint64_t CountFor(const std::string& guardrail) const;
   uint64_t CountOfKind(ReportKind kind) const;
+
+  // --- Persistence (osguard::persist) ---
+
+  ReporterSnapshot SnapshotCounters() const;
+  void RestoreCounters(const ReporterSnapshot& snapshot);
+
+  // Re-inserts a persisted record verbatim: the stored sequence number is
+  // preserved, counters do not advance (RestoreCounters carries them), and
+  // nothing is mirrored to the logger. Evicts at capacity, so replaying a
+  // baseline run's records yields a bit-identical ring even when the replay
+  // spans more records than the ring holds.
+  void RestoreRecord(ReportRecord record);
 
   void Clear();
 

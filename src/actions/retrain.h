@@ -19,6 +19,8 @@
 #include <optional>
 #include <string>
 #include <unordered_map>
+#include <utility>
+#include <vector>
 
 #include "src/support/status.h"
 #include "src/support/time.h"
@@ -46,6 +48,16 @@ struct RetrainQueueStats {
   uint64_t drained = 0;
 };
 
+// Full queue state in deterministic (sorted) order, for osguard::persist.
+// The throttle map matters across a reboot: forgetting last_accepted would
+// let a crash bypass the §3.2 anti-abuse rate limit.
+struct RetrainQueueState {
+  std::vector<RetrainRequest> queue;  // FIFO order
+  std::vector<std::pair<std::string, SimTime>> last_accepted;  // sorted by model
+  std::vector<std::pair<std::string, int>> queued_count;       // sorted by model
+  RetrainQueueStats stats;
+};
+
 class RetrainQueue {
  public:
   explicit RetrainQueue(RetrainQueueOptions options = {}) : options_(options) {}
@@ -63,6 +75,10 @@ class RetrainQueue {
   size_t depth() const;
   RetrainQueueStats stats() const;
   void Clear();
+
+  // --- Persistence (osguard::persist) ---
+  RetrainQueueState ExportState() const;
+  void RestoreState(const RetrainQueueState& state);
 
  private:
   RetrainQueueOptions options_;

@@ -55,6 +55,21 @@ inline constexpr char kChaosSiteHelperFail[] = "runtime.helper_fail";
 inline constexpr char kChaosSiteDispatchFail[] = "actions.dispatch_fail";
 inline constexpr char kChaosSiteProbeFail[] = "supervisor.probe_fail";
 inline constexpr char kChaosSiteBudgetExhaust[] = "vm.budget_exhaust";
+// Persistence-layer faults (osguard::persist). These damage the *files*, not
+// the in-memory state — the process keeps running unaware, and the damage is
+// discovered (and must be survived) at recovery time:
+//   persist.torn_write    — journal append stops mid-frame (decision value in
+//                           (0,1] = fraction of the frame that lands; 0.5
+//                           when unset)
+//   persist.crc_corrupt   — one bit of the frame payload flips after the CRC
+//                           was computed
+//   persist.truncate_tail — the journal loses its final bytes after a
+//                           successful append (value = fraction of the frame)
+//   persist.snapshot_fail — a snapshot write aborts before the atomic rename
+inline constexpr char kChaosSitePersistTornWrite[] = "persist.torn_write";
+inline constexpr char kChaosSitePersistCrcCorrupt[] = "persist.crc_corrupt";
+inline constexpr char kChaosSitePersistTruncateTail[] = "persist.truncate_tail";
+inline constexpr char kChaosSitePersistSnapshotFail[] = "persist.snapshot_fail";
 
 enum class FaultMode {
   kOff = 0,    // never inject (the default for every registered site)

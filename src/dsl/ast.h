@@ -154,10 +154,20 @@ struct ChaosDecl {
   std::vector<ChaosSiteDecl> sites;
 };
 
-// A parsed spec file: guardrail declarations plus an optional chaos block.
+// A top-level `persist { interval = 10s, journal_budget = 1048576 }` block
+// configuring crash-consistent state (osguard::persist). Absent means
+// persistence stays off — the off == absent convention chaos established.
+struct PersistDecl {
+  int line = 0;
+  std::vector<MetaAttr> attrs;
+};
+
+// A parsed spec file: guardrail declarations plus optional chaos / persist
+// blocks.
 struct SpecFile {
   std::vector<GuardrailDecl> guardrails;
   std::optional<ChaosDecl> chaos;
+  std::optional<PersistDecl> persist;
 };
 
 }  // namespace osguard

@@ -60,11 +60,23 @@ Result<SpecFile> Parser::ParseSpec() {
       spec.chaos = std::move(chaos);
       continue;
     }
+    // `persist` is contextual the same way.
+    if (Check(TokenKind::kIdent) && Peek().text == "persist" &&
+        Peek(1).kind == TokenKind::kLBrace) {
+      if (spec.persist.has_value()) {
+        return ErrorAt(Peek(), "duplicate persist block");
+      }
+      OSGUARD_ASSIGN_OR_RETURN(PersistDecl persist, ParsePersistBlock());
+      spec.persist = std::move(persist);
+      continue;
+    }
     OSGUARD_ASSIGN_OR_RETURN(GuardrailDecl decl, ParseGuardrail());
     spec.guardrails.push_back(std::move(decl));
   }
-  if (spec.guardrails.empty() && !spec.chaos.has_value()) {
-    return ParseError("spec file contains no guardrail declarations");
+  if (spec.guardrails.empty() && !spec.chaos.has_value() && !spec.persist.has_value()) {
+    return ParseError(
+        "spec file contains no guardrail declarations (and no chaos or persist "
+        "block) at line 1");
   }
   return spec;
 }
@@ -166,20 +178,24 @@ Result<GuardrailDecl> Parser::ParseGuardrail() {
   Advance();  // consume '}'
 
   if (!saw_trigger) {
-    return ParseError("guardrail '" + decl.name + "' has no trigger section");
+    return ParseError("guardrail '" + decl.name + "' (line " +
+                      std::to_string(decl.line) + ") has no trigger section");
   }
   if (!saw_rule) {
-    return ParseError("guardrail '" + decl.name + "' has no rule section");
+    return ParseError("guardrail '" + decl.name + "' (line " +
+                      std::to_string(decl.line) + ") has no rule section");
   }
   if (!saw_action) {
-    return ParseError("guardrail '" + decl.name + "' has no action section");
+    return ParseError("guardrail '" + decl.name + "' (line " +
+                      std::to_string(decl.line) + ") has no action section");
   }
   return decl;
 }
 
 Status Parser::ParseTriggerSection(GuardrailDecl& decl) {
   OSGUARD_RETURN_IF_ERROR(Expect(TokenKind::kColon, "after 'trigger'").status());
-  OSGUARD_RETURN_IF_ERROR(Expect(TokenKind::kLBrace, "to open the trigger block").status());
+  OSGUARD_ASSIGN_OR_RETURN(Token open,
+                           Expect(TokenKind::kLBrace, "to open the trigger block"));
   while (!Check(TokenKind::kRBrace)) {
     auto trigger = ParseTrigger();
     OSGUARD_RETURN_IF_ERROR(trigger.status());
@@ -190,7 +206,8 @@ Status Parser::ParseTriggerSection(GuardrailDecl& decl) {
   }
   OSGUARD_RETURN_IF_ERROR(Expect(TokenKind::kRBrace, "to close the trigger block").status());
   if (decl.triggers.empty()) {
-    return ParseError("trigger block of guardrail '" + decl.name + "' is empty");
+    return ParseError("trigger block of guardrail '" + decl.name + "' is empty (line " +
+                      std::to_string(open.line) + ")");
   }
   return OkStatus();
 }
@@ -237,7 +254,8 @@ Result<TriggerDecl> Parser::ParseTrigger() {
 
 Status Parser::ParseRuleSection(GuardrailDecl& decl) {
   OSGUARD_RETURN_IF_ERROR(Expect(TokenKind::kColon, "after 'rule'").status());
-  OSGUARD_RETURN_IF_ERROR(Expect(TokenKind::kLBrace, "to open the rule block").status());
+  OSGUARD_ASSIGN_OR_RETURN(Token open,
+                           Expect(TokenKind::kLBrace, "to open the rule block"));
   while (!Check(TokenKind::kRBrace)) {
     OSGUARD_ASSIGN_OR_RETURN(ExprPtr rule, ParseExpr());
     decl.rules.push_back(std::move(rule));
@@ -247,17 +265,20 @@ Status Parser::ParseRuleSection(GuardrailDecl& decl) {
   }
   OSGUARD_RETURN_IF_ERROR(Expect(TokenKind::kRBrace, "to close the rule block").status());
   if (decl.rules.empty()) {
-    return ParseError("rule block of guardrail '" + decl.name + "' is empty");
+    return ParseError("rule block of guardrail '" + decl.name + "' is empty (line " +
+                      std::to_string(open.line) + ")");
   }
   return OkStatus();
 }
 
 Status Parser::ParseActionSection(std::vector<ExprPtr>& out) {
-  OSGUARD_RETURN_IF_ERROR(Expect(TokenKind::kLBrace, "to open the action block").status());
+  OSGUARD_ASSIGN_OR_RETURN(Token open,
+                           Expect(TokenKind::kLBrace, "to open the action block"));
   while (!Check(TokenKind::kRBrace)) {
     OSGUARD_ASSIGN_OR_RETURN(ExprPtr stmt, ParseExpr());
     if (stmt->kind != ExprKind::kCall) {
-      return ParseError("action statements must be calls, got: " + stmt->ToString());
+      return ParseError("action statements must be calls, got: " + stmt->ToString() +
+                        " (line " + std::to_string(stmt->line) + ")");
     }
     out.push_back(std::move(stmt));
     // Statements may be separated by ';' or ','; both optional before '}'.
@@ -267,7 +288,7 @@ Status Parser::ParseActionSection(std::vector<ExprPtr>& out) {
   }
   OSGUARD_RETURN_IF_ERROR(Expect(TokenKind::kRBrace, "to close the action block").status());
   if (out.empty()) {
-    return ParseError("action block is empty");
+    return ParseError("action block is empty (line " + std::to_string(open.line) + ")");
   }
   return OkStatus();
 }
@@ -416,6 +437,23 @@ Result<ChaosDecl> Parser::ParseChaosBlock() {
     }
   }
   OSGUARD_RETURN_IF_ERROR(Expect(TokenKind::kRBrace, "to close the chaos block").status());
+  return decl;
+}
+
+// persist := "persist" "{" attr* "}"
+Result<PersistDecl> Parser::ParsePersistBlock() {
+  PersistDecl decl;
+  decl.line = Peek().line;
+  Advance();  // consume 'persist'
+  OSGUARD_RETURN_IF_ERROR(Expect(TokenKind::kLBrace, "to open the persist block").status());
+  while (!Check(TokenKind::kRBrace)) {
+    OSGUARD_ASSIGN_OR_RETURN(MetaAttr attr, ParseAttr("persist"));
+    decl.attrs.push_back(std::move(attr));
+    if (!Match(TokenKind::kComma)) {
+      Match(TokenKind::kSemicolon);
+    }
+  }
+  OSGUARD_RETURN_IF_ERROR(Expect(TokenKind::kRBrace, "to close the persist block").status());
   return decl;
 }
 

@@ -2,9 +2,10 @@
 //
 // Grammar (extends Listing 1 / Listing 2 of the paper):
 //
-//   spec       := (guardrail | chaos)*
+//   spec       := (guardrail | chaos | persist)*
 //   guardrail  := "guardrail" IDENT "{" section* "}"
 //   chaos      := "chaos" "{" (attr | site)* "}"        -- fault injection
+//   persist    := "persist" "{" attr* "}"               -- crash consistency
 //   site       := "site" IDENT "{" attr* "}"
 //   attr       := IDENT "=" (literal | "{" literal-list "}")
 //   section    := "trigger"    ":" "{" trigger ("," trigger)* [","] "}"
@@ -65,6 +66,7 @@ class Parser {
   Status ParseHealthSection(GuardrailDecl& decl);
   Result<TriggerDecl> ParseTrigger();
   Result<ChaosDecl> ParseChaosBlock();
+  Result<PersistDecl> ParsePersistBlock();
   Result<MetaAttr> ParseAttr(const char* context);
 
   Result<ExprPtr> ParseExpr();

@@ -488,6 +488,30 @@ Result<AnalyzedChaos> AnalyzeChaos(const ChaosDecl& decl) {
   return out;
 }
 
+Result<AnalyzedPersist> AnalyzePersist(const PersistDecl& decl) {
+  AnalyzedPersist out;
+  for (const MetaAttr& attr : decl.attrs) {
+    const std::string loc = " (persist block, line " + std::to_string(attr.line) + ")";
+    if (attr.key == "interval") {
+      OSGUARD_ASSIGN_OR_RETURN(int64_t interval, attr.value.AsInt());
+      if (interval <= 0) {
+        return SemanticError("interval must be a positive duration" + loc);
+      }
+      out.snapshot_interval = interval;
+    } else if (attr.key == "journal_budget") {
+      OSGUARD_ASSIGN_OR_RETURN(int64_t budget, attr.value.AsInt());
+      if (budget < 0) {
+        return SemanticError("journal_budget must be >= 0 bytes (0 = unbounded)" + loc);
+      }
+      out.journal_budget = static_cast<uint64_t>(budget);
+    } else {
+      return SemanticError("unknown persist attribute '" + attr.key +
+                           "' (expected interval or journal_budget)" + loc);
+    }
+  }
+  return out;
+}
+
 }  // namespace
 
 Result<Value> EvalConst(const Expr& expr) {
@@ -652,6 +676,10 @@ Result<AnalyzedSpec> Analyze(SpecFile spec) {
   if (spec.chaos.has_value()) {
     OSGUARD_ASSIGN_OR_RETURN(AnalyzedChaos chaos, AnalyzeChaos(*spec.chaos));
     analyzed.chaos = std::move(chaos);
+  }
+  if (spec.persist.has_value()) {
+    OSGUARD_ASSIGN_OR_RETURN(AnalyzedPersist persist, AnalyzePersist(*spec.persist));
+    analyzed.persist = persist;
   }
   return analyzed;
 }

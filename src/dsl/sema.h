@@ -130,9 +130,18 @@ struct AnalyzedChaos {
   std::vector<AnalyzedChaosSite> sites;
 };
 
+// A validated `persist { ... }` block (osguard::persist configuration).
+// Defaults mirror PersistOptions; absence of the block means persistence
+// stays off entirely.
+struct AnalyzedPersist {
+  Duration snapshot_interval = Seconds(10);  // <= 0 disables periodic snapshots
+  uint64_t journal_budget = 1 << 20;         // bytes; 0 = unbounded journal
+};
+
 struct AnalyzedSpec {
   std::vector<AnalyzedGuardrail> guardrails;
   std::optional<AnalyzedChaos> chaos;
+  std::optional<AnalyzedPersist> persist;
 };
 
 // Consumes the spec (triggers are folded in place).

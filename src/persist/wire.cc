@@ -1,0 +1,197 @@
+#include "src/persist/wire.h"
+
+#include <bit>
+#include <cstring>
+#include <utility>
+#include <vector>
+
+namespace osguard {
+
+namespace {
+
+struct Crc32Table {
+  uint32_t entries[256];
+  Crc32Table() {
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1) ? 0xedb88320u ^ (c >> 1) : c >> 1;
+      }
+      entries[i] = c;
+    }
+  }
+};
+
+Status TruncatedError(size_t offset, size_t need, size_t have) {
+  return OutOfRangeError("truncated: need " + std::to_string(need) + " bytes at offset " +
+                         std::to_string(offset) + ", have " + std::to_string(have));
+}
+
+}  // namespace
+
+uint32_t Crc32(std::string_view data) {
+  static const Crc32Table table;
+  uint32_t crc = 0xffffffffu;
+  for (const char ch : data) {
+    crc = table.entries[(crc ^ static_cast<uint8_t>(ch)) & 0xffu] ^ (crc >> 8);
+  }
+  return crc ^ 0xffffffffu;
+}
+
+void ByteWriter::U32(uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out_->push_back(static_cast<char>((v >> (8 * i)) & 0xffu));
+  }
+}
+
+void ByteWriter::U64(uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out_->push_back(static_cast<char>((v >> (8 * i)) & 0xffu));
+  }
+}
+
+void ByteWriter::F64(double v) {
+  uint64_t bits;
+  static_assert(sizeof(bits) == sizeof(v));
+  std::memcpy(&bits, &v, sizeof(bits));
+  U64(bits);
+}
+
+void ByteWriter::Str(std::string_view s) {
+  U32(static_cast<uint32_t>(s.size()));
+  out_->append(s);
+}
+
+Result<uint8_t> ByteReader::U8() {
+  if (remaining() < 1) {
+    return TruncatedError(offset_, 1, remaining());
+  }
+  return static_cast<uint8_t>(data_[offset_++]);
+}
+
+Result<uint32_t> ByteReader::U32() {
+  if (remaining() < 4) {
+    return TruncatedError(offset_, 4, remaining());
+  }
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<uint32_t>(static_cast<uint8_t>(data_[offset_ + i])) << (8 * i);
+  }
+  offset_ += 4;
+  return v;
+}
+
+Result<uint64_t> ByteReader::U64() {
+  if (remaining() < 8) {
+    return TruncatedError(offset_, 8, remaining());
+  }
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<uint64_t>(static_cast<uint8_t>(data_[offset_ + i])) << (8 * i);
+  }
+  offset_ += 8;
+  return v;
+}
+
+Result<int64_t> ByteReader::I64() {
+  OSGUARD_ASSIGN_OR_RETURN(uint64_t v, U64());
+  return static_cast<int64_t>(v);
+}
+
+Result<double> ByteReader::F64() {
+  OSGUARD_ASSIGN_OR_RETURN(uint64_t bits, U64());
+  double v;
+  std::memcpy(&v, &bits, sizeof(v));
+  return v;
+}
+
+Result<std::string_view> ByteReader::Str() {
+  OSGUARD_ASSIGN_OR_RETURN(uint32_t len, U32());
+  return Bytes(len);
+}
+
+Result<std::string_view> ByteReader::Bytes(size_t n) {
+  if (remaining() < n) {
+    return TruncatedError(offset_, n, remaining());
+  }
+  std::string_view view = data_.substr(offset_, n);
+  offset_ += n;
+  return view;
+}
+
+void WriteValue(ByteWriter& w, const Value& value) {
+  w.U8(static_cast<uint8_t>(value.type()));
+  switch (value.type()) {
+    case ValueType::kNil:
+      break;
+    case ValueType::kInt:
+      w.I64(*value.IfInt());
+      break;
+    case ValueType::kFloat:
+      w.F64(*value.IfFloat());
+      break;
+    case ValueType::kBool:
+      w.U8(*value.IfBool() ? 1 : 0);
+      break;
+    case ValueType::kString:
+      w.Str(*value.IfString());
+      break;
+    case ValueType::kList: {
+      const std::vector<Value>& items = *value.IfList();
+      w.U32(static_cast<uint32_t>(items.size()));
+      for (const Value& item : items) {
+        WriteValue(w, item);
+      }
+      break;
+    }
+  }
+}
+
+Result<Value> ReadValue(ByteReader& r, int depth) {
+  if (depth > 32) {
+    return OutOfRangeError("value nesting exceeds depth 32 at offset " +
+                           std::to_string(r.offset()));
+  }
+  OSGUARD_ASSIGN_OR_RETURN(uint8_t tag, r.U8());
+  switch (static_cast<ValueType>(tag)) {
+    case ValueType::kNil:
+      return Value();
+    case ValueType::kInt: {
+      OSGUARD_ASSIGN_OR_RETURN(int64_t v, r.I64());
+      return Value(v);
+    }
+    case ValueType::kFloat: {
+      OSGUARD_ASSIGN_OR_RETURN(double v, r.F64());
+      return Value(v);
+    }
+    case ValueType::kBool: {
+      OSGUARD_ASSIGN_OR_RETURN(uint8_t v, r.U8());
+      return Value(v != 0);
+    }
+    case ValueType::kString: {
+      OSGUARD_ASSIGN_OR_RETURN(std::string_view s, r.Str());
+      return Value(std::string(s));
+    }
+    case ValueType::kList: {
+      OSGUARD_ASSIGN_OR_RETURN(uint32_t count, r.U32());
+      // Every element is at least one tag byte, so a count beyond the
+      // remaining input is corrupt — reject before allocating.
+      if (count > r.remaining()) {
+        return OutOfRangeError("list count " + std::to_string(count) +
+                               " exceeds remaining input at offset " +
+                               std::to_string(r.offset()));
+      }
+      std::vector<Value> items;
+      items.reserve(count);
+      for (uint32_t i = 0; i < count; ++i) {
+        OSGUARD_ASSIGN_OR_RETURN(Value item, ReadValue(r, depth + 1));
+        items.push_back(std::move(item));
+      }
+      return Value(std::move(items));
+    }
+  }
+  return InvalidArgumentError("unknown value tag " + std::to_string(tag) + " at offset " +
+                              std::to_string(r.offset() - 1));
+}
+
+}  // namespace osguard

@@ -135,6 +135,7 @@ Engine::Engine(FeatureStore* store, PolicyRegistry* registry, TaskControl* task_
       env_(store, &dispatcher_),
       native_exec_(&env_) {
   dispatcher_.SetStore(store);  // publishes the actions.* failure counters
+  dispatcher_.SetMeasureWallTime(options_.measure_wall_time);
   supervisor_.SetStore(store);  // publishes the supervisor.* health keys
   pending_changes_.reserve(64);
   drain_batch_.reserve(64);
@@ -242,6 +243,9 @@ Status Engine::Load(CompiledGuardrail guardrail) {
     monitor->stats.in_violation = old.in_violation;
     monitor->stats.consecutive_violations = old.consecutive_violations;
     monitor->stats.last_action_time = old.last_action_time;
+    // uptime_evals counts the monitored *name*, not the program version.
+    monitor->stats.uptime_evals = old.uptime_evals;
+    monitor->uptime_published = existing->second->uptime_published;
   }
   const GuardrailHealth& health = monitor->guardrail.meta.health;
   if (replacing && health.supervised && health.probation > 0) {
@@ -261,9 +265,13 @@ Status Engine::Load(CompiledGuardrail guardrail) {
                               : options_.tier.promote_after;
     store_->Save(monitor->tier_key, Value(static_cast<int64_t>(0)));
   }
+  monitor->uptime_key = store_->InternKey("monitor." + name + ".uptime_evals");
   monitors_[name] = std::move(monitor);  // replace-by-name is the update path
   ArmTimers(*monitors_[name]);
   RebuildFunctionIndex();
+  if (persist_ != nullptr) {
+    persist_->MarkDirty();
+  }
   OSGUARD_LOG(kDebug) << "loaded guardrail '" << name << "'";
   return OkStatus();
 }
@@ -275,6 +283,12 @@ Status Engine::LoadSource(const std::string& source) {
   OSGUARD_ASSIGN_OR_RETURN(AnalyzedSpec analyzed, Analyze(std::move(spec)));
   if (analyzed.chaos.has_value() && chaos_ != nullptr) {
     OSGUARD_RETURN_IF_ERROR(ApplyChaosSpec(*analyzed.chaos, *chaos_));
+  }
+  // Same contract as chaos: a persist block with no manager attached is
+  // validated but inert.
+  if (analyzed.persist.has_value() && persist_ != nullptr) {
+    persist_->Configure(analyzed.persist->snapshot_interval,
+                        analyzed.persist->journal_budget);
   }
   OSGUARD_ASSIGN_OR_RETURN(std::vector<CompiledGuardrail> compiled, CompileSpec(analyzed));
   for (CompiledGuardrail& guardrail : compiled) {
@@ -305,6 +319,9 @@ Status Engine::Unload(const std::string& name) {
   monitors_.erase(it);  // queued timer entries die via generation mismatch
   supervisor_.OnUnload(name);
   RebuildFunctionIndex();
+  if (persist_ != nullptr) {
+    persist_->MarkDirty();
+  }
   return OkStatus();
 }
 
@@ -314,6 +331,9 @@ Status Engine::SetEnabled(const std::string& name, bool enabled) {
     return NotFoundError("no guardrail named '" + name + "'");
   }
   it->second->enabled = enabled;
+  if (persist_ != nullptr) {
+    persist_->MarkDirty();
+  }
   return OkStatus();
 }
 
@@ -379,7 +399,9 @@ void Engine::AdvanceTo(SimTime t) {
     ApplyPendingRollbacks();
   }
   now_ = std::max(now_, t);
+  PublishUptimeStats();
   PublishTierStats();
+  CommitPersist();
 }
 
 void Engine::OnFunctionCall(std::string_view function, SimTime t) {
@@ -412,7 +434,9 @@ void Engine::OnFunctionCall(std::string_view function, SimTime t) {
     }
   }
   ApplyPendingRollbacks();  // after the loop: `it` is dead past this point
+  PublishUptimeStats();
   PublishTierStats();
+  CommitPersist();
 }
 
 void Engine::OnStoreWrite(KeyId id) {
@@ -536,9 +560,15 @@ void Engine::ApplyPendingRollbacks() {
                                   restored->guardrail.meta.severity, name,
                                   "probation deploy rolled back by supervisor",
                                   {}});
+    restored->stats.uptime_evals = doomed.stats.uptime_evals;
+    restored->uptime_published = doomed.uptime_published;
+    restored->uptime_key = doomed.uptime_key;
     it->second = std::move(restored);
     ArmTimers(*it->second);
     RebuildFunctionIndex();
+    if (persist_ != nullptr) {
+      persist_->MarkDirty();
+    }
     OSGUARD_LOG(kDebug) << "rolled back guardrail '" << name
                         << "' to its pre-deploy version";
   }
@@ -718,6 +748,11 @@ void Engine::RunActions(Monitor& monitor, const Program& program, SimTime t) {
 }
 
 void Engine::Evaluate(Monitor& monitor, SimTime t) {
+  if (persist_ != nullptr) {
+    // Every evaluation moves protocol state (stats, gate counters, EWMAs),
+    // so the boundary that follows must commit a frame.
+    persist_->MarkDirty();
+  }
   // Mark the engine as evaluating so store writes made by this monitor's
   // own programs defer their ONCHANGE processing (no re-entrant evaluation).
   const bool outermost = !evaluating_;
@@ -768,6 +803,8 @@ void Engine::EvaluateInner(Monitor& monitor, SimTime t) {
 void Engine::EvaluateCore(Monitor& monitor, SimTime t, GateDecision gate) {
   MonitorStats& stats = monitor.stats;
   ++stats.evaluations;
+  ++stats.uptime_evals;
+  uptime_dirty_ = true;
   ++stats_.evaluations;
   if (options_.tier.enabled) {
     MaybePromote(monitor);
@@ -873,6 +910,636 @@ void Engine::EvaluateCore(Monitor& monitor, SimTime t, GateDecision gate) {
     supervisor_.OnViolationFlip(*guard, monitor.guardrail.name, t);
   }
   RunActions(monitor, monitor.guardrail.action, t);
+}
+
+// --- Crash consistency (osguard::persist) ---
+
+namespace {
+
+constexpr uint32_t kImageVersion = 1;
+
+void WriteReportRecord(ByteWriter& w, const ReportRecord& record) {
+  w.U64(record.sequence);
+  w.I64(record.time);
+  w.U8(static_cast<uint8_t>(record.kind));
+  w.U8(static_cast<uint8_t>(record.severity));
+  w.Str(record.guardrail);
+  w.Str(record.message);
+  w.U32(static_cast<uint32_t>(record.payload.size()));
+  for (const Value& v : record.payload) {
+    WriteValue(w, v);
+  }
+}
+
+Result<ReportRecord> ReadReportRecord(ByteReader& r) {
+  ReportRecord record;
+  OSGUARD_ASSIGN_OR_RETURN(record.sequence, r.U64());
+  OSGUARD_ASSIGN_OR_RETURN(record.time, r.I64());
+  OSGUARD_ASSIGN_OR_RETURN(uint8_t kind, r.U8());
+  if (kind > static_cast<uint8_t>(ReportKind::kMonitorError)) {
+    return InvalidArgumentError("report record: bad kind " + std::to_string(kind));
+  }
+  record.kind = static_cast<ReportKind>(kind);
+  OSGUARD_ASSIGN_OR_RETURN(uint8_t severity, r.U8());
+  if (severity > static_cast<uint8_t>(Severity::kCritical)) {
+    return InvalidArgumentError("report record: bad severity " + std::to_string(severity));
+  }
+  record.severity = static_cast<Severity>(severity);
+  OSGUARD_ASSIGN_OR_RETURN(std::string_view guardrail, r.Str());
+  record.guardrail = std::string(guardrail);
+  OSGUARD_ASSIGN_OR_RETURN(std::string_view message, r.Str());
+  record.message = std::string(message);
+  OSGUARD_ASSIGN_OR_RETURN(uint32_t payload_count, r.U32());
+  if (payload_count > r.remaining()) {
+    return InvalidArgumentError("report record: payload count " +
+                                std::to_string(payload_count) + " exceeds input");
+  }
+  record.payload.reserve(payload_count);
+  for (uint32_t i = 0; i < payload_count; ++i) {
+    OSGUARD_ASSIGN_OR_RETURN(Value v, ReadValue(r));
+    record.payload.push_back(std::move(v));
+  }
+  return record;
+}
+
+// Per-monitor image payload, decoded whether or not the monitor still
+// exists (the bytes must be consumed either way).
+struct MonitorImage {
+  std::string name;
+  bool enabled = true;
+  MonitorStats stats;
+  bool promoted = false;
+  bool native_failed = false;
+  uint64_t promote_at = 0;
+  bool has_guard = false;
+  GuardHealth guard;  // config / export keys unused; protocol fields only
+};
+
+void WriteGuardHealth(ByteWriter& w, const GuardHealth& g) {
+  w.U8(static_cast<uint8_t>(g.state));
+  w.F64(g.fail_ewma);
+  w.F64(g.cost_ewma_steps);
+  w.I64(g.failure_streak);
+  w.U64(g.open_triggers);
+  w.I64(g.probe_successes);
+  w.U32(static_cast<uint32_t>(g.flips.size()));
+  for (const SimTime flip : g.flips) {
+    w.I64(flip);
+  }
+  w.U8(g.in_probation ? 1 : 0);
+  w.I64(g.probation_until);
+  w.F64(g.baseline_fail_ewma);
+  w.U8(g.rollback_pending ? 1 : 0);
+  w.U8(g.quarantine_action_pending ? 1 : 0);
+  w.U64(g.evals);
+  w.U64(g.budget_aborts);
+  w.U64(g.eval_errors);
+  w.U64(g.action_failures);
+  w.U64(g.flap_events);
+  w.U64(g.skipped);
+  w.U64(g.probes);
+  w.U64(g.probe_failures);
+  w.U64(g.quarantines);
+  w.U64(g.reinstatements);
+}
+
+Status ReadGuardHealth(ByteReader& r, GuardHealth* g) {
+  OSGUARD_ASSIGN_OR_RETURN(uint8_t state, r.U8());
+  if (state > static_cast<uint8_t>(BreakerState::kHalfOpen)) {
+    return InvalidArgumentError("image: bad breaker state " + std::to_string(state));
+  }
+  g->state = static_cast<BreakerState>(state);
+  OSGUARD_ASSIGN_OR_RETURN(g->fail_ewma, r.F64());
+  OSGUARD_ASSIGN_OR_RETURN(g->cost_ewma_steps, r.F64());
+  OSGUARD_ASSIGN_OR_RETURN(int64_t streak, r.I64());
+  g->failure_streak = static_cast<int>(streak);
+  OSGUARD_ASSIGN_OR_RETURN(g->open_triggers, r.U64());
+  OSGUARD_ASSIGN_OR_RETURN(int64_t probe_successes, r.I64());
+  g->probe_successes = static_cast<int>(probe_successes);
+  OSGUARD_ASSIGN_OR_RETURN(uint32_t flip_count, r.U32());
+  if (flip_count > r.remaining()) {
+    return InvalidArgumentError("image: flip count " + std::to_string(flip_count) +
+                                " exceeds input");
+  }
+  g->flips.clear();
+  for (uint32_t i = 0; i < flip_count; ++i) {
+    OSGUARD_ASSIGN_OR_RETURN(SimTime flip, r.I64());
+    g->flips.push_back(flip);
+  }
+  OSGUARD_ASSIGN_OR_RETURN(uint8_t in_probation, r.U8());
+  g->in_probation = in_probation != 0;
+  OSGUARD_ASSIGN_OR_RETURN(g->probation_until, r.I64());
+  OSGUARD_ASSIGN_OR_RETURN(g->baseline_fail_ewma, r.F64());
+  OSGUARD_ASSIGN_OR_RETURN(uint8_t rollback_pending, r.U8());
+  g->rollback_pending = rollback_pending != 0;
+  OSGUARD_ASSIGN_OR_RETURN(uint8_t quarantine_pending, r.U8());
+  g->quarantine_action_pending = quarantine_pending != 0;
+  OSGUARD_ASSIGN_OR_RETURN(g->evals, r.U64());
+  OSGUARD_ASSIGN_OR_RETURN(g->budget_aborts, r.U64());
+  OSGUARD_ASSIGN_OR_RETURN(g->eval_errors, r.U64());
+  OSGUARD_ASSIGN_OR_RETURN(g->action_failures, r.U64());
+  OSGUARD_ASSIGN_OR_RETURN(g->flap_events, r.U64());
+  OSGUARD_ASSIGN_OR_RETURN(g->skipped, r.U64());
+  OSGUARD_ASSIGN_OR_RETURN(g->probes, r.U64());
+  OSGUARD_ASSIGN_OR_RETURN(g->probe_failures, r.U64());
+  OSGUARD_ASSIGN_OR_RETURN(g->quarantines, r.U64());
+  OSGUARD_ASSIGN_OR_RETURN(g->reinstatements, r.U64());
+  return OkStatus();
+}
+
+Status ReadMonitorImage(ByteReader& r, MonitorImage* m) {
+  OSGUARD_ASSIGN_OR_RETURN(std::string_view name, r.Str());
+  m->name = std::string(name);
+  OSGUARD_ASSIGN_OR_RETURN(uint8_t enabled, r.U8());
+  m->enabled = enabled != 0;
+  MonitorStats& s = m->stats;
+  OSGUARD_ASSIGN_OR_RETURN(s.evaluations, r.U64());
+  OSGUARD_ASSIGN_OR_RETURN(s.violations, r.U64());
+  OSGUARD_ASSIGN_OR_RETURN(s.action_firings, r.U64());
+  OSGUARD_ASSIGN_OR_RETURN(s.satisfy_firings, r.U64());
+  OSGUARD_ASSIGN_OR_RETURN(s.errors, r.U64());
+  OSGUARD_ASSIGN_OR_RETURN(s.suppressed_hysteresis, r.U64());
+  OSGUARD_ASSIGN_OR_RETURN(s.suppressed_cooldown, r.U64());
+  OSGUARD_ASSIGN_OR_RETURN(s.rule_wall_ns, r.I64());
+  OSGUARD_ASSIGN_OR_RETURN(s.action_wall_ns, r.I64());
+  OSGUARD_ASSIGN_OR_RETURN(uint8_t in_violation, r.U8());
+  s.in_violation = in_violation != 0;
+  OSGUARD_ASSIGN_OR_RETURN(int64_t consecutive, r.I64());
+  s.consecutive_violations = static_cast<int>(consecutive);
+  OSGUARD_ASSIGN_OR_RETURN(s.last_action_time, r.I64());
+  OSGUARD_ASSIGN_OR_RETURN(s.uptime_evals, r.U64());
+  OSGUARD_ASSIGN_OR_RETURN(uint8_t promoted, r.U8());
+  m->promoted = promoted != 0;
+  OSGUARD_ASSIGN_OR_RETURN(uint8_t native_failed, r.U8());
+  m->native_failed = native_failed != 0;
+  OSGUARD_ASSIGN_OR_RETURN(m->promote_at, r.U64());
+  OSGUARD_ASSIGN_OR_RETURN(uint8_t has_guard, r.U8());
+  m->has_guard = has_guard != 0;
+  if (m->has_guard) {
+    OSGUARD_RETURN_IF_ERROR(ReadGuardHealth(r, &m->guard));
+  }
+  return OkStatus();
+}
+
+}  // namespace
+
+void Engine::SetPersist(PersistManager* persist) {
+  persist_ = persist;
+  if (persist_ != nullptr) {
+    persist_->AttachStore(store_);
+    last_report_mark_ = reporter_.total_reports();
+  }
+}
+
+void Engine::PublishUptimeStats() {
+  if (evaluating_ || !uptime_dirty_) {
+    return;
+  }
+  uptime_dirty_ = false;
+  for (auto& [name, monitor] : monitors_) {
+    if (monitor->uptime_key == kInvalidKeyId ||
+        monitor->stats.uptime_evals == monitor->uptime_published) {
+      continue;
+    }
+    monitor->uptime_published = monitor->stats.uptime_evals;
+    store_->Save(monitor->uptime_key,
+                 Value(static_cast<int64_t>(monitor->stats.uptime_evals)));
+  }
+}
+
+void Engine::CommitPersist() {
+  if (persist_ == nullptr || evaluating_ || !persist_->dirty()) {
+    return;
+  }
+  std::string image = EncodeImage();
+  const uint64_t mark = reporter_.total_reports();
+  const Status committed =
+      persist_->CommitFrame(now_, EncodeReportDelta(last_report_mark_), image);
+  // The delta mark advances even on failure: the records were offered once.
+  last_report_mark_ = mark;
+  if (!committed.ok()) {
+    OSGUARD_LOG(kWarning) << "persist commit failed: " << committed.ToString();
+    return;
+  }
+  if (persist_->SnapshotDue(now_)) {
+    const Status snapshot = persist_->WriteSnapshot(
+        now_, store_->DumpSlots(), EncodeReportRing(), std::move(image));
+    if (!snapshot.ok()) {
+      OSGUARD_LOG(kWarning) << "persist snapshot failed: " << snapshot.ToString();
+    }
+  }
+}
+
+std::string Engine::EncodeImage() const {
+  std::string out;
+  ByteWriter w(&out);
+  w.U32(kImageVersion);
+  w.I64(now_);
+  w.U64(next_tiebreak_);
+  w.U64(stats_.timer_firings);
+  w.U64(stats_.function_firings);
+  w.U64(stats_.change_firings);
+  w.U64(stats_.change_cascade_suppressed);
+  w.U64(stats_.evaluations);
+  w.U64(stats_.violations);
+  w.U64(stats_.action_firings);
+  w.U64(stats_.errors);
+  w.U64(stats_.callouts_dropped);
+  w.U64(stats_.callouts_delayed);
+  w.I64(stats_.total_wall_ns);
+  w.U64(tier_stats_.promotions);
+  w.U64(tier_stats_.demotions);
+  w.U64(tier_stats_.native_evals);
+  w.U64(tier_stats_.interp_evals);
+  w.U64(tier_stats_.compile_failures);
+  const ActionStats actions = dispatcher_.stats();
+  w.U64(actions.reports);
+  w.U64(actions.replaces);
+  w.U64(actions.replace_noops);
+  w.U64(actions.retrains_requested);
+  w.U64(actions.retrains_suppressed);
+  w.U64(actions.deprioritizes);
+  w.U64(actions.failures);
+  w.U64(actions.retries);
+  w.U64(actions.fallbacks);
+  w.U64(actions.injected_failures);
+  w.U64(actions.dispatches);
+  w.I64(actions.latency_min_ns);
+  w.I64(actions.latency_max_ns);
+  w.I64(actions.latency_total_ns);
+  const ReporterSnapshot reports = reporter_.SnapshotCounters();
+  w.U64(reports.next_sequence);
+  w.U32(static_cast<uint32_t>(reports.per_guardrail.size()));
+  for (const auto& [guardrail, count] : reports.per_guardrail) {
+    w.Str(guardrail);
+    w.U64(count);
+  }
+  w.U32(static_cast<uint32_t>(reports.per_kind.size()));
+  for (const auto& [kind, count] : reports.per_kind) {
+    w.U32(static_cast<uint32_t>(kind));
+    w.U64(count);
+  }
+  const RetrainQueueState retrain = retrain_queue_.ExportState();
+  w.U32(static_cast<uint32_t>(retrain.queue.size()));
+  for (const RetrainRequest& request : retrain.queue) {
+    w.Str(request.model);
+    w.Str(request.data_key);
+    w.I64(request.requested_at);
+  }
+  w.U32(static_cast<uint32_t>(retrain.last_accepted.size()));
+  for (const auto& [model, at] : retrain.last_accepted) {
+    w.Str(model);
+    w.I64(at);
+  }
+  w.U32(static_cast<uint32_t>(retrain.queued_count.size()));
+  for (const auto& [model, count] : retrain.queued_count) {
+    w.Str(model);
+    w.I64(count);
+  }
+  w.U64(retrain.stats.accepted);
+  w.U64(retrain.stats.throttled);
+  w.U64(retrain.stats.coalesced);
+  w.U64(retrain.stats.overflowed);
+  w.U64(retrain.stats.drained);
+  const SupervisorStats& sup = supervisor_.stats();
+  w.U64(sup.supervised);
+  w.U64(sup.budget_aborts);
+  w.U64(sup.eval_errors);
+  w.U64(sup.flap_events);
+  w.U64(sup.quarantines);
+  w.U64(sup.skipped_evals);
+  w.U64(sup.probes);
+  w.U64(sup.probe_failures);
+  w.U64(sup.reinstatements);
+  w.U64(sup.rollbacks);
+  w.U64(sup.commits);
+  w.U32(static_cast<uint32_t>(monitors_.size()));
+  for (const auto& [name, monitor] : monitors_) {  // std::map: sorted order
+    w.Str(name);
+    w.U8(monitor->enabled ? 1 : 0);
+    const MonitorStats& s = monitor->stats;
+    w.U64(s.evaluations);
+    w.U64(s.violations);
+    w.U64(s.action_firings);
+    w.U64(s.satisfy_firings);
+    w.U64(s.errors);
+    w.U64(s.suppressed_hysteresis);
+    w.U64(s.suppressed_cooldown);
+    w.I64(s.rule_wall_ns);
+    w.I64(s.action_wall_ns);
+    w.U8(s.in_violation ? 1 : 0);
+    w.I64(s.consecutive_violations);
+    w.I64(s.last_action_time);
+    w.U64(s.uptime_evals);
+    w.U8(monitor->promoted ? 1 : 0);
+    w.U8(monitor->native_failed ? 1 : 0);
+    w.U64(monitor->promote_at);
+    w.U8(monitor->guard != nullptr ? 1 : 0);
+    if (monitor->guard != nullptr) {
+      WriteGuardHealth(w, *monitor->guard);
+    }
+  }
+  // Live timer entries, drained in heap (timestamp) order; stale entries
+  // are stale forever, so they are not worth persisting.
+  auto timers = timers_;
+  std::vector<const TimerEntry*> live;
+  std::vector<TimerEntry> drained;
+  drained.reserve(timers.size());
+  while (!timers.empty()) {
+    drained.push_back(timers.top());
+    timers.pop();
+  }
+  for (const TimerEntry& entry : drained) {
+    if (ResolveEntry(entry) != nullptr) {
+      live.push_back(&entry);
+    }
+  }
+  w.U32(static_cast<uint32_t>(live.size()));
+  for (const TimerEntry* entry : live) {
+    w.I64(entry->due);
+    w.U64(entry->tiebreak);
+    w.Str(entry->monitor_name);
+    w.U64(entry->trigger_index);
+  }
+  return out;
+}
+
+Status Engine::ApplyImage(std::string_view image) {
+  ByteReader r(image);
+  OSGUARD_ASSIGN_OR_RETURN(uint32_t version, r.U32());
+  if (version != kImageVersion) {
+    return InvalidArgumentError("image version " + std::to_string(version) +
+                                " is not supported (expected " +
+                                std::to_string(kImageVersion) + ")");
+  }
+  OSGUARD_ASSIGN_OR_RETURN(now_, r.I64());
+  OSGUARD_ASSIGN_OR_RETURN(uint64_t next_tiebreak, r.U64());
+  OSGUARD_ASSIGN_OR_RETURN(stats_.timer_firings, r.U64());
+  OSGUARD_ASSIGN_OR_RETURN(stats_.function_firings, r.U64());
+  OSGUARD_ASSIGN_OR_RETURN(stats_.change_firings, r.U64());
+  OSGUARD_ASSIGN_OR_RETURN(stats_.change_cascade_suppressed, r.U64());
+  OSGUARD_ASSIGN_OR_RETURN(stats_.evaluations, r.U64());
+  OSGUARD_ASSIGN_OR_RETURN(stats_.violations, r.U64());
+  OSGUARD_ASSIGN_OR_RETURN(stats_.action_firings, r.U64());
+  OSGUARD_ASSIGN_OR_RETURN(stats_.errors, r.U64());
+  OSGUARD_ASSIGN_OR_RETURN(stats_.callouts_dropped, r.U64());
+  OSGUARD_ASSIGN_OR_RETURN(stats_.callouts_delayed, r.U64());
+  OSGUARD_ASSIGN_OR_RETURN(stats_.total_wall_ns, r.I64());
+  OSGUARD_ASSIGN_OR_RETURN(tier_stats_.promotions, r.U64());
+  OSGUARD_ASSIGN_OR_RETURN(tier_stats_.demotions, r.U64());
+  OSGUARD_ASSIGN_OR_RETURN(tier_stats_.native_evals, r.U64());
+  OSGUARD_ASSIGN_OR_RETURN(tier_stats_.interp_evals, r.U64());
+  OSGUARD_ASSIGN_OR_RETURN(tier_stats_.compile_failures, r.U64());
+  ActionStats actions;
+  OSGUARD_ASSIGN_OR_RETURN(actions.reports, r.U64());
+  OSGUARD_ASSIGN_OR_RETURN(actions.replaces, r.U64());
+  OSGUARD_ASSIGN_OR_RETURN(actions.replace_noops, r.U64());
+  OSGUARD_ASSIGN_OR_RETURN(actions.retrains_requested, r.U64());
+  OSGUARD_ASSIGN_OR_RETURN(actions.retrains_suppressed, r.U64());
+  OSGUARD_ASSIGN_OR_RETURN(actions.deprioritizes, r.U64());
+  OSGUARD_ASSIGN_OR_RETURN(actions.failures, r.U64());
+  OSGUARD_ASSIGN_OR_RETURN(actions.retries, r.U64());
+  OSGUARD_ASSIGN_OR_RETURN(actions.fallbacks, r.U64());
+  OSGUARD_ASSIGN_OR_RETURN(actions.injected_failures, r.U64());
+  OSGUARD_ASSIGN_OR_RETURN(actions.dispatches, r.U64());
+  OSGUARD_ASSIGN_OR_RETURN(actions.latency_min_ns, r.I64());
+  OSGUARD_ASSIGN_OR_RETURN(actions.latency_max_ns, r.I64());
+  OSGUARD_ASSIGN_OR_RETURN(actions.latency_total_ns, r.I64());
+  dispatcher_.RestoreStats(actions);
+  ReporterSnapshot reports;
+  OSGUARD_ASSIGN_OR_RETURN(reports.next_sequence, r.U64());
+  OSGUARD_ASSIGN_OR_RETURN(uint32_t guardrail_count, r.U32());
+  for (uint32_t i = 0; i < guardrail_count; ++i) {
+    OSGUARD_ASSIGN_OR_RETURN(std::string_view guardrail, r.Str());
+    OSGUARD_ASSIGN_OR_RETURN(uint64_t count, r.U64());
+    reports.per_guardrail.emplace_back(std::string(guardrail), count);
+  }
+  OSGUARD_ASSIGN_OR_RETURN(uint32_t kind_count, r.U32());
+  for (uint32_t i = 0; i < kind_count; ++i) {
+    OSGUARD_ASSIGN_OR_RETURN(uint32_t kind, r.U32());
+    OSGUARD_ASSIGN_OR_RETURN(uint64_t count, r.U64());
+    reports.per_kind.emplace_back(static_cast<int>(kind), count);
+  }
+  reporter_.RestoreCounters(reports);
+  RetrainQueueState retrain;
+  OSGUARD_ASSIGN_OR_RETURN(uint32_t queue_count, r.U32());
+  for (uint32_t i = 0; i < queue_count; ++i) {
+    RetrainRequest request;
+    OSGUARD_ASSIGN_OR_RETURN(std::string_view model, r.Str());
+    request.model = std::string(model);
+    OSGUARD_ASSIGN_OR_RETURN(std::string_view data_key, r.Str());
+    request.data_key = std::string(data_key);
+    OSGUARD_ASSIGN_OR_RETURN(request.requested_at, r.I64());
+    retrain.queue.push_back(std::move(request));
+  }
+  OSGUARD_ASSIGN_OR_RETURN(uint32_t accepted_count, r.U32());
+  for (uint32_t i = 0; i < accepted_count; ++i) {
+    OSGUARD_ASSIGN_OR_RETURN(std::string_view model, r.Str());
+    OSGUARD_ASSIGN_OR_RETURN(SimTime at, r.I64());
+    retrain.last_accepted.emplace_back(std::string(model), at);
+  }
+  OSGUARD_ASSIGN_OR_RETURN(uint32_t queued_count, r.U32());
+  for (uint32_t i = 0; i < queued_count; ++i) {
+    OSGUARD_ASSIGN_OR_RETURN(std::string_view model, r.Str());
+    OSGUARD_ASSIGN_OR_RETURN(int64_t count, r.I64());
+    retrain.queued_count.emplace_back(std::string(model), static_cast<int>(count));
+  }
+  OSGUARD_ASSIGN_OR_RETURN(retrain.stats.accepted, r.U64());
+  OSGUARD_ASSIGN_OR_RETURN(retrain.stats.throttled, r.U64());
+  OSGUARD_ASSIGN_OR_RETURN(retrain.stats.coalesced, r.U64());
+  OSGUARD_ASSIGN_OR_RETURN(retrain.stats.overflowed, r.U64());
+  OSGUARD_ASSIGN_OR_RETURN(retrain.stats.drained, r.U64());
+  retrain_queue_.RestoreState(retrain);
+  SupervisorStats sup;
+  OSGUARD_ASSIGN_OR_RETURN(sup.supervised, r.U64());
+  OSGUARD_ASSIGN_OR_RETURN(sup.budget_aborts, r.U64());
+  OSGUARD_ASSIGN_OR_RETURN(sup.eval_errors, r.U64());
+  OSGUARD_ASSIGN_OR_RETURN(sup.flap_events, r.U64());
+  OSGUARD_ASSIGN_OR_RETURN(sup.quarantines, r.U64());
+  OSGUARD_ASSIGN_OR_RETURN(sup.skipped_evals, r.U64());
+  OSGUARD_ASSIGN_OR_RETURN(sup.probes, r.U64());
+  OSGUARD_ASSIGN_OR_RETURN(sup.probe_failures, r.U64());
+  OSGUARD_ASSIGN_OR_RETURN(sup.reinstatements, r.U64());
+  OSGUARD_ASSIGN_OR_RETURN(sup.rollbacks, r.U64());
+  OSGUARD_ASSIGN_OR_RETURN(sup.commits, r.U64());
+  supervisor_.RestoreStats(sup);
+  OSGUARD_ASSIGN_OR_RETURN(uint32_t monitor_count, r.U32());
+  for (uint32_t i = 0; i < monitor_count; ++i) {
+    MonitorImage m;
+    OSGUARD_RETURN_IF_ERROR(ReadMonitorImage(r, &m));
+    auto it = monitors_.find(m.name);
+    if (it == monitors_.end()) {
+      OSGUARD_LOG(kWarning) << "persist: image carries monitor '" << m.name
+                            << "' which is not loaded; skipping its state";
+      continue;
+    }
+    Monitor& monitor = *it->second;
+    monitor.enabled = m.enabled;
+    monitor.stats = m.stats;
+    monitor.uptime_published = m.stats.uptime_evals;
+    // The native object itself is not persisted (it lives in the AOT
+    // content-hash cache). A promoted monitor restores as interpreted with
+    // promote_at = 0, so its first evaluation re-promotes through the cache;
+    // an unpromoted one keeps its original threshold.
+    monitor.promoted = false;
+    monitor.native = nullptr;
+    monitor.native_failed = m.native_failed;
+    monitor.promote_at = m.promoted ? 0 : m.promote_at;
+    if (m.has_guard) {
+      if (monitor.guard == nullptr) {
+        OSGUARD_LOG(kWarning)
+            << "persist: image carries supervisor state for '" << m.name
+            << "' but the reloaded spec does not supervise it; skipping";
+      } else {
+        GuardHealth& g = *monitor.guard;
+        g.state = m.guard.state;
+        g.fail_ewma = m.guard.fail_ewma;
+        g.cost_ewma_steps = m.guard.cost_ewma_steps;
+        g.failure_streak = m.guard.failure_streak;
+        g.open_triggers = m.guard.open_triggers;
+        g.probe_successes = m.guard.probe_successes;
+        g.flips = m.guard.flips;
+        g.in_probation = m.guard.in_probation;
+        g.probation_until = m.guard.probation_until;
+        g.baseline_fail_ewma = m.guard.baseline_fail_ewma;
+        g.rollback_pending = m.guard.rollback_pending;
+        g.quarantine_action_pending = m.guard.quarantine_action_pending;
+        g.evals = m.guard.evals;
+        g.budget_aborts = m.guard.budget_aborts;
+        g.eval_errors = m.guard.eval_errors;
+        g.action_failures = m.guard.action_failures;
+        g.flap_events = m.guard.flap_events;
+        g.skipped = m.guard.skipped;
+        g.probes = m.guard.probes;
+        g.probe_failures = m.guard.probe_failures;
+        g.quarantines = m.guard.quarantines;
+        g.reinstatements = m.guard.reinstatements;
+      }
+    }
+  }
+  // The timer queue is replaced wholesale: load-time arming described a cold
+  // start, the image describes the committed schedule. Entries are remapped
+  // to the current monitor generations.
+  OSGUARD_ASSIGN_OR_RETURN(uint32_t timer_count, r.U32());
+  decltype(timers_) timers;
+  for (uint32_t i = 0; i < timer_count; ++i) {
+    TimerEntry entry;
+    OSGUARD_ASSIGN_OR_RETURN(entry.due, r.I64());
+    OSGUARD_ASSIGN_OR_RETURN(entry.tiebreak, r.U64());
+    OSGUARD_ASSIGN_OR_RETURN(std::string_view monitor_name, r.Str());
+    entry.monitor_name = std::string(monitor_name);
+    OSGUARD_ASSIGN_OR_RETURN(entry.trigger_index, r.U64());
+    auto it = monitors_.find(entry.monitor_name);
+    if (it == monitors_.end() ||
+        entry.trigger_index >= it->second->guardrail.triggers.size()) {
+      OSGUARD_LOG(kWarning) << "persist: dropping timer entry for unknown monitor '"
+                            << entry.monitor_name << "'";
+      continue;
+    }
+    entry.generation = it->second->generation;
+    timers.push(std::move(entry));
+  }
+  if (!r.done()) {
+    return InvalidArgumentError("image: " + std::to_string(r.remaining()) +
+                                " trailing bytes");
+  }
+  timers_ = std::move(timers);
+  next_tiebreak_ = next_tiebreak;
+  // The store holds the committed tier/uptime exports already (via slot dump
+  // + op replay); the restored counters match them, so nothing is stale.
+  tier_dirty_ = false;
+  uptime_dirty_ = false;
+  return OkStatus();
+}
+
+std::string Engine::EncodeReportDelta(uint64_t from) const {
+  const std::vector<ReportRecord> records = reporter_.RecordsSince(from);
+  std::string out;
+  ByteWriter w(&out);
+  w.U32(static_cast<uint32_t>(records.size()));
+  for (const ReportRecord& record : records) {
+    WriteReportRecord(w, record);
+  }
+  return out;
+}
+
+std::string Engine::EncodeReportRing() const {
+  const std::vector<ReportRecord> records = reporter_.Records();
+  std::string out;
+  ByteWriter w(&out);
+  w.U32(static_cast<uint32_t>(records.size()));
+  for (const ReportRecord& record : records) {
+    WriteReportRecord(w, record);
+  }
+  return out;
+}
+
+Status Engine::ApplyReportBlob(std::string_view blob) {
+  ByteReader r(blob);
+  OSGUARD_ASSIGN_OR_RETURN(uint32_t count, r.U32());
+  for (uint32_t i = 0; i < count; ++i) {
+    OSGUARD_ASSIGN_OR_RETURN(ReportRecord record, ReadReportRecord(r));
+    reporter_.RestoreRecord(std::move(record));
+  }
+  if (!r.done()) {
+    return InvalidArgumentError("report blob: " + std::to_string(r.remaining()) +
+                                " trailing bytes");
+  }
+  return OkStatus();
+}
+
+Result<RecoveryInfo> Engine::Restore(PersistManager& persist) {
+  OSGUARD_ASSIGN_OR_RETURN(RecoveredState state, persist.LoadForRecovery());
+  OSGUARD_RETURN_IF_ERROR(persist.Open());
+  if (state.info.cold_start) {
+    last_report_mark_ = reporter_.total_reports();
+    return state.info;
+  }
+  // Replay must not re-journal its own writes or fire ONCHANGE monitors:
+  // the recovered state already reflects every evaluation those writes
+  // caused in the original run.
+  store_->SetObserversSuppressed(true);
+  store_->RestoreSlots(state.base.store);
+  Status status = OkStatus();
+  if (!state.base.report_ring.empty()) {
+    status = ApplyReportBlob(state.base.report_ring);
+  }
+  std::string_view final_image = state.base.image;
+  for (const JournalFrame& frame : state.frames) {
+    if (!status.ok()) {
+      break;
+    }
+    for (const StoreOp& op : frame.ops) {
+      switch (op.kind) {
+        case StoreMutation::Kind::kSave:
+          store_->Save(op.key, op.value);
+          break;
+        case StoreMutation::Kind::kObserve:
+          store_->Observe(op.key, op.time, op.sample);
+          break;
+        case StoreMutation::Kind::kErase:
+          (void)store_->Erase(op.key);
+          break;
+        case StoreMutation::Kind::kSetSeriesOptions:
+          store_->SetSeriesOptions(
+              op.key, SeriesOptions{static_cast<size_t>(op.max_samples), op.max_age});
+          break;
+      }
+    }
+    if (!frame.report_delta.empty()) {
+      status = ApplyReportBlob(frame.report_delta);
+    }
+    if (!frame.image.empty()) {
+      final_image = frame.image;
+    }
+  }
+  if (status.ok() && !final_image.empty()) {
+    status = ApplyImage(final_image);
+  }
+  store_->SetObserversSuppressed(false);
+  OSGUARD_RETURN_IF_ERROR(Annotate(status, "warm restart failed"));
+  last_report_mark_ = reporter_.total_reports();
+  return state.info;
 }
 
 }  // namespace osguard

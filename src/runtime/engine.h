@@ -42,6 +42,7 @@
 #include "src/actions/report.h"
 #include "src/actions/retrain.h"
 #include "src/actions/task_control.h"
+#include "src/persist/persist.h"
 #include "src/runtime/helper_env.h"
 #include "src/runtime/native_exec.h"
 #include "src/store/feature_store.h"
@@ -53,6 +54,16 @@
 
 namespace osguard {
 
+// Per-monitor counters. Three lifecycles touch these fields, with different
+// survival rules (pinned by tests/persist_test.cc, MonitorStatsSemantics):
+//
+//   * cold start  — everything zero; uptime_evals == evaluations.
+//   * hot replace — the counters describe the outgoing program version and
+//     reset with it. Only the violation-protocol clocks (in_violation,
+//     consecutive_violations, last_action_time) and uptime_evals (which
+//     describes the monitored *name*, not the program version) carry over.
+//   * warm restart (osguard::persist) — every field is restored verbatim;
+//     a reboot is invisible to the stats.
 struct MonitorStats {
   uint64_t evaluations = 0;
   uint64_t violations = 0;            // evaluations where the rule was false
@@ -66,6 +77,11 @@ struct MonitorStats {
   bool in_violation = false;
   int consecutive_violations = 0;
   SimTime last_action_time = -1;
+  // Evaluations across every program version loaded under this name —
+  // survives hot replaces (unlike `evaluations`) and warm restarts alike.
+  // Exported as the `monitor.<name>.uptime_evals` store key at callout
+  // boundaries.
+  uint64_t uptime_evals = 0;
 };
 
 struct EngineStats {
@@ -134,7 +150,10 @@ class Engine {
   // violation-protocol clocks — in_violation, consecutive_violations,
   // last_action_time — persist, so a hot replace can neither bypass an
   // active cooldown nor discard accumulated hysteresis evidence (see
-  // docs/DSL.md "Reload semantics"). If the incoming guardrail carries a
+  // docs/DSL.md "Reload semantics"). uptime_evals also carries over: it
+  // counts evaluations of the *name* across program versions (the full
+  // replace/restore/cold-start survival matrix is documented on
+  // MonitorStats and pinned by tests/persist_test.cc). If the incoming guardrail carries a
   // `health { probation = ... }` block, the replace is a staged deployment:
   // the outgoing program is retained and the supervisor rolls back to it if
   // the new version's health regresses during the probation window.
@@ -218,6 +237,31 @@ class Engine {
   NativeAot* native_aot() { return aot_.get(); }
   bool TierOf(const std::string& name) const;
 
+  // --- Crash consistency (osguard::persist) ---
+
+  // Attaches the persist manager (borrowed; null detaches). From here on the
+  // engine journals its state transitions at callout boundaries: every
+  // AdvanceTo / OnFunctionCall that changed state commits one frame, and a
+  // compacted snapshot is rotated in when the manager says one is due.
+  void SetPersist(PersistManager* persist);
+
+  // Warm restart: recovers engine state from `persist`'s directory. Call on
+  // a freshly constructed engine *after* loading the same spec the crashed
+  // run had loaded (LoadSource) — recovery matches monitors by name and
+  // re-interns store keys, so the load must come first for KeyId stability.
+  // Applies the recovery ladder (newest valid snapshot -> previous ->
+  // cold start), replays the journal suffix, and leaves the manager open
+  // for subsequent commits. A cold start (nothing to recover) is success.
+  Result<RecoveryInfo> Restore(PersistManager& persist);
+
+  // Full engine state (clock, stats, per-monitor records, timer queue,
+  // reporter/retrain/supervisor counters) as an opaque versioned blob —
+  // the image carried by every journal frame and snapshot. Public so the
+  // differential tests can compare two engines bit-for-bit.
+  std::string EncodeImage() const;
+  // The full retained report ring (snapshot payload; frames carry deltas).
+  std::string EncodeReportRing() const;
+
  private:
   struct Monitor {
     CompiledGuardrail guardrail;
@@ -245,6 +289,11 @@ class Engine {
     std::vector<osg_value> nat_action_consts;
     std::vector<osg_value> nat_satisfy_consts;
     KeyId tier_key = kInvalidKeyId;  // engine.tier.<name> export slot
+
+    // monitor.<name>.uptime_evals export slot and the last value published
+    // to it (publish happens at callout boundaries, only on change).
+    KeyId uptime_key = kInvalidKeyId;
+    uint64_t uptime_published = 0;
   };
 
   // Timer entries reference monitors by (name, generation) rather than by
@@ -286,6 +335,24 @@ class Engine {
   // boundaries, where no Monitor pointers or trigger references are live.
   void QueueRollback(Monitor& monitor);
   void ApplyPendingRollbacks();
+
+  // --- Crash consistency (osguard::persist) ---
+  // Publishes monitor.<name>.uptime_evals for monitors whose count moved.
+  // Callout boundaries only, like PublishTierStats.
+  void PublishUptimeStats();
+  // End-of-callout hook: commits a journal frame if anything changed since
+  // the last commit, then rotates a snapshot in when one is due. Errors are
+  // logged and swallowed — persistence failures degrade durability (the
+  // recovery point moves back), never the running engine.
+  void CommitPersist();
+  // Report records since sequence `from`, wire-encoded (a frame's delta).
+  std::string EncodeReportDelta(uint64_t from) const;
+  // Decodes a report blob and re-inserts each record via RestoreRecord.
+  Status ApplyReportBlob(std::string_view blob);
+  // Applies a decoded state image. Unknown monitor names are skipped with a
+  // log line; the timer queue is replaced wholesale (entries remapped to
+  // the current monitor generations).
+  Status ApplyImage(std::string_view image);
 
   FeatureStore* store_;
   PolicyRegistry* registry_;
@@ -332,6 +399,13 @@ class Engine {
   KeyId gk_tier_demotions_ = kInvalidKeyId;
   KeyId gk_tier_native_evals_ = kInvalidKeyId;
   KeyId gk_tier_interp_evals_ = kInvalidKeyId;
+
+  // --- Crash consistency (osguard::persist) ---
+  PersistManager* persist_ = nullptr;  // borrowed; null = persistence off
+  // Reporter sequence at the last committed frame; the next frame's delta
+  // starts here.
+  uint64_t last_report_mark_ = 0;
+  bool uptime_dirty_ = false;  // some monitor evaluated since last publish
 };
 
 }  // namespace osguard

@@ -1,15 +1,96 @@
 #include "src/sim/kernel.h"
 
+#include <utility>
+
+#include "src/support/logging.h"
+
 namespace osguard {
 
-Kernel::Kernel(EngineOptions engine_options) {
-  engine_ = std::make_unique<Engine>(&store_, &registry_, &task_control_shim_, engine_options);
+Kernel::Kernel(EngineOptions engine_options) : engine_options_(engine_options) {
+  BuildEngine();
+}
+
+void Kernel::BuildEngine() {
+  engine_ = std::make_unique<Engine>(&store_, &registry_, &task_control_shim_, engine_options_);
   // Route store writes to the engine so ONCHANGE triggers fire.
   store_.SetWriteObserver(
       [this](KeyId id, const std::string& /*key*/) { engine_->OnStoreWrite(id); });
+  if (chaos_ != nullptr) {
+    engine_->SetChaos(chaos_);
+  }
+  if (persist_ != nullptr) {
+    engine_->SetPersist(persist_);
+  }
+}
+
+Status Kernel::LoadGuardrails(const std::string& source) {
+  OSGUARD_RETURN_IF_ERROR(engine_->LoadSource(source));
+  guardrail_sources_.push_back(source);
+  return OkStatus();
+}
+
+void Kernel::AttachPersist(PersistManager* persist) {
+  persist_ = persist;
+  engine_->SetPersist(persist);
+}
+
+void Kernel::SchedulePanicAt(SimTime at) {
+  queue_.ScheduleAt(at, [this](SimTime /*now*/) { Panic(); });
+}
+
+void Kernel::Panic() {
+  if (panicked_) {
+    return;
+  }
+  panicked_ = true;
+  // A panic drops in-flight work on the floor. Committed guardrail state is
+  // already on disk (journal frames are written at callout boundaries);
+  // everything since the last commit is lost by design.
+  queue_.Clear();
+  OSGUARD_LOG(kWarning) << "kernel panic at t=" << queue_.now() << "ns; "
+                        << "dropped pending events, awaiting reboot";
+}
+
+Result<RecoveryInfo> Kernel::Reboot() {
+  panicked_ = false;
+  // Honest crash semantics: a rebooted kernel does not remember interning
+  // order, monitor generations, or anything else held in RAM.
+  store_.Reset();
+  BuildEngine();
+  for (const std::string& source : guardrail_sources_) {
+    OSGUARD_RETURN_IF_ERROR(engine_->LoadSource(source));
+  }
+  if (persist_ == nullptr) {
+    // No persistence attached: the reboot is a cold start by definition.
+    RecoveryInfo info;
+    info.cold_start = true;
+    info.detail = "cold start (no persist manager attached)";
+    return info;
+  }
+  auto recovered = engine_->Restore(*persist_);
+  if (recovered.ok()) {
+    return std::move(recovered).value();
+  }
+  // Graceful degradation: a failed warm restart must never leave the kernel
+  // running half-restored state. Rebuild the engine from scratch, reload the
+  // specs, and come back cold; journaling continues past the damage.
+  OSGUARD_LOG(kWarning) << "warm restart failed (" << recovered.status().ToString()
+                        << "); falling back to cold start";
+  store_.Reset();
+  BuildEngine();
+  for (const std::string& source : guardrail_sources_) {
+    OSGUARD_RETURN_IF_ERROR(engine_->LoadSource(source));
+  }
+  RecoveryInfo info;
+  info.cold_start = true;
+  info.detail = "warm restart failed, cold start: " + recovered.status().ToString();
+  return info;
 }
 
 void Kernel::Run(SimTime until) {
+  if (panicked_) {
+    return;
+  }
   // Interleave workload events and monitor timers in timestamp order: run
   // queue events up to the next monitor deadline, fire the monitors, repeat.
   while (true) {
@@ -18,9 +99,15 @@ void Kernel::Run(SimTime until) {
       break;
     }
     queue_.RunUntil(*deadline);
+    if (panicked_) {
+      return;
+    }
     engine_->AdvanceTo(*deadline);
   }
   queue_.RunUntil(until);
+  if (panicked_) {
+    return;
+  }
   engine_->AdvanceTo(until);
 }
 

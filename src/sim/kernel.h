@@ -17,9 +17,11 @@
 
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "src/actions/task_control.h"
 #include "src/chaos/chaos.h"
+#include "src/persist/persist.h"
 #include "src/runtime/engine.h"
 #include "src/sim/event_queue.h"
 #include "src/store/feature_store.h"
@@ -49,20 +51,61 @@ class Kernel {
   }
   ChaosEngine* chaos() { return chaos_; }
 
+  // --- Crash consistency (osguard::persist) ---
+
+  // Attaches the persist manager (borrowed; null detaches). The engine
+  // commits a journal frame at every callout boundary from here on; call
+  // before LoadGuardrails so the spec-level `persist { }` block can
+  // configure the manager. Survives Reboot(): the recreated engine is
+  // re-wired automatically.
+  void AttachPersist(PersistManager* persist);
+  PersistManager* persist() { return persist_; }
+
+  // Schedules a kernel panic at simulated time `at` (clamped to now like any
+  // event). The panic fires between queue events: pending work is dropped on
+  // the floor exactly as a real panic drops in-flight I/O.
+  void SchedulePanicAt(SimTime at);
+
+  // Panics immediately: drops every pending event and freezes the kernel.
+  // Run() becomes a no-op until Reboot(). Guardrail state that reached a
+  // commit boundary is on disk (if a persist manager is attached);
+  // everything since is lost — that is the crash model.
+  void Panic();
+  bool panicked() const { return panicked_; }
+
+  // Simulated warm restart. Resets the feature store (interning order is
+  // deliberately forgotten — honest crash semantics), recreates the engine,
+  // reloads every previously loaded guardrail spec, and — when a persist
+  // manager is attached — recovers the committed state via
+  // Engine::Restore. Degrades gracefully: if the warm restart fails the
+  // kernel comes back cold (empty state, specs loaded) and the failure is
+  // reported in RecoveryInfo::detail rather than as an error. Errors are
+  // real spec-reload failures only. The simulated clock keeps running
+  // across the reboot, as wall clocks do.
+  Result<RecoveryInfo> Reboot();
+
   FeatureStore& store() { return store_; }
   PolicyRegistry& registry() { return registry_; }
   EventQueue& queue() { return queue_; }
   Engine& engine() { return *engine_; }
   SimTime now() const { return queue_.now(); }
 
-  // Loads guardrail specs (DSL source) into the engine.
-  Status LoadGuardrails(const std::string& source) { return engine_->LoadSource(source); }
+  // Loads guardrail specs (DSL source) into the engine. Successfully loaded
+  // sources are remembered so Reboot() can reload them, mirroring a real
+  // kernel re-reading its guardrail configuration from disk at boot.
+  Status LoadGuardrails(const std::string& source);
 
   // Runs the interleaved timeline (events + monitor timers) up to `until`.
+  // A panicked kernel does not run: the call returns immediately.
   void Run(SimTime until);
 
-  // Marks an instrumented kernel function call at the current time.
-  void Callout(std::string_view function) { engine_->OnFunctionCall(function, queue_.now()); }
+  // Marks an instrumented kernel function call at the current time. Dead
+  // code on a panicked kernel: instrumented functions do not run mid-panic.
+  void Callout(std::string_view function) {
+    if (!panicked_) {
+      engine_->OnFunctionCall(function, queue_.now());
+    }
+  }
 
  private:
   // Forwards DEPRIORITIZE to whichever subsystem registered; records when
@@ -79,12 +122,20 @@ class Kernel {
     }
   };
 
+  // Builds a fresh engine wired to this kernel's store/registry/task-control
+  // and re-attaches chaos + persist. Shared by the constructor and Reboot().
+  void BuildEngine();
+
+  EngineOptions engine_options_;
   FeatureStore store_;
   PolicyRegistry registry_;
   EventQueue queue_;
   TaskControlShim task_control_shim_;
   std::unique_ptr<Engine> engine_;
   ChaosEngine* chaos_ = nullptr;
+  PersistManager* persist_ = nullptr;
+  std::vector<std::string> guardrail_sources_;
+  bool panicked_ = false;
 };
 
 }  // namespace osguard

@@ -71,23 +71,48 @@ const std::string& FeatureStore::KeyName(KeyId id) const {
 }
 
 // --- Scalars ---
+//
+// Mutation capture: when a mutation observer is attached (and not
+// suppressed) each write path builds a StoreMutation while it still holds
+// the lock — the observed value is the committed one, not a later
+// overwrite — and fires it after the lock is released, before NotifyWrite.
 
 void FeatureStore::Save(std::string_view key, Value value) {
   KeyId id;
+  const bool capture = WantMutations();
+  StoreMutation m;
   {
     std::lock_guard<std::mutex> lock(mu_);
     id = InternLocked(key);
+    if (capture) {
+      m.kind = StoreMutation::Kind::kSave;
+      m.id = id;
+      m.value = value;
+    }
     slots_[id].scalar = std::move(value);
     slots_[id].has_scalar = true;
+  }
+  if (capture) {
+    NotifyMutation(m);
   }
   NotifyWrite(id);
 }
 
 void FeatureStore::Save(KeyId id, Value value) {
+  const bool capture = WantMutations();
+  StoreMutation m;
   {
     std::lock_guard<std::mutex> lock(mu_);
+    if (capture) {
+      m.kind = StoreMutation::Kind::kSave;
+      m.id = id;
+      m.value = value;
+    }
     slots_[id].scalar = std::move(value);
     slots_[id].has_scalar = true;
+  }
+  if (capture) {
+    NotifyMutation(m);
   }
   NotifyWrite(id);
 }
@@ -138,19 +163,29 @@ bool FeatureStore::Contains(KeyId id) const {
 }
 
 Status FeatureStore::Erase(std::string_view key) {
-  std::lock_guard<std::mutex> lock(mu_);
-  const KeyId id = FindLocked(key);
-  if (id == kInvalidKeyId || !slots_[id].has_scalar) {
-    return NotFoundError("feature store has no key '" + std::string(key) + "'");
+  KeyId id;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    id = FindLocked(key);
+    if (id == kInvalidKeyId || !slots_[id].has_scalar) {
+      return NotFoundError("feature store has no key '" + std::string(key) + "'");
+    }
+    slots_[id].has_scalar = false;
+    slots_[id].scalar = Value();
   }
-  slots_[id].has_scalar = false;
-  slots_[id].scalar = Value();
+  if (WantMutations()) {
+    StoreMutation m;
+    m.kind = StoreMutation::Kind::kErase;
+    m.id = id;
+    NotifyMutation(m);
+  }
   return OkStatus();
 }
 
 double FeatureStore::Increment(std::string_view key, double delta) {
   KeyId id;
   double next = delta;
+  const bool capture = WantMutations();
   {
     std::lock_guard<std::mutex> lock(mu_);
     id = InternLocked(key);
@@ -161,12 +196,20 @@ double FeatureStore::Increment(std::string_view key, double delta) {
     slot.scalar = Value(next);
     slot.has_scalar = true;
   }
+  if (capture) {
+    StoreMutation m;
+    m.kind = StoreMutation::Kind::kSave;  // post-increment scalar: replay is a plain Save
+    m.id = id;
+    m.value = Value(next);
+    NotifyMutation(m);
+  }
   NotifyWrite(id);
   return next;
 }
 
 double FeatureStore::Increment(KeyId id, double delta) {
   double next = delta;
+  const bool capture = WantMutations();
   {
     std::lock_guard<std::mutex> lock(mu_);
     Slot& slot = slots_[id];
@@ -175,6 +218,13 @@ double FeatureStore::Increment(KeyId id, double delta) {
     }
     slot.scalar = Value(next);
     slot.has_scalar = true;
+  }
+  if (capture) {
+    StoreMutation m;
+    m.kind = StoreMutation::Kind::kSave;
+    m.id = id;
+    m.value = Value(next);
+    NotifyMutation(m);
   }
   NotifyWrite(id);
   return next;
@@ -239,6 +289,14 @@ void FeatureStore::Observe(std::string_view key, SimTime now, double sample) {
     }
     AppendLocked(*slots_[id].series, now, sample);
   }
+  if (WantMutations()) {
+    StoreMutation m;
+    m.kind = StoreMutation::Kind::kObserve;
+    m.id = id;
+    m.time = now;
+    m.sample = sample;
+    NotifyMutation(m);
+  }
   NotifyWrite(id);
 }
 
@@ -250,19 +308,37 @@ void FeatureStore::Observe(KeyId id, SimTime now, double sample) {
     }
     AppendLocked(*slots_[id].series, now, sample);
   }
+  if (WantMutations()) {
+    StoreMutation m;
+    m.kind = StoreMutation::Kind::kObserve;
+    m.id = id;
+    m.time = now;
+    m.sample = sample;
+    NotifyMutation(m);
+  }
   NotifyWrite(id);
 }
 
 void FeatureStore::SetSeriesOptions(std::string_view key, SeriesOptions options) {
-  std::lock_guard<std::mutex> lock(mu_);
-  const KeyId id = InternLocked(key);
-  if (slots_[id].series == nullptr) {
-    slots_[id].series = std::make_unique<Series>();
+  KeyId id;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    id = InternLocked(key);
+    if (slots_[id].series == nullptr) {
+      slots_[id].series = std::make_unique<Series>();
+    }
+    Series& series = *slots_[id].series;
+    series.options = options;
+    if (!series.samples.empty()) {
+      EvictLocked(series, series.samples.back().time);
+    }
   }
-  Series& series = *slots_[id].series;
-  series.options = options;
-  if (!series.samples.empty()) {
-    EvictLocked(series, series.samples.back().time);
+  if (WantMutations()) {
+    StoreMutation m;
+    m.kind = StoreMutation::Kind::kSetSeriesOptions;
+    m.id = id;
+    m.options = options;
+    NotifyMutation(m);
   }
 }
 
@@ -480,6 +556,80 @@ void FeatureStore::Clear() {
     slot.has_scalar = false;
     slot.scalar = Value();
     slot.series.reset();
+  }
+}
+
+void FeatureStore::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  slots_.clear();
+  index_.clear();
+}
+
+// --- Persistence ---
+
+std::vector<StoreSlotDump> FeatureStore::DumpSlots() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<StoreSlotDump> dump;
+  dump.reserve(slots_.size());
+  for (const Slot& slot : slots_) {
+    StoreSlotDump d;
+    d.key = slot.key;
+    d.has_scalar = slot.has_scalar;
+    if (slot.has_scalar) {
+      d.scalar = slot.scalar;
+    }
+    if (slot.series != nullptr) {
+      d.has_series = true;
+      const Series& s = *slot.series;
+      d.series.max_samples = static_cast<uint64_t>(s.options.max_samples);
+      d.series.max_age = s.options.max_age;
+      d.series.next_seq = s.next_seq;
+      d.series.samples.reserve(s.samples.size());
+      for (const Sample& sample : s.samples) {
+        d.series.samples.push_back(
+            StoreSampleDump{sample.time, sample.value, sample.cum_sum, sample.cum_sumsq,
+                            sample.seq});
+      }
+      d.series.minima.reserve(s.minima.size());
+      for (const Extremum& e : s.minima) {
+        d.series.minima.push_back(StoreExtremumDump{e.seq, e.time, e.value});
+      }
+      d.series.maxima.reserve(s.maxima.size());
+      for (const Extremum& e : s.maxima) {
+        d.series.maxima.push_back(StoreExtremumDump{e.seq, e.time, e.value});
+      }
+    }
+    dump.push_back(std::move(d));
+  }
+  return dump;
+}
+
+void FeatureStore::RestoreSlots(const std::vector<StoreSlotDump>& dump) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const StoreSlotDump& d : dump) {
+    const KeyId id = InternLocked(d.key);
+    Slot& slot = slots_[id];
+    slot.has_scalar = d.has_scalar;
+    slot.scalar = d.has_scalar ? d.scalar : Value();
+    if (!d.has_series) {
+      slot.series.reset();
+      continue;
+    }
+    slot.series = std::make_unique<Series>();
+    Series& s = *slot.series;
+    s.options.max_samples = static_cast<size_t>(d.series.max_samples);
+    s.options.max_age = d.series.max_age;
+    s.next_seq = d.series.next_seq;
+    for (const StoreSampleDump& sample : d.series.samples) {
+      s.samples.push_back(
+          Sample{sample.time, sample.value, sample.cum_sum, sample.cum_sumsq, sample.seq});
+    }
+    for (const StoreExtremumDump& e : d.series.minima) {
+      s.minima.push_back(Extremum{e.seq, e.time, e.value});
+    }
+    for (const StoreExtremumDump& e : d.series.maxima) {
+      s.maxima.push_back(Extremum{e.seq, e.time, e.value});
+    }
   }
 }
 

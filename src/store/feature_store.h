@@ -82,6 +82,62 @@ struct SeriesOptions {
 // string reference stays valid for the lifetime of the store.
 using WriteObserver = std::function<void(KeyId id, const std::string& key)>;
 
+// A committed store mutation, as observed by the persistence layer
+// (osguard::persist journals these and replays them through the public API
+// on recovery). Which fields are meaningful depends on `kind`:
+//   kSave             -> value (Increment reports its post-increment scalar
+//                        as a kSave, so replay needs no read-modify-write)
+//   kObserve          -> time, sample
+//   kErase            -> (key only; fired only when the erase succeeded)
+//   kSetSeriesOptions -> options
+struct StoreMutation {
+  enum class Kind : uint8_t { kSave = 0, kObserve = 1, kErase = 2, kSetSeriesOptions = 3 };
+  Kind kind = Kind::kSave;
+  KeyId id = kInvalidKeyId;
+  Value value;
+  SimTime time = 0;
+  double sample = 0.0;
+  SeriesOptions options;
+};
+
+// Invoked after a mutation commits, outside the store's lock, before the
+// WriteObserver for the same write. The key reference is stable for the
+// lifetime of the store.
+using MutationObserver = std::function<void(const StoreMutation& m, const std::string& key)>;
+
+// Full value dump of one slot — everything needed to reconstruct the slot
+// bit-identically, including the series' incremental window state (prefix
+// accumulators, monotonic extrema deques, per-series sequence counter).
+// Produced by DumpSlots() in interning order; consumed by RestoreSlots()
+// and by osguard::persist snapshots.
+struct StoreSampleDump {
+  SimTime time = 0;
+  double value = 0.0;
+  double cum_sum = 0.0;
+  double cum_sumsq = 0.0;
+  uint64_t seq = 0;
+};
+struct StoreExtremumDump {
+  uint64_t seq = 0;
+  SimTime time = 0;
+  double value = 0.0;
+};
+struct StoreSeriesDump {
+  std::vector<StoreSampleDump> samples;
+  std::vector<StoreExtremumDump> minima;
+  std::vector<StoreExtremumDump> maxima;
+  uint64_t max_samples = 0;
+  Duration max_age = 0;
+  uint64_t next_seq = 0;
+};
+struct StoreSlotDump {
+  std::string key;
+  bool has_scalar = false;
+  Value scalar;
+  bool has_series = false;
+  StoreSeriesDump series;
+};
+
 class FeatureStore {
  public:
   FeatureStore() = default;
@@ -92,6 +148,19 @@ class FeatureStore {
   // called after the write commits and after the store lock is released, so
   // it may freely read the store.
   void SetWriteObserver(WriteObserver observer) { observer_ = std::move(observer); }
+
+  // Registers the single mutation observer (nullptr to clear). Fired for
+  // every committed mutation — Save/Increment/Observe like the write
+  // observer, plus successful Erase and SetSeriesOptions — before the write
+  // observer, outside the lock. This is the persistence layer's journal tap.
+  void SetMutationObserver(MutationObserver observer) {
+    mutation_observer_ = std::move(observer);
+  }
+
+  // While suppressed, neither observer fires. Recovery replays journaled
+  // mutations through the public API; suppression keeps the replay from
+  // re-journaling itself or re-firing ONCHANGE triggers mid-restore.
+  void SetObserversSuppressed(bool suppressed) { observers_suppressed_ = suppressed; }
 
   // --- Key interning ---
 
@@ -168,6 +237,27 @@ class FeatureStore {
   // table survives so previously resolved KeyIds remain valid.
   void Clear();
 
+  // Clear() plus drops the intern table itself — a pristine store, as after
+  // construction. Every previously resolved KeyId is invalidated; callers
+  // that cached ids (engine monitors, supervisor exports) must be rebuilt.
+  // This is the honest crash semantics Kernel::Reboot needs: a rebooted
+  // kernel does not remember interning order.
+  void Reset();
+
+  // --- Persistence (osguard::persist) ---
+
+  // Snapshot of every slot in interning order, including full incremental
+  // series state. Observers do not fire.
+  std::vector<StoreSlotDump> DumpSlots() const;
+
+  // Reinstates a DumpSlots() snapshot: keys are re-interned in dump order
+  // (prefix-consistent with the original interning order, so monitor-cached
+  // KeyIds resolved after a same-spec reload stay correct) and each dumped
+  // slot's contents replace whatever the slot currently holds. Slots already
+  // interned but absent from the dump are left untouched. Observers do not
+  // fire.
+  void RestoreSlots(const std::vector<StoreSlotDump>& dump);
+
  private:
   struct Sample {
     SimTime time;
@@ -209,9 +299,18 @@ class FeatureStore {
   static void AppendLocked(Series& series, SimTime t, double sample);
   static void EvictLocked(Series& series, SimTime now);
   void NotifyWrite(KeyId id) const {
-    if (observer_) {
+    if (observer_ && !observers_suppressed_) {
       observer_(id, slots_[id].key);
     }
+  }
+  void NotifyMutation(const StoreMutation& m) const {
+    if (mutation_observer_ && !observers_suppressed_) {
+      mutation_observer_(m, slots_[m.id].key);
+    }
+  }
+  // Whether write paths should bother building a StoreMutation at all.
+  bool WantMutations() const {
+    return mutation_observer_ != nullptr && !observers_suppressed_;
   }
 
   mutable std::mutex mu_;
@@ -220,6 +319,8 @@ class FeatureStore {
   std::deque<Slot> slots_;
   std::unordered_map<std::string, KeyId, TransparentStringHash, std::equal_to<>> index_;
   WriteObserver observer_;
+  MutationObserver mutation_observer_;
+  bool observers_suppressed_ = false;
 };
 
 }  // namespace osguard

@@ -187,6 +187,12 @@ class GuardrailSupervisor {
   const GuardHealth* Find(std::string_view name) const;
   const SupervisorStats& stats() const { return stats_; }
 
+  // Reinstates persisted global counters (osguard::persist warm restart).
+  // Per-guardrail GuardHealth fields are restored by the engine through the
+  // monitor records it holds; `supervised` is recomputed by OnLoad during
+  // the reload that precedes a restore, so the image's value matches it.
+  void RestoreStats(const SupervisorStats& stats) { stats_ = stats; }
+
  private:
   // A failure event (budget abort, eval error, flap overflow, action
   // failure) advances the breaker; returns true if it opened.

@@ -42,6 +42,16 @@ std::string Status::ToString() const {
   return out;
 }
 
+Status Annotate(const Status& status, std::string_view context) {
+  if (status.ok()) {
+    return status;
+  }
+  std::string message(context);
+  message += ": ";
+  message += status.message();
+  return Status(status.code(), std::move(message));
+}
+
 Status InvalidArgumentError(std::string message) {
   return Status(ErrorCode::kInvalidArgument, std::move(message));
 }

@@ -66,6 +66,16 @@ class Status {
 
 inline Status OkStatus() { return Status::Ok(); }
 
+// Returns `status` with `context` prefixed onto its message ("context:
+// original message"), preserving the error code. OK statuses pass through
+// untouched, so call sites can annotate unconditionally:
+//
+//   OSGUARD_RETURN_IF_ERROR(Annotate(DecodeFrame(r), "journal.wal @ 128"));
+//
+// Used by the spec loader (file / line context) and the persist layer
+// (file / byte-offset context on decode failures).
+Status Annotate(const Status& status, std::string_view context);
+
 // Convenience constructors mirroring the ErrorCode list.
 Status InvalidArgumentError(std::string message);
 Status NotFoundError(std::string message);

@@ -12,10 +12,12 @@
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <tuple>
 
 #include "src/dsl/lexer.h"
 #include "src/dsl/parser.h"
 #include "src/dsl/sema.h"
+#include "src/persist/persist.h"
 #include "src/runtime/helper_env.h"
 #include "src/support/rng.h"
 #include "src/vm/compiler.h"
@@ -192,6 +194,153 @@ TEST(FuzzTest, CorpusSpecsParseWithStableDiagnostics) {
     }
   }
   EXPECT_GE(files, 6) << "corpus went missing from " << corpus_dir;
+}
+
+// --- osguard::persist decoder targets ---
+// The journal/snapshot codecs parse bytes that survived a crash, so they are
+// the one place where "never crash, stable diagnostics" has to hold against
+// genuinely arbitrary input, not just malformed specs.
+
+JournalFrame PersistFuzzFrame(uint64_t seq) {
+  JournalFrame frame;
+  frame.seq = seq;
+  frame.now = static_cast<SimTime>(seq) * Milliseconds(5);
+  StoreOp save;
+  save.kind = StoreMutation::Kind::kSave;
+  save.key = "key" + std::to_string(seq);
+  save.value = Value(static_cast<double>(seq));
+  frame.ops.push_back(save);
+  StoreOp observe;
+  observe.kind = StoreMutation::Kind::kObserve;
+  observe.key = "series";
+  observe.time = frame.now;
+  observe.sample = 1.5 * static_cast<double>(seq);
+  frame.ops.push_back(observe);
+  frame.report_delta = "delta-" + std::to_string(seq);
+  frame.image = "image-" + std::to_string(seq);
+  return frame;
+}
+
+// ScanJournal/DecodeSnapshot results reduced to a comparable verdict.
+std::tuple<size_t, size_t, size_t, std::string> ScanVerdict(const std::string& bytes) {
+  const FrameScan scan = ScanJournal(bytes);
+  return {scan.frames.size(), scan.valid_bytes, scan.discarded_bytes, scan.detail};
+}
+
+TEST(FuzzTest, RandomBytesNeverCrashThePersistDecoders) {
+  Rng rng(707);
+  for (int iteration = 0; iteration < 3000; ++iteration) {
+    std::string garbage;
+    const int length = static_cast<int>(rng.UniformInt(0, 200));
+    for (int i = 0; i < length; ++i) {
+      garbage += static_cast<char>(rng.UniformInt(0, 255));
+    }
+    // Both decoders must return cleanly and deterministically.
+    EXPECT_EQ(ScanVerdict(garbage), ScanVerdict(garbage));
+    auto first = DecodeSnapshot(garbage);
+    auto second = DecodeSnapshot(garbage);
+    EXPECT_EQ(first.ok(), second.ok());
+    if (!first.ok()) {
+      EXPECT_EQ(first.status().message(), second.status().message());
+      EXPECT_FALSE(first.status().message().empty());
+    }
+  }
+}
+
+TEST(FuzzTest, MutatedJournalsKeepTheValidPrefixAndDiagnoseStably) {
+  std::string valid;
+  for (uint64_t seq = 1; seq <= 6; ++seq) {
+    AppendFrame(PersistFuzzFrame(seq), &valid);
+  }
+  const FrameScan clean = ScanJournal(valid);
+  ASSERT_EQ(clean.frames.size(), 6u);
+  ASSERT_TRUE(clean.detail.empty());
+
+  Rng rng(808);
+  for (int iteration = 0; iteration < 3000; ++iteration) {
+    std::string mutated = valid;
+    switch (rng.UniformInt(0, 3)) {
+      case 0: {  // single bit flip
+        const size_t at = static_cast<size_t>(
+            rng.UniformInt(0, static_cast<int64_t>(mutated.size()) - 1));
+        mutated[at] = static_cast<char>(mutated[at] ^ (1u << rng.UniformInt(0, 7)));
+        break;
+      }
+      case 1:  // truncated tail
+        mutated.resize(static_cast<size_t>(
+            rng.UniformInt(0, static_cast<int64_t>(mutated.size()))));
+        break;
+      case 2: {  // random byte overwrite run
+        const size_t at = static_cast<size_t>(
+            rng.UniformInt(0, static_cast<int64_t>(mutated.size()) - 1));
+        const size_t run = static_cast<size_t>(rng.UniformInt(1, 8));
+        for (size_t i = at; i < mutated.size() && i < at + run; ++i) {
+          mutated[i] = static_cast<char>(rng.UniformInt(0, 255));
+        }
+        break;
+      }
+      default:  // garbage appended after the valid frames
+        for (int i = 0; i < 16; ++i) {
+          mutated += static_cast<char>(rng.UniformInt(0, 255));
+        }
+        break;
+    }
+    const FrameScan scan = ScanJournal(mutated);
+    EXPECT_EQ(ScanVerdict(mutated), ScanVerdict(mutated));  // stable
+    // Total safety: whatever survives the scan is a prefix of real frames —
+    // every accepted frame must decode identically to the original at its
+    // position, unless the mutation landed beyond it.
+    ASSERT_LE(scan.valid_bytes, mutated.size());
+    for (size_t i = 0; i < scan.frames.size() && i < clean.frames.size(); ++i) {
+      if (mutated.compare(0, clean.frame_ends[i], valid, 0, clean.frame_ends[i]) == 0) {
+        EXPECT_EQ(scan.frames[i].seq, clean.frames[i].seq);
+        EXPECT_EQ(scan.frames[i].image, clean.frames[i].image);
+      }
+    }
+  }
+}
+
+TEST(FuzzTest, PersistCorpusBinarySeedsDecodeStably) {
+  // Binary seed corpus under tests/corpus/*.bin: known-good and known-damaged
+  // journal/snapshot images produced by the real codec. Every file must run
+  // both decoders without crashing, twice, with identical results; files
+  // named valid_* must decode cleanly, the rest must surface their damage.
+  const std::filesystem::path corpus_dir = OSGUARD_CORPUS_DIR;
+  ASSERT_TRUE(std::filesystem::exists(corpus_dir)) << corpus_dir;
+  int files = 0;
+  for (const auto& entry : std::filesystem::directory_iterator(corpus_dir)) {
+    if (entry.path().extension() != ".bin") {
+      continue;
+    }
+    ++files;
+    std::ifstream in(entry.path(), std::ios::binary);
+    std::string bytes((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+    ASSERT_FALSE(bytes.empty()) << entry.path();
+
+    EXPECT_EQ(ScanVerdict(bytes), ScanVerdict(bytes)) << entry.path();
+    auto snap_first = DecodeSnapshot(bytes);
+    auto snap_second = DecodeSnapshot(bytes);
+    EXPECT_EQ(snap_first.ok(), snap_second.ok()) << entry.path();
+
+    const std::string stem = entry.path().stem().string();
+    const FrameScan scan = ScanJournal(bytes);
+    if (stem.rfind("valid_journal", 0) == 0) {
+      EXPECT_TRUE(scan.detail.empty()) << entry.path() << ": " << scan.detail;
+      EXPECT_GT(scan.frames.size(), 0u) << entry.path();
+      EXPECT_EQ(scan.discarded_bytes, 0u) << entry.path();
+    } else if (stem.rfind("valid_snapshot", 0) == 0) {
+      EXPECT_TRUE(snap_first.ok()) << entry.path() << ": "
+                                   << snap_first.status().ToString();
+    } else if (stem.rfind("torn_", 0) == 0 || stem.rfind("bitflip_", 0) == 0) {
+      EXPECT_FALSE(scan.detail.empty()) << entry.path();
+      EXPECT_GT(scan.discarded_bytes, 0u) << entry.path();
+    } else if (stem.rfind("truncated_", 0) == 0) {
+      EXPECT_FALSE(snap_first.ok()) << entry.path();
+      EXPECT_FALSE(snap_first.status().message().empty()) << entry.path();
+    }
+  }
+  EXPECT_GE(files, 5) << "binary corpus went missing from " << corpus_dir;
 }
 
 TEST(FuzzTest, RandomBytesNeverCrashTheLexer) {

@@ -33,6 +33,15 @@
 //                   native_available=0, exits 0) when the host has no
 //                   compiler. Exits 1 if the native tier fails to reach the
 //                   3x ns/eval bound on the function-callout scenario.
+//   --persist       run the E9 warm-restart experiment instead and emit
+//                   bench "persist" (BENCH_persist.json): journal commit
+//                   overhead per callout boundary, journal bytes per commit,
+//                   recovery wall time after a mid-run crash, journal replay
+//                   throughput, and a state-divergence bit comparing the
+//                   recovered run against an uninterrupted one. Exits 1 if
+//                   recovery diverges from the uninterrupted run (must be
+//                   bit-identical) or recovery wall time exceeds the CI
+//                   bound (500ms for the benchmark workload).
 //   --supervisor    run the ext7 supervisor experiment instead and emit
 //                   bench "supervisor" (BENCH_supervisor.json): trip rate of
 //                   the undamped E2 oscillating pair with and without the
@@ -49,6 +58,8 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
+#include <memory>
 #include <new>
 #include <string>
 #include <vector>
@@ -57,8 +68,10 @@
 
 #include "src/chaos/chaos.h"
 #include "src/linnos/harness.h"
+#include "src/persist/persist.h"
 #include "src/runtime/engine.h"
 #include "src/support/logging.h"
+#include "src/support/rng.h"
 #include "src/vm/native_aot.h"
 
 // --- Heap profile hooks -----------------------------------------------------
@@ -646,12 +659,223 @@ bool RunSupervisorBench(std::vector<Metric>& metrics, bool& contained) {
   return true;
 }
 
+// --persist: the E9 warm-restart experiment in machine-readable form. Runs a
+// deterministic guardrail workload with the write-ahead journal on, measures
+// the per-boundary commit overhead against the identical run with
+// persistence off, crashes it mid-run, and times the recovery
+// (Engine::Restore + re-execution to the crash point). Self-gating: the
+// recovered run's final state (store + report ring + engine image) must be
+// bit-identical to the uninterrupted run, and recovery must stay under the
+// CI wall-time bound.
+namespace persistbench {
+
+constexpr char kSpec[] = R"(
+guardrail lat-p99 {
+  trigger: { TIMER(100ms, 40ms) },
+  rule: { COUNT(io.lat, 400ms) == 0 || P99(io.lat, 400ms) <= 5ms },
+  action: { SAVE(lat.flag, true); REPORT("p99 high", MEAN(io.lat, 400ms)) },
+  on_satisfy: { SAVE(lat.flag, false) },
+  meta: { severity = warning, cooldown = 120ms, hysteresis = 2 }
+}
+guardrail err-watch {
+  trigger: { TIMER(60ms, 30ms), ONCHANGE(err.rate) },
+  rule: { LOAD_OR(err.rate, 0) <= 0.5 },
+  action: { INCR(err.trips); REPORT("err rate tripped") },
+  meta: { hysteresis = 1 }
+}
+persist { interval = 250ms, journal_budget = 65536 }
+)";
+
+constexpr Duration kStepWindow = Milliseconds(50);
+
+struct BenchRun {
+  FeatureStore store;
+  PolicyRegistry registry;
+  std::unique_ptr<Engine> engine;
+  std::unique_ptr<PersistManager> persist;
+};
+
+std::unique_ptr<BenchRun> Start(const std::string& dir, bool with_persist) {
+  auto run = std::make_unique<BenchRun>();
+  EngineOptions options;
+  options.measure_wall_time = false;
+  run->engine = std::make_unique<Engine>(&run->store, &run->registry, nullptr, options);
+  run->store.SetWriteObserver(
+      [engine = run->engine.get()](KeyId id, const std::string&) { engine->OnStoreWrite(id); });
+  if (with_persist) {
+    PersistOptions popts;
+    popts.dir = dir;
+    run->persist = std::make_unique<PersistManager>(popts);
+    run->engine->SetPersist(run->persist.get());
+  }
+  if (!run->engine->LoadSource(kSpec).ok()) {
+    return nullptr;
+  }
+  return run;
+}
+
+void Step(BenchRun& run, int step) {
+  Rng rng(0x9E3779B97F4A7C15ull + static_cast<uint64_t>(step));
+  const SimTime start = static_cast<SimTime>(step) * kStepWindow;
+  const int observations = static_cast<int>(rng.UniformInt(1, 4));
+  for (int i = 0; i < observations; ++i) {
+    const SimTime t = start + rng.UniformInt(1, kStepWindow - 1);
+    run.store.Observe("io.lat", t,
+                      rng.Bernoulli(0.2) ? rng.Uniform(5.0e6, 2.0e7)
+                                         : rng.Uniform(1.0e5, 4.0e6));
+  }
+  if (rng.Bernoulli(0.4)) {
+    run.store.Save("err.rate", Value(rng.Uniform(0.0, 1.0)));
+  }
+  run.engine->AdvanceTo(start + kStepWindow);
+}
+
+std::string StateBytes(BenchRun& run) {
+  Snapshot snapshot;
+  snapshot.store = run.store.DumpSlots();
+  snapshot.report_ring = run.engine->EncodeReportRing();
+  snapshot.image = run.engine->EncodeImage();
+  return EncodeSnapshot(snapshot);
+}
+
+}  // namespace persistbench
+
+bool RunPersistBench(std::vector<Metric>& metrics, bool& persist_ok) {
+  namespace fs = std::filesystem;
+  using persistbench::Start;
+  using persistbench::Step;
+  constexpr int kTotalSteps = 2000;
+  // Crash mid-way between snapshots (the 250ms interval snapshots every 5th
+  // 50ms step) so recovery exercises a real journal-suffix replay rather than
+  // landing exactly on a snapshot boundary with nothing to replay.
+  constexpr int kCrashStep = 1503;
+  constexpr double kRecoveryBoundMs = 500.0;
+
+  std::error_code ec;
+  const fs::path root = fs::temp_directory_path(ec) / "osguard-benchjson-persist";
+  fs::remove_all(root, ec);
+  fs::create_directories(root, ec);
+  if (ec) {
+    std::fprintf(stderr, "benchjson: --persist: cannot create %s\n", root.c_str());
+    return false;
+  }
+
+  // Baseline: identical workload with persistence off.
+  const int64_t bare_start = WallNs();
+  auto bare = Start((root / "bare").string(), /*with_persist=*/false);
+  if (bare == nullptr) {
+    return false;
+  }
+  for (int step = 0; step < kTotalSteps; ++step) {
+    Step(*bare, step);
+  }
+  const double bare_ns = static_cast<double>(WallNs() - bare_start);
+
+  // Journaled reference run, uninterrupted.
+  const fs::path ref_dir = root / "ref";
+  fs::create_directories(ref_dir, ec);
+  const int64_t ref_start = WallNs();
+  auto reference = Start(ref_dir.string(), /*with_persist=*/true);
+  if (reference == nullptr || !reference->persist->Open().ok()) {
+    return false;
+  }
+  for (int step = 0; step < kTotalSteps; ++step) {
+    Step(*reference, step);
+  }
+  const double ref_ns = static_cast<double>(WallNs() - ref_start);
+  const PersistStats ref_stats = reference->persist->stats();
+  const std::string want = persistbench::StateBytes(*reference);
+
+  // Crash run: same workload into its own directory, abandoned mid-run.
+  const fs::path crash_dir = root / "crash";
+  fs::create_directories(crash_dir, ec);
+  std::vector<uint64_t> seq_after(kCrashStep, 0);
+  {
+    auto doomed = Start(crash_dir.string(), /*with_persist=*/true);
+    if (doomed == nullptr || !doomed->persist->Open().ok()) {
+      return false;
+    }
+    for (int step = 0; step < kCrashStep; ++step) {
+      Step(*doomed, step);
+      seq_after[static_cast<size_t>(step)] = doomed->persist->last_committed_seq();
+    }
+  }
+
+  // Recovery: snapshot + journal-suffix replay, then re-execution to the end.
+  auto recovered = Start(crash_dir.string(), /*with_persist=*/true);
+  if (recovered == nullptr) {
+    return false;
+  }
+  const int64_t recover_start = WallNs();
+  auto info = recovered->engine->Restore(*recovered->persist);
+  const double recover_ns = static_cast<double>(WallNs() - recover_start);
+  if (!info.ok()) {
+    std::fprintf(stderr, "benchjson: --persist: recovery failed: %s\n",
+                 info.status().ToString().c_str());
+    return false;
+  }
+  int resume = 0;
+  if (info.value().last_seq != 0) {
+    resume = -1;
+    for (int step = 0; step < kCrashStep; ++step) {
+      if (seq_after[static_cast<size_t>(step)] == info.value().last_seq) {
+        resume = step + 1;
+        break;
+      }
+    }
+    if (resume == -1) {
+      std::fprintf(stderr, "benchjson: --persist: recovered seq %llu matches no "
+                           "commit boundary\n",
+                   static_cast<unsigned long long>(info.value().last_seq));
+      persist_ok = false;
+      resume = 0;
+    }
+  }
+  for (int step = resume; step < kTotalSteps; ++step) {
+    Step(*recovered, step);
+  }
+  const bool identical = persistbench::StateBytes(*recovered) == want;
+
+  const double commits = std::max<double>(1.0, static_cast<double>(ref_stats.frames_committed));
+  metrics.push_back({"persist_commit_overhead_ns_per_boundary",
+                     (ref_ns - bare_ns) / commits, "ns_per_commit"});
+  metrics.push_back({"persist_journal_bytes_per_commit",
+                     static_cast<double>(ref_stats.bytes_appended) / commits, "bytes"});
+  metrics.push_back({"persist_frames_committed", static_cast<double>(ref_stats.frames_committed),
+                     "count"});
+  metrics.push_back({"persist_snapshots_written",
+                     static_cast<double>(ref_stats.snapshots_written), "count"});
+  metrics.push_back({"persist_recovery_ms", recover_ns / 1e6, "ms"});
+  metrics.push_back({"persist_frames_replayed",
+                     static_cast<double>(info.value().frames_replayed), "count"});
+  const double recover_s = std::max(recover_ns / 1e9, 1e-9);
+  metrics.push_back({"persist_replay_frames_per_sec",
+                     static_cast<double>(info.value().frames_replayed) / recover_s,
+                     "frames_per_sec"});
+  metrics.push_back({"persist_state_divergence", identical ? 0.0 : 1.0, "bool"});
+
+  if (!identical) {
+    std::fprintf(stderr,
+                 "benchjson: --persist: recovered run diverged from the uninterrupted "
+                 "run\n");
+    persist_ok = false;
+  }
+  if (recover_ns / 1e6 > kRecoveryBoundMs) {
+    std::fprintf(stderr, "benchjson: --persist: recovery took %.1fms (bound %.0fms)\n",
+                 recover_ns / 1e6, kRecoveryBoundMs);
+    persist_ok = false;
+  }
+  fs::remove_all(root, ec);
+  return true;
+}
+
 int Main(int argc, char** argv) {
   Logger::Global().set_level(LogLevel::kOff);
   bool strict_alloc = false;
   bool chaos = false;
   bool supervisor = false;
   bool native = false;
+  bool persist = false;
   const char* out_path = nullptr;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--strict-alloc") == 0) {
@@ -662,12 +886,14 @@ int Main(int argc, char** argv) {
       supervisor = true;
     } else if (std::strcmp(argv[i], "--native") == 0) {
       native = true;
+    } else if (std::strcmp(argv[i], "--persist") == 0) {
+      persist = true;
     } else if (std::strcmp(argv[i], "-o") == 0 && i + 1 < argc) {
       out_path = argv[++i];
     } else {
       std::fprintf(stderr,
                    "usage: benchjson [--strict-alloc] [--chaos] [--supervisor] "
-                   "[--native] [-o FILE]\n");
+                   "[--native] [--persist] [-o FILE]\n");
       return 2;
     }
   }
@@ -676,6 +902,7 @@ int Main(int argc, char** argv) {
   bool chaos_contained = true;
   bool supervisor_contained = true;
   bool native_ok = true;
+  bool persist_ok = true;
   if (chaos) {
     if (!RunChaosBench(metrics, chaos_contained)) {
       return 1;
@@ -686,6 +913,10 @@ int Main(int argc, char** argv) {
     }
   } else if (native) {
     if (!RunNativeBench(metrics, native_ok)) {
+      return 1;
+    }
+  } else if (persist) {
+    if (!RunPersistBench(metrics, persist_ok)) {
       return 1;
     }
   } else {
@@ -705,7 +936,9 @@ int Main(int argc, char** argv) {
   const double mean = eval_count > 0 ? eval_sum / eval_count : 0.0;
 
   const char* bench_name =
-      chaos ? "chaos" : (supervisor ? "supervisor" : (native ? "native" : "hotpath"));
+      chaos ? "chaos"
+            : (supervisor ? "supervisor"
+                          : (native ? "native" : (persist ? "persist" : "hotpath")));
   std::string json = std::string("{\n  \"bench\": \"") + bench_name +
                      "\",\n  \"schema_version\": 1,\n  \"metrics\": [\n";
   for (size_t i = 0; i < metrics.size(); ++i) {
@@ -726,6 +959,9 @@ int Main(int argc, char** argv) {
   } else if (native) {
     std::snprintf(tail, sizeof(tail), "  ],\n  \"native_ok\": %s\n}\n",
                   native_ok ? "true" : "false");
+  } else if (persist) {
+    std::snprintf(tail, sizeof(tail), "  ],\n  \"persist_ok\": %s\n}\n",
+                  persist_ok ? "true" : "false");
   } else {
     std::snprintf(tail, sizeof(tail), "  ],\n  \"ns_per_eval_mean\": %.2f\n}\n", mean);
   }
@@ -757,6 +993,12 @@ int Main(int argc, char** argv) {
     std::fprintf(stderr,
                  "benchjson: FAIL --native: AOT tier missed its promotion or "
                  "speedup bound\n");
+    return 1;
+  }
+  if (persist && !persist_ok) {
+    std::fprintf(stderr,
+                 "benchjson: FAIL --persist: warm restart diverged or exceeded the "
+                 "recovery-time bound\n");
     return 1;
   }
   if (strict_alloc) {
