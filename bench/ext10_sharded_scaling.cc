@@ -1,0 +1,222 @@
+// Extension 10: multi-core scaling of the sharded guardrail engine.
+//
+// Three studies over a hot FUNCTION callout, always validated against the
+// serial engine's bytes (store slots + report ring + engine image):
+//   1. Shard-width sweep at 64 monitors: throughput and speedup vs the
+//      serial oracle for 1..8 worker threads (capped by the host), plus the
+//      scheduling telemetry (batches, merge cost, ring high-water marks).
+//   2. Monitor-count sweep (16 / 64 / 256) at the host's natural width: how
+//      the per-callout batch size moves the parallel payoff.
+//   3. Eligibility mix: a spec where a quarter of the monitors are
+//      serial-classified (their rules read keys the batch's actions write),
+//      showing the coordinator interleaving inline evals with batches while
+//      still reproducing the serial bytes.
+//
+// On a single-core host the sweep still runs (the layer is a scheduling
+// shim, not a correctness switch); speedups simply hover around 1x.
+//
+// Usage: ext10_sharded_scaling [--long]
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/persist/persist.h"
+#include "src/runtime/engine.h"
+#include "src/runtime/sharded_engine.h"
+#include "src/store/feature_store.h"
+#include "src/support/logging.h"
+
+namespace osguard {
+namespace {
+
+int64_t WallNs() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+constexpr char kHook[] = "blk_mq_submit_bio_hotpath";
+
+// A dependent integer chain over one loaded key: the program-dominated rule
+// shape (all dispatch, no memory traffic) that parallelizes best.
+std::string DenseRule(int stages) {
+  std::string expr = "LOAD_OR(lat_score, 1)";
+  for (int i = 0; i < stages; ++i) {
+    expr = "(" + expr + " * 3 + 7)";
+  }
+  return expr + " != 123456789";
+}
+
+// `serial_fraction` of the monitors read a key (lat.trips) that the
+// aggregate monitors' actions write, which classifies them serial: they
+// evaluate inline on the coordinator at their exact position.
+std::string MakeSpec(int monitors, bool with_serial_readers) {
+  std::string spec;
+  for (int i = 0; i < monitors; ++i) {
+    std::string rule;
+    std::string action = "REPORT()";
+    if (i % 8 == 0) {
+      rule = "COUNT(io.lat, 50ms) == 0 || MEAN(io.lat, 50ms) <= 4000000";
+      action = "INCR(lat.trips); REPORT()";
+    } else if (with_serial_readers && i % 4 == 1) {
+      rule = "LOAD_OR(lat.trips, 0) <= 1000000";
+    } else if (i % 8 == 1) {
+      rule = "LOAD_OR(trip_level, 0) <= 90";
+    } else {
+      rule = DenseRule(24);
+    }
+    spec += "guardrail s" + std::to_string(i) + " { trigger: { FUNCTION(" +
+            std::string(kHook) + ") }, rule: { " + rule + " }, action: { " + action +
+            " }, meta: { cooldown = 10ms } }\n";
+  }
+  return spec;
+}
+
+struct RunResult {
+  double ns = 0.0;
+  uint64_t evals = 0;
+  std::string state;
+  ShardedStats sharded;
+  size_t hwm_max = 0;
+};
+
+RunResult Drive(const std::string& spec, size_t shards, int calls) {
+  FeatureStore store;
+  PolicyRegistry registry;
+  EngineOptions options;
+  options.measure_wall_time = false;
+  Engine engine(&store, &registry, nullptr, options);
+  std::unique_ptr<ShardedEngine> sharded;
+  if (shards > 0) {
+    ShardingOptions sharding;
+    sharding.enabled = true;
+    sharding.shards = shards;
+    sharding.telemetry = false;  // identity check: no engine.shard.* keys
+    sharded = std::make_unique<ShardedEngine>(&engine, sharding);
+  }
+  RunResult result;
+  if (!engine.LoadSource(spec).ok()) {
+    return result;
+  }
+  store.Save("lat_score", Value(static_cast<int64_t>(3)));
+  auto callout = [&](int i) {
+    const SimTime t = static_cast<SimTime>(i) * Microseconds(25);
+    if (i % 16 == 0) {
+      store.Observe("io.lat", t, 1.0e6 * static_cast<double>(i % 7 + 1));
+    }
+    if (i % 64 == 0) {
+      store.Save("trip_level", Value(static_cast<int64_t>(i / 64 % 128)));
+    }
+    if (sharded != nullptr) {
+      sharded->OnFunctionCall(kHook, t);
+    } else {
+      engine.OnFunctionCall(kHook, t);
+    }
+  };
+  constexpr int kWarmup = 256;
+  for (int i = 0; i < kWarmup; ++i) {
+    callout(i);
+  }
+  const uint64_t evals_before = engine.stats().evaluations;
+  const int64_t start = WallNs();
+  for (int i = kWarmup; i < kWarmup + calls; ++i) {
+    callout(i);
+  }
+  result.ns = static_cast<double>(WallNs() - start);
+  result.evals = engine.stats().evaluations - evals_before;
+  Snapshot snapshot;
+  snapshot.store = store.DumpSlots();
+  snapshot.report_ring = engine.EncodeReportRing();
+  snapshot.image = engine.EncodeImage();
+  result.state = EncodeSnapshot(snapshot);
+  if (sharded != nullptr) {
+    result.sharded = sharded->stats();
+    for (size_t i = 0; i < sharded->shard_count(); ++i) {
+      result.hwm_max = std::max(result.hwm_max, sharded->RingHighWater(i));
+    }
+  }
+  return result;
+}
+
+void PrintRow(const char* label, const RunResult& run, const RunResult& serial,
+              int calls) {
+  const double secs = run.ns / 1e9;
+  std::printf("%-12s %14.0f %14.0f %9.2fx %10llu %10.0f %8llu\n", label,
+              calls / secs, static_cast<double>(run.evals) / secs,
+              serial.ns / run.ns,
+              static_cast<unsigned long long>(run.sharded.batches),
+              run.sharded.batches > 0
+                  ? static_cast<double>(run.sharded.merge_ns) /
+                        static_cast<double>(run.sharded.batches)
+                  : 0.0,
+              static_cast<unsigned long long>(run.hwm_max));
+}
+
+int Main(int argc, char** argv) {
+  Logger::Global().set_level(LogLevel::kOff);
+  const bool long_run = argc > 1 && std::string(argv[1]) == "--long";
+  const int calls = long_run ? 100000 : 10000;
+  const unsigned host = std::max(1u, std::thread::hardware_concurrency());
+
+  std::printf("# Extension 10: sharded multi-core guardrail engine (host threads: %u)\n\n",
+              host);
+
+  std::printf("## shard-width sweep, 64 monitors, %d callouts\n", calls);
+  std::printf("%-12s %14s %14s %10s %10s %10s %8s\n", "engine", "callouts/s", "evals/s",
+              "speedup", "batches", "merge_ns", "ring_hwm");
+  const std::string spec64 = MakeSpec(64, /*with_serial_readers=*/false);
+  const RunResult serial64 = Drive(spec64, 0, calls);
+  std::printf("%-12s %14.0f %14.0f %9.2fx %10s %10s %8s\n", "serial",
+              calls / (serial64.ns / 1e9),
+              static_cast<double>(serial64.evals) / (serial64.ns / 1e9), 1.0, "-", "-",
+              "-");
+  bool all_identical = true;
+  for (size_t width : {1u, 2u, 4u, 8u}) {
+    if (width > host * 2 && width > 2) {
+      break;  // oversubscribing a small host past 2x tells us nothing
+    }
+    const RunResult run = Drive(spec64, width, calls);
+    const std::string label = "sharded-" + std::to_string(width);
+    PrintRow(label.c_str(), run, serial64, calls);
+    all_identical = all_identical && run.state == serial64.state;
+  }
+
+  std::printf("\n## monitor-count sweep, natural width, %d callouts\n", calls);
+  std::printf("%-12s %14s %14s %10s\n", "monitors", "serial ev/s", "sharded ev/s",
+              "speedup");
+  for (int monitors : {16, 64, 256}) {
+    const std::string spec = MakeSpec(monitors, /*with_serial_readers=*/false);
+    const int scaled = std::max(1000, calls * 64 / monitors);
+    const RunResult serial = Drive(spec, 0, scaled);
+    const RunResult shard_run = Drive(spec, host > 1 ? host - 1 : 1, scaled);
+    std::printf("%-12d %14.0f %14.0f %9.2fx\n", monitors,
+                static_cast<double>(serial.evals) / (serial.ns / 1e9),
+                static_cast<double>(shard_run.evals) / (shard_run.ns / 1e9),
+                serial.ns / shard_run.ns);
+    all_identical = all_identical && shard_run.state == serial.state;
+  }
+
+  std::printf("\n## eligibility mix: 1/4 of monitors serial-classified (read action keys)\n");
+  const std::string mixed = MakeSpec(64, /*with_serial_readers=*/true);
+  const RunResult serial_mixed = Drive(mixed, 0, calls);
+  const RunResult shard_mixed = Drive(mixed, host > 1 ? host - 1 : 2, calls);
+  std::printf("parallel_evals=%llu serial_evals=%llu serial_callouts=%llu speedup=%.2fx\n",
+              static_cast<unsigned long long>(shard_mixed.sharded.parallel_evals),
+              static_cast<unsigned long long>(shard_mixed.sharded.serial_evals),
+              static_cast<unsigned long long>(shard_mixed.sharded.serial_callouts),
+              serial_mixed.ns / shard_mixed.ns);
+  all_identical = all_identical && shard_mixed.state == serial_mixed.state;
+
+  std::printf("\n# every sharded configuration %s the serial oracle's bytes\n",
+              all_identical ? "reproduced" : "DIVERGED FROM");
+  return all_identical ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace osguard
+
+int main(int argc, char** argv) { return osguard::Main(argc, argv); }

@@ -182,6 +182,7 @@ Engine::Monitor* Engine::ResolveEntry(const TimerEntry& entry) const {
 }
 
 void Engine::RebuildFunctionIndex() {
+  ++topology_version_;  // invalidates the sharded engine's cached plan
   function_hooks_.clear();
   watch_hooks_.assign(store_->key_count(), {});
   watch_hook_count_ = 0;
@@ -765,42 +766,49 @@ void Engine::Evaluate(Monitor& monitor, SimTime t) {
 }
 
 void Engine::EvaluateInner(Monitor& monitor, SimTime t) {
-  if (monitor.guard == nullptr) {
-    // Unsupervised fast path: one null check over the pre-supervisor engine.
-    EvaluateCore(monitor, t, GateDecision::kEvaluate);
+  const RuleEvalPrep prep = BeginRuleEval(monitor, t);
+  if (prep.skip) {
     return;
   }
-  GuardHealth& guard = *monitor.guard;
-  const GateDecision gate = supervisor_.Gate(guard, t);
-  if (guard.rollback_pending) {
-    QueueRollback(monitor);
-    return;
+  env_.UpdateEnvelope(monitor.guardrail.name, monitor.guardrail.meta.severity, t);
+  ExecBudget budget;
+  const ExecBudget* budget_ptr = nullptr;
+  if (prep.budget_steps > 0 || prep.budget_deadline_ns > 0) {
+    budget.max_steps = prep.budget_steps;
+    budget.deadline_wall_ns = prep.budget_deadline_ns;
+    budget_ptr = &budget;
   }
-  if (gate == GateDecision::kSkip) {
-    return;
+  int64_t steps_before = 0;
+  if (monitor.guard != nullptr) {
+    steps_before = vm_.stats().insns_executed;
   }
-  EvaluateCore(monitor, t, gate);
-  if (supervisor_.ConsumeQuarantineAction(guard)) {
-    // A quarantined monitor drops back to the interpreter: whatever tripped
-    // the breaker deserves the tier with exact step accounting and no native
-    // frame in the way while the supervisor probes it back to health.
-    Demote(monitor);
-    // The breaker just opened: apply the corrective action once as the
-    // quarantine fail-safe default, then suppress evals until a probe
-    // reinstates the guardrail. (The breaker is open, so any failures the
-    // default itself reports cannot re-trip it.)
-    reporter_.Report(ReportRecord{0, t, ReportKind::kMonitorError,
-                                  monitor.guardrail.meta.severity, monitor.guardrail.name,
-                                  "quarantined by supervisor; applying corrective default",
-                                  {}});
-    RunActions(monitor, monitor.guardrail.action, t);
-  }
-  if (guard.rollback_pending) {
-    QueueRollback(monitor);
-  }
+  const int64_t start = options_.measure_wall_time ? WallNowNs() : 0;
+  auto result = prep.injected_budget
+                    ? Result<Value>(ResourceExhaustedError(
+                          "rule of guardrail '" + monitor.guardrail.name +
+                          "' aborted by chaos site vm.budget_exhaust"))
+                    : ExecProgram(monitor, monitor.guardrail.rule, budget_ptr);
+  const int64_t wall_ns = options_.measure_wall_time ? WallNowNs() - start : 0;
+  const int64_t steps =
+      monitor.guard != nullptr ? vm_.stats().insns_executed - steps_before : 0;
+  FinishRuleEval(monitor, t, prep, std::move(result), steps, wall_ns);
 }
 
-void Engine::EvaluateCore(Monitor& monitor, SimTime t, GateDecision gate) {
+Engine::RuleEvalPrep Engine::BeginRuleEval(Monitor& monitor, SimTime t) {
+  RuleEvalPrep prep;
+  if (monitor.guard != nullptr) {
+    GuardHealth& guard = *monitor.guard;
+    prep.gate = supervisor_.Gate(guard, t);
+    if (guard.rollback_pending) {
+      QueueRollback(monitor);
+      prep.skip = true;
+      return prep;
+    }
+    if (prep.gate == GateDecision::kSkip) {
+      prep.skip = true;
+      return prep;
+    }
+  }
   MonitorStats& stats = monitor.stats;
   ++stats.evaluations;
   ++stats.uptime_evals;
@@ -809,46 +817,33 @@ void Engine::EvaluateCore(Monitor& monitor, SimTime t, GateDecision gate) {
   if (options_.tier.enabled) {
     MaybePromote(monitor);
   }
-
-  env_.UpdateEnvelope(monitor.guardrail.name, monitor.guardrail.meta.severity, t);
-  GuardHealth* guard = monitor.guard;
-  ExecBudget budget;
-  const ExecBudget* budget_ptr = nullptr;
-  bool injected_budget = false;
-  int64_t steps_before = 0;
-  if (guard != nullptr) {
-    const GuardrailHealth& cfg = guard->config;
-    if (cfg.budget_steps > 0 || cfg.budget_ns > 0) {
-      budget.max_steps = cfg.budget_steps;
-      if (cfg.budget_ns > 0) {
-        budget.deadline_wall_ns = WallNowNs() + cfg.budget_ns;
-      }
-      budget_ptr = &budget;
+  if (monitor.guard != nullptr) {
+    const GuardrailHealth& cfg = monitor.guard->config;
+    prep.budget_steps = cfg.budget_steps;
+    if (cfg.budget_ns > 0) {
+      prep.budget_deadline_ns = WallNowNs() + cfg.budget_ns;
     }
-    injected_budget = supervisor_.InjectBudgetExhaust(t);
-    steps_before = vm_.stats().insns_executed;
+    prep.injected_budget = supervisor_.InjectBudgetExhaust(t);
   }
-  const int64_t start = options_.measure_wall_time ? WallNowNs() : 0;
-  auto result = injected_budget
-                    ? Result<Value>(ResourceExhaustedError(
-                          "rule of guardrail '" + monitor.guardrail.name +
-                          "' aborted by chaos site vm.budget_exhaust"))
-                    : ExecProgram(monitor, monitor.guardrail.rule, budget_ptr);
-  if (options_.measure_wall_time) {
-    const int64_t elapsed = WallNowNs() - start;
-    stats.rule_wall_ns += elapsed;
-    stats_.total_wall_ns += elapsed;
-  }
+  return prep;
+}
 
+void Engine::FinishRuleEval(Monitor& monitor, SimTime t, const RuleEvalPrep& prep,
+                            Result<Value> result, int64_t steps, int64_t wall_ns) {
+  MonitorStats& stats = monitor.stats;
+  if (options_.measure_wall_time) {
+    stats.rule_wall_ns += wall_ns;
+    stats_.total_wall_ns += wall_ns;
+  }
+  GuardHealth* guard = monitor.guard;
   if (guard != nullptr) {
-    const int64_t steps = vm_.stats().insns_executed - steps_before;
     EvalOutcome outcome = EvalOutcome::kOk;
     if (!result.ok()) {
       outcome = result.status().code() == ErrorCode::kResourceExhausted
                     ? EvalOutcome::kBudgetExceeded
                     : EvalOutcome::kError;
     }
-    supervisor_.OnEvalResult(*guard, monitor.guardrail.name, gate, outcome, steps, t);
+    supervisor_.OnEvalResult(*guard, monitor.guardrail.name, prep.gate, outcome, steps, t);
   }
 
   if (!result.ok()) {
@@ -860,11 +855,8 @@ void Engine::EvaluateCore(Monitor& monitor, SimTime t, GateDecision gate) {
                                   monitor.guardrail.meta.severity, monitor.guardrail.name,
                                   result.status().ToString(),
                                   {}});
-    return;
-  }
-
-  const bool holds = TruthyValue(result.value());
-  if (holds) {
+  } else if (TruthyValue(result.value())) {
+    // Property holds.
     if (stats.in_violation) {
       stats.in_violation = false;
       ++stats.satisfy_firings;
@@ -880,36 +872,60 @@ void Engine::EvaluateCore(Monitor& monitor, SimTime t, GateDecision gate) {
       }
     }
     stats.consecutive_violations = 0;
-    return;
+  } else {
+    // Violation path.
+    ++stats.violations;
+    ++stats_.violations;
+    ++stats.consecutive_violations;
+    if (stats.consecutive_violations < monitor.guardrail.meta.hysteresis) {
+      ++stats.suppressed_hysteresis;
+    } else {
+      const Duration cooldown = monitor.guardrail.meta.cooldown;
+      if (stats.last_action_time >= 0 && cooldown > 0 &&
+          t - stats.last_action_time < cooldown) {
+        ++stats.suppressed_cooldown;
+      } else {
+        const bool entered_violation = !stats.in_violation;
+        stats.in_violation = true;
+        stats.last_action_time = t;
+        ++stats.action_firings;
+        ++stats_.action_firings;
+        reporter_.Report(ReportRecord{0, t, ReportKind::kViolation,
+                                      monitor.guardrail.meta.severity,
+                                      monitor.guardrail.name,
+                                      "rule violated",
+                                      {}});
+        if (entered_violation && guard != nullptr) {
+          supervisor_.OnViolationFlip(*guard, monitor.guardrail.name, t);
+        }
+        RunActions(monitor, monitor.guardrail.action, t);
+      }
+    }
   }
 
-  // Violation path.
-  ++stats.violations;
-  ++stats_.violations;
-  ++stats.consecutive_violations;
-  if (stats.consecutive_violations < monitor.guardrail.meta.hysteresis) {
-    ++stats.suppressed_hysteresis;
-    return;
+  // Quarantine / rollback tail — runs after *every* non-skipped evaluation,
+  // including the error path above.
+  if (guard != nullptr) {
+    if (supervisor_.ConsumeQuarantineAction(*guard)) {
+      // A quarantined monitor drops back to the interpreter: whatever tripped
+      // the breaker deserves the tier with exact step accounting and no native
+      // frame in the way while the supervisor probes it back to health.
+      Demote(monitor);
+      // The breaker just opened: apply the corrective action once as the
+      // quarantine fail-safe default, then suppress evals until a probe
+      // reinstates the guardrail. (The breaker is open, so any failures the
+      // default itself reports cannot re-trip it.)
+      reporter_.Report(ReportRecord{0, t, ReportKind::kMonitorError,
+                                    monitor.guardrail.meta.severity,
+                                    monitor.guardrail.name,
+                                    "quarantined by supervisor; applying corrective default",
+                                    {}});
+      RunActions(monitor, monitor.guardrail.action, t);
+    }
+    if (guard->rollback_pending) {
+      QueueRollback(monitor);
+    }
   }
-  const Duration cooldown = monitor.guardrail.meta.cooldown;
-  if (stats.last_action_time >= 0 && cooldown > 0 &&
-      t - stats.last_action_time < cooldown) {
-    ++stats.suppressed_cooldown;
-    return;
-  }
-  const bool entered_violation = !stats.in_violation;
-  stats.in_violation = true;
-  stats.last_action_time = t;
-  ++stats.action_firings;
-  ++stats_.action_firings;
-  reporter_.Report(ReportRecord{0, t, ReportKind::kViolation,
-                                monitor.guardrail.meta.severity, monitor.guardrail.name,
-                                "rule violated",
-                                {}});
-  if (entered_violation && guard != nullptr) {
-    supervisor_.OnViolationFlip(*guard, monitor.guardrail.name, t);
-  }
-  RunActions(monitor, monitor.guardrail.action, t);
 }
 
 // --- Crash consistency (osguard::persist) ---

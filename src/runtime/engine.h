@@ -263,6 +263,13 @@ class Engine {
   std::string EncodeReportRing() const;
 
  private:
+  // The sharded engine is a scheduling layer over this engine: it borrows the
+  // monitor table, runs BeginRuleEval / rule execution / FinishRuleEval
+  // itself (rule exec on worker threads, everything else on the coordinator),
+  // and needs the private evaluation surface to do so. See
+  // src/runtime/sharded_engine.h and docs/SHARDING.md.
+  friend class ShardedEngine;
+
   struct Monitor {
     CompiledGuardrail guardrail;
     MonitorStats stats;
@@ -318,7 +325,33 @@ class Engine {
   void RebuildFunctionIndex();
   void Evaluate(Monitor& monitor, SimTime t);
   void EvaluateInner(Monitor& monitor, SimTime t);
-  void EvaluateCore(Monitor& monitor, SimTime t, GateDecision gate);
+
+  // One rule evaluation, split around the rule-program execution so the
+  // sharded engine can run the execution on a worker thread while keeping
+  // every side effect (stats, supervisor protocol, reports, actions) on the
+  // coordinator in serial order. The serial path is EvaluateInner ==
+  // BeginRuleEval -> execute -> FinishRuleEval, bit-identical to the
+  // pre-split engine.
+  struct RuleEvalPrep {
+    GateDecision gate = GateDecision::kEvaluate;
+    bool skip = false;             // gated off / rollback pending: no eval
+    bool injected_budget = false;  // chaos vm.budget_exhaust fired
+    uint64_t budget_steps = 0;     // 0 = unlimited
+    int64_t budget_deadline_ns = 0;  // absolute wall deadline; 0 = none
+  };
+  // Gate, rollback check, stats/uptime increments, tier promotion, budget
+  // setup and the chaos budget-exhaust draw. Mutates engine state — must run
+  // on the coordinator, and (in a batch) before any worker starts reading
+  // the store.
+  RuleEvalPrep BeginRuleEval(Monitor& monitor, SimTime t);
+  // Everything after the rule program ran: wall accounting, supervisor
+  // OnEvalResult, the error / satisfied / violation protocol (reports +
+  // action programs), then the quarantine / rollback tail. `steps` is the
+  // interpreter instruction count of the rule execution (0 when
+  // unsupervised — it is only consumed by the supervisor).
+  void FinishRuleEval(Monitor& monitor, SimTime t, const RuleEvalPrep& prep,
+                      Result<Value> result, int64_t steps, int64_t wall_ns);
+
   void RunActions(Monitor& monitor, const Program& program, SimTime t);
   // Tier-dispatching program execution: runs `program` natively when the
   // monitor is promoted and the budget/replay constraints allow it, falling
@@ -389,6 +422,10 @@ class Engine {
   // (name, generation) of monitors whose probation deploy must roll back.
   std::vector<std::pair<std::string, uint64_t>> pending_rollbacks_;
   EngineStats stats_;
+  // Bumped whenever the monitor topology changes (load / unload / rollback
+  // swap). The sharded engine caches a partition + eligibility plan keyed on
+  // this counter and rebuilds it lazily on mismatch.
+  uint64_t topology_version_ = 0;
 
   // --- Native tier ---
   std::unique_ptr<NativeAot> aot_;  // null unless options_.tier.enabled

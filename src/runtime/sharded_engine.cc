@@ -1,0 +1,548 @@
+#include "src/runtime/sharded_engine.h"
+
+#include <algorithm>
+#include <chrono>
+#include <string>
+#include <unordered_set>
+
+#include "src/chaos/chaos.h"
+#include "src/dsl/builtins.h"
+#include "src/support/logging.h"
+#include "src/vm/bytecode.h"
+
+namespace osguard {
+namespace {
+
+int64_t WallNowNs() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+// Mirrors helper_env.cc's NumericArg byte-for-byte: a worker-side type error
+// must render the exact report message the serial engine would have emitted.
+Result<double> NumericArg(const Value& v, const char* what) {
+  if (!v.is_numeric() && v.type() != ValueType::kBool) {
+    return InvalidArgumentError(std::string(what) + " is not numeric: " + v.ToString());
+  }
+  return v.NumericOr(0.0);
+}
+
+bool IsStoreReadHelper(HelperId id) {
+  switch (id) {
+    case HelperId::kLoad:
+    case HelperId::kLoadOr:
+    case HelperId::kExists:
+    case HelperId::kCount:
+    case HelperId::kSum:
+    case HelperId::kMean:
+    case HelperId::kMinAgg:
+    case HelperId::kMaxAgg:
+    case HelperId::kStdDev:
+    case HelperId::kRate:
+    case HelperId::kNewest:
+    case HelperId::kOldest:
+    case HelperId::kQuantile:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool IsStoreWriteHelper(HelperId id) {
+  return id == HelperId::kSave || id == HelperId::kIncr || id == HelperId::kObserve;
+}
+
+// Store keys the engine infrastructure itself publishes at evaluation and
+// callout boundaries (supervisor exports, dispatcher latency, tier/uptime/
+// shard counters). A rule reading one of these observes engine-internal
+// write timing, so it is pinned to its exact serial slot.
+bool IsInfraKey(std::string_view key) {
+  return key.starts_with("supervisor.") || key.starts_with("actions.") ||
+         key.starts_with("engine.") || key.starts_with("monitor.");
+}
+
+// Static store-access footprint of one program.
+struct ProgramScan {
+  bool dynamic_read = false;   // store/aggregate read with an unresolved key
+  bool dynamic_write = false;  // SAVE/INCR/OBSERVE with an unresolved key
+  std::vector<KeyId> reads;    // slot ids read via kCallKeyed
+  std::vector<KeyId> writes;   // slot ids written via kCallKeyed
+};
+
+void ScanProgram(const Program& program, ProgramScan* out) {
+  for (const Insn& insn : program.insns) {
+    if (insn.op != Op::kCall && insn.op != Op::kCallKeyed) {
+      continue;
+    }
+    const HelperId id = static_cast<HelperId>(insn.imm);
+    const bool keyed = insn.op == Op::kCallKeyed;
+    if (IsStoreWriteHelper(id)) {
+      if (keyed) {
+        out->writes.push_back(static_cast<KeyId>(static_cast<uint32_t>(insn.aux)));
+      } else {
+        out->dynamic_write = true;
+      }
+    } else if (IsStoreReadHelper(id)) {
+      if (keyed) {
+        out->reads.push_back(static_cast<KeyId>(static_cast<uint32_t>(insn.aux)));
+      } else {
+        out->dynamic_read = true;
+      }
+    }
+    // Math, NOW, and action helpers carry no store key.
+  }
+}
+
+}  // namespace
+
+// --- SnapshotHelperEnv ---
+
+Result<Value> SnapshotHelperEnv::CallHelper(HelperId id, std::span<const Value> args) {
+  // Reaches here for math helpers, NOW(), and nothing else in practice: rules
+  // with unresolved store keys are classified serial by the plan, and action
+  // helpers are rejected in rules by the verifier. The fallback env has no
+  // chaos engine attached, matching the serial env's unarmed-site behavior
+  // (an *armed* helper_fail site forces the whole callout serial).
+  return fallback_.CallHelper(id, args);
+}
+
+Result<Value> SnapshotHelperEnv::CallHelperKeyed(HelperId id, uint32_t slot,
+                                                 std::span<const Value> args) {
+  if (slot >= view_.key_count()) {
+    // Unknown slot (fuzzed or stale program): the serial env takes the string
+    // slow path; its locked reads are safe during the quiescent drain.
+    return fallback_.CallHelperKeyed(id, slot, args);
+  }
+  switch (id) {
+    case HelperId::kLoad:
+      return view_.LoadOr(slot, Value());  // nil when missing
+    case HelperId::kLoadOr:
+      return view_.LoadOr(slot, args[1]);
+    case HelperId::kExists:
+      return Value(view_.Contains(slot));
+    case HelperId::kQuantile: {
+      OSGUARD_ASSIGN_OR_RETURN(double q, NumericArg(args[1], "QUANTILE q"));
+      if (q < 0.0 || q > 1.0) {
+        return InvalidArgumentError("QUANTILE q must be in [0, 1]");
+      }
+      OSGUARD_ASSIGN_OR_RETURN(double window, NumericArg(args[2], "QUANTILE window"));
+      auto result =
+          view_.AggregateQuantile(slot, q, static_cast<Duration>(window), now());
+      if (!result.ok()) {
+        return Value();  // nil on empty window
+      }
+      return Value(result.value());
+    }
+    case HelperId::kCount:
+    case HelperId::kSum:
+    case HelperId::kMean:
+    case HelperId::kMinAgg:
+    case HelperId::kMaxAgg:
+    case HelperId::kStdDev:
+    case HelperId::kRate:
+    case HelperId::kNewest:
+    case HelperId::kOldest: {
+      OSGUARD_ASSIGN_OR_RETURN(double window, NumericArg(args[1], "aggregate window"));
+      auto result = view_.Aggregate(slot, AggKindForHelper(id),
+                                    static_cast<Duration>(window), now());
+      if (!result.ok()) {
+        return Value();  // nil on empty window / missing series
+      }
+      return Value(result.value());
+    }
+    default:
+      // SAVE/INCR/OBSERVE cannot appear in a rule (verifier) and everything
+      // else is unkeyed; a mutation from a worker would corrupt the drain,
+      // so fail loudly instead of delegating.
+      return InternalError("mutating helper on the sharded read-only path");
+  }
+}
+
+// --- ShardedEngine ---
+
+ShardedEngine::ShardedEngine(Engine* engine, ShardingOptions options)
+    : engine_(engine),
+      options_(options),
+      measure_wall_(engine->options_.measure_wall_time) {
+  size_t n = options_.shards;
+  if (n == 0) {
+    const unsigned hw = std::thread::hardware_concurrency();
+    n = hw > 1 ? hw - 1 : 1;
+  }
+  n = std::clamp<size_t>(n, 1, 16);
+  shards_.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    shards_.push_back(std::make_unique<Shard>(options_.ring_capacity));
+  }
+  for (size_t i = 0; i < n; ++i) {
+    Shard* shard = shards_[i].get();
+    shard->thread = std::thread([this, shard] { WorkerLoop(*shard); });
+  }
+  if (options_.telemetry) {
+    FeatureStore& store = *engine_->store_;
+    k_count_ = store.InternKey("engine.shard.count");
+    k_batches_ = store.InternKey("engine.shard.batches");
+    k_parallel_ = store.InternKey("engine.shard.parallel_evals");
+    k_serial_ = store.InternKey("engine.shard.serial_evals");
+    k_merge_ns_ = store.InternKey("engine.shard.merge_ns");
+    k_shard_evals_.reserve(n);
+    k_shard_hwm_.reserve(n);
+    for (size_t i = 0; i < n; ++i) {
+      const std::string prefix = "engine.shard." + std::to_string(i);
+      k_shard_evals_.push_back(store.InternKey(prefix + ".evals"));
+      k_shard_hwm_.push_back(store.InternKey(prefix + ".ring_hwm"));
+    }
+    published_shard_evals_.assign(n, 0);
+    published_shard_hwm_.assign(n, 0);
+  }
+  OSGUARD_LOG(kDebug) << "sharded engine up: " << n << " shard worker(s), ring capacity "
+                      << shards_[0]->ring.capacity();
+}
+
+ShardedEngine::~ShardedEngine() {
+  {
+    std::lock_guard<std::mutex> lock(wake_mu_);
+    stop_.store(true, std::memory_order_release);
+    doorbell_.fetch_add(1, std::memory_order_release);
+  }
+  wake_cv_.notify_all();
+  for (auto& shard : shards_) {
+    if (shard->thread.joinable()) {
+      shard->thread.join();
+    }
+  }
+}
+
+void ShardedEngine::AdvanceTo(SimTime t) { engine_->AdvanceTo(t); }
+
+void ShardedEngine::WorkerLoop(Shard& shard) {
+  // Per-worker execution state: the Vm is not thread-safe, and the snapshot
+  // env's view/envelope are worker-local by design.
+  Vm vm;
+  SnapshotHelperEnv env(engine_->store_);
+  uint64_t seen_doorbell = doorbell_.load(std::memory_order_acquire);
+  while (true) {
+    EvalTask* task = nullptr;
+    if (shard.ring.TryPop(&task)) {
+      ExecuteTask(*task, vm, env, shard);
+      continue;
+    }
+    if (stop_.load(std::memory_order_acquire)) {
+      return;
+    }
+    // Brief yield-spin bridges the gap between a flush's ring publishes and
+    // its doorbell, then block until the next batch (workers cost nothing
+    // between callouts).
+    bool got = false;
+    for (int spin = 0; spin < 64 && !got; ++spin) {
+      std::this_thread::yield();
+      got = shard.ring.TryPop(&task);
+    }
+    if (got) {
+      ExecuteTask(*task, vm, env, shard);
+      continue;
+    }
+    std::unique_lock<std::mutex> lock(wake_mu_);
+    wake_cv_.wait(lock, [&] {
+      return stop_.load(std::memory_order_acquire) ||
+             doorbell_.load(std::memory_order_acquire) != seen_doorbell;
+    });
+    seen_doorbell = doorbell_.load(std::memory_order_acquire);
+  }
+}
+
+void ShardedEngine::ExecuteTask(EvalTask& task, Vm& vm, SnapshotHelperEnv& env,
+                                Shard& shard) {
+  Engine::Monitor& monitor = *task.monitor;
+  env.Prepare(monitor.guardrail.name, monitor.guardrail.meta.severity, task.t,
+              task.key_count);
+  ExecBudget budget;
+  const ExecBudget* budget_ptr = nullptr;
+  if (task.prep.budget_steps > 0 || task.prep.budget_deadline_ns > 0) {
+    budget.max_steps = static_cast<int64_t>(task.prep.budget_steps);
+    budget.deadline_wall_ns = task.prep.budget_deadline_ns;
+    budget_ptr = &budget;
+  }
+  const int64_t start = measure_wall_ ? WallNowNs() : 0;
+  if (task.prep.injected_budget) {
+    task.result = Result<Value>(ResourceExhaustedError(
+        "rule of guardrail '" + monitor.guardrail.name +
+        "' aborted by chaos site vm.budget_exhaust"));
+    task.steps = 0;
+  } else {
+    const int64_t steps_before =
+        monitor.guard != nullptr ? vm.stats().insns_executed : 0;
+    task.result = vm.Execute(monitor.guardrail.rule, env, budget_ptr);
+    task.steps =
+        monitor.guard != nullptr ? vm.stats().insns_executed - steps_before : 0;
+  }
+  task.wall_ns = measure_wall_ ? WallNowNs() - start : 0;
+  ++shard.evals;  // ordered before the coordinator's read by `done`
+  task.done.store(true, std::memory_order_release);
+}
+
+void ShardedEngine::RefreshPlan() {
+  if (plan_valid_ && plan_version_ == engine_->topology_version_) {
+    return;
+  }
+  plan_.clear();
+  plan_version_ = engine_->topology_version_;
+  plan_valid_ = true;
+  plan_global_serial_ = false;
+
+  // Engine-wide disablers that are topology/configuration facts:
+  //  * ONCHANGE monitors observe individual store writes, whose relative
+  //    order a batch compresses;
+  //  * the native tier promotes mid-Begin and runs through engine-owned
+  //    execution state;
+  //  * an action program writing a key it only names at runtime defeats the
+  //    read/write-set analysis below.
+  if (engine_->watch_hook_count_ > 0 || engine_->options_.tier.enabled) {
+    plan_global_serial_ = true;
+    return;
+  }
+  std::unordered_set<KeyId> action_writes;
+  for (const auto& [name, monitor] : engine_->monitors_) {
+    ProgramScan action_scan;
+    ScanProgram(monitor->guardrail.action, &action_scan);
+    if (!monitor->guardrail.on_satisfy.empty()) {
+      ScanProgram(monitor->guardrail.on_satisfy, &action_scan);
+    }
+    if (action_scan.dynamic_write) {
+      plan_global_serial_ = true;
+      return;
+    }
+    action_writes.insert(action_scan.writes.begin(), action_scan.writes.end());
+  }
+
+  // Per-monitor classification + round-robin partition of the parallel set.
+  // monitors_ is an ordered map, so the partition is deterministic in the
+  // same sorted-name order the function-hook index fires in.
+  uint32_t next_shard = 0;
+  size_t parallel = 0;
+  size_t serial = 0;
+  for (const auto& [name, monitor] : engine_->monitors_) {
+    ProgramScan rule_scan;
+    ScanProgram(monitor->guardrail.rule, &rule_scan);
+    bool is_serial =
+        rule_scan.dynamic_read || rule_scan.dynamic_write || !rule_scan.writes.empty();
+    if (!is_serial && monitor->guard != nullptr &&
+        monitor->guard->config.budget_ns > 0) {
+      // Wall-clock budgets deadline against the serial engine's own clock
+      // reads; scheduling them off-thread would change what the deadline
+      // means. Step budgets parallelize fine (the interpreter is exact).
+      is_serial = true;
+    }
+    if (!is_serial) {
+      for (KeyId key : rule_scan.reads) {
+        if (action_writes.count(key) != 0 || IsInfraKey(engine_->store_->KeyName(key))) {
+          is_serial = true;
+          break;
+        }
+      }
+    }
+    MonitorPlan mp;
+    mp.serial = is_serial;
+    if (!is_serial) {
+      mp.shard = next_shard;
+      next_shard = (next_shard + 1) % static_cast<uint32_t>(shards_.size());
+      if (monitor->guard != nullptr) {
+        monitor->guard->shard_id = mp.shard;
+      }
+      ++parallel;
+    } else {
+      ++serial;
+    }
+    plan_.emplace(monitor.get(), mp);
+  }
+  OSGUARD_LOG(kDebug) << "sharded plan v" << plan_version_ << ": " << parallel
+                      << " parallel / " << serial << " serial monitor(s) across "
+                      << shards_.size() << " shard(s)";
+}
+
+bool ShardedEngine::GlobalSerialRequired() const {
+  if (plan_global_serial_) {
+    return true;
+  }
+  // An armed runtime.helper_fail site draws per helper call, in call order —
+  // an ordering only the serial engine reproduces. Arming is runtime state
+  // (chaos blocks apply at spec load, Arm() any time), so check per callout.
+  const ChaosEngine* chaos = engine_->chaos_;
+  if (chaos != nullptr) {
+    const ChaosSiteId site = chaos->FindSite(kChaosSiteHelperFail);
+    if (site != kInvalidChaosSite && chaos->PlanFor(site).mode != FaultMode::kOff) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void ShardedEngine::SerialCallout(const std::vector<Engine::Monitor*>& hooked) {
+  Engine& e = *engine_;
+  for (Engine::Monitor* monitor : hooked) {
+    if (monitor->enabled) {
+      ++e.stats_.function_firings;
+      e.Evaluate(*monitor, e.now_);
+    }
+  }
+  e.ApplyPendingRollbacks();
+  e.PublishUptimeStats();
+  e.PublishTierStats();
+  PublishTelemetry();
+  e.CommitPersist();
+}
+
+void ShardedEngine::OnFunctionCall(std::string_view function, SimTime t) {
+  Engine& e = *engine_;
+  e.now_ = std::max(e.now_, t);
+  if (e.function_hooks_.empty()) {
+    return;
+  }
+  if (e.chaos_ != nullptr) {
+    if (e.chaos_->ShouldInject(e.callout_drop_site_, t)) {
+      ++e.stats_.callouts_dropped;
+      return;
+    }
+    if (const FaultDecision delay = e.chaos_->Query(e.callout_delay_site_, t)) {
+      ++e.stats_.callouts_delayed;
+      t += delay.latency;
+      e.now_ = std::max(e.now_, t);
+    }
+  }
+  auto it = e.function_hooks_.find(function);
+  if (it == e.function_hooks_.end()) {
+    return;
+  }
+  RefreshPlan();
+  if (GlobalSerialRequired()) {
+    ++stats_.serial_callouts;
+    SerialCallout(it->second);
+    return;
+  }
+
+  const SimTime now = e.now_;
+  for (Engine::Monitor* monitor : it->second) {
+    if (!monitor->enabled) {
+      continue;
+    }
+    ++e.stats_.function_firings;
+    const MonitorPlan& mp = plan_.at(monitor);
+    if (mp.serial) {
+      // Order-sensitive monitor: everything queued ahead of it completes
+      // first, then it runs inline at its exact serial position.
+      FlushBatch();
+      ++stats_.serial_evals;
+      e.Evaluate(*monitor, now);
+      continue;
+    }
+    Shard& shard = *shards_[mp.shard];
+    if (shard.inflight == shard.ring.capacity() ||
+        std::find(in_batch_.begin(), in_batch_.end(), monitor) != in_batch_.end()) {
+      // Backpressure, or the same monitor twice in one callout (its second
+      // Begin must observe its first Finish).
+      FlushBatch();
+    }
+    if (e.persist_ != nullptr) {
+      e.persist_->MarkDirty();
+    }
+    const Engine::RuleEvalPrep prep = e.BeginRuleEval(*monitor, now);
+    if (prep.skip) {
+      continue;  // gated off / rollback queued — exactly the serial no-op
+    }
+    EvalTask& task = batch_.emplace_back();
+    task.monitor = monitor;
+    task.t = now;
+    task.key_count = e.store_->key_count();
+    task.prep = prep;
+    in_batch_.push_back(monitor);
+    ++shard.inflight;
+    shard.hwm = std::max(shard.hwm, shard.inflight);
+  }
+  FlushBatch();
+  e.ApplyPendingRollbacks();
+  e.PublishUptimeStats();
+  e.PublishTierStats();
+  PublishTelemetry();
+  e.CommitPersist();
+}
+
+void ShardedEngine::FlushBatch() {
+  if (batch_.empty()) {
+    return;
+  }
+  Engine& e = *engine_;
+  // Publish: tasks go to the rings only now, after every BeginRuleEval in the
+  // batch has finished mutating the store. From here until the barrier the
+  // coordinator performs no store access, so the workers' lock-free views
+  // read a writer-quiescent store.
+  for (EvalTask& task : batch_) {
+    const uint32_t shard_id =
+        plan_.at(task.monitor).shard;  // plan is stable within a callout
+    const bool pushed = shards_[shard_id]->ring.TryPush(&task);
+    (void)pushed;  // capacity was reserved at enqueue; cannot fail
+  }
+  {
+    std::lock_guard<std::mutex> lock(wake_mu_);
+    doorbell_.fetch_add(1, std::memory_order_release);
+  }
+  wake_cv_.notify_all();
+  // Completion barrier: each task's release-store of `done` publishes its
+  // result/steps and the worker's counters to the coordinator.
+  for (EvalTask& task : batch_) {
+    while (!task.done.load(std::memory_order_acquire)) {
+      std::this_thread::yield();
+    }
+  }
+  // Deterministic merge: FinishRuleEval in the original enqueue (== serial)
+  // order. All side effects — supervisor protocol, reports, action programs,
+  // store writes — happen here, serially, exactly as the serial engine
+  // interleaves them (eligibility guarantees no batched rule could have
+  // observed them).
+  // merge_ns feeds stats() (and the telemetry keys when enabled); the two
+  // host-clock reads per batch are noise next to the merge itself, so it is
+  // measured unconditionally — benchjson --sharded reads it telemetry-off.
+  const int64_t merge_start = WallNowNs();
+  for (EvalTask& task : batch_) {
+    e.FinishRuleEval(*task.monitor, task.t, task.prep, std::move(task.result),
+                     task.steps, task.wall_ns);
+    ++stats_.parallel_evals;
+  }
+  stats_.merge_ns += WallNowNs() - merge_start;
+  ++stats_.batches;
+  for (auto& shard : shards_) {
+    shard->inflight = 0;
+  }
+  batch_.clear();
+  in_batch_.clear();
+}
+
+void ShardedEngine::PublishTelemetry() {
+  if (!options_.telemetry || k_count_ == kInvalidKeyId) {
+    return;
+  }
+  FeatureStore& store = *engine_->store_;
+  if (!telemetry_ready_) {
+    telemetry_ready_ = true;
+    store.Save(k_count_, Value(static_cast<int64_t>(shards_.size())));
+  }
+  const auto publish = [&store](KeyId key, uint64_t value, uint64_t& last) {
+    if (value != last) {
+      last = value;
+      store.Save(key, Value(static_cast<int64_t>(value)));
+    }
+  };
+  publish(k_batches_, stats_.batches, published_.batches);
+  publish(k_parallel_, stats_.parallel_evals, published_.parallel_evals);
+  publish(k_serial_, stats_.serial_evals, published_.serial_evals);
+  if (stats_.merge_ns != published_.merge_ns) {
+    published_.merge_ns = stats_.merge_ns;
+    store.Save(k_merge_ns_, Value(stats_.merge_ns));
+  }
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    publish(k_shard_evals_[i], shards_[i]->evals, published_shard_evals_[i]);
+    publish(k_shard_hwm_[i], shards_[i]->hwm, published_shard_hwm_[i]);
+  }
+}
+
+}  // namespace osguard

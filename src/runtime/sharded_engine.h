@@ -1,0 +1,218 @@
+// Sharded multi-core guardrail engine: a scheduling layer over Engine that
+// evaluates rule programs on worker threads while keeping every side effect
+// on the coordinator, in serial order.
+//
+// The output contract is *bit-identity with the serial engine*: reports,
+// monitor stats, supervisor state, chaos replays, and the persisted image of
+// a sharded run are byte-for-byte equal to the same workload run serially
+// (the serial engine stays in-tree as the differential oracle; see
+// tests/shard_diff_test.cc and docs/SHARDING.md). The trick is that rule
+// programs of well-behaved guardrails are *pure reads* of the feature store
+// — the verifier rejects mutating helpers inside rules — so their execution
+// order is unobservable, and only their execution is parallelized:
+//
+//   callout --> coordinator: BeginRuleEval per monitor (gate, stats, chaos
+//               draws — engine-mutating, serial, in hook order), tasks packed
+//               into per-shard SPSC rings
+//           --> doorbell: shard workers drain their rings, each evaluating
+//               rules on a private Vm against a lock-free FeatureStore
+//               ReadView (the store is writer-quiescent during the drain)
+//           --> barrier, then coordinator: FinishRuleEval per task in the
+//               original sequence order (supervisor protocol, reports,
+//               action programs — all serial), rollbacks, publish, persist.
+//
+// Monitors whose evaluation is order-sensitive (rules reading keys that this
+// callout's actions may write, wall-clock budgets, dynamic store keys,
+// infra-key readers) are evaluated inline on the coordinator at their exact
+// serial position; batches flush around them. Engine-wide hazards (ONCHANGE
+// monitors, the native tier, an armed runtime.helper_fail chaos site,
+// actions with unprovable write sets) disable batching entirely for the
+// callout — the sharded engine then *is* the serial engine plus a branch.
+
+#ifndef SRC_RUNTIME_SHARDED_ENGINE_H_
+#define SRC_RUNTIME_SHARDED_ENGINE_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "src/runtime/engine.h"
+#include "src/runtime/helper_env.h"
+#include "src/store/feature_store.h"
+#include "src/support/spsc_ring.h"
+#include "src/vm/vm.h"
+
+namespace osguard {
+
+struct ShardingOptions {
+  bool enabled = false;
+  // Worker thread count; 0 = hardware_concurrency() - 1, clamped to [1, 16].
+  size_t shards = 0;
+  // Publish engine.shard.* feature-store keys at callout boundaries. The
+  // differential tests turn this off: telemetry is the one store surface
+  // where serial and sharded runs legitimately differ.
+  bool telemetry = true;
+  // Per-shard ring capacity (rounded up to a power of two). A batch never
+  // holds more than this many in-flight tasks per shard; the coordinator
+  // flushes early instead of blocking on a full ring.
+  size_t ring_capacity = 256;
+};
+
+// Aggregate counters, mirrored to engine.shard.* keys when telemetry is on.
+struct ShardedStats {
+  uint64_t batches = 0;          // flushes that merged >= 1 parallel task
+  uint64_t parallel_evals = 0;   // rule executions on worker threads
+  uint64_t serial_evals = 0;     // inline evaluations (per-monitor fallback)
+  uint64_t serial_callouts = 0;  // callouts that ran fully serial (global fallback)
+  int64_t merge_ns = 0;          // host-clock cost of in-order merges
+};
+
+// Worker-side HelperContext: the read-only subset of MonitorHelperEnv served
+// from a FeatureStore::ReadView instead of the locked accessors. Rules that
+// reach a worker have every store access pre-resolved to a slot id
+// (kCallKeyed) — dynamic-key rules are classified serial — so the lock-free
+// view covers the hot path and everything else (math, NOW, the defensive
+// string fallback for unknown slots) delegates to a chaos-free
+// MonitorHelperEnv whose locked reads are safe during the quiescent drain.
+// Result values and error strings are byte-identical to the serial env's.
+class SnapshotHelperEnv : public HelperContext {
+ public:
+  explicit SnapshotHelperEnv(FeatureStore* store)
+      : fallback_(store, /*dispatcher=*/nullptr), view_(store) {}
+
+  // Per-task setup on the worker: envelope + the slot-id space the
+  // coordinator captured when the batch was sealed (stamped through the task
+  // so workers never touch the store mutex on the hot path).
+  void Prepare(const std::string& guardrail, Severity severity, SimTime now,
+               size_t key_count) {
+    fallback_.UpdateEnvelope(guardrail, severity, now);
+    view_.set_key_count(key_count);
+  }
+
+  Result<Value> CallHelper(HelperId id, std::span<const Value> args) override;
+  Result<Value> CallHelperKeyed(HelperId id, uint32_t slot,
+                                std::span<const Value> args) override;
+  SimTime now() const override { return fallback_.envelope().now; }
+
+  uint64_t view_retries() const { return view_.retries(); }
+
+ private:
+  MonitorHelperEnv fallback_;  // chaos-free, dispatcher-free
+  FeatureStore::ReadView view_;
+};
+
+class ShardedEngine {
+ public:
+  // `engine` is borrowed and must outlive this object. Worker threads start
+  // in the constructor and join in the destructor; between callouts they
+  // sleep on a doorbell condvar and cost nothing.
+  ShardedEngine(Engine* engine, ShardingOptions options);
+  ~ShardedEngine();
+  ShardedEngine(const ShardedEngine&) = delete;
+  ShardedEngine& operator=(const ShardedEngine&) = delete;
+
+  // Drop-in replacements for the engine callouts. AdvanceTo delegates
+  // unconditionally — TIMER cadences are long and interleave with rollback
+  // application per entry, so batching them buys nothing and risks much.
+  void OnFunctionCall(std::string_view function, SimTime t);
+  void AdvanceTo(SimTime t);
+
+  size_t shard_count() const { return shards_.size(); }
+  const ShardedStats& stats() const { return stats_; }
+  // Ring-occupancy high-water mark of shard `i` (telemetry).
+  size_t RingHighWater(size_t i) const { return shards_[i]->hwm; }
+  uint64_t ShardEvals(size_t i) const { return shards_[i]->evals; }
+
+ private:
+  struct EvalTask {
+    Engine::Monitor* monitor = nullptr;
+    SimTime t = 0;
+    size_t key_count = 0;  // store slot-id space when the batch was sealed
+    Engine::RuleEvalPrep prep;
+    // Worker outputs, published by the `done` release store.
+    Result<Value> result = Value();
+    int64_t steps = 0;
+    int64_t wall_ns = 0;
+    std::atomic<bool> done{false};
+  };
+
+  struct Shard {
+    explicit Shard(size_t capacity) : ring(capacity) {}
+    SpscRing<EvalTask*> ring;
+    std::thread thread;
+    // Batch-local producer-side occupancy (coordinator only).
+    size_t inflight = 0;
+    // Telemetry. `evals` is written by the worker and read by the
+    // coordinator strictly after the completion barrier (the tasks' done
+    // acquire-loads order it); `hwm` is coordinator-owned.
+    uint64_t evals = 0;
+    size_t hwm = 0;
+  };
+
+  // Eligibility classification of one monitor (plan entry).
+  struct MonitorPlan {
+    bool serial = false;  // evaluate inline on the coordinator
+    uint32_t shard = 0;
+  };
+
+  void WorkerLoop(Shard& shard);
+  void ExecuteTask(EvalTask& task, Vm& vm, SnapshotHelperEnv& env, Shard& shard);
+
+  // Rebuilds the partition + eligibility plan iff the engine's monitor
+  // topology changed since the cached plan was built.
+  void RefreshPlan();
+  // Engine-wide batching disablers re-checked per callout (chaos arming is
+  // runtime state, not topology).
+  bool GlobalSerialRequired() const;
+  // Kicks the workers and merges every in-flight task in sequence order.
+  void FlushBatch();
+  // Fully serial callout body (global fallback), identical to the engine's.
+  void SerialCallout(const std::vector<Engine::Monitor*>& hooked);
+  void PublishTelemetry();
+
+  Engine* engine_;
+  ShardingOptions options_;
+  bool measure_wall_;  // cached engine options_.measure_wall_time
+
+  std::vector<std::unique_ptr<Shard>> shards_;
+  // Batch storage: deque for pointer stability (tasks are shared with
+  // workers by address); cleared after every flush.
+  std::deque<EvalTask> batch_;
+  std::vector<Engine::Monitor*> in_batch_;  // dup detection (batches are small)
+
+  // Doorbell: workers sleep on the condvar when their ring is empty; the
+  // coordinator bumps the counter under the mutex on every flush.
+  std::mutex wake_mu_;
+  std::condition_variable wake_cv_;
+  std::atomic<uint64_t> doorbell_{0};
+  std::atomic<bool> stop_{false};
+
+  // Cached plan, keyed on the engine's topology version.
+  uint64_t plan_version_ = 0;
+  bool plan_valid_ = false;
+  bool plan_global_serial_ = false;  // topology-level: ONCHANGE / tier / writes
+  std::unordered_map<const Engine::Monitor*, MonitorPlan> plan_;
+
+  ShardedStats stats_;
+  ShardedStats published_;  // last telemetry values written to the store
+  bool telemetry_ready_ = false;
+  KeyId k_count_ = kInvalidKeyId;
+  KeyId k_batches_ = kInvalidKeyId;
+  KeyId k_parallel_ = kInvalidKeyId;
+  KeyId k_serial_ = kInvalidKeyId;
+  KeyId k_merge_ns_ = kInvalidKeyId;
+  std::vector<KeyId> k_shard_evals_;
+  std::vector<KeyId> k_shard_hwm_;
+  std::vector<uint64_t> published_shard_evals_;
+  std::vector<uint64_t> published_shard_hwm_;
+};
+
+}  // namespace osguard
+
+#endif  // SRC_RUNTIME_SHARDED_ENGINE_H_

@@ -6,11 +6,22 @@
 
 namespace osguard {
 
-Kernel::Kernel(EngineOptions engine_options) : engine_options_(engine_options) {
+Kernel::Kernel(EngineOptions engine_options, ShardingOptions sharding)
+    : engine_options_(engine_options), sharding_options_(sharding) {
   BuildEngine();
+  BuildSharding();
+}
+
+void Kernel::BuildSharding() {
+  if (sharding_options_.enabled) {
+    sharded_ = std::make_unique<ShardedEngine>(engine_.get(), sharding_options_);
+  }
 }
 
 void Kernel::BuildEngine() {
+  // The sharded layer borrows the engine, so it must die before the engine
+  // it is wrapping is replaced.
+  sharded_.reset();
   engine_ = std::make_unique<Engine>(&store_, &registry_, &task_control_shim_, engine_options_);
   // Route store writes to the engine so ONCHANGE triggers fire.
   store_.SetWriteObserver(
@@ -52,6 +63,15 @@ void Kernel::Panic() {
 }
 
 Result<RecoveryInfo> Kernel::Reboot() {
+  auto result = RebootInner();
+  // (Re)create the sharded layer only after recovery settled: Restore swaps
+  // the store's slot table wholesale, so telemetry keys interned earlier
+  // would go stale. Interning here reuses the restored ids when present.
+  BuildSharding();
+  return result;
+}
+
+Result<RecoveryInfo> Kernel::RebootInner() {
   panicked_ = false;
   // Honest crash semantics: a rebooted kernel does not remember interning
   // order, monitor generations, or anything else held in RAM.

@@ -52,6 +52,7 @@ KeyId FeatureStore::FindLocked(std::string_view key) const {
 
 KeyId FeatureStore::InternKey(std::string_view key) {
   std::lock_guard<std::mutex> lock(mu_);
+  SeqWriteGuard seq(this);
   return InternLocked(key);
 }
 
@@ -83,6 +84,7 @@ void FeatureStore::Save(std::string_view key, Value value) {
   StoreMutation m;
   {
     std::lock_guard<std::mutex> lock(mu_);
+    SeqWriteGuard seq(this);
     id = InternLocked(key);
     if (capture) {
       m.kind = StoreMutation::Kind::kSave;
@@ -103,6 +105,7 @@ void FeatureStore::Save(KeyId id, Value value) {
   StoreMutation m;
   {
     std::lock_guard<std::mutex> lock(mu_);
+    SeqWriteGuard seq(this);
     if (capture) {
       m.kind = StoreMutation::Kind::kSave;
       m.id = id;
@@ -145,6 +148,10 @@ Value FeatureStore::LoadOr(std::string_view key, Value fallback) const {
 
 Value FeatureStore::LoadOr(KeyId id, Value fallback) const {
   std::lock_guard<std::mutex> lock(mu_);
+  return LoadOrUnlocked(id, fallback);
+}
+
+Value FeatureStore::LoadOrUnlocked(KeyId id, const Value& fallback) const {
   if (id >= slots_.size() || !slots_[id].has_scalar) {
     return fallback;
   }
@@ -159,6 +166,10 @@ bool FeatureStore::Contains(std::string_view key) const {
 
 bool FeatureStore::Contains(KeyId id) const {
   std::lock_guard<std::mutex> lock(mu_);
+  return ContainsUnlocked(id);
+}
+
+bool FeatureStore::ContainsUnlocked(KeyId id) const {
   return id < slots_.size() && slots_[id].has_scalar;
 }
 
@@ -170,6 +181,7 @@ Status FeatureStore::Erase(std::string_view key) {
     if (id == kInvalidKeyId || !slots_[id].has_scalar) {
       return NotFoundError("feature store has no key '" + std::string(key) + "'");
     }
+    SeqWriteGuard seq(this);
     slots_[id].has_scalar = false;
     slots_[id].scalar = Value();
   }
@@ -188,6 +200,7 @@ double FeatureStore::Increment(std::string_view key, double delta) {
   const bool capture = WantMutations();
   {
     std::lock_guard<std::mutex> lock(mu_);
+    SeqWriteGuard seq(this);
     id = InternLocked(key);
     Slot& slot = slots_[id];
     if (slot.has_scalar) {
@@ -212,6 +225,7 @@ double FeatureStore::Increment(KeyId id, double delta) {
   const bool capture = WantMutations();
   {
     std::lock_guard<std::mutex> lock(mu_);
+    SeqWriteGuard seq(this);
     Slot& slot = slots_[id];
     if (slot.has_scalar) {
       next += slot.scalar.NumericOr(0.0);
@@ -283,6 +297,7 @@ void FeatureStore::Observe(std::string_view key, SimTime now, double sample) {
   KeyId id;
   {
     std::lock_guard<std::mutex> lock(mu_);
+    SeqWriteGuard seq(this);
     id = InternLocked(key);
     if (slots_[id].series == nullptr) {
       slots_[id].series = std::make_unique<Series>();
@@ -303,6 +318,7 @@ void FeatureStore::Observe(std::string_view key, SimTime now, double sample) {
 void FeatureStore::Observe(KeyId id, SimTime now, double sample) {
   {
     std::lock_guard<std::mutex> lock(mu_);
+    SeqWriteGuard seq(this);
     if (slots_[id].series == nullptr) {
       slots_[id].series = std::make_unique<Series>();
     }
@@ -323,6 +339,7 @@ void FeatureStore::SetSeriesOptions(std::string_view key, SeriesOptions options)
   KeyId id;
   {
     std::lock_guard<std::mutex> lock(mu_);
+    SeqWriteGuard seq(this);
     id = InternLocked(key);
     if (slots_[id].series == nullptr) {
       slots_[id].series = std::make_unique<Series>();
@@ -376,6 +393,11 @@ WindowRange FindWindow(const Deque& samples, SimTime cutoff, SimTime now) {
 Result<double> FeatureStore::Aggregate(KeyId id, AggKind kind, Duration window,
                                        SimTime now) const {
   std::lock_guard<std::mutex> lock(mu_);
+  return AggregateUnlocked(id, kind, window, now);
+}
+
+Result<double> FeatureStore::AggregateUnlocked(KeyId id, AggKind kind, Duration window,
+                                               SimTime now) const {
   const bool empty_ok =
       kind == AggKind::kCount || kind == AggKind::kSum || kind == AggKind::kRate;
   const Series* series = id < slots_.size() ? slots_[id].series.get() : nullptr;
@@ -470,7 +492,13 @@ Result<double> FeatureStore::Aggregate(std::string_view key, AggKind kind, Durat
 
 Result<double> FeatureStore::AggregateQuantile(KeyId id, double q, Duration window,
                                                SimTime now) const {
-  std::vector<double> samples = WindowSamples(id, window, now);
+  std::lock_guard<std::mutex> lock(mu_);
+  return AggregateQuantileUnlocked(id, q, window, now);
+}
+
+Result<double> FeatureStore::AggregateQuantileUnlocked(KeyId id, double q, Duration window,
+                                                       SimTime now) const {
+  std::vector<double> samples = WindowSamplesUnlocked(id, window, now);
   if (samples.empty()) {
     return NotFoundError("window for slot " + std::to_string(id) + " is empty");
   }
@@ -488,6 +516,11 @@ Result<double> FeatureStore::AggregateQuantile(std::string_view key, double q, D
 
 std::vector<double> FeatureStore::WindowSamples(KeyId id, Duration window, SimTime now) const {
   std::lock_guard<std::mutex> lock(mu_);
+  return WindowSamplesUnlocked(id, window, now);
+}
+
+std::vector<double> FeatureStore::WindowSamplesUnlocked(KeyId id, Duration window,
+                                                        SimTime now) const {
   std::vector<double> out;
   const Series* series = id < slots_.size() ? slots_[id].series.get() : nullptr;
   if (series == nullptr) {
@@ -552,6 +585,7 @@ std::vector<std::string> FeatureStore::ScalarKeys() const {
 
 void FeatureStore::Clear() {
   std::lock_guard<std::mutex> lock(mu_);
+  SeqWriteGuard seq(this);
   for (Slot& slot : slots_) {
     slot.has_scalar = false;
     slot.scalar = Value();
@@ -561,6 +595,7 @@ void FeatureStore::Clear() {
 
 void FeatureStore::Reset() {
   std::lock_guard<std::mutex> lock(mu_);
+  SeqWriteGuard seq(this);
   slots_.clear();
   index_.clear();
 }
@@ -606,6 +641,7 @@ std::vector<StoreSlotDump> FeatureStore::DumpSlots() const {
 
 void FeatureStore::RestoreSlots(const std::vector<StoreSlotDump>& dump) {
   std::lock_guard<std::mutex> lock(mu_);
+  SeqWriteGuard seq(this);
   for (const StoreSlotDump& d : dump) {
     const KeyId id = InternLocked(d.key);
     Slot& slot = slots_[id];
@@ -631,6 +667,54 @@ void FeatureStore::RestoreSlots(const std::vector<StoreSlotDump>& dump) {
       s.maxima.push_back(Extremum{e.seq, e.time, e.value});
     }
   }
+}
+
+// --- ReadView (epoch-validated lock-free reads) ---
+
+FeatureStore::ReadView::ReadView(const FeatureStore* store) : store_(store) {
+  key_count_ = store_->key_count();
+}
+
+// Seqlock read recipe: sample the epoch (acquire), bail if a write is in
+// flight (odd), run the read body, then re-sample — an acquire fence keeps
+// the body's loads from sinking below the second sample. A stable even pair
+// means no write overlapped. The bounded loop + mutex fallback means a
+// protocol violation degrades to a locked read rather than a livelock.
+template <typename Fn>
+auto FeatureStore::ReadView::Validated(Fn&& fn) const {
+  constexpr int kMaxAttempts = 8;
+  for (int attempt = 0; attempt < kMaxAttempts; ++attempt) {
+    const uint64_t e1 = store_->epoch_.load(std::memory_order_acquire);
+    if ((e1 & 1) == 0) {
+      auto result = fn();
+      std::atomic_thread_fence(std::memory_order_acquire);
+      const uint64_t e2 = store_->epoch_.load(std::memory_order_relaxed);
+      if (e1 == e2) {
+        return result;
+      }
+    }
+    retries_.fetch_add(1, std::memory_order_relaxed);
+  }
+  std::lock_guard<std::mutex> lock(store_->mu_);
+  return fn();
+}
+
+Value FeatureStore::ReadView::LoadOr(KeyId id, const Value& fallback) const {
+  return Validated([&] { return store_->LoadOrUnlocked(id, fallback); });
+}
+
+bool FeatureStore::ReadView::Contains(KeyId id) const {
+  return Validated([&] { return store_->ContainsUnlocked(id); });
+}
+
+Result<double> FeatureStore::ReadView::Aggregate(KeyId id, AggKind kind, Duration window,
+                                                 SimTime now) const {
+  return Validated([&] { return store_->AggregateUnlocked(id, kind, window, now); });
+}
+
+Result<double> FeatureStore::ReadView::AggregateQuantile(KeyId id, double q, Duration window,
+                                                         SimTime now) const {
+  return Validated([&] { return store_->AggregateQuantileUnlocked(id, q, window, now); });
 }
 
 }  // namespace osguard

@@ -1,0 +1,99 @@
+// Single-producer single-consumer lock-free ring (osguard::support).
+//
+// The sharded guardrail engine's event channel: the coordinator (single
+// producer) packs evaluation envelopes into one ring per shard, each shard
+// worker (single consumer) drains its own ring. The classic bounded SPSC
+// design — a power-of-two slot array indexed by free-running head/tail
+// counters — needs exactly one release store per side:
+//
+//   * producer: writes the slot, then publishes it with a release store of
+//     head_; the consumer's acquire load of head_ makes the slot contents
+//     visible (happens-before).
+//   * consumer: reads the slot, then retires it with a release store of
+//     tail_; the producer's acquire load of tail_ knows the slot may be
+//     reused.
+//
+// Counters are cache-line separated so the producer and consumer do not
+// false-share, and each side caches the opposite counter to skip the
+// cross-core load in the common case (the "batched" SPSC refinement).
+//
+// TryPush/TryPop never block and never allocate; capacity is fixed at
+// construction. A full ring is the caller's backpressure signal (the
+// sharded engine flushes the batch).
+
+#ifndef SRC_SUPPORT_SPSC_RING_H_
+#define SRC_SUPPORT_SPSC_RING_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace osguard {
+
+template <typename T>
+class SpscRing {
+ public:
+  // `capacity` is rounded up to a power of two (minimum 2).
+  explicit SpscRing(size_t capacity) {
+    size_t cap = 2;
+    while (cap < capacity) {
+      cap <<= 1;
+    }
+    mask_ = cap - 1;
+    slots_.resize(cap);
+  }
+  SpscRing(const SpscRing&) = delete;
+  SpscRing& operator=(const SpscRing&) = delete;
+
+  size_t capacity() const { return mask_ + 1; }
+
+  // Producer side. Returns false when the ring is full.
+  bool TryPush(T value) {
+    const uint64_t head = head_.load(std::memory_order_relaxed);
+    if (head - cached_tail_ >= capacity()) {
+      cached_tail_ = tail_.load(std::memory_order_acquire);
+      if (head - cached_tail_ >= capacity()) {
+        return false;
+      }
+    }
+    slots_[head & mask_] = std::move(value);
+    head_.store(head + 1, std::memory_order_release);
+    return true;
+  }
+
+  // Consumer side. Returns false when the ring is empty.
+  bool TryPop(T* out) {
+    const uint64_t tail = tail_.load(std::memory_order_relaxed);
+    if (tail == cached_head_) {
+      cached_head_ = head_.load(std::memory_order_acquire);
+      if (tail == cached_head_) {
+        return false;
+      }
+    }
+    *out = std::move(slots_[tail & mask_]);
+    tail_.store(tail + 1, std::memory_order_release);
+    return true;
+  }
+
+  // Approximate occupancy (exact when called from either endpoint's thread
+  // between its own operations). Used for the ring high-water telemetry.
+  size_t size() const {
+    const uint64_t head = head_.load(std::memory_order_acquire);
+    const uint64_t tail = tail_.load(std::memory_order_acquire);
+    return static_cast<size_t>(head - tail);
+  }
+  bool empty() const { return size() == 0; }
+
+ private:
+  size_t mask_ = 0;
+  std::vector<T> slots_;
+  alignas(64) std::atomic<uint64_t> head_{0};  // producer-owned
+  alignas(64) std::atomic<uint64_t> tail_{0};  // consumer-owned
+  alignas(64) uint64_t cached_tail_ = 0;  // producer's cache of tail_
+  alignas(64) uint64_t cached_head_ = 0;  // consumer's cache of head_
+};
+
+}  // namespace osguard
+
+#endif  // SRC_SUPPORT_SPSC_RING_H_

@@ -1,0 +1,312 @@
+// Differential replay: the serial engine is the oracle, the sharded engine
+// must be bit-identical to it. Each seed drives the same randomized workload
+// through two kernels — one serial, one sharded — and compares the full
+// observable state (feature-store slots with series internals, the report
+// ring, the engine state image) byte for byte via the persist codec.
+//
+// The campaign covers 1000 seeds per run, split across four regimes:
+//   * 400 clean seeds            (randomized workload + mid-run probation
+//                                 deploy that rolls back)
+//   * 400 chaos seeds            (callout drop/delay, budget exhaustion,
+//                                 probe failures, dispatch failures)
+//   * 100 helper-fail seeds      (armed runtime.helper_fail forces the
+//                                 global-serial fallback every callout)
+//   * 100 persist seeds          (mid-run panic + warm restart on both sides)
+// OSGUARD_CHAOS_SEED offsets the seed base so CI matrices explore fresh
+// seeds without code changes.
+//
+// Determinism requirements baked into the comparison:
+//   * measure_wall_time = false — per-eval wall_ns is host noise and is
+//     encoded in the state image;
+//   * sharding telemetry = false — engine.shard.* keys are the one store
+//     surface where a sharded run legitimately diverges from serial.
+
+#include <cstdint>
+#include <cstdlib>
+#include <filesystem>
+#include <memory>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "src/chaos/chaos.h"
+#include "src/persist/persist.h"
+#include "src/runtime/engine.h"
+#include "src/runtime/sharded_engine.h"
+#include "src/sim/kernel.h"
+#include "src/store/feature_store.h"
+#include "src/support/logging.h"
+#include "src/support/rng.h"
+#include "src/support/time.h"
+
+namespace osguard {
+namespace {
+
+namespace fs = std::filesystem;
+
+uint64_t SeedBase() {
+  const char* env = std::getenv("OSGUARD_CHAOS_SEED");
+  return env != nullptr ? static_cast<uint64_t>(std::strtoull(env, nullptr, 10)) : 0;
+}
+
+// The workload spec: pure-read parallel rules over scalars, windowed
+// aggregates and a quantile, a serial-classified monitor (trip_watch reads
+// lat.trips, which lat_mean's action writes), a supervised monitor, a
+// deliberately error-prone rule on a second hook, and a TIMER monitor.
+constexpr char kDiffSpec[] = R"(
+  guardrail lat_mean {
+    trigger: { FUNCTION(submit_io) },
+    rule: { COUNT(io.lat, 50ms) == 0 || MEAN(io.lat, 50ms) <= 2000000 },
+    action: { INCR(lat.trips), REPORT("mean high") }
+  }
+  guardrail lat_p9 {
+    trigger: { FUNCTION(submit_io) },
+    rule: { COUNT(io.lat, 100ms) == 0 || QUANTILE(io.lat, 0.9, 100ms) <= 5000000 },
+    action: { SAVE(lat.flag, true) },
+    on_satisfy: { SAVE(lat.flag, false) }
+  }
+  guardrail err_gate {
+    trigger: { FUNCTION(submit_io) },
+    rule: { LOAD_OR(err.rate, 0.0) <= 0.7 },
+    action: { INCR(err.trips), REPORT() },
+    meta: { hysteresis = 2, cooldown = 30ms }
+  }
+  guardrail trip_watch {
+    trigger: { FUNCTION(submit_io) },
+    rule: { LOAD_OR(lat.trips, 0) <= 8 },
+    action: { REPORT("too many trips") }
+  }
+  guardrail budgeted {
+    trigger: { FUNCTION(submit_io) },
+    rule: { LOAD_OR(probe.value, 0) <= 60 },
+    action: { REPORT("probe high") },
+    health: { budget_steps = 64, quarantine = 6 }
+  }
+  guardrail flaky {
+    trigger: { FUNCTION(complete_io) },
+    rule: { LOAD(probe.value) <= 40 },
+    action: { INCR(flaky.trips) }
+  }
+  guardrail periodic {
+    trigger: { TIMER(15ms, 15ms) },
+    rule: { LOAD_OR(step.counter, 0) <= 30 },
+    action: { REPORT("counter high") }
+  }
+)";
+
+// Mid-run staged deploy of `budgeted`: every eval blows the 1-step budget,
+// quarantine trips inside probation, and the supervisor rolls back to the
+// spec above — all of which must replay identically under sharding.
+constexpr char kProbationDeploy[] = R"(
+  guardrail budgeted {
+    trigger: { FUNCTION(submit_io) },
+    rule: { LOAD_OR(probe.value, 0) <= 55 },
+    action: { REPORT("probe high v2") },
+    health: { budget_steps = 1, quarantine = 2, probation = 60s }
+  }
+)";
+
+constexpr char kChaosSpec[] = R"(
+  chaos {
+    site engine.callout_drop { mode = bernoulli, p = 0.05 },
+    site engine.callout_delay { mode = bernoulli, p = 0.05, latency = 3ms },
+    site vm.budget_exhaust { mode = bernoulli, p = 0.1 },
+    site supervisor.probe_fail { mode = bernoulli, p = 0.5 },
+    site actions.dispatch_fail { mode = bernoulli, p = 0.1 }
+  }
+)";
+
+constexpr char kHelperFailSpec[] = R"(
+  chaos { site runtime.helper_fail { mode = bernoulli, p = 0.2 } }
+)";
+
+struct RunConfig {
+  bool sharded = false;
+  size_t shards = 3;
+  const char* chaos_spec = nullptr;  // extra source arming chaos sites
+  bool reboot = false;               // panic + warm restart at mid-run
+  std::string persist_dir;           // set iff reboot
+};
+
+EngineOptions DiffEngineOptions() {
+  EngineOptions options;
+  options.measure_wall_time = false;
+  return options;
+}
+
+// Runs the (seed, config) workload to completion and returns the wire-encoded
+// observable state. Everything the workload does is derived from `seed`, so
+// serial and sharded runs of the same seed see identical inputs.
+std::string RunWorkload(uint64_t seed, const RunConfig& config,
+                        ShardedStats* stats_out = nullptr) {
+  ShardingOptions sharding;
+  sharding.enabled = config.sharded;
+  sharding.shards = config.shards;
+  sharding.telemetry = false;
+  Kernel kernel(DiffEngineOptions(), sharding);
+
+  ChaosEngine chaos(seed);
+  if (config.chaos_spec != nullptr) {
+    kernel.AttachChaos(&chaos);
+  }
+  std::unique_ptr<PersistManager> persist;
+  if (config.reboot) {
+    PersistOptions persist_options;
+    persist_options.dir = config.persist_dir;
+    persist = std::make_unique<PersistManager>(persist_options);
+    kernel.AttachPersist(persist.get());
+  }
+  EXPECT_TRUE(kernel.LoadGuardrails(kDiffSpec).ok());
+  if (config.chaos_spec != nullptr) {
+    EXPECT_TRUE(kernel.LoadGuardrails(config.chaos_spec).ok());
+  }
+  if (persist != nullptr) {
+    EXPECT_TRUE(persist->Open().ok());
+  }
+
+  Rng rng(seed * 0x9E3779B97F4A7C15ull + 1);
+  constexpr int kSteps = 24;
+  for (int step = 1; step <= kSteps; ++step) {
+    kernel.Run(Milliseconds(10) * step);
+    const SimTime now = kernel.now();
+    const int observations = static_cast<int>(rng.UniformInt(0, 3));
+    for (int i = 0; i < observations; ++i) {
+      const double sample =
+          rng.Bernoulli(0.2) ? rng.Uniform(2.0e6, 8.0e6) : rng.Uniform(1.0e5, 1.5e6);
+      kernel.store().Observe("io.lat", now, sample);
+    }
+    if (rng.Bernoulli(0.4)) {
+      kernel.store().Save("err.rate", Value(rng.Uniform(0.0, 1.0)));
+    }
+    if (rng.Bernoulli(0.3)) {
+      kernel.store().Save("probe.value", Value(rng.Uniform(0.0, 90.0)));
+    }
+    if (rng.Bernoulli(0.25)) {
+      kernel.store().Increment("step.counter", 1.0);
+    }
+    kernel.Callout("submit_io");
+    if (rng.Bernoulli(0.35)) {
+      kernel.Callout("complete_io");
+    }
+    if (step == kSteps / 3) {
+      // Staged deploy that will regress and roll back a few callouts later.
+      EXPECT_TRUE(kernel.LoadGuardrails(kProbationDeploy).ok());
+    }
+    if (config.reboot && step == kSteps / 2) {
+      kernel.Panic();
+      auto recovery = kernel.Reboot();
+      EXPECT_TRUE(recovery.ok());
+      EXPECT_FALSE(recovery.value().cold_start);
+    }
+  }
+
+  if (stats_out != nullptr && kernel.sharded_engine() != nullptr) {
+    *stats_out = kernel.sharded_engine()->stats();
+  }
+  Snapshot snapshot;
+  snapshot.store = kernel.store().DumpSlots();
+  snapshot.report_ring = kernel.engine().EncodeReportRing();
+  snapshot.image = kernel.engine().EncodeImage();
+  return EncodeSnapshot(snapshot);
+}
+
+class ShardDiffTest : public ::testing::Test {
+ protected:
+  ShardDiffTest() { Logger::Global().set_level(LogLevel::kOff); }
+
+  fs::path FreshDir(const std::string& name) {
+    fs::path dir = fs::temp_directory_path() / ("osguard_shard_diff_" + name);
+    fs::remove_all(dir);
+    fs::create_directories(dir);
+    return dir;
+  }
+};
+
+TEST_F(ShardDiffTest, CleanRandomSeeds) {
+  const uint64_t base = SeedBase();
+  uint64_t parallel_evals = 0;
+  for (uint64_t i = 0; i < 400; ++i) {
+    const uint64_t seed = base + i;
+    RunConfig serial;
+    RunConfig sharded;
+    sharded.sharded = true;
+    ShardedStats stats;
+    const std::string expect = RunWorkload(seed, serial);
+    const std::string actual = RunWorkload(seed, sharded, &stats);
+    ASSERT_EQ(expect, actual) << "seed=" << seed;
+    parallel_evals += stats.parallel_evals;
+  }
+  // The equivalence is only meaningful if the sharded runs actually took the
+  // parallel path.
+  EXPECT_GT(parallel_evals, 0u);
+}
+
+TEST_F(ShardDiffTest, ChaosRandomSeeds) {
+  const uint64_t base = SeedBase() + 0x10000;
+  for (uint64_t i = 0; i < 400; ++i) {
+    const uint64_t seed = base + i;
+    RunConfig serial;
+    serial.chaos_spec = kChaosSpec;
+    RunConfig sharded = serial;
+    sharded.sharded = true;
+    ASSERT_EQ(RunWorkload(seed, serial), RunWorkload(seed, sharded)) << "seed=" << seed;
+  }
+}
+
+TEST_F(ShardDiffTest, HelperFailSeedsForceGlobalSerial) {
+  const uint64_t base = SeedBase() + 0x20000;
+  uint64_t serial_callouts = 0;
+  for (uint64_t i = 0; i < 100; ++i) {
+    const uint64_t seed = base + i;
+    RunConfig serial;
+    serial.chaos_spec = kHelperFailSpec;
+    RunConfig sharded = serial;
+    sharded.sharded = true;
+    ShardedStats stats;
+    const std::string expect = RunWorkload(seed, serial);
+    const std::string actual = RunWorkload(seed, sharded, &stats);
+    ASSERT_EQ(expect, actual) << "seed=" << seed;
+    // An armed runtime.helper_fail site can bite mid-batch on a worker, so
+    // batching is disabled wholesale while it is armed.
+    EXPECT_EQ(stats.parallel_evals, 0u) << "seed=" << seed;
+    serial_callouts += stats.serial_callouts;
+  }
+  EXPECT_GT(serial_callouts, 0u);
+}
+
+TEST_F(ShardDiffTest, PersistWarmRestartSeeds) {
+  const uint64_t base = SeedBase() + 0x30000;
+  const fs::path serial_dir = FreshDir("serial");
+  const fs::path sharded_dir = FreshDir("sharded");
+  for (uint64_t i = 0; i < 100; ++i) {
+    const uint64_t seed = base + i;
+    RunConfig serial;
+    serial.reboot = true;
+    serial.persist_dir = (serial_dir / std::to_string(seed)).string();
+    RunConfig sharded = serial;
+    sharded.sharded = true;
+    sharded.persist_dir = (sharded_dir / std::to_string(seed)).string();
+    fs::create_directories(serial.persist_dir);
+    fs::create_directories(sharded.persist_dir);
+    ASSERT_EQ(RunWorkload(seed, serial), RunWorkload(seed, sharded)) << "seed=" << seed;
+  }
+  fs::remove_all(serial_dir);
+  fs::remove_all(sharded_dir);
+}
+
+// The shard count is a scheduling detail: any width must reproduce the
+// serial bytes, including the degenerate single-worker layout.
+TEST_F(ShardDiffTest, ShardWidthSweep) {
+  const uint64_t seed = SeedBase() + 0x40000;
+  RunConfig serial;
+  const std::string expect = RunWorkload(seed, serial);
+  for (size_t shards : {1u, 2u, 4u, 8u}) {
+    RunConfig config;
+    config.sharded = true;
+    config.shards = shards;
+    ASSERT_EQ(expect, RunWorkload(seed, config)) << "shards=" << shards;
+  }
+}
+
+}  // namespace
+}  // namespace osguard

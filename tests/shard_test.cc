@@ -1,0 +1,529 @@
+// Sharded-engine tests: the SPSC ring primitive, the lock-free feature-store
+// ReadView, sharded-vs-serial equivalence on targeted workloads, the
+// global-serial fallback, engine.shard.* telemetry, per-shard partition
+// assignment, and the rollback report-order pin referenced by
+// src/actions/report.h (RollbackReportOrder).
+//
+// The broad randomized equivalence campaign lives in tests/shard_diff_test.cc;
+// these tests pin specific mechanisms with hand-built workloads.
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/persist/persist.h"
+#include "src/runtime/engine.h"
+#include "src/runtime/sharded_engine.h"
+#include "src/sim/kernel.h"
+#include "src/store/feature_store.h"
+#include "src/support/logging.h"
+#include "src/support/spsc_ring.h"
+#include "src/support/time.h"
+
+namespace osguard {
+namespace {
+
+// --- SpscRing ---
+
+TEST(SpscRingTest, PushPopOrder) {
+  SpscRing<int> ring(8);
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(ring.TryPush(i));
+  }
+  EXPECT_EQ(ring.size(), 5u);
+  for (int i = 0; i < 5; ++i) {
+    int out = -1;
+    ASSERT_TRUE(ring.TryPop(&out));
+    EXPECT_EQ(out, i);
+  }
+  EXPECT_TRUE(ring.empty());
+}
+
+TEST(SpscRingTest, FullAndEmptyBoundaries) {
+  SpscRing<int> ring(4);
+  int out = -1;
+  EXPECT_FALSE(ring.TryPop(&out));  // empty pop fails
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(ring.TryPush(i));
+  }
+  EXPECT_FALSE(ring.TryPush(99));  // full push fails
+  ASSERT_TRUE(ring.TryPop(&out));
+  EXPECT_EQ(out, 0);
+  EXPECT_TRUE(ring.TryPush(99));  // slot freed
+}
+
+TEST(SpscRingTest, WraparoundKeepsFifoOrder) {
+  SpscRing<int> ring(4);
+  int next_push = 0;
+  int next_pop = 0;
+  // Push/pop far more elements than the capacity so the indices wrap many
+  // times; FIFO order must survive every wrap.
+  for (int round = 0; round < 100; ++round) {
+    ASSERT_TRUE(ring.TryPush(next_push++));
+    ASSERT_TRUE(ring.TryPush(next_push++));
+    ASSERT_TRUE(ring.TryPush(next_push++));
+    for (int i = 0; i < 3; ++i) {
+      int out = -1;
+      ASSERT_TRUE(ring.TryPop(&out));
+      EXPECT_EQ(out, next_pop++);
+    }
+  }
+}
+
+TEST(SpscRingTest, CapacityRoundsUpToPowerOfTwo) {
+  EXPECT_EQ(SpscRing<int>(1).capacity(), 2u);
+  EXPECT_EQ(SpscRing<int>(3).capacity(), 4u);
+  EXPECT_EQ(SpscRing<int>(4).capacity(), 4u);
+  EXPECT_EQ(SpscRing<int>(250).capacity(), 256u);
+}
+
+TEST(SpscRingTest, ThreadedHandoffPreservesSequence) {
+  SpscRing<uint64_t> ring(64);
+  constexpr uint64_t kCount = 100000;
+  std::thread producer([&ring] {
+    for (uint64_t i = 0; i < kCount;) {
+      if (ring.TryPush(i)) {
+        ++i;
+      } else {
+        std::this_thread::yield();
+      }
+    }
+  });
+  uint64_t expected = 0;
+  while (expected < kCount) {
+    uint64_t out = 0;
+    if (ring.TryPop(&out)) {
+      ASSERT_EQ(out, expected);
+      ++expected;
+    } else {
+      std::this_thread::yield();
+    }
+  }
+  producer.join();
+  EXPECT_TRUE(ring.empty());
+}
+
+// --- FeatureStore::ReadView ---
+
+TEST(ReadViewTest, MatchesLockedAccessors) {
+  FeatureStore store;
+  store.Save("int_key", Value(int64_t{42}));
+  store.Save("float_key", Value(3.25));
+  store.Save("bool_key", Value(true));
+  store.Save("string_key", Value("hello"));
+  store.Save("nil_key", Value());
+  for (int i = 1; i <= 20; ++i) {
+    store.Observe("series", Milliseconds(i), static_cast<double>(i));
+  }
+  const SimTime now = Milliseconds(20);
+
+  FeatureStore::ReadView view(&store);
+  EXPECT_EQ(view.key_count(), store.key_count());
+  for (KeyId id = 0; id < store.key_count(); ++id) {
+    EXPECT_EQ(view.Contains(id), store.Contains(id)) << store.KeyName(id);
+    EXPECT_EQ(view.LoadOr(id, Value(-1)), store.LoadOr(id, Value(-1))) << store.KeyName(id);
+  }
+  const KeyId series = store.FindKey("series");
+  ASSERT_NE(series, kInvalidKeyId);
+  for (AggKind kind : {AggKind::kCount, AggKind::kMean, AggKind::kMin, AggKind::kMax,
+                       AggKind::kSum, AggKind::kStdDev}) {
+    auto locked = store.Aggregate(series, kind, Milliseconds(10), now);
+    auto lockfree = view.Aggregate(series, kind, Milliseconds(10), now);
+    ASSERT_EQ(locked.ok(), lockfree.ok());
+    if (locked.ok()) {
+      // Bit-exact, not approximately equal: the view must run the same
+      // arithmetic over the same samples as the locked path.
+      EXPECT_EQ(locked.value(), lockfree.value()) << static_cast<int>(kind);
+    }
+  }
+  auto locked_q = store.AggregateQuantile(series, 0.9, Milliseconds(15), now);
+  auto view_q = view.AggregateQuantile(series, 0.9, Milliseconds(15), now);
+  ASSERT_EQ(locked_q.ok(), view_q.ok());
+  EXPECT_EQ(locked_q.value(), view_q.value());
+  // No writer ran during the reads: the optimistic path never retried.
+  EXPECT_EQ(view.retries(), 0u);
+}
+
+TEST(ReadViewTest, SetKeyCountBoundsTheVisibleSlotSpace) {
+  FeatureStore store;
+  store.Save("a", Value(1));
+  FeatureStore::ReadView view(&store);
+  EXPECT_EQ(view.key_count(), 1u);
+  // The coordinator stamps a fresh key_count per batch; the view reflects it
+  // without re-reading the store.
+  store.Save("b", Value(2));
+  view.set_key_count(store.key_count());
+  EXPECT_EQ(view.key_count(), 2u);
+  const KeyId b = store.FindKey("b");
+  ASSERT_NE(b, kInvalidKeyId);
+  EXPECT_EQ(view.LoadOr(b, Value(-1)), Value(2));
+}
+
+// --- Sharded vs serial equivalence on targeted workloads ---
+
+// A mixed spec: pure-read parallel rules (scalar, windowed aggregates,
+// quantile), a monitor classified serial because its rule reads a key the
+// batch's actions write (lat.trips), a supervised monitor with a step
+// budget, on_satisfy, hysteresis/cooldown meta, a second hook, and a TIMER
+// monitor for the AdvanceTo path.
+constexpr char kMixedSpec[] = R"(
+  guardrail lat_mean {
+    trigger: { FUNCTION(submit_io) },
+    rule: { COUNT(io.lat, 50ms) == 0 || MEAN(io.lat, 50ms) <= 2000000 },
+    action: { INCR(lat.trips), REPORT("mean high") }
+  }
+  guardrail lat_p9 {
+    trigger: { FUNCTION(submit_io) },
+    rule: { COUNT(io.lat, 100ms) == 0 || QUANTILE(io.lat, 0.9, 100ms) <= 5000000 },
+    action: { SAVE(lat.flag, true) },
+    on_satisfy: { SAVE(lat.flag, false) }
+  }
+  guardrail err_gate {
+    trigger: { FUNCTION(submit_io) },
+    rule: { LOAD_OR(err.rate, 0.0) <= 0.7 },
+    action: { INCR(err.trips), REPORT() },
+    meta: { hysteresis = 2, cooldown = 30ms }
+  }
+  guardrail trip_watch {
+    trigger: { FUNCTION(submit_io) },
+    rule: { LOAD_OR(lat.trips, 0) <= 5 },
+    action: { REPORT("too many trips") }
+  }
+  guardrail budgeted {
+    trigger: { FUNCTION(submit_io) },
+    rule: { LOAD_OR(probe.value, 0) <= 60 },
+    action: { REPORT("probe high") },
+    health: { budget_steps = 64, quarantine = 50 }
+  }
+  guardrail flaky {
+    trigger: { FUNCTION(complete_io) },
+    rule: { LOAD(probe.value) <= 40 },
+    action: { INCR(flaky.trips) }
+  }
+  guardrail periodic {
+    trigger: { TIMER(15ms, 15ms) },
+    rule: { LOAD_OR(step.counter, 0) <= 30 },
+    action: { REPORT("counter high") }
+  }
+)";
+
+std::string Fingerprint(Kernel& kernel) {
+  Snapshot snapshot;
+  snapshot.store = kernel.store().DumpSlots();
+  snapshot.report_ring = kernel.engine().EncodeReportRing();
+  snapshot.image = kernel.engine().EncodeImage();
+  return EncodeSnapshot(snapshot);
+}
+
+// Drives the same deterministic workload through `kernel`.
+void DriveMixedWorkload(Kernel& kernel) {
+  for (int step = 1; step <= 40; ++step) {
+    const SimTime t = Milliseconds(10) * step;
+    kernel.Run(t);
+    kernel.store().Observe("io.lat", t, 1.0e6 * ((step % 7) + 0.5));
+    if (step % 3 == 0) {
+      kernel.store().Save("err.rate", Value(0.1 * (step % 11)));
+    }
+    if (step % 4 == 0) {
+      kernel.store().Save("probe.value", Value(static_cast<double>(step * 2 % 90)));
+    }
+    if (step % 5 == 0) {
+      kernel.store().Increment("step.counter", 1.0);
+    }
+    kernel.Callout("submit_io");
+    if (step % 2 == 0) {
+      kernel.Callout("complete_io");
+    }
+  }
+}
+
+ShardingOptions DiffSharding(size_t shards) {
+  ShardingOptions sharding;
+  sharding.enabled = true;
+  sharding.shards = shards;
+  // Telemetry keys are the one legitimate store divergence; differential
+  // comparisons must run without them.
+  sharding.telemetry = false;
+  return sharding;
+}
+
+EngineOptions DiffEngineOptions() {
+  EngineOptions options;
+  // wall_ns fields are host-nondeterministic and encoded in the image.
+  options.measure_wall_time = false;
+  return options;
+}
+
+class ShardEquivalenceTest : public ::testing::Test {
+ protected:
+  ShardEquivalenceTest() { Logger::Global().set_level(LogLevel::kOff); }
+};
+
+TEST_F(ShardEquivalenceTest, MixedWorkloadBitIdentical) {
+  Kernel serial(DiffEngineOptions());
+  Kernel sharded(DiffEngineOptions(), DiffSharding(3));
+  ASSERT_TRUE(serial.LoadGuardrails(kMixedSpec).ok());
+  ASSERT_TRUE(sharded.LoadGuardrails(kMixedSpec).ok());
+  DriveMixedWorkload(serial);
+  DriveMixedWorkload(sharded);
+  EXPECT_EQ(Fingerprint(serial), Fingerprint(sharded));
+  // The run must actually have used the parallel path: the serial-classified
+  // trip_watch accounts for the serial_evals, everything else batches.
+  ASSERT_NE(sharded.sharded_engine(), nullptr);
+  const ShardedStats& stats = sharded.sharded_engine()->stats();
+  EXPECT_GT(stats.parallel_evals, 0u);
+  EXPECT_GT(stats.serial_evals, 0u);  // trip_watch evaluates inline
+  EXPECT_GT(stats.batches, 0u);
+  EXPECT_EQ(stats.serial_callouts, 0u);
+}
+
+TEST_F(ShardEquivalenceTest, OnChangeSpecFallsBackToGlobalSerial) {
+  constexpr char kOnChangeSpec[] = R"(
+    guardrail watcher {
+      trigger: { ONCHANGE(err.rate) },
+      rule: { LOAD_OR(err.rate, 0.0) <= 0.5 },
+      action: { INCR(watch.trips) }
+    }
+    guardrail hooked {
+      trigger: { FUNCTION(submit_io) },
+      rule: { LOAD_OR(x, 0) <= 10 },
+      action: { REPORT() }
+    }
+  )";
+  Kernel serial(DiffEngineOptions());
+  Kernel sharded(DiffEngineOptions(), DiffSharding(2));
+  ASSERT_TRUE(serial.LoadGuardrails(kOnChangeSpec).ok());
+  ASSERT_TRUE(sharded.LoadGuardrails(kOnChangeSpec).ok());
+  for (Kernel* kernel : {&serial, &sharded}) {
+    for (int step = 1; step <= 10; ++step) {
+      kernel->Run(Milliseconds(step));
+      kernel->store().Save("err.rate", Value(0.1 * step));
+      kernel->store().Save("x", Value(step));
+      kernel->Callout("submit_io");
+    }
+  }
+  EXPECT_EQ(Fingerprint(serial), Fingerprint(sharded));
+  // ONCHANGE monitors make batching unsound (evaluations can be triggered by
+  // the batch's own writes); every callout must have taken the global-serial
+  // fallback.
+  const ShardedStats& stats = sharded.sharded_engine()->stats();
+  EXPECT_EQ(stats.parallel_evals, 0u);
+  EXPECT_GT(stats.serial_callouts, 0u);
+}
+
+// --- Telemetry ---
+
+TEST(ShardTelemetryTest, PublishesEngineShardKeys) {
+  Logger::Global().set_level(LogLevel::kOff);
+  ShardingOptions sharding;
+  sharding.enabled = true;
+  sharding.shards = 2;
+  sharding.telemetry = true;
+  Kernel kernel(EngineOptions{}, sharding);
+  ASSERT_TRUE(kernel.LoadGuardrails(kMixedSpec).ok());
+  DriveMixedWorkload(kernel);
+
+  FeatureStore& store = kernel.store();
+  EXPECT_EQ(store.LoadOr("engine.shard.count", Value()).NumericOr(-1), 2.0);
+  const double parallel = store.LoadOr("engine.shard.parallel_evals", Value()).NumericOr(-1);
+  const double batches = store.LoadOr("engine.shard.batches", Value()).NumericOr(-1);
+  EXPECT_GT(parallel, 0.0);
+  EXPECT_GT(batches, 0.0);
+  EXPECT_TRUE(store.Contains("engine.shard.serial_evals"));
+  EXPECT_TRUE(store.Contains("engine.shard.merge_ns"));
+
+  ShardedEngine* sharded = kernel.sharded_engine();
+  ASSERT_NE(sharded, nullptr);
+  ASSERT_EQ(sharded->shard_count(), 2u);
+  uint64_t eval_sum = 0;
+  for (size_t i = 0; i < sharded->shard_count(); ++i) {
+    const std::string prefix = "engine.shard." + std::to_string(i);
+    EXPECT_EQ(store.LoadOr(prefix + ".evals", Value()).NumericOr(-1),
+              static_cast<double>(sharded->ShardEvals(i)));
+    EXPECT_EQ(store.LoadOr(prefix + ".ring_hwm", Value()).NumericOr(-1),
+              static_cast<double>(sharded->RingHighWater(i)));
+    EXPECT_GT(sharded->RingHighWater(i), 0u);
+    eval_sum += sharded->ShardEvals(i);
+  }
+  // Every parallel evaluation ran on exactly one shard.
+  EXPECT_EQ(eval_sum, sharded->stats().parallel_evals);
+  EXPECT_EQ(static_cast<double>(sharded->stats().parallel_evals), parallel);
+}
+
+// --- Partition / quarantine isolation ---
+
+TEST(ShardPartitionTest, RoundRobinAssignmentAndQuarantineIsolation) {
+  Logger::Global().set_level(LogLevel::kOff);
+  constexpr char kFourSpec[] = R"(
+    guardrail aa { trigger: { FUNCTION(fn) }, rule: { LOAD_OR(x, 0) <= 10 },
+                   action: { REPORT() }, health: { quarantine = 50 } }
+    guardrail bb { trigger: { FUNCTION(fn) }, rule: { LOAD_OR(x, 0) <= 20 },
+                   action: { REPORT() }, health: { quarantine = 50 } }
+    guardrail cc { trigger: { FUNCTION(fn) }, rule: { LOAD_OR(x, 0) <= 30 },
+                   action: { REPORT() }, health: { quarantine = 50 } }
+    guardrail dd {
+      trigger: { FUNCTION(fn) },
+      rule: { LOAD_OR(x, 0) <= 40 },
+      action: { REPORT() },
+      health: { budget_steps = 1, quarantine = 2 }
+    }
+  )";
+  ShardingOptions sharding;
+  sharding.enabled = true;
+  sharding.shards = 2;
+  Kernel kernel(EngineOptions{}, sharding);
+  ASSERT_TRUE(kernel.LoadGuardrails(kFourSpec).ok());
+  for (int i = 1; i <= 6; ++i) {
+    kernel.Run(Milliseconds(i));
+    kernel.Callout("fn");
+  }
+  // Batch-eligible monitors are assigned round-robin in sorted-name order
+  // (the evaluation order): aa->0, bb->1, cc->0, dd->1.
+  const GuardrailSupervisor& supervisor = kernel.engine().supervisor();
+  ASSERT_NE(supervisor.Find("aa"), nullptr);
+  EXPECT_EQ(supervisor.Find("aa")->shard_id, 0u);
+  EXPECT_EQ(supervisor.Find("bb")->shard_id, 1u);
+  EXPECT_EQ(supervisor.Find("cc")->shard_id, 0u);
+  EXPECT_EQ(supervisor.Find("dd")->shard_id, 1u);
+  // dd blew its 1-step budget twice and is quarantined; the gate skips it on
+  // the coordinator, so the other monitors' shards never see its tasks.
+  EXPECT_EQ(supervisor.Find("dd")->state, BreakerState::kOpen);
+  const uint64_t dd_evals = kernel.engine().StatsFor("dd").value().evaluations;
+  const uint64_t aa_evals = kernel.engine().StatsFor("aa").value().evaluations;
+  EXPECT_EQ(dd_evals, 2u);
+  EXPECT_EQ(aa_evals, 6u);
+  // Quarantine must not leak into the healthy shards' telemetry counters:
+  // evaluations continue every callout after dd went dark.
+  kernel.Run(Milliseconds(7));
+  kernel.Callout("fn");
+  EXPECT_EQ(kernel.engine().StatsFor("aa").value().evaluations, 7u);
+}
+
+// --- Rollback report order (pinned by src/actions/report.h) ---
+
+// Replace/rollback records are emitted in rollback-queue insertion order,
+// which is evaluation order — NOT name order. On the timer path, deadline
+// order decides: zz_early (deadline 1s) regresses before aa_late (deadline
+// 2s), so zz_early's rollback report must precede aa_late's even though
+// "aa_late" sorts first.
+TEST(RollbackReportOrderTest, RollbackReportOrder) {
+  Logger::Global().set_level(LogLevel::kOff);
+  auto v1 = [](const std::string& name, const std::string& timer) {
+    return "guardrail " + name + " { trigger: { TIMER(" + timer + ", 10s) }, " +
+           "rule: { LOAD_OR(x, 0) <= 100 }, action: { REPORT(\"v1\") }, " +
+           "health: { quarantine = 5 } }";
+  };
+  auto v2 = [](const std::string& name, const std::string& timer) {
+    // Every eval blows the 1-step budget; quarantine = 1 trips at the first
+    // tick inside probation and queues a rollback.
+    return "guardrail " + name + " { trigger: { TIMER(" + timer + ", 10s) }, " +
+           "rule: { LOAD_OR(x, 0) <= 99 }, action: { REPORT(\"v2\") }, " +
+           "health: { budget_steps = 1, quarantine = 1, probation = 60s } }";
+  };
+  const std::string v1_spec = v1("zz_early", "1s") + "\n" + v1("aa_late", "2s");
+  const std::string v2_spec = v2("zz_early", "1s") + "\n" + v2("aa_late", "2s");
+
+  auto run = [&](Kernel& kernel) {
+    EXPECT_TRUE(kernel.LoadGuardrails(v1_spec).ok());
+    EXPECT_TRUE(kernel.LoadGuardrails(v2_spec).ok());
+    kernel.Run(Seconds(3));
+  };
+  Kernel serial(DiffEngineOptions());
+  Kernel sharded(DiffEngineOptions(), DiffSharding(2));
+  run(serial);
+  run(sharded);
+
+  EXPECT_EQ(serial.engine().supervisor().stats().rollbacks, 2u);
+  std::vector<const ReportRecord*> rollbacks;
+  std::vector<ReportRecord> records = serial.engine().reporter().Records();
+  for (const ReportRecord& record : records) {
+    if (record.message.find("rolled back") != std::string::npos) {
+      rollbacks.push_back(&record);
+    }
+  }
+  ASSERT_EQ(rollbacks.size(), 2u);
+  EXPECT_EQ(rollbacks[0]->guardrail, "zz_early");  // evaluation order, not name order
+  EXPECT_EQ(rollbacks[1]->guardrail, "aa_late");
+  EXPECT_LT(rollbacks[0]->sequence, rollbacks[1]->sequence);
+  // The stream is totally ordered by `sequence`, and the sharded engine
+  // reproduces it byte for byte.
+  for (size_t i = 1; i < records.size(); ++i) {
+    EXPECT_LT(records[i - 1].sequence, records[i].sequence);
+  }
+  EXPECT_EQ(serial.engine().EncodeReportRing(), sharded.engine().EncodeReportRing());
+  EXPECT_EQ(Fingerprint(serial), Fingerprint(sharded));
+}
+
+// Two probation monitors regressing inside the same FUNCTION callout: both
+// rollbacks are queued during the batch and applied at the callout boundary,
+// in evaluation order, identically under sharding.
+TEST(RollbackReportOrderTest, TwoRollbacksInOneCallout) {
+  Logger::Global().set_level(LogLevel::kOff);
+  auto spec = [](const std::string& health) {
+    std::string out;
+    for (const char* name : {"one", "two"}) {
+      out += "guardrail " + std::string(name) + " { trigger: { FUNCTION(fn) }, " +
+             "rule: { LOAD_OR(x, 0) <= 50 }, action: { REPORT() }, " +
+             "health: { " + health + " } }\n";
+    }
+    return out;
+  };
+  auto run = [&](Kernel& kernel) {
+    EXPECT_TRUE(kernel.LoadGuardrails(spec("quarantine = 5")).ok());
+    kernel.Run(Milliseconds(1));
+    kernel.Callout("fn");
+    EXPECT_TRUE(
+        kernel.LoadGuardrails(spec("budget_steps = 1, quarantine = 1, probation = 60s")).ok());
+    kernel.Run(Milliseconds(2));
+    kernel.Callout("fn");  // both blow the budget, quarantine, and roll back
+    kernel.Run(Milliseconds(3));
+    kernel.Callout("fn");  // restored v1 evaluates normally again
+  };
+  Kernel serial(DiffEngineOptions());
+  Kernel sharded(DiffEngineOptions(), DiffSharding(2));
+  run(serial);
+  run(sharded);
+  EXPECT_EQ(serial.engine().supervisor().stats().rollbacks, 2u);
+  EXPECT_EQ(sharded.engine().supervisor().stats().rollbacks, 2u);
+  EXPECT_EQ(Fingerprint(serial), Fingerprint(sharded));
+}
+
+// --- Warm restart rebuilds the sharded layer ---
+
+TEST(ShardRebootTest, ShardedLayerSurvivesReboot) {
+  Logger::Global().set_level(LogLevel::kOff);
+  ShardingOptions sharding;
+  sharding.enabled = true;
+  sharding.shards = 2;
+  Kernel kernel(EngineOptions{}, sharding);
+  ASSERT_TRUE(kernel.LoadGuardrails(kMixedSpec).ok());
+  for (int i = 1; i <= 5; ++i) {
+    kernel.Run(Milliseconds(10) * i);
+    kernel.store().Observe("io.lat", kernel.now(), 1.0e6);
+    kernel.Callout("submit_io");
+  }
+  ASSERT_NE(kernel.sharded_engine(), nullptr);
+  EXPECT_GT(kernel.sharded_engine()->stats().parallel_evals, 0u);
+
+  kernel.Panic();
+  ASSERT_TRUE(kernel.Reboot().ok());
+  // A fresh layer wraps the rebuilt engine (counters start over); callouts
+  // keep batching and the telemetry keys re-intern against the restored slot
+  // table without a stale KeyId in sight.
+  ShardedEngine* after = kernel.sharded_engine();
+  ASSERT_NE(after, nullptr);
+  EXPECT_EQ(after->stats().batches, 0u);
+  for (int i = 6; i <= 10; ++i) {
+    kernel.Run(Milliseconds(10) * i);
+    kernel.store().Observe("io.lat", kernel.now(), 1.0e6);
+    kernel.Callout("submit_io");
+  }
+  EXPECT_GT(after->stats().parallel_evals, 0u);
+  EXPECT_EQ(kernel.store().LoadOr("engine.shard.count", Value()).NumericOr(-1), 2.0);
+}
+
+}  // namespace
+}  // namespace osguard

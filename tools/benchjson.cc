@@ -42,6 +42,16 @@
 //                   recovery diverges from the uninterrupted run (must be
 //                   bit-identical) or recovery wall time exceeds the CI
 //                   bound (500ms for the benchmark workload).
+//   --sharded       run the E10 multi-core scaling experiment instead and
+//                   emit bench "sharded" (BENCH_sharded.json): FUNCTION
+//                   callout throughput of the serial engine vs the sharded
+//                   engine at 64 monitors, per-shard eval counts, ring
+//                   occupancy high-water marks, and merge cost per batch.
+//                   The sharded run's final state (store + report ring +
+//                   engine image) must be bit-identical to the serial run —
+//                   exit(1) if it is not. The >= 4x speedup bound is
+//                   enforced only on hosts with >= 8 hardware threads
+//                   (reported as sharded_gate_enforced).
 //   --supervisor    run the ext7 supervisor experiment instead and emit
 //                   bench "supervisor" (BENCH_supervisor.json): trip rate of
 //                   the undamped E2 oscillating pair with and without the
@@ -62,6 +72,7 @@
 #include <memory>
 #include <new>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include <algorithm>
@@ -70,6 +81,7 @@
 #include "src/linnos/harness.h"
 #include "src/persist/persist.h"
 #include "src/runtime/engine.h"
+#include "src/runtime/sharded_engine.h"
 #include "src/support/logging.h"
 #include "src/support/rng.h"
 #include "src/vm/native_aot.h"
@@ -869,6 +881,193 @@ bool RunPersistBench(std::vector<Metric>& metrics, bool& persist_ok) {
   return true;
 }
 
+// --sharded: the E10 multi-core scaling experiment. 64 FUNCTION monitors on
+// one hot callout — a mix of program-dominated compute rules, windowed
+// aggregates, and threshold rules that trip periodically — driven through
+// the serial engine and through the sharded engine over an identical
+// deterministic workload. Reports throughput for both, the sharded layer's
+// scheduling telemetry, and a bit-identity verdict over the full observable
+// state (store slots + report ring + engine image; telemetry keys are off
+// for the comparison). Identity is enforced unconditionally; the >= 4x
+// speedup bound only on hosts with >= 8 hardware threads, where the worker
+// pool actually has cores to spread across.
+namespace shardbench {
+
+constexpr char kHook[] = "blk_mq_submit_bio_hotpath";
+constexpr int kMonitors = 64;
+constexpr int kWarmupCalls = 256;
+constexpr int kTimedCalls = 20000;
+
+std::string MakeSpec() {
+  std::string spec;
+  for (int i = 0; i < kMonitors; ++i) {
+    std::string rule;
+    if (i % 8 == 0) {
+      // Aggregate-dominated: windowed scans over the shared latency series.
+      rule = "COUNT(io.lat, 50ms) == 0 || MEAN(io.lat, 50ms) <= 4000000";
+    } else if (i % 8 == 1) {
+      // Threshold rule that trips while the driver holds trip_level high;
+      // the cooldown bounds the report volume deterministically.
+      rule = "LOAD_OR(trip_level, 0) <= 90";
+    } else {
+      // Program-dominated: a dependent integer chain over one loaded key.
+      rule = DenseCalloutRule(24);
+    }
+    spec += "guardrail s" + std::to_string(i) +
+            " { trigger: { FUNCTION(" + std::string(kHook) +
+            ") }, rule: { " + rule +
+            " }, action: { REPORT() }, meta: { cooldown = 10ms } }\n";
+  }
+  return spec;
+}
+
+struct RunResult {
+  bool ok = false;
+  double timed_ns = 0.0;
+  uint64_t timed_evals = 0;
+  std::string state;  // wire-encoded observable state (bit-identity check)
+};
+
+// Drives the deterministic workload; `sharded_ptr` routes callouts through
+// the sharded layer when non-null. Store writes are identical across runs
+// and happen between callouts, exactly where a kernel would produce them.
+RunResult Drive(FeatureStore& store, Engine& engine, ShardedEngine* sharded_ptr) {
+  RunResult result;
+  if (!engine.LoadSource(MakeSpec()).ok()) {
+    return result;
+  }
+  store.Save("lat_score", Value(static_cast<int64_t>(3)));
+  auto callout = [&](int i) {
+    const SimTime t = static_cast<SimTime>(i) * Microseconds(25);
+    if (i % 16 == 0) {
+      store.Observe("io.lat", t, 1.0e6 * static_cast<double>(i % 7 + 1));
+    }
+    if (i % 64 == 0) {
+      store.Save("trip_level", Value(static_cast<int64_t>(i / 64 % 128)));
+    }
+    if (sharded_ptr != nullptr) {
+      sharded_ptr->OnFunctionCall(kHook, t);
+    } else {
+      engine.OnFunctionCall(kHook, t);
+    }
+  };
+  for (int i = 0; i < kWarmupCalls; ++i) {
+    callout(i);
+  }
+  const uint64_t evals_before = engine.stats().evaluations;
+  const int64_t start = WallNs();
+  for (int i = kWarmupCalls; i < kWarmupCalls + kTimedCalls; ++i) {
+    callout(i);
+  }
+  result.timed_ns = static_cast<double>(WallNs() - start);
+  result.timed_evals = engine.stats().evaluations - evals_before;
+  Snapshot snapshot;
+  snapshot.store = store.DumpSlots();
+  snapshot.report_ring = engine.EncodeReportRing();
+  snapshot.image = engine.EncodeImage();
+  result.state = EncodeSnapshot(snapshot);
+  result.ok = true;
+  return result;
+}
+
+}  // namespace shardbench
+
+bool RunShardedBench(std::vector<Metric>& metrics, bool& sharded_ok) {
+  using shardbench::Drive;
+  EngineOptions engine_options;
+  engine_options.measure_wall_time = false;
+
+  FeatureStore serial_store;
+  PolicyRegistry serial_registry;
+  Engine serial_engine(&serial_store, &serial_registry, nullptr, engine_options);
+  const shardbench::RunResult serial = Drive(serial_store, serial_engine, nullptr);
+  if (!serial.ok) {
+    std::fprintf(stderr, "benchjson: --sharded: serial run failed to load\n");
+    return false;
+  }
+
+  FeatureStore sharded_store;
+  PolicyRegistry sharded_registry;
+  Engine sharded_engine(&sharded_store, &sharded_registry, nullptr, engine_options);
+  ShardingOptions sharding;
+  sharding.enabled = true;
+  // Telemetry keys are the one legitimate store divergence; the identity
+  // check requires them off. Scheduling counters come from the object.
+  sharding.telemetry = false;
+  ShardedEngine sharded(&sharded_engine, sharding);
+  const shardbench::RunResult parallel = Drive(sharded_store, sharded_engine, &sharded);
+  if (!parallel.ok) {
+    std::fprintf(stderr, "benchjson: --sharded: sharded run failed to load\n");
+    return false;
+  }
+
+  const unsigned cores = std::thread::hardware_concurrency();
+  const bool gate_speedup = cores >= 8;
+  const double serial_s = std::max(serial.timed_ns / 1e9, 1e-9);
+  const double parallel_s = std::max(parallel.timed_ns / 1e9, 1e-9);
+  const double serial_callouts_per_sec = shardbench::kTimedCalls / serial_s;
+  const double sharded_callouts_per_sec = shardbench::kTimedCalls / parallel_s;
+  const double speedup =
+      parallel.timed_ns > 0.0 ? serial.timed_ns / parallel.timed_ns : 0.0;
+  const bool identical = serial.state == parallel.state;
+  const ShardedStats& stats = sharded.stats();
+
+  metrics.push_back(Metric{"sharded_host_threads", static_cast<double>(cores), "count"});
+  metrics.push_back(
+      Metric{"sharded_shards", static_cast<double>(sharded.shard_count()), "count"});
+  metrics.push_back(Metric{"sharded_monitors",
+                           static_cast<double>(shardbench::kMonitors), "count"});
+  metrics.push_back(Metric{"serial_callouts_per_sec", serial_callouts_per_sec, "per_sec"});
+  metrics.push_back(Metric{"sharded_callouts_per_sec", sharded_callouts_per_sec, "per_sec"});
+  metrics.push_back(Metric{"serial_evals_per_sec",
+                           static_cast<double>(serial.timed_evals) / serial_s, "per_sec"});
+  metrics.push_back(Metric{"sharded_evals_per_sec",
+                           static_cast<double>(parallel.timed_evals) / parallel_s,
+                           "per_sec"});
+  metrics.push_back(Metric{"sharded_speedup", speedup, "ratio"});
+  metrics.push_back(Metric{"sharded_parallel_evals",
+                           static_cast<double>(stats.parallel_evals), "count"});
+  metrics.push_back(
+      Metric{"sharded_serial_evals", static_cast<double>(stats.serial_evals), "count"});
+  metrics.push_back(Metric{"sharded_serial_callouts",
+                           static_cast<double>(stats.serial_callouts), "count"});
+  metrics.push_back(Metric{"sharded_batches", static_cast<double>(stats.batches), "count"});
+  metrics.push_back(Metric{"sharded_merge_ns_per_batch",
+                           stats.batches > 0
+                               ? static_cast<double>(stats.merge_ns) /
+                                     static_cast<double>(stats.batches)
+                               : 0.0,
+                           "ns"});
+  size_t hwm_max = 0;
+  for (size_t i = 0; i < sharded.shard_count(); ++i) {
+    hwm_max = std::max(hwm_max, sharded.RingHighWater(i));
+  }
+  metrics.push_back(Metric{"sharded_ring_hwm_max", static_cast<double>(hwm_max), "count"});
+  metrics.push_back(Metric{"sharded_state_identical", identical ? 1.0 : 0.0, "bool"});
+  metrics.push_back(Metric{"sharded_gate_enforced", gate_speedup ? 1.0 : 0.0, "bool"});
+
+  sharded_ok = true;
+  if (!identical) {
+    std::fprintf(stderr,
+                 "benchjson: --sharded: sharded state diverged from the serial "
+                 "oracle\n");
+    sharded_ok = false;
+  }
+  if (stats.parallel_evals == 0) {
+    std::fprintf(stderr,
+                 "benchjson: --sharded: no evaluations took the parallel path\n");
+    sharded_ok = false;
+  }
+  if (gate_speedup && speedup < 4.0) {
+    std::fprintf(stderr,
+                 "benchjson: --sharded: speedup %.2fx below the 4x bound on a "
+                 "%u-thread host\n",
+                 speedup, cores);
+    sharded_ok = false;
+  }
+  return true;
+}
+
 int Main(int argc, char** argv) {
   Logger::Global().set_level(LogLevel::kOff);
   bool strict_alloc = false;
@@ -876,6 +1075,7 @@ int Main(int argc, char** argv) {
   bool supervisor = false;
   bool native = false;
   bool persist = false;
+  bool sharded = false;
   const char* out_path = nullptr;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--strict-alloc") == 0) {
@@ -888,12 +1088,14 @@ int Main(int argc, char** argv) {
       native = true;
     } else if (std::strcmp(argv[i], "--persist") == 0) {
       persist = true;
+    } else if (std::strcmp(argv[i], "--sharded") == 0) {
+      sharded = true;
     } else if (std::strcmp(argv[i], "-o") == 0 && i + 1 < argc) {
       out_path = argv[++i];
     } else {
       std::fprintf(stderr,
                    "usage: benchjson [--strict-alloc] [--chaos] [--supervisor] "
-                   "[--native] [--persist] [-o FILE]\n");
+                   "[--native] [--persist] [--sharded] [-o FILE]\n");
       return 2;
     }
   }
@@ -903,6 +1105,7 @@ int Main(int argc, char** argv) {
   bool supervisor_contained = true;
   bool native_ok = true;
   bool persist_ok = true;
+  bool sharded_ok = true;
   if (chaos) {
     if (!RunChaosBench(metrics, chaos_contained)) {
       return 1;
@@ -917,6 +1120,10 @@ int Main(int argc, char** argv) {
     }
   } else if (persist) {
     if (!RunPersistBench(metrics, persist_ok)) {
+      return 1;
+    }
+  } else if (sharded) {
+    if (!RunShardedBench(metrics, sharded_ok)) {
       return 1;
     }
   } else {
@@ -937,8 +1144,11 @@ int Main(int argc, char** argv) {
 
   const char* bench_name =
       chaos ? "chaos"
-            : (supervisor ? "supervisor"
-                          : (native ? "native" : (persist ? "persist" : "hotpath")));
+            : (supervisor
+                   ? "supervisor"
+                   : (native ? "native"
+                             : (persist ? "persist"
+                                        : (sharded ? "sharded" : "hotpath"))));
   std::string json = std::string("{\n  \"bench\": \"") + bench_name +
                      "\",\n  \"schema_version\": 1,\n  \"metrics\": [\n";
   for (size_t i = 0; i < metrics.size(); ++i) {
@@ -962,6 +1172,9 @@ int Main(int argc, char** argv) {
   } else if (persist) {
     std::snprintf(tail, sizeof(tail), "  ],\n  \"persist_ok\": %s\n}\n",
                   persist_ok ? "true" : "false");
+  } else if (sharded) {
+    std::snprintf(tail, sizeof(tail), "  ],\n  \"sharded_ok\": %s\n}\n",
+                  sharded_ok ? "true" : "false");
   } else {
     std::snprintf(tail, sizeof(tail), "  ],\n  \"ns_per_eval_mean\": %.2f\n}\n", mean);
   }
@@ -999,6 +1212,12 @@ int Main(int argc, char** argv) {
     std::fprintf(stderr,
                  "benchjson: FAIL --persist: warm restart diverged or exceeded the "
                  "recovery-time bound\n");
+    return 1;
+  }
+  if (sharded && !sharded_ok) {
+    std::fprintf(stderr,
+                 "benchjson: FAIL --sharded: sharded engine diverged from the serial "
+                 "oracle or missed the scaling bound\n");
     return 1;
   }
   if (strict_alloc) {
