@@ -1,0 +1,76 @@
+#include "src/actions/agent_control.h"
+
+namespace osguard {
+
+std::string AgentDenyKey(agent::ToolClass tool) {
+  const char* name = agent::ToolClassName(tool);
+  return std::string(kAgentCtlDenyPrefix) + (name != nullptr ? name : "invalid");
+}
+
+std::string AgentSessionKey(uint64_t session, std::string_view suffix) {
+  std::string key = "agent.s";
+  key += std::to_string(session);
+  key += '.';
+  key += suffix;
+  return key;
+}
+
+const char* AgentAdmitVerdictName(AgentAdmitVerdict verdict) {
+  switch (verdict) {
+    case AgentAdmitVerdict::kAllow:
+      return "allow";
+    case AgentAdmitVerdict::kDeny:
+      return "deny";
+    case AgentAdmitVerdict::kThrottle:
+      return "throttle";
+    case AgentAdmitVerdict::kKill:
+      return "kill";
+  }
+  return "invalid";
+}
+
+AgentAdmitVerdict DecideAgentAdmission(const FeatureStore& store,
+                                       const agent::ToolCallEvent& event,
+                                       SimTime now) {
+  // Kill wins over everything: a terminated session makes no calls at all.
+  // NumericOr everywhere: spec actions SAVE through the VM, which may store
+  // these ids/limits as doubles; admission must not care.
+  const double kill_sid =
+      store.LoadOr(kAgentCtlKillSession, Value(int64_t{0})).NumericOr(0.0);
+  if (kill_sid != 0.0 && kill_sid == static_cast<double>(event.session)) {
+    return AgentAdmitVerdict::kKill;
+  }
+  if (store.LoadOr(AgentSessionKey(event.session, "killed"), Value(false))
+          .AsBool().value_or(false)) {
+    return AgentAdmitVerdict::kKill;
+  }
+  // Allowlist: a denied tool class is rejected regardless of session.
+  if (store.LoadOr(AgentDenyKey(event.tool), Value(false)).AsBool().value_or(false)) {
+    return AgentAdmitVerdict::kDeny;
+  }
+  // Throttle: cap the flagged session to `limit` calls per window, counting
+  // previously *accepted* calls (the governor's per-session series). The
+  // throttle self-clears as the window drains — it shapes, it does not ban.
+  const double throttled =
+      store.LoadOr(kAgentCtlThrottleSession, Value(int64_t{0})).NumericOr(0.0);
+  if (throttled != 0.0 && throttled == static_cast<double>(event.session)) {
+    const double limit =
+        store.LoadOr(kAgentCtlThrottleLimit, Value(kAgentThrottleLimitDefault))
+            .NumericOr(static_cast<double>(kAgentThrottleLimitDefault));
+    const int64_t window_ms = static_cast<int64_t>(
+        store
+            .LoadOr(kAgentCtlThrottleWindowMs, Value(kAgentThrottleWindowMsDefault))
+            .NumericOr(static_cast<double>(kAgentThrottleWindowMsDefault)));
+    const double in_window =
+        store
+            .Aggregate(AgentSessionKey(event.session, "calls"), AggKind::kCount,
+                       Milliseconds(window_ms), now)
+            .value_or(0.0);
+    if (in_window >= limit) {
+      return AgentAdmitVerdict::kThrottle;
+    }
+  }
+  return AgentAdmitVerdict::kAllow;
+}
+
+}  // namespace osguard

@@ -1,0 +1,120 @@
+#include "src/agent/harness.h"
+
+#include <algorithm>
+
+namespace osguard::agent {
+
+DriveResult ReplayTrace(Kernel& kernel, std::span<const ToolCallEvent> events,
+                        size_t from) {
+  DriveResult result;
+  result.next_index = from;
+  for (size_t i = from; i < events.size(); ++i) {
+    const ToolCallEvent& ev = events[i];
+    // Pump queued work and TIMER monitors up to the event's timestamp. A
+    // panic scheduled in this range freezes the kernel mid-trace.
+    kernel.Run(ev.at);
+    if (kernel.panicked()) {
+      return result;
+    }
+    const AgentAdmitVerdict verdict = kernel.OnToolCall(ev);
+    ++result.delivered;
+    result.next_index = i + 1;
+    switch (verdict) {
+      case AgentAdmitVerdict::kAllow:
+        ++result.allowed;
+        break;
+      case AgentAdmitVerdict::kDeny:
+        ++result.denied;
+        break;
+      case AgentAdmitVerdict::kThrottle:
+        ++result.throttled;
+        break;
+      case AgentAdmitVerdict::kKill:
+        ++result.killed;
+        break;
+    }
+  }
+  return result;
+}
+
+namespace {
+
+struct TraceBuilder {
+  std::vector<ToolCallEvent> events;
+  uint64_t next_fingerprint = 1;
+
+  void Add(SimTime at, uint64_t session, ToolClass tool, bool secret = false) {
+    events.push_back(ToolCallEvent{at, session, tool, next_fingerprint++, secret});
+  }
+
+  std::vector<ToolCallEvent> Finish() {
+    std::stable_sort(events.begin(), events.end(),
+                     [](const ToolCallEvent& a, const ToolCallEvent& b) {
+                       return a.at < b.at;
+                     });
+    return std::move(events);
+  }
+};
+
+}  // namespace
+
+std::vector<ToolCallEvent> MakeIncidentTrace() {
+  TraceBuilder b;
+  // Session 1 — clean baseline: 4 calls/s of file reads and network sends
+  // for 3 seconds (stays far below every threshold).
+  for (int i = 0; i < 12; ++i) {
+    const SimTime at = Milliseconds(100 + i * 250);
+    b.Add(at, 1, i % 2 == 0 ? ToolClass::kFile : ToolClass::kNet);
+  }
+  // Session 2 — flood: 200 calls at 2ms spacing starting at t=500ms. The
+  // per-session 1s-window count blows through the limit of 30 at call 31,
+  // the session-rate spec throttles the session, and the remaining calls
+  // are rejected. The same burst pushes the global 1s rate past 100/s.
+  for (int i = 0; i < 200; ++i) {
+    b.Add(Milliseconds(500) + Milliseconds(2) * i, 2, ToolClass::kFile);
+  }
+  // Session 3 — exec: three exec attempts at t=1.5s. The first trips the
+  // allowlist spec within its own callout; the denial rejects the rest.
+  for (int i = 0; i < 3; ++i) {
+    b.Add(Milliseconds(1500 + 10 * i), 3, ToolClass::kExec);
+  }
+  // Session 4 — exfiltration: a secret file read, then network sends. The
+  // first send increments agent.taint.net_after_secret, the sequence spec
+  // kills the session synchronously, and the later sends are rejected.
+  b.Add(Milliseconds(2000), 4, ToolClass::kFile, /*secret=*/true);
+  b.Add(Milliseconds(2100), 4, ToolClass::kNet);
+  b.Add(Milliseconds(2200), 4, ToolClass::kNet);
+  b.Add(Milliseconds(2300), 4, ToolClass::kNet);
+  // Sessions 10-29 — distributed flood at t=3s: twenty sessions, each 10
+  // calls at 50ms spacing (well under the per-session limit of 30/window),
+  // but 200 calls/s in aggregate — only the *global* rate family can see
+  // it, which is exactly what the windowed stream aggregate is for.
+  for (uint64_t s = 10; s < 30; ++s) {
+    for (int i = 0; i < 10; ++i) {
+      b.Add(Milliseconds(3000) + Milliseconds(2) * (s - 10) + Milliseconds(50) * i,
+            s, ToolClass::kFile);
+    }
+  }
+  return b.Finish();
+}
+
+std::vector<ToolCallEvent> MakeCleanTrace() {
+  TraceBuilder b;
+  // Six sessions, 20 calls each at 4 calls/s, staggered starts: global rate
+  // peaks around 24/s, per-session 1s windows hold 4-5 calls.
+  for (uint64_t s = 1; s <= 6; ++s) {
+    for (int i = 0; i < 20; ++i) {
+      const SimTime at = Milliseconds(s * 40 + i * 250);
+      // Session 1 is file-only and reads one secret at its third call —
+      // taint with no subsequent network send must NOT trip anything.
+      if (s == 1) {
+        b.Add(at, s, ToolClass::kFile, /*secret=*/i == 2);
+      } else {
+        b.Add(at, s, i % 3 == 0 ? ToolClass::kNet : ToolClass::kFile);
+      }
+    }
+  }
+  return b.Finish();
+}
+
+}  // namespace osguard::agent

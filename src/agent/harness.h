@@ -1,0 +1,76 @@
+// Deterministic simulated agent harness (osguard::agent::Harness).
+//
+// Wraps the bursty multi-session workload generator (src/wl/sessiongen)
+// and drives a Kernel through the resulting tool-call event stream: for
+// each event the harness advances the interleaved timeline to the event's
+// timestamp (so TIMER monitors fire in order) and then delivers it through
+// Kernel::OnToolCall. Same (options, seed) => bit-identical event stream
+// and, by the engine's determinism contract, bit-identical guardrail state.
+//
+// Scripted traces: MakeIncidentTrace() violates all three guardrail
+// families (session-rate flood, exec call, secret-read-then-network);
+// MakeCleanTrace() is well-behaved under the shipped thresholds, including
+// a secret read with no subsequent network send (taint alone is not a
+// violation). Both are fixed constants — no RNG — so tests can assert
+// exact admission counts.
+
+#ifndef SRC_AGENT_HARNESS_H_
+#define SRC_AGENT_HARNESS_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "src/agent/tool_call.h"
+#include "src/sim/kernel.h"
+#include "src/wl/sessiongen.h"
+
+namespace osguard::agent {
+
+// Per-verdict delivery counts plus the resume cursor for crash protocols.
+struct DriveResult {
+  uint64_t delivered = 0;
+  uint64_t allowed = 0;
+  uint64_t denied = 0;
+  uint64_t throttled = 0;
+  uint64_t killed = 0;
+  // First undelivered event (== events.size() when the trace completed).
+  // A mid-trace kernel panic stops delivery here; Reboot() and resume.
+  size_t next_index = 0;
+};
+
+// Delivers events[from..] in order: Run(ev.at), then OnToolCall(ev).
+// Returns early (next_index < events.size()) if the kernel panics.
+DriveResult ReplayTrace(Kernel& kernel, std::span<const ToolCallEvent> events,
+                        size_t from = 0);
+
+class Harness {
+ public:
+  Harness(SessionWorkloadOptions workload, uint64_t seed)
+      : events_(SessionCallGenerator(workload, seed).Generate()) {}
+
+  const std::vector<ToolCallEvent>& events() const { return events_; }
+
+  DriveResult Drive(Kernel& kernel, size_t from = 0) const {
+    return ReplayTrace(kernel, events_, from);
+  }
+
+ private:
+  std::vector<ToolCallEvent> events_;
+};
+
+// Scripted incident: a clean baseline session, a flood session (trips the
+// session-rate family => throttle), an exec session (trips the allowlist
+// family => deny), an exfiltration session (secret read then network sends
+// — trips the sequence family => kill), and a distributed flood across
+// twenty sessions (each under the per-session limit; only the global rate
+// family sees the aggregate).
+std::vector<ToolCallEvent> MakeIncidentTrace();
+
+// Well-behaved counterpart: modest per-session rates, no exec, one secret
+// read with no subsequent network send. Zero trips under the shipped specs.
+std::vector<ToolCallEvent> MakeCleanTrace();
+
+}  // namespace osguard::agent
+
+#endif  // SRC_AGENT_HARNESS_H_

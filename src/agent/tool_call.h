@@ -1,0 +1,54 @@
+// Tool-call event vocabulary for the agent governance domain.
+//
+// Header-only on purpose: the workload generator (src/wl/sessiongen),
+// the kernel callout (src/sim/agent_callout), and the harness/trace codec
+// (src/agent) all speak this struct, and keeping it dependency-free avoids
+// a wl <-> sim link cycle. See docs/AGENT.md for the domain model.
+
+#ifndef SRC_AGENT_TOOL_CALL_H_
+#define SRC_AGENT_TOOL_CALL_H_
+
+#include <cstdint>
+
+#include "src/support/time.h"
+
+namespace osguard::agent {
+
+// Tool classes an agent session can invoke. Values are stable: they appear
+// in serialized traces (src/agent/trace.h) and feature-store key suffixes.
+enum class ToolClass : uint8_t {
+  kFile = 0,  // filesystem read/write
+  kNet = 1,   // network send/receive
+  kExec = 2,  // subprocess execution
+};
+inline constexpr int kToolClassCount = 3;
+
+// Canonical short name ("file", "net", "exec") used in store keys and the
+// text trace format. Returns nullptr for out-of-range values so decoders
+// can reject invalid tool bytes.
+inline const char* ToolClassName(ToolClass tool) {
+  switch (tool) {
+    case ToolClass::kFile:
+      return "file";
+    case ToolClass::kNet:
+      return "net";
+    case ToolClass::kExec:
+      return "exec";
+  }
+  return nullptr;
+}
+
+// One instrumented tool call, as delivered to Kernel::OnToolCall.
+struct ToolCallEvent {
+  SimTime at = 0;
+  uint64_t session = 0;      // 1-based session id (0 is invalid)
+  ToolClass tool = ToolClass::kFile;
+  uint64_t fingerprint = 0;  // argument fingerprint hash
+  bool secret = false;       // file read touching a secret path
+
+  friend bool operator==(const ToolCallEvent&, const ToolCallEvent&) = default;
+};
+
+}  // namespace osguard::agent
+
+#endif  // SRC_AGENT_TOOL_CALL_H_

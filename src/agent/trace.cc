@@ -1,0 +1,121 @@
+#include "src/agent/trace.h"
+
+#include <charconv>
+#include <cstdint>
+
+namespace osguard::agent {
+
+namespace {
+
+// Strict decimal parse of the whole field (no sign, no spaces, no empties).
+template <typename T>
+bool ParseField(std::string_view field, T& out) {
+  if (field.empty()) {
+    return false;
+  }
+  const char* first = field.data();
+  const char* last = field.data() + field.size();
+  auto [ptr, ec] = std::from_chars(first, last, out);
+  return ec == std::errc() && ptr == last;
+}
+
+bool ParseTool(std::string_view field, ToolClass& out) {
+  for (int i = 0; i < kToolClassCount; ++i) {
+    const auto tool = static_cast<ToolClass>(i);
+    if (field == ToolClassName(tool)) {
+      out = tool;
+      return true;
+    }
+  }
+  return false;
+}
+
+Status LineError(size_t line_no, const char* what) {
+  return InvalidArgumentError("agent trace line " + std::to_string(line_no) +
+                              ": " + what);
+}
+
+}  // namespace
+
+std::string EncodeTrace(const std::vector<ToolCallEvent>& events) {
+  std::string out = "# osguard agent trace v1\n";
+  for (const ToolCallEvent& ev : events) {
+    out += std::to_string(ev.at);
+    out += ',';
+    out += std::to_string(ev.session);
+    out += ',';
+    out += ToolClassName(ev.tool);
+    out += ',';
+    out += std::to_string(ev.fingerprint);
+    out += ',';
+    out += ev.secret ? '1' : '0';
+    out += '\n';
+  }
+  return out;
+}
+
+Result<std::vector<ToolCallEvent>> DecodeTrace(std::string_view text) {
+  std::vector<ToolCallEvent> events;
+  size_t line_no = 0;
+  SimTime prev_at = 0;
+  while (!text.empty()) {
+    ++line_no;
+    const size_t nl = text.find('\n');
+    std::string_view line =
+        nl == std::string_view::npos ? text : text.substr(0, nl);
+    text = nl == std::string_view::npos ? std::string_view() : text.substr(nl + 1);
+    if (!line.empty() && line.back() == '\r') {
+      line.remove_suffix(1);
+    }
+    if (line.empty() || line.front() == '#') {
+      continue;
+    }
+    // Exactly five comma-separated fields.
+    std::string_view fields[5];
+    size_t field_count = 0;
+    while (true) {
+      const size_t comma = line.find(',');
+      const std::string_view field =
+          comma == std::string_view::npos ? line : line.substr(0, comma);
+      if (field_count >= 5) {
+        return LineError(line_no, "too many fields (want 5)");
+      }
+      fields[field_count++] = field;
+      if (comma == std::string_view::npos) {
+        break;
+      }
+      line = line.substr(comma + 1);
+    }
+    if (field_count != 5) {
+      return LineError(line_no, "too few fields (want 5)");
+    }
+    ToolCallEvent ev;
+    int64_t at = 0;
+    if (!ParseField(fields[0], at) || at < 0) {
+      return LineError(line_no, "bad timestamp");
+    }
+    ev.at = at;
+    if (ev.at < prev_at) {
+      return LineError(line_no, "timestamps must be non-decreasing");
+    }
+    if (!ParseField(fields[1], ev.session) || ev.session == 0) {
+      return LineError(line_no, "bad session id");
+    }
+    if (!ParseTool(fields[2], ev.tool)) {
+      return LineError(line_no, "unknown tool class");
+    }
+    if (!ParseField(fields[3], ev.fingerprint)) {
+      return LineError(line_no, "bad fingerprint");
+    }
+    uint32_t secret = 0;
+    if (!ParseField(fields[4], secret) || secret > 1) {
+      return LineError(line_no, "secret flag must be 0 or 1");
+    }
+    ev.secret = secret == 1;
+    prev_at = ev.at;
+    events.push_back(ev);
+  }
+  return events;
+}
+
+}  // namespace osguard::agent

@@ -1,0 +1,36 @@
+// Text codec for agent tool-call traces.
+//
+// One event per line, comma-separated:
+//
+//   at_ns,session,tool,fingerprint,secret
+//
+// where `tool` is the canonical class name (file|net|exec) and `secret` is
+// 0 or 1. Lines starting with '#' and blank lines are skipped. Timestamps
+// must be non-decreasing (a trace is a timeline) and session ids nonzero.
+//
+// The decoder is a fuzz target (tests/fuzz_test.cc): it must reject every
+// malformed input with a clean error — never crash, never accept garbage —
+// and produce stable diagnostics for identical inputs. Corpus seeds live in
+// tests/corpus/*.trace with the valid_/invalid_ naming convention.
+
+#ifndef SRC_AGENT_TRACE_H_
+#define SRC_AGENT_TRACE_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/agent/tool_call.h"
+#include "src/support/status.h"
+
+namespace osguard::agent {
+
+// Serializes a trace; inverse of DecodeTrace for every valid event stream.
+std::string EncodeTrace(const std::vector<ToolCallEvent>& events);
+
+// Parses a trace. Errors are kInvalidArgument with a 1-based line number.
+Result<std::vector<ToolCallEvent>> DecodeTrace(std::string_view text);
+
+}  // namespace osguard::agent
+
+#endif  // SRC_AGENT_TRACE_H_

@@ -70,6 +70,16 @@ inline constexpr char kChaosSitePersistTornWrite[] = "persist.torn_write";
 inline constexpr char kChaosSitePersistCrcCorrupt[] = "persist.crc_corrupt";
 inline constexpr char kChaosSitePersistTruncateTail[] = "persist.truncate_tail";
 inline constexpr char kChaosSitePersistSnapshotFail[] = "persist.snapshot_fail";
+// Agent tool-call callout faults (osguard::agent, docs/AGENT.md). Both model
+// instrumentation pathologies on the Kernel::OnToolCall path:
+//   agent.event_drop  — the tool-call event is lost before admission: no
+//                       feature-store publication, no callout, as if the
+//                       instrumentation hook never fired
+//   agent.dup_session — the event is delivered twice, the duplicate under a
+//                       ghost session id (original id XOR a fixed constant),
+//                       modeling a session-id collision in the event bus
+inline constexpr char kChaosSiteAgentEventDrop[] = "agent.event_drop";
+inline constexpr char kChaosSiteAgentDupSession[] = "agent.dup_session";
 
 enum class FaultMode {
   kOff = 0,    // never inject (the default for every registered site)

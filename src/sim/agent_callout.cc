@@ -1,0 +1,97 @@
+#include "src/sim/agent_callout.h"
+
+#include <string>
+
+namespace osguard {
+
+void AgentGovernor::SetChaos(ChaosEngine* chaos) {
+  chaos_ = chaos;
+  if (chaos_ != nullptr) {
+    drop_site_ = chaos_->RegisterSite(kChaosSiteAgentEventDrop);
+    dup_site_ = chaos_->RegisterSite(kChaosSiteAgentDupSession);
+  } else {
+    drop_site_ = kInvalidChaosSite;
+    dup_site_ = kInvalidChaosSite;
+  }
+}
+
+AgentAdmitVerdict AgentGovernor::Process(const agent::ToolCallEvent& event,
+                                         SimTime now) {
+  using agent::ToolClass;
+  FeatureStore& store = *store_;
+  const AgentAdmitVerdict verdict = DecideAgentAdmission(store, event, now);
+  if (verdict != AgentAdmitVerdict::kAllow) {
+    store.Increment(kAgentKeyGovRejected);
+    switch (verdict) {
+      case AgentAdmitVerdict::kDeny:
+        store.Increment(kAgentKeyGovDenied);
+        break;
+      case AgentAdmitVerdict::kThrottle:
+        store.Increment(kAgentKeyGovThrottled);
+        break;
+      case AgentAdmitVerdict::kKill: {
+        // Kill is permanent: latch the per-session bit on first rejection so
+        // later calls short-circuit without consulting agent.ctl.*.
+        const std::string killed_key = AgentSessionKey(event.session, "killed");
+        if (!store.LoadOr(killed_key, Value(false)).AsBool().value_or(false)) {
+          store.Save(killed_key, Value(true));
+          store.Increment(kAgentKeyGovKilled);
+        }
+        break;
+      }
+      case AgentAdmitVerdict::kAllow:
+        break;
+    }
+    return verdict;
+  }
+
+  // --- Publication (accepted call) ---
+  // Contains() sees scalars only, so series bounds are gated on scalar
+  // sentinels: the events counter for the global stream, the per-session
+  // "seen" bit for the session series.
+  if (!store.Contains(kAgentKeyEvents)) {
+    store.SetSeriesOptions(kAgentKeyCallsStream, options_.stream_series);
+  }
+  store.Increment(kAgentKeyEvents);
+  const std::string calls_key = AgentSessionKey(event.session, "calls");
+  const std::string seen_key = AgentSessionKey(event.session, "seen");
+  if (!store.Contains(seen_key)) {
+    store.SetSeriesOptions(calls_key, options_.session_series);
+    store.Save(seen_key, Value(true));
+    store.Increment(kAgentKeySessions);
+  }
+  store.Observe(calls_key, now, 1.0);
+  store.Observe(kAgentKeyCallsStream, now, 1.0);
+  const char* tool_name = agent::ToolClassName(event.tool);
+  store.Increment(std::string(kAgentKeyCallsPrefix) + tool_name);
+  store.Increment(AgentSessionKey(event.session, tool_name));
+  store.Save(kAgentKeyLastSession, Value(static_cast<int64_t>(event.session)));
+  store.Save(kAgentKeyLastTool, Value(static_cast<int64_t>(event.tool)));
+  store.Save(kAgentKeyLastFingerprint,
+             Value(static_cast<int64_t>(event.fingerprint)));
+  // Windowed per-session rate: session id first, then the count, so the
+  // ONCHANGE watcher of agent.rate.current reads a consistent pair.
+  const double in_window =
+      store.Aggregate(calls_key, AggKind::kCount, options_.rate_window, now)
+          .value_or(0.0);
+  store.Save(kAgentKeyRateSession, Value(static_cast<int64_t>(event.session)));
+  store.Save(kAgentKeyRateCurrent, Value(in_window));
+  // Taint tracking (the "no network send after reading secrets" property).
+  const std::string taint_key = AgentSessionKey(event.session, "taint");
+  if (event.tool == ToolClass::kFile && event.secret) {
+    if (!store.LoadOr(taint_key, Value(false)).AsBool().value_or(false)) {
+      store.Save(taint_key, Value(true));
+      store.Increment(kAgentKeyTaintSessions);
+    }
+  } else if (event.tool == ToolClass::kNet &&
+             store.LoadOr(taint_key, Value(false)).AsBool().value_or(false)) {
+    // Offender id before the counter: the ONCHANGE spec fires on the
+    // increment and reads the session to kill.
+    store.Save(kAgentKeyTaintLastSession,
+               Value(static_cast<int64_t>(event.session)));
+    store.Increment(kAgentKeyTaintNetAfterSecret);
+  }
+  return verdict;
+}
+
+}  // namespace osguard

@@ -1,0 +1,123 @@
+// The agent tool-call callout domain (docs/AGENT.md).
+//
+// Kernel::OnToolCall delivers one instrumented agent tool call; this module
+// is the governance path it runs through:
+//
+//   chaos (event_drop / dup_session)        — Kernel::OnToolCall
+//     -> admission (deny / throttle / kill) — DecideAgentAdmission,
+//        reading the agent.ctl.* control keys guardrail actions SAVE
+//     -> feature publication                — AgentGovernor::Process,
+//        per-session windowed call rates, per-tool counters, the
+//        secret-read taint bit, and the taint->network sequence counter
+//     -> engine callout                     — Callout("agent.tool_call"),
+//        firing FUNCTION monitors and committing a persist frame
+//
+// Every piece of governance state lives in the feature store, never in
+// kernel RAM: publication is expressed entirely through Save / Increment /
+// Observe, so crash consistency (persist journal) and serial-vs-sharded
+// bit-identity fall out of the existing infrastructure. The governor object
+// itself is stateless apart from configuration and chaos site ids, which is
+// what makes Kernel::Reboot's store Reset() safe — there are no cached
+// KeyIds to go stale.
+//
+// Sequence property support: on a secret file read the governor sets the
+// session's taint bit; on a network call from a tainted session it SAVEs
+// agent.taint.last_session *then* increments agent.taint.net_after_secret.
+// External store writes dispatch ONCHANGE monitors synchronously, so a
+// "no network send after reading secrets" spec watching the counter runs
+// (and kills the offender via agent.ctl.kill_session) before OnToolCall
+// even returns — the session's next call is already rejected.
+
+#ifndef SRC_SIM_AGENT_CALLOUT_H_
+#define SRC_SIM_AGENT_CALLOUT_H_
+
+#include <cstdint>
+
+#include "src/actions/agent_control.h"
+#include "src/agent/tool_call.h"
+#include "src/chaos/chaos.h"
+#include "src/store/feature_store.h"
+#include "src/support/time.h"
+
+namespace osguard {
+
+// --- Published feature keys (read side for specs) ---
+
+// Monotone count of accepted tool calls.
+inline constexpr char kAgentKeyEvents[] = "agent.events";
+// Count of distinct sessions that made at least one accepted call.
+inline constexpr char kAgentKeySessions[] = "agent.sessions";
+// Global accepted-call time series (windowed rate limits aggregate this).
+inline constexpr char kAgentKeyCallsStream[] = "agent.calls.stream";
+// Per-tool accepted-call counters: "agent.calls.file|net|exec".
+inline constexpr char kAgentKeyCallsPrefix[] = "agent.calls.";
+// Windowed call count of the session that made the latest accepted call;
+// agent.rate.session (written first) names that session. ONCHANGE watchers
+// of agent.rate.current see a consistent (session, count) pair.
+inline constexpr char kAgentKeyRateCurrent[] = "agent.rate.current";
+inline constexpr char kAgentKeyRateSession[] = "agent.rate.session";
+// Latest accepted call: session id, tool class ordinal, fingerprint.
+inline constexpr char kAgentKeyLastSession[] = "agent.last.session";
+inline constexpr char kAgentKeyLastTool[] = "agent.last.tool";
+inline constexpr char kAgentKeyLastFingerprint[] = "agent.last.fingerprint";
+// Count of sessions whose taint bit was ever set (secret file reads).
+inline constexpr char kAgentKeyTaintSessions[] = "agent.taint.sessions";
+// Sequence-property pair: the offender id is written *before* the counter
+// increments, so the ONCHANGE watcher reads a consistent offender.
+inline constexpr char kAgentKeyTaintLastSession[] = "agent.taint.last_session";
+inline constexpr char kAgentKeyTaintNetAfterSecret[] = "agent.taint.net_after_secret";
+// Admission outcome counters.
+inline constexpr char kAgentKeyGovDenied[] = "agent.gov.denied";
+inline constexpr char kAgentKeyGovThrottled[] = "agent.gov.throttled";
+inline constexpr char kAgentKeyGovKilled[] = "agent.gov.killed";
+inline constexpr char kAgentKeyGovRejected[] = "agent.gov.rejected";
+
+// The instrumented function name FUNCTION monitors hook.
+inline constexpr char kAgentCalloutFunction[] = "agent.tool_call";
+
+// Ghost-session derivation for agent.dup_session (see chaos.h).
+inline constexpr uint64_t kAgentGhostSessionXor = 0x8000000000000000ull;
+
+struct AgentGovernorOptions {
+  // Window for the published per-session rate (agent.rate.current).
+  Duration rate_window = Seconds(1);
+  // Retention for the per-session call series: enough for rate windows and
+  // throttle windows, bounded so a million sessions cannot eat the host.
+  SeriesOptions session_series{.max_samples = 1024, .max_age = Seconds(30)};
+  // Retention for the global call stream.
+  SeriesOptions stream_series{.max_samples = 65536, .max_age = Seconds(60)};
+};
+
+// Admission + publication for one tool call. Owned by the Kernel; borrows
+// the store. Deterministic: output state is a pure function of (store
+// state, event, now).
+class AgentGovernor {
+ public:
+  explicit AgentGovernor(FeatureStore* store, AgentGovernorOptions options = {})
+      : store_(store), options_(options) {}
+
+  // Registers the chaos sites (null detaches). Site ids are stable for the
+  // chaos engine's lifetime, so re-attaching after Kernel::Reboot is cheap.
+  void SetChaos(ChaosEngine* chaos);
+  ChaosSiteId drop_site() const { return drop_site_; }
+  ChaosSiteId dup_site() const { return dup_site_; }
+
+  const AgentGovernorOptions& options() const { return options_; }
+  void set_options(const AgentGovernorOptions& options) { options_ = options; }
+
+  // Runs admission and, when admitted, publishes the call's features.
+  // Does NOT fire the engine callout — the Kernel does that, so the
+  // governor stays engine-agnostic.
+  AgentAdmitVerdict Process(const agent::ToolCallEvent& event, SimTime now);
+
+ private:
+  FeatureStore* store_;
+  AgentGovernorOptions options_;
+  ChaosEngine* chaos_ = nullptr;
+  ChaosSiteId drop_site_ = kInvalidChaosSite;
+  ChaosSiteId dup_site_ = kInvalidChaosSite;
+};
+
+}  // namespace osguard
+
+#endif  // SRC_SIM_AGENT_CALLOUT_H_

@@ -1,5 +1,6 @@
 #include "src/sim/kernel.h"
 
+#include <algorithm>
 #include <utility>
 
 #include "src/support/logging.h"
@@ -105,6 +106,45 @@ Result<RecoveryInfo> Kernel::RebootInner() {
   info.cold_start = true;
   info.detail = "warm restart failed, cold start: " + recovered.status().ToString();
   return info;
+}
+
+AgentAdmitVerdict Kernel::OnToolCall(const agent::ToolCallEvent& event) {
+  if (panicked_) {
+    // A dead kernel executes no tool calls; nothing is observed or stored.
+    return AgentAdmitVerdict::kKill;
+  }
+  const SimTime t = std::max(queue_.now(), event.at);
+  const auto fire_callout = [&] {
+    if (sharded_ != nullptr) {
+      sharded_->OnFunctionCall(kAgentCalloutFunction, t);
+    } else {
+      engine_->OnFunctionCall(kAgentCalloutFunction, t);
+    }
+  };
+  if (chaos_ != nullptr) {
+    // Drop first (a lost event cannot be duplicated). Unarmed sites consume
+    // no randomness, preserving the chaos-off == chaos-absent differential.
+    if (agent_governor_.drop_site() != kInvalidChaosSite &&
+        chaos_->ShouldInject(agent_governor_.drop_site(), t)) {
+      return AgentAdmitVerdict::kAllow;
+    }
+    if (agent_governor_.dup_site() != kInvalidChaosSite &&
+        chaos_->ShouldInject(agent_governor_.dup_site(), t)) {
+      // The duplicate is delivered under a ghost session id, modeling a
+      // session-id collision in the event bus; each delivery gets its own
+      // callout, exactly as doubled instrumentation would.
+      const AgentAdmitVerdict verdict = agent_governor_.Process(event, t);
+      fire_callout();
+      agent::ToolCallEvent ghost = event;
+      ghost.session ^= kAgentGhostSessionXor;
+      agent_governor_.Process(ghost, t);
+      fire_callout();
+      return verdict;
+    }
+  }
+  const AgentAdmitVerdict verdict = agent_governor_.Process(event, t);
+  fire_callout();
+  return verdict;
 }
 
 void Kernel::Run(SimTime until) {

@@ -19,11 +19,14 @@
 #include <string>
 #include <vector>
 
+#include "src/actions/agent_control.h"
 #include "src/actions/task_control.h"
+#include "src/agent/tool_call.h"
 #include "src/chaos/chaos.h"
 #include "src/persist/persist.h"
 #include "src/runtime/engine.h"
 #include "src/runtime/sharded_engine.h"
+#include "src/sim/agent_callout.h"
 #include "src/sim/event_queue.h"
 #include "src/store/feature_store.h"
 
@@ -52,6 +55,7 @@ class Kernel {
   void AttachChaos(ChaosEngine* chaos) {
     chaos_ = chaos;
     engine_->SetChaos(chaos);
+    agent_governor_.SetChaos(chaos);
   }
   ChaosEngine* chaos() { return chaos_; }
 
@@ -105,6 +109,21 @@ class Kernel {
   // A panicked kernel does not run: the call returns immediately.
   void Run(SimTime until);
 
+  // Delivers one instrumented agent tool call (docs/AGENT.md): chaos
+  // (agent.event_drop / agent.dup_session), admission against the
+  // agent.ctl.* control keys guardrail actions write, feature publication,
+  // then the "agent.tool_call" engine callout — so FUNCTION monitors fire
+  // and a persist frame commits per event. Uses max(now, event.at) as the
+  // governance timestamp; drive the event queue to event.at first (the
+  // harness does) if TIMER monitors must interleave correctly. Returns the
+  // admission verdict for the primary event (kAllow for a chaos-dropped
+  // event: the underlying tool call ran, instrumentation lost it; kKill on
+  // a panicked kernel: a dead kernel executes no tool calls).
+  AgentAdmitVerdict OnToolCall(const agent::ToolCallEvent& event);
+
+  // The agent governance pipeline behind OnToolCall (configuration access).
+  AgentGovernor& agent_governor() { return agent_governor_; }
+
   // Marks an instrumented kernel function call at the current time. Dead
   // code on a panicked kernel: instrumented functions do not run mid-panic.
   void Callout(std::string_view function) {
@@ -145,6 +164,9 @@ class Kernel {
   FeatureStore store_;
   PolicyRegistry registry_;
   EventQueue queue_;
+  // Stateless apart from config + chaos site ids (all governance state is
+  // in store_), so it survives BuildEngine/Reboot untouched.
+  AgentGovernor agent_governor_{&store_};
   TaskControlShim task_control_shim_;
   std::unique_ptr<Engine> engine_;
   // Scheduling layer borrowing engine_; declared after it so the workers

@@ -1,0 +1,97 @@
+#include "src/wl/sessiongen.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace osguard {
+
+namespace {
+
+// Exponential gap in simulated nanoseconds with the given mean duration.
+// A zero/negative mean degenerates to back-to-back events.
+Duration ExpGap(Rng& rng, Duration mean) {
+  if (mean <= 0) {
+    return 0;
+  }
+  const double rate = 1.0 / static_cast<double>(mean);
+  return static_cast<Duration>(std::llround(rng.Exponential(rate)));
+}
+
+}  // namespace
+
+std::vector<agent::ToolCallEvent> SessionCallGenerator::Generate(SimTime start) {
+  using agent::ToolCallEvent;
+  using agent::ToolClass;
+  std::vector<ToolCallEvent> events;
+  const SessionWorkloadOptions& opt = options_;
+  const double arrival_rate =
+      opt.sessions_per_sec / static_cast<double>(Seconds(1));
+  // Phase 1: Poisson session arrivals over the horizon, each capturing its
+  // own derived seed. Per-session streams make the trace insensitive to how
+  // many *calls* earlier sessions made — only the arrival draw order counts.
+  struct SessionSeed {
+    SimTime arrival;
+    uint64_t id;
+    uint64_t seed;
+  };
+  std::vector<SessionSeed> sessions;
+  SimTime t = start;
+  uint64_t next_id = 1;
+  while (arrival_rate > 0.0 && next_id <= opt.max_sessions) {
+    t += static_cast<Duration>(std::llround(rng_.Exponential(arrival_rate)));
+    if (t >= start + opt.duration) {
+      break;
+    }
+    sessions.push_back({t, next_id++, rng_.NextU64()});
+  }
+  // Phase 2: each session unrolls bursts of calls from its private stream.
+  for (const SessionSeed& s : sessions) {
+    Rng srng(s.seed);
+    SimTime at = s.arrival;
+    // Geometric burst count with the configured mean (at least one burst).
+    const double stop_p = opt.mean_bursts >= 1.0 ? 1.0 / opt.mean_bursts : 1.0;
+    uint64_t bursts = 1;
+    while (!srng.Bernoulli(stop_p) && bursts < 64) {
+      ++bursts;
+    }
+    for (uint64_t b = 0; b < bursts; ++b) {
+      if (b > 0) {
+        at += ExpGap(srng, opt.mean_think);
+      }
+      // Heavy-tailed burst length: Pareto, truncated to keep memory sane.
+      const double raw = srng.Pareto(std::max(1.0, opt.burst_scale),
+                                     std::max(0.1, opt.burst_shape));
+      const uint64_t calls = std::min<uint64_t>(
+          opt.max_burst_calls, static_cast<uint64_t>(std::llround(raw)));
+      for (uint64_t c = 0; c < calls; ++c) {
+        if (c > 0) {
+          at += ExpGap(srng, opt.mean_intra_gap);
+        }
+        ToolCallEvent ev;
+        ev.at = at;
+        ev.session = s.id;
+        const double mix = srng.NextDouble();
+        if (mix < opt.net_fraction) {
+          ev.tool = ToolClass::kNet;
+        } else if (mix < opt.net_fraction + opt.exec_fraction) {
+          ev.tool = ToolClass::kExec;
+        } else {
+          ev.tool = ToolClass::kFile;
+        }
+        ev.fingerprint = srng.NextU64();
+        ev.secret =
+            ev.tool == ToolClass::kFile && srng.Bernoulli(opt.secret_fraction);
+        events.push_back(ev);
+      }
+    }
+  }
+  // Equal-timestamp events keep session arrival order (stable sort over a
+  // per-session-ordered build), so the merged trace is fully deterministic.
+  std::stable_sort(events.begin(), events.end(),
+                   [](const ToolCallEvent& a, const ToolCallEvent& b) {
+                     return a.at < b.at;
+                   });
+  return events;
+}
+
+}  // namespace osguard

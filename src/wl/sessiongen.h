@@ -1,0 +1,59 @@
+// Bursty multi-session agent workload generation (osguard::agent domain).
+//
+// Models a fleet of concurrent agent sessions issuing tool calls: sessions
+// arrive as a Poisson process, each session emits a sequence of bursts with
+// heavy-tailed (Pareto) lengths separated by exponential think time, and
+// every call carries a tool class, an argument-fingerprint hash, and a
+// secret-read flag. This is the traffic shape block I/O never exercises —
+// thousands of overlapping sessions, bursty per-session rates — and it is
+// the input side of the Kernel::OnToolCall callout domain (docs/AGENT.md).
+
+#ifndef SRC_WL_SESSIONGEN_H_
+#define SRC_WL_SESSIONGEN_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/agent/tool_call.h"
+#include "src/support/rng.h"
+#include "src/support/time.h"
+
+namespace osguard {
+
+struct SessionWorkloadOptions {
+  Duration duration = Seconds(10);       // session arrival horizon
+  double sessions_per_sec = 100.0;       // Poisson session arrival rate
+  uint64_t max_sessions = 100000;        // hard cap on spawned sessions
+  // Bursts per session: geometric with this mean (>= 1).
+  double mean_bursts = 3.0;
+  // Burst length in calls: Pareto(scale, shape), truncated at max.
+  double burst_scale = 2.0;              // Pareto xm (minimum burst length)
+  double burst_shape = 1.3;              // Pareto alpha; lower = heavier tail
+  uint64_t max_burst_calls = 512;
+  // Exponential gaps: tight within a burst, long between bursts.
+  Duration mean_intra_gap = Milliseconds(5);
+  Duration mean_think = Milliseconds(400);
+  // Per-call tool mix (remainder is file). Fractions must sum to <= 1.
+  double net_fraction = 0.25;
+  double exec_fraction = 0.05;
+  // P(secret flag | file call): how often a file read touches a secret path.
+  double secret_fraction = 0.01;
+};
+
+class SessionCallGenerator {
+ public:
+  SessionCallGenerator(SessionWorkloadOptions options, uint64_t seed)
+      : options_(options), rng_(seed) {}
+
+  // Generates the full trace starting at `start`, ordered by (time, session
+  // arrival order). Same (options, seed, start) => bit-identical trace.
+  std::vector<agent::ToolCallEvent> Generate(SimTime start = 0);
+
+ private:
+  SessionWorkloadOptions options_;
+  Rng rng_;
+};
+
+}  // namespace osguard
+
+#endif  // SRC_WL_SESSIONGEN_H_

@@ -1,0 +1,291 @@
+// Differential campaign for the agent callout path (docs/AGENT.md): the
+// serial engine is the oracle; the sharded engine and the panic+warm-restart
+// protocol must reproduce its observable state byte for byte. Each seed
+// derives a bursty multi-session tool-call workload (src/wl/sessiongen),
+// drives it through Kernel::OnToolCall on two kernels, and compares feature
+// store + report ring + engine image via the persist codec — the same
+// oracle shard_diff_test and persist_test use.
+//
+// 1000 seeds per run, split across four regimes:
+//   * 400 clean seeds        (FUNCTION-only agent specs: the parallel path —
+//                             the campaign asserts parallel evals happened)
+//   * 300 chaos seeds        (agent.event_drop, agent.dup_session,
+//                             engine.callout_drop/delay armed)
+//   * 200 governance seeds   (the shipped ONCHANGE specs: deny/throttle/
+//                             kill corrective loops; the classifier drops
+//                             these callouts to serial and the campaign
+//                             asserts that, too)
+//   * 100 persist seeds      (mid-trace panic + warm restart on both sides)
+// OSGUARD_CHAOS_SEED offsets the seed base so CI matrices explore fresh
+// seeds without code changes.
+
+#include <cstdint>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <span>
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "src/agent/harness.h"
+#include "src/chaos/chaos.h"
+#include "src/persist/persist.h"
+#include "src/runtime/sharded_engine.h"
+#include "src/sim/kernel.h"
+#include "src/support/logging.h"
+#include "src/support/rng.h"
+#include "src/wl/sessiongen.h"
+
+#ifndef OSGUARD_SPECS_DIR
+#define OSGUARD_SPECS_DIR "specs"
+#endif
+
+namespace osguard {
+namespace {
+
+namespace fs = std::filesystem;
+
+uint64_t SeedBase() {
+  const char* env = std::getenv("OSGUARD_CHAOS_SEED");
+  return env != nullptr ? static_cast<uint64_t>(std::strtoull(env, nullptr, 10)) : 0;
+}
+
+std::string GovernanceSpec() {
+  std::ifstream in(std::string(OSGUARD_SPECS_DIR) + "/agent_governance.osg");
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+// Pure-read FUNCTION monitors over the agent feature keys: no ONCHANGE, no
+// rule writes, no dynamic keys — fully parallel-eligible, so this spec set
+// exercises the sharded fan-out on the OnToolCall path.
+constexpr char kFunctionOnlySpec[] = R"(
+  guardrail agent-flood-watch {
+    trigger: { FUNCTION(agent.tool_call) },
+    rule: { RATE(agent.calls.stream, 500ms) <= 150 },
+    action: { REPORT("agent call storm") }
+  }
+  guardrail agent-exec-watch {
+    trigger: { FUNCTION(agent.tool_call) },
+    rule: { LOAD_OR(agent.calls.exec, 0) <= 5 },
+    action: { REPORT("exec heavy") }
+  }
+  guardrail agent-taint-watch {
+    trigger: { FUNCTION(agent.tool_call) },
+    rule: { LOAD_OR(agent.taint.net_after_secret, 0) <= 0 },
+    action: { REPORT("exfiltration observed") }
+  }
+  guardrail agent-session-watch {
+    trigger: { FUNCTION(agent.tool_call) },
+    rule: { LOAD_OR(agent.rate.current, 0) <= 40 },
+    action: { REPORT("session storm") }
+  }
+)";
+
+constexpr char kAgentChaosSpec[] = R"(
+  chaos {
+    site agent.event_drop { mode = bernoulli, p = 0.1 },
+    site agent.dup_session { mode = bernoulli, p = 0.08 },
+    site engine.callout_drop { mode = bernoulli, p = 0.05 },
+    site engine.callout_delay { mode = bernoulli, p = 0.05, latency = 2ms }
+  }
+)";
+
+struct RunConfig {
+  bool sharded = false;
+  size_t shards = 3;
+  bool governance_specs = false;     // shipped ONCHANGE specs vs FUNCTION-only
+  const char* chaos_spec = nullptr;  // extra source arming chaos sites
+  bool reboot = false;               // panic + warm restart mid-trace
+  std::string persist_dir;           // set iff reboot
+};
+
+// Per-seed workload shape: every parameter the generator exposes is varied
+// so the campaign sweeps arrival rates, burst tails, and tool mixes.
+SessionWorkloadOptions WorkloadFor(uint64_t seed) {
+  Rng rng(seed * 0x9E3779B97F4A7C15ull + 17);
+  SessionWorkloadOptions options;
+  options.duration = Milliseconds(static_cast<int64_t>(rng.UniformInt(250, 500)));
+  options.sessions_per_sec = rng.Uniform(50.0, 120.0);
+  options.mean_bursts = rng.Uniform(1.5, 4.0);
+  options.burst_shape = rng.Uniform(1.1, 2.0);
+  options.max_burst_calls = 64;
+  options.mean_intra_gap = Milliseconds(static_cast<int64_t>(rng.UniformInt(2, 10)));
+  options.mean_think = Milliseconds(static_cast<int64_t>(rng.UniformInt(50, 200)));
+  options.net_fraction = rng.Uniform(0.15, 0.4);
+  options.exec_fraction = rng.Uniform(0.02, 0.08);
+  options.secret_fraction = rng.Uniform(0.02, 0.1);
+  return options;
+}
+
+std::string RunWorkload(uint64_t seed, const RunConfig& config,
+                        ShardedStats* stats_out = nullptr) {
+  EngineOptions engine_options;
+  engine_options.measure_wall_time = false;
+  ShardingOptions sharding;
+  sharding.enabled = config.sharded;
+  sharding.shards = config.shards;
+  sharding.telemetry = false;
+  Kernel kernel(engine_options, sharding);
+
+  ChaosEngine chaos(seed);
+  if (config.chaos_spec != nullptr) {
+    kernel.AttachChaos(&chaos);
+  }
+  std::unique_ptr<PersistManager> persist;
+  if (config.reboot) {
+    PersistOptions persist_options;
+    persist_options.dir = config.persist_dir;
+    persist = std::make_unique<PersistManager>(persist_options);
+    kernel.AttachPersist(persist.get());
+  }
+  EXPECT_TRUE(kernel
+                  .LoadGuardrails(config.governance_specs
+                                      ? GovernanceSpec()
+                                      : std::string(kFunctionOnlySpec))
+                  .ok());
+  if (config.chaos_spec != nullptr) {
+    EXPECT_TRUE(kernel.LoadGuardrails(config.chaos_spec).ok());
+  }
+  if (persist != nullptr) {
+    EXPECT_TRUE(persist->Open().ok());
+  }
+
+  const agent::Harness harness(WorkloadFor(seed), seed);
+  if (config.reboot) {
+    // Crash protocol: deliver half the trace, panic, warm-restart, resume at
+    // the same event index. Every OnToolCall commits a journal frame, so
+    // recovery restores the state as of the last delivered event; serial and
+    // sharded kernels crash at the same index and must land on the same
+    // bytes.
+    const size_t half = harness.events().size() / 2;
+    const std::span<const agent::ToolCallEvent> events(harness.events());
+    agent::ReplayTrace(kernel, events.first(half));
+    kernel.Panic();
+    auto recovery = kernel.Reboot();
+    EXPECT_TRUE(recovery.ok());
+    if (recovery.ok()) {
+      EXPECT_FALSE(recovery.value().cold_start);
+    }
+    agent::ReplayTrace(kernel, events, half);
+  } else {
+    harness.Drive(kernel);
+  }
+
+  if (stats_out != nullptr && kernel.sharded_engine() != nullptr) {
+    *stats_out = kernel.sharded_engine()->stats();
+  }
+  Snapshot snapshot;
+  snapshot.store = kernel.store().DumpSlots();
+  snapshot.report_ring = kernel.engine().EncodeReportRing();
+  snapshot.image = kernel.engine().EncodeImage();
+  return EncodeSnapshot(snapshot);
+}
+
+class AgentDiffTest : public ::testing::Test {
+ protected:
+  AgentDiffTest() { Logger::Global().set_level(LogLevel::kOff); }
+
+  fs::path FreshDir(const std::string& name) {
+    fs::path dir = fs::temp_directory_path() / ("osguard_agent_diff_" + name);
+    fs::remove_all(dir);
+    fs::create_directories(dir);
+    return dir;
+  }
+};
+
+TEST_F(AgentDiffTest, CleanSeedsSerialVsSharded) {
+  const uint64_t base = SeedBase();
+  uint64_t parallel_evals = 0;
+  for (uint64_t i = 0; i < 400; ++i) {
+    const uint64_t seed = base + i;
+    RunConfig serial;
+    RunConfig sharded;
+    sharded.sharded = true;
+    ShardedStats stats;
+    const std::string expect = RunWorkload(seed, serial);
+    const std::string actual = RunWorkload(seed, sharded, &stats);
+    ASSERT_EQ(expect, actual) << "seed=" << seed;
+    parallel_evals += stats.parallel_evals;
+  }
+  // The equivalence is only meaningful if the agent callout actually took
+  // the parallel path (FUNCTION-only monitors are batch-eligible).
+  EXPECT_GT(parallel_evals, 0u);
+}
+
+TEST_F(AgentDiffTest, ChaosArmedSeeds) {
+  const uint64_t base = SeedBase() + 0x50000;
+  for (uint64_t i = 0; i < 300; ++i) {
+    const uint64_t seed = base + i;
+    RunConfig serial;
+    serial.chaos_spec = kAgentChaosSpec;
+    RunConfig sharded = serial;
+    sharded.sharded = true;
+    ASSERT_EQ(RunWorkload(seed, serial), RunWorkload(seed, sharded))
+        << "seed=" << seed;
+  }
+}
+
+TEST_F(AgentDiffTest, GovernanceSpecSeedsFallBackToSerial) {
+  const uint64_t base = SeedBase() + 0x60000;
+  uint64_t parallel_evals = 0;
+  uint64_t serial_callouts = 0;
+  for (uint64_t i = 0; i < 200; ++i) {
+    const uint64_t seed = base + i;
+    RunConfig serial;
+    serial.governance_specs = true;
+    RunConfig sharded = serial;
+    sharded.sharded = true;
+    ShardedStats stats;
+    const std::string expect = RunWorkload(seed, serial);
+    const std::string actual = RunWorkload(seed, sharded, &stats);
+    ASSERT_EQ(expect, actual) << "seed=" << seed;
+    parallel_evals += stats.parallel_evals;
+    serial_callouts += stats.serial_callouts;
+  }
+  // ONCHANGE monitors force the conservative whole-callout serial fallback
+  // (docs/SHARDING.md); the corrective loops must still be bit-identical.
+  EXPECT_EQ(parallel_evals, 0u);
+  EXPECT_GT(serial_callouts, 0u);
+}
+
+TEST_F(AgentDiffTest, PersistWarmRestartSeeds) {
+  const uint64_t base = SeedBase() + 0x80000;
+  const fs::path serial_dir = FreshDir("serial");
+  const fs::path sharded_dir = FreshDir("sharded");
+  for (uint64_t i = 0; i < 100; ++i) {
+    const uint64_t seed = base + i;
+    RunConfig serial;
+    serial.governance_specs = true;
+    serial.reboot = true;
+    serial.persist_dir = (serial_dir / std::to_string(seed)).string();
+    RunConfig sharded = serial;
+    sharded.sharded = true;
+    sharded.persist_dir = (sharded_dir / std::to_string(seed)).string();
+    fs::create_directories(serial.persist_dir);
+    fs::create_directories(sharded.persist_dir);
+    ASSERT_EQ(RunWorkload(seed, serial), RunWorkload(seed, sharded))
+        << "seed=" << seed;
+  }
+  fs::remove_all(serial_dir);
+  fs::remove_all(sharded_dir);
+}
+
+TEST_F(AgentDiffTest, ShardWidthSweep) {
+  const uint64_t seed = SeedBase() + 0x70000;
+  RunConfig serial;
+  const std::string expect = RunWorkload(seed, serial);
+  for (size_t shards : {1u, 2u, 4u, 8u}) {
+    RunConfig config;
+    config.sharded = true;
+    config.shards = shards;
+    ASSERT_EQ(expect, RunWorkload(seed, config)) << "shards=" << shards;
+  }
+}
+
+}  // namespace
+}  // namespace osguard

@@ -14,10 +14,12 @@
 #include <string>
 #include <tuple>
 
+#include "src/agent/trace.h"
 #include "src/dsl/lexer.h"
 #include "src/dsl/parser.h"
 #include "src/dsl/sema.h"
 #include "src/persist/persist.h"
+#include "src/wl/sessiongen.h"
 #include "src/runtime/helper_env.h"
 #include "src/support/rng.h"
 #include "src/vm/compiler.h"
@@ -341,6 +343,143 @@ TEST(FuzzTest, PersistCorpusBinarySeedsDecodeStably) {
     }
   }
   EXPECT_GE(files, 5) << "binary corpus went missing from " << corpus_dir;
+}
+
+// --- osguard::agent trace decoder targets ---
+// Tool-call traces cross a trust boundary (operators replay recorded agent
+// sessions through the governor), so the decoder gets the same treatment as
+// the persist codecs: never crash, reject garbage with a clean error, and
+// diagnose identical inputs identically.
+
+// DecodeTrace reduced to a comparable verdict.
+std::pair<bool, std::string> TraceVerdict(const std::string& text) {
+  auto decoded = agent::DecodeTrace(text);
+  if (!decoded.ok()) {
+    return {false, std::string(decoded.status().message())};
+  }
+  return {true, ""};
+}
+
+TEST(FuzzTest, RandomBytesNeverCrashTheAgentTraceDecoder) {
+  Rng rng(909);
+  for (int iteration = 0; iteration < 3000; ++iteration) {
+    std::string garbage;
+    const int length = static_cast<int>(rng.UniformInt(0, 200));
+    for (int i = 0; i < length; ++i) {
+      // Bias toward the decoder's own alphabet so mutations reach deep into
+      // the field parsers instead of dying at the first byte.
+      if (rng.Bernoulli(0.7)) {
+        constexpr char kAlphabet[] = "0123456789,\n#filenetxc -";
+        garbage += kAlphabet[rng.UniformInt(0, sizeof(kAlphabet) - 2)];
+      } else {
+        garbage += static_cast<char>(rng.UniformInt(0, 255));
+      }
+    }
+    const auto first = TraceVerdict(garbage);
+    EXPECT_EQ(first, TraceVerdict(garbage));  // stable verdict AND message
+    if (!first.first) {
+      EXPECT_FALSE(first.second.empty());
+    }
+  }
+}
+
+TEST(FuzzTest, MutatedAgentTracesDiagnoseStably) {
+  // Start from a real generated workload so the valid baseline is large and
+  // structurally diverse, then mutate it every way a file on disk can rot.
+  SessionWorkloadOptions options;
+  options.duration = Milliseconds(300);
+  options.sessions_per_sec = 60.0;
+  const std::vector<agent::ToolCallEvent> events =
+      SessionCallGenerator(options, 909).Generate();
+  ASSERT_GT(events.size(), 50u);
+  const std::string valid = agent::EncodeTrace(events);
+  auto round_trip = agent::DecodeTrace(valid);
+  ASSERT_TRUE(round_trip.ok());
+  ASSERT_EQ(round_trip.value(), events);
+
+  Rng rng(1010);
+  int rejected = 0;
+  for (int iteration = 0; iteration < 2000; ++iteration) {
+    std::string mutated = valid;
+    switch (rng.UniformInt(0, 3)) {
+      case 0: {  // single byte corruption
+        const size_t at = static_cast<size_t>(
+            rng.UniformInt(0, static_cast<int64_t>(mutated.size()) - 1));
+        mutated[at] = static_cast<char>(rng.UniformInt(0, 255));
+        break;
+      }
+      case 1:  // truncated tail (may split a line mid-field)
+        mutated.resize(static_cast<size_t>(
+            rng.UniformInt(0, static_cast<int64_t>(mutated.size()))));
+        break;
+      case 2: {  // duplicated line range (breaks timestamp monotonicity)
+        const size_t at = static_cast<size_t>(
+            rng.UniformInt(0, static_cast<int64_t>(mutated.size()) - 1));
+        mutated.insert(at, valid.substr(0, static_cast<size_t>(
+                               rng.UniformInt(1, 40))));
+        break;
+      }
+      default:  // garbage appended after the valid lines
+        for (int i = 0; i < 16; ++i) {
+          mutated += static_cast<char>(rng.UniformInt(0, 255));
+        }
+        break;
+    }
+    const auto first = TraceVerdict(mutated);
+    EXPECT_EQ(first, TraceVerdict(mutated));
+    if (!first.first) {
+      ++rejected;
+      EXPECT_FALSE(first.second.empty());
+    }
+  }
+  // Most mutations break the format; the rest must decode cleanly (e.g. a
+  // truncation on a line boundary is a shorter valid trace).
+  EXPECT_GT(rejected, 1000);
+}
+
+TEST(FuzzTest, GeneratedWorkloadsRoundTripThroughTheTraceCodec) {
+  // Differential property across many seeds: Encode then Decode is the
+  // identity on every stream the workload generator can emit.
+  for (uint64_t seed = 1; seed <= 100; ++seed) {
+    SessionWorkloadOptions options;
+    options.duration = Milliseconds(150);
+    options.sessions_per_sec = 80.0;
+    options.secret_fraction = 0.1;
+    const std::vector<agent::ToolCallEvent> events =
+        SessionCallGenerator(options, seed).Generate();
+    auto decoded = agent::DecodeTrace(agent::EncodeTrace(events));
+    ASSERT_TRUE(decoded.ok()) << "seed=" << seed << ": "
+                              << decoded.status().ToString();
+    EXPECT_EQ(decoded.value(), events) << "seed=" << seed;
+  }
+}
+
+TEST(FuzzTest, AgentTraceCorpusDecodesStably) {
+  // Seed corpus under tests/corpus/*.trace: files named valid_* must decode
+  // cleanly, files named invalid_* must be rejected with a non-empty
+  // message; both twice, with identical diagnostics.
+  const std::filesystem::path corpus_dir = OSGUARD_CORPUS_DIR;
+  ASSERT_TRUE(std::filesystem::exists(corpus_dir)) << corpus_dir;
+  int files = 0;
+  for (const auto& entry : std::filesystem::directory_iterator(corpus_dir)) {
+    if (entry.path().extension() != ".trace") {
+      continue;
+    }
+    ++files;
+    std::ifstream in(entry.path(), std::ios::binary);
+    std::string text((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+    const auto first = TraceVerdict(text);
+    EXPECT_EQ(first, TraceVerdict(text)) << entry.path();
+    const std::string stem = entry.path().stem().string();
+    if (stem.rfind("valid_", 0) == 0) {
+      EXPECT_TRUE(first.first) << entry.path() << ": " << first.second;
+    } else if (stem.rfind("invalid_", 0) == 0) {
+      EXPECT_FALSE(first.first) << entry.path();
+      EXPECT_FALSE(first.second.empty()) << entry.path();
+    }
+  }
+  EXPECT_GE(files, 5) << "trace corpus went missing from " << corpus_dir;
 }
 
 TEST(FuzzTest, RandomBytesNeverCrashTheLexer) {

@@ -34,7 +34,7 @@ std::string ReadFile(const std::filesystem::path& path) {
   return buffer.str();
 }
 
-TEST(SpecCorpusTest, CorpusIsNonEmpty) { EXPECT_GE(SpecFiles().size(), 3u); }
+TEST(SpecCorpusTest, CorpusIsNonEmpty) { EXPECT_GE(SpecFiles().size(), 4u); }
 
 TEST(SpecCorpusTest, EveryShippedSpecCompilesAndVerifies) {
   for (const auto& path : SpecFiles()) {
@@ -44,6 +44,21 @@ TEST(SpecCorpusTest, EveryShippedSpecCompilesAndVerifies) {
       EXPECT_FALSE(compiled.value().empty()) << path;
     }
   }
+}
+
+TEST(SpecCorpusTest, AgentGovernanceSpecShipsAllThreeFamilies) {
+  const auto path =
+      std::filesystem::path(OSGUARD_SPECS_DIR) / "agent_governance.osg";
+  auto compiled = CompileSource(ReadFile(path));
+  ASSERT_TRUE(compiled.ok()) << compiled.status().ToString();
+  std::vector<std::string> names;
+  for (const CompiledGuardrail& guardrail : compiled.value()) {
+    names.push_back(guardrail.name);
+  }
+  std::sort(names.begin(), names.end());
+  EXPECT_EQ(names, (std::vector<std::string>{
+                       "agent-exec-allowlist", "agent-global-rate",
+                       "agent-secret-flow", "agent-session-rate"}));
 }
 
 TEST(SpecCorpusTest, Listing2SpecMatchesPaperShape) {

@@ -52,6 +52,15 @@
 //                   exit(1) if it is not. The >= 4x speedup bound is
 //                   enforced only on hosts with >= 8 hardware threads
 //                   (reported as sharded_gate_enforced).
+//   --agent         run the E11 tool-call governance experiment instead and
+//                   emit bench "agent" (BENCH_agent.json): a 1000-seed
+//                   serial-vs-sharded identity campaign plus a 100-seed
+//                   panic/warm-restart arm on the OnToolCall path, the
+//                   scripted incident/clean trace gates (sequence kill lands
+//                   within the violating callout; the clean trace trips
+//                   nothing), and p50/p99 per-tool-call admission overhead
+//                   governed vs ungoverned. Exits 1 if any identity or
+//                   containment gate fails.
 //   --supervisor    run the ext7 supervisor experiment instead and emit
 //                   bench "supervisor" (BENCH_supervisor.json): trip rate of
 //                   the undamped E2 oscillating pair with and without the
@@ -69,19 +78,26 @@
 #include <cstdlib>
 #include <cstring>
 #include <filesystem>
+#include <fstream>
 #include <memory>
 #include <new>
+#include <span>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include <algorithm>
 
+#include "src/actions/agent_control.h"
+#include "src/agent/harness.h"
 #include "src/chaos/chaos.h"
 #include "src/linnos/harness.h"
 #include "src/persist/persist.h"
 #include "src/runtime/engine.h"
 #include "src/runtime/sharded_engine.h"
+#include "src/sim/agent_callout.h"
+#include "src/sim/kernel.h"
 #include "src/support/logging.h"
 #include "src/support/rng.h"
 #include "src/vm/native_aot.h"
@@ -1068,6 +1084,297 @@ bool RunShardedBench(std::vector<Metric>& metrics, bool& sharded_ok) {
   return true;
 }
 
+// --- --agent: the E11 tool-call governance experiment -----------------------
+// Three gates mirroring docs/AGENT.md and the `ctest -L agent` battery, sized
+// for a CI release job:
+//   (a) 1000-seed identity campaign — serial vs sharded on generated bursty
+//       multi-session workloads under the shipped governance specs, plus a
+//       100-seed warm-restart arm whose panic+recover+resume state must be
+//       bit-identical to an uninterrupted run of the same seed;
+//   (b) scripted incident / clean traces — the sequence family must land its
+//       kill inside the violating callout (so the second net-after-secret
+//       send is already rejected and the taint counter stays at 1), and the
+//       clean trace must produce zero reports and write no control keys;
+//   (c) per-tool-call admission overhead — p50/p99 ns per OnToolCall with
+//       the governance specs loaded vs with no guardrails at all.
+
+namespace agentbench {
+
+std::string GovernanceSpecSource() {
+  std::ifstream in(std::string(OSGUARD_SPECS_DIR) + "/agent_governance.osg");
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+SessionWorkloadOptions WorkloadFor(uint64_t seed) {
+  Rng rng(seed * 0x9E3779B97F4A7C15ull + 17);
+  SessionWorkloadOptions options;
+  options.duration = Milliseconds(static_cast<int64_t>(rng.UniformInt(100, 250)));
+  options.sessions_per_sec = rng.Uniform(40.0, 100.0);
+  options.mean_bursts = rng.Uniform(1.5, 4.0);
+  options.burst_shape = rng.Uniform(1.1, 2.0);
+  options.max_burst_calls = 64;
+  options.mean_intra_gap = Milliseconds(static_cast<int64_t>(rng.UniformInt(2, 10)));
+  options.mean_think = Milliseconds(static_cast<int64_t>(rng.UniformInt(50, 200)));
+  options.net_fraction = rng.Uniform(0.15, 0.4);
+  options.exec_fraction = rng.Uniform(0.02, 0.08);
+  options.secret_fraction = rng.Uniform(0.02, 0.1);
+  return options;
+}
+
+std::string StateBytes(Kernel& kernel) {
+  Snapshot snapshot;
+  snapshot.store = kernel.store().DumpSlots();
+  snapshot.report_ring = kernel.engine().EncodeReportRing();
+  snapshot.image = kernel.engine().EncodeImage();
+  return EncodeSnapshot(snapshot);
+}
+
+std::unique_ptr<Kernel> MakeKernel(const std::string& spec, bool sharded) {
+  EngineOptions options;
+  options.measure_wall_time = false;
+  ShardingOptions sharding;
+  sharding.enabled = sharded;
+  sharding.telemetry = false;
+  auto kernel = std::make_unique<Kernel>(options, sharding);
+  if (!spec.empty() && !kernel->LoadGuardrails(spec).ok()) {
+    return nullptr;
+  }
+  return kernel;
+}
+
+}  // namespace agentbench
+
+bool RunAgentBench(std::vector<Metric>& metrics, bool& agent_ok) {
+  namespace fs = std::filesystem;
+  using agentbench::MakeKernel;
+  using agentbench::StateBytes;
+  const std::string spec = agentbench::GovernanceSpecSource();
+  if (spec.empty()) {
+    std::fprintf(stderr, "benchjson: --agent: cannot read agent_governance.osg\n");
+    return false;
+  }
+
+  // (a) identity campaign: serial vs sharded across 1000 seeded workloads.
+  constexpr uint64_t kIdentitySeeds = 1000;
+  uint64_t identity_failures = 0;
+  for (uint64_t seed = 1; seed <= kIdentitySeeds; ++seed) {
+    const agent::Harness harness(agentbench::WorkloadFor(seed), seed);
+    auto serial = MakeKernel(spec, /*sharded=*/false);
+    auto sharded = MakeKernel(spec, /*sharded=*/true);
+    if (serial == nullptr || sharded == nullptr) {
+      return false;
+    }
+    harness.Drive(*serial);
+    harness.Drive(*sharded);
+    if (StateBytes(*serial) != StateBytes(*sharded)) {
+      ++identity_failures;
+    }
+  }
+
+  // Warm-restart arm: panic mid-trace, recover, resume; compare against an
+  // uninterrupted journaled run of the same seed.
+  constexpr uint64_t kRestartSeeds = 100;
+  uint64_t restart_failures = 0;
+  std::error_code ec;
+  const fs::path root = fs::temp_directory_path(ec) / "osguard-benchjson-agent";
+  fs::remove_all(root, ec);
+  fs::create_directories(root, ec);
+  if (ec) {
+    std::fprintf(stderr, "benchjson: --agent: cannot create %s\n", root.c_str());
+    return false;
+  }
+  for (uint64_t seed = 1; seed <= kRestartSeeds; ++seed) {
+    const agent::Harness harness(agentbench::WorkloadFor(seed), seed);
+    std::string want;
+    {
+      PersistOptions popts;
+      popts.dir = (root / ("ref" + std::to_string(seed))).string();
+      fs::create_directories(popts.dir, ec);
+      PersistManager persist(popts);
+      auto kernel = MakeKernel(spec, /*sharded=*/false);
+      if (kernel == nullptr) {
+        return false;
+      }
+      kernel->AttachPersist(&persist);
+      if (!persist.Open().ok()) {
+        return false;
+      }
+      harness.Drive(*kernel);
+      want = StateBytes(*kernel);
+    }
+    {
+      PersistOptions popts;
+      popts.dir = (root / ("crash" + std::to_string(seed))).string();
+      fs::create_directories(popts.dir, ec);
+      PersistManager persist(popts);
+      auto kernel = MakeKernel(spec, /*sharded=*/false);
+      if (kernel == nullptr) {
+        return false;
+      }
+      kernel->AttachPersist(&persist);
+      if (!persist.Open().ok()) {
+        return false;
+      }
+      const std::span<const agent::ToolCallEvent> events(harness.events());
+      const size_t half = events.size() / 2;
+      agent::ReplayTrace(*kernel, events.first(half));
+      kernel->Panic();
+      auto recovery = kernel->Reboot();
+      if (!recovery.ok() || recovery.value().cold_start) {
+        ++restart_failures;
+        continue;
+      }
+      agent::ReplayTrace(*kernel, events, half);
+      if (StateBytes(*kernel) != want) {
+        ++restart_failures;
+      }
+    }
+  }
+  fs::remove_all(root, ec);
+
+  metrics.push_back(Metric{"agent_identity_seeds",
+                           static_cast<double>(kIdentitySeeds), "count"});
+  metrics.push_back(Metric{"agent_identity_failures",
+                           static_cast<double>(identity_failures), "count"});
+  metrics.push_back(Metric{"agent_restart_seeds",
+                           static_cast<double>(kRestartSeeds), "count"});
+  metrics.push_back(Metric{"agent_restart_failures",
+                           static_cast<double>(restart_failures), "count"});
+
+  // (b) scripted incident + clean traces against the shipped specs.
+  const std::vector<agent::ToolCallEvent> incident = agent::MakeIncidentTrace();
+  auto incident_kernel = MakeKernel(spec, /*sharded=*/false);
+  if (incident_kernel == nullptr) {
+    return false;
+  }
+  const agent::DriveResult incident_result =
+      agent::ReplayTrace(*incident_kernel, incident);
+  // Containment proof: the kill lands inside the first net-after-secret
+  // callout, so the remaining sends are rejected before they can write the
+  // taint counter — it must end the trace at exactly 1.
+  const double taint_count =
+      incident_kernel->store()
+          .LoadOr(kAgentKeyTaintNetAfterSecret, Value(0.0))
+          .NumericOr(0.0);
+  const auto& reporter = incident_kernel->engine().reporter();
+  const bool families_tripped =
+      reporter.CountFor("agent-global-rate") >= 1 &&
+      reporter.CountFor("agent-session-rate") >= 1 &&
+      reporter.CountFor("agent-exec-allowlist") >= 1 &&
+      reporter.CountFor("agent-secret-flow") >= 1;
+  const bool seq_contained = taint_count == 1.0 && incident_result.killed == 2;
+  const bool incident_ok = families_tripped && seq_contained &&
+                           incident_result.denied == 2 &&
+                           incident_result.throttled > 0;
+
+  const std::vector<agent::ToolCallEvent> clean = agent::MakeCleanTrace();
+  auto clean_kernel = MakeKernel(spec, /*sharded=*/false);
+  if (clean_kernel == nullptr) {
+    return false;
+  }
+  const agent::DriveResult clean_result = agent::ReplayTrace(*clean_kernel, clean);
+  const bool clean_ok =
+      clean_result.allowed == clean.size() &&
+      clean_kernel->engine().reporter().total_reports() == 0 &&
+      !clean_kernel->store().Contains(kAgentCtlThrottleSession) &&
+      !clean_kernel->store().Contains(kAgentCtlKillSession);
+
+  metrics.push_back(Metric{"agent_incident_events",
+                           static_cast<double>(incident.size()), "count"});
+  metrics.push_back(Metric{"agent_incident_throttled",
+                           static_cast<double>(incident_result.throttled), "count"});
+  metrics.push_back(Metric{"agent_incident_denied",
+                           static_cast<double>(incident_result.denied), "count"});
+  metrics.push_back(Metric{"agent_incident_killed",
+                           static_cast<double>(incident_result.killed), "count"});
+  metrics.push_back(
+      Metric{"agent_seq_trip_within_one_callout", seq_contained ? 1.0 : 0.0, "bool"});
+  metrics.push_back(Metric{"agent_clean_events",
+                           static_cast<double>(clean.size()), "count"});
+  metrics.push_back(
+      Metric{"agent_clean_false_trips",
+             static_cast<double>(clean_kernel->engine().reporter().total_reports()),
+             "count"});
+
+  // (c) per-tool-call overhead, governed vs ungoverned.
+  const agent::Harness perf_harness(
+      [] {
+        SessionWorkloadOptions options;
+        options.duration = Seconds(2);
+        options.sessions_per_sec = 120.0;
+        options.secret_fraction = 0.05;
+        return options;
+      }(),
+      /*seed=*/424242);
+  double p50_ns[2] = {0.0, 0.0};
+  double p99_ns[2] = {0.0, 0.0};
+  double calls_per_sec[2] = {0.0, 0.0};
+  for (const bool governed : {false, true}) {
+    auto kernel = MakeKernel(governed ? spec : std::string(), /*sharded=*/false);
+    if (kernel == nullptr) {
+      return false;
+    }
+    std::vector<double> samples;
+    samples.reserve(perf_harness.events().size());
+    double total_ns = 0.0;
+    for (const agent::ToolCallEvent& ev : perf_harness.events()) {
+      kernel->Run(ev.at);
+      const int64_t start = WallNs();
+      (void)kernel->OnToolCall(ev);
+      const double ns = static_cast<double>(WallNs() - start);
+      samples.push_back(ns);
+      total_ns += ns;
+    }
+    std::sort(samples.begin(), samples.end());
+    const size_t last = samples.size() - 1;
+    p50_ns[governed ? 1 : 0] = samples[last / 2];
+    p99_ns[governed ? 1 : 0] =
+        samples[static_cast<size_t>(static_cast<double>(last) * 0.99)];
+    calls_per_sec[governed ? 1 : 0] =
+        total_ns > 0.0 ? static_cast<double>(samples.size()) * 1e9 / total_ns : 0.0;
+  }
+  metrics.push_back(Metric{"agent_perf_tool_calls",
+                           static_cast<double>(perf_harness.events().size()), "count"});
+  metrics.push_back(Metric{"agent_ungoverned_p50_ns", p50_ns[0], "ns"});
+  metrics.push_back(Metric{"agent_ungoverned_p99_ns", p99_ns[0], "ns"});
+  metrics.push_back(Metric{"agent_governed_p50_ns", p50_ns[1], "ns"});
+  metrics.push_back(Metric{"agent_governed_p99_ns", p99_ns[1], "ns"});
+  metrics.push_back(Metric{"agent_overhead_p99_ns", p99_ns[1] - p99_ns[0], "ns"});
+  metrics.push_back(
+      Metric{"agent_tool_calls_per_sec_governed", calls_per_sec[1], "per_sec"});
+
+  agent_ok = true;
+  if (identity_failures > 0) {
+    std::fprintf(stderr,
+                 "benchjson: --agent: %llu/%llu seeds diverged between serial "
+                 "and sharded\n",
+                 static_cast<unsigned long long>(identity_failures),
+                 static_cast<unsigned long long>(kIdentitySeeds));
+    agent_ok = false;
+  }
+  if (restart_failures > 0) {
+    std::fprintf(stderr,
+                 "benchjson: --agent: %llu/%llu warm restarts diverged from the "
+                 "uninterrupted run\n",
+                 static_cast<unsigned long long>(restart_failures),
+                 static_cast<unsigned long long>(kRestartSeeds));
+    agent_ok = false;
+  }
+  if (!incident_ok) {
+    std::fprintf(stderr,
+                 "benchjson: --agent: incident trace missed a guardrail family "
+                 "or the sequence kill escaped its callout\n");
+    agent_ok = false;
+  }
+  if (!clean_ok) {
+    std::fprintf(stderr, "benchjson: --agent: clean trace tripped a guardrail\n");
+    agent_ok = false;
+  }
+  return true;
+}
+
 int Main(int argc, char** argv) {
   Logger::Global().set_level(LogLevel::kOff);
   bool strict_alloc = false;
@@ -1076,6 +1383,7 @@ int Main(int argc, char** argv) {
   bool native = false;
   bool persist = false;
   bool sharded = false;
+  bool agent = false;
   const char* out_path = nullptr;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--strict-alloc") == 0) {
@@ -1090,12 +1398,14 @@ int Main(int argc, char** argv) {
       persist = true;
     } else if (std::strcmp(argv[i], "--sharded") == 0) {
       sharded = true;
+    } else if (std::strcmp(argv[i], "--agent") == 0) {
+      agent = true;
     } else if (std::strcmp(argv[i], "-o") == 0 && i + 1 < argc) {
       out_path = argv[++i];
     } else {
       std::fprintf(stderr,
                    "usage: benchjson [--strict-alloc] [--chaos] [--supervisor] "
-                   "[--native] [--persist] [--sharded] [-o FILE]\n");
+                   "[--native] [--persist] [--sharded] [--agent] [-o FILE]\n");
       return 2;
     }
   }
@@ -1106,6 +1416,7 @@ int Main(int argc, char** argv) {
   bool native_ok = true;
   bool persist_ok = true;
   bool sharded_ok = true;
+  bool agent_ok = true;
   if (chaos) {
     if (!RunChaosBench(metrics, chaos_contained)) {
       return 1;
@@ -1124,6 +1435,10 @@ int Main(int argc, char** argv) {
     }
   } else if (sharded) {
     if (!RunShardedBench(metrics, sharded_ok)) {
+      return 1;
+    }
+  } else if (agent) {
+    if (!RunAgentBench(metrics, agent_ok)) {
       return 1;
     }
   } else {
@@ -1148,7 +1463,9 @@ int Main(int argc, char** argv) {
                    ? "supervisor"
                    : (native ? "native"
                              : (persist ? "persist"
-                                        : (sharded ? "sharded" : "hotpath"))));
+                                        : (sharded ? "sharded"
+                                                   : (agent ? "agent"
+                                                            : "hotpath")))));
   std::string json = std::string("{\n  \"bench\": \"") + bench_name +
                      "\",\n  \"schema_version\": 1,\n  \"metrics\": [\n";
   for (size_t i = 0; i < metrics.size(); ++i) {
@@ -1175,6 +1492,9 @@ int Main(int argc, char** argv) {
   } else if (sharded) {
     std::snprintf(tail, sizeof(tail), "  ],\n  \"sharded_ok\": %s\n}\n",
                   sharded_ok ? "true" : "false");
+  } else if (agent) {
+    std::snprintf(tail, sizeof(tail), "  ],\n  \"agent_ok\": %s\n}\n",
+                  agent_ok ? "true" : "false");
   } else {
     std::snprintf(tail, sizeof(tail), "  ],\n  \"ns_per_eval_mean\": %.2f\n}\n", mean);
   }
@@ -1218,6 +1538,12 @@ int Main(int argc, char** argv) {
     std::fprintf(stderr,
                  "benchjson: FAIL --sharded: sharded engine diverged from the serial "
                  "oracle or missed the scaling bound\n");
+    return 1;
+  }
+  if (agent && !agent_ok) {
+    std::fprintf(stderr,
+                 "benchjson: FAIL --agent: governance identity, containment, or "
+                 "clean-trace gate failed\n");
     return 1;
   }
   if (strict_alloc) {
