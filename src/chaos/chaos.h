@@ -80,6 +80,17 @@ inline constexpr char kChaosSitePersistSnapshotFail[] = "persist.snapshot_fail";
 //                       modeling a session-id collision in the event bus
 inline constexpr char kChaosSiteAgentEventDrop[] = "agent.event_drop";
 inline constexpr char kChaosSiteAgentDupSession[] = "agent.dup_session";
+// Sharded-engine worker faults (osguard::ShardedEngine). Drawn by the
+// coordinator once per flushed shard, in shard-index order, so the draw
+// sequence replays deterministically; the injection itself only perturbs
+// *scheduling* (the watchdog steals the stranded tasks and re-runs them
+// inline), never results — state stays bit-identical to the serial oracle:
+//   shard.worker_stall — the shard's worker sleeps past the watchdog deadline
+//                        before claiming this batch's tasks (decision value in
+//                        (0,1] scales the stall; full deadline x4 when unset)
+//   shard.worker_die   — the shard's worker thread exits before claiming
+inline constexpr char kChaosSiteShardWorkerStall[] = "shard.worker_stall";
+inline constexpr char kChaosSiteShardWorkerDie[] = "shard.worker_die";
 
 enum class FaultMode {
   kOff = 0,    // never inject (the default for every registered site)

@@ -44,6 +44,18 @@ std::string_view TierHintName(TierHint tier) {
   return "?";
 }
 
+std::string_view CriticalityName(Criticality criticality) {
+  switch (criticality) {
+    case Criticality::kStandard:
+      return "standard";
+    case Criticality::kCritical:
+      return "critical";
+    case Criticality::kBestEffort:
+      return "besteffort";
+  }
+  return "?";
+}
+
 namespace {
 
 std::string Where(const Expr& expr) {
@@ -284,6 +296,17 @@ Result<GuardrailMeta> AnalyzeMeta(const GuardrailDecl& decl) {
         meta.tier = TierHint::kNative;
       } else {
         return SemanticError("tier must be auto|interpreter|native" + loc);
+      }
+    } else if (attr.key == "criticality") {
+      OSGUARD_ASSIGN_OR_RETURN(std::string s, attr.value.AsString());
+      if (s == "critical") {
+        meta.criticality = Criticality::kCritical;
+      } else if (s == "standard") {
+        meta.criticality = Criticality::kStandard;
+      } else if (s == "besteffort") {
+        meta.criticality = Criticality::kBestEffort;
+      } else {
+        return SemanticError("criticality must be critical|standard|besteffort" + loc);
       }
     } else {
       return SemanticError("unknown meta attribute '" + attr.key + "'" + loc);

@@ -77,6 +77,20 @@ enum class TierHint {
 
 std::string_view TierHintName(TierHint tier);
 
+// Per-guardrail overload class from the meta block: under load shedding
+// (src/runtime/governor) `critical` monitors are never skipped, `standard`
+// monitors are shed only in the critical-only and fail-static ladder modes,
+// and `besteffort` monitors are the first to degrade (deterministically
+// sampled, then shed). Purely a scheduling class — with the governor off
+// (the default) it changes nothing.
+enum class Criticality {
+  kStandard = 0,
+  kCritical,
+  kBestEffort,
+};
+
+std::string_view CriticalityName(Criticality criticality);
+
 // Validated per-guardrail attributes from the meta block (with defaults).
 struct GuardrailMeta {
   Severity severity = Severity::kWarning;
@@ -90,6 +104,7 @@ struct GuardrailMeta {
   bool enabled = true;
   std::string description;
   TierHint tier = TierHint::kAuto;
+  Criticality criticality = Criticality::kStandard;
   // Supervisor configuration (default: unsupervised). Carried inside meta so
   // it flows through compilation to the runtime untouched.
   GuardrailHealth health;

@@ -137,6 +137,7 @@ Engine::Engine(FeatureStore* store, PolicyRegistry* registry, TaskControl* task_
   dispatcher_.SetStore(store);  // publishes the actions.* failure counters
   dispatcher_.SetMeasureWallTime(options_.measure_wall_time);
   supervisor_.SetStore(store);  // publishes the supervisor.* health keys
+  governor_.Configure(options_.governor, store);  // interns engine.governor.*
   pending_changes_.reserve(64);
   drain_batch_.reserve(64);
   if (options_.tier.enabled) {
@@ -402,6 +403,7 @@ void Engine::AdvanceTo(SimTime t) {
   now_ = std::max(now_, t);
   PublishUptimeStats();
   PublishTierStats();
+  FinishCalloutGovernor();
   CommitPersist();
 }
 
@@ -437,6 +439,7 @@ void Engine::OnFunctionCall(std::string_view function, SimTime t) {
   ApplyPendingRollbacks();  // after the loop: `it` is dead past this point
   PublishUptimeStats();
   PublishTierStats();
+  FinishCalloutGovernor();
   CommitPersist();
 }
 
@@ -796,6 +799,33 @@ void Engine::EvaluateInner(Monitor& monitor, SimTime t) {
 
 Engine::RuleEvalPrep Engine::BeginRuleEval(Monitor& monitor, SimTime t) {
   RuleEvalPrep prep;
+  if (governor_.enabled()) {
+    // Overload ladder first: a shed evaluation must cost nothing, so it
+    // skips even the supervisor gate (identically in serial and sharded
+    // runs — Begin order is hook order in both).
+    const GovernorDecision decision =
+        governor_.Admit(monitor.guardrail.meta.criticality, ++monitor.gov_attempts,
+                        monitor.gov_static_epoch);
+    if (decision == GovernorDecision::kShed) {
+      prep.skip = true;
+      return prep;
+    }
+    if (decision == GovernorDecision::kStatic) {
+      // Fail-static: pin this critical monitor's corrective action once as
+      // the safe static default for the episode, then suppress evaluation
+      // until the ladder de-escalates.
+      monitor.gov_static_epoch = governor_.fail_static_epoch();
+      governor_.CountStaticApply();
+      reporter_.Report(ReportRecord{0, t, ReportKind::kMonitorError,
+                                    monitor.guardrail.meta.severity,
+                                    monitor.guardrail.name,
+                                    "overload governor fail-static: applying corrective default",
+                                    {}});
+      RunActions(monitor, monitor.guardrail.action, t);
+      prep.skip = true;
+      return prep;
+    }
+  }
   if (monitor.guard != nullptr) {
     GuardHealth& guard = *monitor.guard;
     prep.gate = supervisor_.Gate(guard, t);
@@ -932,7 +962,9 @@ void Engine::FinishRuleEval(Monitor& monitor, SimTime t, const RuleEvalPrep& pre
 
 namespace {
 
-constexpr uint32_t kImageVersion = 1;
+// v2 appended the overload-governor ladder state (global + per-monitor): a
+// panic landing mid-degradation must warm-restart into the same ladder state.
+constexpr uint32_t kImageVersion = 2;
 
 void WriteReportRecord(ByteWriter& w, const ReportRecord& record) {
   w.U64(record.sequence);
@@ -989,7 +1021,73 @@ struct MonitorImage {
   uint64_t promote_at = 0;
   bool has_guard = false;
   GuardHealth guard;  // config / export keys unused; protocol fields only
+  uint64_t gov_attempts = 0;
+  uint64_t gov_static_epoch = 0;
 };
+
+void WriteGovernorImage(ByteWriter& w, const GovernorImage& g) {
+  w.U8(g.mode);
+  w.U8(g.primed ? 1 : 0);
+  w.F64(g.cost_ewma);
+  w.F64(g.gap_ewma);
+  w.F64(g.depth_ewma);
+  w.I64(g.last_now);
+  w.U64(g.last_evals);
+  w.I64(g.last_wall_ns);
+  w.I64(g.streak_up);
+  w.I64(g.streak_down);
+  w.U64(g.fail_static_epoch);
+  w.U64(g.stats.callouts);
+  w.U64(g.stats.transitions);
+  w.U64(g.stats.escalations);
+  w.U64(g.stats.deescalations);
+  w.U64(g.stats.sheds_besteffort);
+  w.U64(g.stats.sheds_standard);
+  w.U64(g.stats.sampled_evals);
+  w.U64(g.stats.static_applies);
+  w.U64(g.stats.static_suppressed);
+  w.U64(g.stats.critical_sheds);
+  w.U8(g.keys_published ? 1 : 0);
+  w.I64(g.pub_mode);
+  w.U64(g.pub_transitions);
+  w.U64(g.pub_sheds);
+  w.U64(g.pub_static);
+}
+
+Status ReadGovernorImage(ByteReader& r, GovernorImage* g) {
+  OSGUARD_ASSIGN_OR_RETURN(g->mode, r.U8());
+  if (g->mode > static_cast<uint8_t>(GovernorMode::kFailStatic)) {
+    return InvalidArgumentError("image: bad governor mode " + std::to_string(g->mode));
+  }
+  OSGUARD_ASSIGN_OR_RETURN(uint8_t primed, r.U8());
+  g->primed = primed != 0;
+  OSGUARD_ASSIGN_OR_RETURN(g->cost_ewma, r.F64());
+  OSGUARD_ASSIGN_OR_RETURN(g->gap_ewma, r.F64());
+  OSGUARD_ASSIGN_OR_RETURN(g->depth_ewma, r.F64());
+  OSGUARD_ASSIGN_OR_RETURN(g->last_now, r.I64());
+  OSGUARD_ASSIGN_OR_RETURN(g->last_evals, r.U64());
+  OSGUARD_ASSIGN_OR_RETURN(g->last_wall_ns, r.I64());
+  OSGUARD_ASSIGN_OR_RETURN(g->streak_up, r.I64());
+  OSGUARD_ASSIGN_OR_RETURN(g->streak_down, r.I64());
+  OSGUARD_ASSIGN_OR_RETURN(g->fail_static_epoch, r.U64());
+  OSGUARD_ASSIGN_OR_RETURN(g->stats.callouts, r.U64());
+  OSGUARD_ASSIGN_OR_RETURN(g->stats.transitions, r.U64());
+  OSGUARD_ASSIGN_OR_RETURN(g->stats.escalations, r.U64());
+  OSGUARD_ASSIGN_OR_RETURN(g->stats.deescalations, r.U64());
+  OSGUARD_ASSIGN_OR_RETURN(g->stats.sheds_besteffort, r.U64());
+  OSGUARD_ASSIGN_OR_RETURN(g->stats.sheds_standard, r.U64());
+  OSGUARD_ASSIGN_OR_RETURN(g->stats.sampled_evals, r.U64());
+  OSGUARD_ASSIGN_OR_RETURN(g->stats.static_applies, r.U64());
+  OSGUARD_ASSIGN_OR_RETURN(g->stats.static_suppressed, r.U64());
+  OSGUARD_ASSIGN_OR_RETURN(g->stats.critical_sheds, r.U64());
+  OSGUARD_ASSIGN_OR_RETURN(uint8_t keys_published, r.U8());
+  g->keys_published = keys_published != 0;
+  OSGUARD_ASSIGN_OR_RETURN(g->pub_mode, r.I64());
+  OSGUARD_ASSIGN_OR_RETURN(g->pub_transitions, r.U64());
+  OSGUARD_ASSIGN_OR_RETURN(g->pub_sheds, r.U64());
+  OSGUARD_ASSIGN_OR_RETURN(g->pub_static, r.U64());
+  return OkStatus();
+}
 
 void WriteGuardHealth(ByteWriter& w, const GuardHealth& g) {
   w.U8(static_cast<uint8_t>(g.state));
@@ -1094,6 +1192,8 @@ Status ReadMonitorImage(ByteReader& r, MonitorImage* m) {
   if (m->has_guard) {
     OSGUARD_RETURN_IF_ERROR(ReadGuardHealth(r, &m->guard));
   }
+  OSGUARD_ASSIGN_OR_RETURN(m->gov_attempts, r.U64());
+  OSGUARD_ASSIGN_OR_RETURN(m->gov_static_epoch, r.U64());
   return OkStatus();
 }
 
@@ -1105,6 +1205,14 @@ void Engine::SetPersist(PersistManager* persist) {
     persist_->AttachStore(store_);
     last_report_mark_ = reporter_.total_reports();
   }
+}
+
+void Engine::FinishCalloutGovernor() {
+  if (!governor_.enabled() || evaluating_) {
+    return;
+  }
+  governor_.OnCalloutEnd(now_, stats_.evaluations, stats_.total_wall_ns);
+  governor_.Publish();
 }
 
 void Engine::PublishUptimeStats() {
@@ -1229,6 +1337,7 @@ std::string Engine::EncodeImage() const {
   w.U64(sup.reinstatements);
   w.U64(sup.rollbacks);
   w.U64(sup.commits);
+  WriteGovernorImage(w, governor_.ExportState());
   w.U32(static_cast<uint32_t>(monitors_.size()));
   for (const auto& [name, monitor] : monitors_) {  // std::map: sorted order
     w.Str(name);
@@ -1254,6 +1363,8 @@ std::string Engine::EncodeImage() const {
     if (monitor->guard != nullptr) {
       WriteGuardHealth(w, *monitor->guard);
     }
+    w.U64(monitor->gov_attempts);
+    w.U64(monitor->gov_static_epoch);
   }
   // Live timer entries, drained in heap (timestamp) order; stale entries
   // are stale forever, so they are not worth persisting.
@@ -1379,6 +1490,9 @@ Status Engine::ApplyImage(std::string_view image) {
   OSGUARD_ASSIGN_OR_RETURN(sup.rollbacks, r.U64());
   OSGUARD_ASSIGN_OR_RETURN(sup.commits, r.U64());
   supervisor_.RestoreStats(sup);
+  GovernorImage gov;
+  OSGUARD_RETURN_IF_ERROR(ReadGovernorImage(r, &gov));
+  governor_.RestoreState(gov);
   OSGUARD_ASSIGN_OR_RETURN(uint32_t monitor_count, r.U32());
   for (uint32_t i = 0; i < monitor_count; ++i) {
     MonitorImage m;
@@ -1401,6 +1515,11 @@ Status Engine::ApplyImage(std::string_view image) {
     monitor.native = nullptr;
     monitor.native_failed = m.native_failed;
     monitor.promote_at = m.promoted ? 0 : m.promote_at;
+    // Governor per-monitor state: the sampling stride position and the
+    // fail-static episode already pinned must survive a warm restart, or the
+    // resumed run would re-apply the static default / shift the stride.
+    monitor.gov_attempts = m.gov_attempts;
+    monitor.gov_static_epoch = m.gov_static_epoch;
     if (m.has_guard) {
       if (monitor.guard == nullptr) {
         OSGUARD_LOG(kWarning)

@@ -43,6 +43,7 @@
 #include "src/actions/retrain.h"
 #include "src/actions/task_control.h"
 #include "src/persist/persist.h"
+#include "src/runtime/governor/governor.h"
 #include "src/runtime/helper_env.h"
 #include "src/runtime/native_exec.h"
 #include "src/store/feature_store.h"
@@ -132,6 +133,9 @@ struct EngineOptions {
   // bench turns it on, unit tests don't care).
   bool measure_wall_time = true;
   NativeTierOptions tier;
+  // Overload governor (src/runtime/governor): load shedding by criticality
+  // class when callout pressure spikes. Off by default (off == absent).
+  GovernorOptions governor;
 };
 
 class Engine {
@@ -237,6 +241,10 @@ class Engine {
   NativeAot* native_aot() { return aot_.get(); }
   bool TierOf(const std::string& name) const;
 
+  // Overload governor (inert unless EngineOptions::governor.enabled).
+  OverloadGovernor& governor() { return governor_; }
+  const OverloadGovernor& governor() const { return governor_; }
+
   // --- Crash consistency (osguard::persist) ---
 
   // Attaches the persist manager (borrowed; null detaches). From here on the
@@ -301,6 +309,13 @@ class Engine {
     // to it (publish happens at callout boundaries, only on change).
     KeyId uptime_key = kInvalidKeyId;
     uint64_t uptime_published = 0;
+
+    // --- Overload governor state ---
+    // Admission attempts (the deterministic sampling stride clock) and the
+    // fail-static episode whose corrective default this monitor has pinned
+    // (0 = none; compared against OverloadGovernor::fail_static_epoch()).
+    uint64_t gov_attempts = 0;
+    uint64_t gov_static_epoch = 0;
   };
 
   // Timer entries reference monitors by (name, generation) rather than by
@@ -369,6 +384,11 @@ class Engine {
   void QueueRollback(Monitor& monitor);
   void ApplyPendingRollbacks();
 
+  // Governor callout boundary: feed the cumulative eval/wall counters into
+  // the overload ladder and publish engine.governor.* (value-diffed). No-op
+  // mid-evaluation and when the governor is disabled.
+  void FinishCalloutGovernor();
+
   // --- Crash consistency (osguard::persist) ---
   // Publishes monitor.<name>.uptime_evals for monitors whose count moved.
   // Callout boundaries only, like PublishTierStats.
@@ -419,6 +439,7 @@ class Engine {
   ChaosSiteId callout_drop_site_ = kInvalidChaosSite;
   ChaosSiteId callout_delay_site_ = kInvalidChaosSite;
   GuardrailSupervisor supervisor_;
+  OverloadGovernor governor_;
   // (name, generation) of monitors whose probation deploy must roll back.
   std::vector<std::pair<std::string, uint64_t>> pending_rollbacks_;
   EngineStats stats_;

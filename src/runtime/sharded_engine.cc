@@ -171,13 +171,24 @@ ShardedEngine::ShardedEngine(Engine* engine, ShardingOptions options)
     n = hw > 1 ? hw - 1 : 1;
   }
   n = std::clamp<size_t>(n, 1, 16);
+  if (options_.ring_capacity == 0) {
+    // A zero-capacity ring could never admit a task; the batch path would
+    // flush forever without progress. Reject at construction (the ring
+    // itself rounds any valid capacity up to a power of two, minimum 2).
+    OSGUARD_LOG(kWarning) << "sharding ring_capacity 0 is invalid; using minimum of 2";
+    options_.ring_capacity = 2;
+  }
+  options_.probe_every = std::max<size_t>(options_.probe_every, 1);
+  options_.probe_batches = std::max<size_t>(options_.probe_batches, 1);
   shards_.reserve(n);
   for (size_t i = 0; i < n; ++i) {
     shards_.push_back(std::make_unique<Shard>(options_.ring_capacity));
   }
   for (size_t i = 0; i < n; ++i) {
     Shard* shard = shards_[i].get();
-    shard->thread = std::thread([this, shard] { WorkerLoop(*shard); });
+    SpscRing<EvalTask*>* ring = shard->ring.get();
+    std::shared_ptr<WorkerCtl> ctl = shard->ctl;
+    shard->thread = std::thread([this, shard, ring, ctl] { WorkerLoop(shard, ring, ctl); });
   }
   if (options_.telemetry) {
     FeatureStore& store = *engine_->store_;
@@ -186,6 +197,11 @@ ShardedEngine::ShardedEngine(Engine* engine, ShardingOptions options)
     k_parallel_ = store.InternKey("engine.shard.parallel_evals");
     k_serial_ = store.InternKey("engine.shard.serial_evals");
     k_merge_ns_ = store.InternKey("engine.shard.merge_ns");
+    k_timeouts_ = store.InternKey("engine.shard.watchdog_timeouts");
+    k_stolen_ = store.InternKey("engine.shard.stolen_evals");
+    k_respawns_ = store.InternKey("engine.shard.respawns");
+    k_quarantine_ = store.InternKey("engine.shard.quarantine_evals");
+    k_readmissions_ = store.InternKey("engine.shard.readmissions");
     k_shard_evals_.reserve(n);
     k_shard_hwm_.reserve(n);
     for (size_t i = 0; i < n; ++i) {
@@ -197,7 +213,7 @@ ShardedEngine::ShardedEngine(Engine* engine, ShardingOptions options)
     published_shard_hwm_.assign(n, 0);
   }
   OSGUARD_LOG(kDebug) << "sharded engine up: " << n << " shard worker(s), ring capacity "
-                      << shards_[0]->ring.capacity();
+                      << shards_[0]->ring->capacity();
 }
 
 ShardedEngine::~ShardedEngine() {
@@ -212,24 +228,49 @@ ShardedEngine::~ShardedEngine() {
       shard->thread.join();
     }
   }
+  // Retired workers exit on stop_ too (a chaos-stalled one wakes within a
+  // sleep slice); join them before the abandoned batches they point into die.
+  for (RetiredWorker& worker : retired_) {
+    if (worker.thread.joinable()) {
+      worker.thread.join();
+    }
+  }
 }
 
 void ShardedEngine::AdvanceTo(SimTime t) { engine_->AdvanceTo(t); }
 
-void ShardedEngine::WorkerLoop(Shard& shard) {
+void ShardedEngine::WorkerLoop(Shard* shard, SpscRing<EvalTask*>* ring,
+                               std::shared_ptr<WorkerCtl> ctl) {
   // Per-worker execution state: the Vm is not thread-safe, and the snapshot
-  // env's view/envelope are worker-local by design.
+  // env's view/envelope are worker-local by design. `ring` is passed
+  // explicitly (not shard->ring): after a respawn this worker keeps draining
+  // its *old* ring, whose tasks are all claimed by then.
   Vm vm;
   SnapshotHelperEnv env(engine_->store_);
   uint64_t seen_doorbell = doorbell_.load(std::memory_order_acquire);
   while (true) {
-    EvalTask* task = nullptr;
-    if (shard.ring.TryPop(&task)) {
-      ExecuteTask(*task, vm, env, shard);
-      continue;
+    if (stop_.load(std::memory_order_acquire) ||
+        ctl->exit.load(std::memory_order_acquire) ||
+        ctl->die.load(std::memory_order_acquire)) {
+      break;
     }
-    if (stop_.load(std::memory_order_acquire)) {
-      return;
+    const int64_t stall_until = ctl->stall_until_ns.load(std::memory_order_acquire);
+    if (stall_until != 0) {
+      if (WallNowNs() < stall_until) {
+        // Injected stall: sleep in short slices so exit/die/stop stay
+        // responsive (the watchdog will steal this worker's tasks meanwhile).
+        std::this_thread::sleep_for(std::chrono::microseconds(100));
+        continue;
+      }
+      ctl->stall_until_ns.store(0, std::memory_order_release);
+    }
+    EvalTask* task = nullptr;
+    if (ring->TryPop(&task)) {
+      if (!task->claimed.exchange(true, std::memory_order_acq_rel)) {
+        shard->evals.fetch_add(1, std::memory_order_relaxed);
+        ExecuteTask(*task, vm, env);
+      }
+      continue;
     }
     // Brief yield-spin bridges the gap between a flush's ring publishes and
     // its doorbell, then block until the next batch (workers cost nothing
@@ -237,23 +278,28 @@ void ShardedEngine::WorkerLoop(Shard& shard) {
     bool got = false;
     for (int spin = 0; spin < 64 && !got; ++spin) {
       std::this_thread::yield();
-      got = shard.ring.TryPop(&task);
+      got = ring->TryPop(&task);
     }
     if (got) {
-      ExecuteTask(*task, vm, env, shard);
+      if (!task->claimed.exchange(true, std::memory_order_acq_rel)) {
+        shard->evals.fetch_add(1, std::memory_order_relaxed);
+        ExecuteTask(*task, vm, env);
+      }
       continue;
     }
     std::unique_lock<std::mutex> lock(wake_mu_);
     wake_cv_.wait(lock, [&] {
       return stop_.load(std::memory_order_acquire) ||
+             ctl->exit.load(std::memory_order_acquire) ||
+             ctl->die.load(std::memory_order_acquire) ||
              doorbell_.load(std::memory_order_acquire) != seen_doorbell;
     });
     seen_doorbell = doorbell_.load(std::memory_order_acquire);
   }
+  ctl->exited.store(true, std::memory_order_release);
 }
 
-void ShardedEngine::ExecuteTask(EvalTask& task, Vm& vm, SnapshotHelperEnv& env,
-                                Shard& shard) {
+void ShardedEngine::ExecuteTask(EvalTask& task, Vm& vm, SnapshotHelperEnv& env) {
   Engine::Monitor& monitor = *task.monitor;
   env.Prepare(monitor.guardrail.name, monitor.guardrail.meta.severity, task.t,
               task.key_count);
@@ -278,8 +324,99 @@ void ShardedEngine::ExecuteTask(EvalTask& task, Vm& vm, SnapshotHelperEnv& env,
         monitor.guard != nullptr ? vm.stats().insns_executed - steps_before : 0;
   }
   task.wall_ns = measure_wall_ ? WallNowNs() - start : 0;
-  ++shard.evals;  // ordered before the coordinator's read by `done`
   task.done.store(true, std::memory_order_release);
+}
+
+void ShardedEngine::DrawWorkerChaos() {
+  // The worker-fault sites depend on the watchdog for containment: without a
+  // deadline a dead worker would strand the barrier forever, so the draws
+  // are skipped entirely when it is disabled (documented in chaos.h).
+  const ChaosEngine* chaos = engine_->chaos_;
+  if (chaos == nullptr || options_.watchdog_ns <= 0) {
+    return;
+  }
+  if (chaos != chaos_seen_) {
+    // AttachChaos may happen any time after construction (and Reboot swaps
+    // engines); register lazily and re-register if the engine changed.
+    chaos_seen_ = chaos;
+    ChaosEngine* mutable_chaos = engine_->chaos_;
+    stall_site_ = mutable_chaos->RegisterSite(kChaosSiteShardWorkerStall);
+    die_site_ = mutable_chaos->RegisterSite(kChaosSiteShardWorkerDie);
+  }
+  // One draw per involved shard per flush, shard-index order: the sequence
+  // is a pure function of (seed, flush history), independent of worker
+  // timing. The flags are set before the tasks are published, but a worker
+  // already spinning may claim a task first — chaos perturbs scheduling on a
+  // best-effort basis, and state identity holds either way.
+  ChaosEngine* mutable_chaos = engine_->chaos_;
+  const SimTime now = engine_->now_;
+  for (auto& shard : shards_) {
+    if (shard->inflight == 0) {
+      continue;
+    }
+    if (die_site_ != kInvalidChaosSite && mutable_chaos->ShouldInject(die_site_, now)) {
+      shard->ctl->die.store(true, std::memory_order_release);
+      continue;  // a dead worker cannot also stall
+    }
+    if (stall_site_ != kInvalidChaosSite) {
+      if (const FaultDecision d = mutable_chaos->Query(stall_site_, now)) {
+        const double frac = (d.value > 0.0 && d.value <= 1.0) ? d.value : 1.0;
+        const int64_t stall_ns =
+            static_cast<int64_t>(static_cast<double>(options_.watchdog_ns) * 4.0 * frac);
+        shard->ctl->stall_until_ns.store(WallNowNs() + stall_ns,
+                                         std::memory_order_release);
+      }
+    }
+  }
+}
+
+void ShardedEngine::RespawnWorker(Shard& shard) {
+  // Retire: the old worker keeps its ring (every task in it is claimed by
+  // now, so it can only pop-and-skip) and exits at the next flag check.
+  shard.ctl->exit.store(true, std::memory_order_release);
+  retired_.push_back(
+      RetiredWorker{std::move(shard.thread), std::move(shard.ring), shard.ctl});
+  {
+    std::lock_guard<std::mutex> lock(wake_mu_);
+    doorbell_.fetch_add(1, std::memory_order_release);
+  }
+  wake_cv_.notify_all();
+  // Respawn on a fresh ring + control block, quarantined until it proves
+  // itself over clean probe flushes.
+  shard.ring = std::make_unique<SpscRing<EvalTask*>>(options_.ring_capacity);
+  shard.ctl = std::make_shared<WorkerCtl>();
+  Shard* sp = &shard;
+  SpscRing<EvalTask*>* ring = shard.ring.get();
+  std::shared_ptr<WorkerCtl> ctl = shard.ctl;
+  shard.thread = std::thread([this, sp, ring, ctl] { WorkerLoop(sp, ring, ctl); });
+  shard.quarantined = true;
+  shard.clean_probes = 0;
+  shard.probe_clock = 0;
+  ++shard.respawns;
+  ++stats_.worker_respawns;
+  OSGUARD_LOG(kDebug) << "shard worker respawned (respawn #" << shard.respawns
+                      << "); shard quarantined pending " << options_.probe_batches
+                      << " clean probe(s)";
+}
+
+void ShardedEngine::ReapRetired() {
+  if (retired_.empty()) {
+    return;
+  }
+  for (auto it = retired_.begin(); it != retired_.end();) {
+    if (it->ctl->exited.load(std::memory_order_acquire)) {
+      if (it->thread.joinable()) {
+        it->thread.join();
+      }
+      it = retired_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  if (retired_.empty()) {
+    // No stale consumer can pop an abandoned task pointer anymore.
+    abandoned_.clear();
+  }
 }
 
 void ShardedEngine::RefreshPlan() {
@@ -389,6 +526,7 @@ void ShardedEngine::SerialCallout(const std::vector<Engine::Monitor*>& hooked) {
   e.ApplyPendingRollbacks();
   e.PublishUptimeStats();
   e.PublishTierStats();
+  e.FinishCalloutGovernor();
   PublishTelemetry();
   e.CommitPersist();
 }
@@ -396,6 +534,7 @@ void ShardedEngine::SerialCallout(const std::vector<Engine::Monitor*>& hooked) {
 void ShardedEngine::OnFunctionCall(std::string_view function, SimTime t) {
   Engine& e = *engine_;
   e.now_ = std::max(e.now_, t);
+  ReapRetired();
   if (e.function_hooks_.empty()) {
     return;
   }
@@ -437,7 +576,17 @@ void ShardedEngine::OnFunctionCall(std::string_view function, SimTime t) {
       continue;
     }
     Shard& shard = *shards_[mp.shard];
-    if (shard.inflight == shard.ring.capacity() ||
+    if (shard.quarantined && (++shard.probe_clock % options_.probe_every) != 0) {
+      // Quarantined shard: evaluate inline at the exact serial position
+      // (identical to the mp.serial path, so identity is untouched); every
+      // probe_every-th opportunity falls through as a probe of the fresh
+      // worker instead.
+      FlushBatch();
+      ++stats_.quarantine_evals;
+      e.Evaluate(*monitor, now);
+      continue;
+    }
+    if (shard.inflight == shard.ring->capacity() ||
         std::find(in_batch_.begin(), in_batch_.end(), monitor) != in_batch_.end()) {
       // Backpressure, or the same monitor twice in one callout (its second
       // Begin must observe its first Finish).
@@ -463,6 +612,7 @@ void ShardedEngine::OnFunctionCall(std::string_view function, SimTime t) {
   e.ApplyPendingRollbacks();
   e.PublishUptimeStats();
   e.PublishTierStats();
+  e.FinishCalloutGovernor();
   PublishTelemetry();
   e.CommitPersist();
 }
@@ -472,6 +622,16 @@ void ShardedEngine::FlushBatch() {
     return;
   }
   Engine& e = *engine_;
+  // Chaos worker faults are decided (and worker flags set) before the tasks
+  // are published, so a blocked worker observes them on wake-up.
+  DrawWorkerChaos();
+  // Track which quarantined shards this flush probes, before inflight resets.
+  std::vector<uint32_t> probing;
+  for (uint32_t i = 0; i < shards_.size(); ++i) {
+    if (shards_[i]->quarantined && shards_[i]->inflight > 0) {
+      probing.push_back(i);
+    }
+  }
   // Publish: tasks go to the rings only now, after every BeginRuleEval in the
   // batch has finished mutating the store. From here until the barrier the
   // coordinator performs no store access, so the workers' lock-free views
@@ -479,7 +639,7 @@ void ShardedEngine::FlushBatch() {
   for (EvalTask& task : batch_) {
     const uint32_t shard_id =
         plan_.at(task.monitor).shard;  // plan is stable within a callout
-    const bool pushed = shards_[shard_id]->ring.TryPush(&task);
+    const bool pushed = shards_[shard_id]->ring->TryPush(&task);
     (void)pushed;  // capacity was reserved at enqueue; cannot fail
   }
   {
@@ -487,11 +647,56 @@ void ShardedEngine::FlushBatch() {
     doorbell_.fetch_add(1, std::memory_order_release);
   }
   wake_cv_.notify_all();
-  // Completion barrier: each task's release-store of `done` publishes its
-  // result/steps and the worker's counters to the coordinator.
+  // Completion barrier with a watchdog deadline: each task's release-store
+  // of `done` publishes its result/steps to the coordinator. On expiry the
+  // coordinator recovers the batch itself (steal + inline re-run) instead of
+  // waiting on a stalled or dead worker.
+  const int64_t deadline_ns =
+      options_.watchdog_ns > 0 ? WallNowNs() + options_.watchdog_ns : 0;
+  bool timed_out = false;
   for (EvalTask& task : batch_) {
     while (!task.done.load(std::memory_order_acquire)) {
+      if (deadline_ns != 0 && WallNowNs() >= deadline_ns) {
+        timed_out = true;
+        break;
+      }
       std::this_thread::yield();
+    }
+    if (timed_out) {
+      break;
+    }
+  }
+  std::vector<uint32_t> failed_shards;
+  if (timed_out) {
+    ++stats_.watchdog_timeouts;
+    // Steal pass: claim-and-run every task no worker claimed. The claim CAS
+    // makes the executor unique, and rule purity makes the inline re-run
+    // bit-identical — a false positive (slow-but-alive worker) is merely a
+    // wasted evaluation, never a divergence.
+    Vm vm;
+    SnapshotHelperEnv env(engine_->store_);
+    std::vector<bool> stolen_from(shards_.size(), false);
+    for (EvalTask& task : batch_) {
+      if (task.done.load(std::memory_order_acquire)) {
+        continue;
+      }
+      if (!task.claimed.exchange(true, std::memory_order_acq_rel)) {
+        ExecuteTask(task, vm, env);
+        ++stats_.stolen_evals;
+        stolen_from[plan_.at(task.monitor).shard] = true;
+      }
+    }
+    // Tasks lost to the claim race have a live executor; wait them out
+    // without a deadline (rules are verifier-bounded).
+    for (EvalTask& task : batch_) {
+      while (!task.done.load(std::memory_order_acquire)) {
+        std::this_thread::yield();
+      }
+    }
+    for (uint32_t i = 0; i < shards_.size(); ++i) {
+      if (stolen_from[i]) {
+        failed_shards.push_back(i);
+      }
     }
   }
   // Deterministic merge: FinishRuleEval in the original enqueue (== serial)
@@ -510,10 +715,35 @@ void ShardedEngine::FlushBatch() {
   }
   stats_.merge_ns += WallNowNs() - merge_start;
   ++stats_.batches;
+  // Probe accounting and shard health transitions (coordinator-owned).
+  for (uint32_t i : probing) {
+    Shard& shard = *shards_[i];
+    if (timed_out && std::find(failed_shards.begin(), failed_shards.end(), i) !=
+                         failed_shards.end()) {
+      continue;  // failed its probe; RespawnWorker below restarts the count
+    }
+    ++stats_.probes;
+    if (++shard.clean_probes >= options_.probe_batches) {
+      shard.quarantined = false;
+      shard.clean_probes = 0;
+      ++stats_.readmissions;
+      OSGUARD_LOG(kDebug) << "shard " << i << " re-admitted after clean probes";
+    }
+  }
+  for (uint32_t i : failed_shards) {
+    RespawnWorker(*shards_[i]);
+  }
   for (auto& shard : shards_) {
     shard->inflight = 0;
   }
-  batch_.clear();
+  if (timed_out) {
+    // A retired worker may still pop these task pointers from its old ring;
+    // keep them alive until every retired worker is reaped.
+    abandoned_.push_back(std::move(batch_));
+    batch_ = std::deque<EvalTask>();
+  } else {
+    batch_.clear();
+  }
   in_batch_.clear();
 }
 
@@ -539,8 +769,14 @@ void ShardedEngine::PublishTelemetry() {
     published_.merge_ns = stats_.merge_ns;
     store.Save(k_merge_ns_, Value(stats_.merge_ns));
   }
+  publish(k_timeouts_, stats_.watchdog_timeouts, published_.watchdog_timeouts);
+  publish(k_stolen_, stats_.stolen_evals, published_.stolen_evals);
+  publish(k_respawns_, stats_.worker_respawns, published_.worker_respawns);
+  publish(k_quarantine_, stats_.quarantine_evals, published_.quarantine_evals);
+  publish(k_readmissions_, stats_.readmissions, published_.readmissions);
   for (size_t i = 0; i < shards_.size(); ++i) {
-    publish(k_shard_evals_[i], shards_[i]->evals, published_shard_evals_[i]);
+    publish(k_shard_evals_[i], shards_[i]->evals.load(std::memory_order_relaxed),
+            published_shard_evals_[i]);
     publish(k_shard_hwm_[i], shards_[i]->hwm, published_shard_hwm_[i]);
   }
 }

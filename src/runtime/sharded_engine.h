@@ -28,6 +28,21 @@
 // monitors, the native tier, an armed runtime.helper_fail chaos site,
 // actions with unprovable write sets) disable batching entirely for the
 // callout — the sharded engine then *is* the serial engine plus a branch.
+//
+// Self-healing (docs/GOVERNOR.md): the completion barrier carries a wall-
+// clock watchdog deadline. On expiry the coordinator *steals* every task its
+// worker never claimed (a claim CAS on the task guarantees exactly one
+// executor) and re-runs them inline — sound because rule programs are pure
+// reads, so re-execution is bit-identical and the identity contract holds
+// even on a false-positive steal. A shard whose tasks were stolen is
+// quarantined (its monitors evaluate inline at their serial position), its
+// worker is retired and a fresh one spawned, and the shard is re-admitted
+// after `probe_batches` clean probe flushes. Retired workers park on their
+// old ring (every task in it is already claimed) until reaped; the abandoned
+// batch storage is retained until then so a stale pop never dangles. The
+// chaos sites shard.worker_stall / shard.worker_die inject exactly the
+// faults this machinery contains, and the differential tests pin that a
+// stormed, stalled, killed sharded run still matches the serial oracle.
 
 #ifndef SRC_RUNTIME_SHARDED_ENGINE_H_
 #define SRC_RUNTIME_SHARDED_ENGINE_H_
@@ -42,6 +57,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "src/chaos/chaos.h"
 #include "src/runtime/engine.h"
 #include "src/runtime/helper_env.h"
 #include "src/store/feature_store.h"
@@ -58,10 +74,23 @@ struct ShardingOptions {
   // differential tests turn this off: telemetry is the one store surface
   // where serial and sharded runs legitimately differ.
   bool telemetry = true;
-  // Per-shard ring capacity (rounded up to a power of two). A batch never
-  // holds more than this many in-flight tasks per shard; the coordinator
-  // flushes early instead of blocking on a full ring.
+  // Per-shard ring capacity. Validated at construction: 0 is rejected (the
+  // engine logs and substitutes the minimum of 2), and any other value is
+  // rounded up to a power of two by the ring itself. A batch never holds
+  // more than this many in-flight tasks per shard; the coordinator flushes
+  // early instead of blocking on a full ring.
   size_t ring_capacity = 256;
+  // Watchdog deadline on the flush completion barrier, host nanoseconds;
+  // 0 disables the watchdog (and with it the shard.worker_* chaos draws,
+  // which would otherwise strand the barrier forever). The default is
+  // generous — three orders of magnitude above a typical batch — because a
+  // false-positive steal costs only a redundant inline evaluation.
+  int64_t watchdog_ns = 500'000'000;
+  // Consecutive clean probe flushes before a quarantined shard is re-admitted.
+  size_t probe_batches = 3;
+  // While quarantined, every `probe_every`-th enqueue opportunity routes to
+  // the shard's fresh worker as a probe; the rest evaluate inline.
+  size_t probe_every = 4;
 };
 
 // Aggregate counters, mirrored to engine.shard.* keys when telemetry is on.
@@ -71,6 +100,13 @@ struct ShardedStats {
   uint64_t serial_evals = 0;     // inline evaluations (per-monitor fallback)
   uint64_t serial_callouts = 0;  // callouts that ran fully serial (global fallback)
   int64_t merge_ns = 0;          // host-clock cost of in-order merges
+  // Watchdog / self-healing counters (engine.shard.* telemetry).
+  uint64_t watchdog_timeouts = 0;   // barriers that hit the deadline
+  uint64_t stolen_evals = 0;        // unclaimed tasks re-run inline by the coordinator
+  uint64_t worker_respawns = 0;     // workers retired + replaced
+  uint64_t quarantine_evals = 0;    // quarantined-shard tasks evaluated inline
+  uint64_t probes = 0;              // probe flushes routed to a quarantined shard
+  uint64_t readmissions = 0;        // shards restored to full service
 };
 
 // Worker-side HelperContext: the read-only subset of MonitorHelperEnv served
@@ -127,7 +163,13 @@ class ShardedEngine {
   const ShardedStats& stats() const { return stats_; }
   // Ring-occupancy high-water mark of shard `i` (telemetry).
   size_t RingHighWater(size_t i) const { return shards_[i]->hwm; }
-  uint64_t ShardEvals(size_t i) const { return shards_[i]->evals; }
+  uint64_t ShardEvals(size_t i) const {
+    return shards_[i]->evals.load(std::memory_order_relaxed);
+  }
+  bool ShardQuarantined(size_t i) const { return shards_[i]->quarantined; }
+  uint64_t ShardRespawns(size_t i) const { return shards_[i]->respawns; }
+  // Workers retired by the watchdog and not yet joined (coordinator thread).
+  size_t RetiredWorkerCount() const { return retired_.size(); }
 
  private:
   struct EvalTask {
@@ -139,20 +181,56 @@ class ShardedEngine {
     Result<Value> result = Value();
     int64_t steps = 0;
     int64_t wall_ns = 0;
+    // Claim CAS: whoever flips claimed false->true executes the task. The
+    // worker claims after popping; the watchdog claims when stealing. A task
+    // lost to the worker has a live executor, so the coordinator may wait
+    // for its `done` without a deadline.
+    std::atomic<bool> claimed{false};
     std::atomic<bool> done{false};
   };
 
+  // Per-worker control block, shared between the coordinator and one worker
+  // thread (and kept alive by the retired list after a respawn). `exit`
+  // retires the worker; `die` / `stall_until_ns` are the chaos payloads.
+  struct WorkerCtl {
+    std::atomic<bool> exit{false};
+    std::atomic<bool> exited{false};
+    std::atomic<bool> die{false};
+    std::atomic<int64_t> stall_until_ns{0};
+  };
+
   struct Shard {
-    explicit Shard(size_t capacity) : ring(capacity) {}
-    SpscRing<EvalTask*> ring;
+    Shard(size_t capacity)
+        : ring(std::make_unique<SpscRing<EvalTask*>>(capacity)),
+          ctl(std::make_shared<WorkerCtl>()) {}
+    // unique_ptr so a respawn can hand the old ring to the retired worker
+    // that still pops from it.
+    std::unique_ptr<SpscRing<EvalTask*>> ring;
+    std::shared_ptr<WorkerCtl> ctl;
     std::thread thread;
     // Batch-local producer-side occupancy (coordinator only).
     size_t inflight = 0;
-    // Telemetry. `evals` is written by the worker and read by the
-    // coordinator strictly after the completion barrier (the tasks' done
-    // acquire-loads order it); `hwm` is coordinator-owned.
-    uint64_t evals = 0;
+    // Telemetry. Atomic (relaxed) because a slow-but-alive worker may still
+    // be finishing its claimed task while the coordinator reads; `hwm` is
+    // coordinator-owned.
+    std::atomic<uint64_t> evals{0};
     size_t hwm = 0;
+    // Watchdog state, coordinator-owned. Quarantine affects only *where* a
+    // task runs (inline vs worker), never results — wall-clock-dependent
+    // scheduling stays outside the identity surface.
+    bool quarantined = false;
+    uint64_t clean_probes = 0;
+    uint64_t probe_clock = 0;
+    uint64_t respawns = 0;
+  };
+
+  // A worker retired by the watchdog: it keeps its old ring (whose tasks are
+  // all claimed, so it only pops and skips) until it observes `exit` and is
+  // joined by ReapRetired or the destructor.
+  struct RetiredWorker {
+    std::thread thread;
+    std::unique_ptr<SpscRing<EvalTask*>> ring;
+    std::shared_ptr<WorkerCtl> ctl;
   };
 
   // Eligibility classification of one monitor (plan entry).
@@ -161,8 +239,19 @@ class ShardedEngine {
     uint32_t shard = 0;
   };
 
-  void WorkerLoop(Shard& shard);
-  void ExecuteTask(EvalTask& task, Vm& vm, SnapshotHelperEnv& env, Shard& shard);
+  void WorkerLoop(Shard* shard, SpscRing<EvalTask*>* ring,
+                  std::shared_ptr<WorkerCtl> ctl);
+  void ExecuteTask(EvalTask& task, Vm& vm, SnapshotHelperEnv& env);
+
+  void RespawnWorker(Shard& shard);
+  // Joins retired workers that have observed their exit flag; once none
+  // remain, the abandoned batch storage is released.
+  void ReapRetired();
+  // Registers the shard.worker_* chaos sites once a chaos engine is attached
+  // (AttachChaos can happen after construction), then draws them — one draw
+  // per involved shard per flush, in shard-index order, so the sequence
+  // replays deterministically.
+  void DrawWorkerChaos();
 
   // Rebuilds the partition + eligibility plan iff the engine's monitor
   // topology changed since the cached plan was built.
@@ -182,9 +271,13 @@ class ShardedEngine {
 
   std::vector<std::unique_ptr<Shard>> shards_;
   // Batch storage: deque for pointer stability (tasks are shared with
-  // workers by address); cleared after every flush.
+  // workers by address); cleared after every flush. A timed-out batch is
+  // moved to abandoned_ instead — a retired worker may still pop its task
+  // pointers — and released once every retired worker is reaped.
   std::deque<EvalTask> batch_;
   std::vector<Engine::Monitor*> in_batch_;  // dup detection (batches are small)
+  std::vector<std::deque<EvalTask>> abandoned_;
+  std::vector<RetiredWorker> retired_;
 
   // Doorbell: workers sleep on the condvar when their ring is empty; the
   // coordinator bumps the counter under the mutex on every flush.
@@ -199,6 +292,12 @@ class ShardedEngine {
   bool plan_global_serial_ = false;  // topology-level: ONCHANGE / tier / writes
   std::unordered_map<const Engine::Monitor*, MonitorPlan> plan_;
 
+  // Chaos sites, registered lazily (off == absent: nothing registers until a
+  // chaos engine is attached, and kOff sites consume no randomness).
+  const ChaosEngine* chaos_seen_ = nullptr;
+  ChaosSiteId stall_site_ = kInvalidChaosSite;
+  ChaosSiteId die_site_ = kInvalidChaosSite;
+
   ShardedStats stats_;
   ShardedStats published_;  // last telemetry values written to the store
   bool telemetry_ready_ = false;
@@ -207,6 +306,11 @@ class ShardedEngine {
   KeyId k_parallel_ = kInvalidKeyId;
   KeyId k_serial_ = kInvalidKeyId;
   KeyId k_merge_ns_ = kInvalidKeyId;
+  KeyId k_timeouts_ = kInvalidKeyId;
+  KeyId k_stolen_ = kInvalidKeyId;
+  KeyId k_respawns_ = kInvalidKeyId;
+  KeyId k_quarantine_ = kInvalidKeyId;
+  KeyId k_readmissions_ = kInvalidKeyId;
   std::vector<KeyId> k_shard_evals_;
   std::vector<KeyId> k_shard_hwm_;
   std::vector<uint64_t> published_shard_evals_;

@@ -27,6 +27,10 @@ void Kernel::BuildEngine() {
   // Route store writes to the engine so ONCHANGE triggers fire.
   store_.SetWriteObserver(
       [this](KeyId id, const std::string& /*key*/) { engine_->OnStoreWrite(id); });
+  // The overload governor's queue-depth signal is the simulated event queue:
+  // a deterministic function of simulated state, so governed differential
+  // runs replay bit-identically.
+  engine_->governor().SetQueueProbe([this] { return queue_.size(); });
   if (chaos_ != nullptr) {
     engine_->SetChaos(chaos_);
   }

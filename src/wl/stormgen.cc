@@ -1,0 +1,48 @@
+#include "src/wl/stormgen.h"
+
+#include <cmath>
+
+namespace osguard {
+
+std::vector<StormEvent> StormGenerator::Generate(SimTime start) {
+  std::vector<StormEvent> trace;
+  SimTime phase_start = start;
+  const uint32_t phase_count = 1 + 2 * options_.cycles;
+  for (uint32_t i = 0; i < phase_count; ++i) {
+    const bool storm = (i % 2) == 1;
+    Duration duration = storm ? options_.storm : options_.calm;
+    if (i + 1 == phase_count) {
+      duration = options_.tail;
+    }
+    const double rate = storm ? options_.storm_rate : options_.calm_rate;
+    const SimTime phase_end = phase_start + duration;
+    if (rate > 0.0) {
+      SimTime t = phase_start;
+      while (true) {
+        const double gap_s = rng_.Exponential(rate);
+        t += static_cast<Duration>(gap_s * static_cast<double>(kSecond));
+        if (t >= phase_end) {
+          break;
+        }
+        trace.push_back(StormEvent{t, storm});
+      }
+    }
+    phase_start = phase_end;
+  }
+  return trace;
+}
+
+Duration StormGenerator::TotalDuration() const {
+  Duration total = 0;
+  const uint32_t phase_count = 1 + 2 * options_.cycles;
+  for (uint32_t i = 0; i < phase_count; ++i) {
+    if (i + 1 == phase_count) {
+      total += options_.tail;
+    } else {
+      total += (i % 2) == 1 ? options_.storm : options_.calm;
+    }
+  }
+  return total;
+}
+
+}  // namespace osguard

@@ -207,6 +207,61 @@ TEST_F(AgentTest, CleanTraceTripsNothing) {
   EXPECT_EQ(LoadNum(kernel, kAgentKeyEvents), static_cast<double>(trace.size()));
 }
 
+TEST_F(AgentTest, NetFingerprintOutsideBandKillsTheSession) {
+  Kernel kernel(QuietEngineOptions());
+  ASSERT_TRUE(kernel.LoadGuardrails(ReadSpecFile("agent_governance.osg")).ok());
+  // A net call whose fingerprint exceeds the catalogued 32-bit band trips
+  // family 2b within its own callout: the kill control key is set before
+  // OnToolCall returns, so the session's *next* call is already rejected.
+  EXPECT_EQ(kernel.OnToolCall({Milliseconds(1), 9, ToolClass::kNet,
+                               uint64_t{1} << 40, false}),
+            AgentAdmitVerdict::kAllow);
+  EXPECT_EQ(LoadNum(kernel, kAgentCtlKillSession), 9.0);
+  EXPECT_GE(kernel.engine().reporter().CountFor("agent-net-fingerprint"), 1u);
+  EXPECT_EQ(kernel.OnToolCall({Milliseconds(2), 9, ToolClass::kNet, 7, false}),
+            AgentAdmitVerdict::kKill);
+  EXPECT_EQ(kernel.store()
+                .LoadOr(AgentSessionKey(9, "killed"), Value(false))
+                .AsBool().value_or(false),
+            true);
+  EXPECT_EQ(LoadNum(kernel, kAgentKeyGovKilled), 1.0);
+
+  // Fingerprints are published as the signed cast of the raw 64-bit hash:
+  // a top-bit-set hash surfaces as a negative value and trips the >= 0
+  // clause, killing a second offender independently of the first.
+  EXPECT_EQ(kernel.OnToolCall({Milliseconds(3), 10, ToolClass::kNet,
+                               uint64_t{1} << 63, false}),
+            AgentAdmitVerdict::kAllow);
+  EXPECT_EQ(LoadNum(kernel, kAgentCtlKillSession), 10.0);
+  EXPECT_EQ(kernel.OnToolCall({Milliseconds(4), 10, ToolClass::kNet, 8, false}),
+            AgentAdmitVerdict::kKill);
+  EXPECT_GE(kernel.engine().reporter().CountFor("agent-net-fingerprint"), 2u);
+  EXPECT_EQ(LoadNum(kernel, kAgentKeyGovKilled), 2.0);
+}
+
+TEST_F(AgentTest, FingerprintBandOnlyConstrainsNetworkCalls) {
+  Kernel kernel(QuietEngineOptions());
+  ASSERT_TRUE(kernel.LoadGuardrails(ReadSpecFile("agent_governance.osg")).ok());
+  // File and exec fingerprints are uncatalogued hashes over paths/argv —
+  // out-of-band values there are normal and must not trip the net family.
+  EXPECT_EQ(kernel.OnToolCall({Milliseconds(1), 3, ToolClass::kFile,
+                               uint64_t{1} << 40, false}),
+            AgentAdmitVerdict::kAllow);
+  EXPECT_EQ(kernel.OnToolCall({Milliseconds(2), 3, ToolClass::kExec,
+                               uint64_t{1} << 63, false}),
+            AgentAdmitVerdict::kAllow);
+  // A net call inside the band — including both edges — is vetted traffic.
+  EXPECT_EQ(kernel.OnToolCall({Milliseconds(3), 3, ToolClass::kNet, 0, false}),
+            AgentAdmitVerdict::kAllow);
+  EXPECT_EQ(kernel.OnToolCall({Milliseconds(4), 3, ToolClass::kNet,
+                               uint64_t{4294967295}, false}),
+            AgentAdmitVerdict::kAllow);
+  EXPECT_EQ(kernel.engine().reporter().CountFor("agent-net-fingerprint"), 0u);
+  EXPECT_EQ(LoadNum(kernel, kAgentCtlKillSession), 0.0);
+  EXPECT_EQ(kernel.OnToolCall({Milliseconds(5), 3, ToolClass::kNet, 5, false}),
+            AgentAdmitVerdict::kAllow);
+}
+
 // --- Action effects at admission (no specs: control keys set directly) ---
 
 TEST_F(AgentTest, DenyControlKeyRejectsToolClass) {

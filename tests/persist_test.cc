@@ -813,6 +813,107 @@ TEST(PersistKernel, ScheduledPanicDropsEventsAndRebootRecovers) {
   EXPECT_FALSE(kernel.panicked());
 }
 
+// A panic while the overload governor is mid-degradation must warm-restart
+// into the same ladder state: the rung, the EWMA signals, the per-monitor
+// sampling stride positions, and the already-pinned fail-static episode all
+// ride the engine image (v2). If any of them reset, the resumed run would
+// re-apply the static default or shift the stride — visible as a fingerprint
+// divergence from the uninterrupted oracle.
+TEST(PersistKernel, PanicMidDegradationRestoresTheGovernorLadder) {
+  constexpr char kGovernedSpec[] = R"(
+    guardrail gov-crit {
+      trigger: { FUNCTION(hot) },
+      rule: { LOAD_OR(sys.pressure, 0) <= 50 },
+      action: { SAVE(ctl.safe_mode, true); REPORT("static default") },
+      meta: { severity = critical, criticality = critical }
+    }
+    guardrail gov-std {
+      trigger: { FUNCTION(hot) },
+      rule: { LOAD_OR(sys.pressure, 0) <= 60 },
+      action: { REPORT() }
+    }
+    guardrail gov-be {
+      trigger: { FUNCTION(hot) },
+      rule: { LOAD_OR(sys.load, 0) <= 70 },
+      action: { REPORT() },
+      meta: { criticality = besteffort }
+    }
+    persist { interval = 100ms, journal_budget = 0 }
+  )";
+  EngineOptions governed = DiffOptions();
+  governed.governor.enabled = true;
+  governed.governor.pressure_up = 5000.0;
+  governed.governor.pressure_down = 500.0;
+  governed.governor.dwell_up = 2;
+  governed.governor.dwell_down = 3;
+  governed.governor.sample_every = 3;
+  governed.governor.alpha = 0.5;
+
+  // Deterministic drive: a hot phase that walks the ladder down to
+  // fail-static (pinning the critical default), then a calm phase that walks
+  // it back up. `crash_at` callouts land mid-degradation.
+  constexpr int kHotCallouts = 30;
+  constexpr int kCalmCallouts = 14;
+  constexpr int kCrashAt = 18;
+  const auto drive = [](Kernel& kernel, int from, int to) {
+    for (int i = from; i < to; ++i) {
+      const SimTime t = (i < kHotCallouts) ? Milliseconds(1) + Microseconds(100) * i
+                                           : Milliseconds(10) + Seconds(i - kHotCallouts);
+      kernel.Run(t);
+      kernel.Callout("hot");
+    }
+  };
+
+  // Reference: no crash.
+  const fs::path ref_dir = FreshDir("gov-ladder-ref");
+  Kernel reference(governed);
+  PersistOptions ref_options;
+  ref_options.dir = ref_dir.string();
+  PersistManager ref_persist(ref_options);
+  reference.AttachPersist(&ref_persist);
+  ASSERT_TRUE(ref_persist.Open().ok());
+  ASSERT_TRUE(reference.LoadGuardrails(kGovernedSpec).ok());
+  drive(reference, 0, kHotCallouts + kCalmCallouts);
+  // The scenario is only meaningful if the ladder actually bottomed out and
+  // recovered: a pinned episode, and full service again by the end.
+  ASSERT_GE(reference.engine().governor().fail_static_epoch(), 1u);
+  ASSERT_GE(reference.engine().governor().stats().static_applies, 1u);
+  ASSERT_EQ(reference.engine().governor().mode(), GovernorMode::kFull);
+  const std::string want = KernelFingerprint(reference);
+
+  // Crash run: panic mid-degradation, warm-restart, finish the drive.
+  const fs::path crash_dir = FreshDir("gov-ladder-crash");
+  Kernel kernel(governed);
+  PersistOptions options;
+  options.dir = crash_dir.string();
+  PersistManager persist(options);
+  kernel.AttachPersist(&persist);
+  ASSERT_TRUE(persist.Open().ok());
+  ASSERT_TRUE(kernel.LoadGuardrails(kGovernedSpec).ok());
+  drive(kernel, 0, kCrashAt);
+  const GovernorMode mode_before = kernel.engine().governor().mode();
+  const GovernorStats stats_before = kernel.engine().governor().stats();
+  const uint64_t epoch_before = kernel.engine().governor().fail_static_epoch();
+  ASSERT_NE(mode_before, GovernorMode::kFull);  // genuinely mid-degradation
+
+  kernel.Panic();
+  auto recovered = kernel.Reboot();
+  ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+  EXPECT_FALSE(recovered.value().cold_start) << recovered.value().detail;
+
+  // The rebooted engine resumes on the same rung with the same counters —
+  // not at kFull with a blank ladder.
+  const OverloadGovernor& after = kernel.engine().governor();
+  EXPECT_EQ(after.mode(), mode_before);
+  EXPECT_EQ(after.fail_static_epoch(), epoch_before);
+  EXPECT_EQ(after.stats().transitions, stats_before.transitions);
+  EXPECT_EQ(after.stats().static_applies, stats_before.static_applies);
+  EXPECT_EQ(after.stats().sheds_besteffort, stats_before.sheds_besteffort);
+
+  drive(kernel, kCrashAt, kHotCallouts + kCalmCallouts);
+  EXPECT_EQ(KernelFingerprint(kernel), want);
+}
+
 TEST(PersistKernel, RebootWithoutPersistIsACleanColdStart) {
   Kernel kernel(DiffOptions());
   ASSERT_TRUE(kernel.LoadGuardrails(kKernelSpec).ok());

@@ -525,5 +525,60 @@ TEST(ShardRebootTest, ShardedLayerSurvivesReboot) {
   EXPECT_EQ(kernel.store().LoadOr("engine.shard.count", Value()).NumericOr(-1), 2.0);
 }
 
+// --- Ring-capacity validation and full-ring early flush ---
+
+TEST(ShardRingOptionsTest, ZeroRingCapacityIsRejectedAtConstruction) {
+  Logger::Global().set_level(LogLevel::kOff);
+  ShardingOptions sharding = DiffSharding(2);
+  sharding.ring_capacity = 0;  // invalid: substituted with the minimum of 2
+  Kernel serial(DiffEngineOptions());
+  Kernel sharded(DiffEngineOptions(), sharding);
+  ASSERT_TRUE(serial.LoadGuardrails(kMixedSpec).ok());
+  ASSERT_TRUE(sharded.LoadGuardrails(kMixedSpec).ok());
+  DriveMixedWorkload(serial);
+  DriveMixedWorkload(sharded);
+  // The engine must come up on the minimum capacity and stay correct, not
+  // spin on a ring that can never admit a task.
+  EXPECT_EQ(Fingerprint(serial), Fingerprint(sharded));
+  EXPECT_GT(sharded.sharded_engine()->stats().parallel_evals, 0u);
+}
+
+TEST(ShardRingOptionsTest, FullRingFlushesEarlyInsteadOfBlocking) {
+  Logger::Global().set_level(LogLevel::kOff);
+  // Eight parallel-eligible monitors against capacity-2 rings on two shards:
+  // a single callout cannot fit in one flush, so the coordinator must seal
+  // and merge mid-callout (early flush) rather than wait on a full ring.
+  constexpr char kEightSpec[] = R"(
+    guardrail m0 { trigger: { FUNCTION(fn) }, rule: { LOAD_OR(k0, 0) <= 5 }, action: { REPORT() } }
+    guardrail m1 { trigger: { FUNCTION(fn) }, rule: { LOAD_OR(k1, 0) <= 5 }, action: { REPORT() } }
+    guardrail m2 { trigger: { FUNCTION(fn) }, rule: { LOAD_OR(k2, 0) <= 5 }, action: { REPORT() } }
+    guardrail m3 { trigger: { FUNCTION(fn) }, rule: { LOAD_OR(k3, 0) <= 5 }, action: { REPORT() } }
+    guardrail m4 { trigger: { FUNCTION(fn) }, rule: { LOAD_OR(k4, 0) <= 5 }, action: { REPORT() } }
+    guardrail m5 { trigger: { FUNCTION(fn) }, rule: { LOAD_OR(k5, 0) <= 5 }, action: { REPORT() } }
+    guardrail m6 { trigger: { FUNCTION(fn) }, rule: { LOAD_OR(k6, 0) <= 5 }, action: { REPORT() } }
+    guardrail m7 { trigger: { FUNCTION(fn) }, rule: { LOAD_OR(k7, 0) <= 5 }, action: { REPORT() } }
+  )";
+  ShardingOptions tiny = DiffSharding(2);
+  tiny.ring_capacity = 2;
+  Kernel serial(DiffEngineOptions());
+  Kernel sharded(DiffEngineOptions(), tiny);
+  ASSERT_TRUE(serial.LoadGuardrails(kEightSpec).ok());
+  ASSERT_TRUE(sharded.LoadGuardrails(kEightSpec).ok());
+  constexpr int kCallouts = 10;
+  for (Kernel* kernel : {&serial, &sharded}) {
+    for (int i = 1; i <= kCallouts; ++i) {
+      kernel->Run(Milliseconds(i));
+      kernel->store().Save("k0", Value(i % 9));
+      kernel->Callout("fn");
+    }
+  }
+  EXPECT_EQ(Fingerprint(serial), Fingerprint(sharded));
+  const ShardedStats& stats = sharded.sharded_engine()->stats();
+  // 8 tasks per callout over 2 shards x capacity 2 forces >= 2 flushes per
+  // callout; all 8 evaluations still run on workers.
+  EXPECT_GT(stats.batches, static_cast<uint64_t>(kCallouts));
+  EXPECT_EQ(stats.parallel_evals, static_cast<uint64_t>(8 * kCallouts));
+}
+
 }  // namespace
 }  // namespace osguard

@@ -46,7 +46,7 @@ TEST(SpecCorpusTest, EveryShippedSpecCompilesAndVerifies) {
   }
 }
 
-TEST(SpecCorpusTest, AgentGovernanceSpecShipsAllThreeFamilies) {
+TEST(SpecCorpusTest, AgentGovernanceSpecShipsAllFourFamilies) {
   const auto path =
       std::filesystem::path(OSGUARD_SPECS_DIR) / "agent_governance.osg";
   auto compiled = CompileSource(ReadFile(path));
@@ -58,7 +58,8 @@ TEST(SpecCorpusTest, AgentGovernanceSpecShipsAllThreeFamilies) {
   std::sort(names.begin(), names.end());
   EXPECT_EQ(names, (std::vector<std::string>{
                        "agent-exec-allowlist", "agent-global-rate",
-                       "agent-secret-flow", "agent-session-rate"}));
+                       "agent-net-fingerprint", "agent-secret-flow",
+                       "agent-session-rate"}));
 }
 
 TEST(SpecCorpusTest, Listing2SpecMatchesPaperShape) {

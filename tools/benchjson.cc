@@ -61,6 +61,17 @@
 //                   nothing), and p50/p99 per-tool-call admission overhead
 //                   governed vs ungoverned. Exits 1 if any identity or
 //                   containment gate fails.
+//   --governor      run the E12 overload-governor experiment instead and
+//                   emit bench "governor" (BENCH_governor.json): governed vs
+//                   ungoverned evaluation counts and p99 callout latency
+//                   through a seeded callout storm, the ladder depth reached
+//                   and recovery to full service, plus serial-vs-sharded
+//                   identity campaigns with the governor active and with
+//                   worker-stall / worker-death chaos armed (watchdog
+//                   healing counters must move). Exits 1 if the ladder never
+//                   reaches fail-static, a critical monitor is shed, the
+//                   governed storm fails to shed work or bound p99, any
+//                   identity seed diverges, or the watchdog fails to heal.
 //   --supervisor    run the ext7 supervisor experiment instead and emit
 //                   bench "supervisor" (BENCH_supervisor.json): trip rate of
 //                   the undamped E2 oscillating pair with and without the
@@ -95,12 +106,14 @@
 #include "src/linnos/harness.h"
 #include "src/persist/persist.h"
 #include "src/runtime/engine.h"
+#include "src/runtime/governor/governor.h"
 #include "src/runtime/sharded_engine.h"
 #include "src/sim/agent_callout.h"
 #include "src/sim/kernel.h"
 #include "src/support/logging.h"
 #include "src/support/rng.h"
 #include "src/vm/native_aot.h"
+#include "src/wl/stormgen.h"
 
 // --- Heap profile hooks -----------------------------------------------------
 // Counts every global allocation so workloads can assert "no allocations in
@@ -1375,6 +1388,293 @@ bool RunAgentBench(std::vector<Metric>& metrics, bool& agent_ok) {
   return true;
 }
 
+// --- E12: overload governor + self-healing shard workers --------------------
+
+namespace govbench {
+
+// Eight monitors across the three criticality tiers so shedding is visible.
+constexpr char kStormSpec[] = R"(
+  guardrail crit-gate {
+    trigger: { FUNCTION(hot_path) },
+    rule: { LOAD_OR(sys.pressure, 0) <= 90 },
+    action: { SAVE(ctl.safe_mode, true); REPORT("pressure gate") },
+    meta: { severity = critical, criticality = critical }
+  }
+  guardrail std-a { trigger: { FUNCTION(hot_path) },
+                    rule: { LOAD_OR(sys.pressure, 0) <= 95 },
+                    action: { REPORT("std-a") } }
+  guardrail std-b { trigger: { FUNCTION(hot_path) },
+                    rule: { LOAD_OR(sys.load, 0) <= 900000 },
+                    action: { REPORT("std-b") } }
+  guardrail std-c { trigger: { FUNCTION(hot_path) },
+                    rule: { LOAD_OR(sys.load, 0) >= 0 },
+                    action: { REPORT("std-c") } }
+  guardrail be-a { trigger: { FUNCTION(hot_path) },
+                   rule: { LOAD_OR(sys.load, 0) <= 1000000 },
+                   action: { REPORT("be-a") },
+                   meta: { criticality = besteffort } }
+  guardrail be-b { trigger: { FUNCTION(hot_path) },
+                   rule: { LOAD_OR(sys.pressure, 0) <= 99 },
+                   action: { REPORT("be-b") },
+                   meta: { criticality = besteffort } }
+  guardrail be-c { trigger: { FUNCTION(hot_path) },
+                   rule: { LOAD_OR(sys.load, 0) >= -1 },
+                   action: { REPORT("be-c") },
+                   meta: { criticality = besteffort } }
+  guardrail be-d { trigger: { FUNCTION(hot_path) },
+                   rule: { LOAD_OR(sys.pressure, 0) >= -1 },
+                   action: { REPORT("be-d") },
+                   meta: { criticality = besteffort } }
+)";
+
+// Parallel-eligible (pure scalar reads) so the sharded engine batches and
+// the watchdog has workers to heal.
+constexpr char kParallelSpec[] = R"(
+  guardrail w0 { trigger: { FUNCTION(f) }, rule: { LOAD_OR(a.v, 0) <= 50 },
+                 action: { REPORT("w0") } }
+  guardrail w1 { trigger: { FUNCTION(f) }, rule: { LOAD_OR(b.v, 0) <= 50 },
+                 action: { REPORT("w1") } }
+  guardrail w2 { trigger: { FUNCTION(f) }, rule: { LOAD_OR(c.v, 0) <= 50 },
+                 action: { REPORT("w2") } }
+  guardrail w3 { trigger: { FUNCTION(f) }, rule: { LOAD_OR(d.v, 0) <= 50 },
+                 action: { REPORT("w3") } }
+)";
+
+EngineOptions GovernedOptions(bool governed) {
+  EngineOptions options;
+  options.measure_wall_time = false;
+  options.governor.enabled = governed;
+  options.governor.pressure_up = 20000.0;
+  options.governor.pressure_down = 2000.0;
+  options.governor.dwell_up = 4;
+  options.governor.dwell_down = 8;
+  options.governor.sample_every = 4;
+  options.governor.alpha = 0.3;
+  return options;
+}
+
+std::vector<StormEvent> BenchStorm(uint64_t seed) {
+  StormWorkloadOptions options;
+  options.calm = Milliseconds(100);
+  options.storm = Milliseconds(50);
+  options.tail = Milliseconds(200);
+  options.calm_rate = 200.0;
+  options.storm_rate = 80000.0;
+  return StormGenerator(options, seed).Generate(Milliseconds(1));
+}
+
+struct StormRun {
+  uint64_t callouts = 0;
+  uint64_t evals = 0;
+  double p99_ns = 0.0;
+  GovernorStats gov;
+  GovernorMode deepest = GovernorMode::kFull;
+  GovernorMode final_mode = GovernorMode::kFull;
+};
+
+StormRun DriveStorm(bool governed, uint64_t seed) {
+  Kernel kernel(GovernedOptions(governed));
+  (void)kernel.LoadGuardrails(kStormSpec);
+  std::vector<double> samples;
+  StormRun run;
+  for (const StormEvent& event : BenchStorm(seed)) {
+    kernel.Run(event.at);
+    kernel.store().Save("sys.pressure",
+                        Value(static_cast<int64_t>(event.storm ? 80 : 10)));
+    const int64_t start = WallNs();
+    kernel.Callout("hot_path");
+    samples.push_back(static_cast<double>(WallNs() - start));
+    run.deepest = std::max(run.deepest, kernel.engine().governor().mode());
+    ++run.callouts;
+  }
+  std::sort(samples.begin(), samples.end());
+  run.p99_ns = samples[static_cast<size_t>(
+      static_cast<double>(samples.size() - 1) * 0.99)];
+  run.evals = kernel.engine().stats().evaluations;
+  run.gov = kernel.engine().governor().stats();
+  run.final_mode = kernel.engine().governor().mode();
+  return run;
+}
+
+// One governed storm (or chaos fault) run, serial or sharded, returning the
+// compared snapshot bytes; sharded watchdog stats accumulate into `healing`.
+std::string IdentityRun(bool sharded, uint64_t seed, const char* chaos_spec,
+                        ShardedStats* healing) {
+  EngineOptions options =
+      chaos_spec == nullptr ? GovernedOptions(true) : GovernedOptions(false);
+  ShardingOptions sharding;
+  sharding.enabled = sharded;
+  sharding.shards = 2;
+  sharding.telemetry = false;
+  sharding.watchdog_ns = Milliseconds(2);
+  sharding.probe_batches = 2;
+  sharding.probe_every = 2;
+  Kernel kernel(options, sharding);
+  ChaosEngine chaos(seed);
+  if (chaos_spec != nullptr) {
+    kernel.AttachChaos(&chaos);
+    (void)kernel.LoadGuardrails(kParallelSpec);
+    (void)kernel.LoadGuardrails(chaos_spec);
+    SimTime t = Milliseconds(1);
+    for (int i = 0; i < 30; ++i) {
+      kernel.Run(t);
+      kernel.store().Save("a.v", Value(int64_t{static_cast<int64_t>((seed + i) % 80)}));
+      kernel.Callout("f");
+      t += Milliseconds(1);
+    }
+  } else {
+    (void)kernel.LoadGuardrails(kStormSpec);
+    for (const StormEvent& event : BenchStorm(seed)) {
+      kernel.Run(event.at);
+      kernel.store().Save("sys.pressure",
+                          Value(static_cast<int64_t>(event.storm ? 80 : 10)));
+      kernel.Callout("hot_path");
+    }
+  }
+  if (healing != nullptr && kernel.sharded_engine() != nullptr) {
+    const ShardedStats stats = kernel.sharded_engine()->stats();
+    healing->watchdog_timeouts += stats.watchdog_timeouts;
+    healing->stolen_evals += stats.stolen_evals;
+    healing->worker_respawns += stats.worker_respawns;
+    healing->readmissions += stats.readmissions;
+  }
+  Snapshot snapshot;
+  snapshot.store = kernel.store().DumpSlots();
+  snapshot.report_ring = kernel.engine().EncodeReportRing();
+  snapshot.image = kernel.engine().EncodeImage();
+  return EncodeSnapshot(snapshot);
+}
+
+}  // namespace govbench
+
+bool RunGovernorBench(std::vector<Metric>& metrics, bool& governor_ok) {
+  using govbench::DriveStorm;
+  using govbench::IdentityRun;
+  using govbench::StormRun;
+
+  // (a) governed vs ungoverned through the same seeded storm.
+  const StormRun ungoverned = DriveStorm(false, 42);
+  const StormRun governed = DriveStorm(true, 42);
+  metrics.push_back(Metric{"governor_storm_callouts",
+                           static_cast<double>(governed.callouts), "count"});
+  metrics.push_back(Metric{"governor_ungoverned_evals",
+                           static_cast<double>(ungoverned.evals), "count"});
+  metrics.push_back(Metric{"governor_governed_evals",
+                           static_cast<double>(governed.evals), "count"});
+  metrics.push_back(Metric{"governor_ungoverned_p99_ns", ungoverned.p99_ns, "ns"});
+  metrics.push_back(Metric{"governor_governed_p99_ns", governed.p99_ns, "ns"});
+  metrics.push_back(Metric{"governor_deepest_mode",
+                           static_cast<double>(governed.deepest), "mode"});
+  metrics.push_back(Metric{"governor_final_mode",
+                           static_cast<double>(governed.final_mode), "mode"});
+  metrics.push_back(Metric{"governor_sheds_besteffort",
+                           static_cast<double>(governed.gov.sheds_besteffort), "count"});
+  metrics.push_back(Metric{"governor_sheds_standard",
+                           static_cast<double>(governed.gov.sheds_standard), "count"});
+  metrics.push_back(Metric{"governor_critical_sheds",
+                           static_cast<double>(governed.gov.critical_sheds), "count"});
+  metrics.push_back(Metric{"governor_static_applies",
+                           static_cast<double>(governed.gov.static_applies), "count"});
+  metrics.push_back(Metric{"governor_transitions",
+                           static_cast<double>(governed.gov.transitions), "count"});
+
+  // (b) identity campaigns: governed storm, then worker-stall and
+  // worker-death chaos, serial vs sharded per seed.
+  constexpr char kStallChaos[] =
+      "chaos { site shard.worker_stall { mode = bernoulli, p = 0.1, value = 1.0 } }";
+  constexpr char kDieChaos[] =
+      "chaos { site shard.worker_die { mode = bernoulli, p = 0.1 } }";
+  struct Campaign {
+    const char* name;
+    const char* chaos;
+    uint64_t seeds;
+    uint64_t base;
+  };
+  const Campaign campaigns[] = {
+      {"storm", nullptr, 100, 0x1000},
+      {"stall", kStallChaos, 50, 0x2000},
+      {"die", kDieChaos, 50, 0x3000},
+  };
+  uint64_t divergences_total = 0;
+  ShardedStats stall_healing;
+  ShardedStats die_healing;
+  for (const Campaign& campaign : campaigns) {
+    uint64_t divergences = 0;
+    ShardedStats* healing = campaign.chaos == nullptr ? nullptr
+                            : campaign.chaos == kStallChaos ? &stall_healing
+                                                            : &die_healing;
+    for (uint64_t i = 0; i < campaign.seeds; ++i) {
+      const uint64_t seed = campaign.base + i;
+      if (IdentityRun(false, seed, campaign.chaos, nullptr) !=
+          IdentityRun(true, seed, campaign.chaos, healing)) {
+        ++divergences;
+      }
+    }
+    divergences_total += divergences;
+    metrics.push_back(Metric{std::string("governor_identity_") + campaign.name +
+                                 "_seeds",
+                             static_cast<double>(campaign.seeds), "count"});
+    metrics.push_back(Metric{std::string("governor_identity_") + campaign.name +
+                                 "_failures",
+                             static_cast<double>(divergences), "count"});
+  }
+  metrics.push_back(Metric{"governor_watchdog_stall_timeouts",
+                           static_cast<double>(stall_healing.watchdog_timeouts),
+                           "count"});
+  metrics.push_back(Metric{"governor_watchdog_stall_stolen",
+                           static_cast<double>(stall_healing.stolen_evals), "count"});
+  metrics.push_back(Metric{"governor_watchdog_die_respawns",
+                           static_cast<double>(die_healing.worker_respawns), "count"});
+  metrics.push_back(Metric{"governor_watchdog_die_readmissions",
+                           static_cast<double>(die_healing.readmissions), "count"});
+
+  // Gates. The storm run is fully deterministic (sim-time signals), so the
+  // ladder-depth and shed-count gates are exact; the p99 comparison is the
+  // only wall-clock gate and holds with a ~4x work margin.
+  governor_ok = true;
+  if (governed.deepest != GovernorMode::kFailStatic ||
+      governed.final_mode != GovernorMode::kFull) {
+    std::fprintf(stderr,
+                 "benchjson: --governor: ladder depth %d / final %d (expected "
+                 "fail-static reached, full restored)\n",
+                 static_cast<int>(governed.deepest),
+                 static_cast<int>(governed.final_mode));
+    governor_ok = false;
+  }
+  if (governed.gov.critical_sheds != 0 || governed.gov.static_applies == 0) {
+    std::fprintf(stderr,
+                 "benchjson: --governor: critical monitor shed or no "
+                 "fail-static default pinned\n");
+    governor_ok = false;
+  }
+  if (governed.evals >= ungoverned.evals) {
+    std::fprintf(stderr, "benchjson: --governor: governed storm shed no work\n");
+    governor_ok = false;
+  }
+  if (governed.p99_ns > ungoverned.p99_ns) {
+    std::fprintf(stderr,
+                 "benchjson: --governor: governed p99 %.0fns exceeds "
+                 "ungoverned %.0fns\n",
+                 governed.p99_ns, ungoverned.p99_ns);
+    governor_ok = false;
+  }
+  if (divergences_total > 0) {
+    std::fprintf(stderr,
+                 "benchjson: --governor: %llu identity seeds diverged between "
+                 "serial and sharded\n",
+                 static_cast<unsigned long long>(divergences_total));
+    governor_ok = false;
+  }
+  if (stall_healing.watchdog_timeouts == 0 || stall_healing.stolen_evals == 0 ||
+      die_healing.worker_respawns == 0 || die_healing.readmissions == 0) {
+    std::fprintf(stderr,
+                 "benchjson: --governor: watchdog healing counters did not "
+                 "move under armed faults\n");
+    governor_ok = false;
+  }
+  return true;
+}
+
 int Main(int argc, char** argv) {
   Logger::Global().set_level(LogLevel::kOff);
   bool strict_alloc = false;
@@ -1384,6 +1684,7 @@ int Main(int argc, char** argv) {
   bool persist = false;
   bool sharded = false;
   bool agent = false;
+  bool governor = false;
   const char* out_path = nullptr;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--strict-alloc") == 0) {
@@ -1400,12 +1701,15 @@ int Main(int argc, char** argv) {
       sharded = true;
     } else if (std::strcmp(argv[i], "--agent") == 0) {
       agent = true;
+    } else if (std::strcmp(argv[i], "--governor") == 0) {
+      governor = true;
     } else if (std::strcmp(argv[i], "-o") == 0 && i + 1 < argc) {
       out_path = argv[++i];
     } else {
       std::fprintf(stderr,
                    "usage: benchjson [--strict-alloc] [--chaos] [--supervisor] "
-                   "[--native] [--persist] [--sharded] [--agent] [-o FILE]\n");
+                   "[--native] [--persist] [--sharded] [--agent] [--governor] "
+                   "[-o FILE]\n");
       return 2;
     }
   }
@@ -1417,6 +1721,7 @@ int Main(int argc, char** argv) {
   bool persist_ok = true;
   bool sharded_ok = true;
   bool agent_ok = true;
+  bool governor_ok = true;
   if (chaos) {
     if (!RunChaosBench(metrics, chaos_contained)) {
       return 1;
@@ -1439,6 +1744,10 @@ int Main(int argc, char** argv) {
     }
   } else if (agent) {
     if (!RunAgentBench(metrics, agent_ok)) {
+      return 1;
+    }
+  } else if (governor) {
+    if (!RunGovernorBench(metrics, governor_ok)) {
       return 1;
     }
   } else {
@@ -1465,7 +1774,8 @@ int Main(int argc, char** argv) {
                              : (persist ? "persist"
                                         : (sharded ? "sharded"
                                                    : (agent ? "agent"
-                                                            : "hotpath")))));
+                                                            : (governor ? "governor"
+                                                                        : "hotpath"))))));
   std::string json = std::string("{\n  \"bench\": \"") + bench_name +
                      "\",\n  \"schema_version\": 1,\n  \"metrics\": [\n";
   for (size_t i = 0; i < metrics.size(); ++i) {
@@ -1495,6 +1805,9 @@ int Main(int argc, char** argv) {
   } else if (agent) {
     std::snprintf(tail, sizeof(tail), "  ],\n  \"agent_ok\": %s\n}\n",
                   agent_ok ? "true" : "false");
+  } else if (governor) {
+    std::snprintf(tail, sizeof(tail), "  ],\n  \"governor_ok\": %s\n}\n",
+                  governor_ok ? "true" : "false");
   } else {
     std::snprintf(tail, sizeof(tail), "  ],\n  \"ns_per_eval_mean\": %.2f\n}\n", mean);
   }
@@ -1544,6 +1857,12 @@ int Main(int argc, char** argv) {
     std::fprintf(stderr,
                  "benchjson: FAIL --agent: governance identity, containment, or "
                  "clean-trace gate failed\n");
+    return 1;
+  }
+  if (governor && !governor_ok) {
+    std::fprintf(stderr,
+                 "benchjson: FAIL --governor: ladder, shedding, identity, or "
+                 "watchdog-healing gate failed\n");
     return 1;
   }
   if (strict_alloc) {
