@@ -202,6 +202,7 @@ ShardedEngine::ShardedEngine(Engine* engine, ShardingOptions options)
     k_respawns_ = store.InternKey("engine.shard.respawns");
     k_quarantine_ = store.InternKey("engine.shard.quarantine_evals");
     k_readmissions_ = store.InternKey("engine.shard.readmissions");
+    k_ring_hwm_ = store.InternKey("engine.shard.ring_high_water");
     k_shard_evals_.reserve(n);
     k_shard_hwm_.reserve(n);
     for (size_t i = 0; i < n; ++i) {
@@ -237,16 +238,90 @@ ShardedEngine::~ShardedEngine() {
   }
 }
 
-void ShardedEngine::AdvanceTo(SimTime t) { engine_->AdvanceTo(t); }
+void ShardedEngine::AdvanceTo(SimTime t) {
+  Engine& e = *engine_;
+  ReapRetired();
+  RefreshPlan();
+  if (GlobalSerialRequired()) {
+    if (!e.timers_.empty() && e.timers_.top().due <= t) {
+      ++stats_.serial_callouts;
+    }
+    e.AdvanceTo(t);
+    PublishTelemetry();
+    return;
+  }
+  e.ApplyPendingRollbacks();
+  // Pop due entries in the serial (deadline, tiebreak) order. Entries that
+  // share a deadline batch into one ring-dispatched wave; a deadline
+  // boundary flushes first so an entry never merges ahead of an earlier
+  // deadline's side effects. Re-arms consume next_tiebreak_ at the entry's
+  // exact pop position, so the heap order — and every future callout — is
+  // byte-identical to the serial loop's.
+  bool wave_open = false;
+  SimTime wave_due = 0;
+  while (!e.timers_.empty() && e.timers_.top().due <= t) {
+    Engine::TimerEntry entry = e.timers_.top();
+    e.timers_.pop();
+    Engine::Monitor* monitor = e.ResolveEntry(entry);
+    if (monitor == nullptr) {
+      continue;  // unloaded or replaced since arming
+    }
+    if (wave_open && entry.due != wave_due) {
+      FlushBatch();
+      wave_open = false;
+    }
+    const CompiledTrigger& trigger = monitor->guardrail.triggers[entry.trigger_index];
+    e.now_ = std::max(e.now_, entry.due);
+    if (monitor->enabled) {
+      ++e.stats_.timer_firings;
+      DispatchMonitor(monitor, entry.due);
+      wave_open = true;
+      wave_due = entry.due;
+    }
+    const SimTime next = entry.due + trigger.interval;
+    if (trigger.stop == 0 || next <= trigger.stop) {
+      e.timers_.push(Engine::TimerEntry{next, e.next_tiebreak_++, entry.monitor_name,
+                                        entry.trigger_index, entry.generation});
+    }
+    if (!e.pending_rollbacks_.empty()) {
+      // Rollback sources (probation deploys) are serial-classified, so the
+      // queue only fills synchronously, right after an inline dispatch —
+      // apply it here, before the doomed version's next entry resolves,
+      // exactly as the serial loop does. The swap bumps the topology, so
+      // re-plan; the replacement spec may even demand global serial.
+      FlushBatch();
+      wave_open = false;
+      e.ApplyPendingRollbacks();
+      RefreshPlan();
+      if (GlobalSerialRequired()) {
+        ++stats_.serial_callouts;
+        e.AdvanceTo(t);  // finishes the remaining entries + the boundary
+        PublishTelemetry();
+        return;
+      }
+    }
+  }
+  FlushBatch();
+  e.now_ = std::max(e.now_, t);
+  e.ApplyPendingRollbacks();
+  e.PublishUptimeStats();
+  e.PublishTierStats();
+  e.FinishCalloutGovernor();
+  PublishTelemetry();
+  e.CommitPersist();
+}
 
 void ShardedEngine::WorkerLoop(Shard* shard, SpscRing<EvalTask*>* ring,
                                std::shared_ptr<WorkerCtl> ctl) {
-  // Per-worker execution state: the Vm is not thread-safe, and the snapshot
-  // env's view/envelope are worker-local by design. `ring` is passed
-  // explicitly (not shard->ring): after a respawn this worker keeps draining
-  // its *old* ring, whose tasks are all claimed by then.
+  // Per-worker execution state: the Vm is not thread-safe, the snapshot
+  // env's view/envelope are worker-local by design, and the NativeExec's
+  // scratch buffers are single-threaded (one per worker, bound to this
+  // worker's env). `ring` is passed explicitly (not shard->ring): after a
+  // respawn this worker keeps draining its *old* ring, whose tasks are all
+  // claimed by then.
   Vm vm;
   SnapshotHelperEnv env(engine_->store_);
+  NativeExec nexec(env.fallback());
   uint64_t seen_doorbell = doorbell_.load(std::memory_order_acquire);
   while (true) {
     if (stop_.load(std::memory_order_acquire) ||
@@ -268,7 +343,7 @@ void ShardedEngine::WorkerLoop(Shard* shard, SpscRing<EvalTask*>* ring,
     if (ring->TryPop(&task)) {
       if (!task->claimed.exchange(true, std::memory_order_acq_rel)) {
         shard->evals.fetch_add(1, std::memory_order_relaxed);
-        ExecuteTask(*task, vm, env);
+        ExecuteTask(*task, vm, env, nexec);
       }
       continue;
     }
@@ -283,7 +358,7 @@ void ShardedEngine::WorkerLoop(Shard* shard, SpscRing<EvalTask*>* ring,
     if (got) {
       if (!task->claimed.exchange(true, std::memory_order_acq_rel)) {
         shard->evals.fetch_add(1, std::memory_order_relaxed);
-        ExecuteTask(*task, vm, env);
+        ExecuteTask(*task, vm, env, nexec);
       }
       continue;
     }
@@ -299,7 +374,8 @@ void ShardedEngine::WorkerLoop(Shard* shard, SpscRing<EvalTask*>* ring,
   ctl->exited.store(true, std::memory_order_release);
 }
 
-void ShardedEngine::ExecuteTask(EvalTask& task, Vm& vm, SnapshotHelperEnv& env) {
+void ShardedEngine::ExecuteTask(EvalTask& task, Vm& vm, SnapshotHelperEnv& env,
+                                NativeExec& nexec) {
   Engine::Monitor& monitor = *task.monitor;
   env.Prepare(monitor.guardrail.name, monitor.guardrail.meta.severity, task.t,
               task.key_count);
@@ -319,7 +395,15 @@ void ShardedEngine::ExecuteTask(EvalTask& task, Vm& vm, SnapshotHelperEnv& env) 
   } else {
     const int64_t steps_before =
         monitor.guard != nullptr ? vm.stats().insns_executed : 0;
-    task.result = vm.Execute(monitor.guardrail.rule, env, budget_ptr);
+    // The coordinator picked the tier at Begin time (task.native_fn); the
+    // native body's helper escapes route through the snapshot env's
+    // chaos-free fallback and update the same Vm stats the interpreter
+    // would, so steps/results/faults stay tier- and thread-invariant.
+    task.result = task.native_fn != nullptr
+                      ? nexec.Run(task.native_fn, monitor.guardrail.rule,
+                                  task.native_consts, budget_ptr,
+                                  &vm.mutable_stats())
+                      : vm.Execute(monitor.guardrail.rule, env, budget_ptr);
     task.steps =
         monitor.guard != nullptr ? vm.stats().insns_executed - steps_before : 0;
   }
@@ -428,29 +512,51 @@ void ShardedEngine::RefreshPlan() {
   plan_valid_ = true;
   plan_global_serial_ = false;
 
-  // Engine-wide disablers that are topology/configuration facts:
-  //  * ONCHANGE monitors observe individual store writes, whose relative
-  //    order a batch compresses;
-  //  * the native tier promotes mid-Begin and runs through engine-owned
-  //    execution state;
-  //  * an action program writing a key it only names at runtime defeats the
-  //    read/write-set analysis below.
-  if (engine_->watch_hook_count_ > 0 || engine_->options_.tier.enabled) {
-    plan_global_serial_ = true;
-    return;
-  }
-  std::unordered_set<KeyId> action_writes;
-  for (const auto& [name, monitor] : engine_->monitors_) {
-    ProgramScan action_scan;
-    ScanProgram(monitor->guardrail.action, &action_scan);
-    if (!monitor->guardrail.on_satisfy.empty()) {
-      ScanProgram(monitor->guardrail.on_satisfy, &action_scan);
+  // Key-scoped ONCHANGE hazard: collect the watched-key set (every store key
+  // some loaded ONCHANGE monitor observes) and pin only the monitors whose
+  // static store traffic can touch it, instead of dropping the whole callout
+  // to serial whenever a watcher is loaded. The one unscopeable case is a
+  // watched *infra* key — the engine publishes those keys at Begin/Finish
+  // and boundary time, a schedule the batch pipeline compresses, so the
+  // cascade would fire at moments only the serial engine reproduces.
+  std::unordered_set<KeyId> watched;
+  for (size_t id = 0; id < engine_->watch_hooks_.size(); ++id) {
+    if (engine_->watch_hooks_[id].empty()) {
+      continue;
     }
-    if (action_scan.dynamic_write) {
+    if (IsInfraKey(engine_->store_->KeyName(static_cast<KeyId>(id)))) {
       plan_global_serial_ = true;
       return;
     }
-    action_writes.insert(action_scan.writes.begin(), action_scan.writes.end());
+    watched.insert(static_cast<KeyId>(id));
+  }
+
+  // Static write closure of this topology's action programs. ONCHANGE
+  // cascades only ever run monitor actions, so this also bounds everything a
+  // cascade can write mid-callout. An action writing a key it only names at
+  // runtime defeats the analysis: global serial.
+  struct MonitorScan {
+    Engine::Monitor* monitor = nullptr;
+    ProgramScan rule;
+    ProgramScan action;
+  };
+  std::vector<MonitorScan> scans;
+  scans.reserve(engine_->monitors_.size());
+  std::unordered_set<KeyId> action_writes;
+  for (const auto& [name, monitor] : engine_->monitors_) {
+    MonitorScan ms;
+    ms.monitor = monitor.get();
+    ScanProgram(monitor->guardrail.rule, &ms.rule);
+    ScanProgram(monitor->guardrail.action, &ms.action);
+    if (!monitor->guardrail.on_satisfy.empty()) {
+      ScanProgram(monitor->guardrail.on_satisfy, &ms.action);
+    }
+    if (ms.action.dynamic_write) {
+      plan_global_serial_ = true;
+      return;
+    }
+    action_writes.insert(ms.action.writes.begin(), ms.action.writes.end());
+    scans.push_back(std::move(ms));
   }
 
   // Per-monitor classification + round-robin partition of the parallel set.
@@ -459,11 +565,10 @@ void ShardedEngine::RefreshPlan() {
   uint32_t next_shard = 0;
   size_t parallel = 0;
   size_t serial = 0;
-  for (const auto& [name, monitor] : engine_->monitors_) {
-    ProgramScan rule_scan;
-    ScanProgram(monitor->guardrail.rule, &rule_scan);
+  for (MonitorScan& ms : scans) {
+    Engine::Monitor* const monitor = ms.monitor;
     bool is_serial =
-        rule_scan.dynamic_read || rule_scan.dynamic_write || !rule_scan.writes.empty();
+        ms.rule.dynamic_read || ms.rule.dynamic_write || !ms.rule.writes.empty();
     if (!is_serial && monitor->guard != nullptr &&
         monitor->guard->config.budget_ns > 0) {
       // Wall-clock budgets deadline against the serial engine's own clock
@@ -471,9 +576,34 @@ void ShardedEngine::RefreshPlan() {
       // means. Step budgets parallelize fine (the interpreter is exact).
       is_serial = true;
     }
+    if (!is_serial && monitor->guard != nullptr &&
+        (monitor->guard->in_probation || monitor->rollback_snapshot != nullptr)) {
+      // Probation deploys can queue a bit-exact rollback from Begin or
+      // Finish; keeping them inline makes the queue fill synchronously, so
+      // the timer path can apply it between entries exactly like the serial
+      // loop — and a promoted-then-probated monitor stays on the
+      // interpreter at its serial position. Probation starts at Load (a
+      // topology bump), so the plan can never miss its onset; after it ends
+      // the monitor stays conservatively serial until the next topology
+      // change.
+      is_serial = true;
+    }
     if (!is_serial) {
-      for (KeyId key : rule_scan.reads) {
+      for (KeyId key : ms.rule.reads) {
         if (action_writes.count(key) != 0 || IsInfraKey(engine_->store_->KeyName(key))) {
+          is_serial = true;
+          break;
+        }
+      }
+    }
+    if (!is_serial && !watched.empty()) {
+      // A monitor whose actions write a watched key must run inside an
+      // inline Evaluate: the serial protocol defers the cascade while
+      // `evaluating_` and drains it after the outermost eval, whereas a
+      // batched merge runs Finish outside `evaluating_`, where the write
+      // would fire the watcher mid-action-program.
+      for (KeyId key : ms.action.writes) {
+        if (watched.count(key) != 0) {
           is_serial = true;
           break;
         }
@@ -491,7 +621,7 @@ void ShardedEngine::RefreshPlan() {
     } else {
       ++serial;
     }
-    plan_.emplace(monitor.get(), mp);
+    plan_.emplace(monitor, mp);
   }
   OSGUARD_LOG(kDebug) << "sharded plan v" << plan_version_ << ": " << parallel
                       << " parallel / " << serial << " serial monitor(s) across "
@@ -566,47 +696,7 @@ void ShardedEngine::OnFunctionCall(std::string_view function, SimTime t) {
       continue;
     }
     ++e.stats_.function_firings;
-    const MonitorPlan& mp = plan_.at(monitor);
-    if (mp.serial) {
-      // Order-sensitive monitor: everything queued ahead of it completes
-      // first, then it runs inline at its exact serial position.
-      FlushBatch();
-      ++stats_.serial_evals;
-      e.Evaluate(*monitor, now);
-      continue;
-    }
-    Shard& shard = *shards_[mp.shard];
-    if (shard.quarantined && (++shard.probe_clock % options_.probe_every) != 0) {
-      // Quarantined shard: evaluate inline at the exact serial position
-      // (identical to the mp.serial path, so identity is untouched); every
-      // probe_every-th opportunity falls through as a probe of the fresh
-      // worker instead.
-      FlushBatch();
-      ++stats_.quarantine_evals;
-      e.Evaluate(*monitor, now);
-      continue;
-    }
-    if (shard.inflight == shard.ring->capacity() ||
-        std::find(in_batch_.begin(), in_batch_.end(), monitor) != in_batch_.end()) {
-      // Backpressure, or the same monitor twice in one callout (its second
-      // Begin must observe its first Finish).
-      FlushBatch();
-    }
-    if (e.persist_ != nullptr) {
-      e.persist_->MarkDirty();
-    }
-    const Engine::RuleEvalPrep prep = e.BeginRuleEval(*monitor, now);
-    if (prep.skip) {
-      continue;  // gated off / rollback queued — exactly the serial no-op
-    }
-    EvalTask& task = batch_.emplace_back();
-    task.monitor = monitor;
-    task.t = now;
-    task.key_count = e.store_->key_count();
-    task.prep = prep;
-    in_batch_.push_back(monitor);
-    ++shard.inflight;
-    shard.hwm = std::max(shard.hwm, shard.inflight);
+    DispatchMonitor(monitor, now);
   }
   FlushBatch();
   e.ApplyPendingRollbacks();
@@ -615,6 +705,71 @@ void ShardedEngine::OnFunctionCall(std::string_view function, SimTime t) {
   e.FinishCalloutGovernor();
   PublishTelemetry();
   e.CommitPersist();
+}
+
+void ShardedEngine::DispatchMonitor(Engine::Monitor* monitor, SimTime t) {
+  Engine& e = *engine_;
+  const MonitorPlan& mp = plan_.at(monitor);
+  if (mp.serial) {
+    // Order-sensitive monitor: everything queued ahead of it completes
+    // first, then it runs inline at its exact serial position.
+    FlushBatch();
+    ++stats_.serial_evals;
+    e.Evaluate(*monitor, t);
+    return;
+  }
+  Shard& shard = *shards_[mp.shard];
+  if (shard.quarantined && (++shard.probe_clock % options_.probe_every) != 0) {
+    // Quarantined shard: evaluate inline at the exact serial position
+    // (identical to the mp.serial path, so identity is untouched); every
+    // probe_every-th opportunity falls through as a probe of the fresh
+    // worker instead.
+    FlushBatch();
+    ++stats_.quarantine_evals;
+    e.Evaluate(*monitor, t);
+    return;
+  }
+  if (shard.inflight == shard.ring->capacity() ||
+      std::find(in_batch_.begin(), in_batch_.end(), monitor) != in_batch_.end()) {
+    // Backpressure, or the same monitor twice in one callout (its second
+    // Begin must observe its first Finish).
+    FlushBatch();
+  }
+  if (e.persist_ != nullptr) {
+    e.persist_->MarkDirty();
+  }
+  const Engine::RuleEvalPrep prep = e.BeginRuleEval(*monitor, t);
+  if (prep.skip) {
+    return;  // gated off / rollback queued — exactly the serial no-op
+  }
+  EvalTask& task = batch_.emplace_back();
+  task.monitor = monitor;
+  task.t = t;
+  task.key_count = e.store_->key_count();
+  task.prep = prep;
+  if (e.options_.tier.enabled && !prep.injected_budget) {
+    // Pick the execution tier now, at the coordinator, with exactly the
+    // inputs serial ExecProgram would see at this monitor's exec slot:
+    // nothing feeding the decision (promoted, native object, step cap,
+    // probation) changes between this Begin and the worker run, because the
+    // monitor's own Finish is the only mutator and it merges later.
+    // Probation and wall-budget holdouts are serial-classified, so a task
+    // here never carries them. The counters land in the same boundary
+    // totals PublishTierStats diffs (it is a no-op mid-eval either way).
+    if (monitor->promoted && monitor->native != nullptr &&
+        monitor->native->rule != nullptr && prep.budget_steps == 0 &&
+        (monitor->guard == nullptr || !monitor->guard->in_probation)) {
+      task.native_fn = monitor->native->rule;
+      task.native_consts = monitor->nat_rule_consts.data();
+      ++e.tier_stats_.native_evals;
+    } else {
+      ++e.tier_stats_.interp_evals;
+    }
+    e.tier_dirty_ = true;
+  }
+  in_batch_.push_back(monitor);
+  ++shard.inflight;
+  shard.hwm = std::max(shard.hwm, shard.inflight);
 }
 
 void ShardedEngine::FlushBatch() {
@@ -675,13 +830,14 @@ void ShardedEngine::FlushBatch() {
     // wasted evaluation, never a divergence.
     Vm vm;
     SnapshotHelperEnv env(engine_->store_);
+    NativeExec nexec(env.fallback());
     std::vector<bool> stolen_from(shards_.size(), false);
     for (EvalTask& task : batch_) {
       if (task.done.load(std::memory_order_acquire)) {
         continue;
       }
       if (!task.claimed.exchange(true, std::memory_order_acq_rel)) {
-        ExecuteTask(task, vm, env);
+        ExecuteTask(task, vm, env, nexec);
         ++stats_.stolen_evals;
         stolen_from[plan_.at(task.monitor).shard] = true;
       }
@@ -774,6 +930,7 @@ void ShardedEngine::PublishTelemetry() {
   publish(k_respawns_, stats_.worker_respawns, published_.worker_respawns);
   publish(k_quarantine_, stats_.quarantine_evals, published_.quarantine_evals);
   publish(k_readmissions_, stats_.readmissions, published_.readmissions);
+  publish(k_ring_hwm_, RingHighWaterMark(), published_ring_hwm_);
   for (size_t i = 0; i < shards_.size(); ++i) {
     publish(k_shard_evals_[i], shards_[i]->evals.load(std::memory_order_relaxed),
             published_shard_evals_[i]);

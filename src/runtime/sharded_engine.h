@@ -23,11 +23,26 @@
 //
 // Monitors whose evaluation is order-sensitive (rules reading keys that this
 // callout's actions may write, wall-clock budgets, dynamic store keys,
-// infra-key readers) are evaluated inline on the coordinator at their exact
-// serial position; batches flush around them. Engine-wide hazards (ONCHANGE
-// monitors, the native tier, an armed runtime.helper_fail chaos site,
-// actions with unprovable write sets) disable batching entirely for the
-// callout — the sharded engine then *is* the serial engine plus a branch.
+// infra-key readers, probation deploys, monitors whose actions write a key an
+// ONCHANGE cascade watches) are evaluated inline on the coordinator at their
+// exact serial position; batches flush around them. ONCHANGE hazards are
+// *key-scoped*: the plan intersects each monitor's static read/write sets
+// with the watched-key set, so a cascade with disjoint keys costs nothing.
+// Only two engine-wide hazards remain (an armed runtime.helper_fail chaos
+// site, whose per-helper draw order only the serial engine reproduces, and
+// an unprovable write set: a dynamic-key action write or a watched infra
+// key) — those disable batching for the callout, and the sharded engine then
+// *is* the serial engine plus a branch.
+//
+// The timer path runs the same pipeline: AdvanceTo pops due entries in the
+// serial (deadline, tiebreak) order, Begins them on the coordinator, and
+// batches entries that share a deadline into one ring-dispatched wave;
+// re-arms and rollback application interleave per entry exactly as the
+// serial engine's loop does. Native-tier composition: a promoted monitor's
+// cached `.so` rule body runs on the shard worker (each worker owns a
+// NativeExec bound to its snapshot env), with the tier chosen at Begin time
+// on the coordinator — the same decision ExecProgram would make at its
+// serial position, since nothing feeding it changes in between.
 //
 // Self-healing (docs/GOVERNOR.md): the completion barrier carries a wall-
 // clock watchdog deadline. On expiry the coordinator *steals* every task its
@@ -47,6 +62,7 @@
 #ifndef SRC_RUNTIME_SHARDED_ENGINE_H_
 #define SRC_RUNTIME_SHARDED_ENGINE_H_
 
+#include <algorithm>
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
@@ -60,6 +76,7 @@
 #include "src/chaos/chaos.h"
 #include "src/runtime/engine.h"
 #include "src/runtime/helper_env.h"
+#include "src/runtime/native_exec.h"
 #include "src/store/feature_store.h"
 #include "src/support/spsc_ring.h"
 #include "src/vm/vm.h"
@@ -136,6 +153,11 @@ class SnapshotHelperEnv : public HelperContext {
                                 std::span<const Value> args) override;
   SimTime now() const override { return fallback_.envelope().now; }
 
+  // The chaos-free env a worker-local NativeExec binds to: native helper
+  // escapes route through its locked reads, which are safe (and value-equal
+  // to the seqlock view) during the writer-quiescent drain.
+  MonitorHelperEnv* fallback() { return &fallback_; }
+
   uint64_t view_retries() const { return view_.retries(); }
 
  private:
@@ -153,9 +175,10 @@ class ShardedEngine {
   ShardedEngine(const ShardedEngine&) = delete;
   ShardedEngine& operator=(const ShardedEngine&) = delete;
 
-  // Drop-in replacements for the engine callouts. AdvanceTo delegates
-  // unconditionally — TIMER cadences are long and interleave with rollback
-  // application per entry, so batching them buys nothing and risks much.
+  // Drop-in replacements for the engine callouts. AdvanceTo batches due
+  // timer entries that share a deadline into one eval wave and flushes at
+  // every deadline boundary, rollback, or serial-classified entry, so fires
+  // and re-arms stay byte-identical to the serial loop.
   void OnFunctionCall(std::string_view function, SimTime t);
   void AdvanceTo(SimTime t);
 
@@ -163,6 +186,16 @@ class ShardedEngine {
   const ShardedStats& stats() const { return stats_; }
   // Ring-occupancy high-water mark of shard `i` (telemetry).
   size_t RingHighWater(size_t i) const { return shards_[i]->hwm; }
+  // Max ring-occupancy high-water mark across shards: the governor's
+  // queue-depth probe adds this to the sim event-queue depth, and telemetry
+  // exports it as engine.shard.ring_high_water.
+  size_t RingHighWaterMark() const {
+    size_t hwm = 0;
+    for (const auto& shard : shards_) {
+      hwm = std::max(hwm, shard->hwm);
+    }
+    return hwm;
+  }
   uint64_t ShardEvals(size_t i) const {
     return shards_[i]->evals.load(std::memory_order_relaxed);
   }
@@ -177,6 +210,12 @@ class ShardedEngine {
     SimTime t = 0;
     size_t key_count = 0;  // store slot-id space when the batch was sealed
     Engine::RuleEvalPrep prep;
+    // Native-tier composition: non-null when the coordinator picked the AOT
+    // rule body at Begin time (promoted, no step cap, not in probation). The
+    // pointers stay valid across the flush — the monitor's shared_ptr pins
+    // the NativeObject, and demotion never clears it.
+    NativeObject::EntryFn native_fn = nullptr;
+    const osg_value* native_consts = nullptr;
     // Worker outputs, published by the `done` release store.
     Result<Value> result = Value();
     int64_t steps = 0;
@@ -241,7 +280,8 @@ class ShardedEngine {
 
   void WorkerLoop(Shard* shard, SpscRing<EvalTask*>* ring,
                   std::shared_ptr<WorkerCtl> ctl);
-  void ExecuteTask(EvalTask& task, Vm& vm, SnapshotHelperEnv& env);
+  void ExecuteTask(EvalTask& task, Vm& vm, SnapshotHelperEnv& env,
+                   NativeExec& nexec);
 
   void RespawnWorker(Shard& shard);
   // Joins retired workers that have observed their exit flag; once none
@@ -259,6 +299,10 @@ class ShardedEngine {
   // Engine-wide batching disablers re-checked per callout (chaos arming is
   // runtime state, not topology).
   bool GlobalSerialRequired() const;
+  // One monitor firing at its serial position: inline (serial-classified /
+  // quarantine), or Begin + enqueue on its shard. Shared by the function and
+  // timer callouts.
+  void DispatchMonitor(Engine::Monitor* monitor, SimTime t);
   // Kicks the workers and merges every in-flight task in sequence order.
   void FlushBatch();
   // Fully serial callout body (global fallback), identical to the engine's.
@@ -289,7 +333,8 @@ class ShardedEngine {
   // Cached plan, keyed on the engine's topology version.
   uint64_t plan_version_ = 0;
   bool plan_valid_ = false;
-  bool plan_global_serial_ = false;  // topology-level: ONCHANGE / tier / writes
+  bool plan_global_serial_ = false;  // topology-level: watched infra key /
+                                     // dynamic-key action write
   std::unordered_map<const Engine::Monitor*, MonitorPlan> plan_;
 
   // Chaos sites, registered lazily (off == absent: nothing registers until a
@@ -311,6 +356,8 @@ class ShardedEngine {
   KeyId k_respawns_ = kInvalidKeyId;
   KeyId k_quarantine_ = kInvalidKeyId;
   KeyId k_readmissions_ = kInvalidKeyId;
+  KeyId k_ring_hwm_ = kInvalidKeyId;  // engine.shard.ring_high_water (max over shards)
+  uint64_t published_ring_hwm_ = 0;
   std::vector<KeyId> k_shard_evals_;
   std::vector<KeyId> k_shard_hwm_;
   std::vector<uint64_t> published_shard_evals_;

@@ -16,6 +16,15 @@ Kernel::Kernel(EngineOptions engine_options, ShardingOptions sharding)
 void Kernel::BuildSharding() {
   if (sharding_options_.enabled) {
     sharded_ = std::make_unique<ShardedEngine>(engine_.get(), sharding_options_);
+    if (sharding_options_.telemetry) {
+      // Fold the shard rings' high-water mark into the governor's queue-depth
+      // signal. Ring occupancy depends on flush timing (wall-clock state), so
+      // this wiring rides the telemetry switch: differential runs keep the
+      // pure sim-queue probe and stay bit-identical, production runs let ring
+      // pressure feed the overload ladder.
+      engine_->governor().SetQueueProbe(
+          [this] { return queue_.size() + sharded_->RingHighWaterMark(); });
+    }
   }
 }
 
@@ -166,13 +175,23 @@ void Kernel::Run(SimTime until) {
     if (panicked_) {
       return;
     }
-    engine_->AdvanceTo(*deadline);
+    AdvanceEngineTo(*deadline);
   }
   queue_.RunUntil(until);
   if (panicked_) {
     return;
   }
-  engine_->AdvanceTo(until);
+  AdvanceEngineTo(until);
+}
+
+void Kernel::AdvanceEngineTo(SimTime t) {
+  // Timer callouts route through the sharded layer (which batches same-
+  // deadline fires) exactly like function callouts do.
+  if (sharded_ != nullptr) {
+    sharded_->AdvanceTo(t);
+  } else {
+    engine_->AdvanceTo(t);
+  }
 }
 
 }  // namespace osguard

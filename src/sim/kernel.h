@@ -157,6 +157,8 @@ class Kernel {
   // Drops any live sharded layer; BuildSharding() recreates it afterwards.
   void BuildEngine();
   void BuildSharding();
+  // Timer callout, routed through the sharded layer when one is live.
+  void AdvanceEngineTo(SimTime t);
   Result<RecoveryInfo> RebootInner();
 
   EngineOptions engine_options_;

@@ -12,9 +12,13 @@
 //   * 300 chaos seeds        (agent.event_drop, agent.dup_session,
 //                             engine.callout_drop/delay armed)
 //   * 200 governance seeds   (the shipped ONCHANGE specs: deny/throttle/
-//                             kill corrective loops; the classifier drops
-//                             these callouts to serial and the campaign
-//                             asserts that, too)
+//                             kill corrective loops; the key-scoped
+//                             classifier keeps the FUNCTION monitors on
+//                             workers — their reads are disjoint from the
+//                             cascades' agent.ctl.* writes — and the
+//                             campaign asserts the parallel path stayed hot
+//                             with a >= 50% worker-eval fraction on the
+//                             governance + watch-monitor mix)
 //   * 100 persist seeds      (mid-trace panic + warm restart on both sides)
 // OSGUARD_CHAOS_SEED offsets the seed base so CI matrices explore fresh
 // seeds without code changes.
@@ -99,6 +103,7 @@ struct RunConfig {
   bool sharded = false;
   size_t shards = 3;
   bool governance_specs = false;     // shipped ONCHANGE specs vs FUNCTION-only
+  bool mix_function_specs = false;   // add the FUNCTION-only watch monitors too
   const char* chaos_spec = nullptr;  // extra source arming chaos sites
   bool reboot = false;               // panic + warm restart mid-trace
   std::string persist_dir;           // set iff reboot
@@ -123,7 +128,8 @@ SessionWorkloadOptions WorkloadFor(uint64_t seed) {
 }
 
 std::string RunWorkload(uint64_t seed, const RunConfig& config,
-                        ShardedStats* stats_out = nullptr) {
+                        ShardedStats* stats_out = nullptr,
+                        uint64_t* total_evals_out = nullptr) {
   EngineOptions engine_options;
   engine_options.measure_wall_time = false;
   ShardingOptions sharding;
@@ -148,6 +154,9 @@ std::string RunWorkload(uint64_t seed, const RunConfig& config,
                                       ? GovernanceSpec()
                                       : std::string(kFunctionOnlySpec))
                   .ok());
+  if (config.governance_specs && config.mix_function_specs) {
+    EXPECT_TRUE(kernel.LoadGuardrails(kFunctionOnlySpec).ok());
+  }
   if (config.chaos_spec != nullptr) {
     EXPECT_TRUE(kernel.LoadGuardrails(config.chaos_spec).ok());
   }
@@ -178,6 +187,9 @@ std::string RunWorkload(uint64_t seed, const RunConfig& config,
 
   if (stats_out != nullptr && kernel.sharded_engine() != nullptr) {
     *stats_out = kernel.sharded_engine()->stats();
+  }
+  if (total_evals_out != nullptr) {
+    *total_evals_out = kernel.engine().stats().evaluations;
   }
   Snapshot snapshot;
   snapshot.store = kernel.store().DumpSlots();
@@ -230,27 +242,40 @@ TEST_F(AgentDiffTest, ChaosArmedSeeds) {
   }
 }
 
-TEST_F(AgentDiffTest, GovernanceSpecSeedsFallBackToSerial) {
+TEST_F(AgentDiffTest, GovernanceSpecSeedsKeyScopedParallel) {
   const uint64_t base = SeedBase() + 0x60000;
   uint64_t parallel_evals = 0;
   uint64_t serial_callouts = 0;
+  uint64_t total_evals = 0;
   for (uint64_t i = 0; i < 200; ++i) {
     const uint64_t seed = base + i;
     RunConfig serial;
     serial.governance_specs = true;
+    serial.mix_function_specs = true;
     RunConfig sharded = serial;
     sharded.sharded = true;
     ShardedStats stats;
+    uint64_t evals = 0;
     const std::string expect = RunWorkload(seed, serial);
-    const std::string actual = RunWorkload(seed, sharded, &stats);
+    const std::string actual = RunWorkload(seed, sharded, &stats, &evals);
     ASSERT_EQ(expect, actual) << "seed=" << seed;
     parallel_evals += stats.parallel_evals;
     serial_callouts += stats.serial_callouts;
+    total_evals += evals;
   }
-  // ONCHANGE monitors force the conservative whole-callout serial fallback
-  // (docs/SHARDING.md); the corrective loops must still be bit-identical.
-  EXPECT_EQ(parallel_evals, 0u);
-  EXPECT_GT(serial_callouts, 0u);
+  // The ONCHANGE governance monitors used to force the whole-callout serial
+  // fallback. The key-scoped classifier sees their cascades write only
+  // agent.ctl.* — disjoint from every FUNCTION rule's reads — so the watch
+  // monitors stay on workers even with the corrective loops live, and the
+  // callouts never drop to global serial (the ONCHANGE evals themselves
+  // replay inline on external writes, exactly as the serial oracle runs
+  // them).
+  EXPECT_EQ(serial_callouts, 0u);
+  ASSERT_GT(total_evals, 0u);
+  const double worker_fraction =
+      static_cast<double>(parallel_evals) / static_cast<double>(total_evals);
+  EXPECT_GE(worker_fraction, 0.5) << "parallel=" << parallel_evals
+                                  << " total=" << total_evals;
 }
 
 TEST_F(AgentDiffTest, PersistWarmRestartSeeds) {

@@ -4,7 +4,10 @@
 // observable state (feature-store slots with series internals, the report
 // ring, the engine state image) byte for byte via the persist codec.
 //
-// The campaign covers 1000 seeds per run, split across four regimes:
+// The campaign covers 1000 seeds per run, split across four regimes (every
+// regime's spec mix includes a live ONCHANGE watcher, so key-scoped
+// eligibility is exercised throughout; the native-tier and timer-storm
+// regimes live in shard_native_diff_test.cc / shard_timer_diff_test.cc):
 //   * 400 clean seeds            (randomized workload + mid-run probation
 //                                 deploy that rolls back)
 //   * 400 chaos seeds            (callout drop/delay, budget exhaustion,
@@ -52,8 +55,17 @@ uint64_t SeedBase() {
 // The workload spec: pure-read parallel rules over scalars, windowed
 // aggregates and a quantile, a serial-classified monitor (trip_watch reads
 // lat.trips, which lat_mean's action writes), a supervised monitor, a
-// deliberately error-prone rule on a second hook, and a TIMER monitor.
+// deliberately error-prone rule on a second hook, a TIMER monitor, and an
+// ONCHANGE watcher on a workload-written key (cfg_watch) — its cascade's
+// write set (cfg.trips) is disjoint from every rule's reads, so the
+// key-scoped classifier keeps the FUNCTION monitors batching while the
+// cascades replay inline on both sides.
 constexpr char kDiffSpec[] = R"(
+  guardrail cfg_watch {
+    trigger: { ONCHANGE(probe.value) },
+    rule: { LOAD_OR(probe.value, 0) <= 75 },
+    action: { INCR(cfg.trips) }
+  }
   guardrail lat_mean {
     trigger: { FUNCTION(submit_io) },
     rule: { COUNT(io.lat, 50ms) == 0 || MEAN(io.lat, 50ms) <= 2000000 },

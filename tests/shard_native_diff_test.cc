@@ -1,0 +1,234 @@
+// Differential replay for the native-tier / sharding composition
+// (`ctest -L native` ∩ `-L shard`): the serial engine with the AOT tier
+// enabled is the oracle; the sharded engine — whose workers run the cached
+// native rule bodies of promoted monitors — must reproduce its observable
+// state byte for byte. The fingerprint includes the feature-store dump, and
+// the engine publishes engine.tier.native_evals / interp_evals there, so the
+// comparison enforces tier-decision parity (who ran native, and when), not
+// just result parity.
+//
+// Regimes (seeds offset by OSGUARD_CHAOS_SEED like the other campaigns):
+//   * 150 clean seeds     — promotion mid-run, promoted bodies on workers
+//   * 100 probation seeds — mid-run staged deploy of a hot monitor; the
+//                           holdout is pinned inline (never native, never on
+//                           a worker) until rollback/expiry
+//   *  50 chaos seeds     — budget exhaustion + dispatch failures while
+//                           promoted (vm.budget_exhaust forces per-monitor
+//                           serial for budgeted monitors; the rest stay on
+//                           workers)
+//
+// Skips wholesale when the host compiler is unavailable: the interp-only
+// composition is already covered by shard_diff_test.cc.
+
+#include <cstdint>
+#include <cstdlib>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "src/chaos/chaos.h"
+#include "src/persist/persist.h"
+#include "src/runtime/engine.h"
+#include "src/runtime/sharded_engine.h"
+#include "src/sim/kernel.h"
+#include "src/store/feature_store.h"
+#include "src/support/logging.h"
+#include "src/support/rng.h"
+#include "src/support/time.h"
+#include "src/vm/native_aot.h"
+
+namespace osguard {
+namespace {
+
+uint64_t SeedBase() {
+  const char* env = std::getenv("OSGUARD_CHAOS_SEED");
+  return env != nullptr ? static_cast<uint64_t>(std::strtoull(env, nullptr, 10)) : 0;
+}
+
+bool NativeAvailable() {
+  static const bool available = [] {
+    if (!NativeAot::CompiledIn()) {
+      return false;
+    }
+    NativeAot aot;
+    return aot.Available();
+  }();
+  return available;
+}
+
+#define SKIP_IF_NO_NATIVE()                                             \
+  do {                                                                  \
+    if (!NativeAvailable()) {                                           \
+      GTEST_SKIP() << "native tier unavailable; interp composition is " \
+                      "covered by shard_diff_test";                     \
+    }                                                                   \
+  } while (0)
+
+// Three parallel-eligible hot monitors (promotion candidates), one monitor
+// with a step budget (budget_steps > 0 pins it inline and keeps it
+// interpreted — the budget is exact instruction accounting), and one ONCHANGE
+// watcher whose cascade writes a key nobody's rule reads, so watching it does
+// not cost the hot monitors their worker slots.
+constexpr char kNativeSpec[] = R"(
+  guardrail hot_a {
+    trigger: { FUNCTION(submit_io) },
+    rule: { LOAD_OR(a.value, 0) <= 50 },
+    action: { REPORT("a high") }
+  }
+  guardrail hot_b {
+    trigger: { FUNCTION(submit_io) },
+    rule: { LOAD_OR(b.value, 0) * 2 <= 120 },
+    action: { INCR(b.trips) }
+  }
+  guardrail hot_c {
+    trigger: { FUNCTION(submit_io) },
+    rule: { LOAD_OR(c.value, 0) >= 0 },
+    action: { REPORT("c negative") }
+  }
+  guardrail budgeted {
+    trigger: { FUNCTION(submit_io) },
+    rule: { LOAD_OR(a.value, 0) <= 80 },
+    action: { REPORT("a very high") },
+    health: { budget_steps = 64, quarantine = 6 }
+  }
+  guardrail watch {
+    trigger: { ONCHANGE(a.value) },
+    rule: { LOAD_OR(a.value, 0) <= 70 },
+    action: { INCR(watch.trips) }
+  }
+)";
+
+// Staged deploy of hot_a: in probation the replacement evaluates inline and
+// interpreted on both engines, then (no regression here) probation simply
+// outlives the run.
+constexpr char kHotADeploy[] = R"(
+  guardrail hot_a {
+    trigger: { FUNCTION(submit_io) },
+    rule: { LOAD_OR(a.value, 0) <= 45 },
+    action: { REPORT("a high v2") },
+    health: { probation = 60s, quarantine = 50 }
+  }
+)";
+
+constexpr char kNativeChaosSpec[] = R"(
+  chaos {
+    site vm.budget_exhaust { mode = bernoulli, p = 0.1 },
+    site actions.dispatch_fail { mode = bernoulli, p = 0.1 }
+  }
+)";
+
+struct RunConfig {
+  bool sharded = false;
+  size_t shards = 3;
+  bool probation_deploy = false;
+  const char* chaos_spec = nullptr;
+};
+
+std::string RunWorkload(uint64_t seed, const RunConfig& config,
+                        ShardedStats* stats_out = nullptr) {
+  EngineOptions options;
+  options.measure_wall_time = false;
+  options.tier.enabled = true;
+  options.tier.promote_after = 4;  // promotes mid-run under the 24-step drive
+  ShardingOptions sharding;
+  sharding.enabled = config.sharded;
+  sharding.shards = config.shards;
+  sharding.telemetry = false;
+  Kernel kernel(options, sharding);
+
+  ChaosEngine chaos(seed);
+  if (config.chaos_spec != nullptr) {
+    kernel.AttachChaos(&chaos);
+  }
+  EXPECT_TRUE(kernel.LoadGuardrails(kNativeSpec).ok());
+  if (config.chaos_spec != nullptr) {
+    EXPECT_TRUE(kernel.LoadGuardrails(config.chaos_spec).ok());
+  }
+
+  Rng rng(seed * 0x9E3779B97F4A7C15ull + 29);
+  constexpr int kSteps = 24;
+  for (int step = 1; step <= kSteps; ++step) {
+    kernel.Run(Milliseconds(10) * step);
+    if (rng.Bernoulli(0.5)) {
+      kernel.store().Save("a.value", Value(rng.Uniform(0.0, 90.0)));
+    }
+    if (rng.Bernoulli(0.4)) {
+      kernel.store().Save("b.value", Value(rng.Uniform(0.0, 80.0)));
+    }
+    if (rng.Bernoulli(0.3)) {
+      kernel.store().Save("c.value", Value(rng.Uniform(-5.0, 50.0)));
+    }
+    kernel.Callout("submit_io");
+    if (config.probation_deploy && step == kSteps / 2) {
+      EXPECT_TRUE(kernel.LoadGuardrails(kHotADeploy).ok());
+    }
+  }
+
+  if (stats_out != nullptr && kernel.sharded_engine() != nullptr) {
+    *stats_out = kernel.sharded_engine()->stats();
+  }
+  Snapshot snapshot;
+  snapshot.store = kernel.store().DumpSlots();
+  snapshot.report_ring = kernel.engine().EncodeReportRing();
+  snapshot.image = kernel.engine().EncodeImage();
+  return EncodeSnapshot(snapshot);
+}
+
+class ShardNativeDiffTest : public ::testing::Test {
+ protected:
+  ShardNativeDiffTest() { Logger::Global().set_level(LogLevel::kOff); }
+};
+
+TEST_F(ShardNativeDiffTest, PromotedSeedsRunNativeOnWorkers) {
+  SKIP_IF_NO_NATIVE();
+  const uint64_t base = SeedBase() + 0x90000;
+  uint64_t parallel_evals = 0;
+  for (uint64_t i = 0; i < 150; ++i) {
+    const uint64_t seed = base + i;
+    RunConfig serial;
+    RunConfig sharded;
+    sharded.sharded = true;
+    ShardedStats stats;
+    const std::string expect = RunWorkload(seed, serial);
+    const std::string actual = RunWorkload(seed, sharded, &stats);
+    ASSERT_EQ(expect, actual) << "seed=" << seed;
+    parallel_evals += stats.parallel_evals;
+  }
+  EXPECT_GT(parallel_evals, 0u);
+}
+
+TEST_F(ShardNativeDiffTest, ProbationDeploySeedsStayInline) {
+  SKIP_IF_NO_NATIVE();
+  const uint64_t base = SeedBase() + 0xA0000;
+  uint64_t serial_evals = 0;
+  for (uint64_t i = 0; i < 100; ++i) {
+    const uint64_t seed = base + i;
+    RunConfig serial;
+    serial.probation_deploy = true;
+    RunConfig sharded = serial;
+    sharded.sharded = true;
+    ShardedStats stats;
+    const std::string expect = RunWorkload(seed, serial);
+    const std::string actual = RunWorkload(seed, sharded, &stats);
+    ASSERT_EQ(expect, actual) << "seed=" << seed;
+    serial_evals += stats.serial_evals;
+  }
+  // The probation holdout (and the budgeted monitor) evaluated inline.
+  EXPECT_GT(serial_evals, 0u);
+}
+
+TEST_F(ShardNativeDiffTest, ChaosSeedsWhilePromoted) {
+  SKIP_IF_NO_NATIVE();
+  const uint64_t base = SeedBase() + 0xB0000;
+  for (uint64_t i = 0; i < 50; ++i) {
+    const uint64_t seed = base + i;
+    RunConfig serial;
+    serial.chaos_spec = kNativeChaosSpec;
+    RunConfig sharded = serial;
+    sharded.sharded = true;
+    ASSERT_EQ(RunWorkload(seed, serial), RunWorkload(seed, sharded)) << "seed=" << seed;
+  }
+}
+
+}  // namespace
+}  // namespace osguard

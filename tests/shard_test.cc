@@ -14,6 +14,9 @@
 
 #include <gtest/gtest.h>
 
+#include "src/dsl/builtins.h"
+#include "src/dsl/parser.h"
+#include "src/dsl/sema.h"
 #include "src/persist/persist.h"
 #include "src/runtime/engine.h"
 #include "src/runtime/sharded_engine.h"
@@ -22,6 +25,9 @@
 #include "src/support/logging.h"
 #include "src/support/spsc_ring.h"
 #include "src/support/time.h"
+#include "src/vm/bytecode.h"
+#include "src/vm/compiler.h"
+#include "src/vm/native_aot.h"
 
 namespace osguard {
 namespace {
@@ -280,7 +286,12 @@ TEST_F(ShardEquivalenceTest, MixedWorkloadBitIdentical) {
   EXPECT_EQ(stats.serial_callouts, 0u);
 }
 
-TEST_F(ShardEquivalenceTest, OnChangeSpecFallsBackToGlobalSerial) {
+// A loaded ONCHANGE watcher used to drop every callout to global serial.
+// The key-scoped plan only pins monitors whose store traffic intersects the
+// watched-key set: here the hooked monitor's reads ({x}) and writes (none)
+// are disjoint from the watched key (err.rate) and the cascade's write set
+// (watch.trips), so it keeps batching.
+TEST_F(ShardEquivalenceTest, OnChangeDisjointSetsParallelize) {
   constexpr char kOnChangeSpec[] = R"(
     guardrail watcher {
       trigger: { ONCHANGE(err.rate) },
@@ -300,18 +311,225 @@ TEST_F(ShardEquivalenceTest, OnChangeSpecFallsBackToGlobalSerial) {
   for (Kernel* kernel : {&serial, &sharded}) {
     for (int step = 1; step <= 10; ++step) {
       kernel->Run(Milliseconds(step));
-      kernel->store().Save("err.rate", Value(0.1 * step));
+      kernel->store().Save("err.rate", Value(0.1 * step));  // fires the cascade
       kernel->store().Save("x", Value(step));
       kernel->Callout("submit_io");
     }
   }
   EXPECT_EQ(Fingerprint(serial), Fingerprint(sharded));
-  // ONCHANGE monitors make batching unsound (evaluations can be triggered by
-  // the batch's own writes); every callout must have taken the global-serial
-  // fallback.
+  const ShardedStats& stats = sharded.sharded_engine()->stats();
+  EXPECT_GT(stats.parallel_evals, 0u);
+  EXPECT_EQ(stats.serial_callouts, 0u);
+}
+
+// The two key-scoped ONCHANGE hazards, in one topology: a monitor whose rule
+// reads a key the cascade writes (`reader`) and a monitor whose action writes
+// the watched key (`writer`) are pinned serial; a monitor disjoint from both
+// sets (`indie`) still batches; no callout falls back to global serial.
+TEST_F(ShardEquivalenceTest, OnChangeCascadeIntersectionsStaySerial) {
+  constexpr char kCascadeSpec[] = R"(
+    guardrail watcher {
+      trigger: { ONCHANGE(cascade.sig) },
+      rule: { LOAD_OR(cascade.sig, 0) <= 3 },
+      action: { INCR(cascade.out) }
+    }
+    guardrail reader {
+      trigger: { FUNCTION(fn) },
+      rule: { LOAD_OR(cascade.out, 0) <= 2 },
+      action: { REPORT("cascade output high") }
+    }
+    guardrail writer {
+      trigger: { FUNCTION(fn) },
+      rule: { LOAD_OR(drive.level, 0) <= 4 },
+      action: { SAVE(cascade.sig, 9) }
+    }
+    guardrail indie {
+      trigger: { FUNCTION(fn) },
+      rule: { LOAD_OR(other.key, 0) <= 50 },
+      action: { REPORT("other high") }
+    }
+  )";
+  Kernel serial(DiffEngineOptions());
+  Kernel sharded(DiffEngineOptions(), DiffSharding(2));
+  ASSERT_TRUE(serial.LoadGuardrails(kCascadeSpec).ok());
+  ASSERT_TRUE(sharded.LoadGuardrails(kCascadeSpec).ok());
+  for (Kernel* kernel : {&serial, &sharded}) {
+    for (int step = 1; step <= 12; ++step) {
+      kernel->Run(Milliseconds(step));
+      // drive.level > 4 makes `writer`'s action store the watched key
+      // mid-callout, so the cascade (and its INCR of cascade.out) fires
+      // inside the inline eval — the exact interleaving the serial engine
+      // produces.
+      kernel->store().Save("drive.level", Value(step % 8));
+      kernel->store().Save("other.key", Value(step * 7 % 60));
+      kernel->Callout("fn");
+    }
+  }
+  EXPECT_EQ(Fingerprint(serial), Fingerprint(sharded));
+  const ShardedStats& stats = sharded.sharded_engine()->stats();
+  EXPECT_GT(stats.parallel_evals, 0u);  // indie keeps batching
+  EXPECT_GT(stats.serial_evals, 0u);    // reader + writer pinned inline
+  EXPECT_EQ(stats.serial_callouts, 0u);
+  // The cascade actually ran (the hazard was live, not vacuous).
+  EXPECT_GT(sharded.store().LoadOr("cascade.out", Value()).NumericOr(0), 0.0);
+}
+
+// A cascade whose action names its store key only at runtime defeats the
+// read/write-set analysis, so the plan must fall back to global serial. The
+// DSL requires literal keys, so the dynamic write is produced by patching
+// the compiled action's bytecode: a register self-move between the key
+// constant and the SAVE call hides the constant from the load-time keyed-
+// call rewrite, leaving a dynamic (string-path) kCall.
+TEST_F(ShardEquivalenceTest, DynamicKeyOnChangeCascadeForcesGlobalSerial) {
+  constexpr char kDynamicSpec[] = R"(
+    guardrail watcher {
+      trigger: { ONCHANGE(dyn.sig) },
+      rule: { LOAD_OR(dyn.sig, 0) <= 3 },
+      action: { SAVE(dyn.out, 1) }
+    }
+    guardrail hooked {
+      trigger: { FUNCTION(fn) },
+      rule: { LOAD_OR(x, 0) <= 10 },
+      action: { REPORT() }
+    }
+  )";
+  auto load_patched = [&](Kernel& kernel) {
+    auto spec = ParseSpecSource(kDynamicSpec);
+    ASSERT_TRUE(spec.ok());
+    auto analyzed = Analyze(std::move(spec).value());
+    ASSERT_TRUE(analyzed.ok());
+    auto compiled = CompileSpec(analyzed.value());
+    ASSERT_TRUE(compiled.ok());
+    bool patched = false;
+    for (CompiledGuardrail& guardrail : compiled.value()) {
+      if (guardrail.name != "watcher") {
+        continue;
+      }
+      std::vector<Insn>& insns = guardrail.action.insns;
+      for (size_t pc = 0; pc < insns.size(); ++pc) {
+        if (insns[pc].op == Op::kCall &&
+            static_cast<HelperId>(insns[pc].imm) == HelperId::kSave) {
+          // r[b] holds the key; a self-move makes it a non-constant reaching
+          // definition, so RewriteKeyedCalls leaves the call dynamic.
+          Insn mov;
+          mov.op = Op::kMov;
+          mov.a = insns[pc].b;
+          mov.b = insns[pc].b;
+          insns.insert(insns.begin() + static_cast<ptrdiff_t>(pc), mov);
+          patched = true;
+          break;
+        }
+      }
+    }
+    ASSERT_TRUE(patched);
+    for (CompiledGuardrail& guardrail : compiled.value()) {
+      ASSERT_TRUE(kernel.engine().Load(std::move(guardrail)).ok());
+    }
+  };
+  Kernel serial(DiffEngineOptions());
+  Kernel sharded(DiffEngineOptions(), DiffSharding(2));
+  load_patched(serial);
+  load_patched(sharded);
+  for (Kernel* kernel : {&serial, &sharded}) {
+    for (int step = 1; step <= 10; ++step) {
+      kernel->Run(Milliseconds(step));
+      kernel->store().Save("dyn.sig", Value(step % 6));
+      kernel->store().Save("x", Value(step));
+      kernel->Callout("fn");
+    }
+  }
+  EXPECT_EQ(Fingerprint(serial), Fingerprint(sharded));
   const ShardedStats& stats = sharded.sharded_engine()->stats();
   EXPECT_EQ(stats.parallel_evals, 0u);
   EXPECT_GT(stats.serial_callouts, 0u);
+}
+
+// --- Native-tier composition ---
+
+bool NativeAvailable() {
+  static const bool available = [] {
+    if (!NativeAot::CompiledIn()) {
+      return false;
+    }
+    NativeAot aot;
+    return aot.Available();
+  }();
+  return available;
+}
+
+#define SKIP_IF_NO_NATIVE()                                                  \
+  do {                                                                       \
+    if (!NativeAvailable()) {                                                \
+      GTEST_SKIP() << "native tier unavailable; interp-only composition is " \
+                      "covered by the other equivalence tests";              \
+    }                                                                        \
+  } while (0)
+
+// Promoted monitors run their cached native rule bodies on shard workers and
+// stay bit-identical to the serial engine (whose tier counters land in the
+// fingerprint, so tier parity is enforced, not just result parity). A
+// probation deploy then pins the replaced monitor inline — probation holdouts
+// never run native, and never run on a worker — while the untouched monitor
+// keeps batching.
+TEST_F(ShardEquivalenceTest, NativeTierRunsOnWorkersAndProbationStaysInline) {
+  SKIP_IF_NO_NATIVE();
+  constexpr char kTierSpec[] = R"(
+    guardrail hot {
+      trigger: { FUNCTION(fn) },
+      rule: { LOAD_OR(x, 0) <= 5 },
+      action: { REPORT("x high") }
+    }
+    guardrail cold {
+      trigger: { FUNCTION(fn) },
+      rule: { LOAD_OR(y, 0) <= 50 },
+      action: { REPORT("y high") }
+    }
+  )";
+  constexpr char kHotV2[] = R"(
+    guardrail hot {
+      trigger: { FUNCTION(fn) },
+      rule: { LOAD_OR(x, 0) <= 4 },
+      action: { REPORT("x high v2") },
+      health: { probation = 60s, quarantine = 50 }
+    }
+  )";
+  EngineOptions options = DiffEngineOptions();
+  options.tier.enabled = true;
+  options.tier.promote_after = 2;
+  Kernel serial(options);
+  Kernel sharded(options, DiffSharding(2));
+  ASSERT_TRUE(serial.LoadGuardrails(kTierSpec).ok());
+  ASSERT_TRUE(sharded.LoadGuardrails(kTierSpec).ok());
+  auto drive = [](Kernel& kernel, int base) {
+    for (int step = 1; step <= 10; ++step) {
+      kernel.Run(Milliseconds(base + step));
+      kernel.store().Save("x", Value((base + step) % 9));
+      kernel.store().Save("y", Value((base + step) * 3 % 80));
+      kernel.Callout("fn");
+    }
+  };
+  drive(serial, 0);
+  drive(sharded, 0);
+  EXPECT_EQ(Fingerprint(serial), Fingerprint(sharded));
+  const ShardedStats& stats = sharded.sharded_engine()->stats();
+  EXPECT_GT(stats.parallel_evals, 0u);
+  EXPECT_EQ(stats.serial_callouts, 0u);
+  // Promotion actually kicked in: native bodies ran (on workers, given the
+  // assertions above).
+  EXPECT_GT(sharded.store().LoadOr("engine.tier.native_evals", Value()).NumericOr(-1), 0.0);
+
+  // Probation deploy of `hot` v2: the holdout evaluates inline until the
+  // probation window closes; `cold` keeps its worker-side native tier.
+  ASSERT_TRUE(serial.LoadGuardrails(kHotV2).ok());
+  ASSERT_TRUE(sharded.LoadGuardrails(kHotV2).ok());
+  const uint64_t serial_before = stats.serial_evals;
+  const uint64_t parallel_before = stats.parallel_evals;
+  drive(serial, 10);
+  drive(sharded, 10);
+  EXPECT_EQ(Fingerprint(serial), Fingerprint(sharded));
+  EXPECT_GT(stats.serial_evals, serial_before);      // hot pinned inline
+  EXPECT_GT(stats.parallel_evals, parallel_before);  // cold still batches
+  EXPECT_EQ(stats.serial_callouts, 0u);
 }
 
 // --- Telemetry ---

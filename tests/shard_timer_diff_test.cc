@@ -1,0 +1,233 @@
+// Differential replay for the sharded timer path: AdvanceTo batches timer
+// entries that share a deadline into ring-dispatched eval waves, and every
+// wave must land on the serial oracle's exact bytes — firing order, re-arm
+// tiebreaks, rollbacks surfacing mid-advance, and the interleaving with
+// FUNCTION callouts between deadlines.
+//
+// The storm mix stresses the wave boundaries specifically:
+//   * four monitors sharing one cadence (a genuine same-deadline wave),
+//   * coprime cadences that collide only at the lcm (waves of varying width,
+//     including width 1),
+//   * a serial-classified timer monitor inside the wave (reads a key another
+//     action writes), so waves flush mid-deadline when the classifier says so,
+//   * a probation deploy whose rollback surfaces from a timer eval.
+//
+// Regimes (seeds offset by OSGUARD_CHAOS_SEED):
+//   * 150 clean storm seeds
+//   * 100 chaos storm seeds (callout drop/delay + budget exhaustion)
+//   *  50 rollback storm seeds (staged deploy regressing on the timer path)
+
+#include <cstdint>
+#include <cstdlib>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "src/chaos/chaos.h"
+#include "src/persist/persist.h"
+#include "src/runtime/engine.h"
+#include "src/runtime/sharded_engine.h"
+#include "src/sim/kernel.h"
+#include "src/store/feature_store.h"
+#include "src/support/logging.h"
+#include "src/support/rng.h"
+#include "src/support/time.h"
+
+namespace osguard {
+namespace {
+
+uint64_t SeedBase() {
+  const char* env = std::getenv("OSGUARD_CHAOS_SEED");
+  return env != nullptr ? static_cast<uint64_t>(std::strtoull(env, nullptr, 10)) : 0;
+}
+
+constexpr char kStormSpec[] = R"(
+  guardrail tick_a {
+    trigger: { TIMER(5ms, 5ms) },
+    rule: { LOAD_OR(a.value, 0) <= 60 },
+    action: { REPORT("a high") }
+  }
+  guardrail tick_b {
+    trigger: { TIMER(5ms, 5ms) },
+    rule: { LOAD_OR(b.value, 0) <= 50 },
+    action: { INCR(b.trips) }
+  }
+  guardrail tick_c {
+    trigger: { TIMER(5ms, 5ms) },
+    rule: { LOAD_OR(c.value, 0) >= 0 },
+    action: { REPORT("c negative") }
+  }
+  guardrail tick_d {
+    trigger: { TIMER(5ms, 5ms) },
+    rule: { LOAD_OR(a.value, 0) + LOAD_OR(c.value, 0) <= 100 },
+    action: { REPORT("a+c high") }
+  }
+  guardrail prime_7 {
+    trigger: { TIMER(7ms, 7ms) },
+    rule: { LOAD_OR(b.value, 0) <= 70 },
+    action: { REPORT("b very high") }
+  }
+  guardrail prime_11 {
+    trigger: { TIMER(11ms, 11ms) },
+    rule: { LOAD_OR(c.value, 0) <= 45 },
+    action: { REPORT("c high") }
+  }
+  guardrail trip_reader {
+    trigger: { TIMER(5ms, 5ms) },
+    rule: { LOAD_OR(b.trips, 0) <= 12 },
+    action: { REPORT("b tripping often") }
+  }
+  guardrail hooked {
+    trigger: { FUNCTION(submit_io) },
+    rule: { LOAD_OR(a.value, 0) <= 75 },
+    action: { REPORT("a high at submit") }
+  }
+)";
+
+// Staged deploy of tick_b that blows its 1-step budget on every timer fire:
+// quarantine trips inside probation and the rollback surfaces mid-AdvanceTo,
+// forcing the wave machinery through flush -> rollback -> replan.
+constexpr char kStormDeploy[] = R"(
+  guardrail tick_b {
+    trigger: { TIMER(5ms, 5ms) },
+    rule: { LOAD_OR(b.value, 0) <= 40 },
+    action: { INCR(b.trips) },
+    health: { budget_steps = 1, quarantine = 2, probation = 60s }
+  }
+)";
+
+constexpr char kStormChaosSpec[] = R"(
+  chaos {
+    site engine.callout_drop { mode = bernoulli, p = 0.05 },
+    site engine.callout_delay { mode = bernoulli, p = 0.05, latency = 3ms },
+    site vm.budget_exhaust { mode = bernoulli, p = 0.1 }
+  }
+)";
+
+struct RunConfig {
+  bool sharded = false;
+  size_t shards = 3;
+  bool staged_deploy = false;
+  const char* chaos_spec = nullptr;
+};
+
+std::string RunWorkload(uint64_t seed, const RunConfig& config,
+                        ShardedStats* stats_out = nullptr) {
+  EngineOptions options;
+  options.measure_wall_time = false;
+  ShardingOptions sharding;
+  sharding.enabled = config.sharded;
+  sharding.shards = config.shards;
+  sharding.telemetry = false;
+  Kernel kernel(options, sharding);
+
+  ChaosEngine chaos(seed);
+  if (config.chaos_spec != nullptr) {
+    kernel.AttachChaos(&chaos);
+  }
+  EXPECT_TRUE(kernel.LoadGuardrails(kStormSpec).ok());
+  if (config.chaos_spec != nullptr) {
+    EXPECT_TRUE(kernel.LoadGuardrails(config.chaos_spec).ok());
+  }
+
+  Rng rng(seed * 0x9E3779B97F4A7C15ull + 37);
+  constexpr int kSteps = 30;
+  for (int step = 1; step <= kSteps; ++step) {
+    // Ragged advance targets so deadlines land both mid-Run and exactly on
+    // the boundary (the boundary case is where wave flushing must not peek
+    // past `until`).
+    kernel.Run(Milliseconds(4) * step + (rng.Bernoulli(0.5) ? Milliseconds(1) : 0));
+    if (rng.Bernoulli(0.5)) {
+      kernel.store().Save("a.value", Value(rng.Uniform(0.0, 90.0)));
+    }
+    if (rng.Bernoulli(0.4)) {
+      kernel.store().Save("b.value", Value(rng.Uniform(0.0, 80.0)));
+    }
+    if (rng.Bernoulli(0.3)) {
+      kernel.store().Save("c.value", Value(rng.Uniform(-5.0, 60.0)));
+    }
+    if (rng.Bernoulli(0.3)) {
+      kernel.Callout("submit_io");
+    }
+    if (config.staged_deploy && step == kSteps / 2) {
+      EXPECT_TRUE(kernel.LoadGuardrails(kStormDeploy).ok());
+    }
+  }
+
+  if (stats_out != nullptr && kernel.sharded_engine() != nullptr) {
+    *stats_out = kernel.sharded_engine()->stats();
+  }
+  Snapshot snapshot;
+  snapshot.store = kernel.store().DumpSlots();
+  snapshot.report_ring = kernel.engine().EncodeReportRing();
+  snapshot.image = kernel.engine().EncodeImage();
+  return EncodeSnapshot(snapshot);
+}
+
+class ShardTimerDiffTest : public ::testing::Test {
+ protected:
+  ShardTimerDiffTest() { Logger::Global().set_level(LogLevel::kOff); }
+};
+
+TEST_F(ShardTimerDiffTest, CleanStormSeeds) {
+  const uint64_t base = SeedBase() + 0xC0000;
+  uint64_t parallel_evals = 0;
+  uint64_t timer_firings = 0;
+  for (uint64_t i = 0; i < 150; ++i) {
+    const uint64_t seed = base + i;
+    RunConfig serial;
+    RunConfig sharded;
+    sharded.sharded = true;
+    ShardedStats stats;
+    const std::string expect = RunWorkload(seed, serial);
+    const std::string actual = RunWorkload(seed, sharded, &stats);
+    ASSERT_EQ(expect, actual) << "seed=" << seed;
+    parallel_evals += stats.parallel_evals;
+    timer_firings += stats.batches;
+  }
+  // The storm must actually have exercised batched waves, not degenerated to
+  // inline evals.
+  EXPECT_GT(parallel_evals, 0u);
+  EXPECT_GT(timer_firings, 0u);
+}
+
+TEST_F(ShardTimerDiffTest, ChaosStormSeeds) {
+  const uint64_t base = SeedBase() + 0xD0000;
+  for (uint64_t i = 0; i < 100; ++i) {
+    const uint64_t seed = base + i;
+    RunConfig serial;
+    serial.chaos_spec = kStormChaosSpec;
+    RunConfig sharded = serial;
+    sharded.sharded = true;
+    ASSERT_EQ(RunWorkload(seed, serial), RunWorkload(seed, sharded)) << "seed=" << seed;
+  }
+}
+
+TEST_F(ShardTimerDiffTest, RollbackStormSeeds) {
+  const uint64_t base = SeedBase() + 0xE0000;
+  for (uint64_t i = 0; i < 50; ++i) {
+    const uint64_t seed = base + i;
+    RunConfig serial;
+    serial.staged_deploy = true;
+    RunConfig sharded = serial;
+    sharded.sharded = true;
+    ASSERT_EQ(RunWorkload(seed, serial), RunWorkload(seed, sharded)) << "seed=" << seed;
+  }
+}
+
+TEST_F(ShardTimerDiffTest, StormShardWidthSweep) {
+  const uint64_t seed = SeedBase() + 0xF0000;
+  RunConfig serial;
+  serial.staged_deploy = true;
+  const std::string expect = RunWorkload(seed, serial);
+  for (size_t shards : {1u, 2u, 4u, 8u}) {
+    RunConfig config;
+    config.sharded = true;
+    config.shards = shards;
+    config.staged_deploy = true;
+    ASSERT_EQ(expect, RunWorkload(seed, config)) << "shards=" << shards;
+  }
+}
+
+}  // namespace
+}  // namespace osguard

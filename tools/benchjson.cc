@@ -910,16 +910,26 @@ bool RunPersistBench(std::vector<Metric>& metrics, bool& persist_ok) {
   return true;
 }
 
-// --sharded: the E10 multi-core scaling experiment. 64 FUNCTION monitors on
-// one hot callout — a mix of program-dominated compute rules, windowed
-// aggregates, and threshold rules that trip periodically — driven through
-// the serial engine and through the sharded engine over an identical
-// deterministic workload. Reports throughput for both, the sharded layer's
-// scheduling telemetry, and a bit-identity verdict over the full observable
+// --sharded: the E10/E13 multi-core scaling experiment, run once per
+// workload mix:
+//   * mixed    — 64 FUNCTION monitors on one hot callout (program-dominated
+//                compute rules, windowed aggregates, periodic-trip
+//                thresholds);
+//   * onchange — the agent-governance shape: 8 ONCHANGE watchers whose
+//                cascades write gov.ctl.* control keys, 56 FUNCTION watch
+//                monitors whose reads are disjoint from those writes, and a
+//                workload that fires the cascades mid-run;
+//   * timer    — 64 TIMER monitors sharing a 100us cadence, so every
+//                AdvanceTo dispatches one full-width same-deadline wave.
+// Each mix drives the serial engine and the sharded engine over an
+// identical deterministic workload and reports throughput, the sharded
+// layer's scheduling telemetry, a <mix>_parallel_fraction (worker evals /
+// all engine evals), and a bit-identity verdict over the full observable
 // state (store slots + report ring + engine image; telemetry keys are off
-// for the comparison). Identity is enforced unconditionally; the >= 4x
-// speedup bound only on hosts with >= 8 hardware threads, where the worker
-// pool actually has cores to spread across.
+// for the comparison). Identity is enforced unconditionally. The >= 4x
+// speedup bound and the >= 0.5 onchange parallel-fraction gate apply only
+// on hosts with >= 8 hardware threads; below that the report carries a
+// degraded_single_thread marker and the gates are skipped explicitly.
 namespace shardbench {
 
 constexpr char kHook[] = "blk_mq_submit_bio_hotpath";
@@ -927,9 +937,39 @@ constexpr int kMonitors = 64;
 constexpr int kWarmupCalls = 256;
 constexpr int kTimedCalls = 20000;
 
-std::string MakeSpec() {
+enum class Mix { kMixed, kOnChange, kTimer };
+
+const char* MixName(Mix mix) {
+  switch (mix) {
+    case Mix::kMixed:
+      return "mixed";
+    case Mix::kOnChange:
+      return "onchange";
+    case Mix::kTimer:
+      return "timer";
+  }
+  return "?";
+}
+
+// Timed steps per mix: every step evaluates all 64 monitors, so the mixes
+// cost the same per step; the composition mixes run shorter to keep the
+// release job's wall time bounded.
+int TimedSteps(Mix mix) { return mix == Mix::kMixed ? kTimedCalls : kTimedCalls / 2; }
+
+std::string MakeSpec(Mix mix) {
   std::string spec;
   for (int i = 0; i < kMonitors; ++i) {
+    if (mix == Mix::kOnChange && i % 8 == 7) {
+      // ONCHANGE watcher: the cascade writes a gov.ctl.* key no rule reads,
+      // so under key-scoped eligibility the 56 FUNCTION monitors keep their
+      // worker slots while the cascades replay inline.
+      const std::string n = "k" + std::to_string(i / 8);
+      spec += "guardrail w" + std::to_string(i) +
+              " { trigger: { ONCHANGE(gov.sig." + n +
+              ") }, rule: { LOAD_OR(gov.sig." + n +
+              ", 0) <= 50 }, action: { SAVE(gov.ctl." + n + ", 1) } }\n";
+      continue;
+    }
     std::string rule;
     if (i % 8 == 0) {
       // Aggregate-dominated: windowed scans over the shared latency series.
@@ -942,9 +982,11 @@ std::string MakeSpec() {
       // Program-dominated: a dependent integer chain over one loaded key.
       rule = DenseCalloutRule(24);
     }
-    spec += "guardrail s" + std::to_string(i) +
-            " { trigger: { FUNCTION(" + std::string(kHook) +
-            ") }, rule: { " + rule +
+    const std::string trigger = mix == Mix::kTimer
+                                    ? std::string("TIMER(100us, 100us)")
+                                    : "FUNCTION(" + std::string(kHook) + ")";
+    spec += "guardrail s" + std::to_string(i) + " { trigger: { " + trigger +
+            " }, rule: { " + rule +
             " }, action: { REPORT() }, meta: { cooldown = 10ms } }\n";
   }
   return spec;
@@ -954,42 +996,62 @@ struct RunResult {
   bool ok = false;
   double timed_ns = 0.0;
   uint64_t timed_evals = 0;
+  uint64_t total_evals = 0;  // lifetime engine evals (incl. warmup + cascades)
   std::string state;  // wire-encoded observable state (bit-identity check)
 };
 
-// Drives the deterministic workload; `sharded_ptr` routes callouts through
-// the sharded layer when non-null. Store writes are identical across runs
-// and happen between callouts, exactly where a kernel would produce them.
-RunResult Drive(FeatureStore& store, Engine& engine, ShardedEngine* sharded_ptr) {
+// Drives the deterministic workload for `mix`; `sharded_ptr` routes callouts
+// (and, for the timer mix, AdvanceTo waves) through the sharded layer when
+// non-null. Store writes are identical across runs and happen between
+// callouts, exactly where a kernel would produce them.
+RunResult Drive(FeatureStore& store, Engine& engine, ShardedEngine* sharded_ptr, Mix mix) {
   RunResult result;
-  if (!engine.LoadSource(MakeSpec()).ok()) {
+  if (!engine.LoadSource(MakeSpec(mix)).ok()) {
     return result;
   }
+  // Route external writes to the engine so ONCHANGE cascades fire (the
+  // kernel wires this; the bench drives the engine bare).
+  store.SetWriteObserver(
+      [&engine](KeyId id, const std::string& /*key*/) { engine.OnStoreWrite(id); });
   store.Save("lat_score", Value(static_cast<int64_t>(3)));
-  auto callout = [&](int i) {
-    const SimTime t = static_cast<SimTime>(i) * Microseconds(25);
+  auto step = [&](int i) {
+    const SimTime t = static_cast<SimTime>(i) * Microseconds(100);
     if (i % 16 == 0) {
       store.Observe("io.lat", t, 1.0e6 * static_cast<double>(i % 7 + 1));
     }
     if (i % 64 == 0) {
       store.Save("trip_level", Value(static_cast<int64_t>(i / 64 % 128)));
     }
-    if (sharded_ptr != nullptr) {
+    if (mix == Mix::kOnChange && i % 16 == 8) {
+      store.Save("gov.sig.k" + std::to_string(i / 16 % 8),
+                 Value(static_cast<int64_t>(i % 96)));
+    }
+    if (mix == Mix::kTimer) {
+      // One full-width wave per step: all 64 monitors share the cadence.
+      const SimTime due = t + Microseconds(100);
+      if (sharded_ptr != nullptr) {
+        sharded_ptr->AdvanceTo(due);
+      } else {
+        engine.AdvanceTo(due);
+      }
+    } else if (sharded_ptr != nullptr) {
       sharded_ptr->OnFunctionCall(kHook, t);
     } else {
       engine.OnFunctionCall(kHook, t);
     }
   };
+  const int timed_steps = TimedSteps(mix);
   for (int i = 0; i < kWarmupCalls; ++i) {
-    callout(i);
+    step(i);
   }
   const uint64_t evals_before = engine.stats().evaluations;
   const int64_t start = WallNs();
-  for (int i = kWarmupCalls; i < kWarmupCalls + kTimedCalls; ++i) {
-    callout(i);
+  for (int i = kWarmupCalls; i < kWarmupCalls + timed_steps; ++i) {
+    step(i);
   }
   result.timed_ns = static_cast<double>(WallNs() - start);
   result.timed_evals = engine.stats().evaluations - evals_before;
+  result.total_evals = engine.stats().evaluations;
   Snapshot snapshot;
   snapshot.store = store.DumpSlots();
   snapshot.report_ring = engine.EncodeReportRing();
@@ -1001,17 +1063,25 @@ RunResult Drive(FeatureStore& store, Engine& engine, ShardedEngine* sharded_ptr)
 
 }  // namespace shardbench
 
-bool RunShardedBench(std::vector<Metric>& metrics, bool& sharded_ok) {
+// One serial-vs-sharded comparison for `mix`, appending its metrics and
+// and-ing its gate verdicts into `sharded_ok`. Returns false only when a run
+// fails to come up (spec load failure).
+bool RunShardedMix(shardbench::Mix mix, std::vector<Metric>& metrics, bool& sharded_ok,
+                   unsigned cores, bool gates_enforced) {
   using shardbench::Drive;
+  using shardbench::Mix;
+  using shardbench::MixName;
+  const std::string name = MixName(mix);
   EngineOptions engine_options;
   engine_options.measure_wall_time = false;
 
   FeatureStore serial_store;
   PolicyRegistry serial_registry;
   Engine serial_engine(&serial_store, &serial_registry, nullptr, engine_options);
-  const shardbench::RunResult serial = Drive(serial_store, serial_engine, nullptr);
+  const shardbench::RunResult serial = Drive(serial_store, serial_engine, nullptr, mix);
   if (!serial.ok) {
-    std::fprintf(stderr, "benchjson: --sharded: serial run failed to load\n");
+    std::fprintf(stderr, "benchjson: --sharded: serial %s run failed to load\n",
+                 name.c_str());
     return false;
   }
 
@@ -1024,75 +1094,130 @@ bool RunShardedBench(std::vector<Metric>& metrics, bool& sharded_ok) {
   // check requires them off. Scheduling counters come from the object.
   sharding.telemetry = false;
   ShardedEngine sharded(&sharded_engine, sharding);
-  const shardbench::RunResult parallel = Drive(sharded_store, sharded_engine, &sharded);
+  const shardbench::RunResult parallel = Drive(sharded_store, sharded_engine, &sharded, mix);
   if (!parallel.ok) {
-    std::fprintf(stderr, "benchjson: --sharded: sharded run failed to load\n");
+    std::fprintf(stderr, "benchjson: --sharded: sharded %s run failed to load\n",
+                 name.c_str());
     return false;
   }
 
-  const unsigned cores = std::thread::hardware_concurrency();
-  const bool gate_speedup = cores >= 8;
+  const int timed_steps = shardbench::TimedSteps(mix);
   const double serial_s = std::max(serial.timed_ns / 1e9, 1e-9);
   const double parallel_s = std::max(parallel.timed_ns / 1e9, 1e-9);
-  const double serial_callouts_per_sec = shardbench::kTimedCalls / serial_s;
-  const double sharded_callouts_per_sec = shardbench::kTimedCalls / parallel_s;
   const double speedup =
       parallel.timed_ns > 0.0 ? serial.timed_ns / parallel.timed_ns : 0.0;
   const bool identical = serial.state == parallel.state;
   const ShardedStats& stats = sharded.stats();
+  const double parallel_fraction =
+      parallel.total_evals > 0
+          ? static_cast<double>(stats.parallel_evals) /
+                static_cast<double>(parallel.total_evals)
+          : 0.0;
 
-  metrics.push_back(Metric{"sharded_host_threads", static_cast<double>(cores), "count"});
-  metrics.push_back(
-      Metric{"sharded_shards", static_cast<double>(sharded.shard_count()), "count"});
-  metrics.push_back(Metric{"sharded_monitors",
-                           static_cast<double>(shardbench::kMonitors), "count"});
-  metrics.push_back(Metric{"serial_callouts_per_sec", serial_callouts_per_sec, "per_sec"});
-  metrics.push_back(Metric{"sharded_callouts_per_sec", sharded_callouts_per_sec, "per_sec"});
-  metrics.push_back(Metric{"serial_evals_per_sec",
-                           static_cast<double>(serial.timed_evals) / serial_s, "per_sec"});
-  metrics.push_back(Metric{"sharded_evals_per_sec",
-                           static_cast<double>(parallel.timed_evals) / parallel_s,
-                           "per_sec"});
-  metrics.push_back(Metric{"sharded_speedup", speedup, "ratio"});
-  metrics.push_back(Metric{"sharded_parallel_evals",
-                           static_cast<double>(stats.parallel_evals), "count"});
-  metrics.push_back(
-      Metric{"sharded_serial_evals", static_cast<double>(stats.serial_evals), "count"});
-  metrics.push_back(Metric{"sharded_serial_callouts",
-                           static_cast<double>(stats.serial_callouts), "count"});
-  metrics.push_back(Metric{"sharded_batches", static_cast<double>(stats.batches), "count"});
-  metrics.push_back(Metric{"sharded_merge_ns_per_batch",
-                           stats.batches > 0
-                               ? static_cast<double>(stats.merge_ns) /
-                                     static_cast<double>(stats.batches)
-                               : 0.0,
-                           "ns"});
-  size_t hwm_max = 0;
-  for (size_t i = 0; i < sharded.shard_count(); ++i) {
-    hwm_max = std::max(hwm_max, sharded.RingHighWater(i));
+  if (mix == Mix::kMixed) {
+    // Host/topology facts are mix-independent; report them once, with the
+    // legacy (unprefixed) metric names the E10 baselines use.
+    metrics.push_back(Metric{"sharded_host_threads", static_cast<double>(cores), "count"});
+    metrics.push_back(
+        Metric{"sharded_shards", static_cast<double>(sharded.shard_count()), "count"});
+    metrics.push_back(Metric{"sharded_monitors",
+                             static_cast<double>(shardbench::kMonitors), "count"});
+    metrics.push_back(
+        Metric{"serial_callouts_per_sec", timed_steps / serial_s, "per_sec"});
+    metrics.push_back(
+        Metric{"sharded_callouts_per_sec", timed_steps / parallel_s, "per_sec"});
+    metrics.push_back(Metric{"serial_evals_per_sec",
+                             static_cast<double>(serial.timed_evals) / serial_s,
+                             "per_sec"});
+    metrics.push_back(Metric{"sharded_evals_per_sec",
+                             static_cast<double>(parallel.timed_evals) / parallel_s,
+                             "per_sec"});
+    metrics.push_back(Metric{"sharded_speedup", speedup, "ratio"});
+    metrics.push_back(Metric{"sharded_parallel_evals",
+                             static_cast<double>(stats.parallel_evals), "count"});
+    metrics.push_back(
+        Metric{"sharded_serial_evals", static_cast<double>(stats.serial_evals), "count"});
+    metrics.push_back(Metric{"sharded_serial_callouts",
+                             static_cast<double>(stats.serial_callouts), "count"});
+    metrics.push_back(
+        Metric{"sharded_batches", static_cast<double>(stats.batches), "count"});
+    metrics.push_back(Metric{"sharded_merge_ns_per_batch",
+                             stats.batches > 0
+                                 ? static_cast<double>(stats.merge_ns) /
+                                       static_cast<double>(stats.batches)
+                                 : 0.0,
+                             "ns"});
+    size_t hwm_max = 0;
+    for (size_t i = 0; i < sharded.shard_count(); ++i) {
+      hwm_max = std::max(hwm_max, sharded.RingHighWater(i));
+    }
+    metrics.push_back(
+        Metric{"sharded_ring_hwm_max", static_cast<double>(hwm_max), "count"});
+    metrics.push_back(Metric{"sharded_state_identical", identical ? 1.0 : 0.0, "bool"});
+  } else {
+    metrics.push_back(Metric{"sharded_" + name + "_speedup", speedup, "ratio"});
+    metrics.push_back(Metric{"sharded_" + name + "_parallel_evals",
+                             static_cast<double>(stats.parallel_evals), "count"});
+    metrics.push_back(Metric{"sharded_" + name + "_serial_evals",
+                             static_cast<double>(stats.serial_evals), "count"});
+    metrics.push_back(Metric{"sharded_" + name + "_serial_callouts",
+                             static_cast<double>(stats.serial_callouts), "count"});
+    metrics.push_back(Metric{"sharded_" + name + "_state_identical",
+                             identical ? 1.0 : 0.0, "bool"});
   }
-  metrics.push_back(Metric{"sharded_ring_hwm_max", static_cast<double>(hwm_max), "count"});
-  metrics.push_back(Metric{"sharded_state_identical", identical ? 1.0 : 0.0, "bool"});
-  metrics.push_back(Metric{"sharded_gate_enforced", gate_speedup ? 1.0 : 0.0, "bool"});
+  metrics.push_back(Metric{name + "_parallel_fraction", parallel_fraction, "ratio"});
 
-  sharded_ok = true;
   if (!identical) {
     std::fprintf(stderr,
-                 "benchjson: --sharded: sharded state diverged from the serial "
-                 "oracle\n");
+                 "benchjson: --sharded: %s mix diverged from the serial oracle\n",
+                 name.c_str());
     sharded_ok = false;
   }
   if (stats.parallel_evals == 0) {
     std::fprintf(stderr,
-                 "benchjson: --sharded: no evaluations took the parallel path\n");
+                 "benchjson: --sharded: %s mix took no parallel evaluations\n",
+                 name.c_str());
     sharded_ok = false;
   }
-  if (gate_speedup && speedup < 4.0) {
+  if (gates_enforced && speedup < 4.0) {
     std::fprintf(stderr,
-                 "benchjson: --sharded: speedup %.2fx below the 4x bound on a "
-                 "%u-thread host\n",
-                 speedup, cores);
+                 "benchjson: --sharded: %s mix speedup %.2fx below the 4x bound "
+                 "on a %u-thread host\n",
+                 name.c_str(), speedup, cores);
     sharded_ok = false;
+  }
+  if (gates_enforced && mix == Mix::kOnChange && parallel_fraction < 0.5) {
+    std::fprintf(stderr,
+                 "benchjson: --sharded: onchange mix parallel fraction %.2f below "
+                 "the 0.5 bound (agent-governance shape must stay on workers)\n",
+                 parallel_fraction);
+    sharded_ok = false;
+  }
+  return true;
+}
+
+bool RunShardedBench(std::vector<Metric>& metrics, bool& sharded_ok) {
+  const unsigned cores = std::thread::hardware_concurrency();
+  const bool gates_enforced = cores >= 8;
+  if (!gates_enforced) {
+    // Identity and parallel-path checks still run; only the performance
+    // gates are meaningless without cores to spread across.
+    std::fprintf(stderr,
+                 "benchjson: --sharded: host has %u hardware threads; skipping "
+                 "the 4x speedup and 0.5 parallel-fraction gates "
+                 "(degraded_single_thread)\n",
+                 cores);
+  }
+  metrics.push_back(
+      Metric{"degraded_single_thread", gates_enforced ? 0.0 : 1.0, "bool"});
+  metrics.push_back(
+      Metric{"sharded_gate_enforced", gates_enforced ? 1.0 : 0.0, "bool"});
+  sharded_ok = true;
+  for (shardbench::Mix mix : {shardbench::Mix::kMixed, shardbench::Mix::kOnChange,
+                              shardbench::Mix::kTimer}) {
+    if (!RunShardedMix(mix, metrics, sharded_ok, cores, gates_enforced)) {
+      return false;
+    }
   }
   return true;
 }
