@@ -1,0 +1,160 @@
+// Extension E14: bounded-memory store under million-session churn.
+//
+// The agent domain mints a key family per session (agent.s<id>.*), so a
+// steady arrival of short-lived sessions is the cardinality workload that
+// made the intern-only store unbounded. These benches drive that churn
+// through a retention-governed kernel and measure the three quantities the
+// docs/STORE.md design cares about:
+//
+//   BM_SessionChurn        — end-to-end cost per tool call with session-end
+//                            eager reclamation on, with live-key count and
+//                            approx store bytes reported as counters (the
+//                            boundedness signal; compare against the
+//                            retention-off label to see the leak).
+//   BM_ReclaimThroughput   — raw reclaim+re-intern cycle cost on a bare
+//                            store (the mechanism's ceiling).
+//   BM_GovernorBytesGate   — the governor's store-bytes pressure input:
+//                            callout cost while bytes are above the ladder's
+//                            escalation threshold vs. comfortably below.
+//
+// The aggregate-gated version of this experiment (bounded steady state,
+// zero stale-generation misreads, p99-vs-baseline) lives in
+// `benchjson --store` and emits BENCH_store.json in release CI.
+
+#include <benchmark/benchmark.h>
+
+#include <string>
+
+#include "src/sim/kernel.h"
+#include "src/store/feature_store.h"
+#include "src/support/time.h"
+#include "src/wl/sessiongen.h"
+
+namespace osguard {
+namespace {
+
+constexpr char kRetentionSpec[] = R"(
+  retention {
+    scan_chunk = 256
+    namespace "agent.s" { max_keys = 50000, idle_ttl = 5s }
+  }
+)";
+
+SessionWorkloadOptions ChurnOptions() {
+  SessionWorkloadOptions options;
+  options.duration = Seconds(2);
+  options.sessions_per_sec = 2000.0;
+  options.mean_bursts = 1.0;
+  options.burst_scale = 1.0;
+  options.burst_shape = 3.0;  // light tail: ~1-2 calls per session
+  options.max_burst_calls = 8;
+  return options;
+}
+
+// Delivers one churn wave (calls + session-end markers merged by time) with
+// session ids offset so successive waves model *new* sessions, not repeats.
+void DriveWave(Kernel& kernel, const SessionChurnTrace& trace, uint64_t id_offset,
+               SimTime time_offset) {
+  size_t end_cursor = 0;
+  for (const agent::ToolCallEvent& call : trace.calls) {
+    while (end_cursor < trace.ends.size() &&
+           trace.ends[end_cursor].at <= call.at) {
+      kernel.OnSessionEnd(trace.ends[end_cursor].session + id_offset);
+      ++end_cursor;
+    }
+    agent::ToolCallEvent ev = call;
+    ev.at += time_offset;
+    ev.session += id_offset;
+    kernel.Run(ev.at);
+    kernel.OnToolCall(ev);
+  }
+  for (; end_cursor < trace.ends.size(); ++end_cursor) {
+    kernel.OnSessionEnd(trace.ends[end_cursor].session + id_offset);
+  }
+}
+
+void BM_SessionChurn(benchmark::State& state) {
+  const bool retention = state.range(0) != 0;
+  Kernel kernel;
+  if (retention) {
+    (void)kernel.LoadGuardrails(kRetentionSpec);
+  }
+  const SessionChurnTrace trace =
+      SessionCallGenerator(ChurnOptions(), 0xE14).GenerateChurn();
+  uint64_t wave = 0;
+  uint64_t calls = 0;
+  for (auto _ : state) {
+    DriveWave(kernel, trace, wave * 10'000'000ull,
+              static_cast<SimTime>(wave) * Seconds(3));
+    ++wave;
+    calls += trace.calls.size();
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(calls));
+  state.counters["live_keys"] =
+      static_cast<double>(kernel.store().live_key_count());
+  state.counters["store_bytes"] =
+      static_cast<double>(kernel.store().approx_bytes());
+  state.counters["stale_hits"] = static_cast<double>(kernel.store().stale_hits());
+  state.SetLabel(retention ? "retention-on" : "retention-off");
+}
+BENCHMARK(BM_SessionChurn)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
+
+void BM_ReclaimThroughput(benchmark::State& state) {
+  FeatureStore store;
+  uint64_t n = 0;
+  for (auto _ : state) {
+    const std::string key = "churn.k" + std::to_string(n % 1024);
+    store.Save(key, Value(static_cast<int64_t>(n)));
+    benchmark::DoNotOptimize(store.ReclaimKey(key));
+    ++n;
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(n));
+  state.counters["slots"] = static_cast<double>(store.key_count());
+}
+BENCHMARK(BM_ReclaimThroughput);
+
+void BM_GovernorBytesGate(benchmark::State& state) {
+  const bool pressured = state.range(0) != 0;
+  EngineOptions options;
+  options.measure_wall_time = false;
+  options.governor.enabled = true;
+  // Bytes-only ladder: the cost/queue signals are left effectively infinite
+  // so any escalation observed here is driven by the store-bytes input.
+  options.governor.pressure_up = 1e18;
+  options.governor.pressure_down = 1e17;
+  options.governor.store_bytes_up = 64 * 1024.0;
+  options.governor.store_bytes_down = 32 * 1024.0;
+  options.governor.dwell_up = 2;
+  options.governor.dwell_down = 4;
+  Kernel kernel(options);
+  (void)kernel.LoadGuardrails(R"(
+    guardrail be { trigger: { FUNCTION(f) },
+                   rule: { LOAD_OR(x.v, 0) >= 0 },
+                   action: { REPORT("be") },
+                   meta: { criticality = besteffort } }
+  )");
+  if (pressured) {
+    // Park ~1MiB of string payload in the store so bytes_ewma settles far
+    // above the escalation threshold.
+    for (int i = 0; i < 1024; ++i) {
+      kernel.store().Save("ballast.k" + std::to_string(i),
+                          Value(std::string(1024, 'x')));
+    }
+  }
+  SimTime t = Milliseconds(1);
+  for (auto _ : state) {
+    kernel.Run(t);
+    kernel.Callout("f");
+    t += Microseconds(100);
+  }
+  state.counters["mode"] =
+      static_cast<double>(kernel.engine().governor().mode());
+  state.counters["bytes_ewma"] = kernel.engine().governor().bytes_ewma();
+  state.SetLabel(pressured ? "bytes-pressured" : "bytes-idle");
+}
+BENCHMARK(BM_GovernorBytesGate)->Arg(0)->Arg(1);
+
+}  // namespace
+}  // namespace osguard
+
+BENCHMARK_MAIN();

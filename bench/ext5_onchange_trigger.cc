@@ -59,7 +59,9 @@ void DetectionLatency() {
       PolicyRegistry registry;
       Engine engine(&store, &registry);
       store.SetWriteObserver(
-          [&engine](KeyId id, const std::string& /*key*/) { engine.OnStoreWrite(id); });
+          [&engine](const StoreWriteInfo& info, const std::string& key) {
+        engine.OnStoreWrite(info, key);
+      });
       std::string spec;
       if (std::string(mode) == "TIMER(1s)") {
         spec = TimerSpec(Seconds(1));
@@ -101,7 +103,9 @@ void Overhead() {
     PolicyRegistry registry;
     Engine engine(&store, &registry);
     store.SetWriteObserver(
-        [&engine](KeyId id, const std::string& /*key*/) { engine.OnStoreWrite(id); });
+        [&engine](const StoreWriteInfo& info, const std::string& key) {
+        engine.OnStoreWrite(info, key);
+      });
     (void)engine.LoadSource(c.onchange ? kChangeSpec : TimerSpec(c.interval));
     store.Save("metric", Value(1));
 

@@ -92,6 +92,17 @@ inline constexpr char kChaosSiteAgentDupSession[] = "agent.dup_session";
 inline constexpr char kChaosSiteShardWorkerStall[] = "shard.worker_stall";
 inline constexpr char kChaosSiteShardWorkerDie[] = "shard.worker_die";
 
+// Store retention sites (docs/STORE.md), sampled once per callout boundary on
+// the coordinator — reclamation is itself a boundary-only, coordinator-only
+// mechanism, so injected storms replay identically in serial and sharded runs:
+//   store.evict_storm  — this boundary reclaims every unpinned idle key in
+//                        governed namespaces regardless of TTL (cardinality
+//                        flood flushing the store)
+//   store.quota_breach — this boundary treats every governed namespace as
+//                        over its key budget, forcing LRU eviction pressure
+inline constexpr char kChaosSiteStoreEvictStorm[] = "store.evict_storm";
+inline constexpr char kChaosSiteStoreQuotaBreach[] = "store.quota_breach";
+
 enum class FaultMode {
   kOff = 0,    // never inject (the default for every registered site)
   kBernoulli,  // inject each query independently with probability p

@@ -162,12 +162,32 @@ struct PersistDecl {
   std::vector<MetaAttr> attrs;
 };
 
-// A parsed spec file: guardrail declarations plus optional chaos / persist
-// blocks.
+// One namespace inside a retention block:
+//   namespace "agent.s" { max_keys = 4096, idle_ttl = 30s }
+// The prefix is a string literal (namespaces contain dots, which the
+// identifier grammar would split). Attributes reuse the meta shape.
+struct RetentionNamespaceDecl {
+  std::string prefix;
+  int line = 0;
+  std::vector<MetaAttr> attrs;
+};
+
+// A top-level `retention { scan_chunk = 64, namespace ... }` block
+// configuring bounded-memory key lifecycle (docs/STORE.md). Absent means
+// reclamation stays off — the off == absent convention chaos established.
+struct RetentionDecl {
+  int line = 0;
+  std::vector<MetaAttr> attrs;  // block-level attributes (scan_chunk)
+  std::vector<RetentionNamespaceDecl> namespaces;
+};
+
+// A parsed spec file: guardrail declarations plus optional chaos / persist /
+// retention blocks.
 struct SpecFile {
   std::vector<GuardrailDecl> guardrails;
   std::optional<ChaosDecl> chaos;
   std::optional<PersistDecl> persist;
+  std::optional<RetentionDecl> retention;
 };
 
 }  // namespace osguard

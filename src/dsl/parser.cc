@@ -70,13 +70,24 @@ Result<SpecFile> Parser::ParseSpec() {
       spec.persist = std::move(persist);
       continue;
     }
+    // `retention` is contextual the same way.
+    if (Check(TokenKind::kIdent) && Peek().text == "retention" &&
+        Peek(1).kind == TokenKind::kLBrace) {
+      if (spec.retention.has_value()) {
+        return ErrorAt(Peek(), "duplicate retention block");
+      }
+      OSGUARD_ASSIGN_OR_RETURN(RetentionDecl retention, ParseRetentionBlock());
+      spec.retention = std::move(retention);
+      continue;
+    }
     OSGUARD_ASSIGN_OR_RETURN(GuardrailDecl decl, ParseGuardrail());
     spec.guardrails.push_back(std::move(decl));
   }
-  if (spec.guardrails.empty() && !spec.chaos.has_value() && !spec.persist.has_value()) {
+  if (spec.guardrails.empty() && !spec.chaos.has_value() && !spec.persist.has_value() &&
+      !spec.retention.has_value()) {
     return ParseError(
-        "spec file contains no guardrail declarations (and no chaos or persist "
-        "block) at line 1");
+        "spec file contains no guardrail declarations (and no chaos, persist, "
+        "or retention block) at line 1");
   }
   return spec;
 }
@@ -454,6 +465,47 @@ Result<PersistDecl> Parser::ParsePersistBlock() {
     }
   }
   OSGUARD_RETURN_IF_ERROR(Expect(TokenKind::kRBrace, "to close the persist block").status());
+  return decl;
+}
+
+// retention := "retention" "{" (attr | namespace)* "}"
+// namespace := "namespace" STRING "{" attr* "}"
+// The prefix is a string literal because namespaces contain dots
+// ("agent.s"), which the identifier grammar would split.
+Result<RetentionDecl> Parser::ParseRetentionBlock() {
+  RetentionDecl decl;
+  decl.line = Peek().line;
+  Advance();  // consume 'retention'
+  OSGUARD_RETURN_IF_ERROR(Expect(TokenKind::kLBrace, "to open the retention block").status());
+  while (!Check(TokenKind::kRBrace)) {
+    if (Check(TokenKind::kIdent) && Peek().text == "namespace") {
+      const Token& ns_kw = Advance();
+      RetentionNamespaceDecl ns;
+      ns.line = ns_kw.line;
+      OSGUARD_ASSIGN_OR_RETURN(
+          Token prefix,
+          Expect(TokenKind::kStringLiteral, "as the retention namespace prefix"));
+      ns.prefix = prefix.text;
+      OSGUARD_RETURN_IF_ERROR(Expect(TokenKind::kLBrace, "to open the namespace body").status());
+      while (!Check(TokenKind::kRBrace)) {
+        OSGUARD_ASSIGN_OR_RETURN(MetaAttr attr, ParseAttr("retention namespace"));
+        ns.attrs.push_back(std::move(attr));
+        if (!Match(TokenKind::kComma)) {
+          Match(TokenKind::kSemicolon);
+        }
+      }
+      OSGUARD_RETURN_IF_ERROR(
+          Expect(TokenKind::kRBrace, "to close the namespace body").status());
+      decl.namespaces.push_back(std::move(ns));
+    } else {
+      OSGUARD_ASSIGN_OR_RETURN(MetaAttr attr, ParseAttr("retention"));
+      decl.attrs.push_back(std::move(attr));
+    }
+    if (!Match(TokenKind::kComma)) {
+      Match(TokenKind::kSemicolon);
+    }
+  }
+  OSGUARD_RETURN_IF_ERROR(Expect(TokenKind::kRBrace, "to close the retention block").status());
   return decl;
 }
 

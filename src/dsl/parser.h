@@ -67,6 +67,7 @@ class Parser {
   Result<TriggerDecl> ParseTrigger();
   Result<ChaosDecl> ParseChaosBlock();
   Result<PersistDecl> ParsePersistBlock();
+  Result<RetentionDecl> ParseRetentionBlock();
   Result<MetaAttr> ParseAttr(const char* context);
 
   Result<ExprPtr> ParseExpr();

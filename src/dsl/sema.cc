@@ -535,6 +535,64 @@ Result<AnalyzedPersist> AnalyzePersist(const PersistDecl& decl) {
   return out;
 }
 
+Result<AnalyzedRetention> AnalyzeRetention(const RetentionDecl& decl) {
+  AnalyzedRetention out;
+  for (const MetaAttr& attr : decl.attrs) {
+    const std::string loc = " (retention block, line " + std::to_string(attr.line) + ")";
+    if (attr.key == "scan_chunk") {
+      OSGUARD_ASSIGN_OR_RETURN(int64_t chunk, attr.value.AsInt());
+      if (chunk <= 0) {
+        return SemanticError("scan_chunk must be > 0 slots" + loc);
+      }
+      out.scan_chunk = static_cast<uint64_t>(chunk);
+    } else {
+      return SemanticError("unknown retention attribute '" + attr.key +
+                           "' (expected scan_chunk)" + loc);
+    }
+  }
+  std::unordered_set<std::string> prefixes;
+  for (const RetentionNamespaceDecl& ns : decl.namespaces) {
+    if (ns.prefix.empty()) {
+      return SemanticError("retention namespace prefix must not be empty (line " +
+                           std::to_string(ns.line) + ")");
+    }
+    if (!prefixes.insert(ns.prefix).second) {
+      return SemanticError("duplicate retention namespace '" + ns.prefix + "' (line " +
+                           std::to_string(ns.line) + ")");
+    }
+    AnalyzedRetentionNamespace out_ns;
+    out_ns.prefix = ns.prefix;
+    out_ns.line = ns.line;
+    for (const MetaAttr& attr : ns.attrs) {
+      const std::string loc =
+          " (retention namespace '" + ns.prefix + "', line " + std::to_string(attr.line) + ")";
+      if (attr.key == "max_keys") {
+        OSGUARD_ASSIGN_OR_RETURN(int64_t max_keys, attr.value.AsInt());
+        if (max_keys < 0) {
+          return SemanticError("max_keys must be >= 0 (0 = no key budget)" + loc);
+        }
+        out_ns.max_keys = static_cast<uint64_t>(max_keys);
+      } else if (attr.key == "idle_ttl") {
+        OSGUARD_ASSIGN_OR_RETURN(int64_t ttl, attr.value.AsInt());
+        if (ttl < 0) {
+          return SemanticError("idle_ttl must be a non-negative duration" + loc);
+        }
+        out_ns.idle_ttl = ttl;
+      } else {
+        return SemanticError("unknown retention namespace attribute '" + attr.key +
+                             "' (expected max_keys or idle_ttl)" + loc);
+      }
+    }
+    if (out_ns.max_keys == 0 && out_ns.idle_ttl <= 0) {
+      return SemanticError("retention namespace '" + ns.prefix +
+                           "' declares neither max_keys nor idle_ttl (line " +
+                           std::to_string(ns.line) + ")");
+    }
+    out.namespaces.push_back(std::move(out_ns));
+  }
+  return out;
+}
+
 }  // namespace
 
 Result<Value> EvalConst(const Expr& expr) {
@@ -703,6 +761,10 @@ Result<AnalyzedSpec> Analyze(SpecFile spec) {
   if (spec.persist.has_value()) {
     OSGUARD_ASSIGN_OR_RETURN(AnalyzedPersist persist, AnalyzePersist(*spec.persist));
     analyzed.persist = persist;
+  }
+  if (spec.retention.has_value()) {
+    OSGUARD_ASSIGN_OR_RETURN(AnalyzedRetention retention, AnalyzeRetention(*spec.retention));
+    analyzed.retention = std::move(retention);
   }
   return analyzed;
 }

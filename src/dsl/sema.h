@@ -153,10 +153,26 @@ struct AnalyzedPersist {
   uint64_t journal_budget = 1 << 20;         // bytes; 0 = unbounded journal
 };
 
+// A validated `namespace "prefix" { ... }` entry from a retention block.
+struct AnalyzedRetentionNamespace {
+  std::string prefix;
+  uint64_t max_keys = 0;   // 0 = no key budget (TTL only)
+  Duration idle_ttl = 0;   // <= 0 = no idle reclamation (quota only)
+  int line = 0;
+};
+
+// A validated `retention { ... }` block (bounded-memory key lifecycle,
+// docs/STORE.md). Absence of the block means reclamation stays off.
+struct AnalyzedRetention {
+  uint64_t scan_chunk = 64;  // slots examined per callout boundary
+  std::vector<AnalyzedRetentionNamespace> namespaces;
+};
+
 struct AnalyzedSpec {
   std::vector<AnalyzedGuardrail> guardrails;
   std::optional<AnalyzedChaos> chaos;
   std::optional<AnalyzedPersist> persist;
+  std::optional<AnalyzedRetention> retention;
 };
 
 // Consumes the spec (triggers are folded in place).

@@ -17,7 +17,7 @@ namespace {
 
 constexpr char kJournalMagic[4] = {'O', 'G', 'J', '1'};
 constexpr char kSnapshotMagic[4] = {'O', 'G', 'S', '1'};
-constexpr uint32_t kSnapshotVersion = 1;
+constexpr uint32_t kSnapshotVersion = 2;  // v2: slot generation/live/free_rank, reclaim flag
 // magic + payload length + CRC.
 constexpr size_t kFrameHeaderSize = 12;
 
@@ -52,6 +52,7 @@ void WriteOp(ByteWriter& w, const StoreOp& op) {
       w.F64(op.sample);
       break;
     case StoreMutation::Kind::kErase:
+      w.U8(op.reclaim ? 1 : 0);
       break;
     case StoreMutation::Kind::kSetSeriesOptions:
       w.U64(op.max_samples);
@@ -81,8 +82,15 @@ Result<StoreOp> ReadOp(ByteReader& r) {
       OSGUARD_ASSIGN_OR_RETURN(op.sample, r.F64());
       break;
     }
-    case StoreMutation::Kind::kErase:
+    case StoreMutation::Kind::kErase: {
+      OSGUARD_ASSIGN_OR_RETURN(uint8_t reclaim, r.U8());
+      if (reclaim > 1) {
+        return InvalidArgumentError("bad erase reclaim flag " + std::to_string(reclaim) +
+                                    " at offset " + std::to_string(r.offset() - 1));
+      }
+      op.reclaim = reclaim != 0;
       break;
+    }
     case StoreMutation::Kind::kSetSeriesOptions: {
       OSGUARD_ASSIGN_OR_RETURN(op.max_samples, r.U64());
       OSGUARD_ASSIGN_OR_RETURN(op.max_age, r.I64());
@@ -101,7 +109,12 @@ void WriteSlotDump(ByteWriter& w, const StoreSlotDump& slot) {
   if (slot.has_series) {
     flags |= 2;
   }
+  if (slot.live) {
+    flags |= 4;
+  }
   w.U8(flags);
+  w.U32(slot.generation);
+  w.U32(slot.free_rank);
   if (slot.has_scalar) {
     WriteValue(w, slot.scalar);
   }
@@ -129,17 +142,29 @@ void WriteSlotDump(ByteWriter& w, const StoreSlotDump& slot) {
   }
 }
 
-Result<StoreSlotDump> ReadSlotDump(ByteReader& r) {
+Result<StoreSlotDump> ReadSlotDump(ByteReader& r, uint32_t version) {
   StoreSlotDump slot;
   OSGUARD_ASSIGN_OR_RETURN(std::string_view key, r.Str());
   slot.key = std::string(key);
   OSGUARD_ASSIGN_OR_RETURN(uint8_t flags, r.U8());
-  if (flags > 3) {
+  const uint8_t max_flags = version >= 2 ? 7 : 3;
+  if (flags > max_flags) {
     return InvalidArgumentError("unknown slot flags " + std::to_string(flags) +
                                 " at offset " + std::to_string(r.offset() - 1));
   }
   slot.has_scalar = (flags & 1) != 0;
   slot.has_series = (flags & 2) != 0;
+  if (version >= 2) {
+    slot.live = (flags & 4) != 0;
+    OSGUARD_ASSIGN_OR_RETURN(slot.generation, r.U32());
+    OSGUARD_ASSIGN_OR_RETURN(slot.free_rank, r.U32());
+  } else {
+    // v1 predates the key lifecycle: every dumped slot was live, at
+    // generation zero, with no free list.
+    slot.live = true;
+    slot.generation = 0;
+    slot.free_rank = 0;
+  }
   if (slot.has_scalar) {
     OSGUARD_ASSIGN_OR_RETURN(slot.scalar, ReadValue(r));
   }
@@ -303,7 +328,7 @@ Result<Snapshot> DecodeSnapshot(std::string_view data) {
     return InvalidArgumentError("bad snapshot magic");
   }
   const uint32_t version = ReadU32At(data, 4);
-  if (version != kSnapshotVersion) {
+  if (version == 0 || version > kSnapshotVersion) {
     return InvalidArgumentError("unsupported snapshot version " + std::to_string(version));
   }
   const uint32_t len = ReadU32At(data, 8);
@@ -327,7 +352,7 @@ Result<Snapshot> DecodeSnapshot(std::string_view data) {
   }
   snapshot.store.reserve(slot_count);
   for (uint32_t i = 0; i < slot_count; ++i) {
-    OSGUARD_ASSIGN_OR_RETURN(StoreSlotDump slot, ReadSlotDump(r));
+    OSGUARD_ASSIGN_OR_RETURN(StoreSlotDump slot, ReadSlotDump(r, version));
     snapshot.store.push_back(std::move(slot));
   }
   OSGUARD_ASSIGN_OR_RETURN(std::string_view ring, r.Str());
@@ -390,6 +415,7 @@ void PersistManager::AttachStore(FeatureStore* store) {
         op.sample = m.sample;
         break;
       case StoreMutation::Kind::kErase:
+        op.reclaim = m.reclaim;
         break;
       case StoreMutation::Kind::kSetSeriesOptions:
         op.max_samples = static_cast<uint64_t>(m.options.max_samples);

@@ -63,6 +63,7 @@ struct StoreOp {
   double sample = 0.0;      // kObserve
   uint64_t max_samples = 0; // kSetSeriesOptions
   Duration max_age = 0;     // kSetSeriesOptions
+  bool reclaim = false;     // kErase: lifecycle reclaim (slot recycled) vs plain erase
 };
 
 // One committed callout boundary. `report_delta` and `image` are engine-

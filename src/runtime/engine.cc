@@ -110,7 +110,11 @@ void RewriteKeyedCalls(Program& program, FeatureStore& store) {
           const Value& v = program.consts[static_cast<size_t>(def.imm)];
           if (const std::string* key = v.IfString()) {
             call.op = Op::kCallKeyed;
-            call.aux = static_cast<int32_t>(store.InternKey(*key));
+            const KeyId id = store.InternKey(*key);
+            // The id is baked into the program, so the slot must never be
+            // recycled under it (docs/STORE.md pin contract).
+            store.Pin(id);
+            call.aux = static_cast<int32_t>(id);
           }
         }
         break;
@@ -138,6 +142,9 @@ Engine::Engine(FeatureStore* store, PolicyRegistry* registry, TaskControl* task_
   dispatcher_.SetMeasureWallTime(options_.measure_wall_time);
   supervisor_.SetStore(store);  // publishes the supervisor.* health keys
   governor_.Configure(options_.governor, store);  // interns engine.governor.*
+  // Third pressure input: approximate store bytes — a deterministic function
+  // of store contents, so governed differential runs stay replayable.
+  governor_.SetBytesProbe([store] { return store->approx_bytes(); });
   pending_changes_.reserve(64);
   drain_batch_.reserve(64);
   if (options_.tier.enabled) {
@@ -147,6 +154,10 @@ Engine::Engine(FeatureStore* store, PolicyRegistry* registry, TaskControl* task_
     gk_tier_demotions_ = store_->InternKey("engine.tier.demotions");
     gk_tier_native_evals_ = store_->InternKey("engine.tier.native_evals");
     gk_tier_interp_evals_ = store_->InternKey("engine.tier.interp_evals");
+    store_->Pin(gk_tier_promotions_);
+    store_->Pin(gk_tier_demotions_);
+    store_->Pin(gk_tier_native_evals_);
+    store_->Pin(gk_tier_interp_evals_);
     tier_dirty_ = true;
     PublishTierStats();  // keys exist (as zeros) from the start
   }
@@ -196,6 +207,7 @@ void Engine::RebuildFunctionIndex() {
         function_hooks_[trigger.function_name].push_back(monitor.get());
       } else if (trigger.kind == TriggerKind::kOnChange) {
         const KeyId id = store_->InternKey(trigger.watch_key);
+        store_->Pin(id);  // watch dispatch caches the id in watch_hooks_
         if (id >= watch_hooks_.size()) {
           watch_hooks_.resize(id + 1);
         }
@@ -262,12 +274,14 @@ Status Engine::Load(CompiledGuardrail guardrail) {
     // Per-monitor tier state mirrors the supervisor.* convention: 0 while
     // interpreted, 1 once promoted to the native object.
     monitor->tier_key = store_->InternKey("engine.tier." + name);
+    store_->Pin(monitor->tier_key);
     monitor->promote_at = monitor->guardrail.meta.tier == TierHint::kNative
                               ? 0
                               : options_.tier.promote_after;
     store_->Save(monitor->tier_key, Value(static_cast<int64_t>(0)));
   }
   monitor->uptime_key = store_->InternKey("monitor." + name + ".uptime_evals");
+  store_->Pin(monitor->uptime_key);
   monitors_[name] = std::move(monitor);  // replace-by-name is the update path
   ArmTimers(*monitors_[name]);
   RebuildFunctionIndex();
@@ -292,6 +306,17 @@ Status Engine::LoadSource(const std::string& source) {
     persist_->Configure(analyzed.persist->snapshot_interval,
                         analyzed.persist->journal_budget);
   }
+  if (analyzed.retention.has_value()) {
+    RetentionOptions ropts;
+    ropts.enabled = true;
+    ropts.scan_chunk = analyzed.retention->scan_chunk;
+    for (const AnalyzedRetentionNamespace& ns : analyzed.retention->namespaces) {
+      ropts.namespaces.push_back(
+          RetentionNamespaceOptions{ns.prefix, ns.max_keys, ns.idle_ttl});
+    }
+    retention_.Configure(WithBuiltinNamespaces(std::move(ropts)), store_);
+    retention_.AttachChaos(chaos_);
+  }
   OSGUARD_ASSIGN_OR_RETURN(std::vector<CompiledGuardrail> compiled, CompileSpec(analyzed));
   for (CompiledGuardrail& guardrail : compiled) {
     OSGUARD_RETURN_IF_ERROR(Load(std::move(guardrail)));
@@ -304,6 +329,7 @@ void Engine::SetChaos(ChaosEngine* chaos) {
   env_.SetChaos(chaos);
   dispatcher_.SetChaos(chaos);
   supervisor_.SetChaos(chaos);  // supervisor.probe_fail, vm.budget_exhaust
+  retention_.AttachChaos(chaos);  // store.evict_storm, store.quota_breach
   if (chaos != nullptr) {
     callout_drop_site_ = chaos->RegisterSite(kChaosSiteCalloutDrop);
     callout_delay_site_ = chaos->RegisterSite(kChaosSiteCalloutDelay);
@@ -317,6 +343,19 @@ Status Engine::Unload(const std::string& name) {
   auto it = monitors_.find(name);
   if (it == monitors_.end()) {
     return NotFoundError("no guardrail named '" + name + "'");
+  }
+  // The dead monitor's counter keys lose their pins and are handed to the
+  // retention manager: with a retention block they age out via the
+  // "monitor." namespace TTL instead of leaking. (Adoption is explicit —
+  // the write observer only tracks slots as they are written, and nothing
+  // writes an unloaded monitor's counters again.)
+  if (it->second->uptime_key != kInvalidKeyId) {
+    store_->Unpin(it->second->uptime_key);
+    retention_.AdoptKey(it->second->uptime_key, now_);
+  }
+  if (it->second->tier_key != kInvalidKeyId) {
+    store_->Unpin(it->second->tier_key);
+    retention_.AdoptKey(it->second->tier_key, now_);
   }
   monitors_.erase(it);  // queued timer entries die via generation mismatch
   supervisor_.OnUnload(name);
@@ -403,6 +442,7 @@ void Engine::AdvanceTo(SimTime t) {
   now_ = std::max(now_, t);
   PublishUptimeStats();
   PublishTierStats();
+  RunRetention();
   FinishCalloutGovernor();
   CommitPersist();
 }
@@ -439,6 +479,7 @@ void Engine::OnFunctionCall(std::string_view function, SimTime t) {
   ApplyPendingRollbacks();  // after the loop: `it` is dead past this point
   PublishUptimeStats();
   PublishTierStats();
+  RunRetention();
   FinishCalloutGovernor();
   CommitPersist();
 }
@@ -465,6 +506,13 @@ void Engine::OnStoreWrite(KeyId id) {
   }
   DrainPendingChanges();
   ApplyPendingRollbacks();
+}
+
+void Engine::OnStoreWrite(const StoreWriteInfo& info, const std::string& key) {
+  if (retention_.enabled()) {
+    retention_.OnWrite(info, key, now_);
+  }
+  OnStoreWrite(info.id);
 }
 
 void Engine::OnStoreWrite(const std::string& key) {
@@ -964,7 +1012,7 @@ namespace {
 
 // v2 appended the overload-governor ladder state (global + per-monitor): a
 // panic landing mid-degradation must warm-restart into the same ladder state.
-constexpr uint32_t kImageVersion = 2;
+constexpr uint32_t kImageVersion = 3;  // v3: governor bytes_ewma + retention image
 
 void WriteReportRecord(ByteWriter& w, const ReportRecord& record) {
   w.U64(record.sequence);
@@ -1034,6 +1082,7 @@ void WriteGovernorImage(ByteWriter& w, const GovernorImage& g) {
   w.I64(g.last_now);
   w.U64(g.last_evals);
   w.I64(g.last_wall_ns);
+  w.F64(g.bytes_ewma);
   w.I64(g.streak_up);
   w.I64(g.streak_down);
   w.U64(g.fail_static_epoch);
@@ -1067,6 +1116,7 @@ Status ReadGovernorImage(ByteReader& r, GovernorImage* g) {
   OSGUARD_ASSIGN_OR_RETURN(g->last_now, r.I64());
   OSGUARD_ASSIGN_OR_RETURN(g->last_evals, r.U64());
   OSGUARD_ASSIGN_OR_RETURN(g->last_wall_ns, r.I64());
+  OSGUARD_ASSIGN_OR_RETURN(g->bytes_ewma, r.F64());
   OSGUARD_ASSIGN_OR_RETURN(g->streak_up, r.I64());
   OSGUARD_ASSIGN_OR_RETURN(g->streak_down, r.I64());
   OSGUARD_ASSIGN_OR_RETURN(g->fail_static_epoch, r.U64());
@@ -1086,6 +1136,52 @@ Status ReadGovernorImage(ByteReader& r, GovernorImage* g) {
   OSGUARD_ASSIGN_OR_RETURN(g->pub_transitions, r.U64());
   OSGUARD_ASSIGN_OR_RETURN(g->pub_sheds, r.U64());
   OSGUARD_ASSIGN_OR_RETURN(g->pub_static, r.U64());
+  return OkStatus();
+}
+
+void WriteRetentionImage(ByteWriter& w, const RetentionImage& ret) {
+  w.U64(ret.cursor);
+  w.U64(ret.stats.reclaimed_idle);
+  w.U64(ret.stats.reclaimed_quota);
+  w.U64(ret.stats.quota_breaches);
+  w.U64(ret.stats.chaos_storms);
+  w.U64(ret.stats.chaos_breaches);
+  w.U64(ret.stats.stale_tracks_fixed);
+  w.U8(ret.keys_published ? 1 : 0);
+  w.U64(ret.pub_reclaimed);
+  w.U64(ret.pub_evictions);
+  w.U64(ret.pub_breaches);
+  w.U64(ret.pub_bytes_total);
+  w.U64(ret.pub_live_keys);
+  w.U32(static_cast<uint32_t>(ret.pub_ns_keys.size()));
+  for (size_t i = 0; i < ret.pub_ns_keys.size(); ++i) {
+    w.U64(ret.pub_ns_keys[i]);
+    w.U64(ret.pub_ns_bytes[i]);
+  }
+}
+
+Status ReadRetentionImage(ByteReader& r, RetentionImage* ret) {
+  OSGUARD_ASSIGN_OR_RETURN(ret->cursor, r.U64());
+  OSGUARD_ASSIGN_OR_RETURN(ret->stats.reclaimed_idle, r.U64());
+  OSGUARD_ASSIGN_OR_RETURN(ret->stats.reclaimed_quota, r.U64());
+  OSGUARD_ASSIGN_OR_RETURN(ret->stats.quota_breaches, r.U64());
+  OSGUARD_ASSIGN_OR_RETURN(ret->stats.chaos_storms, r.U64());
+  OSGUARD_ASSIGN_OR_RETURN(ret->stats.chaos_breaches, r.U64());
+  OSGUARD_ASSIGN_OR_RETURN(ret->stats.stale_tracks_fixed, r.U64());
+  OSGUARD_ASSIGN_OR_RETURN(uint8_t published, r.U8());
+  ret->keys_published = published != 0;
+  OSGUARD_ASSIGN_OR_RETURN(ret->pub_reclaimed, r.U64());
+  OSGUARD_ASSIGN_OR_RETURN(ret->pub_evictions, r.U64());
+  OSGUARD_ASSIGN_OR_RETURN(ret->pub_breaches, r.U64());
+  OSGUARD_ASSIGN_OR_RETURN(ret->pub_bytes_total, r.U64());
+  OSGUARD_ASSIGN_OR_RETURN(ret->pub_live_keys, r.U64());
+  OSGUARD_ASSIGN_OR_RETURN(uint32_t ns_count, r.U32());
+  ret->pub_ns_keys.resize(ns_count);
+  ret->pub_ns_bytes.resize(ns_count);
+  for (uint32_t i = 0; i < ns_count; ++i) {
+    OSGUARD_ASSIGN_OR_RETURN(ret->pub_ns_keys[i], r.U64());
+    OSGUARD_ASSIGN_OR_RETURN(ret->pub_ns_bytes[i], r.U64());
+  }
   return OkStatus();
 }
 
@@ -1213,6 +1309,13 @@ void Engine::FinishCalloutGovernor() {
   }
   governor_.OnCalloutEnd(now_, stats_.evaluations, stats_.total_wall_ns);
   governor_.Publish();
+}
+
+void Engine::RunRetention() {
+  if (!retention_.enabled() || evaluating_) {
+    return;
+  }
+  retention_.RunAtBoundary(now_);
 }
 
 void Engine::PublishUptimeStats() {
@@ -1388,6 +1491,7 @@ std::string Engine::EncodeImage() const {
     w.Str(entry->monitor_name);
     w.U64(entry->trigger_index);
   }
+  WriteRetentionImage(w, retention_.ExportState());
   return out;
 }
 
@@ -1574,6 +1678,9 @@ Status Engine::ApplyImage(std::string_view image) {
     entry.generation = it->second->generation;
     timers.push(std::move(entry));
   }
+  RetentionImage ret;
+  OSGUARD_RETURN_IF_ERROR(ReadRetentionImage(r, &ret));
+  retention_.RestoreState(ret);
   if (!r.done()) {
     return InvalidArgumentError("image: " + std::to_string(r.remaining()) +
                                 " trailing bytes");
@@ -1653,7 +1760,15 @@ Result<RecoveryInfo> Engine::Restore(PersistManager& persist) {
           store_->Observe(op.key, op.time, op.sample);
           break;
         case StoreMutation::Kind::kErase:
-          (void)store_->Erase(op.key);
+          // A reclaim frame must replay as a reclaim, not a plain erase:
+          // reclamation recycles the slot and bumps its generation, and the
+          // ops that follow may intern into the recycled slot. Best-effort —
+          // the key may already be gone (NotFound) in a replayed prefix.
+          if (op.reclaim) {
+            (void)store_->ReclaimKey(op.key);
+          } else {
+            (void)store_->Erase(op.key);
+          }
           break;
         case StoreMutation::Kind::kSetSeriesOptions:
           store_->SetSeriesOptions(
@@ -1673,6 +1788,10 @@ Result<RecoveryInfo> Engine::Restore(PersistManager& persist) {
   }
   store_->SetObserversSuppressed(false);
   OSGUARD_RETURN_IF_ERROR(Annotate(status, "warm restart failed"));
+  // Replay ran with observers suppressed, so the retention manager saw none
+  // of the writes. Rebuild its membership and stamps from the restored store
+  // (deterministic: both sides of a differential restore the same slots).
+  retention_.ResyncAfterRestore(now_);
   last_report_mark_ = reporter_.total_reports();
   return state.info;
 }

@@ -44,6 +44,7 @@
 #include "src/actions/task_control.h"
 #include "src/persist/persist.h"
 #include "src/runtime/governor/governor.h"
+#include "src/runtime/retention.h"
 #include "src/runtime/helper_env.h"
 #include "src/runtime/native_exec.h"
 #include "src/store/feature_store.h"
@@ -211,6 +212,9 @@ class Engine {
   // doesn't know).
   void OnStoreWrite(KeyId id);
   void OnStoreWrite(const std::string& key);
+  // Write-observer entry (kernel wiring): stamps the retention manager's
+  // last-write clock before the ONCHANGE dispatch.
+  void OnStoreWrite(const StoreWriteInfo& info, const std::string& key);
 
   // --- Introspection ---
 
@@ -244,6 +248,10 @@ class Engine {
   // Overload governor (inert unless EngineOptions::governor.enabled).
   OverloadGovernor& governor() { return governor_; }
   const OverloadGovernor& governor() const { return governor_; }
+
+  // Bounded-memory key lifecycle (inert without a spec `retention {}` block).
+  RetentionManager& retention() { return retention_; }
+  const RetentionManager& retention() const { return retention_; }
 
   // --- Crash consistency (osguard::persist) ---
 
@@ -389,6 +397,14 @@ class Engine {
   // mid-evaluation and when the governor is disabled.
   void FinishCalloutGovernor();
 
+  // Retention callout boundary: the ONLY place keys are reclaimed (chaos
+  // sampling, incremental TTL scan, quota eviction, telemetry publish).
+  // Runs before FinishCalloutGovernor so the governor's store-bytes probe
+  // sees the post-reclamation footprint, and before CommitPersist so the
+  // reclaim Erase frames journal with this boundary. No-op mid-evaluation
+  // and without a retention block.
+  void RunRetention();
+
   // --- Crash consistency (osguard::persist) ---
   // Publishes monitor.<name>.uptime_evals for monitors whose count moved.
   // Callout boundaries only, like PublishTierStats.
@@ -440,6 +456,7 @@ class Engine {
   ChaosSiteId callout_delay_site_ = kInvalidChaosSite;
   GuardrailSupervisor supervisor_;
   OverloadGovernor governor_;
+  RetentionManager retention_;
   // (name, generation) of monitors whose probation deploy must roll back.
   std::vector<std::pair<std::string, uint64_t>> pending_rollbacks_;
   EngineStats stats_;

@@ -32,6 +32,11 @@ void OverloadGovernor::Configure(const GovernorOptions& options, FeatureStore* s
     k_transitions_ = store_->InternKey("engine.governor.transitions");
     k_sheds_ = store_->InternKey("engine.governor.sheds");
     k_static_ = store_->InternKey("engine.governor.static_applies");
+    // Cached ids must survive retention (docs/STORE.md pin contract).
+    store_->Pin(k_mode_);
+    store_->Pin(k_transitions_);
+    store_->Pin(k_sheds_);
+    store_->Pin(k_static_);
   }
 }
 
@@ -93,6 +98,8 @@ void OverloadGovernor::OnCalloutEnd(SimTime now, uint64_t evals_cum, int64_t wal
   last_now_ = now;
   const double depth =
       probe_ ? static_cast<double>(probe_()) : 0.0;
+  const double bytes =
+      bytes_probe_ ? static_cast<double>(bytes_probe_()) : 0.0;
   if (!primed_) {
     // Seed the EWMAs with the first observation instead of decaying up from
     // zero — the ladder must not spend its first dwell window blind.
@@ -100,11 +107,13 @@ void OverloadGovernor::OnCalloutEnd(SimTime now, uint64_t evals_cum, int64_t wal
     cost_ewma_ = cost;
     gap_ewma_ = gap;
     depth_ewma_ = depth;
+    bytes_ewma_ = bytes;
   } else {
     const double a = options_.alpha;
     cost_ewma_ = a * cost + (1.0 - a) * cost_ewma_;
     gap_ewma_ = a * gap + (1.0 - a) * gap_ewma_;
     depth_ewma_ = a * depth + (1.0 - a) * depth_ewma_;
+    bytes_ewma_ = a * bytes + (1.0 - a) * bytes_ewma_;
   }
   // Pressure: cost per unit time. Sim mode: evaluations per simulated
   // second. Wall mode: host-busy ns per simulated ns (utilization ratio).
@@ -113,8 +122,11 @@ void OverloadGovernor::OnCalloutEnd(SimTime now, uint64_t evals_cum, int64_t wal
                   : cost_ewma_ / std::max(gap_ewma_, 1.0) * 1e9;
   const double up = options_.wall_cost ? options_.wall_up : options_.pressure_up;
   const double down = options_.wall_cost ? options_.wall_down : options_.pressure_down;
-  const bool over = pressure_ > up || depth_ewma_ > options_.depth_up;
-  const bool under = pressure_ < down && depth_ewma_ < options_.depth_down;
+  const bool bytes_gated = options_.store_bytes_up > 0.0;
+  const bool over = pressure_ > up || depth_ewma_ > options_.depth_up ||
+                    (bytes_gated && bytes_ewma_ > options_.store_bytes_up);
+  const bool under = pressure_ < down && depth_ewma_ < options_.depth_down &&
+                     (!bytes_gated || bytes_ewma_ < options_.store_bytes_down);
   streak_up_ = over ? streak_up_ + 1 : 0;
   streak_down_ = under ? streak_down_ + 1 : 0;
   if (over && streak_up_ >= options_.dwell_up && mode_ != GovernorMode::kFailStatic) {
@@ -176,6 +188,7 @@ GovernorImage OverloadGovernor::ExportState() const {
   image.last_now = last_now_;
   image.last_evals = last_evals_;
   image.last_wall_ns = last_wall_ns_;
+  image.bytes_ewma = bytes_ewma_;
   image.streak_up = streak_up_;
   image.streak_down = streak_down_;
   image.fail_static_epoch = fail_static_epoch_;
@@ -198,6 +211,7 @@ void OverloadGovernor::RestoreState(const GovernorImage& image) {
   last_now_ = image.last_now;
   last_evals_ = image.last_evals;
   last_wall_ns_ = image.last_wall_ns;
+  bytes_ewma_ = image.bytes_ewma;
   streak_up_ = image.streak_up;
   streak_down_ = image.streak_down;
   fail_static_epoch_ = image.fail_static_epoch;

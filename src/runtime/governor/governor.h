@@ -93,6 +93,11 @@ struct GovernorOptions {
   bool wall_cost = false;
   double wall_up = 0.5;
   double wall_down = 0.1;
+  // Store-bytes EWMA thresholds (SetBytesProbe; approximate feature-store
+  // bytes sampled once per callout boundary). 0 disables the signal, so a
+  // spec without retention pressure wiring behaves exactly as before.
+  double store_bytes_up = 0.0;
+  double store_bytes_down = 0.0;
 };
 
 // Cumulative counters; `critical_sheds` is the invariant the benchjson
@@ -124,6 +129,7 @@ struct GovernorImage {
   SimTime last_now = 0;
   uint64_t last_evals = 0;
   int64_t last_wall_ns = 0;
+  double bytes_ewma = 0.0;
   int64_t streak_up = 0;
   int64_t streak_down = 0;
   uint64_t fail_static_epoch = 0;
@@ -154,11 +160,17 @@ class OverloadGovernor {
   // ratio in wall mode) — introspection for tests and benches.
   double pressure() const { return pressure_; }
   double depth_ewma() const { return depth_ewma_; }
+  double bytes_ewma() const { return bytes_ewma_; }
 
   // Host-queue depth probe, sampled once per callout boundary. The simulated
   // kernel wires its event-queue size; the value must be a deterministic
   // function of simulated state for differential runs.
   void SetQueueProbe(std::function<size_t()> probe) { probe_ = std::move(probe); }
+
+  // Approximate store-bytes probe (third pressure input; docs/STORE.md). The
+  // engine wires FeatureStore::approx_bytes, which is a deterministic
+  // function of store contents, so the signal is differential-safe.
+  void SetBytesProbe(std::function<uint64_t()> probe) { bytes_probe_ = std::move(probe); }
 
   // Admission for one monitor evaluation. `attempt` is the monitor's 1-based
   // admission counter (the sampling stride clock); `static_epoch_seen` is
@@ -180,12 +192,14 @@ class OverloadGovernor {
   GovernorOptions options_;
   FeatureStore* store_ = nullptr;
   std::function<size_t()> probe_;
+  std::function<uint64_t()> bytes_probe_;
 
   GovernorMode mode_ = GovernorMode::kFull;
   bool primed_ = false;
   double cost_ewma_ = 0.0;
   double gap_ewma_ = 0.0;
   double depth_ewma_ = 0.0;
+  double bytes_ewma_ = 0.0;
   double pressure_ = 0.0;
   SimTime last_now_ = 0;
   uint64_t last_evals_ = 0;

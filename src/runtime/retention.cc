@@ -1,0 +1,466 @@
+#include "src/runtime/retention.h"
+
+#include <algorithm>
+
+#include "src/support/logging.h"
+
+namespace osguard {
+
+namespace {
+constexpr Duration kBuiltinAgentSessionTtl = Seconds(120);
+constexpr Duration kBuiltinMonitorCounterTtl = Seconds(600);
+}  // namespace
+
+RetentionOptions WithBuiltinNamespaces(RetentionOptions options) {
+  if (!options.enabled) {
+    return options;
+  }
+  auto governs = [&options](std::string_view prefix) {
+    for (const RetentionNamespaceOptions& ns : options.namespaces) {
+      if (ns.prefix == prefix) {
+        return true;
+      }
+    }
+    return false;
+  };
+  // Per-session agent keys ("agent.s<sid>.*"). The agent globals that share
+  // the prefix (agent.sessions, agent.seen_sessions) are pinned by their
+  // owners, so the namespace only ever reclaims true session state.
+  if (!governs("agent.s")) {
+    RetentionNamespaceOptions ns;
+    ns.prefix = "agent.s";
+    ns.idle_ttl = kBuiltinAgentSessionTtl;
+    options.namespaces.push_back(std::move(ns));
+  }
+  // Per-monitor uptime/tier counters ("monitor.<name>.*") left behind by
+  // unloaded monitors. Live monitors pin their counter ids, so only
+  // orphaned counters age out.
+  if (!governs("monitor.")) {
+    RetentionNamespaceOptions ns;
+    ns.prefix = "monitor.";
+    ns.idle_ttl = kBuiltinMonitorCounterTtl;
+    options.namespaces.push_back(std::move(ns));
+  }
+  return options;
+}
+
+void RetentionManager::Configure(const RetentionOptions& options, FeatureStore* store) {
+  options_ = options;
+  options_.scan_chunk = std::max<uint64_t>(options_.scan_chunk, 1);
+  store_ = store;
+  const size_t n = options_.namespaces.size();
+  tracked_.clear();
+  members_.assign(n, {});
+  ns_keys_.assign(n, 0);
+  ns_bytes_.assign(n, 0);
+  cursor_ = 0;
+  k_ns_keys_.assign(n, kInvalidKeyId);
+  k_ns_bytes_.assign(n, kInvalidKeyId);
+  pub_ns_keys_.assign(n, 0);
+  pub_ns_bytes_.assign(n, 0);
+  keys_published_ = false;
+  pub_reclaimed_ = pub_evictions_ = pub_breaches_ = 0;
+  pub_bytes_total_ = pub_live_keys_ = 0;
+  if (options_.enabled && store_ != nullptr) {
+    k_reclaimed_ = store_->InternKey("store.retention.reclaimed");
+    k_evictions_ = store_->InternKey("store.retention.evictions");
+    k_breaches_ = store_->InternKey("store.retention.breaches");
+    k_bytes_total_ = store_->InternKey("engine.store.bytes.total");
+    k_live_keys_ = store_->InternKey("engine.store.keys.live");
+    store_->Pin(k_reclaimed_);
+    store_->Pin(k_evictions_);
+    store_->Pin(k_breaches_);
+    store_->Pin(k_bytes_total_);
+    store_->Pin(k_live_keys_);
+    for (size_t i = 0; i < n; ++i) {
+      k_ns_keys_[i] = store_->InternKey("engine.store.keys." + options_.namespaces[i].prefix);
+      k_ns_bytes_[i] = store_->InternKey("engine.store.bytes." + options_.namespaces[i].prefix);
+      store_->Pin(k_ns_keys_[i]);
+      store_->Pin(k_ns_bytes_[i]);
+    }
+  }
+  if (chaos_ != nullptr && options_.enabled) {
+    storm_site_ = chaos_->RegisterSite(kChaosSiteStoreEvictStorm);
+    breach_site_ = chaos_->RegisterSite(kChaosSiteStoreQuotaBreach);
+  }
+}
+
+void RetentionManager::AttachChaos(ChaosEngine* chaos) {
+  chaos_ = chaos;
+  if (chaos_ != nullptr && options_.enabled) {
+    storm_site_ = chaos_->RegisterSite(kChaosSiteStoreEvictStorm);
+    breach_site_ = chaos_->RegisterSite(kChaosSiteStoreQuotaBreach);
+  } else {
+    storm_site_ = kInvalidChaosSite;
+    breach_site_ = kInvalidChaosSite;
+  }
+}
+
+int32_t RetentionManager::Classify(std::string_view key) const {
+  // Longest-prefix match so "agent.s" and a more specific "agent.s42." can
+  // coexist with the expected precedence.
+  int32_t best = -1;
+  size_t best_len = 0;
+  for (size_t i = 0; i < options_.namespaces.size(); ++i) {
+    const std::string& prefix = options_.namespaces[i].prefix;
+    if (key.size() >= prefix.size() && prefix.size() >= best_len &&
+        key.compare(0, prefix.size(), prefix) == 0) {
+      best = static_cast<int32_t>(i);
+      best_len = prefix.size();
+    }
+  }
+  return best;
+}
+
+void RetentionManager::Untrack(KeyId id, Tracked& t) {
+  (void)id;
+  if (t.valid && t.ns >= 0) {
+    ns_keys_[t.ns] -= 1;
+    ns_bytes_[t.ns] -= t.bytes;
+  }
+  t.valid = false;
+  t.ns = -1;
+  t.bytes = 0;
+  // in_list stays as-is: the member entry (if any) is pruned by the next
+  // collection pass, which clears the flag.
+}
+
+void RetentionManager::OnWrite(const StoreWriteInfo& info, const std::string& key,
+                               SimTime now) {
+  if (!options_.enabled) {
+    return;
+  }
+  if (info.id >= tracked_.size()) {
+    tracked_.resize(info.id + 1);
+  }
+  Tracked& t = tracked_[info.id];
+  if (info.pinned) {
+    // Pinned keys are lifecycle-exempt; drop any tracking acquired before
+    // the owner pinned the id.
+    if (t.valid) {
+      Untrack(info.id, t);
+    }
+    return;
+  }
+  if (!t.valid || t.generation != info.generation) {
+    // New tenant (first write, or the slot was reclaimed and recycled).
+    if (t.valid) {
+      Untrack(info.id, t);
+    }
+    const int32_t ns = Classify(key);
+    t.generation = info.generation;
+    if (ns < 0) {
+      t.valid = false;
+      t.ns = -1;
+      t.bytes = 0;
+      t.last_write = now;
+      return;
+    }
+    t.valid = true;
+    t.ns = ns;
+    t.bytes = 0;
+    ns_keys_[ns] += 1;
+    if (!t.in_list) {
+      members_[ns].push_back(info.id);
+      t.in_list = true;
+    }
+  }
+  t.last_write = now;
+  ns_bytes_[t.ns] += info.approx_bytes - t.bytes;
+  t.bytes = info.approx_bytes;
+}
+
+bool RetentionManager::TryReclaim(KeyId id, Tracked& t, bool quota) {
+  const Status status = store_->ReclaimKeyId(id);
+  if (status.ok()) {
+    Untrack(id, t);
+    if (quota) {
+      ++stats_.reclaimed_quota;
+    } else {
+      ++stats_.reclaimed_idle;
+    }
+    return true;
+  }
+  // Pinned (FailedPrecondition) or already dead (NotFound): either way this
+  // slot is not ours to govern right now — untrack so counts converge.
+  if (status.code() == ErrorCode::kNotFound) {
+    ++stats_.stale_tracks_fixed;
+  }
+  Untrack(id, t);
+  return false;
+}
+
+void RetentionManager::ScanChunk(SimTime now, bool storm) {
+  if (tracked_.empty()) {
+    return;
+  }
+  const uint64_t budget = storm ? tracked_.size() : options_.scan_chunk;
+  for (uint64_t step = 0; step < budget; ++step) {
+    if (cursor_ >= tracked_.size()) {
+      cursor_ = 0;
+    }
+    const KeyId id = static_cast<KeyId>(cursor_++);
+    Tracked& t = tracked_[id];
+    if (!t.valid || t.ns < 0) {
+      continue;
+    }
+    const Duration ttl = options_.namespaces[t.ns].idle_ttl;
+    if (storm) {
+      TryReclaim(id, t, /*quota=*/false);
+    } else if (ttl > 0 && now - t.last_write >= ttl) {
+      TryReclaim(id, t, /*quota=*/false);
+    }
+  }
+}
+
+void RetentionManager::EnforceQuota(SimTime now, bool breach_all) {
+  (void)now;
+  for (size_t i = 0; i < options_.namespaces.size(); ++i) {
+    const uint64_t configured = options_.namespaces[i].max_keys;
+    uint64_t budget = configured;
+    if (breach_all) {
+      // Injected breach: pretend the namespace budget collapsed to half its
+      // live population, forcing LRU eviction pressure deterministically.
+      budget = ns_keys_[i] / 2;
+    } else if (configured == 0 || ns_keys_[i] <= configured) {
+      continue;
+    }
+    // Collection pass: compact the member list, recompute the exact count,
+    // and fix any tracking the lazy bookkeeping left behind.
+    std::vector<KeyId>& members = members_[i];
+    std::vector<KeyId> live;
+    live.reserve(members.size());
+    for (const KeyId id : members) {
+      Tracked& t = tracked_[id];
+      if (t.valid && t.ns == static_cast<int32_t>(i)) {
+        // A tracked entry only counts against the budget if the slot still
+        // holds the tenant we stamped: externally reclaimed or recycled
+        // slots would inflate the census and evict healthy keys.
+        if (store_->IsLive(id) && store_->GenerationOf(id) == t.generation) {
+          if (store_->IsPinned(id)) {
+            Untrack(id, t);  // pinned after tracking: now exempt
+            t.in_list = false;
+            continue;
+          }
+          live.push_back(id);
+          continue;
+        }
+        ++stats_.stale_tracks_fixed;
+        Untrack(id, t);
+      }
+      t.in_list = false;
+    }
+    members = live;
+    if (ns_keys_[i] != live.size()) {
+      // Count drifted (external reclaims); the exact census wins.
+      ns_keys_[i] = live.size();
+    }
+    if (budget >= live.size() || live.empty()) {
+      continue;
+    }
+    ++stats_.quota_breaches;
+    // LRU by last write, stable tie-break on slot id.
+    std::sort(live.begin(), live.end(), [this](KeyId a, KeyId b) {
+      if (tracked_[a].last_write != tracked_[b].last_write) {
+        return tracked_[a].last_write < tracked_[b].last_write;
+      }
+      return a < b;
+    });
+    const uint64_t excess = live.size() - budget;
+    uint64_t evicted = 0;
+    for (const KeyId id : live) {
+      if (evicted >= excess) {
+        break;
+      }
+      if (TryReclaim(id, tracked_[id], /*quota=*/true)) {
+        ++evicted;
+      }
+    }
+    if (evicted > 0) {
+      OSGUARD_LOG(kDebug) << "retention evicted " << evicted << " keys from '"
+                          << options_.namespaces[i].prefix << "'";
+    }
+  }
+}
+
+void RetentionManager::RunAtBoundary(SimTime now) {
+  if (!options_.enabled || store_ == nullptr) {
+    return;
+  }
+  bool storm = false;
+  bool breach = false;
+  if (chaos_ != nullptr) {
+    if (storm_site_ != kInvalidChaosSite && chaos_->ShouldInject(storm_site_, now)) {
+      storm = true;
+      ++stats_.chaos_storms;
+    }
+    if (breach_site_ != kInvalidChaosSite && chaos_->ShouldInject(breach_site_, now)) {
+      breach = true;
+      ++stats_.chaos_breaches;
+    }
+  }
+  ScanChunk(now, storm);
+  EnforceQuota(now, breach);
+  Publish();
+}
+
+void RetentionManager::AdoptKey(KeyId id, SimTime now) {
+  if (!options_.enabled || store_ == nullptr) {
+    return;
+  }
+  if (id >= store_->key_count() || !store_->IsLive(id) || store_->IsPinned(id)) {
+    return;
+  }
+  const int32_t ns = Classify(store_->KeyName(id));
+  if (ns < 0) {
+    return;
+  }
+  if (id >= tracked_.size()) {
+    tracked_.resize(id + 1);
+  }
+  Tracked& t = tracked_[id];
+  if (t.valid) {
+    return;  // already governed
+  }
+  t.ns = ns;
+  t.valid = true;
+  t.generation = store_->GenerationOf(id);
+  t.bytes = store_->SlotApproxBytes(id);
+  t.last_write = now;
+  ns_keys_[ns] += 1;
+  ns_bytes_[ns] += t.bytes;
+  if (!t.in_list) {
+    members_[ns].push_back(id);
+    t.in_list = true;
+  }
+}
+
+uint64_t RetentionManager::ReclaimPrefix(std::string_view prefix) {
+  if (!options_.enabled || store_ == nullptr) {
+    return 0;
+  }
+  uint64_t reclaimed = 0;
+  for (KeyId id = 0; id < tracked_.size(); ++id) {
+    Tracked& t = tracked_[id];
+    if (!t.valid || t.ns < 0) {
+      continue;
+    }
+    const std::string& key = store_->KeyName(id);
+    if (key.size() < prefix.size() || key.compare(0, prefix.size(), prefix) != 0) {
+      continue;
+    }
+    if (TryReclaim(id, t, /*quota=*/false)) {
+      ++reclaimed;
+    }
+  }
+  return reclaimed;
+}
+
+void RetentionManager::Publish() {
+  if (store_ == nullptr || k_reclaimed_ == kInvalidKeyId) {
+    return;
+  }
+  const uint64_t reclaimed = stats_.reclaimed_idle;
+  if (!keys_published_ || reclaimed != pub_reclaimed_) {
+    pub_reclaimed_ = reclaimed;
+    store_->Save(k_reclaimed_, Value(static_cast<int64_t>(reclaimed)));
+  }
+  if (!keys_published_ || stats_.reclaimed_quota != pub_evictions_) {
+    pub_evictions_ = stats_.reclaimed_quota;
+    store_->Save(k_evictions_, Value(static_cast<int64_t>(stats_.reclaimed_quota)));
+  }
+  if (!keys_published_ || stats_.quota_breaches != pub_breaches_) {
+    pub_breaches_ = stats_.quota_breaches;
+    store_->Save(k_breaches_, Value(static_cast<int64_t>(stats_.quota_breaches)));
+  }
+  const uint64_t bytes_total = store_->approx_bytes();
+  if (!keys_published_ || bytes_total != pub_bytes_total_) {
+    pub_bytes_total_ = bytes_total;
+    store_->Save(k_bytes_total_, Value(static_cast<int64_t>(bytes_total)));
+  }
+  const uint64_t live = store_->live_key_count();
+  if (!keys_published_ || live != pub_live_keys_) {
+    pub_live_keys_ = live;
+    store_->Save(k_live_keys_, Value(static_cast<int64_t>(live)));
+  }
+  for (size_t i = 0; i < k_ns_keys_.size(); ++i) {
+    if (!keys_published_ || ns_keys_[i] != pub_ns_keys_[i]) {
+      pub_ns_keys_[i] = ns_keys_[i];
+      store_->Save(k_ns_keys_[i], Value(static_cast<int64_t>(ns_keys_[i])));
+    }
+    if (!keys_published_ || ns_bytes_[i] != pub_ns_bytes_[i]) {
+      pub_ns_bytes_[i] = ns_bytes_[i];
+      store_->Save(k_ns_bytes_[i], Value(static_cast<int64_t>(ns_bytes_[i])));
+    }
+  }
+  keys_published_ = true;
+}
+
+RetentionImage RetentionManager::ExportState() const {
+  RetentionImage image;
+  image.cursor = cursor_;
+  image.stats = stats_;
+  image.keys_published = keys_published_;
+  image.pub_reclaimed = pub_reclaimed_;
+  image.pub_evictions = pub_evictions_;
+  image.pub_breaches = pub_breaches_;
+  image.pub_bytes_total = pub_bytes_total_;
+  image.pub_live_keys = pub_live_keys_;
+  image.pub_ns_keys = pub_ns_keys_;
+  image.pub_ns_bytes = pub_ns_bytes_;
+  return image;
+}
+
+void RetentionManager::RestoreState(const RetentionImage& image) {
+  cursor_ = image.cursor;
+  stats_ = image.stats;
+  keys_published_ = image.keys_published;
+  pub_reclaimed_ = image.pub_reclaimed;
+  pub_evictions_ = image.pub_evictions;
+  pub_breaches_ = image.pub_breaches;
+  pub_bytes_total_ = image.pub_bytes_total;
+  pub_live_keys_ = image.pub_live_keys;
+  const size_t n = options_.namespaces.size();
+  pub_ns_keys_ = image.pub_ns_keys;
+  pub_ns_keys_.resize(n, 0);
+  pub_ns_bytes_ = image.pub_ns_bytes;
+  pub_ns_bytes_.resize(n, 0);
+}
+
+void RetentionManager::ResyncAfterRestore(SimTime now) {
+  if (!options_.enabled || store_ == nullptr) {
+    return;
+  }
+  const size_t n = options_.namespaces.size();
+  members_.assign(n, {});
+  ns_keys_.assign(n, 0);
+  ns_bytes_.assign(n, 0);
+  const size_t count = store_->key_count();
+  tracked_.assign(count, Tracked{});
+  for (KeyId id = 0; id < count; ++id) {
+    if (!store_->IsLive(id) || store_->IsPinned(id)) {
+      continue;
+    }
+    const int32_t ns = Classify(store_->KeyName(id));
+    if (ns < 0) {
+      continue;
+    }
+    Tracked& t = tracked_[id];
+    t.ns = ns;
+    t.valid = true;
+    t.in_list = true;
+    t.generation = store_->GenerationOf(id);
+    t.bytes = store_->SlotApproxBytes(id);
+    // Restore-time stamp: write times are not persisted, and both sides of
+    // a differential restore identically, so this stays deterministic.
+    t.last_write = now;
+    members_[ns].push_back(id);
+    ns_keys_[ns] += 1;
+    ns_bytes_[ns] += t.bytes;
+  }
+  if (cursor_ >= tracked_.size()) {
+    cursor_ = 0;
+  }
+}
+
+}  // namespace osguard

@@ -306,6 +306,7 @@ void ShardedEngine::AdvanceTo(SimTime t) {
   e.ApplyPendingRollbacks();
   e.PublishUptimeStats();
   e.PublishTierStats();
+  e.RunRetention();
   e.FinishCalloutGovernor();
   PublishTelemetry();
   e.CommitPersist();
@@ -656,6 +657,7 @@ void ShardedEngine::SerialCallout(const std::vector<Engine::Monitor*>& hooked) {
   e.ApplyPendingRollbacks();
   e.PublishUptimeStats();
   e.PublishTierStats();
+  e.RunRetention();
   e.FinishCalloutGovernor();
   PublishTelemetry();
   e.CommitPersist();
@@ -702,6 +704,7 @@ void ShardedEngine::OnFunctionCall(std::string_view function, SimTime t) {
   e.ApplyPendingRollbacks();
   e.PublishUptimeStats();
   e.PublishTierStats();
+  e.RunRetention();
   e.FinishCalloutGovernor();
   PublishTelemetry();
   e.CommitPersist();

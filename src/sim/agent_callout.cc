@@ -36,6 +36,13 @@ AgentAdmitVerdict AgentGovernor::Process(const agent::ToolCallEvent& event,
         if (!store.LoadOr(killed_key, Value(false)).AsBool().value_or(false)) {
           store.Save(killed_key, Value(true));
           store.Increment(kAgentKeyGovKilled);
+          if (reclaim_on_kill_) {
+            // The session will never publish again (admission reads the
+            // latch first), so its data keys can go now. The latch stays.
+            for (const char* suffix : {"calls", "seen", "taint", "file", "net", "exec"}) {
+              (void)store.ReclaimKey(AgentSessionKey(event.session, suffix));
+            }
+          }
         }
         break;
       }

@@ -105,6 +105,15 @@ class AgentGovernor {
   const AgentGovernorOptions& options() const { return options_; }
   void set_options(const AgentGovernorOptions& options) { options_ = options; }
 
+  // When set (the kernel sets it iff the loaded specs carry a retention
+  // block), the first kill of a session eagerly reclaims its per-session
+  // data keys — calls/seen/taint and the per-tool counters — so a killed
+  // session stops holding store slots immediately instead of waiting for
+  // the idle TTL. The "killed" latch itself is KEPT: admission reads it to
+  // reject the session's future calls.
+  void set_reclaim_on_kill(bool on) { reclaim_on_kill_ = on; }
+  bool reclaim_on_kill() const { return reclaim_on_kill_; }
+
   // Runs admission and, when admitted, publishes the call's features.
   // Does NOT fire the engine callout — the Kernel does that, so the
   // governor stays engine-agnostic.
@@ -116,6 +125,7 @@ class AgentGovernor {
   ChaosEngine* chaos_ = nullptr;
   ChaosSiteId drop_site_ = kInvalidChaosSite;
   ChaosSiteId dup_site_ = kInvalidChaosSite;
+  bool reclaim_on_kill_ = false;
 };
 
 }  // namespace osguard

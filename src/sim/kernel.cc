@@ -33,9 +33,11 @@ void Kernel::BuildEngine() {
   // it is wrapping is replaced.
   sharded_.reset();
   engine_ = std::make_unique<Engine>(&store_, &registry_, &task_control_shim_, engine_options_);
-  // Route store writes to the engine so ONCHANGE triggers fire.
-  store_.SetWriteObserver(
-      [this](KeyId id, const std::string& /*key*/) { engine_->OnStoreWrite(id); });
+  // Route store writes to the engine: the retention manager stamps the
+  // slot's last-write clock, then ONCHANGE triggers fire.
+  store_.SetWriteObserver([this](const StoreWriteInfo& info, const std::string& key) {
+    engine_->OnStoreWrite(info, key);
+  });
   // The overload governor's queue-depth signal is the simulated event queue:
   // a deterministic function of simulated state, so governed differential
   // runs replay bit-identically.
@@ -51,6 +53,15 @@ void Kernel::BuildEngine() {
 Status Kernel::LoadGuardrails(const std::string& source) {
   OSGUARD_RETURN_IF_ERROR(engine_->LoadSource(source));
   guardrail_sources_.push_back(source);
+  // A retention block turns on eager per-session cleanup in the agent
+  // governor (kill-path data reclamation); without one the governor keeps
+  // the seed behavior exactly (off == absent).
+  agent_governor_.set_reclaim_on_kill(engine_->retention().enabled());
+  if (engine_->retention().enabled()) {
+    // agent.sessions shares the "agent.s" prefix with the per-session key
+    // families the builtin namespace governs; pinning exempts the global.
+    store_.Pin(store_.InternKey(kAgentKeySessions));
+  }
   return OkStatus();
 }
 
@@ -94,6 +105,10 @@ Result<RecoveryInfo> Kernel::RebootInner() {
   for (const std::string& source : guardrail_sources_) {
     OSGUARD_RETURN_IF_ERROR(engine_->LoadSource(source));
   }
+  agent_governor_.set_reclaim_on_kill(engine_->retention().enabled());
+  if (engine_->retention().enabled()) {
+    store_.Pin(store_.InternKey(kAgentKeySessions));
+  }
   if (persist_ == nullptr) {
     // No persistence attached: the reboot is a cold start by definition.
     RecoveryInfo info;
@@ -115,10 +130,21 @@ Result<RecoveryInfo> Kernel::RebootInner() {
   for (const std::string& source : guardrail_sources_) {
     OSGUARD_RETURN_IF_ERROR(engine_->LoadSource(source));
   }
+  agent_governor_.set_reclaim_on_kill(engine_->retention().enabled());
+  if (engine_->retention().enabled()) {
+    store_.Pin(store_.InternKey(kAgentKeySessions));
+  }
   RecoveryInfo info;
   info.cold_start = true;
   info.detail = "warm restart failed, cold start: " + recovered.status().ToString();
   return info;
+}
+
+uint64_t Kernel::OnSessionEnd(uint64_t session) {
+  if (panicked_ || !engine_->retention().enabled()) {
+    return 0;
+  }
+  return engine_->retention().ReclaimPrefix(AgentSessionKey(session, ""));
 }
 
 AgentAdmitVerdict Kernel::OnToolCall(const agent::ToolCallEvent& event) {

@@ -124,6 +124,14 @@ class Kernel {
   // The agent governance pipeline behind OnToolCall (configuration access).
   AgentGovernor& agent_governor() { return agent_governor_; }
 
+  // Marks an agent session as finished and — when the loaded specs carry a
+  // `retention { }` block — eagerly reclaims its entire per-session key
+  // family (agent.s<id>.*), including the kill latch: a session that ended
+  // cleanly cannot come back, so nothing needs to age out via TTL. Returns
+  // the number of keys reclaimed (0 without retention, on a panicked
+  // kernel, or when the session never published anything).
+  uint64_t OnSessionEnd(uint64_t session);
+
   // Marks an instrumented kernel function call at the current time. Dead
   // code on a panicked kernel: instrumented functions do not run mid-panic.
   void Callout(std::string_view function) {

@@ -38,11 +38,53 @@ KeyId FeatureStore::InternLocked(std::string_view key) {
   if (it != index_.end()) {
     return it->second;
   }
-  const KeyId id = static_cast<KeyId>(slots_.size());
-  slots_.emplace_back();
-  slots_.back().key = std::string(key);
-  index_.emplace(slots_.back().key, id);
+  KeyId id;
+  if (!free_slots_.empty()) {
+    // Recycle the most recently freed slot. Its generation was bumped at
+    // reclaim time, so any tag captured for the previous tenant mismatches.
+    id = free_slots_.back();
+    free_slots_.pop_back();
+    Slot& slot = slots_[id];
+    slot.key = std::string(key);
+    slot.live = true;
+    RefreshBytesLocked(slot);
+  } else {
+    id = static_cast<KeyId>(slots_.size());
+    slots_.emplace_back();
+    slots_.back().key = std::string(key);
+    RefreshBytesLocked(slots_.back());
+  }
+  index_.emplace(slots_[id].key, id);
   return id;
+}
+
+// --- Byte accounting ---
+//
+// Approximate by design: the goal is a pressure signal with stable ordering
+// (more keys / more samples => more bytes), not a malloc-accurate census.
+// Deterministic across hosts — sizes come from the wire-stable dump structs,
+// not from std::deque block geometry.
+
+uint64_t FeatureStore::SlotBytes(const Slot& slot) {
+  uint64_t bytes = sizeof(Slot) + slot.key.size();
+  if (slot.has_scalar) {
+    if (const std::string* s = slot.scalar.IfString()) {
+      bytes += s->size();
+    }
+  }
+  if (slot.series != nullptr) {
+    const Series& s = *slot.series;
+    bytes += sizeof(Series);
+    bytes += s.samples.size() * sizeof(StoreSampleDump);
+    bytes += (s.minima.size() + s.maxima.size()) * sizeof(StoreExtremumDump);
+  }
+  return bytes;
+}
+
+void FeatureStore::RefreshBytesLocked(Slot& slot) {
+  const uint64_t now_bytes = SlotBytes(slot);
+  approx_bytes_ += now_bytes - slot.bytes;
+  slot.bytes = now_bytes;
 }
 
 KeyId FeatureStore::FindLocked(std::string_view key) const {
@@ -66,9 +108,151 @@ size_t FeatureStore::key_count() const {
   return slots_.size();
 }
 
+size_t FeatureStore::live_key_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return slots_.size() - free_slots_.size();
+}
+
 const std::string& FeatureStore::KeyName(KeyId id) const {
   std::lock_guard<std::mutex> lock(mu_);
   return slots_[id].key;
+}
+
+// --- Key lifecycle ---
+
+void FeatureStore::Pin(KeyId id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (id < slots_.size()) {
+    slots_[id].pinned = true;
+  }
+}
+
+void FeatureStore::Unpin(KeyId id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (id < slots_.size()) {
+    slots_[id].pinned = false;
+  }
+}
+
+bool FeatureStore::IsPinned(KeyId id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return id < slots_.size() && slots_[id].pinned;
+}
+
+uint32_t FeatureStore::GenerationOf(KeyId id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return GenerationOfUnlocked(id);
+}
+
+bool FeatureStore::IsLive(KeyId id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return id < slots_.size() && slots_[id].live;
+}
+
+Status FeatureStore::ReclaimLocked(KeyId id, StoreMutation* m, bool* capture,
+                                   std::string* name) {
+  if (id >= slots_.size() || !slots_[id].live) {
+    return NotFoundError("feature store has no live slot " + std::to_string(id));
+  }
+  Slot& slot = slots_[id];
+  if (slot.pinned) {
+    return FailedPreconditionError("key '" + slot.key + "' is pinned and cannot be reclaimed");
+  }
+  if (*capture) {
+    m->kind = StoreMutation::Kind::kErase;
+    m->id = id;
+    m->reclaim = true;
+    *name = slot.key;  // the slot's copy is cleared below
+  }
+  SeqWriteGuard seq(this);
+  index_.erase(slot.key);
+  // Drop the tenant name too: a dead slot must account (and dump) exactly
+  // like a restored dead slot, or byte telemetry diverges across restarts.
+  slot.key.clear();
+  slot.has_scalar = false;
+  slot.scalar = Value();
+  slot.series.reset();
+  slot.live = false;
+  ++slot.generation;
+  free_slots_.push_back(id);
+  RefreshBytesLocked(slot);
+  return OkStatus();
+}
+
+Status FeatureStore::ReclaimKey(std::string_view key) {
+  bool capture = WantMutations();
+  StoreMutation m;
+  std::string name;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const KeyId id = FindLocked(key);
+    if (id == kInvalidKeyId) {
+      return NotFoundError("feature store has no key '" + std::string(key) + "'");
+    }
+    OSGUARD_RETURN_IF_ERROR(ReclaimLocked(id, &m, &capture, &name));
+  }
+  if (capture) {
+    mutation_observer_(m, name);
+  }
+  return OkStatus();
+}
+
+Status FeatureStore::ReclaimKeyId(KeyId id) {
+  bool capture = WantMutations();
+  StoreMutation m;
+  std::string name;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    OSGUARD_RETURN_IF_ERROR(ReclaimLocked(id, &m, &capture, &name));
+  }
+  if (capture) {
+    mutation_observer_(m, name);
+  }
+  return OkStatus();
+}
+
+Value FeatureStore::LoadOrTagged(KeyId id, uint32_t gen, Value fallback) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (id >= slots_.size() || !slots_[id].live || slots_[id].generation != gen) {
+    if (id < slots_.size() && slots_[id].generation != gen) {
+      stale_hits_.fetch_add(1, std::memory_order_relaxed);
+    }
+    return fallback;
+  }
+  return LoadOrUnlocked(id, fallback);
+}
+
+bool FeatureStore::ContainsTagged(KeyId id, uint32_t gen) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (id >= slots_.size() || !slots_[id].live || slots_[id].generation != gen) {
+    if (id < slots_.size() && slots_[id].generation != gen) {
+      stale_hits_.fetch_add(1, std::memory_order_relaxed);
+    }
+    return false;
+  }
+  return ContainsUnlocked(id);
+}
+
+Result<double> FeatureStore::AggregateTagged(KeyId id, uint32_t gen, AggKind kind,
+                                             Duration window, SimTime now) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (id >= slots_.size() || !slots_[id].live || slots_[id].generation != gen) {
+    if (id < slots_.size() && slots_[id].generation != gen) {
+      stale_hits_.fetch_add(1, std::memory_order_relaxed);
+    }
+    return NotFoundError("stale or reclaimed slot " + std::to_string(id));
+  }
+  return AggregateUnlocked(id, kind, window, now);
+}
+
+uint64_t FeatureStore::approx_bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return approx_bytes_;
+}
+
+uint64_t FeatureStore::SlotApproxBytes(KeyId id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return id < slots_.size() ? slots_[id].bytes : 0;
 }
 
 // --- Scalars ---
@@ -93,6 +277,7 @@ void FeatureStore::Save(std::string_view key, Value value) {
     }
     slots_[id].scalar = std::move(value);
     slots_[id].has_scalar = true;
+    RefreshBytesLocked(slots_[id]);
   }
   if (capture) {
     NotifyMutation(m);
@@ -105,6 +290,9 @@ void FeatureStore::Save(KeyId id, Value value) {
   StoreMutation m;
   {
     std::lock_guard<std::mutex> lock(mu_);
+    if (!slots_[id].live) {
+      return;  // a stale cached id cannot resurrect a reclaimed slot
+    }
     SeqWriteGuard seq(this);
     if (capture) {
       m.kind = StoreMutation::Kind::kSave;
@@ -113,6 +301,7 @@ void FeatureStore::Save(KeyId id, Value value) {
     }
     slots_[id].scalar = std::move(value);
     slots_[id].has_scalar = true;
+    RefreshBytesLocked(slots_[id]);
   }
   if (capture) {
     NotifyMutation(m);
@@ -184,6 +373,7 @@ Status FeatureStore::Erase(std::string_view key) {
     SeqWriteGuard seq(this);
     slots_[id].has_scalar = false;
     slots_[id].scalar = Value();
+    RefreshBytesLocked(slots_[id]);
   }
   if (WantMutations()) {
     StoreMutation m;
@@ -208,6 +398,7 @@ double FeatureStore::Increment(std::string_view key, double delta) {
     }
     slot.scalar = Value(next);
     slot.has_scalar = true;
+    RefreshBytesLocked(slot);
   }
   if (capture) {
     StoreMutation m;
@@ -225,13 +416,17 @@ double FeatureStore::Increment(KeyId id, double delta) {
   const bool capture = WantMutations();
   {
     std::lock_guard<std::mutex> lock(mu_);
-    SeqWriteGuard seq(this);
     Slot& slot = slots_[id];
+    if (!slot.live) {
+      return 0.0;  // stale cached id: no resurrection, no observer
+    }
+    SeqWriteGuard seq(this);
     if (slot.has_scalar) {
       next += slot.scalar.NumericOr(0.0);
     }
     slot.scalar = Value(next);
     slot.has_scalar = true;
+    RefreshBytesLocked(slot);
   }
   if (capture) {
     StoreMutation m;
@@ -303,6 +498,7 @@ void FeatureStore::Observe(std::string_view key, SimTime now, double sample) {
       slots_[id].series = std::make_unique<Series>();
     }
     AppendLocked(*slots_[id].series, now, sample);
+    RefreshBytesLocked(slots_[id]);
   }
   if (WantMutations()) {
     StoreMutation m;
@@ -318,11 +514,15 @@ void FeatureStore::Observe(std::string_view key, SimTime now, double sample) {
 void FeatureStore::Observe(KeyId id, SimTime now, double sample) {
   {
     std::lock_guard<std::mutex> lock(mu_);
+    if (!slots_[id].live) {
+      return;  // stale cached id: no resurrection, no observer
+    }
     SeqWriteGuard seq(this);
     if (slots_[id].series == nullptr) {
       slots_[id].series = std::make_unique<Series>();
     }
     AppendLocked(*slots_[id].series, now, sample);
+    RefreshBytesLocked(slots_[id]);
   }
   if (WantMutations()) {
     StoreMutation m;
@@ -349,6 +549,7 @@ void FeatureStore::SetSeriesOptions(std::string_view key, SeriesOptions options)
     if (!series.samples.empty()) {
       EvictLocked(series, series.samples.back().time);
     }
+    RefreshBytesLocked(slots_[id]);
   }
   if (WantMutations()) {
     StoreMutation m;
@@ -590,6 +791,21 @@ void FeatureStore::Clear() {
     slot.has_scalar = false;
     slot.scalar = Value();
     slot.series.reset();
+    if (!slot.live) {
+      // Compaction: a dead slot no longer needs its retained key string.
+      slot.key.clear();
+      slot.key.shrink_to_fit();
+    }
+    RefreshBytesLocked(slot);
+  }
+  // Trim trailing dead slots. Live ids never move, so every id a monitor
+  // has cached (all of which point at live, pinned slots) stays valid.
+  while (!slots_.empty() && !slots_.back().live) {
+    const KeyId dead = static_cast<KeyId>(slots_.size() - 1);
+    approx_bytes_ -= slots_.back().bytes;
+    slots_.pop_back();
+    free_slots_.erase(std::remove(free_slots_.begin(), free_slots_.end(), dead),
+                      free_slots_.end());
   }
 }
 
@@ -598,6 +814,8 @@ void FeatureStore::Reset() {
   SeqWriteGuard seq(this);
   slots_.clear();
   index_.clear();
+  free_slots_.clear();
+  approx_bytes_ = 0;
 }
 
 // --- Persistence ---
@@ -606,9 +824,18 @@ std::vector<StoreSlotDump> FeatureStore::DumpSlots() const {
   std::lock_guard<std::mutex> lock(mu_);
   std::vector<StoreSlotDump> dump;
   dump.reserve(slots_.size());
-  for (const Slot& slot : slots_) {
+  for (KeyId id = 0; id < slots_.size(); ++id) {
+    const Slot& slot = slots_[id];
     StoreSlotDump d;
     d.key = slot.key;
+    d.generation = slot.generation;
+    d.live = slot.live;
+    if (!slot.live) {
+      auto it = std::find(free_slots_.begin(), free_slots_.end(), id);
+      d.free_rank = it == free_slots_.end()
+                        ? 0
+                        : static_cast<uint32_t>(it - free_slots_.begin()) + 1;
+    }
     d.has_scalar = slot.has_scalar;
     if (slot.has_scalar) {
       d.scalar = slot.scalar;
@@ -642,13 +869,46 @@ std::vector<StoreSlotDump> FeatureStore::DumpSlots() const {
 void FeatureStore::RestoreSlots(const std::vector<StoreSlotDump>& dump) {
   std::lock_guard<std::mutex> lock(mu_);
   SeqWriteGuard seq(this);
-  for (const StoreSlotDump& d : dump) {
-    const KeyId id = InternLocked(d.key);
+  // Positional restore: dump index i describes slot i. This preserves the
+  // generation map, so a monitor's (id, generation) tag minted before a
+  // snapshot reads identically after warm restart.
+  if (slots_.size() < dump.size()) {
+    slots_.resize(dump.size());
+  }
+  std::vector<std::pair<uint32_t, KeyId>> freed;  // (free_rank, id)
+  for (KeyId id = 0; id < dump.size(); ++id) {
+    const StoreSlotDump& d = dump[id];
     Slot& slot = slots_[id];
+    if (!d.live) {
+      // Current pinned slots belong to the engine's post-restore topology;
+      // a dead dump entry must not kill them.
+      if (!slot.pinned) {
+        if (slot.live && !slot.key.empty()) {
+          index_.erase(slot.key);
+        }
+        slot.key.clear();
+        slot.has_scalar = false;
+        slot.scalar = Value();
+        slot.series.reset();
+        slot.live = false;
+        slot.generation = d.generation;
+        freed.emplace_back(d.free_rank, id);
+      }
+      RefreshBytesLocked(slot);
+      continue;
+    }
+    if (slot.live && slot.key != d.key && !slot.key.empty()) {
+      index_.erase(slot.key);
+    }
+    slot.key = d.key;
+    slot.live = true;
+    slot.generation = d.generation;
+    index_[slot.key] = id;
     slot.has_scalar = d.has_scalar;
     slot.scalar = d.has_scalar ? d.scalar : Value();
     if (!d.has_series) {
       slot.series.reset();
+      RefreshBytesLocked(slot);
       continue;
     }
     slot.series = std::make_unique<Series>();
@@ -666,6 +926,15 @@ void FeatureStore::RestoreSlots(const std::vector<StoreSlotDump>& dump) {
     for (const StoreExtremumDump& e : d.series.maxima) {
       s.maxima.push_back(Extremum{e.seq, e.time, e.value});
     }
+    RefreshBytesLocked(slot);
+  }
+  // Rebuild the free list in dump order so recycling after restart picks the
+  // same slots in the same order as the pre-crash store would have.
+  std::sort(freed.begin(), freed.end());
+  free_slots_.clear();
+  for (const auto& [rank, id] : freed) {
+    (void)rank;
+    free_slots_.push_back(id);
   }
 }
 
@@ -705,6 +974,10 @@ Value FeatureStore::ReadView::LoadOr(KeyId id, const Value& fallback) const {
 
 bool FeatureStore::ReadView::Contains(KeyId id) const {
   return Validated([&] { return store_->ContainsUnlocked(id); });
+}
+
+uint32_t FeatureStore::ReadView::GenerationOf(KeyId id) const {
+  return Validated([&] { return store_->GenerationOfUnlocked(id); });
 }
 
 Result<double> FeatureStore::ReadView::Aggregate(KeyId id, AggKind kind, Duration window,

@@ -51,10 +51,16 @@
 
 namespace osguard {
 
-// Dense identifier for an interned feature-store key. Ids are assigned in
-// interning order, are stable for the lifetime of the store (Clear() resets
-// values but keeps the intern table, so monitor-cached ids stay valid), and
-// index directly into the slot array.
+// Dense identifier for an interned feature-store key; indexes directly into
+// the slot array. Ids are assigned in interning order. A *pinned* slot
+// (Pin()) is stable for the lifetime of the store — Clear() resets values
+// but keeps the intern table, so monitor-cached ids stay valid; the engine
+// pins every id it caches at load time. Unpinned slots participate in the
+// key lifecycle: ReclaimKey() frees the slot onto a free list, bumps its
+// generation, and a later intern of a *different* key may recycle the slot.
+// Consumers that cache ids of reclaimable keys must carry the generation
+// (GenerationOf at resolve time) and read through the tagged accessors — a
+// stale generation reads as absent, never as the recycled key's data.
 using KeyId = uint32_t;
 inline constexpr KeyId kInvalidKeyId = 0xffffffffu;
 
@@ -82,12 +88,23 @@ struct SeriesOptions {
   Duration max_age = Seconds(300);
 };
 
+// Slot facts riding along with every write notification, read from the
+// committed slot so consumers (ONCHANGE dispatch, retention stamping) need
+// no extra store lock round-trip.
+struct StoreWriteInfo {
+  KeyId id = kInvalidKeyId;
+  uint32_t generation = 0;   // slot tenant generation at commit time
+  uint64_t approx_bytes = 0; // slot's approximate footprint after the write
+  bool pinned = false;       // lifecycle-exempt (cached-id contract)
+};
+
 // Invoked after a key is written (Save / Increment / Observe), outside the
 // store's lock, on the writing thread. Used by the engine's ONCHANGE
-// triggers (dependency-driven checking, the paper's §6 idea). The id is the
-// key's interned slot so the consumer can dispatch without re-hashing; the
-// string reference stays valid for the lifetime of the store.
-using WriteObserver = std::function<void(KeyId id, const std::string& key)>;
+// triggers (dependency-driven checking, the paper's §6 idea) and by the
+// retention manager's last-write stamping. The id is the key's interned
+// slot so the consumer can dispatch without re-hashing; the string
+// reference stays valid for the lifetime of the store.
+using WriteObserver = std::function<void(const StoreWriteInfo& info, const std::string& key)>;
 
 // A committed store mutation, as observed by the persistence layer
 // (osguard::persist journals these and replays them through the public API
@@ -95,7 +112,11 @@ using WriteObserver = std::function<void(KeyId id, const std::string& key)>;
 //   kSave             -> value (Increment reports its post-increment scalar
 //                        as a kSave, so replay needs no read-modify-write)
 //   kObserve          -> time, sample
-//   kErase            -> (key only; fired only when the erase succeeded)
+//   kErase            -> key only; fired only when the erase succeeded.
+//                        `reclaim` distinguishes a full slot reclamation
+//                        (ReclaimKey: series dropped, slot freed) from a
+//                        scalar erase, so journal replay reproduces the
+//                        free-list and generation state bit-identically.
 //   kSetSeriesOptions -> options
 struct StoreMutation {
   enum class Kind : uint8_t { kSave = 0, kObserve = 1, kErase = 2, kSetSeriesOptions = 3 };
@@ -105,6 +126,7 @@ struct StoreMutation {
   SimTime time = 0;
   double sample = 0.0;
   SeriesOptions options;
+  bool reclaim = false;
 };
 
 // Invoked after a mutation commits, outside the store's lock, before the
@@ -143,6 +165,14 @@ struct StoreSlotDump {
   Value scalar;
   bool has_series = false;
   StoreSeriesDump series;
+  // --- Generation map (key lifecycle) ---
+  // Reclaimed slots are dumped too (live = false, values empty) so a warm
+  // restart reconstructs the slot table positionally: generations, the
+  // free-list membership, and its LIFO order (free_rank: 1-based position in
+  // the free list, 0 for live slots) all survive bit-identically.
+  uint32_t generation = 0;
+  bool live = true;
+  uint32_t free_rank = 0;
 };
 
 class FeatureStore {
@@ -171,17 +201,67 @@ class FeatureStore {
 
   // --- Key interning ---
 
-  // Returns the slot id for `key`, creating an empty slot if absent.
+  // Returns the slot id for `key`, creating an empty slot if absent. A freed
+  // slot may be recycled (LIFO) — the returned id then carries the bumped
+  // generation that distinguishes it from the slot's previous tenant.
   KeyId InternKey(std::string_view key);
 
-  // Returns the slot id for `key` or kInvalidKeyId if it was never interned.
+  // Returns the slot id for `key` or kInvalidKeyId if it was never interned
+  // (or was reclaimed).
   KeyId FindKey(std::string_view key) const;
 
-  // Number of interned slots; all valid KeyIds are < key_count().
+  // Slot-table size (live + freed slots); all valid KeyIds are < key_count().
   size_t key_count() const;
 
-  // The key string for a valid id (stable reference).
+  // Number of live (not reclaimed) slots.
+  size_t live_key_count() const;
+
+  // The key string for a valid id (stable reference; a freed slot keeps its
+  // last tenant's name until the slot is recycled or compacted).
   const std::string& KeyName(KeyId id) const;
+
+  // --- Key lifecycle (bounded-memory store; docs/STORE.md) ---
+
+  // Pins / unpins a slot. Pinned slots are never reclaimed — ReclaimKey
+  // refuses with kFailedPrecondition — so cached KeyIds of pinned keys stay
+  // valid forever. The engine pins every id it resolves at monitor load.
+  void Pin(KeyId id);
+  void Unpin(KeyId id);
+  bool IsPinned(KeyId id) const;
+
+  // Slot generation: bumped each time the slot is reclaimed. Capture it next
+  // to a cached KeyId and read through the tagged accessors below.
+  uint32_t GenerationOf(KeyId id) const;
+  // Whether the slot is currently interned (not freed).
+  bool IsLive(KeyId id) const;
+
+  // Frees the slot: drops scalar and series state, removes the key from the
+  // intern index, bumps the generation, and pushes the slot onto the free
+  // list for recycling. Refuses pinned slots (kFailedPrecondition) and
+  // missing/already-freed keys (kNotFound). Fires the mutation observer as a
+  // kErase with reclaim = true (journaled as an ordinary erase frame); like
+  // Erase, it does not fire the write observer — reclamation never triggers
+  // ONCHANGE cascades.
+  Status ReclaimKey(std::string_view key);
+  Status ReclaimKeyId(KeyId id);
+
+  // Generation-validated reads: absent (fallback / kNotFound / empty) when
+  // the slot was reclaimed or recycled since `gen` was captured — a stale
+  // tag can never observe the recycled slot's new tenant. Stale hits are
+  // counted (stale_hits) as proof the validation is doing work.
+  Value LoadOrTagged(KeyId id, uint32_t gen, Value fallback) const;
+  bool ContainsTagged(KeyId id, uint32_t gen) const;
+  Result<double> AggregateTagged(KeyId id, uint32_t gen, AggKind kind, Duration window,
+                                 SimTime now) const;
+  uint64_t stale_hits() const { return stale_hits_.load(std::memory_order_relaxed); }
+
+  // Approximate heap footprint of the store: slot table, key strings, scalar
+  // payloads, series sample buffers and window-aggregate state. Maintained
+  // incrementally (O(1) per mutation); the engine exports it as
+  // engine.store.bytes.total and feeds it to the overload governor.
+  uint64_t approx_bytes() const;
+  // Approximate footprint of one slot (0 for out-of-range ids).
+  uint64_t SlotApproxBytes(KeyId id) const;
 
   // --- Scalar KV (the paper's SAVE/LOAD) ---
 
@@ -241,7 +321,11 @@ class FeatureStore {
   std::vector<std::string> ScalarKeys() const;
 
   // Erases all values (tests / between benchmark repetitions). The intern
-  // table survives so previously resolved KeyIds remain valid.
+  // table survives so previously resolved KeyIds remain valid. Free-listed
+  // slots are compacted: their retained key strings are released and any
+  // trailing run of freed slots is trimmed from the table (live slot ids
+  // never move, so the cached-KeyId stability contract holds — pinned by
+  // tests/store_test.cc).
   void Clear();
 
   // Clear() plus drops the intern table itself — a pristine store, as after
@@ -253,16 +337,19 @@ class FeatureStore {
 
   // --- Persistence (osguard::persist) ---
 
-  // Snapshot of every slot in interning order, including full incremental
-  // series state. Observers do not fire.
+  // Snapshot of every slot in interning order — including freed slots, whose
+  // dump carries the generation map and free-list rank — with full
+  // incremental series state. Observers do not fire.
   std::vector<StoreSlotDump> DumpSlots() const;
 
-  // Reinstates a DumpSlots() snapshot: keys are re-interned in dump order
-  // (prefix-consistent with the original interning order, so monitor-cached
-  // KeyIds resolved after a same-spec reload stay correct) and each dumped
-  // slot's contents replace whatever the slot currently holds. Slots already
-  // interned but absent from the dump are left untouched. Observers do not
-  // fire.
+  // Reinstates a DumpSlots() snapshot positionally: dump index i describes
+  // slot i (prefix-consistent with the original interning order, so
+  // monitor-cached KeyIds resolved after a same-spec reload stay correct).
+  // Live dumped slots replace whatever the slot currently holds; dead dumped
+  // slots are freed (unless the current slot is pinned — a pinned slot's
+  // owner re-interned it before the restore) and the free list is rebuilt in
+  // the dumped LIFO order. Slots already interned past the dump are left
+  // untouched. Observers do not fire.
   void RestoreSlots(const std::vector<StoreSlotDump>& dump);
 
   // --- Epoch snapshot publication (sharded engine) ---
@@ -303,6 +390,11 @@ class FeatureStore {
     Result<double> Aggregate(KeyId id, AggKind kind, Duration window, SimTime now) const;
     Result<double> AggregateQuantile(KeyId id, double q, Duration window,
                                      SimTime now) const;
+    // Slot generation under the same epoch validation — the sharded engine
+    // checks pre-resolved slots against their load-time generation before
+    // trusting a keyed fast path (a reclaimed/recycled slot falls back to
+    // the by-name slow path, which is correct by construction).
+    uint32_t GenerationOf(KeyId id) const;
 
     // Epoch-validation failures observed through this view (telemetry; 0 in
     // a correctly quiescent drain phase).
@@ -351,12 +443,26 @@ class FeatureStore {
     bool has_scalar = false;
     Value scalar;
     std::unique_ptr<Series> series;  // null until first Observe/SetSeriesOptions
+    // --- Key lifecycle ---
+    uint32_t generation = 0;  // bumped on reclaim; tagged reads validate it
+    bool live = true;         // false after ReclaimKey, until recycled
+    bool pinned = false;      // never reclaimed; id is stable forever
+    uint64_t bytes = 0;       // cached approximate footprint (see RefreshBytesLocked)
   };
 
   KeyId InternLocked(std::string_view key);
   KeyId FindLocked(std::string_view key) const;
   static void AppendLocked(Series& series, SimTime t, double sample);
   static void EvictLocked(Series& series, SimTime now);
+  // Approximate footprint of one slot (key string, scalar payload, series
+  // buffers + extrema deques). O(1): deque sizes, no traversal.
+  static uint64_t SlotBytes(const Slot& slot);
+  // Re-prices `slot` after a mutation and folds the delta into the store
+  // total. Every write path that touches slot payloads calls this last.
+  void RefreshBytesLocked(Slot& slot);
+  // `name` receives the reclaimed key's name when `*capture` is set (the
+  // slot's own copy is wiped as part of the reclaim).
+  Status ReclaimLocked(KeyId id, StoreMutation* m, bool* capture, std::string* name);
 
   // RAII seqlock write section: constructor bumps epoch_ to odd (release
   // after the store so prior slot writes aren't reordered past the "write in
@@ -381,6 +487,9 @@ class FeatureStore {
   // ReadView validation loop.
   Value LoadOrUnlocked(KeyId id, const Value& fallback) const;
   bool ContainsUnlocked(KeyId id) const;
+  uint32_t GenerationOfUnlocked(KeyId id) const {
+    return id < slots_.size() ? slots_[id].generation : 0;
+  }
   Result<double> AggregateUnlocked(KeyId id, AggKind kind, Duration window,
                                    SimTime now) const;
   std::vector<double> WindowSamplesUnlocked(KeyId id, Duration window, SimTime now) const;
@@ -388,7 +497,13 @@ class FeatureStore {
                                            SimTime now) const;
   void NotifyWrite(KeyId id) const {
     if (observer_ && !observers_suppressed_) {
-      observer_(id, slots_[id].key);
+      const Slot& slot = slots_[id];
+      StoreWriteInfo info;
+      info.id = id;
+      info.generation = slot.generation;
+      info.approx_bytes = slot.bytes;
+      info.pinned = slot.pinned;
+      observer_(info, slot.key);
     }
   }
   void NotifyMutation(const StoreMutation& m) const {
@@ -409,6 +524,12 @@ class FeatureStore {
   // strings stay valid across interning.
   std::deque<Slot> slots_;
   std::unordered_map<std::string, KeyId, TransparentStringHash, std::equal_to<>> index_;
+  // Freed slots awaiting recycling, LIFO. Order is deterministic (reclaims
+  // happen at coordinator callout boundaries) and survives snapshots via
+  // StoreSlotDump::free_rank, so warm restarts recycle identically.
+  std::vector<KeyId> free_slots_;
+  uint64_t approx_bytes_ = 0;  // incremental total of Slot::bytes
+  mutable std::atomic<uint64_t> stale_hits_{0};
   WriteObserver observer_;
   MutationObserver mutation_observer_;
   bool observers_suppressed_ = false;

@@ -20,6 +20,10 @@ Duration ExpGap(Rng& rng, Duration mean) {
 }  // namespace
 
 std::vector<agent::ToolCallEvent> SessionCallGenerator::Generate(SimTime start) {
+  return GenerateChurn(start).calls;
+}
+
+SessionChurnTrace SessionCallGenerator::GenerateChurn(SimTime start, Duration linger) {
   using agent::ToolCallEvent;
   using agent::ToolClass;
   std::vector<ToolCallEvent> events;
@@ -45,6 +49,8 @@ std::vector<agent::ToolCallEvent> SessionCallGenerator::Generate(SimTime start) 
     sessions.push_back({t, next_id++, rng_.NextU64()});
   }
   // Phase 2: each session unrolls bursts of calls from its private stream.
+  std::vector<SessionEndEvent> ends;
+  ends.reserve(sessions.size());
   for (const SessionSeed& s : sessions) {
     Rng srng(s.seed);
     SimTime at = s.arrival;
@@ -84,6 +90,10 @@ std::vector<agent::ToolCallEvent> SessionCallGenerator::Generate(SimTime start) 
         events.push_back(ev);
       }
     }
+    // The session retires `linger` after its last call. Sessions that
+    // emitted no calls still retire (a spawned-but-silent session is the
+    // cheapest kind of churn).
+    ends.push_back(SessionEndEvent{at + std::max<Duration>(0, linger), s.id});
   }
   // Equal-timestamp events keep session arrival order (stable sort over a
   // per-session-ordered build), so the merged trace is fully deterministic.
@@ -91,7 +101,11 @@ std::vector<agent::ToolCallEvent> SessionCallGenerator::Generate(SimTime start) 
                    [](const ToolCallEvent& a, const ToolCallEvent& b) {
                      return a.at < b.at;
                    });
-  return events;
+  std::stable_sort(ends.begin(), ends.end(),
+                   [](const SessionEndEvent& a, const SessionEndEvent& b) {
+                     return a.at < b.at;
+                   });
+  return SessionChurnTrace{std::move(events), std::move(ends)};
 }
 
 }  // namespace osguard

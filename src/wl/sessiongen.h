@@ -40,6 +40,22 @@ struct SessionWorkloadOptions {
   double secret_fraction = 0.01;
 };
 
+// A session-lifecycle marker for the churn variant: the session made its
+// last call at `at` - linger and is now gone for good. The kernel consumes
+// these via OnSessionEnd (eager per-session key reclamation).
+struct SessionEndEvent {
+  SimTime at = 0;
+  uint64_t session = 0;
+
+  friend bool operator==(const SessionEndEvent&, const SessionEndEvent&) = default;
+};
+
+// Calls plus end markers, each sorted by (time, session arrival order).
+struct SessionChurnTrace {
+  std::vector<agent::ToolCallEvent> calls;
+  std::vector<SessionEndEvent> ends;
+};
+
 class SessionCallGenerator {
  public:
   SessionCallGenerator(SessionWorkloadOptions options, uint64_t seed)
@@ -48,6 +64,13 @@ class SessionCallGenerator {
   // Generates the full trace starting at `start`, ordered by (time, session
   // arrival order). Same (options, seed, start) => bit-identical trace.
   std::vector<agent::ToolCallEvent> Generate(SimTime start = 0);
+
+  // Churn variant: the same call trace (bit-identical to Generate with the
+  // same seed/start) plus one SessionEndEvent per session, `linger` after
+  // its final call. This is the input for bounded-memory experiments: a
+  // steady arrival of short-lived sessions whose key families must be
+  // reclaimed as fast as they retire or the store grows without bound.
+  SessionChurnTrace GenerateChurn(SimTime start = 0, Duration linger = Milliseconds(50));
 
  private:
   SessionWorkloadOptions options_;

@@ -114,7 +114,9 @@ std::string RunScenario(const std::string& source, const NativeTierOptions& tier
   options.tier = tier;
   Engine engine(&store, &registry, nullptr, options);
   store.SetWriteObserver(
-      [&engine](KeyId id, const std::string& /*key*/) { engine.OnStoreWrite(id); });
+      [&engine](const StoreWriteInfo& info, const std::string& key) {
+        engine.OnStoreWrite(info, key);
+      });
   ChaosEngine chaos(913);
   engine.SetChaos(&chaos);
   Status status = engine.LoadSource(source);
@@ -152,10 +154,14 @@ std::string RunScenario(const std::string& source, const NativeTierOptions& tier
   std::sort(keys.begin(), keys.end());
   for (const std::string& key : keys) {
     if (key.rfind("engine.tier.", 0) == 0 ||
-        key.rfind("actions.latency.", 0) == 0) {
+        key.rfind("actions.latency.", 0) == 0 ||
+        key == "engine.store.bytes.total" || key == "engine.store.keys.live") {
       // Tier telemetry differs across tiers by design; action-dispatch
       // latency is a wall-clock measurement (nondeterministic even between
-      // two interpreter runs).
+      // two interpreter runs). The global store census aggregates over every
+      // live slot — including the engine.tier.* keys excluded above — so it
+      // inherits their tier dependence; the per-namespace gauges and the
+      // store.retention.* counters stay in the fingerprint.
       continue;
     }
     auto value = store.Load(key);

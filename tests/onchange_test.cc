@@ -15,7 +15,9 @@ class OnChangeTest : public ::testing::Test {
   OnChangeTest() : engine_(&store_, &registry_) {
     Logger::Global().set_level(LogLevel::kOff);
     store_.SetWriteObserver(
-        [this](KeyId id, const std::string& /*key*/) { engine_.OnStoreWrite(id); });
+        [this](const StoreWriteInfo& info, const std::string& key) {
+          engine_.OnStoreWrite(info, key);
+        });
   }
 
   void Load(const std::string& source) {

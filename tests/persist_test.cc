@@ -233,7 +233,9 @@ std::unique_ptr<DiffRun> StartRun(const fs::path& dir, ChaosEngine* chaos) {
   auto run = std::make_unique<DiffRun>();
   run->engine = std::make_unique<Engine>(&run->store, &run->registry, nullptr, DiffOptions());
   run->store.SetWriteObserver(
-      [engine = run->engine.get()](KeyId id, const std::string&) { engine->OnStoreWrite(id); });
+      [engine = run->engine.get()](const StoreWriteInfo& info, const std::string& key) {
+        engine->OnStoreWrite(info, key);
+      });
   PersistOptions options;
   options.dir = dir.string();
   run->persist = std::make_unique<PersistManager>(options);

@@ -15,6 +15,10 @@
 //   * 100 helper-fail seeds      (armed runtime.helper_fail forces the
 //                                 global-serial fallback every callout)
 //   * 100 persist seeds          (mid-run panic + warm restart on both sides)
+//   * 100 retention seeds        (boundary reclamation's Erase racing the
+//                                 ONCHANGE cascade its telemetry publish
+//                                 triggers; the retention-heavy 1000-seed
+//                                 campaign lives in retention_diff_test.cc)
 // OSGUARD_CHAOS_SEED offsets the seed base so CI matrices explore fresh
 // seeds without code changes.
 //
@@ -35,6 +39,7 @@
 #include "src/chaos/chaos.h"
 #include "src/persist/persist.h"
 #include "src/runtime/engine.h"
+#include "src/runtime/retention.h"
 #include "src/runtime/sharded_engine.h"
 #include "src/sim/kernel.h"
 #include "src/store/feature_store.h"
@@ -132,12 +137,36 @@ constexpr char kHelperFailSpec[] = R"(
   chaos { site runtime.helper_fail { mode = bernoulli, p = 0.2 } }
 )";
 
+// Retention reclamation is an Erase at the callout boundary, and its own
+// telemetry publish (store.retention.reclaimed) triggers an ONCHANGE
+// cascade whose write target (ret.trips) is READ by a FUNCTION rule — so
+// the key-scoped classifier must put ret_gate's evals on the serial path
+// and the cascade must replay at its exact serial position while tmp.*
+// keys churn through TTL reclaims and LRU quota evictions underneath.
+constexpr char kRetentionRaceSpec[] = R"(
+  retention {
+    scan_chunk = 8
+    namespace "tmp." { max_keys = 6, idle_ttl = 40ms }
+  }
+  guardrail ret_watch {
+    trigger: { ONCHANGE(store.retention.reclaimed) },
+    rule: { LOAD_OR(store.retention.reclaimed, 0) <= 2 },
+    action: { INCR(ret.trips) }
+  }
+  guardrail ret_gate {
+    trigger: { FUNCTION(submit_io) },
+    rule: { LOAD_OR(ret.trips, 0) <= 4 },
+    action: { REPORT("retention cascade") }
+  }
+)";
+
 struct RunConfig {
   bool sharded = false;
   size_t shards = 3;
-  const char* chaos_spec = nullptr;  // extra source arming chaos sites
-  bool reboot = false;               // panic + warm restart at mid-run
-  std::string persist_dir;           // set iff reboot
+  const char* chaos_spec = nullptr;      // extra source arming chaos sites
+  const char* retention_spec = nullptr;  // extra source with a retention block
+  bool reboot = false;                   // panic + warm restart at mid-run
+  std::string persist_dir;               // set iff reboot
 };
 
 EngineOptions DiffEngineOptions() {
@@ -150,7 +179,8 @@ EngineOptions DiffEngineOptions() {
 // observable state. Everything the workload does is derived from `seed`, so
 // serial and sharded runs of the same seed see identical inputs.
 std::string RunWorkload(uint64_t seed, const RunConfig& config,
-                        ShardedStats* stats_out = nullptr) {
+                        ShardedStats* stats_out = nullptr,
+                        RetentionStats* retention_out = nullptr) {
   ShardingOptions sharding;
   sharding.enabled = config.sharded;
   sharding.shards = config.shards;
@@ -169,6 +199,9 @@ std::string RunWorkload(uint64_t seed, const RunConfig& config,
     kernel.AttachPersist(persist.get());
   }
   EXPECT_TRUE(kernel.LoadGuardrails(kDiffSpec).ok());
+  if (config.retention_spec != nullptr) {
+    EXPECT_TRUE(kernel.LoadGuardrails(config.retention_spec).ok());
+  }
   if (config.chaos_spec != nullptr) {
     EXPECT_TRUE(kernel.LoadGuardrails(config.chaos_spec).ok());
   }
@@ -196,6 +229,16 @@ std::string RunWorkload(uint64_t seed, const RunConfig& config,
     if (rng.Bernoulli(0.25)) {
       kernel.store().Increment("step.counter", 1.0);
     }
+    if (config.retention_spec != nullptr && rng.Bernoulli(0.6)) {
+      // Churn a governed key family in bursts: 13 possible keys against a
+      // budget of 6 and a 40ms TTL, several writes per step so the live
+      // population outruns the TTL and the quota pass actually trips.
+      const int burst = static_cast<int>(rng.UniformInt(2, 5));
+      for (int k = 0; k < burst; ++k) {
+        kernel.store().Save("tmp.k" + std::to_string(rng.UniformInt(0, 12)),
+                            Value(rng.Uniform(0.0, 1.0)));
+      }
+    }
     kernel.Callout("submit_io");
     if (rng.Bernoulli(0.35)) {
       kernel.Callout("complete_io");
@@ -214,6 +257,9 @@ std::string RunWorkload(uint64_t seed, const RunConfig& config,
 
   if (stats_out != nullptr && kernel.sharded_engine() != nullptr) {
     *stats_out = kernel.sharded_engine()->stats();
+  }
+  if (retention_out != nullptr) {
+    *retention_out = kernel.engine().retention().stats();
   }
   Snapshot snapshot;
   snapshot.store = kernel.store().DumpSlots();
@@ -304,6 +350,28 @@ TEST_F(ShardDiffTest, PersistWarmRestartSeeds) {
   }
   fs::remove_all(serial_dir);
   fs::remove_all(sharded_dir);
+}
+
+TEST_F(ShardDiffTest, RetentionEraseVsOnchangeCascadeSeeds) {
+  const uint64_t base = SeedBase() + 0x50000;
+  uint64_t reclaims = 0;
+  uint64_t cascades = 0;
+  for (uint64_t i = 0; i < 100; ++i) {
+    const uint64_t seed = base + i;
+    RunConfig serial;
+    serial.retention_spec = kRetentionRaceSpec;
+    RunConfig sharded = serial;
+    sharded.sharded = true;
+    RetentionStats stats;
+    const std::string expect = RunWorkload(seed, serial, nullptr, &stats);
+    ASSERT_EQ(expect, RunWorkload(seed, sharded)) << "seed=" << seed;
+    reclaims += stats.reclaimed_idle + stats.reclaimed_quota;
+    cascades += stats.quota_breaches;
+  }
+  // The equivalence is only meaningful if boundaries actually erased keys
+  // (firing the ONCHANGE cascade) on the serial oracle.
+  EXPECT_GT(reclaims, 0u);
+  EXPECT_GT(cascades, 0u);
 }
 
 // The shard count is a scheduling detail: any width must reproduce the

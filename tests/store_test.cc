@@ -269,5 +269,149 @@ TEST(FeatureStoreConcurrencyTest, ParallelObserveAndAggregate) {
             20000.0);
 }
 
+
+// --- Key lifecycle: generation-tagged slots, reclamation, free-list recycle --
+
+TEST(StoreLifecycleTest, ReclaimFreesSlotAndRecyclesWithBumpedGeneration) {
+  FeatureStore store;
+  const KeyId id = store.InternKey("session.a");
+  store.Save(id, Value(int64_t{7}));
+  const uint32_t gen0 = store.GenerationOf(id);
+  EXPECT_TRUE(store.IsLive(id));
+  ASSERT_TRUE(store.ReclaimKey("session.a").ok());
+  EXPECT_FALSE(store.IsLive(id));
+  EXPECT_FALSE(store.Contains("session.a"));
+  // The next intern recycles the freed slot (LIFO) under a new generation.
+  const KeyId recycled = store.InternKey("session.b");
+  EXPECT_EQ(recycled, id);
+  EXPECT_TRUE(store.IsLive(id));
+  EXPECT_GT(store.GenerationOf(id), gen0);
+  EXPECT_EQ(store.KeyName(id), "session.b");
+}
+
+TEST(StoreLifecycleTest, ReclaimErrorsAreTyped) {
+  FeatureStore store;
+  EXPECT_EQ(store.ReclaimKey("absent").code(), ErrorCode::kNotFound);
+  const KeyId id = store.InternKey("pinned.key");
+  store.Pin(id);
+  EXPECT_EQ(store.ReclaimKeyId(id).code(), ErrorCode::kFailedPrecondition);
+  store.Unpin(id);
+  EXPECT_TRUE(store.ReclaimKeyId(id).ok());
+  EXPECT_EQ(store.ReclaimKeyId(id).code(), ErrorCode::kNotFound);  // already dead
+}
+
+TEST(StoreLifecycleTest, StaleCachedIdReadsAsAbsentAndCannotResurrect) {
+  FeatureStore store;
+  const KeyId id = store.InternKey("owner.old");
+  store.Save(id, Value(int64_t{1}));
+  const uint32_t old_gen = store.GenerationOf(id);
+  ASSERT_TRUE(store.ReclaimKeyId(id).ok());
+  const KeyId tenant = store.InternKey("owner.new");
+  ASSERT_EQ(tenant, id);  // recycled
+  store.Save(tenant, Value(int64_t{42}));
+  // Tagged reads with the stale generation see "absent", never the new
+  // tenant's value, and the staleness is counted.
+  const uint64_t hits_before = store.stale_hits();
+  EXPECT_EQ(store.LoadOrTagged(id, old_gen, Value(int64_t{-1})).AsInt().value_or(0), -1);
+  EXPECT_FALSE(store.ContainsTagged(id, old_gen));
+  EXPECT_GT(store.stale_hits(), hits_before);
+  // Fresh-generation reads see the new tenant.
+  EXPECT_EQ(store.LoadOrTagged(id, store.GenerationOf(id), Value(int64_t{-1}))
+                .AsInt()
+                .value_or(0),
+            42);
+  // Untagged KeyId writes against a dead slot are no-ops (cannot resurrect).
+  ASSERT_TRUE(store.ReclaimKey("owner.new").ok());
+  store.Save(id, Value(int64_t{9}));
+  EXPECT_FALSE(store.IsLive(id));
+}
+
+TEST(StoreLifecycleTest, PinnedCachedKeyIdSurvivesHeavyChurn) {
+  // The monitor-cached-id stability contract: an id the engine pinned keeps
+  // resolving to the same key with the same generation no matter how much
+  // reclamation churn happens around it.
+  FeatureStore store;
+  const KeyId pinned = store.InternKey("engine.tier.promotions");
+  store.Pin(pinned);
+  store.Save(pinned, Value(int64_t{5}));
+  const uint32_t gen = store.GenerationOf(pinned);
+  for (int round = 0; round < 50; ++round) {
+    for (int i = 0; i < 20; ++i) {
+      store.Save("churn.k" + std::to_string(i), Value(int64_t{i}));
+    }
+    for (int i = 0; i < 20; ++i) {
+      ASSERT_TRUE(store.ReclaimKey("churn.k" + std::to_string(i)).ok());
+    }
+  }
+  EXPECT_EQ(store.GenerationOf(pinned), gen);
+  EXPECT_EQ(store.KeyName(pinned), "engine.tier.promotions");
+  EXPECT_EQ(store.LoadOrTagged(pinned, gen, Value(int64_t{0})).AsInt().value_or(0), 5);
+  EXPECT_EQ(store.stale_hits(), 0u);
+}
+
+TEST(StoreLifecycleTest, ApproxBytesTracksWritesAndReclaims) {
+  FeatureStore store;
+  const uint64_t empty = store.approx_bytes();
+  store.Save("bytes.scalar", Value(std::string(512, 'x')));
+  const uint64_t with_payload = store.approx_bytes();
+  EXPECT_GE(with_payload, empty + 512);
+  EXPECT_EQ(store.SlotApproxBytes(store.InternKey("bytes.scalar")),
+            with_payload - empty);
+  ASSERT_TRUE(store.ReclaimKey("bytes.scalar").ok());
+  EXPECT_LT(store.approx_bytes(), with_payload);
+  EXPECT_EQ(store.live_key_count(), 0u);
+}
+
+TEST(StoreLifecycleTest, ClearCompactsFreeListedSlots) {
+  FeatureStore store;
+  for (int i = 0; i < 8; ++i) {
+    store.Save("compact.k" + std::to_string(i), Value(int64_t{i}));
+  }
+  for (int i = 4; i < 8; ++i) {
+    ASSERT_TRUE(store.ReclaimKey("compact.k" + std::to_string(i)).ok());
+  }
+  const KeyId survivor = store.InternKey("compact.k0");
+  store.Pin(survivor);
+  store.Clear();
+  // Clear keeps interned live slots (values wiped) and trims the trailing
+  // dead slots entirely.
+  EXPECT_EQ(store.key_count(), 4u);
+  EXPECT_TRUE(store.IsLive(survivor));
+  EXPECT_FALSE(store.Contains("compact.k0"));  // value gone, key interned
+  EXPECT_EQ(store.KeyName(survivor), "compact.k0");
+  // The trimmed tail's free-list entries are gone too: the next intern grows
+  // the table instead of handing out a trimmed id.
+  const KeyId fresh = store.InternKey("compact.new");
+  EXPECT_EQ(fresh, 4u);
+}
+
+TEST(StoreLifecycleTest, DumpRestoreRoundTripsGenerationsAndFreeList) {
+  FeatureStore store;
+  for (int i = 0; i < 6; ++i) {
+    store.Save("rt.k" + std::to_string(i), Value(int64_t{i}));
+  }
+  ASSERT_TRUE(store.ReclaimKey("rt.k1").ok());
+  ASSERT_TRUE(store.ReclaimKey("rt.k3").ok());
+  // Recycle one slot so a non-zero generation is in the dump.
+  const KeyId recycled = store.InternKey("rt.tenant2");
+  EXPECT_EQ(store.KeyName(recycled), "rt.tenant2");
+  ASSERT_TRUE(store.ReclaimKey("rt.k5").ok());
+  const auto dump = store.DumpSlots();
+
+  FeatureStore other;
+  other.RestoreSlots(dump);
+  ASSERT_EQ(other.key_count(), store.key_count());
+  for (KeyId id = 0; id < store.key_count(); ++id) {
+    EXPECT_EQ(other.IsLive(id), store.IsLive(id)) << "slot " << id;
+    EXPECT_EQ(other.GenerationOf(id), store.GenerationOf(id)) << "slot " << id;
+    if (store.IsLive(id)) {
+      EXPECT_EQ(other.KeyName(id), store.KeyName(id)) << "slot " << id;
+    }
+  }
+  // Free-list order round-trips: both stores recycle the same slot next.
+  EXPECT_EQ(other.InternKey("rt.next"), store.InternKey("rt.next"));
+  EXPECT_EQ(other.approx_bytes(), store.approx_bytes());
+}
+
 }  // namespace
 }  // namespace osguard

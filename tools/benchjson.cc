@@ -72,6 +72,16 @@
 //                   reaches fail-static, a critical monitor is shed, the
 //                   governed storm fails to shed work or bound p99, any
 //                   identity seed diverges, or the watchdog fails to heal.
+//   --store         run the E14 bounded-memory store experiment instead and
+//                   emit bench "store" (BENCH_store.json): >= 1M simulated
+//                   agent session lifecycles through a retention-governed
+//                   kernel with session-end eager reclamation, sampling the
+//                   live-key count and approximate store bytes at every
+//                   churn wave. Exits 1 if the steady-state key count or
+//                   byte footprint is unbounded (final wave > 2x the first
+//                   settled wave), any stale-generation misread occurs, or
+//                   the retention-on p99 per-call cost exceeds the
+//                   retention-off baseline by more than 5%.
 //   --supervisor    run the ext7 supervisor experiment instead and emit
 //                   bench "supervisor" (BENCH_supervisor.json): trip rate of
 //                   the undamped E2 oscillating pair with and without the
@@ -113,6 +123,7 @@
 #include "src/support/logging.h"
 #include "src/support/rng.h"
 #include "src/vm/native_aot.h"
+#include "src/wl/sessiongen.h"
 #include "src/wl/stormgen.h"
 
 // --- Heap profile hooks -----------------------------------------------------
@@ -742,7 +753,10 @@ std::unique_ptr<BenchRun> Start(const std::string& dir, bool with_persist) {
   options.measure_wall_time = false;
   run->engine = std::make_unique<Engine>(&run->store, &run->registry, nullptr, options);
   run->store.SetWriteObserver(
-      [engine = run->engine.get()](KeyId id, const std::string&) { engine->OnStoreWrite(id); });
+      [engine = run->engine.get()](const StoreWriteInfo& info,
+                                 const std::string& key) {
+        engine->OnStoreWrite(info, key);
+      });
   if (with_persist) {
     PersistOptions popts;
     popts.dir = dir;
@@ -1012,7 +1026,9 @@ RunResult Drive(FeatureStore& store, Engine& engine, ShardedEngine* sharded_ptr,
   // Route external writes to the engine so ONCHANGE cascades fire (the
   // kernel wires this; the bench drives the engine bare).
   store.SetWriteObserver(
-      [&engine](KeyId id, const std::string& /*key*/) { engine.OnStoreWrite(id); });
+      [&engine](const StoreWriteInfo& info, const std::string& key) {
+        engine.OnStoreWrite(info, key);
+      });
   store.Save("lat_score", Value(static_cast<int64_t>(3)));
   auto step = [&](int i) {
     const SimTime t = static_cast<SimTime>(i) * Microseconds(100);
@@ -1595,12 +1611,22 @@ struct StormRun {
   GovernorStats gov;
   GovernorMode deepest = GovernorMode::kFull;
   GovernorMode final_mode = GovernorMode::kFull;
+  // Per-ladder-mode callout latency (the per-criticality-tier shed report:
+  // each deeper mode sheds one more criticality tier). Indexed by
+  // GovernorMode; count 0 when the storm never reached that rung.
+  struct ModeLatency {
+    uint64_t count = 0;
+    double p50_ns = 0.0;
+    double p99_ns = 0.0;
+  };
+  ModeLatency mode_latency[4];
 };
 
 StormRun DriveStorm(bool governed, uint64_t seed) {
   Kernel kernel(GovernedOptions(governed));
   (void)kernel.LoadGuardrails(kStormSpec);
   std::vector<double> samples;
+  std::vector<double> mode_samples[4];
   StormRun run;
   for (const StormEvent& event : BenchStorm(seed)) {
     kernel.Run(event.at);
@@ -1608,13 +1634,28 @@ StormRun DriveStorm(bool governed, uint64_t seed) {
                         Value(static_cast<int64_t>(event.storm ? 80 : 10)));
     const int64_t start = WallNs();
     kernel.Callout("hot_path");
-    samples.push_back(static_cast<double>(WallNs() - start));
-    run.deepest = std::max(run.deepest, kernel.engine().governor().mode());
+    const double ns = static_cast<double>(WallNs() - start);
+    samples.push_back(ns);
+    const GovernorMode mode = kernel.engine().governor().mode();
+    mode_samples[static_cast<int>(mode)].push_back(ns);
+    run.deepest = std::max(run.deepest, mode);
     ++run.callouts;
   }
   std::sort(samples.begin(), samples.end());
   run.p99_ns = samples[static_cast<size_t>(
       static_cast<double>(samples.size() - 1) * 0.99)];
+  for (int m = 0; m < 4; ++m) {
+    std::vector<double>& bucket = mode_samples[m];
+    if (bucket.empty()) {
+      continue;
+    }
+    std::sort(bucket.begin(), bucket.end());
+    StormRun::ModeLatency& lat = run.mode_latency[m];
+    lat.count = bucket.size();
+    lat.p50_ns = bucket[bucket.size() / 2];
+    lat.p99_ns = bucket[static_cast<size_t>(
+        static_cast<double>(bucket.size() - 1) * 0.99)];
+  }
   run.evals = kernel.engine().stats().evaluations;
   run.gov = kernel.engine().governor().stats();
   run.final_mode = kernel.engine().governor().mode();
@@ -1702,6 +1743,23 @@ bool RunGovernorBench(std::vector<Metric>& metrics, bool& governor_ok) {
                            static_cast<double>(governed.gov.static_applies), "count"});
   metrics.push_back(Metric{"governor_transitions",
                            static_cast<double>(governed.gov.transitions), "count"});
+  // Per-criticality-tier shed latency: callout cost at each ladder rung
+  // (full service, besteffort sampled, standard shed, fail-static).
+  // Reporting only — no gate; the rungs a short storm never visits emit 0.
+  static constexpr const char* kModeTag[] = {"full", "sampled", "critical_only",
+                                             "fail_static"};
+  for (int m = 0; m < 4; ++m) {
+    const StormRun::ModeLatency& lat = governed.mode_latency[m];
+    metrics.push_back(Metric{std::string("governor_tier_") + kModeTag[m] +
+                                 "_callouts",
+                             static_cast<double>(lat.count), "count"});
+    metrics.push_back(Metric{std::string("governor_tier_") + kModeTag[m] +
+                                 "_p50_ns",
+                             lat.p50_ns, "ns"});
+    metrics.push_back(Metric{std::string("governor_tier_") + kModeTag[m] +
+                                 "_p99_ns",
+                             lat.p99_ns, "ns"});
+  }
 
   // (b) identity campaigns: governed storm, then worker-stall and
   // worker-death chaos, serial vs sharded per seed.
@@ -1800,6 +1858,199 @@ bool RunGovernorBench(std::vector<Metric>& metrics, bool& governor_ok) {
   return true;
 }
 
+
+// --- E14: bounded-memory store under million-session churn ------------------
+
+namespace storebench {
+
+constexpr char kRetentionSpec[] = R"(
+  retention {
+    scan_chunk = 256
+    namespace "agent.s" { max_keys = 60000, idle_ttl = 5s }
+  }
+)";
+
+SessionWorkloadOptions ChurnOptions() {
+  SessionWorkloadOptions options;
+  options.duration = Seconds(2);
+  options.sessions_per_sec = 5000.0;   // ~10k sessions per wave
+  options.max_sessions = 100000;
+  options.mean_bursts = 1.0;
+  options.burst_scale = 1.0;
+  options.burst_shape = 3.0;           // light tail: ~1-2 calls per session
+  options.max_burst_calls = 8;
+  return options;
+}
+
+struct WaveSample {
+  uint64_t live_keys = 0;
+  uint64_t store_bytes = 0;
+};
+
+// The settling point: by this wave every bounded structure has filled — the
+// global agent.calls.stream series caps at 65536 samples around wave 5 —
+// so later growth is a genuine leak, not a buffer reaching its bound.
+constexpr uint64_t kSettleWave = 20;
+
+struct ChurnResult {
+  uint64_t sessions = 0;
+  uint64_t calls = 0;
+  uint64_t stale_hits = 0;
+  uint64_t reclaimed = 0;       // retention stats: idle + quota + eager
+  WaveSample settled;           // after kSettleWave (or the last wave if fewer)
+  WaveSample peak;              // max across waves
+  WaveSample final_wave;        // after the last wave
+  double p99_call_ns = 0.0;     // per-OnToolCall latency over the timed waves
+};
+
+// Drives `waves` churn waves through one kernel. Session ids are offset per
+// wave so every wave models NEW sessions — the million-lifecycle workload —
+// and the per-wave time offset keeps simulated time monotone.
+ChurnResult DriveChurn(bool retention, uint64_t waves, uint64_t seed) {
+  Kernel kernel;
+  if (retention) {
+    (void)kernel.LoadGuardrails(kRetentionSpec);
+  }
+  const SessionChurnTrace trace =
+      SessionCallGenerator(ChurnOptions(), seed).GenerateChurn();
+  ChurnResult result;
+  std::vector<double> samples;
+  samples.reserve(trace.calls.size() * waves);
+  for (uint64_t wave = 0; wave < waves; ++wave) {
+    const uint64_t id_offset = wave * 10'000'000ull;
+    const SimTime time_offset = static_cast<SimTime>(wave) * Seconds(3);
+    size_t end_cursor = 0;
+    for (const agent::ToolCallEvent& call : trace.calls) {
+      while (end_cursor < trace.ends.size() &&
+             trace.ends[end_cursor].at <= call.at) {
+        kernel.OnSessionEnd(trace.ends[end_cursor].session + id_offset);
+        ++end_cursor;
+      }
+      agent::ToolCallEvent ev = call;
+      ev.at += time_offset;
+      ev.session += id_offset;
+      kernel.Run(ev.at);
+      const int64_t start = WallNs();
+      kernel.OnToolCall(ev);
+      samples.push_back(static_cast<double>(WallNs() - start));
+    }
+    for (; end_cursor < trace.ends.size(); ++end_cursor) {
+      kernel.OnSessionEnd(trace.ends[end_cursor].session + id_offset);
+    }
+    result.sessions += trace.ends.size();
+    result.calls += trace.calls.size();
+    const WaveSample sample{kernel.store().live_key_count(),
+                            kernel.store().approx_bytes()};
+    if (wave == std::min(kSettleWave, waves - 1)) {
+      result.settled = sample;
+    }
+    result.peak.live_keys = std::max(result.peak.live_keys, sample.live_keys);
+    result.peak.store_bytes = std::max(result.peak.store_bytes, sample.store_bytes);
+    result.final_wave = sample;
+  }
+  result.stale_hits = kernel.store().stale_hits();
+  const RetentionStats& rstats = kernel.engine().retention().stats();
+  result.reclaimed = rstats.reclaimed_idle + rstats.reclaimed_quota;
+  std::sort(samples.begin(), samples.end());
+  if (!samples.empty()) {
+    result.p99_call_ns = samples[static_cast<size_t>(
+        static_cast<double>(samples.size() - 1) * 0.99)];
+  }
+  return result;
+}
+
+}  // namespace storebench
+
+bool RunStoreBench(std::vector<Metric>& metrics, bool& store_ok) {
+  using storebench::ChurnResult;
+  using storebench::DriveChurn;
+
+  // Enough waves that total session lifecycles cross the 1M gate.
+  constexpr uint64_t kWaves = 110;
+  const ChurnResult governed = DriveChurn(true, kWaves, 0xE14);
+  // Baseline: same workload, no retention block — the off==absent engine.
+  // Fewer waves keep the unbounded run affordable; p99 per call is
+  // wave-count independent.
+  const ChurnResult baseline = DriveChurn(false, 10, 0xE14);
+
+  metrics.push_back(Metric{"store_sessions",
+                           static_cast<double>(governed.sessions), "count"});
+  metrics.push_back(Metric{"store_calls", static_cast<double>(governed.calls),
+                           "count"});
+  metrics.push_back(Metric{"store_reclaimed",
+                           static_cast<double>(governed.reclaimed), "count"});
+  metrics.push_back(Metric{"store_stale_generation_hits",
+                           static_cast<double>(governed.stale_hits), "count"});
+  metrics.push_back(Metric{"store_settled_live_keys",
+                           static_cast<double>(governed.settled.live_keys), "count"});
+  metrics.push_back(Metric{"store_peak_live_keys",
+                           static_cast<double>(governed.peak.live_keys), "count"});
+  metrics.push_back(Metric{"store_final_live_keys",
+                           static_cast<double>(governed.final_wave.live_keys),
+                           "count"});
+  metrics.push_back(Metric{"store_settled_bytes",
+                           static_cast<double>(governed.settled.store_bytes),
+                           "bytes"});
+  metrics.push_back(Metric{"store_peak_bytes",
+                           static_cast<double>(governed.peak.store_bytes), "bytes"});
+  metrics.push_back(Metric{"store_final_bytes",
+                           static_cast<double>(governed.final_wave.store_bytes),
+                           "bytes"});
+  metrics.push_back(Metric{"store_governed_p99_call_ns", governed.p99_call_ns,
+                           "ns"});
+  metrics.push_back(Metric{"store_baseline_p99_call_ns", baseline.p99_call_ns,
+                           "ns"});
+  metrics.push_back(Metric{"store_baseline_final_live_keys",
+                           static_cast<double>(baseline.final_wave.live_keys),
+                           "count"});
+
+  store_ok = true;
+  if (governed.sessions < 1000000) {
+    std::fprintf(stderr,
+                 "benchjson: --store: only %llu session lifecycles (need >= 1M)\n",
+                 static_cast<unsigned long long>(governed.sessions));
+    store_ok = false;
+  }
+  // Boundedness: after 100+ waves of brand-new sessions the footprint must
+  // sit within 2x of the settling point (wave 20, once every capped series
+  // has filled). An unbounded store grows ~linearly in waves (the
+  // retention-off baseline demonstrates it).
+  if (governed.final_wave.live_keys > 2 * governed.settled.live_keys ||
+      governed.peak.live_keys > 2 * governed.settled.live_keys) {
+    std::fprintf(stderr,
+                 "benchjson: --store: live keys unbounded (settled %llu, peak "
+                 "%llu, final %llu)\n",
+                 static_cast<unsigned long long>(governed.settled.live_keys),
+                 static_cast<unsigned long long>(governed.peak.live_keys),
+                 static_cast<unsigned long long>(governed.final_wave.live_keys));
+    store_ok = false;
+  }
+  if (governed.final_wave.store_bytes > 2 * governed.settled.store_bytes ||
+      governed.peak.store_bytes > 2 * governed.settled.store_bytes) {
+    std::fprintf(stderr,
+                 "benchjson: --store: store bytes unbounded (settled %llu, peak "
+                 "%llu, final %llu)\n",
+                 static_cast<unsigned long long>(governed.settled.store_bytes),
+                 static_cast<unsigned long long>(governed.peak.store_bytes),
+                 static_cast<unsigned long long>(governed.final_wave.store_bytes));
+    store_ok = false;
+  }
+  if (governed.stale_hits != 0) {
+    std::fprintf(stderr,
+                 "benchjson: --store: %llu stale-generation misreads (expected 0)\n",
+                 static_cast<unsigned long long>(governed.stale_hits));
+    store_ok = false;
+  }
+  if (governed.p99_call_ns > baseline.p99_call_ns * 1.05) {
+    std::fprintf(stderr,
+                 "benchjson: --store: governed p99 %.0fns exceeds retention-off "
+                 "baseline %.0fns by more than 5%%\n",
+                 governed.p99_call_ns, baseline.p99_call_ns);
+    store_ok = false;
+  }
+  return true;
+}
+
 int Main(int argc, char** argv) {
   Logger::Global().set_level(LogLevel::kOff);
   bool strict_alloc = false;
@@ -1810,6 +2061,7 @@ int Main(int argc, char** argv) {
   bool sharded = false;
   bool agent = false;
   bool governor = false;
+  bool store = false;
   const char* out_path = nullptr;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--strict-alloc") == 0) {
@@ -1828,13 +2080,15 @@ int Main(int argc, char** argv) {
       agent = true;
     } else if (std::strcmp(argv[i], "--governor") == 0) {
       governor = true;
+    } else if (std::strcmp(argv[i], "--store") == 0) {
+      store = true;
     } else if (std::strcmp(argv[i], "-o") == 0 && i + 1 < argc) {
       out_path = argv[++i];
     } else {
       std::fprintf(stderr,
                    "usage: benchjson [--strict-alloc] [--chaos] [--supervisor] "
                    "[--native] [--persist] [--sharded] [--agent] [--governor] "
-                   "[-o FILE]\n");
+                   "[--store] [-o FILE]\n");
       return 2;
     }
   }
@@ -1847,6 +2101,7 @@ int Main(int argc, char** argv) {
   bool sharded_ok = true;
   bool agent_ok = true;
   bool governor_ok = true;
+  bool store_ok = true;
   if (chaos) {
     if (!RunChaosBench(metrics, chaos_contained)) {
       return 1;
@@ -1875,6 +2130,10 @@ int Main(int argc, char** argv) {
     if (!RunGovernorBench(metrics, governor_ok)) {
       return 1;
     }
+  } else if (store) {
+    if (!RunStoreBench(metrics, store_ok)) {
+      return 1;
+    }
   } else {
     TimerHotWindow(metrics);
     TimerManyMonitors(metrics);
@@ -1900,7 +2159,8 @@ int Main(int argc, char** argv) {
                                         : (sharded ? "sharded"
                                                    : (agent ? "agent"
                                                             : (governor ? "governor"
-                                                                        : "hotpath"))))));
+                                                                        : (store ? "store"
+                                                                                 : "hotpath")))))));
   std::string json = std::string("{\n  \"bench\": \"") + bench_name +
                      "\",\n  \"schema_version\": 1,\n  \"metrics\": [\n";
   for (size_t i = 0; i < metrics.size(); ++i) {
@@ -1933,6 +2193,9 @@ int Main(int argc, char** argv) {
   } else if (governor) {
     std::snprintf(tail, sizeof(tail), "  ],\n  \"governor_ok\": %s\n}\n",
                   governor_ok ? "true" : "false");
+  } else if (store) {
+    std::snprintf(tail, sizeof(tail), "  ],\n  \"store_ok\": %s\n}\n",
+                  store_ok ? "true" : "false");
   } else {
     std::snprintf(tail, sizeof(tail), "  ],\n  \"ns_per_eval_mean\": %.2f\n}\n", mean);
   }
@@ -1988,6 +2251,12 @@ int Main(int argc, char** argv) {
     std::fprintf(stderr,
                  "benchjson: FAIL --governor: ladder, shedding, identity, or "
                  "watchdog-healing gate failed\n");
+    return 1;
+  }
+  if (store && !store_ok) {
+    std::fprintf(stderr,
+                 "benchjson: FAIL --store: boundedness, stale-generation, or "
+                 "p99-overhead gate failed\n");
     return 1;
   }
   if (strict_alloc) {
